@@ -1,0 +1,67 @@
+// Decode stack economics (Section 3.2): the disaggregated, elastic decode service
+// supports SLOs from seconds to hours and time-shifts slack-rich work into the
+// cheapest compute periods. Not a numbered paper figure; quantifies the claim.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "decode/decode_service.h"
+
+namespace silica {
+namespace {
+
+std::vector<DecodeJob> DaytimeJobs(int count, double slo_s, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DecodeJob> jobs;
+  for (int i = 0; i < count; ++i) {
+    DecodeJob job;
+    job.id = static_cast<uint64_t>(i + 1);
+    job.arrival = rng.Uniform(8.0 * kHour, 18.0 * kHour);  // business hours
+    job.deadline = job.arrival + slo_s;
+    job.sectors = static_cast<uint64_t>(rng.UniformInt(1000, 20000));
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+void SloSweep() {
+  Header("Decode stack: cost vs SLO (500 daytime batches, diurnal price curve)");
+  std::printf("%-14s %16s %16s %12s %12s\n", "SLO", "eager cost/sec",
+              "shifted cost/sec", "saving", "hit rate");
+  for (double slo_hours : {0.05, 0.5, 2.0, 8.0, 16.0, 24.0}) {
+    const auto jobs = DaytimeJobs(500, slo_hours * kHour, 77);
+    const auto eager = RunDecodeService({}, jobs, /*time_shifting=*/false);
+    const auto shifted = RunDecodeService({}, jobs, /*time_shifting=*/true);
+    std::printf("%11.1f h  %16.4f %16.4f %11.0f%% %11.1f%%\n", slo_hours,
+                eager.mean_cost_per_sector, shifted.mean_cost_per_sector,
+                100.0 * (1.0 - shifted.total_cost / eager.total_cost),
+                100.0 * shifted.deadline_hit_rate());
+  }
+  std::printf("\nseconds-scale SLOs run at the spot price; many-hour SLOs ride the\n"
+              "overnight valley — the longer the SLO, the cheaper the decode.\n"
+              "(the paper: the stack 'supports SLOs ranging from seconds to hours,\n"
+              "and exploits that to allow time-shifting of processing to periods\n"
+              "of lowest compute costs')\n");
+}
+
+void ElasticitySweep() {
+  Header("Decode stack: elastic fleet sizing");
+  const auto jobs = DaytimeJobs(500, 4.0 * kHour, 78);
+  std::printf("%-14s %12s %14s\n", "max workers", "hit rate", "peak workers");
+  for (int max_workers : {2, 8, 32, 128}) {
+    DecodeServiceConfig config;
+    config.max_workers = max_workers;
+    const auto report = RunDecodeService(config, jobs, true);
+    std::printf("%-14d %11.1f%% %14d\n", max_workers,
+                100.0 * report.deadline_hit_rate(), report.peak_workers);
+  }
+}
+
+}  // namespace
+}  // namespace silica
+
+int main() {
+  silica::SloSweep();
+  silica::ElasticitySweep();
+  return 0;
+}

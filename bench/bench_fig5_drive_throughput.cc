@@ -1,0 +1,48 @@
+// Figure 5(a)/(b): tail completion time vs per-drive read throughput (30..210 MB/s)
+// for the IOPS and Volume workloads, Silica vs the NS lower bound.
+// Paper claims reproduced: 30 MB/s drives complete both workloads within the 15 h
+// SLO; the IOPS curve plateaus (drive mechanics, not bandwidth, bound it); Volume
+// improves with throughput with diminishing returns beyond 60-120 MB/s.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace silica {
+namespace {
+
+void Sweep(const char* figure, const GeneratedTrace& trace) {
+  std::printf("\n--- %s ---\n", figure);
+  std::printf("%-12s %14s %14s %14s\n", "MB/s/drive", "Silica tail", "NS tail",
+              "Silica verdict");
+  for (int mbps = 30; mbps <= 210; mbps += 30) {
+    LibrarySimResult results[2];
+    int i = 0;
+    for (auto policy : {LibraryConfig::Policy::kPartitioned,
+                        LibraryConfig::Policy::kNoShuttles}) {
+      auto config = BaseConfig(policy, trace);
+      config.library.drive_throughput_mbps = mbps;
+      results[i++] = SimulateLibrary(config, trace.requests);
+    }
+    std::printf("%-12d %14s %14s %14s\n", mbps, Tail(results[0]).c_str(),
+                Tail(results[1]).c_str(), SloVerdict(results[0]));
+  }
+}
+
+}  // namespace
+}  // namespace silica
+
+int main() {
+  using namespace silica;
+  Header("Figure 5(a)/(b): tail completion vs per-drive throughput "
+         "(20 drives, 20 shuttles)");
+  const auto iops = GenerateTrace(TraceProfile::Iops(42), kDefaultPlatters);
+  const auto volume = GenerateTrace(TraceProfile::Volume(42), kDefaultPlatters);
+  const auto typical = GenerateTrace(TraceProfile::Typical(42), kDefaultPlatters);
+  Sweep("Figure 5(a): IOPS workload", iops);
+  Sweep("Figure 5(b): Volume workload", volume);
+  Sweep("(text) Typical workload", typical);
+  std::printf("\npaper: both workloads complete within SLO even at 30 MB/s; IOPS\n"
+              "plateaus beyond ~60 MB/s; Volume gains tail off beyond 60-120 MB/s\n"
+              "because drive mechanics (mount/seek), not bandwidth, bound it.\n");
+  return 0;
+}

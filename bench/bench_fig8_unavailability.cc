@@ -1,0 +1,45 @@
+// Figure 8: performance with unavailable platters (shuttle / read drive failures).
+// Reads to an unavailable platter amplify into I_p = 16 reads of the matching
+// tracks across its platter-set (cross-platter network coding). Paper claims
+// reproduced: IOPS stays within SLO even at 10% unavailability with 30 MB/s
+// drives; Volume is throughput-bound, so higher drive throughput shrinks the tail
+// substantially under failures.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace silica {
+namespace {
+
+void Sweep(const char* name, const GeneratedTrace& trace, double mbps) {
+  std::printf("\n--- %s, %.0f MB/s drives ---\n", name, mbps);
+  std::printf("%-16s %14s %16s %12s\n", "unavailable", "tail", "recovery reads",
+              "verdict");
+  for (double frac : {0.0, 0.02, 0.05, 0.08, 0.10}) {
+    auto config = BaseConfig(LibraryConfig::Policy::kPartitioned, trace);
+    config.library.drive_throughput_mbps = mbps;
+    config.unavailable_fraction = frac;
+    const auto result = SimulateLibrary(config, trace.requests);
+    std::printf("%14.0f%% %14s %16llu %12s\n", 100.0 * frac, Tail(result).c_str(),
+                static_cast<unsigned long long>(result.recovery_reads),
+                SloVerdict(result));
+  }
+}
+
+}  // namespace
+}  // namespace silica
+
+int main() {
+  using namespace silica;
+  Header("Figure 8: impact of platter unavailability (20 drives, 20 shuttles)");
+  const auto iops = GenerateTrace(TraceProfile::Iops(42), kDefaultPlatters);
+  const auto volume = GenerateTrace(TraceProfile::Volume(42), kDefaultPlatters);
+  Sweep("IOPS", iops, 30);
+  Sweep("IOPS", iops, 60);
+  Sweep("Volume", volume, 30);
+  Sweep("Volume", volume, 60);
+  std::printf("\npaper: IOPS within SLO at 10%% unavailability even with 30 MB/s\n"
+              "readers; Volume at 10%% improves from ~35 h (30 MB/s) to ~15 h\n"
+              "(60 MB/s) — aggregate throughput is the binding constraint.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the experiment-reproduction benches: standard configurations,
+// trace caching, and table printing. Each bench binary regenerates one table or
+// figure of the paper (see DESIGN.md for the index).
+#ifndef SILICA_BENCH_BENCH_UTIL_H_
+#define SILICA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/units.h"
+#include "core/library_sim.h"
+#include "workload/trace_gen.h"
+
+namespace silica {
+
+inline constexpr double kSloSeconds = 15.0 * 3600.0;  // 15-hour SLO to last byte
+inline constexpr uint64_t kDefaultPlatters = 3000;    // early-lifecycle library
+
+inline LibrarySimConfig BaseConfig(LibraryConfig::Policy policy,
+                                   const GeneratedTrace& trace,
+                                   uint64_t platters = kDefaultPlatters) {
+  LibrarySimConfig config;
+  config.library.policy = policy;
+  config.library.num_shuttles = 20;
+  config.library.drive_throughput_mbps = 60.0;
+  config.num_info_platters = platters;
+  config.measure_start = trace.measure_start;
+  config.measure_end = trace.measure_end;
+  config.seed = 17;
+  return config;
+}
+
+inline const char* PolicyName(LibraryConfig::Policy policy) {
+  switch (policy) {
+    case LibraryConfig::Policy::kPartitioned:
+      return "Silica";
+    case LibraryConfig::Policy::kShortestPaths:
+      return "SP";
+    case LibraryConfig::Policy::kNoShuttles:
+      return "NS";
+  }
+  return "?";
+}
+
+inline std::string Tail(const LibrarySimResult& result) {
+  return FormatDuration(result.completion_times.Percentile(0.999));
+}
+
+inline const char* SloVerdict(const LibrarySimResult& result) {
+  return result.completion_times.Percentile(0.999) <= kSloSeconds ? "meets SLO"
+                                                                  : "MISSES SLO";
+}
+
+inline void Header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace silica
+
+#endif  // SILICA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,60 @@
+// Archival service scenario: a Silica library serving a bursty cloud workload.
+//
+// Runs the digital twin end-to-end on the paper's three evaluated 12-hour trace
+// profiles (Typical / IOPS / Volume, Section 7.2) and prints the service-level
+// picture an operator would watch: tail completion times against the 15-hour SLO,
+// read-drive utilization split between customer reads and verification, shuttle
+// travel statistics, and work stealing activity.
+#include <cstdio>
+
+#include "common/units.h"
+#include "core/library_sim.h"
+#include "workload/trace_gen.h"
+
+int main() {
+  using namespace silica;
+  constexpr double kSlo = 15.0 * kHour;
+
+  std::printf("Silica archival service — one library (MDU), 20 read drives,\n"
+              "20 shuttles, 60 MB/s per drive, 15 h SLO\n");
+
+  for (const char* name : {"typical", "iops", "volume"}) {
+    TraceProfile profile = std::string(name) == "iops"     ? TraceProfile::Iops(7)
+                           : std::string(name) == "volume" ? TraceProfile::Volume(7)
+                                                           : TraceProfile::Typical(7);
+    const auto trace = GenerateTrace(profile, 3000);
+
+    LibrarySimConfig config;
+    config.num_info_platters = 3000;
+    config.measure_start = trace.measure_start;
+    config.measure_end = trace.measure_end;
+    config.seed = 7;
+    const auto result = SimulateLibrary(config, trace.requests);
+
+    std::printf("\n=== %s interval: %llu requests, %s in the 12 h window ===\n",
+                name, static_cast<unsigned long long>(trace.window_requests),
+                FormatBytes(trace.window_bytes).c_str());
+    std::printf("  completion: median %s | p99 %s | p99.9 %s  -> %s\n",
+                FormatDuration(result.completion_times.Percentile(0.5)).c_str(),
+                FormatDuration(result.completion_times.Percentile(0.99)).c_str(),
+                FormatDuration(result.completion_times.Percentile(0.999)).c_str(),
+                result.completion_times.Percentile(0.999) <= kSlo ? "meets SLO"
+                                                                  : "MISSES SLO");
+    std::printf("  drives: %.1f%% utilized (%.1f%% reads, %.1f%% verifies)\n",
+                100.0 * result.DriveUtilization(),
+                100.0 * result.DriveReadFraction(),
+                100.0 * result.DriveVerifyFraction());
+    std::printf("  shuttles: %llu travels, mean %.1f s, congestion overhead %.1f%%,"
+                " %llu work steals\n",
+                static_cast<unsigned long long>(result.travels),
+                result.travel_times.mean(),
+                100.0 * result.CongestionOverheadFraction(),
+                static_cast<unsigned long long>(result.work_steals));
+  }
+
+  std::printf("\nthe verification backlog rides in the idle gaps: every byte a\n"
+              "write drive produces is read back on these same drives before the\n"
+              "staged copy is deleted (Section 3.1), which is why drive\n"
+              "utilization stays high even when customers are quiet.\n");
+  return 0;
+}

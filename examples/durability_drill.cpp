@@ -1,0 +1,124 @@
+// Durability drill: inject failures at every level and watch each layer of the
+// error-correction hierarchy (Section 5) recover the data.
+//
+//   voxel noise            -> per-sector LDPC over soft symbol posteriors
+//   lost sectors           -> within-track network coding (I_t + R_t)
+//   correlated track loss  -> large groups across tracks (I_l + R_l)
+//   unavailable platter    -> cross-platter platter-set coding (I_p + R_p)
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/data_pipeline.h"
+#include "core/silica_service.h"
+
+using namespace silica;
+
+namespace {
+
+void Banner(const char* text) { std::printf("\n--- %s ---\n", text); }
+
+void LdpcLevel() {
+  Banner("Level 1: read noise vs per-sector LDPC");
+  const DataPlane plane{DataPlaneConfig{}};
+  Rng rng(1);
+  std::vector<uint8_t> payload(plane.sector_payload_bytes(), 0x42);
+  const auto symbols = plane.sector_codec().EncodeSector(payload);
+  const auto& g = plane.geometry();
+  const auto analog =
+      plane.write_channel().WriteSector(symbols, g.sector_rows, g.sector_cols, rng);
+
+  int ok = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    const auto measured = plane.read_channel().ReadSector(analog, rng);
+    const auto decoded = plane.sector_codec().DecodeSector(
+        plane.soft_decoder().Decode(measured), plane.soft_decoder());
+    if (decoded && *decoded == payload) {
+      ++ok;
+    }
+  }
+  std::printf("%d/%d noisy reads decoded exactly (stochastic sensor noise + ISI\n"
+              "absorbed by belief propagation over the U-Net-style posteriors)\n",
+              ok, trials);
+}
+
+void TrackLevel() {
+  Banner("Level 2: write-time sector bursts vs within-track NC");
+  DataPlaneConfig config;
+  config.write_channel.burst_miss_prob = 1.2e-5;
+  config.write_channel.burst_length = 900;  // a particulate shadows ~45% of a sector
+  const DataPlane plane(config);
+  Rng rng(2);
+  PlatterWriter writer(plane);
+  std::vector<FileData> files{{.file_id = 1,
+                               .name = "drill",
+                               .bytes = std::vector<uint8_t>(250000, 0x17)}};
+  const auto written = writer.WritePlatter(1, files, rng);
+
+  PlatterReader reader(plane);
+  ReadStats stats;
+  const auto data =
+      reader.ReadFile(written.platter, written.platter.header().files[0], rng, &stats);
+  std::printf("sectors read %llu, LDPC erasures %llu, recovered by within-track NC "
+              "%llu, by large group %llu -> file %s\n",
+              static_cast<unsigned long long>(stats.sectors_read),
+              static_cast<unsigned long long>(stats.ldpc_failures),
+              static_cast<unsigned long long>(stats.track_nc_recoveries),
+              static_cast<unsigned long long>(stats.large_nc_recoveries),
+              (data && *data == files[0].bytes) ? "INTACT" : "LOST");
+}
+
+void PlatterLevel() {
+  Banner("Level 3: platter unavailability vs cross-platter coding");
+  ServiceConfig config;
+  config.platter_set = PlatterSetConfig{4, 2};
+  SilicaService service(config);
+  Rng rng(3);
+  std::vector<uint8_t> precious(60000);
+  for (auto& b : precious) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  service.Put("vault/precious", 9, precious);
+  for (int i = 0; i < 6; ++i) {  // neighbours to fill the platter-set
+    service.Put("vault/other-" + std::to_string(i), 9,
+                std::vector<uint8_t>(40000, static_cast<uint8_t>(i)));
+  }
+  service.Flush();
+
+  const auto home = service.metadata().Lookup("vault/precious");
+  service.MarkUnavailable(home->platter_id);
+  std::printf("platter %llu marked unavailable (shuttle failure blast zone)\n",
+              static_cast<unsigned long long>(home->platter_id));
+  const auto recovered = service.Get("vault/precious");
+  std::printf("read served via %d matching tracks on the other platters of the "
+              "set: %s\n",
+              config.platter_set.info,
+              (recovered && *recovered == precious) ? "INTACT" : "LOST");
+}
+
+void MetadataLevel() {
+  Banner("Level 4: metadata service loss vs self-descriptive platters");
+  ServiceConfig config;
+  config.platter_set = PlatterSetConfig{4, 2};
+  SilicaService service(config);
+  service.Put("a/x", 1, std::vector<uint8_t>(2000, 1));
+  service.Put("b/y", 2, std::vector<uint8_t>(3000, 2));
+  service.Flush();
+  const auto rebuilt = service.ScanAndRebuildIndex();
+  std::printf("index rebuilt from platter headers alone: %zu files located "
+              "(every platter carries its own CRC-guarded file list)\n",
+              rebuilt.live_files());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Silica durability drill — every layer of the Section 5 hierarchy\n");
+  LdpcLevel();
+  TrackLevel();
+  PlatterLevel();
+  MetadataLevel();
+  std::printf("\nall failure modes recovered by their designated layer.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "channel/channel_estimator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+
+ReadChannelParams ChannelEstimate::ToParams() const {
+  ReadChannelParams params;
+  // Fold the bias into the effective sigma (the decoder models zero-mean noise).
+  params.retardance_sigma =
+      std::sqrt(retardance_sigma * retardance_sigma + retardance_bias * retardance_bias);
+  params.azimuth_sigma = azimuth_sigma;
+  params.isi_coupling = 0.0;      // absorbed into the fitted marginals
+  params.layer_crosstalk = 0.0;
+  return params;
+}
+
+void ChannelEstimator::AddPilots(std::span<const uint16_t> truth,
+                                 std::span<const VoxelObservable> measured) {
+  if (truth.size() != measured.size()) {
+    throw std::invalid_argument("ChannelEstimator: pilot size mismatch");
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const auto& point = constellation_->Point(truth[i]);
+    const double dr = measured[i].retardance - point.retardance;
+    const double da =
+        Constellation::WrappedAzimuthDelta(measured[i].azimuth, point.azimuth);
+    sum_dr_ += dr;
+    sum_dr2_ += dr * dr;
+    sum_da2_ += da * da;
+    ++n_;
+  }
+}
+
+ChannelEstimate ChannelEstimator::Estimate() const {
+  ChannelEstimate estimate;
+  estimate.samples = n_;
+  if (n_ < 2) {
+    return estimate;
+  }
+  const double nd = static_cast<double>(n_);
+  estimate.retardance_bias = sum_dr_ / nd;
+  const double var_r = sum_dr2_ / nd - estimate.retardance_bias * estimate.retardance_bias;
+  estimate.retardance_sigma = std::sqrt(std::max(0.0, var_r));
+  // Azimuth deltas are folded absolute values; for a half-normal |X| with X ~
+  // N(0, s^2), E[X^2] = s^2, so the raw second moment estimates s directly.
+  estimate.azimuth_sigma = std::sqrt(sum_da2_ / nd);
+  return estimate;
+}
+
+}  // namespace silica

@@ -1,0 +1,97 @@
+#include "channel/channel_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+
+AnalogSector WriteChannel::WriteSector(std::span<const uint16_t> symbols, int rows,
+                                       int cols, Rng& rng) const {
+  if (symbols.size() != static_cast<size_t>(rows) * static_cast<size_t>(cols)) {
+    throw std::invalid_argument("WriteChannel: symbol count != rows*cols");
+  }
+  AnalogSector sector;
+  sector.rows = rows;
+  sector.cols = cols;
+  sector.voxels.resize(symbols.size());
+  sector.missing.assign(symbols.size(), 0);
+
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    sector.voxels[i] = constellation_->Point(symbols[i]);
+  }
+
+  // Independent dropouts.
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (rng.Bernoulli(params_.voxel_miss_prob)) {
+      sector.missing[i] = 1;
+    }
+  }
+  // Bursty dropouts: a particulate shadows a run of consecutive voxels in scan order.
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (rng.Bernoulli(params_.burst_miss_prob)) {
+      const size_t end = std::min(symbols.size(),
+                                  i + static_cast<size_t>(params_.burst_length));
+      for (size_t j = i; j < end; ++j) {
+        sector.missing[j] = 1;
+      }
+    }
+  }
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (sector.missing[i]) {
+      sector.voxels[i].retardance = 0.0;  // no structure formed
+      sector.voxels[i].azimuth = 0.0;
+    }
+  }
+  return sector;
+}
+
+std::vector<VoxelObservable> ReadChannel::ReadSector(const AnalogSector& sector,
+                                                     Rng& rng) const {
+  std::vector<VoxelObservable> measured(sector.voxels.size());
+
+  for (int r = 0; r < sector.rows; ++r) {
+    for (int c = 0; c < sector.cols; ++c) {
+      const size_t i = sector.Index(r, c);
+      const VoxelObservable& v = sector.voxels[i];
+
+      // Inter-symbol interference: the imaging spot picks up a fraction of the
+      // neighbouring voxels' retardance.
+      double neighbour_sum = 0.0;
+      int neighbour_count = 0;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          if (dr == 0 && dc == 0) {
+            continue;
+          }
+          const int nr = r + dr;
+          const int nc = c + dc;
+          if (nr >= 0 && nr < sector.rows && nc >= 0 && nc < sector.cols) {
+            neighbour_sum += sector.voxels[sector.Index(nr, nc)].retardance;
+            ++neighbour_count;
+          }
+        }
+      }
+      const double neighbour_mean =
+          neighbour_count > 0 ? neighbour_sum / neighbour_count : 0.0;
+
+      double retardance = v.retardance +
+                          params_.isi_coupling * (neighbour_mean - v.retardance) +
+                          params_.layer_crosstalk * rng.NextDouble() +
+                          rng.Normal(0.0, params_.retardance_sigma);
+      retardance = std::clamp(retardance, 0.0, 1.5);
+
+      double azimuth = v.azimuth + rng.Normal(0.0, params_.azimuth_sigma);
+      azimuth = std::fmod(azimuth, M_PI);
+      if (azimuth < 0.0) {
+        azimuth += M_PI;
+      }
+
+      measured[i].retardance = retardance;
+      measured[i].azimuth = azimuth;
+    }
+  }
+  return measured;
+}
+
+}  // namespace silica

@@ -1,0 +1,84 @@
+// Write/read channel models for the glass data plane.
+//
+// This is the substitution for hardware we do not have (see DESIGN.md): the
+// femtosecond-laser write process and the polarization-microscopy read process are
+// replaced by parametric noise models that reproduce the error modes Section 5
+// describes:
+//   * write-time errors — rare voxels missing entirely (nonoptimal laser energy,
+//     particulates in the optical path), optionally bursty within a sector;
+//   * read-time errors — stochastic sensor noise on retardance and azimuth, plus
+//     inter-symbol interference from the 8-neighbourhood in the XY plane and
+//     scattered light from adjacent Z layers.
+#ifndef SILICA_CHANNEL_CHANNEL_MODEL_H_
+#define SILICA_CHANNEL_CHANNEL_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "channel/constellation.h"
+#include "common/rng.h"
+
+namespace silica {
+
+struct WriteChannelParams {
+  double voxel_miss_prob = 1e-5;   // independent missing-voxel probability
+  double burst_miss_prob = 1e-6;   // probability a burst starts at a voxel
+  int burst_length = 32;           // voxels blanked per burst (particulate shadow)
+};
+
+struct ReadChannelParams {
+  double retardance_sigma = 0.045;  // sensor noise on retardance
+  double azimuth_sigma = 0.075;     // radians of azimuth noise
+  double isi_coupling = 0.06;       // pull toward the XY-neighbour mean retardance
+  double layer_crosstalk = 0.02;    // additive scattered light from adjacent layers
+};
+
+// The "written" analog state of a sector: one observable per voxel, with missing
+// voxels flagged. Produced by the write drive, consumed by the read drive model.
+struct AnalogSector {
+  int rows = 0;
+  int cols = 0;
+  std::vector<VoxelObservable> voxels;  // rows*cols entries
+  std::vector<uint8_t> missing;         // 1 if the voxel failed to form
+
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * static_cast<size_t>(cols) +
+           static_cast<size_t>(c);
+  }
+};
+
+// Models the femtosecond-laser write drive: symbols -> analog voxels, with
+// write-time dropouts.
+class WriteChannel {
+ public:
+  WriteChannel(const Constellation& constellation, WriteChannelParams params)
+      : constellation_(&constellation), params_(params) {}
+
+  AnalogSector WriteSector(std::span<const uint16_t> symbols, int rows, int cols,
+                           Rng& rng) const;
+
+ private:
+  const Constellation* constellation_;
+  WriteChannelParams params_;
+};
+
+// Models the polarization-microscopy read drive: analog voxels -> noisy measurements.
+// The read process cannot alter the written state (the input is const), mirroring the
+// physical guarantee in Section 3.
+class ReadChannel {
+ public:
+  explicit ReadChannel(ReadChannelParams params) : params_(params) {}
+
+  // Produces one measurement per voxel.
+  std::vector<VoxelObservable> ReadSector(const AnalogSector& sector, Rng& rng) const;
+
+  const ReadChannelParams& params() const { return params_; }
+
+ private:
+  ReadChannelParams params_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_CHANNEL_CHANNEL_MODEL_H_

@@ -1,0 +1,41 @@
+#include "channel/constellation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+
+Constellation::Constellation(int bits_per_voxel) : bits_per_voxel_(bits_per_voxel) {
+  if (bits_per_voxel < 1 || bits_per_voxel > 6) {
+    throw std::invalid_argument("Constellation: bits_per_voxel out of range");
+  }
+  // Split bits between energy (retardance) and polarization (azimuth), giving the
+  // azimuth axis the extra bit when odd: azimuth separation is the better-behaved
+  // observable in form birefringence.
+  const int azimuth_bits = (bits_per_voxel + 1) / 2;
+  const int energy_bits = bits_per_voxel - azimuth_bits;
+  retardance_levels_ = 1 << energy_bits;
+  azimuth_levels_ = 1 << azimuth_bits;
+
+  // Retardance levels sit in (0, 1], leaving headroom near 0 so "missing voxel"
+  // (retardance ~ 0) is distinguishable from the lowest written level.
+  retardance_spacing_ = retardance_levels_ > 1 ? 0.6 / (retardance_levels_ - 1) : 0.0;
+  azimuth_spacing_ = M_PI / azimuth_levels_;
+
+  points_.resize(static_cast<size_t>(retardance_levels_) * azimuth_levels_);
+  for (int e = 0; e < retardance_levels_; ++e) {
+    for (int a = 0; a < azimuth_levels_; ++a) {
+      // Symbol layout: azimuth index in the low bits, energy index above.
+      const auto symbol = static_cast<size_t>((e << azimuth_bits) | a);
+      points_[symbol].retardance = 0.4 + e * retardance_spacing_;
+      points_[symbol].azimuth = (a + 0.5) * azimuth_spacing_;
+    }
+  }
+}
+
+double Constellation::WrappedAzimuthDelta(double a, double b) {
+  double d = std::fmod(std::fabs(a - b), M_PI);
+  return std::min(d, M_PI - d);
+}
+
+}  // namespace silica

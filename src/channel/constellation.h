@@ -1,0 +1,53 @@
+// Birefringence constellation: how voxel symbol values map to physical observables.
+//
+// A voxel stores 3-4 bits by modulating the polarization (azimuth of the slow axis)
+// and the pulse energy (retardance magnitude) of the writing laser (Section 3). The
+// read drive's polarization microscopy measures exactly those two quantities, so the
+// channel observable is a point y = (retardance, azimuth) with azimuth circular with
+// period pi (form birefringence is orientation mod 180 degrees).
+#ifndef SILICA_CHANNEL_CONSTELLATION_H_
+#define SILICA_CHANNEL_CONSTELLATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace silica {
+
+struct VoxelObservable {
+  double retardance = 0.0;  // normalized to [0, 1]
+  double azimuth = 0.0;     // radians in [0, pi)
+};
+
+class Constellation {
+ public:
+  // Builds the 2^bits_per_voxel point grid: energy levels x azimuth angles.
+  // 3 bits -> 2 retardance levels x 4 angles; 4 bits -> 4 x 4.
+  explicit Constellation(int bits_per_voxel);
+
+  int bits_per_voxel() const { return bits_per_voxel_; }
+  int num_symbols() const { return static_cast<int>(points_.size()); }
+  const VoxelObservable& Point(uint16_t symbol) const { return points_[symbol]; }
+
+  int num_retardance_levels() const { return retardance_levels_; }
+  int num_azimuth_levels() const { return azimuth_levels_; }
+
+  // Spacing between adjacent retardance levels / azimuth angles; noise sigmas are
+  // meaningful relative to these.
+  double retardance_spacing() const { return retardance_spacing_; }
+  double azimuth_spacing() const { return azimuth_spacing_; }
+
+  // Smallest absolute azimuth difference respecting the pi wrap.
+  static double WrappedAzimuthDelta(double a, double b);
+
+ private:
+  int bits_per_voxel_;
+  int retardance_levels_;
+  int azimuth_levels_;
+  double retardance_spacing_;
+  double azimuth_spacing_;
+  std::vector<VoxelObservable> points_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_CHANNEL_CONSTELLATION_H_

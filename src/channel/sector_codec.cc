@@ -1,0 +1,71 @@
+#include "channel/sector_codec.h"
+
+#include <stdexcept>
+
+#include "common/crc.h"
+#include "ecc/bits.h"
+
+namespace silica {
+
+SectorCodec::SectorCodec(const MediaGeometry& geometry, uint64_t code_seed)
+    : geometry_(geometry),
+      ldpc_(LdpcCode::Build({
+          .block_bits = static_cast<size_t>(geometry.raw_bits_per_sector()),
+          .rate = geometry.ldpc_rate,
+          .column_weight = 3,
+          .seed = code_seed,
+      })) {
+  if (ldpc_.k() < 40) {
+    throw std::invalid_argument("SectorCodec: sector too small for payload + CRC");
+  }
+  payload_bytes_ = (ldpc_.k() - 32) / 8;
+}
+
+std::vector<uint16_t> SectorCodec::EncodeSector(std::span<const uint8_t> payload) const {
+  if (payload.size() != payload_bytes_) {
+    throw std::invalid_argument("SectorCodec::EncodeSector: wrong payload size");
+  }
+  const uint32_t crc = Crc32c(payload);
+
+  std::vector<uint8_t> info_bits;
+  info_bits.reserve(ldpc_.k());
+  auto payload_bits = BytesToBits(payload);
+  info_bits.insert(info_bits.end(), payload_bits.begin(), payload_bits.end());
+  for (int b = 0; b < 32; ++b) {
+    info_bits.push_back(static_cast<uint8_t>((crc >> b) & 1));
+  }
+  info_bits.resize(ldpc_.k(), 0);  // zero padding up to k
+
+  const auto codeword = ldpc_.Encode(info_bits);
+  return BitsToSymbols(codeword, geometry_.bits_per_voxel);
+}
+
+std::optional<std::vector<uint8_t>> SectorCodec::DecodeFromLlrs(
+    std::span<const float> llrs) const {
+  const auto result = ldpc_.Decode(llrs);
+  if (!result.ok) {
+    return std::nullopt;
+  }
+  const auto info_bits = ldpc_.ExtractInfo(result.codeword);
+
+  std::vector<uint8_t> payload = BitsToBytes(
+      std::span<const uint8_t>(info_bits.data(), payload_bytes_ * 8));
+  uint32_t crc = 0;
+  for (int b = 0; b < 32; ++b) {
+    if (info_bits[payload_bytes_ * 8 + static_cast<size_t>(b)]) {
+      crc |= 1u << b;
+    }
+  }
+  if (Crc32c(payload) != crc) {
+    return std::nullopt;  // converged to a wrong codeword; treat as erasure
+  }
+  return payload;
+}
+
+std::optional<std::vector<uint8_t>> SectorCodec::DecodeSector(
+    const SectorPosteriors& posteriors, const SoftDecoder& decoder) const {
+  const auto llrs = decoder.PosteriorsToLlrs(posteriors);
+  return DecodeFromLlrs(llrs);
+}
+
+}  // namespace silica

@@ -1,0 +1,89 @@
+#include "channel/soft_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silica {
+
+SoftDecoder::SoftDecoder(const Constellation& constellation, ReadChannelParams channel,
+                         SoftDecoderParams params)
+    : constellation_(&constellation), channel_(channel), params_(params) {}
+
+SectorPosteriors SoftDecoder::Decode(
+    std::span<const VoxelObservable> measurements) const {
+  const int num_symbols = constellation_->num_symbols();
+  SectorPosteriors out;
+  out.num_symbols = num_symbols;
+  out.probs.resize(measurements.size() * static_cast<size_t>(num_symbols));
+
+  const double var_r = channel_.retardance_sigma * channel_.retardance_sigma;
+  const double var_a = channel_.azimuth_sigma * channel_.azimuth_sigma;
+  const double inv_temp = 1.0 / params_.temperature;
+
+  std::vector<double> log_lik(static_cast<size_t>(num_symbols) + 1);
+
+  for (size_t v = 0; v < measurements.size(); ++v) {
+    const VoxelObservable& y = measurements[v];
+    double max_ll = -1e300;
+    for (int s = 0; s < num_symbols; ++s) {
+      const VoxelObservable& p = constellation_->Point(static_cast<uint16_t>(s));
+      const double dr = y.retardance - p.retardance;
+      const double da = Constellation::WrappedAzimuthDelta(y.azimuth, p.azimuth);
+      const double ll = -(dr * dr / (2.0 * var_r) + da * da / (2.0 * var_a));
+      log_lik[static_cast<size_t>(s)] = ll;
+      max_ll = std::max(max_ll, ll);
+    }
+    // Missing-voxel hypothesis: retardance near zero, azimuth uninformative.
+    {
+      const double dr = y.retardance;
+      const double ll = -(dr * dr / (2.0 * var_r)) + std::log(params_.miss_prior);
+      log_lik[static_cast<size_t>(num_symbols)] = ll;
+      max_ll = std::max(max_ll, ll);
+    }
+
+    double total = 0.0;
+    for (auto& ll : log_lik) {
+      ll = std::exp((ll - max_ll) * inv_temp);
+      total += ll;
+    }
+    // The missing mass is symbol-agnostic: spread it uniformly so the posterior
+    // flattens (erasure-like) when the voxel looks blank.
+    const double miss_share = log_lik[static_cast<size_t>(num_symbols)] /
+                              static_cast<double>(num_symbols);
+    for (int s = 0; s < num_symbols; ++s) {
+      out.probs[v * static_cast<size_t>(num_symbols) + static_cast<size_t>(s)] =
+          static_cast<float>((log_lik[static_cast<size_t>(s)] + miss_share) / total);
+    }
+  }
+  return out;
+}
+
+std::vector<float> SoftDecoder::PosteriorsToLlrs(
+    const SectorPosteriors& posteriors) const {
+  constexpr float kLlrClamp = 30.0f;
+  const int bits = constellation_->bits_per_voxel();
+  const int num_symbols = posteriors.num_symbols;
+  const size_t num_voxels = posteriors.num_voxels();
+
+  std::vector<float> llrs(num_voxels * static_cast<size_t>(bits));
+  for (size_t v = 0; v < num_voxels; ++v) {
+    const auto probs = posteriors.Voxel(v);
+    for (int b = 0; b < bits; ++b) {
+      double p0 = 0.0;
+      double p1 = 0.0;
+      for (int s = 0; s < num_symbols; ++s) {
+        if ((s >> b) & 1) {
+          p1 += probs[static_cast<size_t>(s)];
+        } else {
+          p0 += probs[static_cast<size_t>(s)];
+        }
+      }
+      float llr = static_cast<float>(std::log((p0 + 1e-12) / (p1 + 1e-12)));
+      llrs[v * static_cast<size_t>(bits) + static_cast<size_t>(b)] =
+          std::clamp(llr, -kLlrClamp, kLlrClamp);
+    }
+  }
+  return llrs;
+}
+
+}  // namespace silica

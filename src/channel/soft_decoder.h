@@ -1,0 +1,63 @@
+// Soft decoder: measurements -> per-voxel symbol posteriors -> per-bit LLRs.
+//
+// In production Silica this is a fully-convolutional U-Net classifying every voxel of
+// a sector at once (Section 3.2). Here it is an idealized maximum-a-posteriori decoder
+// over the channel model, which produces the same interface the ML model does: a
+// probability distribution over the encoded symbols for every voxel. A temperature
+// knob models decoder miscalibration, and the decoder is deliberately ISI-unaware
+// (it assumes the marginal Gaussian channel), so its posteriors are imperfect exactly
+// where a learned model must work hardest.
+#ifndef SILICA_CHANNEL_SOFT_DECODER_H_
+#define SILICA_CHANNEL_SOFT_DECODER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "channel/constellation.h"
+
+namespace silica {
+
+// Posterior over the symbol alphabet for every voxel of a sector.
+struct SectorPosteriors {
+  int num_symbols = 0;
+  std::vector<float> probs;  // voxel-major: probs[v * num_symbols + s]
+
+  size_t num_voxels() const {
+    return num_symbols > 0 ? probs.size() / static_cast<size_t>(num_symbols) : 0;
+  }
+  std::span<const float> Voxel(size_t v) const {
+    return {probs.data() + v * static_cast<size_t>(num_symbols),
+            static_cast<size_t>(num_symbols)};
+  }
+};
+
+struct SoftDecoderParams {
+  double miss_prior = 1e-4;   // prior probability a voxel is missing
+  double temperature = 1.0;   // >1 flattens posteriors (miscalibrated model)
+};
+
+class SoftDecoder {
+ public:
+  SoftDecoder(const Constellation& constellation, ReadChannelParams channel,
+              SoftDecoderParams params = {});
+
+  // Classifies every voxel of a sector.
+  SectorPosteriors Decode(std::span<const VoxelObservable> measurements) const;
+
+  // Converts symbol posteriors into bit LLRs for the LDPC decoder
+  // (positive LLR = "bit is 0"), voxel-major / LSB-first to match ecc/bits.h.
+  std::vector<float> PosteriorsToLlrs(const SectorPosteriors& posteriors) const;
+
+  const Constellation& constellation() const { return *constellation_; }
+
+ private:
+  const Constellation* constellation_;
+  ReadChannelParams channel_;
+  SoftDecoderParams params_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_CHANNEL_SOFT_DECODER_H_

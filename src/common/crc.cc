@@ -1,0 +1,55 @@
+#include "common/crc.h"
+
+#include <array>
+
+namespace silica {
+namespace {
+
+constexpr uint32_t kCrc32cPoly = 0x82F63B78u;  // reflected Castagnoli
+constexpr uint64_t kCrc64Poly = 0xC96C5795D7870F42ull;  // reflected ECMA-182
+
+std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+std::array<uint64_t, 256> MakeCrc64Table() {
+  std::array<uint64_t, 256> table{};
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc64Poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed) {
+  static const auto table = MakeCrc32cTable();
+  uint32_t crc = ~seed;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint64_t Crc64(std::span<const uint8_t> data, uint64_t seed) {
+  static const auto table = MakeCrc64Table();
+  uint64_t crc = ~seed;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace silica

@@ -1,0 +1,18 @@
+// CRC-32C (Castagnoli) and CRC-64 (ECMA-182) checksums.
+//
+// Silica uses per-sector checksums to confirm that the LDPC decode converged to the
+// written codeword (Section 5 of the paper); CRC-64 protects platter headers.
+#ifndef SILICA_COMMON_CRC_H_
+#define SILICA_COMMON_CRC_H_
+
+#include <cstdint>
+#include <span>
+
+namespace silica {
+
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
+uint64_t Crc64(std::span<const uint8_t> data, uint64_t seed = 0);
+
+}  // namespace silica
+
+#endif  // SILICA_COMMON_CRC_H_

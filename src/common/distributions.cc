@@ -1,0 +1,87 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+
+double TruncatedNormalDistribution::Sample(Rng& rng) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = rng.Normal(mean_, stddev_);
+    if (x >= lo_ && x <= hi_) {
+      return x;
+    }
+  }
+  return std::clamp(mean_, lo_, hi_);
+}
+
+LogNormalDistribution LogNormalDistribution::FromMedianAndQuantile(double median, double q,
+                                                                   double value_at_q,
+                                                                   double max_value) {
+  // For LogNormal(mu, sigma): median = exp(mu) and quantile_q = exp(mu + sigma * z_q).
+  const double mu = std::log(median);
+  // Inverse standard-normal CDF via Acklam's rational approximation is more than we
+  // need here; a bisection over erf is short and exact enough.
+  auto normal_cdf = [](double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); };
+  double lo = -8.0, hi = 8.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (normal_cdf(mid) < q ? lo : hi) = mid;
+  }
+  const double z_q = 0.5 * (lo + hi);
+  if (std::abs(z_q) < 1e-9) {
+    throw std::invalid_argument("quantile too close to the median");
+  }
+  const double sigma = (std::log(value_at_q) - mu) / z_q;
+  return LogNormalDistribution(mu, sigma, max_value);
+}
+
+double LogNormalDistribution::Sample(Rng& rng) const {
+  const double x = rng.LogNormal(mu_, sigma_);
+  return max_value_ > 0.0 ? std::min(x, max_value_) : x;
+}
+
+double LogNormalDistribution::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+EmpiricalDistribution::EmpiricalDistribution(
+    std::vector<std::pair<double, double>> quantiles)
+    : quantiles_(std::move(quantiles)) {
+  if (quantiles_.size() < 2 || quantiles_.front().first != 0.0 ||
+      quantiles_.back().first != 1.0) {
+    throw std::invalid_argument("EmpiricalDistribution needs q=0 and q=1 anchors");
+  }
+  for (size_t i = 1; i < quantiles_.size(); ++i) {
+    if (quantiles_[i].first < quantiles_[i - 1].first) {
+      throw std::invalid_argument("EmpiricalDistribution quantiles must be sorted");
+    }
+  }
+}
+
+double EmpiricalDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(
+      quantiles_.begin(), quantiles_.end(), u,
+      [](const std::pair<double, double>& entry, double q) { return entry.first < q; });
+  if (it == quantiles_.begin()) {
+    return it->second;
+  }
+  const auto prev = it - 1;
+  const double span = it->first - prev->first;
+  const double t = span > 0.0 ? (u - prev->first) / span : 0.0;
+  return prev->second + t * (it->second - prev->second);
+}
+
+double EmpiricalDistribution::Mean() const {
+  // Trapezoidal integral of the quantile function over [0, 1].
+  double mean = 0.0;
+  for (size_t i = 1; i < quantiles_.size(); ++i) {
+    const double dq = quantiles_[i].first - quantiles_[i - 1].first;
+    mean += 0.5 * dq * (quantiles_[i].second + quantiles_[i - 1].second);
+  }
+  return mean;
+}
+
+}  // namespace silica

@@ -1,0 +1,107 @@
+// Sampling distributions shared by the digital twin and the workload generator.
+//
+// The mechanical distributions in Section 7.1 of the paper are published only as
+// summary statistics (medians, maxima, tails), so EmpiricalDistribution lets a model
+// be specified as a quantile table and samples by inverse-CDF interpolation.
+#ifndef SILICA_COMMON_DISTRIBUTIONS_H_
+#define SILICA_COMMON_DISTRIBUTIONS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace silica {
+
+// Value sampler interface. Implementations must be cheap to copy via Clone.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual double Sample(Rng& rng) const = 0;
+  virtual double Mean() const = 0;
+  virtual std::unique_ptr<Distribution> Clone() const = 0;
+};
+
+class ConstantDistribution final : public Distribution {
+ public:
+  explicit ConstantDistribution(double value) : value_(value) {}
+  double Sample(Rng&) const override { return value_; }
+  double Mean() const override { return value_; }
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<ConstantDistribution>(*this);
+  }
+
+ private:
+  double value_;
+};
+
+class UniformDistribution final : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double Sample(Rng& rng) const override { return rng.Uniform(lo_, hi_); }
+  double Mean() const override { return 0.5 * (lo_ + hi_); }
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<UniformDistribution>(*this);
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+// Normal truncated to [lo, hi] by rejection (clamped after 64 rejections).
+class TruncatedNormalDistribution final : public Distribution {
+ public:
+  TruncatedNormalDistribution(double mean, double stddev, double lo, double hi)
+      : mean_(mean), stddev_(stddev), lo_(lo), hi_(hi) {}
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return mean_; }
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<TruncatedNormalDistribution>(*this);
+  }
+
+ private:
+  double mean_, stddev_, lo_, hi_;
+};
+
+// Log-normal clipped to an optional maximum.
+class LogNormalDistribution final : public Distribution {
+ public:
+  LogNormalDistribution(double mu, double sigma, double max_value = 0.0)
+      : mu_(mu), sigma_(sigma), max_value_(max_value) {}
+
+  // Builds the (mu, sigma) pair whose log-normal has the given median and whose
+  // quantile `q` equals `value_at_q`; convenient when the paper reports
+  // "median 0.6 s, max 2 s" style summaries.
+  static LogNormalDistribution FromMedianAndQuantile(double median, double q,
+                                                     double value_at_q,
+                                                     double max_value = 0.0);
+
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<LogNormalDistribution>(*this);
+  }
+
+ private:
+  double mu_, sigma_, max_value_;
+};
+
+// Inverse-CDF sampler over a piecewise-linear quantile table.
+class EmpiricalDistribution final : public Distribution {
+ public:
+  // `quantiles` maps q in [0,1] -> value, sorted by q, and must include q=0 and q=1.
+  explicit EmpiricalDistribution(std::vector<std::pair<double, double>> quantiles);
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<EmpiricalDistribution>(*this);
+  }
+
+ private:
+  std::vector<std::pair<double, double>> quantiles_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,50 @@
+// Fixed-size worker pool used by the disaggregated decode pipeline (Section 3.2).
+//
+// The production Silica decode stack is a fleet of stateless microservices; the pool is
+// the in-process analogue: jobs are independent sector decodes submitted from the read
+// path, and the pool can be resized between phases to model elastic scaling.
+#ifndef SILICA_COMMON_THREAD_POOL_H_
+#define SILICA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace silica {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a job; the returned future resolves when it completes.
+  std::future<void> Submit(std::function<void()> job);
+
+  // Blocks until every job submitted so far has finished.
+  void Drain();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_COMMON_THREAD_POOL_H_

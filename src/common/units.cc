@@ -1,0 +1,49 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace silica {
+
+std::string FormatBytes(uint64_t bytes) {
+  static constexpr const char* kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 5) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kSuffix[unit]);
+  }
+  return buf;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    return "-" + FormatDuration(-seconds);
+  }
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1e3);
+    return buf;
+  }
+  if (seconds < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+    return buf;
+  }
+  if (seconds < kHour) {
+    int m = static_cast<int>(seconds / kMinute);
+    std::snprintf(buf, sizeof(buf), "%dm %02.0fs", m, seconds - m * kMinute);
+    return buf;
+  }
+  int h = static_cast<int>(seconds / kHour);
+  int m = static_cast<int>((seconds - h * kHour) / kMinute);
+  std::snprintf(buf, sizeof(buf), "%dh %02dm", h, m);
+  return buf;
+}
+
+}  // namespace silica

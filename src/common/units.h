@@ -1,0 +1,45 @@
+// Byte-size and time units used across Silica.
+//
+// All simulated time is carried as double seconds (see sim/simulator.h); this header
+// provides the constants and formatting helpers that keep magic numbers out of the
+// rest of the codebase.
+#ifndef SILICA_COMMON_UNITS_H_
+#define SILICA_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace silica {
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+inline constexpr uint64_t kKB = 1000ull;
+inline constexpr uint64_t kMB = 1000ull * kKB;
+inline constexpr uint64_t kGB = 1000ull * kMB;
+inline constexpr uint64_t kTB = 1000ull * kGB;
+
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+
+// Converts a drive throughput in MB/s into bytes per simulated second.
+constexpr double MBPerSecToBytesPerSec(double mb_per_sec) { return mb_per_sec * 1e6; }
+
+// Time to stream `bytes` at `mb_per_sec` MB/s.
+constexpr double StreamSeconds(uint64_t bytes, double mb_per_sec) {
+  return static_cast<double>(bytes) / MBPerSecToBytesPerSec(mb_per_sec);
+}
+
+// Renders a byte count with a binary-unit suffix, e.g. "3.2 MiB".
+std::string FormatBytes(uint64_t bytes);
+
+// Renders a duration in seconds as "1h 22m 3s" style text.
+std::string FormatDuration(double seconds);
+
+}  // namespace silica
+
+#endif  // SILICA_COMMON_UNITS_H_

@@ -1,0 +1,91 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+namespace silica {
+
+const char* ToString(CostLevel level) {
+  switch (level) {
+    case CostLevel::kLow:
+      return "L";
+    case CostLevel::kMedium:
+      return "M";
+    case CostLevel::kHigh:
+      return "H";
+  }
+  return "?";
+}
+
+MediaTechnology TapeTechnology() {
+  MediaTechnology t;
+  t.name = "tape";
+  t.media_cost_per_tb = 5.0;
+  t.media_manufacturing_kgco2_per_tb = 3.0;  // energy/water-intensive coating
+  t.media_lifetime_years = 10.0;             // ~10-year media lifetime
+  t.scrub_interval_years = 2.0;              // periodic integrity scrubbing
+  t.scrub_cost_per_tb = 0.4;
+  t.environment_cost_per_tb_year = 0.5;      // tightly controlled humidity/temp
+  t.read_drive_cost_per_tb = 1.0;
+  t.write_drive_cost_per_tb = 1.0;
+  t.decode_compute_cost_per_tb = 0.3;
+  return t;
+}
+
+MediaTechnology SilicaTechnology() {
+  MediaTechnology s;
+  s.name = "silica";
+  s.media_cost_per_tb = 1.0;    // sand-sourced, low-cost media
+  s.media_manufacturing_kgco2_per_tb = 0.5;
+  s.media_lifetime_years = 0.0;  // no bit rot for > 1000 years: no refresh cycle
+  s.scrub_interval_years = 0.0;  // no scrubbing required
+  s.scrub_cost_per_tb = 0.0;
+  s.environment_cost_per_tb_year = 0.05;  // standard data center environment
+  s.read_drive_cost_per_tb = 0.5;         // commodity polarization microscopy
+  s.write_drive_cost_per_tb = 3.0;        // femtosecond lasers dominate system cost
+  s.decode_compute_cost_per_tb = 0.4;     // ML inference, time-shiftable
+  return s;
+}
+
+CostBreakdown TotalCostOfOwnership(const MediaTechnology& tech, double tb,
+                                   double years, double reads_per_year_fraction) {
+  CostBreakdown out;
+
+  // Media must be remanufactured (and data rewritten) every media lifetime.
+  const double generations =
+      tech.media_lifetime_years > 0.0
+          ? std::ceil(years / tech.media_lifetime_years)
+          : 1.0;
+  out.media_manufacturing = generations * tech.media_cost_per_tb * tb;
+
+  // Scrubbing reads everything once per interval; environmentals accrue always.
+  double scrubs = 0.0;
+  if (tech.scrub_interval_years > 0.0) {
+    scrubs = std::floor(years / tech.scrub_interval_years);
+  }
+  out.media_maintenance = scrubs * tech.scrub_cost_per_tb * tb +
+                          tech.environment_cost_per_tb_year * tb * years;
+
+  // Drives: ingest happens once per media generation (migration rewrites), reads
+  // follow the customer read rate, decode compute follows reads.
+  const double read_tb = reads_per_year_fraction * tb * years;
+  out.drive_operations = generations * tech.write_drive_cost_per_tb * tb +
+                         tech.read_drive_cost_per_tb * read_tb +
+                         tech.decode_compute_cost_per_tb * read_tb;
+  return out;
+}
+
+std::vector<Table2Row> QualitativeComparison() {
+  return {
+      {"Media manufacturing: financial cost", CostLevel::kHigh, CostLevel::kLow},
+      {"Media manufacturing: environmental impact", CostLevel::kHigh,
+       CostLevel::kLow},
+      {"Media maintenance: scrubbing", CostLevel::kMedium, CostLevel::kLow},
+      {"Media maintenance: DC environmentals", CostLevel::kHigh, CostLevel::kLow},
+      {"Drive operations: read process", CostLevel::kMedium, CostLevel::kLow},
+      {"Drive operations: write process", CostLevel::kMedium, CostLevel::kHigh},
+      {"Drive operations: processing compute", CostLevel::kMedium,
+       CostLevel::kLow},
+  };
+}
+
+}  // namespace silica

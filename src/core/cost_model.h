@@ -1,0 +1,67 @@
+// Cost and sustainability comparison between tape and Silica (Section 9, Table 2).
+//
+// The paper compares the two technologies qualitatively (Low / Medium / High) along
+// media manufacturing, media maintenance, and drive operations. This model backs
+// those ratings with a simple parametric TCO calculation over a data lifetime:
+// media must be remanufactured and data migrated every media-lifetime (tape ~10 y,
+// HDD ~5 y, glass effectively never), scrubbing costs accrue per scrub cycle, and
+// controlled-environment overheads accrue continuously.
+#ifndef SILICA_CORE_COST_MODEL_H_
+#define SILICA_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace silica {
+
+enum class CostLevel { kLow, kMedium, kHigh };
+const char* ToString(CostLevel level);
+
+struct MediaTechnology {
+  std::string name;
+
+  double media_cost_per_tb = 0.0;         // $ per TB of media manufactured
+  double media_manufacturing_kgco2_per_tb = 0.0;
+  double media_lifetime_years = 0.0;      // 0 = unlimited (no refresh cycle)
+
+  double scrub_interval_years = 0.0;      // 0 = never scrubbed
+  double scrub_cost_per_tb = 0.0;         // energy+drive-time $ per TB per scrub
+
+  double environment_cost_per_tb_year = 0.0;  // controlled environment overhead
+
+  double read_drive_cost_per_tb = 0.0;    // amortized per TB served
+  double write_drive_cost_per_tb = 0.0;   // amortized per TB ingested
+  double decode_compute_cost_per_tb = 0.0;
+};
+
+// Paper-aligned default parameterizations.
+MediaTechnology TapeTechnology();
+MediaTechnology SilicaTechnology();
+
+struct CostBreakdown {
+  double media_manufacturing = 0.0;
+  double media_maintenance = 0.0;   // scrubbing + environmentals
+  double drive_operations = 0.0;    // read + write + processing
+  double total() const {
+    return media_manufacturing + media_maintenance + drive_operations;
+  }
+};
+
+// Total cost (relative $ units) of storing `tb` terabytes for `years` years with
+// `read_fraction` of the data read per year.
+CostBreakdown TotalCostOfOwnership(const MediaTechnology& tech, double tb,
+                                   double years, double reads_per_year_fraction);
+
+// Qualitative Table 2 row: classifies each aspect of a technology relative to the
+// other (the paper's L/M/H ratings).
+struct Table2Row {
+  std::string aspect;
+  CostLevel tape;
+  CostLevel silica;
+};
+std::vector<Table2Row> QualitativeComparison();
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_COST_MODEL_H_

@@ -1,0 +1,521 @@
+#include "core/data_pipeline.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace silica {
+namespace {
+
+// Payload bytes <-> GF(2^16) shard words (little endian, zero-padded to even).
+std::vector<uint16_t> BytesToWords(std::span<const uint8_t> bytes) {
+  std::vector<uint16_t> words((bytes.size() + 1) / 2, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    words[i / 2] |= static_cast<uint16_t>(bytes[i]) << (8 * (i % 2));
+  }
+  return words;
+}
+
+std::vector<uint8_t> WordsToBytes(std::span<const uint16_t> words, size_t byte_len) {
+  std::vector<uint8_t> bytes(byte_len);
+  for (size_t i = 0; i < byte_len; ++i) {
+    bytes[i] = static_cast<uint8_t>(words[i / 2] >> (8 * (i % 2)));
+  }
+  return bytes;
+}
+
+// Reconstructs the analog written state from stored symbols (missing voxels carry
+// the kMissingVoxel sentinel).
+AnalogSector BuildAnalog(const Constellation& constellation,
+                         std::span<const uint16_t> symbols, int rows, int cols) {
+  AnalogSector sector;
+  sector.rows = rows;
+  sector.cols = cols;
+  sector.voxels.resize(symbols.size());
+  sector.missing.assign(symbols.size(), 0);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i] == kMissingVoxel) {
+      sector.missing[i] = 1;
+      sector.voxels[i] = VoxelObservable{0.0, 0.0};
+    } else {
+      sector.voxels[i] = constellation.Point(symbols[i]);
+    }
+  }
+  return sector;
+}
+
+}  // namespace
+
+DataPlane::DataPlane(DataPlaneConfig config)
+    : config_(config),
+      constellation_(config.geometry.bits_per_voxel),
+      sector_codec_(config.geometry, config.code_seed),
+      write_channel_(constellation_, config.write_channel),
+      read_channel_(config.read_channel),
+      soft_decoder_(constellation_, config.read_channel, config.decoder),
+      track_codec_(static_cast<size_t>(config.geometry.info_sectors_per_track),
+                   static_cast<size_t>(config.geometry.redundancy_sectors_per_track)),
+      large_codec_(static_cast<size_t>(config.geometry.large_group_info_tracks),
+                   static_cast<size_t>(config.geometry.large_group_redundancy_tracks)) {}
+
+WrittenPlatter PlatterWriter::WritePlatter(uint64_t platter_id,
+                                           const std::vector<FileData>& files,
+                                           Rng& rng) const {
+  const MediaGeometry& g = plane_->geometry();
+  const size_t payload_bytes = plane_->sector_payload_bytes();
+  const size_t info_sectors = static_cast<size_t>(g.info_sectors_per_track);
+  const size_t sectors = static_cast<size_t>(g.sectors_per_track());
+  const size_t info_tracks = static_cast<size_t>(g.info_tracks_per_platter);
+  const size_t all_tracks = static_cast<size_t>(g.tracks_per_platter());
+
+  WrittenPlatter out{GlassPlatter(g, platter_id), {}};
+  auto& payloads = out.payloads;
+  payloads.assign(all_tracks, std::vector<std::vector<uint8_t>>(
+                                  sectors, std::vector<uint8_t>(payload_bytes, 0)));
+
+  // 1. Pack files into information sectors, serpentine order.
+  PlatterHeader header;
+  header.platter_id = platter_id;
+  uint64_t cursor = 0;  // serpentine information-sector index
+  const uint64_t capacity = info_tracks * info_sectors;
+  for (const auto& file : files) {
+    const uint64_t need =
+        std::max<uint64_t>(1, (file.bytes.size() + payload_bytes - 1) / payload_bytes);
+    if (cursor + need > capacity) {
+      throw std::invalid_argument("PlatterWriter: files exceed platter capacity");
+    }
+    header.files.push_back(PlatterFileEntry{
+        .file_id = file.file_id,
+        .name = file.name,
+        .start_sector_index = cursor,
+        .size_bytes = file.bytes.size(),
+    });
+    for (uint64_t s = 0; s < need; ++s) {
+      const SectorAddress addr = SerpentineSectorAddress(g, cursor + s);
+      auto& payload = payloads[static_cast<size_t>(addr.track)]
+                              [static_cast<size_t>(addr.sector)];
+      const size_t offset = static_cast<size_t>(s) * payload_bytes;
+      const size_t len = std::min(payload_bytes, file.bytes.size() - offset);
+      std::copy_n(file.bytes.begin() + static_cast<long>(offset), len,
+                  payload.begin());
+    }
+    cursor += need;
+  }
+
+  // 2. Within-track NC for every information track.
+  const NetworkCodec& track_codec = plane_->track_codec();
+  for (size_t t = 0; t < info_tracks; ++t) {
+    std::vector<std::span<const uint8_t>> info;
+    std::vector<std::span<uint8_t>> redundancy;
+    for (size_t s = 0; s < info_sectors; ++s) {
+      info.emplace_back(payloads[t][s]);
+    }
+    for (size_t s = info_sectors; s < sectors; ++s) {
+      redundancy.emplace_back(payloads[t][s]);
+    }
+    track_codec.Encode(info, redundancy);
+  }
+
+  // 3. Large-group NC across tracks, one group per I_l information tracks,
+  // protecting every sector position (short final groups pad with zero tracks).
+  const NetworkCodec& large = plane_->large_group_codec();
+  const size_t group_info = static_cast<size_t>(g.large_group_info_tracks);
+  const size_t group_red = static_cast<size_t>(g.large_group_redundancy_tracks);
+  const size_t groups = (info_tracks + group_info - 1) / group_info;
+  const std::vector<uint8_t> zero_payload(payload_bytes, 0);
+  for (size_t grp = 0; grp < groups; ++grp) {
+    for (size_t pos = 0; pos < sectors; ++pos) {
+      std::vector<std::span<const uint8_t>> info;
+      for (size_t i = 0; i < group_info; ++i) {
+        const size_t t = grp * group_info + i;
+        info.emplace_back(t < info_tracks ? std::span<const uint8_t>(payloads[t][pos])
+                                          : std::span<const uint8_t>(zero_payload));
+      }
+      std::vector<std::span<uint8_t>> redundancy;
+      for (size_t r = 0; r < group_red; ++r) {
+        const size_t t = info_tracks + grp * group_red + r;
+        redundancy.emplace_back(payloads[t][pos]);
+      }
+      large.Encode(info, redundancy);
+    }
+  }
+
+  // 4. Encode every sector through LDPC and the write channel onto the glass.
+  for (size_t t = 0; t < all_tracks; ++t) {
+    for (size_t s = 0; s < sectors; ++s) {
+      auto symbols = plane_->sector_codec().EncodeSector(payloads[t][s]);
+      const auto analog = plane_->write_channel().WriteSector(
+          symbols, g.sector_rows, g.sector_cols, rng);
+      for (size_t v = 0; v < symbols.size(); ++v) {
+        if (analog.missing[v]) {
+          symbols[v] = kMissingVoxel;
+        }
+      }
+      out.platter.WriteSector(
+          SectorAddress{static_cast<int>(t), static_cast<int>(s)},
+          std::move(symbols));
+    }
+  }
+  out.platter.SetHeader(std::move(header));
+  out.platter.Seal();
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> PlatterReader::DecodeSector(
+    const GlassPlatter& platter, SectorAddress address, Rng& rng) const {
+  const MediaGeometry& g = plane_->geometry();
+  const auto symbols = platter.SectorSymbols(address);
+  const auto analog =
+      BuildAnalog(plane_->constellation(), symbols, g.sector_rows, g.sector_cols);
+  const auto measured = plane_->read_channel().ReadSector(analog, rng);
+  const auto posteriors = plane_->soft_decoder().Decode(measured);
+  return plane_->sector_codec().DecodeSector(posteriors, plane_->soft_decoder());
+}
+
+std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayloads(
+    const GlassPlatter& platter, int track, Rng& rng, ReadStats* stats) const {
+  const MediaGeometry& g = plane_->geometry();
+  const size_t sectors = static_cast<size_t>(g.sectors_per_track());
+  const size_t info_sectors = static_cast<size_t>(g.info_sectors_per_track);
+
+  std::vector<std::optional<std::vector<uint8_t>>> decoded(sectors);
+  for (size_t s = 0; s < sectors; ++s) {
+    decoded[s] = DecodeSector(platter, {track, static_cast<int>(s)}, rng);
+    if (stats != nullptr) {
+      ++stats->sectors_read;
+      if (!decoded[s]) {
+        ++stats->ldpc_failures;
+      }
+    }
+  }
+
+  // Within-track recovery of missing information sectors.
+  std::vector<size_t> missing;
+  for (size_t s = 0; s < info_sectors; ++s) {
+    if (!decoded[s]) {
+      missing.push_back(s);
+    }
+  }
+  if (!missing.empty()) {
+    std::vector<size_t> present_indices;
+    std::vector<std::span<const uint8_t>> present;
+    for (size_t s = 0; s < sectors; ++s) {
+      if (decoded[s]) {
+        present_indices.push_back(s);
+        present.emplace_back(*decoded[s]);
+      }
+    }
+    std::vector<std::vector<uint8_t>> recovered(
+        missing.size(), std::vector<uint8_t>(plane_->sector_payload_bytes()));
+    std::vector<std::span<uint8_t>> recovered_views;
+    for (auto& r : recovered) {
+      recovered_views.emplace_back(r);
+    }
+    if (plane_->track_codec().Reconstruct(present_indices, present, missing,
+                                          recovered_views)) {
+      for (size_t m = 0; m < missing.size(); ++m) {
+        decoded[missing[m]] = std::move(recovered[m]);
+        if (stats != nullptr) {
+          ++stats->track_nc_recoveries;
+        }
+      }
+      missing.clear();
+    }
+  }
+
+  // Large-group recovery across tracks for anything still missing (only
+  // information tracks belong to large groups).
+  if (!missing.empty() && track < g.info_tracks_per_platter) {
+    if (stats != nullptr) {
+      stats->used_large_group = true;
+    }
+    const size_t group_info = static_cast<size_t>(g.large_group_info_tracks);
+    const size_t group_red = static_cast<size_t>(g.large_group_redundancy_tracks);
+    const size_t info_tracks = static_cast<size_t>(g.info_tracks_per_platter);
+    const size_t grp = static_cast<size_t>(track) / group_info;
+    const size_t my_offset = static_cast<size_t>(track) % group_info;
+    const std::vector<uint8_t> zero_payload(plane_->sector_payload_bytes(), 0);
+
+    std::vector<size_t> still_missing;
+    for (size_t pos : missing) {
+      // Gather the group's shards at this sector position.
+      std::vector<size_t> present_indices;
+      std::vector<std::vector<uint8_t>> present_storage;
+      for (size_t i = 0; i < group_info; ++i) {
+        if (i == my_offset) {
+          continue;
+        }
+        const size_t t = grp * group_info + i;
+        if (t >= info_tracks) {
+          present_indices.push_back(i);
+          present_storage.push_back(zero_payload);  // padded short group
+          continue;
+        }
+        auto shard = DecodeSector(platter, {static_cast<int>(t),
+                                            static_cast<int>(pos)}, rng);
+        if (shard) {
+          present_indices.push_back(i);
+          present_storage.push_back(std::move(*shard));
+        }
+      }
+      for (size_t r = 0; r < group_red; ++r) {
+        const size_t t = info_tracks + grp * group_red + r;
+        auto shard = DecodeSector(platter, {static_cast<int>(t),
+                                            static_cast<int>(pos)}, rng);
+        if (shard) {
+          present_indices.push_back(group_info + r);
+          present_storage.push_back(std::move(*shard));
+        }
+      }
+      std::vector<std::span<const uint8_t>> present;
+      for (auto& p : present_storage) {
+        present.emplace_back(p);
+      }
+      std::vector<uint8_t> recovered(plane_->sector_payload_bytes());
+      std::span<uint8_t> recovered_view(recovered);
+      const std::vector<size_t> want = {my_offset};
+      if (plane_->large_group_codec().Reconstruct(
+              present_indices, present, want,
+              std::span<const std::span<uint8_t>>(&recovered_view, 1))) {
+        decoded[pos] = std::move(recovered);
+        if (stats != nullptr) {
+          ++stats->large_nc_recoveries;
+        }
+      } else {
+        still_missing.push_back(pos);
+      }
+    }
+    missing = std::move(still_missing);
+  }
+  return decoded;
+}
+
+std::optional<std::vector<uint8_t>> PlatterReader::ReadFile(
+    const GlassPlatter& platter, const PlatterFileEntry& entry, Rng& rng,
+    ReadStats* stats) const {
+  const MediaGeometry& g = plane_->geometry();
+  const size_t payload_bytes = plane_->sector_payload_bytes();
+  const uint64_t need =
+      std::max<uint64_t>(1, (entry.size_bytes + payload_bytes - 1) / payload_bytes);
+
+  std::unordered_map<int, std::vector<std::optional<std::vector<uint8_t>>>> tracks;
+  std::vector<uint8_t> out;
+  out.reserve(entry.size_bytes);
+  for (uint64_t s = 0; s < need; ++s) {
+    const SectorAddress addr =
+        SerpentineSectorAddress(g, entry.start_sector_index + s);
+    auto it = tracks.find(addr.track);
+    if (it == tracks.end()) {
+      it = tracks.emplace(addr.track,
+                          ReadTrackPayloads(platter, addr.track, rng, stats))
+               .first;
+    }
+    const auto& payload = it->second[static_cast<size_t>(addr.sector)];
+    if (!payload) {
+      return std::nullopt;  // unrecoverable on-platter
+    }
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(payload_bytes, entry.size_bytes - s * payload_bytes));
+    out.insert(out.end(), payload->begin(), payload->begin() + static_cast<long>(want));
+  }
+  return out;
+}
+
+VerifyReport PlatterVerifier::Verify(const GlassPlatter& platter, Rng& rng) const {
+  const MediaGeometry& g = plane_->geometry();
+  PlatterReader reader(*plane_);
+  VerifyReport report;
+  for (int t = 0; t < g.tracks_per_platter(); ++t) {
+    ReadStats stats;
+    const auto decoded = reader.ReadTrackPayloads(platter, t, rng, &stats);
+    report.sectors_total += stats.sectors_read;
+    report.sector_erasures += stats.ldpc_failures;
+    for (const auto& payload : decoded) {
+      if (!payload) {
+        ++report.unrecoverable_sectors;
+      }
+    }
+  }
+  report.durable = report.unrecoverable_sectors == 0;
+  return report;
+}
+
+PlatterSetCodec::PlatterSetCodec(const DataPlane& plane, PlatterSetConfig set)
+    : plane_(&plane),
+      set_(set),
+      codec_(static_cast<size_t>(set.info) *
+                 static_cast<size_t>(plane.geometry().sectors_per_track()),
+             static_cast<size_t>(set.redundancy) *
+                 static_cast<size_t>(plane.geometry().sectors_per_track())) {}
+
+std::vector<WrittenPlatter> PlatterSetCodec::EncodeRedundancyPlatters(
+    const std::vector<const WrittenPlatter*>& info_platters, uint64_t first_id,
+    Rng& rng) const {
+  const MediaGeometry& g = plane_->geometry();
+  if (info_platters.size() != static_cast<size_t>(set_.info)) {
+    throw std::invalid_argument("PlatterSetCodec: wrong information platter count");
+  }
+  const size_t sectors = static_cast<size_t>(g.sectors_per_track());
+  const size_t all_tracks = static_cast<size_t>(g.tracks_per_platter());
+  const size_t payload_bytes = plane_->sector_payload_bytes();
+  const size_t words = (payload_bytes + 1) / 2;
+
+  std::vector<WrittenPlatter> out;
+  out.reserve(static_cast<size_t>(set_.redundancy));
+  for (int r = 0; r < set_.redundancy; ++r) {
+    WrittenPlatter wp{GlassPlatter(g, first_id + static_cast<uint64_t>(r)), {}};
+    wp.payloads.assign(all_tracks,
+                       std::vector<std::vector<uint8_t>>(
+                           sectors, std::vector<uint8_t>(payload_bytes, 0)));
+    out.push_back(std::move(wp));
+  }
+
+  // One GF(2^16) group per track: all sectors of that track across the set.
+  std::vector<std::vector<uint16_t>> red_words(
+      static_cast<size_t>(set_.redundancy) * sectors);
+  for (size_t t = 0; t < all_tracks; ++t) {
+    for (auto& w : red_words) {
+      w.assign(words, 0);
+    }
+    std::vector<std::span<uint16_t>> red_views(red_words.size());
+    for (size_t i = 0; i < red_words.size(); ++i) {
+      red_views[i] = red_words[i];
+    }
+    for (size_t p = 0; p < info_platters.size(); ++p) {
+      for (size_t s = 0; s < sectors; ++s) {
+        const auto shard = BytesToWords(info_platters[p]->payloads[t][s]);
+        codec_.EncodeAccumulate(p * sectors + s, shard, red_views);
+      }
+    }
+    for (int r = 0; r < set_.redundancy; ++r) {
+      for (size_t s = 0; s < sectors; ++s) {
+        out[static_cast<size_t>(r)].payloads[t][s] = WordsToBytes(
+            red_words[static_cast<size_t>(r) * sectors + s], payload_bytes);
+      }
+    }
+  }
+
+  // Write the redundancy platters to glass.
+  for (int r = 0; r < set_.redundancy; ++r) {
+    auto& wp = out[static_cast<size_t>(r)];
+    PlatterHeader header;
+    header.platter_id = first_id + static_cast<uint64_t>(r);
+    wp.platter.SetHeader(header);
+    for (size_t t = 0; t < all_tracks; ++t) {
+      for (size_t s = 0; s < sectors; ++s) {
+        auto symbols = plane_->sector_codec().EncodeSector(wp.payloads[t][s]);
+        const auto analog = plane_->write_channel().WriteSector(
+            symbols, g.sector_rows, g.sector_cols, rng);
+        for (size_t v = 0; v < symbols.size(); ++v) {
+          if (analog.missing[v]) {
+            symbols[v] = kMissingVoxel;
+          }
+        }
+        wp.platter.WriteSector(SectorAddress{static_cast<int>(t),
+                                             static_cast<int>(s)},
+                               std::move(symbols));
+      }
+    }
+    wp.platter.Seal();
+  }
+  return out;
+}
+
+std::optional<std::vector<std::vector<uint8_t>>> PlatterSetCodec::AllTrackPayloads(
+    const GlassPlatter& platter, int track, Rng& rng) const {
+  PlatterReader reader(*plane_);
+  auto decoded = reader.ReadTrackPayloads(platter, track, rng, nullptr);
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(decoded.size());
+  for (auto& payload : decoded) {
+    if (!payload) {
+      return std::nullopt;
+    }
+    out.push_back(std::move(*payload));
+  }
+  return out;
+}
+
+std::optional<std::vector<std::vector<uint8_t>>> PlatterSetCodec::RecoverTrack(
+    const std::vector<const GlassPlatter*>& available_info,
+    const std::vector<size_t>& available_info_indices,
+    const std::vector<const GlassPlatter*>& available_redundancy,
+    const std::vector<size_t>& available_redundancy_indices,
+    size_t missing_info_index, int track, Rng& rng) const {
+  const MediaGeometry& g = plane_->geometry();
+  const size_t sectors = static_cast<size_t>(g.sectors_per_track());
+  const size_t payload_bytes = plane_->sector_payload_bytes();
+  const size_t words = (payload_bytes + 1) / 2;
+
+  // Assemble the group's information shards; the missing platter's shards (and any
+  // unavailable platters') are the unknowns.
+  std::vector<std::vector<uint16_t>> info_words(
+      static_cast<size_t>(set_.info) * sectors, std::vector<uint16_t>(words, 0));
+  std::vector<uint8_t> have(static_cast<size_t>(set_.info), 0);
+  for (size_t i = 0; i < available_info.size(); ++i) {
+    const size_t p = available_info_indices[i];
+    auto payloads = AllTrackPayloads(*available_info[i], track, rng);
+    if (!payloads) {
+      continue;  // platter unreadable at this track; treat as missing
+    }
+    for (size_t s = 0; s < sectors; ++s) {
+      info_words[p * sectors + s] = BytesToWords((*payloads)[s]);
+    }
+    have[p] = 1;
+  }
+
+  std::vector<size_t> missing;
+  for (size_t p = 0; p < static_cast<size_t>(set_.info); ++p) {
+    if (!have[p]) {
+      for (size_t s = 0; s < sectors; ++s) {
+        missing.push_back(p * sectors + s);
+      }
+    }
+  }
+  if (have[missing_info_index]) {
+    return std::nullopt;  // caller error: the "missing" platter was provided
+  }
+
+  // Decode surviving redundancy shards.
+  std::vector<size_t> red_indices;
+  std::vector<std::vector<uint16_t>> red_words;
+  for (size_t i = 0; i < available_redundancy.size(); ++i) {
+    const size_t r = available_redundancy_indices[i];
+    auto payloads = AllTrackPayloads(*available_redundancy[i], track, rng);
+    if (!payloads) {
+      continue;
+    }
+    for (size_t s = 0; s < sectors; ++s) {
+      red_indices.push_back(r * sectors + s);
+      red_words.push_back(BytesToWords((*payloads)[s]));
+    }
+  }
+  if (red_indices.size() < missing.size()) {
+    return std::nullopt;  // set lost beyond R_p tolerance
+  }
+  // Use only as many redundancy shards as unknowns (square system).
+  red_indices.resize(missing.size());
+  red_words.resize(missing.size());
+
+  std::vector<std::span<uint16_t>> info_views(info_words.size());
+  for (size_t i = 0; i < info_words.size(); ++i) {
+    info_views[i] = info_words[i];
+  }
+  std::vector<std::span<const uint16_t>> red_views(red_words.size());
+  for (size_t i = 0; i < red_words.size(); ++i) {
+    red_views[i] = red_words[i];
+  }
+  if (!codec_.RecoverInfo(info_views, missing, red_indices, red_views)) {
+    return std::nullopt;
+  }
+
+  std::vector<std::vector<uint8_t>> out(sectors);
+  for (size_t s = 0; s < sectors; ++s) {
+    out[s] = WordsToBytes(info_words[missing_info_index * sectors + s],
+                          payload_bytes);
+  }
+  return out;
+}
+
+}  // namespace silica

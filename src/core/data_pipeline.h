@@ -1,0 +1,201 @@
+// The end-to-end data plane: write pipeline, verification, read pipeline, and the
+// cross-platter platter-set codec (Sections 3, 5, 6).
+//
+// Write path:  files -> packed sector payloads (serpentine order) -> within-track NC
+// redundancy sectors -> large-group NC redundancy tracks -> per-sector LDPC + CRC ->
+// voxel symbols -> write channel -> glass platter (+ self-descriptive header).
+//
+// Read path:   read drive images the track -> soft decoder posteriors -> LDPC;
+// sectors that fail LDPC/CRC become erasures recovered by within-track NC, then by
+// the large group across tracks. Platter unavailability is handled by the
+// platter-set codec (any 16 of 19 platters reconstruct a missing platter's track).
+//
+// Verification: a freshly written platter is fully read with the *read* technology
+// before the staged data is deleted; per-sector outcomes decide durability.
+#ifndef SILICA_CORE_DATA_PIPELINE_H_
+#define SILICA_CORE_DATA_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "channel/sector_codec.h"
+#include "channel/soft_decoder.h"
+#include "common/rng.h"
+#include "core/layout.h"
+#include "ecc/large_group_codec.h"
+#include "ecc/network_coding.h"
+#include "media/platter.h"
+
+namespace silica {
+
+struct DataPlaneConfig {
+  MediaGeometry geometry = MediaGeometry::DataPlaneScale();
+  WriteChannelParams write_channel;
+  ReadChannelParams read_channel;
+  SoftDecoderParams decoder;
+  uint64_t code_seed = 7;
+};
+
+struct FileData {
+  uint64_t file_id = 0;
+  std::string name;
+  std::vector<uint8_t> bytes;
+};
+
+// Shared codecs and channel models; build once, use for many platters.
+class DataPlane {
+ public:
+  explicit DataPlane(DataPlaneConfig config);
+
+  const MediaGeometry& geometry() const { return config_.geometry; }
+  const SectorCodec& sector_codec() const { return sector_codec_; }
+  const Constellation& constellation() const { return constellation_; }
+  const WriteChannel& write_channel() const { return write_channel_; }
+  const ReadChannel& read_channel() const { return read_channel_; }
+  const SoftDecoder& soft_decoder() const { return soft_decoder_; }
+  const NetworkCodec& track_codec() const { return track_codec_; }
+  const NetworkCodec& large_group_codec() const { return large_codec_; }
+
+  size_t sector_payload_bytes() const { return sector_codec_.payload_bytes(); }
+
+ private:
+  DataPlaneConfig config_;
+  Constellation constellation_;
+  SectorCodec sector_codec_;
+  WriteChannel write_channel_;
+  ReadChannel read_channel_;
+  SoftDecoder soft_decoder_;
+  NetworkCodec track_codec_;  // within-track: I_t + R_t sectors
+  NetworkCodec large_codec_;  // across tracks: I_l + R_l tracks per sector position
+};
+
+// A written platter plus the pre-channel payload grid the write pipeline produced
+// (the staged source data; kept until verification passes, and used to build the
+// cross-platter redundancy platters of the set).
+struct WrittenPlatter {
+  GlassPlatter platter;
+  // payloads[track][sector] — every sector payload, including redundancy sectors.
+  std::vector<std::vector<std::vector<uint8_t>>> payloads;
+};
+
+// Sentinel symbol marking a voxel that failed to form during writing.
+inline constexpr uint16_t kMissingVoxel = 0xFFFF;
+
+// Writes platters through the write channel.
+class PlatterWriter {
+ public:
+  explicit PlatterWriter(const DataPlane& plane) : plane_(&plane) {}
+
+  // Packs the files in order into one platter (throws if they do not fit),
+  // computes all on-platter redundancy, writes every sector, seals the header.
+  // `rng` drives write-channel noise.
+  WrittenPlatter WritePlatter(uint64_t platter_id, const std::vector<FileData>& files,
+                              Rng& rng) const;
+
+ private:
+  const DataPlane* plane_;
+};
+
+struct ReadStats {
+  uint64_t sectors_read = 0;
+  uint64_t ldpc_failures = 0;          // sectors that became erasures
+  uint64_t track_nc_recoveries = 0;    // sectors recovered by within-track NC
+  uint64_t large_nc_recoveries = 0;    // sectors recovered by the large group
+  bool used_large_group = false;
+};
+
+// Reads platters through the read channel + decode stack, applying the recovery
+// hierarchy.
+class PlatterReader {
+ public:
+  explicit PlatterReader(const DataPlane& plane) : plane_(&plane) {}
+
+  // Reads a file listed in the platter header. Returns nullopt only if the data is
+  // unrecoverable by all on-platter layers.
+  std::optional<std::vector<uint8_t>> ReadFile(const GlassPlatter& platter,
+                                               const PlatterFileEntry& entry,
+                                               Rng& rng,
+                                               ReadStats* stats = nullptr) const;
+
+  // Decodes every information-sector payload of a track, recovering erasures with
+  // within-track NC. Entries that stay unrecoverable are nullopt.
+  std::vector<std::optional<std::vector<uint8_t>>> ReadTrackPayloads(
+      const GlassPlatter& platter, int track, Rng& rng,
+      ReadStats* stats = nullptr) const;
+
+ private:
+  // Raw per-sector decode attempt (LDPC + checksum), no NC.
+  std::optional<std::vector<uint8_t>> DecodeSector(const GlassPlatter& platter,
+                                                   SectorAddress address,
+                                                   Rng& rng) const;
+
+  friend class PlatterVerifier;
+  const DataPlane* plane_;
+};
+
+struct VerifyReport {
+  uint64_t sectors_total = 0;
+  uint64_t sector_erasures = 0;        // LDPC/CRC failures on first read
+  uint64_t unrecoverable_sectors = 0;  // beyond all on-platter NC layers
+  bool durable = false;                // platter acceptable; staged data deletable
+  double sector_failure_rate() const {
+    return sectors_total
+               ? static_cast<double>(sector_erasures) / static_cast<double>(sectors_total)
+               : 0.0;
+  }
+};
+
+// Full-platter verification with the read technology (Section 3.1).
+class PlatterVerifier {
+ public:
+  explicit PlatterVerifier(const DataPlane& plane) : plane_(&plane) {}
+
+  VerifyReport Verify(const GlassPlatter& platter, Rng& rng) const;
+
+ private:
+  const DataPlane* plane_;
+};
+
+// Cross-platter network coding over a platter-set (GF(2^16) groups spanning all
+// sectors of one track per platter — "significantly stronger than simply grouping
+// matching sectors").
+class PlatterSetCodec {
+ public:
+  PlatterSetCodec(const DataPlane& plane, PlatterSetConfig set);
+
+  // Builds the R_p redundancy platters for a set of I_p written information
+  // platters. Redundancy platters get their own channel write (and can be
+  // verified/read like any platter).
+  std::vector<WrittenPlatter> EncodeRedundancyPlatters(
+      const std::vector<const WrittenPlatter*>& info_platters, uint64_t first_id,
+      Rng& rng) const;
+
+  // Reconstructs the information-sector payloads of `track` on the missing platter
+  // (identified by its index in the set, 0-based among information platters) from
+  // the other platters. Requires at least I_p readable platters among the rest.
+  std::optional<std::vector<std::vector<uint8_t>>> RecoverTrack(
+      const std::vector<const GlassPlatter*>& available_info,
+      const std::vector<size_t>& available_info_indices,
+      const std::vector<const GlassPlatter*>& available_redundancy,
+      const std::vector<size_t>& available_redundancy_indices,
+      size_t missing_info_index, int track, Rng& rng) const;
+
+  const LargeGroupCodec& group_codec() const { return codec_; }
+
+ private:
+  // Payload of every sector (info + within-track redundancy) of a track, decoded.
+  std::optional<std::vector<std::vector<uint8_t>>> AllTrackPayloads(
+      const GlassPlatter& platter, int track, Rng& rng) const;
+
+  const DataPlane* plane_;
+  PlatterSetConfig set_;
+  LargeGroupCodec codec_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_DATA_PIPELINE_H_

@@ -1,0 +1,62 @@
+#include "core/deployment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace silica {
+
+double DeploymentResult::LoadImbalance() const {
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (uint64_t b : bytes_per_library) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  return lo > 0 ? static_cast<double>(hi) / static_cast<double>(lo)
+                : static_cast<double>(hi);
+}
+
+PlatterRoute RoutePlatter(uint64_t global_platter, const DeploymentConfig& config) {
+  const auto libraries = static_cast<uint64_t>(config.num_libraries);
+  const uint64_t per_library = config.library.num_info_platters;
+  PlatterRoute route;
+  if (config.spread == PlatterSpread::kSpread) {
+    route.library = static_cast<int>(global_platter % libraries);
+    route.local_platter = (global_platter / libraries) % per_library;
+  } else {
+    route.library = static_cast<int>((global_platter / per_library) % libraries);
+    route.local_platter = global_platter % per_library;
+  }
+  return route;
+}
+
+DeploymentResult SimulateDeployment(const DeploymentConfig& config,
+                                    const ReadTrace& trace) {
+  if (config.num_libraries < 1) {
+    throw std::invalid_argument("SimulateDeployment: need at least one library");
+  }
+  std::vector<ReadTrace> local(static_cast<size_t>(config.num_libraries));
+  DeploymentResult result;
+  result.bytes_per_library.assign(static_cast<size_t>(config.num_libraries), 0);
+
+  for (const auto& request : trace) {
+    const auto route = RoutePlatter(request.platter, config);
+    ReadRequest local_request = request;
+    local_request.platter = route.local_platter;
+    local[static_cast<size_t>(route.library)].push_back(local_request);
+    result.bytes_per_library[static_cast<size_t>(route.library)] += request.bytes;
+    ++result.requests_total;
+  }
+
+  for (int lib = 0; lib < config.num_libraries; ++lib) {
+    auto library_config = config.library;
+    library_config.seed = config.library.seed + static_cast<uint64_t>(lib);
+    const auto lib_result =
+        SimulateLibrary(library_config, local[static_cast<size_t>(lib)]);
+    result.completion_times.Merge(lib_result.completion_times);
+    result.utilization_per_library.push_back(lib_result.DriveUtilization());
+  }
+  return result;
+}
+
+}  // namespace silica

@@ -1,0 +1,56 @@
+// Multi-library deployments (Section 6, "Placement of platters within a
+// deployment").
+//
+// A deployment is several independent libraries (MDUs) that share no drives or
+// shuttles. Platter-sets are spread across libraries as much as possible — besides
+// robustness, this load-balances reads: because files read together live in the
+// same platter-set, spreading the set spreads their traffic. The packed placement
+// (related platters colocated in one library) is the baseline that shows why.
+#ifndef SILICA_CORE_DEPLOYMENT_H_
+#define SILICA_CORE_DEPLOYMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/library_sim.h"
+
+namespace silica {
+
+enum class PlatterSpread {
+  kSpread,  // Silica: platter g lives in library g % L (sets span libraries)
+  kPacked,  // baseline: consecutive (related) platters colocate in one library
+};
+
+struct DeploymentConfig {
+  int num_libraries = 3;
+  PlatterSpread spread = PlatterSpread::kSpread;
+  LibrarySimConfig library;  // per-library configuration (platter count is per
+                             // library; the deployment holds L times as many)
+};
+
+struct DeploymentResult {
+  PercentileTracker completion_times;  // merged across libraries
+  std::vector<uint64_t> bytes_per_library;
+  std::vector<double> utilization_per_library;
+  uint64_t requests_total = 0;
+
+  // Max/min of per-library read bytes; 1.0 is perfectly balanced.
+  double LoadImbalance() const;
+};
+
+// Maps a deployment-global platter id to (library, local platter id).
+struct PlatterRoute {
+  int library = 0;
+  uint64_t local_platter = 0;
+};
+PlatterRoute RoutePlatter(uint64_t global_platter, const DeploymentConfig& config);
+
+// Splits a deployment-global trace into per-library traces and simulates each
+// library independently (they share nothing), merging the results.
+DeploymentResult SimulateDeployment(const DeploymentConfig& config,
+                                    const ReadTrace& trace);
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_DEPLOYMENT_H_

@@ -1,0 +1,180 @@
+#include "core/layout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+
+int BlastZoneModel::MaxPerRack(int shelves) const {
+  // Platters of one set in a rack must sit at pairwise shelf distance
+  // >= zone_height: shelves 0, H, 2H, ... fit.
+  if (zone_height <= 0) {
+    return shelves;
+  }
+  return (shelves - 1) / zone_height + 1;
+}
+
+int MinStorageRacks(const PlatterSetConfig& set, int shelves,
+                    const BlastZoneModel& zones, int design_minimum) {
+  const int per_rack = zones.MaxPerRack(shelves);
+  const int racks =
+      (set.set_size() + per_rack - 1) / per_rack;  // ceil(set size / per-rack cap)
+  return std::max(design_minimum, racks);
+}
+
+PlatterPlacer::PlatterPlacer(const LibraryConfig& config, BlastZoneModel zones)
+    : config_(config), zones_(zones) {
+  occupancy_.assign(static_cast<size_t>(config_.storage_racks),
+                    std::vector<int>(static_cast<size_t>(config_.shelves), 0));
+  next_slot_ = occupancy_;
+}
+
+uint64_t PlatterPlacer::capacity() const {
+  return static_cast<uint64_t>(config_.storage_slots());
+}
+
+bool PlatterPlacer::ValidatePlacement(const std::vector<SlotAddress>& set_slots,
+                                      const BlastZoneModel& zones) {
+  for (size_t a = 0; a < set_slots.size(); ++a) {
+    for (size_t b = a + 1; b < set_slots.size(); ++b) {
+      if (set_slots[a].rack == set_slots[b].rack &&
+          zones.Conflicts(set_slots[a].shelf, set_slots[b].shelf)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<SlotAddress>> PlatterPlacer::PlaceSet(
+    const PlatterSetConfig& set) {
+  // Greedy: for each platter pick the least-occupied (rack, shelf) compatible with
+  // the set's already-placed platters, spreading the set across the library.
+  std::vector<SlotAddress> placed;
+  placed.reserve(static_cast<size_t>(set.set_size()));
+
+  for (int i = 0; i < set.set_size(); ++i) {
+    int best_rack = -1;
+    int best_shelf = -1;
+    double best_score = 1e18;
+    for (int rack = 0; rack < config_.storage_racks; ++rack) {
+      for (int shelf = 0; shelf < config_.shelves; ++shelf) {
+        if (next_slot_[static_cast<size_t>(rack)][static_cast<size_t>(shelf)] >=
+            config_.slots_per_shelf) {
+          continue;  // shelf full
+        }
+        bool conflict = false;
+        for (const auto& slot : placed) {
+          if (slot.rack == rack && zones_.Conflicts(slot.shelf, shelf)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) {
+          continue;
+        }
+        // Prefer empty areas; small bias keeps sets spread across racks. Shelves at
+        // canonical zone positions (0, H, 2H, ...) are strongly preferred so a rack
+        // keeps its full per-set capacity — greedy picks at offset shelves would
+        // fragment the zone windows and strand capacity.
+        int same_rack_platters = 0;
+        for (const auto& slot : placed) {
+          if (slot.rack == rack) {
+            ++same_rack_platters;
+          }
+        }
+        const bool canonical = zones_.zone_height > 0 &&
+                               shelf % zones_.zone_height == 0;
+        const double score =
+            occupancy_[static_cast<size_t>(rack)][static_cast<size_t>(shelf)] +
+            4.0 * same_rack_platters + (canonical ? 0.0 : 1000.0);
+        if (score < best_score) {
+          best_score = score;
+          best_rack = rack;
+          best_shelf = shelf;
+        }
+      }
+    }
+    if (best_rack < 0) {
+      return std::nullopt;  // cannot satisfy the blast-zone invariant
+    }
+    SlotAddress slot;
+    slot.rack = best_rack;
+    slot.shelf = best_shelf;
+    slot.slot = next_slot_[static_cast<size_t>(best_rack)]
+                          [static_cast<size_t>(best_shelf)]++;
+    ++occupancy_[static_cast<size_t>(best_rack)][static_cast<size_t>(best_shelf)];
+    placed.push_back(slot);
+  }
+  placed_ += static_cast<uint64_t>(set.set_size());
+  return placed;
+}
+
+PlatterPlan AssignFilesToPlatters(std::vector<StagedFile> files,
+                                  const MediaGeometry& geometry,
+                                  uint64_t shard_bytes) {
+  // Related files adjacent: sort by (account, write time, id).
+  std::sort(files.begin(), files.end(), [](const StagedFile& a, const StagedFile& b) {
+    if (a.account != b.account) {
+      return a.account < b.account;
+    }
+    if (a.write_time != b.write_time) {
+      return a.write_time < b.write_time;
+    }
+    return a.file_id < b.file_id;
+  });
+
+  const uint64_t sector_bytes =
+      static_cast<uint64_t>(geometry.payload_bytes_per_sector());
+  const uint64_t platter_sectors =
+      static_cast<uint64_t>(geometry.info_tracks_per_platter) *
+      static_cast<uint64_t>(geometry.info_sectors_per_track);
+
+  PlatterPlan plan;
+  uint64_t platter = 0;
+  uint64_t cursor = 0;  // next free information-sector index on current platter
+
+  auto sectors_for = [&](uint64_t bytes) {
+    return std::max<uint64_t>(1, (bytes + sector_bytes - 1) / sector_bytes);
+  };
+
+  for (const auto& file : files) {
+    uint64_t remaining = file.bytes;
+    uint64_t shard = 0;
+    while (remaining > 0 || shard == 0) {
+      const uint64_t extent_bytes =
+          shard_bytes > 0 ? std::min<uint64_t>(remaining, shard_bytes)
+                          : remaining;
+      const uint64_t need = sectors_for(std::max<uint64_t>(1, extent_bytes));
+      if (need > platter_sectors) {
+        throw std::invalid_argument(
+            "AssignFilesToPlatters: shard larger than a platter");
+      }
+      if (cursor + need > platter_sectors) {
+        // Move to a fresh platter; files are not split across platters except by
+        // explicit sharding, so the leftover sectors stay unused (the paper accepts
+        // suboptimal packing; the adjacent-track property matters more).
+        ++platter;
+        cursor = 0;
+      }
+      plan.extents.push_back(FilePlacement{
+          .file_id = file.file_id,
+          .platter_index = platter,
+          .start_sector_index = cursor,
+          .bytes = std::max<uint64_t>(1, extent_bytes),
+          .shard = shard,
+      });
+      cursor += need;
+      remaining -= std::min(remaining, extent_bytes);
+      ++shard;
+      if (shard_bytes == 0) {
+        break;
+      }
+    }
+  }
+  plan.num_platters = platter + 1;
+  return plan;
+}
+
+}  // namespace silica

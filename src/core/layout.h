@@ -1,0 +1,123 @@
+// Data layout and management (Section 6).
+//
+// Four placement levels: files -> platters (pack files read together), files within a
+// platter (serpentine order with NC redundancy), platters -> platter-sets (16+3), and
+// platter-sets -> library slots (blast-zone aware). This module also carries the
+// Table 1 math: write-drive redundancy overhead and the minimum storage racks a
+// platter-set configuration needs.
+#ifndef SILICA_CORE_LAYOUT_H_
+#define SILICA_CORE_LAYOUT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "library/panel.h"
+#include "media/geometry.h"
+
+namespace silica {
+
+struct PlatterSetConfig {
+  int info = 16;        // I_p
+  int redundancy = 3;   // R_p (fixed to 3 in Silica: a worst-case single failure
+                        // makes at most three platters of a set unavailable)
+
+  // Redundancy overhead at the write drive: extra platters written per user platter.
+  double WriteOverhead() const {
+    return static_cast<double>(redundancy) / static_cast<double>(info);
+  }
+  int set_size() const { return info + redundancy; }
+};
+
+// Blast zones: a failure makes an area of the library inaccessible, modeled at the
+// granularity of one shelf of one rack (Section 6). A failed shuttle (or two-shuttle
+// collision) obscures a vertical window of shelves in one rack; placement must
+// guarantee no two platters of a set fall inside any potential zone.
+struct BlastZoneModel {
+  // Height in shelves of the worst-case zone (shuttle spans two rails; the collision
+  // case adds margin above and below).
+  int zone_height = 4;
+
+  // Maximum platters of one set that a single rack can hold such that no vertical
+  // window of `zone_height` shelves contains two of them.
+  int MaxPerRack(int shelves) const;
+
+  // True iff the two shelf positions in the same rack could share a blast zone.
+  bool Conflicts(int shelf_a, int shelf_b) const {
+    const int delta = shelf_a > shelf_b ? shelf_a - shelf_b : shelf_b - shelf_a;
+    return delta < zone_height;
+  }
+};
+
+// Minimum storage racks needed to place one platter-set under the blast zone model.
+// A Silica library needs at least six storage racks by design (Section 6).
+int MinStorageRacks(const PlatterSetConfig& set, int shelves,
+                    const BlastZoneModel& zones, int design_minimum = 6);
+
+// Places platter-sets into a library's storage slots.
+//
+// Invariants enforced:
+//   * no two platters of the same set in the same blast zone (same rack within
+//     `zone_height` shelves);
+//   * slots in the least-occupied areas are preferred, spreading load.
+class PlatterPlacer {
+ public:
+  explicit PlatterPlacer(const LibraryConfig& config,
+                         BlastZoneModel zones = BlastZoneModel{});
+
+  // Places the next platter-set; returns one slot per platter (info first, then
+  // redundancy), or nullopt if the library cannot host the set without violating
+  // the invariant.
+  std::optional<std::vector<SlotAddress>> PlaceSet(const PlatterSetConfig& set);
+
+  // Validation used by tests and the controller's self-checks.
+  static bool ValidatePlacement(const std::vector<SlotAddress>& set_slots,
+                                const BlastZoneModel& zones);
+
+  uint64_t placed_platters() const { return placed_; }
+  uint64_t capacity() const;
+
+ private:
+  LibraryConfig config_;
+  BlastZoneModel zones_;
+  // occupancy_[rack][shelf] = number of platters stored on that shelf.
+  std::vector<std::vector<int>> occupancy_;
+  // next free slot index per (rack, shelf).
+  std::vector<std::vector<int>> next_slot_;
+  uint64_t placed_ = 0;
+};
+
+// File -> platter assignment: pack files likely to be read together (same customer
+// account, nearby write times) onto the same platter, sharding large files.
+struct StagedFile {
+  uint64_t file_id = 0;
+  std::string name;
+  uint64_t account = 0;
+  double write_time = 0.0;
+  uint64_t bytes = 0;
+};
+
+struct FilePlacement {
+  uint64_t file_id = 0;
+  uint64_t platter_index = 0;      // index into the returned platter list
+  uint64_t start_sector_index = 0; // serpentine information-sector index
+  uint64_t bytes = 0;              // bytes of this (possibly sharded) extent
+  uint64_t shard = 0;              // shard ordinal within the file
+};
+
+struct PlatterPlan {
+  std::vector<FilePlacement> extents;
+  uint64_t num_platters = 0;
+};
+
+// Packs files onto platters: sorts by (account, write_time) so related files are
+// adjacent (Section 6), fills platters in serpentine sector order, and shards files
+// larger than `shard_bytes` across successive platters.
+PlatterPlan AssignFilesToPlatters(std::vector<StagedFile> files,
+                                  const MediaGeometry& geometry,
+                                  uint64_t shard_bytes);
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_LAYOUT_H_

@@ -1,0 +1,1101 @@
+#include "core/library_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/partitioning.h"
+#include "core/request_scheduler.h"
+#include "library/motion.h"
+#include "library/rail_traffic.h"
+#include "sim/simulator.h"
+
+namespace silica {
+namespace {
+
+using Policy = LibraryConfig::Policy;
+
+struct PlatterInfo {
+  SlotAddress slot;
+  double x = 0.0;
+  int shelf = 0;
+  int partition = 0;
+  uint64_t set = 0;         // platter-set id
+  bool unavailable = false;
+  double created_at = 0.0;  // for freshly written platters: eject time
+  enum class State { kStored, kTargeted, kAtDrive, kAtEject } state = State::kStored;
+};
+
+struct Shuttle {
+  int id = 0;
+  int partition = 0;
+  double x = 0.0;
+  int shelf = 0;
+  bool busy = false;
+  bool failed = false;  // detected by the controller; leaves service after its job
+  double battery = 0.0;  // remaining energy (MotionParams units)
+  Rng rng{0};
+};
+
+// A read drive has platter stations (Section 4: "slots into which platters are
+// inserted and removed") plus the co-mounted verification platter: an input station a
+// shuttle can pre-load while a session runs, the mounted customer platter, and an
+// output station holding the unmounted platter until a shuttle collects it. The
+// stations are what let fetches pipeline with read sessions.
+struct Drive {
+  int id = 0;
+  DrivePosition pos;
+  double throughput_mbps = 60.0;
+  bool input_reserved = false;   // a fetch is dispatched or delivered
+  bool input_occupied = false;
+  uint64_t input_platter = 0;
+  bool mounted = false;
+  uint64_t mounted_platter = 0;
+  bool output_occupied = false;
+  bool output_pending = false;   // unmount finished but output station was full
+  uint64_t output_platter = 0;
+  bool verifying = true;
+  double verify_since = 0.0;
+  bool verify_present = true;     // a verification platter is co-mounted
+  bool verify_incoming = false;   // a delivery from the eject bay is en route
+  bool verified_waiting = false;  // finished platter occupies the verify slot
+  uint64_t verify_platter = 0;
+  double verify_remaining_s = 0.0;  // infinity in abstract-backlog mode
+  Simulator::EventId verify_event = Simulator::kInvalidEvent;
+  int served_in_session = 0;
+  double read_s = 0.0;
+  double verify_s = 0.0;
+  double switch_s = 0.0;
+};
+
+struct ReturnJob {
+  uint64_t platter = 0;
+  int drive = 0;
+  bool verify_slot = false;  // pick from the verify slot instead of the output
+};
+
+// Fan-in bookkeeping: a request with children (shards of a large file, or recovery
+// sub-reads for an unavailable platter) completes when its last child does. `up`
+// chains to the grandparent so recovery reads of a shard propagate correctly.
+struct ParentState {
+  double arrival = 0.0;
+  int remaining = 0;
+  uint64_t up = 0;
+};
+
+// The whole simulation state machine. One instance per SimulateLibrary call.
+class Sim {
+ public:
+  Sim(const LibrarySimConfig& config, const ReadTrace& trace)
+      : config_(config),
+        panel_(config.library),
+        motion_(config.library.motion),
+        rails_(config.library.shelves, panel_.num_segments()),
+        rng_(config.seed),
+        trace_(trace) {
+    SetUpPlatters();
+    SetUpControlPlane();
+  }
+
+  LibrarySimResult Run();
+
+ private:
+  // ---- setup ----
+  void SetUpPlatters();
+  void SetUpControlPlane();
+
+  // ---- arrivals ----
+  void OnArrival(const ReadRequest& request);
+
+  // ---- dispatch ----
+  void TryDispatchAll();
+  void TryDispatchPartition(int p);
+  void TryDispatchGlobalShuttles();  // SP
+  void TryDispatchDrives();          // NS
+  bool TryDispatchReturns(int p);
+
+  // ---- physical jobs ----
+  struct Leg {
+    double duration = 0.0;
+    double expected = 0.0;
+    double congestion = 0.0;
+    int stops = 0;
+    int crabs = 0;
+    double distance = 0.0;
+  };
+  Leg Travel(Shuttle& shuttle, double x, int shelf);
+  void RecordLeg(const Leg& leg);
+
+  void StartFetch(Shuttle& shuttle, uint64_t platter, int drive);
+  void StartReturn(Shuttle& shuttle, const ReturnJob& job);
+  // Frees the shuttle, detouring via the charging dock when the battery is low
+  // (the controller "monitors the battery level of shuttles", Section 4.1).
+  void OnShuttleJobDone(Shuttle& shuttle);
+
+  // ---- drive state machine ----
+  void DeliverToDrive(int drive, uint64_t platter);
+  void TryStartSession(int drive);
+  // Verification clock: runs whenever the drive is otherwise idle and a verify
+  // platter is present; customer sessions pause it (fast switching).
+  void StartVerifyClock(int drive);
+  void PauseVerifyClock(int drive);
+  void OnVerifyComplete(int drive);
+  // Write pipeline (explicit mode): the write drive ejects platters that must be
+  // fully read back before their staged data is released (Section 3.1).
+  void ProduceWrittenPlatter();
+  bool TryDispatchVerifyWork(Shuttle& shuttle, int partition);
+  void StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive);
+  double VerifySeconds(const Drive& drive) const {
+    return StreamSeconds(static_cast<uint64_t>(config_.media.tracks_per_platter()) *
+                             config_.media.raw_bytes_per_track(),
+                         drive.throughput_mbps);
+  }
+  bool explicit_writes() const { return config_.write_platters_per_hour > 0.0; }
+  void ServeNext(int drive, uint64_t platter);
+  void EndSession(int drive, uint64_t platter);
+  void FinishUnmount(int drive);
+  double SwitchCost() const {
+    // Fast switching flips between the co-mounted verify and customer platters in
+    // 1 s; without it the drive swaps platters through a full unmount+mount.
+    return config_.library.fast_switching ? motion_.FastSwitchTime()
+                                          : 2.0 * motion_.MountTime();
+  }
+
+  // ---- helpers ----
+  int SchedulerOf(uint64_t platter) const {
+    return partitioned() ? platters_[platter].partition : 0;
+  }
+  bool partitioned() const { return config_.library.policy == Policy::kPartitioned; }
+  bool Accessible(uint64_t platter) const {
+    const auto& p = platters_[platter];
+    return p.state == PlatterInfo::State::kStored && !p.unavailable;
+  }
+  int PickDriveNear(const std::vector<int>& candidates, double x) const;
+  // True when every shuttle of the partition has failed: the controller lets
+  // neighbours serve its queue (steals bypass the threshold) and its returns are
+  // handled by any idle shuttle.
+  bool PartitionOrphaned(int p) const {
+    for (int s : partition_shuttles_[static_cast<size_t>(p)]) {
+      if (!shuttles_[static_cast<size_t>(s)].failed) {
+        return false;
+      }
+    }
+    return true;
+  }
+  double TrackReadSeconds(const Drive& drive) const {
+    return StreamSeconds(config_.media.raw_bytes_per_track(),
+                         drive.throughput_mbps);
+  }
+  uint64_t TracksFor(uint64_t bytes) const {
+    const uint64_t per_track = config_.media.payload_bytes_per_track();
+    return std::max<uint64_t>(1, (bytes + per_track - 1) / per_track);
+  }
+  void RecordCompletion(const ReadRequest& request);
+
+  // ---- members ----
+  LibrarySimConfig config_;
+  Panel panel_;
+  MotionModel motion_;
+  RailTraffic rails_;
+  Rng rng_;
+  const ReadTrace& trace_;
+  Simulator sim_;
+
+  std::vector<PlatterInfo> platters_;
+  std::vector<Shuttle> shuttles_;
+  std::vector<Drive> drives_;
+  std::unique_ptr<Partitioner> partitioner_;
+  std::vector<RequestScheduler> schedulers_;  // one per partition, or one global
+  std::vector<std::vector<int>> partition_shuttles_;
+  std::vector<std::deque<ReturnJob>> returns_;
+  std::unordered_map<uint64_t, ParentState> parents_;
+  std::deque<uint64_t> eject_queue_;  // freshly written platters at the eject bay
+  uint64_t next_sub_id_ = 1ull << 62;
+
+  LibrarySimResult result_;
+};
+
+void Sim::SetUpPlatters() {
+  const auto& lib = config_.library;
+  const uint64_t info = config_.num_info_platters;
+  const uint64_t sets =
+      (info + static_cast<uint64_t>(config_.platter_set_info) - 1) /
+      static_cast<uint64_t>(config_.platter_set_info);
+  const uint64_t total =
+      info + sets * static_cast<uint64_t>(config_.platter_set_redundancy);
+  if (total > static_cast<uint64_t>(lib.storage_slots())) {
+    throw std::invalid_argument("Sim: more platters than storage slots");
+  }
+
+  platters_.resize(total);
+  // Spread platters evenly across racks and shelves (uniform placement, matching
+  // the methodology of Section 7.2; blast-zone-aware placement is exercised by the
+  // layout module, not needed for the performance experiments).
+  for (uint64_t i = 0; i < total; ++i) {
+    PlatterInfo& p = platters_[i];
+    p.slot.rack = static_cast<int>(i % static_cast<uint64_t>(lib.storage_racks));
+    p.slot.shelf = static_cast<int>((i / static_cast<uint64_t>(lib.storage_racks)) %
+                                    static_cast<uint64_t>(lib.shelves));
+    p.slot.slot = static_cast<int>(
+        (i / static_cast<uint64_t>(lib.storage_racks * lib.shelves)) %
+        static_cast<uint64_t>(lib.slots_per_shelf));
+    p.x = panel_.SlotX(p.slot);
+    p.shelf = p.slot.shelf;
+    p.set = i < info ? i / static_cast<uint64_t>(config_.platter_set_info)
+                     : (i - info) / static_cast<uint64_t>(config_.platter_set_redundancy);
+  }
+
+  // Mark platters unavailable, rerolling so no set loses more than R platters
+  // (the blast-zone placement invariant guarantees this in a real deployment).
+  if (config_.unavailable_fraction > 0.0) {
+    Rng fail_rng = rng_.Fork(0xFA11);
+    std::unordered_map<uint64_t, int> down_per_set;
+    for (auto& p : platters_) {
+      if (fail_rng.Bernoulli(config_.unavailable_fraction) &&
+          down_per_set[p.set] < config_.platter_set_redundancy) {
+        p.unavailable = true;
+        ++down_per_set[p.set];
+      }
+    }
+  }
+}
+
+void Sim::SetUpControlPlane() {
+  const auto& lib = config_.library;
+
+  drives_.resize(static_cast<size_t>(lib.num_read_drives()));
+  for (int d = 0; d < lib.num_read_drives(); ++d) {
+    Drive& drive = drives_[static_cast<size_t>(d)];
+    drive.id = d;
+    drive.pos = panel_.DrivePositionOf(d);
+    drive.verify_since = 0.0;
+    drive.throughput_mbps =
+        d < static_cast<int>(lib.drive_throughputs_mbps.size())
+            ? lib.drive_throughputs_mbps[static_cast<size_t>(d)]
+            : lib.drive_throughput_mbps;
+    if (explicit_writes()) {
+      // The verify backlog is modeled explicitly: drives start empty and wait
+      // for written platters to arrive from the eject bay.
+      drive.verify_present = false;
+      drive.verifying = false;
+    } else {
+      drive.verify_remaining_s = Simulator::kForever;
+    }
+  }
+
+  if (config_.library.policy == Policy::kNoShuttles) {
+    schedulers_.resize(1);
+    returns_.resize(1);
+    return;
+  }
+
+  shuttles_.resize(static_cast<size_t>(lib.num_shuttles));
+  if (partitioned()) {
+    // One partition per shuttle up to the drive count; beyond that (the paper
+    // allows up to two shuttles per read drive) shuttles double up per partition.
+    const int num_partitions = std::min(lib.num_shuttles, lib.num_read_drives());
+    partitioner_ = std::make_unique<Partitioner>(panel_, num_partitions);
+    schedulers_.resize(static_cast<size_t>(partitioner_->size()));
+    returns_.resize(static_cast<size_t>(partitioner_->size()));
+    partition_shuttles_.resize(static_cast<size_t>(partitioner_->size()));
+    for (auto& p : platters_) {
+      p.partition = partitioner_->PartitionOfSlot(p.x, p.shelf);
+    }
+    for (int s = 0; s < lib.num_shuttles; ++s) {
+      Shuttle& shuttle = shuttles_[static_cast<size_t>(s)];
+      shuttle.id = s;
+      shuttle.partition = s % num_partitions;
+      partition_shuttles_[static_cast<size_t>(shuttle.partition)].push_back(s);
+      const auto home = partitioner_->HomeOf(shuttle.partition);
+      shuttle.x = home.x;
+      shuttle.shelf = home.shelf;
+      shuttle.battery = lib.shuttle_battery_capacity;
+      shuttle.rng = rng_.Fork(0x5105 + static_cast<uint64_t>(s));
+    }
+  } else {  // SP
+    schedulers_.resize(1);
+    returns_.resize(1);
+    for (int s = 0; s < lib.num_shuttles; ++s) {
+      Shuttle& shuttle = shuttles_[static_cast<size_t>(s)];
+      shuttle.id = s;
+      shuttle.partition = 0;
+      // Park initial SP shuttles spread across the storage span.
+      shuttle.x = panel_.StorageBeginX() +
+                  (s + 0.5) * (panel_.StorageEndX() - panel_.StorageBeginX()) /
+                      lib.num_shuttles;
+      shuttle.shelf = (s * 7) % lib.shelves;
+      shuttle.battery = lib.shuttle_battery_capacity;
+      shuttle.rng = rng_.Fork(0x5105 + static_cast<uint64_t>(s));
+    }
+  }
+}
+
+void Sim::OnArrival(const ReadRequest& request) {
+  const PlatterInfo& platter = platters_.at(request.platter);
+  if (!platter.unavailable) {
+    schedulers_[static_cast<size_t>(SchedulerOf(request.platter))].Submit(request);
+  } else {
+    // Cross-platter recovery (Section 5): read the matching tracks from I_p other
+    // platters of the set; the request completes when the last sub-read does.
+    std::vector<uint64_t> candidates;
+    const uint64_t info = config_.num_info_platters;
+    const uint64_t set = platter.set;
+    const uint64_t set_first =
+        set * static_cast<uint64_t>(config_.platter_set_info);
+    const uint64_t set_last = std::min<uint64_t>(
+        set_first + static_cast<uint64_t>(config_.platter_set_info), info);
+    for (uint64_t p = set_first; p < set_last; ++p) {
+      if (p != request.platter && !platters_[p].unavailable) {
+        candidates.push_back(p);
+      }
+    }
+    for (int r = 0; r < config_.platter_set_redundancy; ++r) {
+      const uint64_t p =
+          info + set * static_cast<uint64_t>(config_.platter_set_redundancy) +
+          static_cast<uint64_t>(r);
+      if (p < platters_.size() && !platters_[p].unavailable) {
+        candidates.push_back(p);
+      }
+    }
+    const size_t needed =
+        std::min<size_t>(candidates.size(),
+                         static_cast<size_t>(config_.platter_set_info));
+    if (needed == 0) {
+      return;  // set lost; cannot happen with the <=R-per-set invariant
+    }
+    parents_[request.id] =
+        ParentState{request.arrival, static_cast<int>(needed), request.parent};
+    for (size_t i = 0; i < needed; ++i) {
+      ReadRequest sub = request;
+      sub.parent = request.id;
+      sub.id = next_sub_id_++;
+      sub.platter = candidates[i];
+      schedulers_[static_cast<size_t>(SchedulerOf(sub.platter))].Submit(sub);
+      ++result_.recovery_reads;
+    }
+  }
+  TryDispatchAll();
+}
+
+void Sim::TryDispatchAll() {
+  switch (config_.library.policy) {
+    case Policy::kNoShuttles:
+      TryDispatchDrives();
+      break;
+    case Policy::kShortestPaths:
+      TryDispatchReturns(0);
+      TryDispatchGlobalShuttles();
+      break;
+    case Policy::kPartitioned:
+      for (int p = 0; p < partitioner_->size(); ++p) {
+        TryDispatchReturns(p);
+        TryDispatchPartition(p);
+      }
+      break;
+  }
+}
+
+int Sim::PickDriveNear(const std::vector<int>& candidates, double x) const {
+  int best = -1;
+  double best_distance = 1e18;
+  for (int d : candidates) {
+    const Drive& drive = drives_[static_cast<size_t>(d)];
+    if (drive.input_reserved) {
+      continue;  // a platter is already on its way to this drive
+    }
+    const double distance = std::fabs(drive.pos.x - x);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = d;
+    }
+  }
+  return best;
+}
+
+void Sim::TryDispatchPartition(int p) {
+  Shuttle* idle = nullptr;
+  for (int s : partition_shuttles_[static_cast<size_t>(p)]) {
+    if (!shuttles_[static_cast<size_t>(s)].busy &&
+        !shuttles_[static_cast<size_t>(s)].failed) {
+      idle = &shuttles_[static_cast<size_t>(s)];
+      break;
+    }
+  }
+  if (idle == nullptr) {
+    return;
+  }
+  Shuttle& shuttle = *idle;
+  if (TryDispatchReturns(p)) {
+    TryDispatchPartition(p);  // another shuttle may still take a fetch
+    return;
+  }
+  const Partition& partition = partitioner_->partitions()[static_cast<size_t>(p)];
+  RequestScheduler& own = schedulers_[static_cast<size_t>(p)];
+
+  const int drive = PickDriveNear(partition.drives, partitioner_->HomeOf(p).x);
+  if (drive < 0) {
+    return;  // all of this partition's drives are occupied
+  }
+
+  auto accessible = [this](uint64_t platter) { return Accessible(platter); };
+  std::optional<uint64_t> target = own.SelectPlatter(accessible);
+  bool stolen = false;
+
+  if (!target && config_.library.work_stealing) {
+    // Work stealing (Section 4.1): when this partition is idle and others are
+    // overloaded beyond the threshold, fetch from an overloaded partition and
+    // serve on our own drive. Donors are tried most-loaded first, skipping those
+    // whose queued work is all on inaccessible (mounted / in-flight) platters.
+    const uint64_t own_bytes = own.total_queued_bytes();
+    std::vector<std::pair<uint64_t, int>> donors;
+    for (int q = 0; q < partitioner_->size(); ++q) {
+      if (q == p) {
+        continue;
+      }
+      const uint64_t bytes = schedulers_[static_cast<size_t>(q)].total_queued_bytes();
+      // Orphaned partitions (failed shuttles) are stolen from unconditionally.
+      if (bytes > own_bytes + static_cast<uint64_t>(
+                                  config_.library.steal_threshold_bytes) ||
+          (bytes > 0 && PartitionOrphaned(q))) {
+        donors.emplace_back(bytes, q);
+      }
+    }
+    std::sort(donors.rbegin(), donors.rend());
+    for (const auto& [bytes, donor] : donors) {
+      target = schedulers_[static_cast<size_t>(donor)].SelectPlatter(accessible);
+      if (target) {
+        stolen = true;
+        break;
+      }
+    }
+  }
+  if (!target) {
+    if (explicit_writes()) {
+      TryDispatchVerifyWork(shuttle, p);
+    }
+    return;
+  }
+  if (stolen) {
+    ++result_.work_steals;
+  }
+
+  platters_[*target].state = PlatterInfo::State::kTargeted;
+  drives_[static_cast<size_t>(drive)].input_reserved = true;
+  shuttle.busy = true;
+  StartFetch(shuttle, *target, drive);
+}
+
+void Sim::TryDispatchGlobalShuttles() {
+  RequestScheduler& scheduler = schedulers_[0];
+  for (;;) {
+    const auto target =
+        scheduler.SelectPlatter([this](uint64_t platter) { return Accessible(platter); });
+    if (!target) {
+      if (explicit_writes()) {
+        for (auto& s : shuttles_) {
+          if (!s.busy && !s.failed && !TryDispatchVerifyWork(s, 0)) {
+            break;
+          }
+        }
+      }
+      return;
+    }
+    const PlatterInfo& platter = platters_[*target];
+    // Nearest idle shuttle.
+    Shuttle* best_shuttle = nullptr;
+    double best_distance = 1e18;
+    for (auto& s : shuttles_) {
+      if (s.busy || s.failed) {
+        continue;
+      }
+      const double distance =
+          std::fabs(s.x - platter.x) + 0.5 * std::abs(s.shelf - platter.shelf);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_shuttle = &s;
+      }
+    }
+    if (best_shuttle == nullptr) {
+      return;
+    }
+    std::vector<int> all_drives(drives_.size());
+    for (size_t d = 0; d < drives_.size(); ++d) {
+      all_drives[d] = static_cast<int>(d);
+    }
+    const int drive = PickDriveNear(all_drives, platter.x);
+    if (drive < 0) {
+      return;
+    }
+    platters_[*target].state = PlatterInfo::State::kTargeted;
+    drives_[static_cast<size_t>(drive)].input_reserved = true;
+    best_shuttle->busy = true;
+    StartFetch(*best_shuttle, *target, drive);
+  }
+}
+
+void Sim::TryDispatchDrives() {
+  RequestScheduler& scheduler = schedulers_[0];
+  if (explicit_writes()) {
+    for (auto& drive : drives_) {
+      if (!eject_queue_.empty() && !drive.verify_present && !drive.verified_waiting) {
+        const uint64_t id = eject_queue_.front();
+        eject_queue_.pop_front();
+        drive.verify_present = true;
+        drive.verify_platter = id;
+        drive.verify_remaining_s = VerifySeconds(drive);
+        platters_[id].state = PlatterInfo::State::kAtDrive;
+        if (!drive.mounted) {
+          StartVerifyClock(drive.id);
+        }
+      }
+    }
+  }
+  for (auto& drive : drives_) {
+    if (drive.input_reserved || drive.mounted) {
+      continue;
+    }
+    const auto target =
+        scheduler.SelectPlatter([this](uint64_t platter) { return Accessible(platter); });
+    if (!target) {
+      return;
+    }
+    // NS: the platter is loaded the instant the drive frees up.
+    const uint64_t platter = *target;
+    platters_[platter].state = PlatterInfo::State::kAtDrive;
+    drive.input_reserved = true;
+    DeliverToDrive(drive.id, platter);
+  }
+}
+
+bool Sim::TryDispatchReturns(int p) {
+  auto& queue = returns_[static_cast<size_t>(p)];
+  if (queue.empty()) {
+    return false;
+  }
+  // Prefer a shuttle of the partition; SP (and orphaned partitions, whose own
+  // shuttles have failed) use any idle shuttle.
+  Shuttle* shuttle = nullptr;
+  if (partitioned() && !PartitionOrphaned(p)) {
+    for (int s : partition_shuttles_[static_cast<size_t>(p)]) {
+      if (!shuttles_[static_cast<size_t>(s)].busy &&
+          !shuttles_[static_cast<size_t>(s)].failed) {
+        shuttle = &shuttles_[static_cast<size_t>(s)];
+        break;
+      }
+    }
+  } else {
+    for (auto& s : shuttles_) {
+      if (!s.busy && !s.failed) {
+        shuttle = &s;
+        break;
+      }
+    }
+  }
+  if (shuttle == nullptr) {
+    return false;
+  }
+  const ReturnJob job = queue.front();
+  queue.pop_front();
+  shuttle->busy = true;
+  StartReturn(*shuttle, job);
+  return true;
+}
+
+Sim::Leg Sim::Travel(Shuttle& shuttle, double x, int shelf) {
+  Leg leg;
+  leg.crabs = std::abs(shelf - shuttle.shelf);
+  double crab_total = 0.0;
+  for (int c = 0; c < leg.crabs; ++c) {
+    crab_total += motion_.CrabTime(shuttle.rng);
+  }
+  leg.distance = std::fabs(x - shuttle.x);
+  const double horizontal =
+      motion_.HorizontalTravelTime(leg.distance, shuttle.rng);
+  leg.expected = crab_total + motion_.ExpectedHorizontalTravelTime(leg.distance);
+
+  if (leg.distance > 0.0) {
+    const int from = panel_.SegmentOf(shuttle.x);
+    const int to = panel_.SegmentOf(x);
+    const int segments = std::abs(to - from) + 1;
+    const double start = sim_.Now() + crab_total;
+    const auto traversal = rails_.Traverse(shelf, from, to, start,
+                                           horizontal / segments);
+    leg.congestion = traversal.congestion_wait;
+    leg.stops = traversal.stops;
+    leg.duration = crab_total + (traversal.arrive_time - start);
+  } else {
+    leg.duration = crab_total;
+  }
+
+  shuttle.x = x;
+  shuttle.shelf = shelf;
+
+  const double energy = motion_.TravelEnergy(leg.distance, 1 + leg.stops, leg.crabs);
+  result_.travel_energy_total += energy;
+  shuttle.battery -= energy;
+  return leg;
+}
+
+void Sim::RecordLeg(const Leg& leg) {
+  ++result_.travels;
+  result_.travel_times.Add(leg.duration);
+  result_.congestion_wait_total += leg.congestion;
+  result_.expected_travel_total += leg.expected;
+  result_.congestion_stops += static_cast<uint64_t>(leg.stops);
+}
+
+void Sim::StartFetch(Shuttle& shuttle, uint64_t platter, int drive) {
+  const PlatterInfo& info = platters_[platter];
+  const Leg leg1 = Travel(shuttle, info.x, info.shelf);
+  RecordLeg(leg1);
+  const double pick = motion_.PickTime(shuttle.rng);
+  result_.travel_energy_total += motion_.PickPlaceEnergy();
+  ++result_.platter_operations;
+
+  sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter, drive] {
+    const Drive& d = drives_[static_cast<size_t>(drive)];
+    const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
+    RecordLeg(leg2);
+    const double place = motion_.PlaceTime(shuttle.rng);
+    result_.travel_energy_total += motion_.PickPlaceEnergy();
+
+    sim_.Schedule(leg2.duration + place, [this, &shuttle, platter, drive] {
+      platters_[platter].state = PlatterInfo::State::kAtDrive;
+      DeliverToDrive(drive, platter);
+      OnShuttleJobDone(shuttle);
+    });
+  });
+}
+
+void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
+  const Drive& drive = drives_[static_cast<size_t>(job.drive)];
+  const Leg leg1 = Travel(shuttle, drive.pos.x, drive.pos.shelf);
+  RecordLeg(leg1);
+  const double pick = motion_.PickTime(shuttle.rng);
+  result_.travel_energy_total += motion_.PickPlaceEnergy();
+  ++result_.platter_operations;
+
+  sim_.Schedule(leg1.duration + pick, [this, &shuttle, job] {
+    Drive& d = drives_[static_cast<size_t>(job.drive)];
+    if (job.verify_slot) {
+      // Collected the verified platter: the verify slot frees for the next one.
+      d.verified_waiting = false;
+      TryDispatchAll();
+      const PlatterInfo& target = platters_[job.platter];
+      const Leg leg_store = Travel(shuttle, target.x, target.shelf);
+      RecordLeg(leg_store);
+      const double place_store = motion_.PlaceTime(shuttle.rng);
+      result_.travel_energy_total += motion_.PickPlaceEnergy();
+      sim_.Schedule(leg_store.duration + place_store, [this, &shuttle, job] {
+        platters_[job.platter].state = PlatterInfo::State::kStored;
+        result_.verify_turnaround.Add(sim_.Now() -
+                                      platters_[job.platter].created_at);
+        OnShuttleJobDone(shuttle);
+      });
+      return;
+    }
+    // Pickup complete: the output station frees; if an unmounted platter was stuck
+    // inside the drive, move it out now and let the drive continue.
+    d.output_occupied = false;
+    if (d.output_pending) {
+      // Move the stuck platter into the freed output station and resume: the
+      // drive was already verifying; a waiting input platter can mount now.
+      d.output_pending = false;
+      d.output_occupied = true;
+      const int p = partitioned() ? platters_[d.output_platter].partition : 0;
+      returns_[static_cast<size_t>(p)].push_back(
+          ReturnJob{.platter = d.output_platter, .drive = job.drive});
+      TryStartSession(job.drive);
+    }
+
+    const PlatterInfo& info = platters_[job.platter];
+    const Leg leg2 = Travel(shuttle, info.x, info.shelf);
+    RecordLeg(leg2);
+    const double place = motion_.PlaceTime(shuttle.rng);
+    result_.travel_energy_total += motion_.PickPlaceEnergy();
+
+    sim_.Schedule(leg2.duration + place, [this, &shuttle, job] {
+      platters_[job.platter].state = PlatterInfo::State::kStored;
+      OnShuttleJobDone(shuttle);
+    });
+  });
+}
+
+void Sim::OnShuttleJobDone(Shuttle& shuttle) {
+  if (shuttle.failed) {
+    // The controller detected the failure; the shuttle parks permanently.
+    TryDispatchAll();
+    return;
+  }
+  const double capacity = config_.library.shuttle_battery_capacity;
+  if (capacity > 0.0 && shuttle.battery < 0.15 * capacity) {
+    // Recharge in place (docks line the rails); the shuttle is unavailable to the
+    // traffic manager until charged.
+    ++result_.shuttle_recharges;
+    sim_.Schedule(config_.library.shuttle_recharge_s, [this, &shuttle, capacity] {
+      shuttle.battery = capacity;
+      shuttle.busy = false;
+      TryDispatchAll();
+    });
+    return;
+  }
+  shuttle.busy = false;
+  TryDispatchAll();
+}
+
+void Sim::DeliverToDrive(int drive_id, uint64_t platter) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  drive.input_occupied = true;
+  drive.input_platter = platter;
+  TryStartSession(drive_id);
+}
+
+void Sim::TryStartSession(int drive_id) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  if (drive.mounted || !drive.input_occupied || drive.output_pending) {
+    return;
+  }
+  const uint64_t platter = drive.input_platter;
+  drive.input_occupied = false;
+  drive.input_reserved = false;  // the input station frees for the next fetch
+  drive.mounted = true;
+  drive.mounted_platter = platter;
+  drive.served_in_session = 0;
+
+  // Preempt verification: accrue verify time, pay the switch, mount the platter.
+  PauseVerifyClock(drive_id);
+  const double switch_cost = SwitchCost();
+  drive.switch_s += switch_cost;
+  drive.read_s += motion_.MountTime();
+  sim_.Schedule(switch_cost + motion_.MountTime(),
+                [this, drive_id, platter] { ServeNext(drive_id, platter); });
+  // A new fetch can head for the freed input station right away.
+  TryDispatchAll();
+}
+
+void Sim::ServeNext(int drive_id, uint64_t platter) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  RequestScheduler& scheduler = schedulers_[static_cast<size_t>(SchedulerOf(platter))];
+
+  const bool grouping = config_.library.group_platter_requests;
+  if (!grouping && drive.served_in_session > 0) {
+    EndSession(drive_id, platter);
+    return;
+  }
+  auto taken = scheduler.TakeRequests(platter, /*all=*/false);
+  if (taken.empty()) {
+    EndSession(drive_id, platter);
+    return;
+  }
+  const ReadRequest request = taken.front();
+  Rng& rng = shuttles_.empty() ? rng_ : shuttles_[0].rng;
+  const double seek = motion_.SeekTime(rng);
+  const double read = static_cast<double>(TracksFor(request.bytes)) *
+                      TrackReadSeconds(drive);
+  drive.read_s += seek + read;
+  ++drive.served_in_session;
+  sim_.Schedule(seek + read, [this, drive_id, platter, request] {
+    RecordCompletion(request);
+    ServeNext(drive_id, platter);
+  });
+}
+
+void Sim::EndSession(int drive_id, uint64_t platter) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  const double unmount = motion_.UnmountTime();
+  drive.read_s += unmount;
+  sim_.Schedule(unmount, [this, drive_id, platter] {
+    Drive& d = drives_[static_cast<size_t>(drive_id)];
+    d.mounted = false;
+    if (config_.library.policy == Policy::kNoShuttles) {
+      // NS: the platter teleports home.
+      platters_[platter].state = PlatterInfo::State::kStored;
+      FinishUnmount(drive_id);
+      return;
+    }
+    if (d.output_occupied) {
+      // The previous platter is still waiting for a shuttle; hold this one in the
+      // drive until the output station frees (the pickup path moves it out). The
+      // drive switches back to its verification platter in the meantime.
+      d.output_pending = true;
+      d.output_platter = platter;  // reuse the field as the pending payload
+    } else {
+      d.output_occupied = true;
+      d.output_platter = platter;
+      const int p = partitioned() ? platters_[platter].partition : 0;
+      returns_[static_cast<size_t>(p)].push_back(
+          ReturnJob{.platter = platter, .drive = drive_id});
+    }
+    FinishUnmount(drive_id);
+  });
+}
+
+void Sim::FinishUnmount(int drive_id) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  if (drive.input_occupied && !drive.output_pending) {
+    // Customer-to-customer switch: the next platter is already waiting.
+    TryStartSession(drive_id);
+  } else {
+    // Switch back to the co-mounted verification platter.
+    const double switch_cost = SwitchCost();
+    drive.switch_s += switch_cost;
+    sim_.Schedule(switch_cost, [this, drive_id] {
+      Drive& d = drives_[static_cast<size_t>(drive_id)];
+      if (!d.mounted) {
+        StartVerifyClock(drive_id);
+      }
+      TryDispatchAll();
+    });
+  }
+  TryDispatchAll();
+}
+
+void Sim::StartVerifyClock(int drive_id) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  if (drive.verifying || drive.mounted || !drive.verify_present) {
+    return;
+  }
+  drive.verifying = true;
+  drive.verify_since = sim_.Now();
+  if (drive.verify_remaining_s < Simulator::kForever / 2) {
+    drive.verify_event = sim_.Schedule(
+        drive.verify_remaining_s, [this, drive_id] { OnVerifyComplete(drive_id); });
+  }
+}
+
+void Sim::PauseVerifyClock(int drive_id) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  if (!drive.verifying) {
+    return;
+  }
+  const double elapsed = std::max(0.0, sim_.Now() - drive.verify_since);
+  drive.verify_s += elapsed;
+  drive.verify_remaining_s -= elapsed;
+  drive.verifying = false;
+  sim_.Cancel(drive.verify_event);
+  drive.verify_event = Simulator::kInvalidEvent;
+}
+
+void Sim::OnVerifyComplete(int drive_id) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  drive.verify_event = Simulator::kInvalidEvent;
+  drive.verify_s += std::max(0.0, sim_.Now() - drive.verify_since);
+  drive.verifying = false;
+  drive.verify_present = false;
+  ++result_.platters_verified;
+
+  // The verified platter waits in the verify slot for a shuttle to store it; its
+  // staged copy can now be released.
+  if (config_.library.policy == Policy::kNoShuttles) {
+    platters_[drive.verify_platter].state = PlatterInfo::State::kStored;
+    result_.verify_turnaround.Add(sim_.Now() -
+                                  platters_[drive.verify_platter].created_at);
+  } else {
+    drive.verified_waiting = true;
+    const int p = partitioned() ? platters_[drive.verify_platter].partition : 0;
+    returns_[static_cast<size_t>(p)].push_back(ReturnJob{
+        .platter = drive.verify_platter, .drive = drive_id, .verify_slot = true});
+  }
+  TryDispatchAll();
+}
+
+void Sim::ProduceWrittenPlatter() {
+  const auto& lib = config_.library;
+  const uint64_t slot_index = platters_.size();
+  if (slot_index >= static_cast<uint64_t>(lib.storage_slots())) {
+    return;  // library full: the write drive stops (a new MDU would be deployed)
+  }
+  PlatterInfo p;
+  p.slot.rack = static_cast<int>(slot_index % static_cast<uint64_t>(lib.storage_racks));
+  p.slot.shelf = static_cast<int>((slot_index / static_cast<uint64_t>(lib.storage_racks)) %
+                                  static_cast<uint64_t>(lib.shelves));
+  p.slot.slot = static_cast<int>(
+      (slot_index / static_cast<uint64_t>(lib.storage_racks * lib.shelves)) %
+      static_cast<uint64_t>(lib.slots_per_shelf));
+  p.x = panel_.SlotX(p.slot);
+  p.shelf = p.slot.shelf;
+  p.partition = partitioned() ? partitioner_->PartitionOfSlot(p.x, p.shelf) : 0;
+  p.created_at = sim_.Now();
+  p.state = PlatterInfo::State::kAtEject;
+  platters_.push_back(p);
+  eject_queue_.push_back(slot_index);
+  ++result_.platters_written;
+
+  if (config_.library.policy == Policy::kNoShuttles) {
+    // Teleport straight into the first drive with a free verify slot.
+    for (auto& drive : drives_) {
+      if (!drive.verify_present && !drive.verified_waiting) {
+        const uint64_t id = eject_queue_.front();
+        eject_queue_.pop_front();
+        drive.verify_present = true;
+        drive.verify_platter = id;
+        drive.verify_remaining_s = VerifySeconds(drive);
+        platters_[id].state = PlatterInfo::State::kAtDrive;
+        StartVerifyClock(drive.id);
+        break;
+      }
+    }
+  }
+  TryDispatchAll();
+
+  const double interval = 3600.0 / config_.write_platters_per_hour;
+  if (sim_.Now() + interval <= config_.write_until) {
+    sim_.Schedule(interval, [this] { ProduceWrittenPlatter(); });
+  }
+}
+
+bool Sim::TryDispatchVerifyWork(Shuttle& shuttle, int partition) {
+  if (eject_queue_.empty()) {
+    return false;
+  }
+  // Find a drive (in this partition for the partitioned policy) with a free
+  // verify slot and no delivery already en route.
+  int target_drive = -1;
+  if (partitioned()) {
+    for (int d : partitioner_->partitions()[static_cast<size_t>(partition)].drives) {
+      const Drive& drive = drives_[static_cast<size_t>(d)];
+      if (!drive.verify_present && !drive.verify_incoming && !drive.verified_waiting) {
+        target_drive = d;
+        break;
+      }
+    }
+  } else {
+    for (const auto& drive : drives_) {
+      if (!drive.verify_present && !drive.verify_incoming && !drive.verified_waiting) {
+        target_drive = drive.id;
+        break;
+      }
+    }
+  }
+  if (target_drive < 0) {
+    return false;
+  }
+  const uint64_t platter = eject_queue_.front();
+  eject_queue_.pop_front();
+  drives_[static_cast<size_t>(target_drive)].verify_incoming = true;
+  shuttle.busy = true;
+  StartVerifyDelivery(shuttle, platter, target_drive);
+  return true;
+}
+
+void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) {
+  const auto bay = panel_.WriteEjectBay();
+  const Leg leg1 = Travel(shuttle, bay.x, bay.shelf);
+  RecordLeg(leg1);
+  const double pick = motion_.PickTime(shuttle.rng);
+  result_.travel_energy_total += motion_.PickPlaceEnergy();
+  ++result_.platter_operations;
+
+  sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter, drive_id] {
+    const Drive& d = drives_[static_cast<size_t>(drive_id)];
+    const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
+    RecordLeg(leg2);
+    const double place = motion_.PlaceTime(shuttle.rng);
+    result_.travel_energy_total += motion_.PickPlaceEnergy();
+
+    sim_.Schedule(leg2.duration + place, [this, &shuttle, platter, drive_id] {
+      Drive& drive = drives_[static_cast<size_t>(drive_id)];
+      drive.verify_incoming = false;
+      drive.verify_present = true;
+      drive.verify_platter = platter;
+      drive.verify_remaining_s = VerifySeconds(drive);
+      platters_[platter].state = PlatterInfo::State::kAtDrive;
+      if (!drive.mounted) {
+        StartVerifyClock(drive_id);
+      }
+      OnShuttleJobDone(shuttle);
+    });
+  });
+}
+
+void Sim::RecordCompletion(const ReadRequest& request) {
+  const double now = sim_.Now();
+  result_.makespan = std::max(result_.makespan, now);
+
+  // Walk up the fan-in chain: a child's completion may finish its parent, which may
+  // in turn finish the grandparent (e.g. a recovery group completing a shard).
+  uint64_t parent = request.parent;
+  double arrival = request.arrival;
+  while (parent != 0) {
+    auto it = parents_.find(parent);
+    if (it == parents_.end()) {
+      return;  // already reported (defensive)
+    }
+    if (--it->second.remaining > 0) {
+      return;  // siblings still in flight
+    }
+    arrival = it->second.arrival;
+    parent = it->second.up;
+    parents_.erase(it);
+  }
+  ++result_.requests_completed;
+  if (arrival >= config_.measure_start && arrival <= config_.measure_end) {
+    result_.completion_times.Add(now - arrival);
+  }
+}
+
+LibrarySimResult Sim::Run() {
+  // Register trace-level fan-in groups (sharded large files).
+  for (const auto& request : trace_) {
+    if (request.parent != 0) {
+      auto [it, inserted] = parents_.try_emplace(
+          request.parent, ParentState{request.arrival, 0, 0});
+      ++it->second.remaining;
+      it->second.arrival = std::min(it->second.arrival, request.arrival);
+    }
+  }
+  // requests_total counts logical requests: unsharded reads plus one per shard group.
+  result_.requests_total = parents_.size();
+  for (const auto& request : trace_) {
+    if (request.platter >= config_.num_info_platters) {
+      throw std::invalid_argument("Sim: trace references unknown platter");
+    }
+    sim_.ScheduleAt(request.arrival, [this, request] { OnArrival(request); });
+    if (request.parent == 0) {
+      ++result_.requests_total;
+    }
+  }
+  if (explicit_writes()) {
+    sim_.Schedule(0.0, [this] { ProduceWrittenPlatter(); });
+  }
+  for (const auto& [when, id] : config_.shuttle_failures) {
+    if (id >= 0 && id < static_cast<int>(shuttles_.size())) {
+      sim_.ScheduleAt(when, [this, id = id] {
+        shuttles_[static_cast<size_t>(id)].failed = true;
+        TryDispatchAll();  // remaining shuttles pick up the slack
+      });
+    }
+  }
+  sim_.Run();
+
+  // Flush drive ledgers to the makespan.
+  const double end = std::max(result_.makespan, sim_.Now());
+  for (auto& drive : drives_) {
+    if (drive.verifying) {
+      drive.verify_s += std::max(0.0, end - drive.verify_since);
+      drive.verify_since = end;
+    }
+    result_.drive_read_seconds += drive.read_s;
+    result_.drive_verify_seconds += drive.verify_s;
+    result_.drive_switch_seconds += drive.switch_s;
+    const double accounted = drive.read_s + drive.verify_s + drive.switch_s;
+    result_.drive_idle_seconds += std::max(0.0, end - accounted);
+  }
+  return result_;
+}
+
+}  // namespace
+
+LibrarySimResult SimulateLibrary(const LibrarySimConfig& config,
+                                 const ReadTrace& trace) {
+  Sim sim(config, trace);
+  return sim.Run();
+}
+
+}  // namespace silica

@@ -1,0 +1,131 @@
+// The full-system discrete event simulation of a Silica library — the digital twin
+// used for every experiment in Section 7.
+//
+// It combines: the panel geometry and mechanical latency models measured on the
+// prototype (library/), the controller's scheduler and traffic manager (core/), and
+// a read trace (workload/). Three control-plane policies are supported, matching the
+// paper's evaluated systems:
+//   - Silica   : partitioned traffic management with optional work stealing;
+//   - SP       : shortest-path free-for-all (strawman baseline);
+//   - NS       : no shuttles — platters teleport to drives (infeasible lower bound).
+//
+// Read drives model the dual-slot design: a verification platter is always mounted
+// (Section 7.2), customer traffic preempts verification via 1 s fast switching, and
+// utilization is accounted per Figure 6 (mount/seek/read and verify count toward
+// utilization; fast switching does not).
+#ifndef SILICA_CORE_LIBRARY_SIM_H_
+#define SILICA_CORE_LIBRARY_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/request.h"
+#include "library/panel.h"
+#include "media/geometry.h"
+
+namespace silica {
+
+struct LibrarySimConfig {
+  LibraryConfig library;
+  MediaGeometry media = MediaGeometry::ProductionScale();
+
+  uint64_t num_info_platters = 3000;  // platters holding user data
+  int platter_set_info = 16;          // I_p
+  int platter_set_redundancy = 3;     // R_p
+
+  uint64_t seed = 1;
+
+  // Requests arriving inside [measure_start, measure_end] contribute to the
+  // completion-time statistics (the trace includes warm-up / cool-down outside it).
+  double measure_start = 0.0;
+  double measure_end = 1e30;
+
+  // Fraction of platters unavailable (shuttle / drive failures, Figure 8); reads to
+  // them are served through cross-platter network coding with I_p-way amplification.
+  double unavailable_fraction = 0.0;
+
+  // Explicit write pipeline (Section 3.1). When > 0 the write drive ejects this
+  // many platters per hour until `write_until`; each must be fully read back on a
+  // read drive before it counts as durably stored, and shuttles move it from the
+  // eject bay to a drive and finally to its storage slot. When 0 (the paper's
+  // evaluation methodology), a verification backlog is assumed always mounted.
+  double write_platters_per_hour = 0.0;
+  double write_until = 12.0 * 3600.0;
+
+  // Runtime shuttle failures: (time, shuttle id) pairs. A failed shuttle finishes
+  // its current job and leaves service; the controller detects it and the
+  // remaining shuttles (and work stealing) absorb its partition's load. Static
+  // blast-zone unavailability is modeled separately via unavailable_fraction.
+  std::vector<std::pair<double, int>> shuttle_failures;
+};
+
+struct LibrarySimResult {
+  // Completion times (seconds) of measured-window requests.
+  PercentileTracker completion_times;
+  uint64_t requests_total = 0;
+  uint64_t requests_completed = 0;
+  uint64_t recovery_reads = 0;  // sub-reads issued for unavailable platters
+  double makespan = 0.0;        // time of the last completion
+
+  // Shuttle travel.
+  uint64_t travels = 0;
+  PercentileTracker travel_times;
+  double congestion_wait_total = 0.0;
+  double expected_travel_total = 0.0;
+  uint64_t congestion_stops = 0;
+
+  // Energy (relative units, Figure 7(b)).
+  double travel_energy_total = 0.0;
+  uint64_t platter_operations = 0;  // pick+place pairs
+
+  // Drive time accounting (Figure 6), summed over drives.
+  double drive_read_seconds = 0.0;
+  double drive_verify_seconds = 0.0;
+  double drive_switch_seconds = 0.0;
+  double drive_idle_seconds = 0.0;
+
+  uint64_t work_steals = 0;
+  uint64_t shuttle_recharges = 0;
+
+  // Explicit write pipeline (Section 3.1).
+  uint64_t platters_written = 0;    // ejected by the write drive
+  uint64_t platters_verified = 0;   // fully read back on a read drive
+  PercentileTracker verify_turnaround;  // eject -> durably stored (seconds)
+
+  double CongestionOverheadFraction() const {
+    return expected_travel_total > 0.0 ? congestion_wait_total / expected_travel_total
+                                       : 0.0;
+  }
+  double EnergyPerPlatterOperation() const {
+    return platter_operations > 0
+               ? travel_energy_total / static_cast<double>(platter_operations)
+               : 0.0;
+  }
+  double DriveUtilization() const {
+    const double total = drive_read_seconds + drive_verify_seconds +
+                         drive_switch_seconds + drive_idle_seconds;
+    return total > 0.0 ? (drive_read_seconds + drive_verify_seconds) / total : 0.0;
+  }
+  double DriveReadFraction() const {
+    const double total = drive_read_seconds + drive_verify_seconds +
+                         drive_switch_seconds + drive_idle_seconds;
+    return total > 0.0 ? drive_read_seconds / total : 0.0;
+  }
+  double DriveVerifyFraction() const {
+    const double total = drive_read_seconds + drive_verify_seconds +
+                         drive_switch_seconds + drive_idle_seconds;
+    return total > 0.0 ? drive_verify_seconds / total : 0.0;
+  }
+};
+
+// Runs the trace through the digital twin and reports metrics. Deterministic for a
+// given (config.seed, trace).
+LibrarySimResult SimulateLibrary(const LibrarySimConfig& config,
+                                 const ReadTrace& trace);
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_LIBRARY_SIM_H_

@@ -1,0 +1,66 @@
+#include "core/metadata.h"
+
+namespace silica {
+
+uint64_t MetadataService::RecordWrite(const std::string& name, uint64_t platter_id,
+                                      uint64_t start_sector_index, uint64_t bytes,
+                                      uint64_t encryption_key) {
+  auto& versions = files_[name];
+  FileVersion v;
+  v.version = versions.size() + 1;
+  v.platter_id = platter_id;
+  v.start_sector_index = start_sector_index;
+  v.bytes = bytes;
+  v.encryption_key = encryption_key;
+  versions.push_back(v);
+  return v.version;
+}
+
+std::optional<FileVersion> MetadataService::Lookup(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  const FileVersion& latest = it->second.back();
+  if (latest.key_destroyed) {
+    return std::nullopt;
+  }
+  return latest;
+}
+
+std::optional<FileVersion> MetadataService::LookupVersion(const std::string& name,
+                                                          uint64_t version) const {
+  const auto it = files_.find(name);
+  if (it == files_.end() || version == 0 || version > it->second.size()) {
+    return std::nullopt;
+  }
+  const FileVersion& v = it->second[version - 1];
+  if (v.key_destroyed) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool MetadataService::Delete(const std::string& name) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    return false;
+  }
+  // Crypto-shredding: destroy every version's key, then drop the pointers.
+  files_.erase(it);
+  return true;
+}
+
+MetadataService MetadataService::RebuildFromHeaders(
+    std::span<const PlatterHeader> headers) {
+  MetadataService service;
+  for (const auto& header : headers) {
+    for (const auto& entry : header.files) {
+      service.RecordWrite(entry.name, header.platter_id, entry.start_sector_index,
+                          entry.size_bytes, /*encryption_key=*/0);
+    }
+  }
+  return service;
+}
+
+}  // namespace silica

@@ -1,0 +1,66 @@
+// Metadata service (Section 6): file naming/indexing for the Silica service.
+//
+// Mappings (file -> platter, sector, size, version, encryption key) live in a
+// separate highly-available store backed by warmer media; this module models that
+// store. Overwrites are logical (a new version; the WORM media keeps old bytes),
+// deletes are crypto-shredding (the key is destroyed and the pointers removed).
+// Every platter is self-descriptive, so the index can be rebuilt from platter
+// headers if the metadata service is lost.
+#ifndef SILICA_CORE_METADATA_H_
+#define SILICA_CORE_METADATA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "media/platter.h"
+
+namespace silica {
+
+struct FileVersion {
+  uint64_t version = 0;
+  uint64_t platter_id = 0;
+  uint64_t start_sector_index = 0;
+  uint64_t bytes = 0;
+  uint64_t encryption_key = 0;  // stand-in for the data encryption key handle
+  bool key_destroyed = false;
+};
+
+class MetadataService {
+ public:
+  // Records a new version of `name`; returns the version number (1-based).
+  uint64_t RecordWrite(const std::string& name, uint64_t platter_id,
+                       uint64_t start_sector_index, uint64_t bytes,
+                       uint64_t encryption_key);
+
+  // Latest live version, or nullopt if the file is unknown or deleted.
+  std::optional<FileVersion> Lookup(const std::string& name) const;
+
+  // A specific version (overwrites keep prior versions addressable until deleted).
+  std::optional<FileVersion> LookupVersion(const std::string& name,
+                                           uint64_t version) const;
+
+  // Crypto-shredding delete (Section 3): destroys the keys of all versions and
+  // removes the name. The voxels stay in the glass but are unreadable.
+  bool Delete(const std::string& name);
+
+  // Rebuilds the index from self-descriptive platter headers (disaster recovery:
+  // "a file can still be located after a platter-level scan of libraries").
+  // Recovered entries have no encryption keys destroyed and version numbers
+  // restart from the scan.
+  static MetadataService RebuildFromHeaders(
+      std::span<const PlatterHeader> headers);
+
+  size_t live_files() const { return files_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<FileVersion>> files_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_METADATA_H_

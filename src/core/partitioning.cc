@@ -1,0 +1,162 @@
+#include "core/partitioning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+namespace {
+
+// Rows of the partition grid on one side: the divisor of `count` no larger than
+// `max_rows` that is closest to the natural band count (about 5 bands of 2 shelves).
+int PickRows(int count, int max_rows) {
+  int best = 1;
+  double best_score = 1e9;
+  for (int d = 1; d <= std::min(count, max_rows); ++d) {
+    if (count % d == 0) {
+      const double score = std::fabs(static_cast<double>(d) - 5.0);
+      if (score < best_score) {
+        best_score = score;
+        best = d;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Partitioner::Partitioner(const Panel& panel, int num_partitions) {
+  const auto& config = panel.config();
+  if (num_partitions < 1) {
+    throw std::invalid_argument("Partitioner: need at least one partition");
+  }
+  if (num_partitions > 2 * config.num_read_drives()) {
+    throw std::invalid_argument(
+        "Partitioner: active shuttles bounded by twice the read drives");
+  }
+
+  const double storage_x0 = panel.StorageBeginX();
+  const double storage_x1 = panel.StorageEndX();
+  const int sides = config.read_racks;
+  const double mid = sides == 2 ? 0.5 * (storage_x0 + storage_x1) : storage_x1;
+
+  // Split partitions across the panel sides, then grid each side.
+  std::vector<int> per_side(static_cast<size_t>(sides));
+  for (int s = 0; s < sides; ++s) {
+    per_side[static_cast<size_t>(s)] = num_partitions / sides +
+                                       (s < num_partitions % sides ? 1 : 0);
+  }
+
+  int index = 0;
+  for (int side = 0; side < sides; ++side) {
+    const int count = per_side[static_cast<size_t>(side)];
+    if (count == 0) {
+      continue;
+    }
+    const double side_x0 = side == 0 ? storage_x0 : mid;
+    const double side_x1 = side == 0 ? mid : storage_x1;
+    const int rows = PickRows(count, config.shelves);
+    const int cols = count / rows;
+
+    for (int cell = 0; cell < count; ++cell) {
+      const int row = cell / cols;
+      const int col = cell % cols;
+      Partition p;
+      p.index = index++;
+      p.side = side;
+      p.shelf_min = row * config.shelves / rows;
+      p.shelf_max = (row + 1) * config.shelves / rows - 1;
+      p.x_min = side_x0 + col * (side_x1 - side_x0) / cols;
+      p.x_max = side_x0 + (col + 1) * (side_x1 - side_x0) / cols;
+      partitions_.push_back(p);
+    }
+  }
+
+  // Assign every read drive to the partition on its side with the closest shelf
+  // band, breaking ties toward the least-loaded partition so drives spread out.
+  for (int drive = 0; drive < config.num_read_drives(); ++drive) {
+    const auto pos = panel.DrivePositionOf(drive);
+    const int drive_side = (sides == 2 && pos.x > mid) ? 1 : 0;
+    Partition* best = nullptr;
+    double best_score = 1e18;
+    for (auto& p : partitions_) {
+      if (sides == 2 && p.side != drive_side) {
+        continue;
+      }
+      const double band_mid = 0.5 * (p.shelf_min + p.shelf_max);
+      const double shelf_distance = std::fabs(band_mid - pos.shelf);
+      const double load_penalty = 0.25 * static_cast<double>(p.drives.size());
+      const double score = shelf_distance + load_penalty;
+      if (score < best_score) {
+        best_score = score;
+        best = &p;
+      }
+    }
+    if (best == nullptr) {  // single-sided panel with all partitions on side 0
+      best = &partitions_.front();
+    }
+    best->drives.push_back(drive);
+  }
+
+  // The paper requires every partition to contain at least one read drive slot;
+  // with dual-slot drives, a drive's two slots can satisfy two partitions, so
+  // borrow a slot from the nearest drive-rich partition when a partition ended up
+  // empty (happens when shuttles outnumber drives).
+  for (auto& p : partitions_) {
+    if (!p.drives.empty()) {
+      continue;
+    }
+    Partition* donor = nullptr;
+    double best_distance = 1e18;
+    for (auto& q : partitions_) {
+      if (q.index == p.index || q.drives.empty()) {
+        continue;
+      }
+      // Prefer donors with multiple drives and a nearby shelf band on the same side.
+      const double distance = std::fabs(0.5 * (q.shelf_min + q.shelf_max) -
+                                        0.5 * (p.shelf_min + p.shelf_max)) +
+                              (q.side != p.side ? 100.0 : 0.0) +
+                              (q.drives.size() < 2 ? 10.0 : 0.0);
+      if (distance < best_distance) {
+        best_distance = distance;
+        donor = &q;
+      }
+    }
+    if (donor != nullptr) {
+      p.drives.push_back(donor->drives.back());  // shared drive (second slot)
+    }
+  }
+}
+
+int Partitioner::PartitionOfSlot(double x, int shelf) const {
+  // Exact rectangle match first.
+  for (const auto& p : partitions_) {
+    if (p.ContainsSlot(x, shelf)) {
+      return p.index;
+    }
+  }
+  // Edge coordinates (x == global max) fall through; snap to the nearest rectangle.
+  int best = 0;
+  double best_score = 1e18;
+  for (const auto& p : partitions_) {
+    const double cx = 0.5 * (p.x_min + p.x_max);
+    const double cy = 0.5 * (p.shelf_min + p.shelf_max);
+    const double score = std::fabs(cx - x) + std::fabs(cy - shelf);
+    if (score < best_score) {
+      best_score = score;
+      best = p.index;
+    }
+  }
+  return best;
+}
+
+DrivePosition Partitioner::HomeOf(int partition) const {
+  const auto& p = partitions_.at(static_cast<size_t>(partition));
+  DrivePosition home;
+  home.x = 0.5 * (p.x_min + p.x_max);
+  home.shelf = (p.shelf_min + p.shelf_max) / 2;
+  return home;
+}
+
+}  // namespace silica

@@ -1,0 +1,55 @@
+// Logical panel partitioning for the traffic manager (Section 4.1).
+//
+// The traffic manager splits the storage racks and read drives of a panel into n
+// rectangular segments, one per active shuttle. Each partition owns a shelf band and
+// an x-column of the storage region on one side of the panel, extends logically to
+// the read rack on that side, and is assigned at least one read drive. Under normal
+// operation shuttles stay inside their partition, which keeps them off each other's
+// rails and eliminates congestion at the read drives.
+#ifndef SILICA_CORE_PARTITIONING_H_
+#define SILICA_CORE_PARTITIONING_H_
+
+#include <vector>
+
+#include "library/panel.h"
+
+namespace silica {
+
+struct Partition {
+  int index = 0;
+  int side = 0;           // 0 = left read rack, 1 = right read rack
+  int shelf_min = 0;
+  int shelf_max = 0;      // inclusive
+  double x_min = 0.0;     // owned storage x-range
+  double x_max = 0.0;
+  std::vector<int> drives;  // read drives assigned to this partition
+
+  bool ContainsSlot(double x, int shelf) const {
+    return shelf >= shelf_min && shelf <= shelf_max && x >= x_min && x < x_max;
+  }
+};
+
+class Partitioner {
+ public:
+  // Builds n partitions over the panel. Throws if n exceeds twice the read drive
+  // count (the paper's bound on active shuttles per panel) or n < 1.
+  Partitioner(const Panel& panel, int num_partitions);
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  int size() const { return static_cast<int>(partitions_.size()); }
+
+  // Partition owning the storage slot at (x, shelf). Every storage slot maps to
+  // exactly one partition.
+  int PartitionOfSlot(double x, int shelf) const;
+
+  // A convenient idle-parking position for the partition's shuttle: the centroid of
+  // its storage rectangle.
+  DrivePosition HomeOf(int partition) const;
+
+ private:
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_PARTITIONING_H_

@@ -1,0 +1,94 @@
+#include "core/request_scheduler.h"
+
+#include <stdexcept>
+
+namespace silica {
+
+void RequestScheduler::Submit(const ReadRequest& request) {
+  auto [it, inserted] = by_platter_.try_emplace(request.platter);
+  PlatterQueue& queue = it->second;
+  if (inserted) {
+    order_.emplace(request.arrival, request.platter);
+  } else if (!queue.requests.empty() &&
+             request.arrival < queue.requests.front().arrival) {
+    throw std::invalid_argument("RequestScheduler: out-of-order submission");
+  }
+  queue.requests.push_back(request);
+  queue.bytes += request.bytes;
+  total_bytes_ += request.bytes;
+  ++pending_requests_;
+}
+
+std::optional<uint64_t> RequestScheduler::SelectPlatter(
+    const std::function<bool(uint64_t)>& accessible) const {
+  for (const auto& [arrival, platter] : order_) {
+    if (accessible(platter)) {
+      return platter;
+    }
+  }
+  return std::nullopt;
+}
+
+void RequestScheduler::EraseIndex(uint64_t platter) {
+  const auto it = by_platter_.find(platter);
+  if (it == by_platter_.end() || it->second.requests.empty()) {
+    return;
+  }
+  order_.erase({it->second.requests.front().arrival, platter});
+}
+
+std::vector<ReadRequest> RequestScheduler::TakeRequests(uint64_t platter, bool all) {
+  const auto it = by_platter_.find(platter);
+  if (it == by_platter_.end()) {
+    return {};
+  }
+  PlatterQueue& queue = it->second;
+  EraseIndex(platter);
+
+  std::vector<ReadRequest> taken;
+  if (all) {
+    taken.assign(queue.requests.begin(), queue.requests.end());
+    queue.requests.clear();
+    total_bytes_ -= queue.bytes;
+    queue.bytes = 0;
+  } else {
+    taken.push_back(queue.requests.front());
+    queue.requests.pop_front();
+    queue.bytes -= taken.front().bytes;
+    total_bytes_ -= taken.front().bytes;
+  }
+  pending_requests_ -= taken.size();
+
+  if (queue.requests.empty()) {
+    by_platter_.erase(it);
+  } else {
+    order_.emplace(queue.requests.front().arrival, platter);
+  }
+  return taken;
+}
+
+bool RequestScheduler::HasRequests(uint64_t platter) const {
+  return by_platter_.count(platter) != 0;
+}
+
+uint64_t RequestScheduler::QueuedBytes(uint64_t platter) const {
+  const auto it = by_platter_.find(platter);
+  return it == by_platter_.end() ? 0 : it->second.bytes;
+}
+
+std::optional<double> RequestScheduler::EarliestArrival(uint64_t platter) const {
+  const auto it = by_platter_.find(platter);
+  if (it == by_platter_.end() || it->second.requests.empty()) {
+    return std::nullopt;
+  }
+  return it->second.requests.front().arrival;
+}
+
+void RequestScheduler::ForEachQueuedPlatter(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  for (const auto& [platter, queue] : by_platter_) {
+    fn(platter, queue.bytes);
+  }
+}
+
+}  // namespace silica

@@ -1,0 +1,72 @@
+// The library controller's request scheduler (Section 4.1).
+//
+// The scheduler keeps a queue ordered on request arrival time plus a structure
+// grouping all requests for the same platter. Platter fetch selection is
+// work-conserving: the platter with the earliest queued read *among accessible
+// platters* is selected, even if an older request exists for a platter that is
+// currently inaccessible (being carried, mounted, or obscured). Once a platter is
+// mounted, all queued requests for it are serviced, amortizing the fetch.
+#ifndef SILICA_CORE_REQUEST_SCHEDULER_H_
+#define SILICA_CORE_REQUEST_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/request.h"
+
+namespace silica {
+
+class RequestScheduler {
+ public:
+  // Queues a request. Requests must be submitted in nondecreasing arrival order
+  // (the event loop guarantees this).
+  void Submit(const ReadRequest& request);
+
+  // Selects the platter with the earliest queued request among those for which
+  // `accessible` returns true. Returns nullopt when nothing is selectable.
+  std::optional<uint64_t> SelectPlatter(
+      const std::function<bool(uint64_t)>& accessible) const;
+
+  // Removes and returns queued requests for `platter`. With `all` (the default
+  // Silica behaviour) the whole group is drained; with all=false only the oldest
+  // request is popped (the no-grouping ablation).
+  std::vector<ReadRequest> TakeRequests(uint64_t platter, bool all = true);
+
+  bool HasRequests(uint64_t platter) const;
+  size_t pending_requests() const { return pending_requests_; }
+  size_t pending_platters() const { return by_platter_.size(); }
+  uint64_t total_queued_bytes() const { return total_bytes_; }
+
+  // Total queued bytes for a platter (0 when none), and the arrival time of its
+  // oldest queued request.
+  uint64_t QueuedBytes(uint64_t platter) const;
+  std::optional<double> EarliestArrival(uint64_t platter) const;
+
+  // Iterates all platters with queued work (for load accounting / work stealing).
+  void ForEachQueuedPlatter(
+      const std::function<void(uint64_t platter, uint64_t bytes)>& fn) const;
+
+ private:
+  struct PlatterQueue {
+    std::deque<ReadRequest> requests;
+    uint64_t bytes = 0;
+  };
+
+  void EraseIndex(uint64_t platter);
+
+  std::unordered_map<uint64_t, PlatterQueue> by_platter_;
+  // (oldest arrival, platter) for earliest-first selection.
+  std::set<std::pair<double, uint64_t>> order_;
+  size_t pending_requests_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_REQUEST_SCHEDULER_H_

@@ -1,0 +1,256 @@
+#include "core/silica_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace silica {
+
+SilicaService::SilicaService(ServiceConfig config)
+    : config_(config),
+      plane_(config.data_plane),
+      writer_(plane_),
+      reader_(plane_),
+      verifier_(plane_),
+      set_codec_(plane_, config.platter_set),
+      rng_(config.seed) {}
+
+void SilicaService::Put(const std::string& name, uint64_t account,
+                        std::vector<uint8_t> data) {
+  const uint64_t capacity = plane_.geometry().payload_bytes_per_platter();
+  if (data.size() > capacity) {
+    throw std::invalid_argument("SilicaService::Put: file exceeds platter capacity");
+  }
+  staged_.push_back(PendingFile{name, account, std::move(data)});
+}
+
+SilicaService::FlushReport SilicaService::Flush() {
+  FlushReport report;
+  if (staged_.empty()) {
+    return report;
+  }
+
+  // Pack staged files onto platters, keeping an account's files together.
+  std::vector<StagedFile> to_place;
+  to_place.reserve(staged_.size());
+  for (size_t i = 0; i < staged_.size(); ++i) {
+    to_place.push_back(StagedFile{
+        .file_id = static_cast<uint64_t>(i),  // index into staged_
+        .name = staged_[i].name,
+        .account = staged_[i].account,
+        .write_time = static_cast<double>(i),
+        .bytes = staged_[i].data.size(),
+    });
+  }
+  const auto plan =
+      AssignFilesToPlatters(to_place, plane_.geometry(),
+                            plane_.geometry().payload_bytes_per_platter());
+
+  // Write and verify each planned platter; files on platters that fail
+  // verification go back to staging (Section 5: "kept in staging and rewritten
+  // onto a different platter later").
+  std::vector<PendingFile> still_staged;
+  std::vector<uint64_t> accepted_ids;
+  std::vector<uint64_t> newly_accepted;
+  std::vector<const WrittenPlatter*> accepted;
+
+  std::vector<std::vector<size_t>> per_platter(plan.num_platters);
+  for (const auto& extent : plan.extents) {
+    per_platter[extent.platter_index].push_back(
+        static_cast<size_t>(extent.file_id));
+  }
+
+  for (const auto& staged_indices : per_platter) {
+    std::vector<FileData> files;
+    for (size_t idx : staged_indices) {
+      files.push_back(FileData{
+          .file_id = next_file_id_++,
+          .name = staged_[idx].name,
+          .bytes = staged_[idx].data,
+      });
+    }
+    const uint64_t platter_id = next_platter_id_++;
+    StoredPlatter stored{writer_.WritePlatter(platter_id, files, rng_), 0, 0,
+                         false, false};
+
+    const auto verdict = verifier_.Verify(stored.written.platter, rng_);
+    report.sectors_verified += verdict.sectors_total;
+    report.observed_sector_failure_rate += verdict.sector_failure_rate();
+    if (!verdict.durable) {
+      for (size_t idx : staged_indices) {
+        still_staged.push_back(std::move(staged_[idx]));
+        ++report.files_kept_in_staging;
+      }
+      continue;  // platter discarded (recycled as blank media)
+    }
+    ++report.platters_written;
+    report.files_committed += files.size();
+    platters_.emplace(platter_id, std::move(stored));
+    accepted_ids.push_back(platter_id);
+    newly_accepted.push_back(platter_id);
+  }
+
+  // Complete platter-sets: pad with blank platters if needed, then encode and
+  // write the cross-platter redundancy.
+  while (!accepted_ids.empty()) {
+    std::vector<uint64_t> set_members;
+    for (uint64_t id : accepted_ids) {
+      set_members.push_back(id);
+      if (set_members.size() == static_cast<size_t>(config_.platter_set.info)) {
+        break;
+      }
+    }
+    accepted_ids.erase(accepted_ids.begin(),
+                       accepted_ids.begin() + static_cast<long>(set_members.size()));
+    while (set_members.size() < static_cast<size_t>(config_.platter_set.info)) {
+      const uint64_t filler_id = next_platter_id_++;
+      platters_.emplace(filler_id,
+                        StoredPlatter{writer_.WritePlatter(filler_id, {}, rng_), 0,
+                                      0, false, false});
+      set_members.push_back(filler_id);
+    }
+
+    const uint64_t set_id = next_set_id_++;
+    accepted.clear();
+    for (size_t i = 0; i < set_members.size(); ++i) {
+      auto& stored = platters_.at(set_members[i]);
+      stored.set_id = set_id;
+      stored.index_in_set = i;
+      accepted.push_back(&stored.written);
+    }
+    auto redundancy =
+        set_codec_.EncodeRedundancyPlatters(accepted, next_platter_id_, rng_);
+    next_platter_id_ += redundancy.size();
+    sets_[set_id] = set_members;
+    for (size_t r = 0; r < redundancy.size(); ++r) {
+      const uint64_t rid = redundancy[r].platter.platter_id();
+      StoredPlatter stored{std::move(redundancy[r]), set_id,
+                           static_cast<size_t>(config_.platter_set.info) + r, true,
+                           false};
+      platters_.emplace(rid, std::move(stored));
+      sets_[set_id].push_back(rid);
+      ++report.redundancy_platters_written;
+    }
+  }
+
+  // Commit metadata for the platters accepted this flush, releasing the staged
+  // copies of their files.
+  for (uint64_t id : newly_accepted) {
+    const auto& stored = platters_.at(id);
+    for (const auto& entry : stored.written.platter.header().files) {
+      metadata_.RecordWrite(entry.name, id, entry.start_sector_index,
+                            entry.size_bytes, /*encryption_key=*/entry.file_id);
+    }
+  }
+  if (report.platters_written > 0) {
+    report.observed_sector_failure_rate /=
+        static_cast<double>(report.platters_written);
+  }
+  staged_ = std::move(still_staged);
+  return report;
+}
+
+std::optional<std::vector<uint8_t>> SilicaService::Get(const std::string& name) {
+  const auto version = metadata_.Lookup(name);
+  if (!version) {
+    return std::nullopt;
+  }
+  const auto it = platters_.find(version->platter_id);
+  if (it == platters_.end()) {
+    return std::nullopt;
+  }
+  if (it->second.unavailable) {
+    return ReadViaRecovery(*version);
+  }
+  PlatterFileEntry entry;
+  entry.name = name;
+  entry.start_sector_index = version->start_sector_index;
+  entry.size_bytes = version->bytes;
+  return reader_.ReadFile(it->second.written.platter, entry, rng_);
+}
+
+std::optional<std::vector<uint8_t>> SilicaService::ReadViaRecovery(
+    const FileVersion& version) {
+  const auto& stored = platters_.at(version.platter_id);
+  const auto set_it = sets_.find(stored.set_id);
+  if (set_it == sets_.end()) {
+    return std::nullopt;  // platter predates any completed set
+  }
+  const auto& members = set_it->second;
+
+  std::vector<const GlassPlatter*> avail_info;
+  std::vector<size_t> avail_info_idx;
+  std::vector<const GlassPlatter*> avail_red;
+  std::vector<size_t> avail_red_idx;
+  for (uint64_t id : members) {
+    const auto& member = platters_.at(id);
+    if (member.unavailable) {
+      continue;
+    }
+    if (member.is_redundancy) {
+      avail_red.push_back(&member.written.platter);
+      avail_red_idx.push_back(member.index_in_set -
+                              static_cast<size_t>(config_.platter_set.info));
+    } else {
+      avail_info.push_back(&member.written.platter);
+      avail_info_idx.push_back(member.index_in_set);
+    }
+  }
+
+  // Recover the tracks the file spans, then slice out its payload bytes.
+  const auto& g = plane_.geometry();
+  const size_t payload_bytes = plane_.sector_payload_bytes();
+  const uint64_t need = std::max<uint64_t>(
+      1, (version.bytes + payload_bytes - 1) / payload_bytes);
+
+  std::vector<uint8_t> out;
+  out.reserve(version.bytes);
+  int cached_track = -1;
+  std::vector<std::vector<uint8_t>> track_payloads;
+  for (uint64_t s = 0; s < need; ++s) {
+    const SectorAddress addr =
+        SerpentineSectorAddress(g, version.start_sector_index + s);
+    if (addr.track != cached_track) {
+      auto recovered = set_codec_.RecoverTrack(
+          avail_info, avail_info_idx, avail_red, avail_red_idx,
+          stored.index_in_set, addr.track, rng_);
+      if (!recovered) {
+        return std::nullopt;
+      }
+      track_payloads = std::move(*recovered);
+      cached_track = addr.track;
+    }
+    const auto& payload = track_payloads[static_cast<size_t>(addr.sector)];
+    const size_t want = static_cast<size_t>(std::min<uint64_t>(
+        payload_bytes, version.bytes - s * payload_bytes));
+    out.insert(out.end(), payload.begin(), payload.begin() + static_cast<long>(want));
+  }
+  return out;
+}
+
+bool SilicaService::MarkUnavailable(uint64_t platter_id) {
+  const auto it = platters_.find(platter_id);
+  if (it == platters_.end()) {
+    return false;
+  }
+  it->second.unavailable = true;
+  return true;
+}
+
+void SilicaService::MarkAvailable(uint64_t platter_id) {
+  const auto it = platters_.find(platter_id);
+  if (it != platters_.end()) {
+    it->second.unavailable = false;
+  }
+}
+
+MetadataService SilicaService::ScanAndRebuildIndex() const {
+  std::vector<PlatterHeader> headers;
+  for (const auto& [id, stored] : platters_) {
+    if (!stored.unavailable && !stored.is_redundancy) {
+      headers.push_back(stored.written.platter.header());
+    }
+  }
+  return MetadataService::RebuildFromHeaders(headers);
+}
+
+}  // namespace silica

@@ -1,0 +1,107 @@
+// SilicaService: the archival service facade used by the examples.
+//
+// It composes the pieces the way the paper's service does: incoming files are
+// staged, packed onto platters (files that belong together stay together), written
+// through the write channel, *verified with the read technology before the staged
+// copy is released* (Section 3.1), organized into platter-sets with cross-platter
+// redundancy, and indexed in the metadata service. Reads resolve metadata, read the
+// platter through the decode stack, and fall back to cross-platter recovery when a
+// platter is unavailable.
+#ifndef SILICA_CORE_SILICA_SERVICE_H_
+#define SILICA_CORE_SILICA_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/data_pipeline.h"
+#include "core/layout.h"
+#include "core/metadata.h"
+
+namespace silica {
+
+struct ServiceConfig {
+  DataPlaneConfig data_plane;
+  PlatterSetConfig platter_set{4, 2};  // small sets keep examples fast
+  uint64_t seed = 1;
+};
+
+class SilicaService {
+ public:
+  explicit SilicaService(ServiceConfig config);
+
+  // Stages a file for writing. Data is buffered until Flush().
+  void Put(const std::string& name, uint64_t account, std::vector<uint8_t> data);
+
+  struct FlushReport {
+    uint64_t platters_written = 0;
+    uint64_t redundancy_platters_written = 0;
+    uint64_t files_committed = 0;
+    uint64_t files_kept_in_staging = 0;  // verification failed; will be rewritten
+    uint64_t sectors_verified = 0;
+    double observed_sector_failure_rate = 0.0;
+  };
+
+  // Drains staging: packs, writes, verifies, encodes platter-set redundancy, and
+  // commits metadata. Files on platters that fail verification stay staged.
+  FlushReport Flush();
+
+  // Reads the latest version of a file back through the full decode stack.
+  std::optional<std::vector<uint8_t>> Get(const std::string& name);
+
+  // Logical delete by crypto-shredding.
+  bool Delete(const std::string& name) { return metadata_.Delete(name); }
+
+  // Fails a platter (e.g. its blast zone is blocked); reads will use cross-platter
+  // recovery. Returns false for unknown ids.
+  bool MarkUnavailable(uint64_t platter_id);
+  void MarkAvailable(uint64_t platter_id);
+
+  const MetadataService& metadata() const { return metadata_; }
+  const DataPlane& data_plane() const { return plane_; }
+  uint64_t platters_in_library() const { return platters_.size(); }
+
+  // Scans every platter header and rebuilds a metadata index (disaster recovery).
+  MetadataService ScanAndRebuildIndex() const;
+
+ private:
+  struct StoredPlatter {
+    WrittenPlatter written;
+    uint64_t set_id = 0;
+    size_t index_in_set = 0;  // information index, or set_.info + r for redundancy
+    bool is_redundancy = false;
+    bool unavailable = false;
+  };
+
+  std::optional<std::vector<uint8_t>> ReadViaRecovery(const FileVersion& version);
+
+  ServiceConfig config_;
+  DataPlane plane_;
+  PlatterWriter writer_;
+  PlatterReader reader_;
+  PlatterVerifier verifier_;
+  PlatterSetCodec set_codec_;
+  MetadataService metadata_;
+  Rng rng_;
+
+  struct PendingFile {
+    std::string name;
+    uint64_t account = 0;
+    std::vector<uint8_t> data;
+  };
+  std::vector<PendingFile> staged_;
+  uint64_t next_file_id_ = 1;
+  uint64_t next_platter_id_ = 1;
+  uint64_t next_set_id_ = 0;
+  std::unordered_map<uint64_t, StoredPlatter> platters_;
+  // set id -> platter ids (information platters first).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> sets_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_CORE_SILICA_SERVICE_H_

@@ -1,0 +1,79 @@
+#include "core/staging.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace silica {
+
+void StagingBuffer::Ingest(double t, uint64_t bytes) {
+  if (t < now_) {
+    throw std::invalid_argument("StagingBuffer: arrivals must be time-ordered");
+  }
+  DrainUntil(t);
+  queue_.push_back(Chunk{t, static_cast<double>(bytes)});
+  occupancy_ += static_cast<double>(bytes);
+  report_.total_bytes += bytes;
+  report_.peak_occupancy_bytes =
+      std::max(report_.peak_occupancy_bytes, static_cast<uint64_t>(occupancy_));
+}
+
+void StagingBuffer::DrainUntil(double t) {
+  if (config_.drain_bytes_per_s <= 0.0) {
+    now_ = t;
+    return;
+  }
+  double budget = (t - now_) * config_.drain_bytes_per_s;
+  while (budget > 0.0 && !queue_.empty()) {
+    Chunk& head = queue_.front();
+    const double consumed = std::min(budget, head.bytes);
+    const double drain_time = consumed / config_.drain_bytes_per_s;
+    busy_s_ += drain_time;
+    head.bytes -= consumed;
+    occupancy_ -= consumed;
+    budget -= consumed;
+    if (head.bytes <= 0.0) {
+      // The last byte of this chunk leaves now-ish; track its staging delay.
+      const double finished_at = t - budget / config_.drain_bytes_per_s;
+      report_.max_staging_delay_s =
+          std::max(report_.max_staging_delay_s, finished_at - head.arrival);
+      queue_.pop_front();
+    }
+  }
+  now_ = t;
+}
+
+StagingReport StagingBuffer::Finish() {
+  if (config_.drain_bytes_per_s > 0.0 && !queue_.empty()) {
+    double remaining = 0.0;
+    for (const auto& chunk : queue_) {
+      remaining += chunk.bytes;
+    }
+    DrainUntil(now_ + remaining / config_.drain_bytes_per_s + 1.0);
+  }
+  if (now_ > 0.0) {
+    report_.write_drive_utilization = busy_s_ / now_;
+  }
+  return report_;
+}
+
+double RequiredDrainRate(const std::vector<double>& daily_bytes, int window_days) {
+  if (window_days < 1 || daily_bytes.empty()) {
+    throw std::invalid_argument("RequiredDrainRate: bad arguments");
+  }
+  const int n = static_cast<int>(daily_bytes.size());
+  const int window = std::min(window_days, n);
+  double peak_window_mean = 0.0;
+  double rolling = 0.0;
+  for (int i = 0; i < n; ++i) {
+    rolling += daily_bytes[static_cast<size_t>(i)];
+    if (i >= window) {
+      rolling -= daily_bytes[static_cast<size_t>(i - window)];
+    }
+    if (i >= window - 1) {
+      peak_window_mean = std::max(peak_window_mean, rolling / window);
+    }
+  }
+  return peak_window_mean / (24.0 * 3600.0);  // bytes per second
+}
+
+}  // namespace silica

@@ -1,0 +1,151 @@
+#include "decode/decode_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace silica {
+
+double DiurnalPrice(double t) {
+  const double hour = std::fmod(t / 3600.0, 24.0);
+  if (hour < 6.0) {
+    return 0.3;  // overnight valley
+  }
+  if (hour < 9.0 || hour >= 21.0) {
+    return 0.7;
+  }
+  return 1.0;  // daytime peak
+}
+
+namespace {
+
+struct PendingJob {
+  DecodeJob job;
+  double remaining_s = 0.0;  // worker-seconds of decode work left
+};
+
+}  // namespace
+
+DecodeReport RunDecodeService(const DecodeServiceConfig& config,
+                              std::vector<DecodeJob> jobs, bool time_shifting) {
+  const auto price = config.price ? config.price : DiurnalPrice;
+  std::sort(jobs.begin(), jobs.end(),
+            [](const DecodeJob& a, const DecodeJob& b) { return a.arrival < b.arrival; });
+
+  DecodeReport report;
+  report.jobs_total = jobs.size();
+
+  std::vector<PendingJob> pending;
+  size_t next_arrival = 0;
+  double t = jobs.empty() ? 0.0 : std::floor(jobs.front().arrival / config.period_s) *
+                                      config.period_s;
+
+  while (next_arrival < jobs.size() || !pending.empty()) {
+    const double period_end = t + config.period_s;
+    while (next_arrival < jobs.size() && jobs[next_arrival].arrival < period_end) {
+      PendingJob p;
+      p.job = jobs[next_arrival];
+      p.remaining_s = static_cast<double>(p.job.sectors) * config.seconds_per_sector;
+      report.sectors_decoded += p.job.sectors;
+      pending.push_back(p);
+      ++next_arrival;
+    }
+    if (pending.empty()) {
+      t = period_end;
+      continue;
+    }
+
+    // Earliest deadline first.
+    std::sort(pending.begin(), pending.end(),
+              [](const PendingJob& a, const PendingJob& b) {
+                return a.job.deadline < b.job.deadline;
+              });
+
+    // Mandatory work this period: whatever cannot be deferred even at full
+    // future capacity without missing its deadline.
+    double mandatory_s = 0.0;
+    double committed_future = 0.0;  // future capacity already claimed, EDF order
+    for (const auto& p : pending) {
+      const double future_window =
+          std::max(0.0, p.job.deadline - period_end) *
+              static_cast<double>(config.max_workers) -
+          committed_future;
+      const double deferrable = std::max(0.0, std::min(p.remaining_s, future_window));
+      mandatory_s += p.remaining_s - deferrable;
+      committed_future += deferrable;
+    }
+
+    // Time shifting: slack-rich jobs wait for a cheap period; jobs with little
+    // slack run now regardless. The lookahead spans a full diurnal cycle so the
+    // overnight valley is always visible.
+    double total_remaining = 0.0;
+    double low_slack_s = 0.0;
+    for (const auto& p : pending) {
+      total_remaining += p.remaining_s;
+      if (p.job.deadline - period_end <
+          config.shift_slack_periods * config.period_s) {
+        low_slack_s += p.remaining_s;
+      }
+    }
+    bool run_optional = !time_shifting;
+    if (time_shifting) {
+      // Only look as far ahead as the pending jobs can actually wait.
+      double max_slack = 0.0;
+      for (const auto& p : pending) {
+        max_slack = std::max(max_slack, p.job.deadline - period_end);
+      }
+      double min_future_price = 1e18;
+      const double horizon = std::min(24.0 * 3600.0, max_slack);
+      for (double look = 0.0; look <= horizon; look += config.period_s) {
+        min_future_price = std::min(min_future_price, price(t + look));
+      }
+      run_optional = price(t) <= 1.05 * min_future_price;
+    }
+    const double work_target =
+        run_optional ? total_remaining
+                     : std::min(total_remaining,
+                                std::max(mandatory_s, low_slack_s));
+    const int workers = std::clamp(
+        static_cast<int>(std::ceil(work_target / config.period_s)),
+        config.min_workers, config.max_workers);
+    report.peak_workers = std::max(report.peak_workers, workers);
+
+    // Process EDF at aggregate speed `workers` for this period, but only up to
+    // the work target (idle workers cost nothing — the fleet is elastic).
+    double budget = std::min(work_target,
+                             static_cast<double>(workers) * config.period_s);
+    double busy = 0.0;
+    for (auto& p : pending) {
+      if (budget <= 0.0) {
+        break;
+      }
+      const double spent = std::min(p.remaining_s, budget);
+      p.remaining_s -= spent;
+      budget -= spent;
+      busy += spent;
+      if (p.remaining_s <= 1e-9) {
+        const double finish = t + busy / workers;
+        if (finish <= p.job.deadline) {
+          ++report.jobs_met_deadline;
+        }
+      }
+    }
+    report.worker_seconds += busy;
+    report.total_cost += busy * price(t);
+
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [](const PendingJob& p) {
+                                   return p.remaining_s <= 1e-9;
+                                 }),
+                  pending.end());
+    t = period_end;
+  }
+
+  if (report.sectors_decoded > 0) {
+    report.mean_cost_per_sector =
+        report.total_cost / static_cast<double>(report.sectors_decoded);
+  }
+  return report;
+}
+
+}  // namespace silica

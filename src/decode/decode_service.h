@@ -1,0 +1,78 @@
+// The disaggregated decode stack (Section 3.2).
+//
+// Read drives do not decode internally: they emit sector images, and a fleet of
+// stateless decode workers converts them to bytes. The stack is elastic (capacity
+// scales with load), supports SLOs from seconds to hours, and exploits long
+// deadlines to time-shift work into the cheapest compute periods (e.g. overnight
+// or whenever the grid/spot price dips). The model can also be updated without
+// touching read drive firmware — here that is a pluggable decode function.
+//
+// This module simulates that scheduler: jobs = sector batches with deadlines,
+// workers = capacity that can grow/shrink per period, price = a time-of-day curve.
+// An EDF queue with price-aware admission decides what runs now and what waits for
+// a cheap window, and the report shows the cost/SLO trade-off (tested + benched).
+#ifndef SILICA_DECODE_DECODE_SERVICE_H_
+#define SILICA_DECODE_DECODE_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace silica {
+
+struct DecodeJob {
+  uint64_t id = 0;
+  double arrival = 0.0;     // seconds
+  double deadline = 0.0;    // absolute; SLOs range from seconds to hours
+  uint64_t sectors = 0;     // work units (one sector image each)
+};
+
+struct DecodeServiceConfig {
+  // Seconds of worker time per sector (per-worker service rate is 1/this).
+  double seconds_per_sector = 0.02;
+
+  // Elastic fleet bounds: the autoscaler keeps enough workers to meet deadlines,
+  // within these limits.
+  int min_workers = 1;
+  int max_workers = 64;
+
+  // Compute price per worker-second as a function of time; defaults to a diurnal
+  // curve with a cheap overnight valley.
+  std::function<double(double)> price = nullptr;
+
+  // Scheduling granularity (autoscaling + admission decisions).
+  double period_s = 300.0;
+
+  // Jobs whose slack exceeds this multiple of the period are eligible for
+  // time-shifting toward cheaper periods.
+  double shift_slack_periods = 2.0;
+};
+
+struct DecodeReport {
+  uint64_t jobs_total = 0;
+  uint64_t jobs_met_deadline = 0;
+  uint64_t sectors_decoded = 0;
+  double total_cost = 0.0;        // sum of price x worker-seconds used
+  double mean_cost_per_sector = 0.0;
+  double worker_seconds = 0.0;
+  int peak_workers = 0;
+  double deadline_hit_rate() const {
+    return jobs_total ? static_cast<double>(jobs_met_deadline) /
+                            static_cast<double>(jobs_total)
+                      : 1.0;
+  }
+};
+
+// Time-of-day price curve: expensive daytime, cheap 00:00-06:00 valley.
+double DiurnalPrice(double t);
+
+// Runs the decode scheduler over a batch of jobs (offline simulation: jobs must
+// be sorted by arrival). `time_shifting` enables deferring slack-rich jobs to
+// cheaper periods; disabling it yields the eager baseline for comparison.
+DecodeReport RunDecodeService(const DecodeServiceConfig& config,
+                              std::vector<DecodeJob> jobs, bool time_shifting);
+
+}  // namespace silica
+
+#endif  // SILICA_DECODE_DECODE_SERVICE_H_

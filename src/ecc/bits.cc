@@ -1,0 +1,60 @@
+#include "ecc/bits.h"
+
+#include <stdexcept>
+
+namespace silica {
+
+std::vector<uint8_t> BytesToBits(std::span<const uint8_t> bytes) {
+  std::vector<uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (uint8_t byte : bytes) {
+    for (int b = 0; b < 8; ++b) {
+      bits.push_back(static_cast<uint8_t>((byte >> b) & 1));
+    }
+  }
+  return bits;
+}
+
+std::vector<uint8_t> BitsToBytes(std::span<const uint8_t> bits) {
+  if (bits.size() % 8 != 0) {
+    throw std::invalid_argument("BitsToBytes: bit count not a multiple of 8");
+  }
+  std::vector<uint8_t> bytes(bits.size() / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      bytes[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+  }
+  return bytes;
+}
+
+std::vector<uint16_t> BitsToSymbols(std::span<const uint8_t> bits, int bits_per_symbol) {
+  if (bits_per_symbol < 1 || bits_per_symbol > 16) {
+    throw std::invalid_argument("BitsToSymbols: bits_per_symbol out of range");
+  }
+  if (bits.size() % static_cast<size_t>(bits_per_symbol) != 0) {
+    throw std::invalid_argument("BitsToSymbols: bit count not a symbol multiple");
+  }
+  std::vector<uint16_t> symbols(bits.size() / static_cast<size_t>(bits_per_symbol), 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      symbols[i / static_cast<size_t>(bits_per_symbol)] |=
+          static_cast<uint16_t>(1u << (i % static_cast<size_t>(bits_per_symbol)));
+    }
+  }
+  return symbols;
+}
+
+std::vector<uint8_t> SymbolsToBits(std::span<const uint16_t> symbols,
+                                   int bits_per_symbol) {
+  std::vector<uint8_t> bits;
+  bits.reserve(symbols.size() * static_cast<size_t>(bits_per_symbol));
+  for (uint16_t symbol : symbols) {
+    for (int b = 0; b < bits_per_symbol; ++b) {
+      bits.push_back(static_cast<uint8_t>((symbol >> b) & 1));
+    }
+  }
+  return bits;
+}
+
+}  // namespace silica

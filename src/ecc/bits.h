@@ -1,0 +1,30 @@
+// Bit <-> byte <-> symbol packing helpers for the coding stack.
+//
+// The data plane moves between three representations: user bytes, codeword bits
+// (one bit per entry for the LDPC decoder), and voxel symbols of `bits_per_voxel`
+// bits each (Section 3: a voxel encodes 3-4 bits via polarization and energy).
+#ifndef SILICA_ECC_BITS_H_
+#define SILICA_ECC_BITS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace silica {
+
+// Expands bytes into bits, LSB-first within each byte.
+std::vector<uint8_t> BytesToBits(std::span<const uint8_t> bytes);
+
+// Packs bits (0/1 entries, LSB-first) into bytes; bit count must be a multiple of 8.
+std::vector<uint8_t> BitsToBytes(std::span<const uint8_t> bits);
+
+// Groups bits into symbols of `bits_per_symbol` bits (LSB of the symbol first).
+// Bit count must be a multiple of bits_per_symbol.
+std::vector<uint16_t> BitsToSymbols(std::span<const uint8_t> bits, int bits_per_symbol);
+
+// Inverse of BitsToSymbols.
+std::vector<uint8_t> SymbolsToBits(std::span<const uint16_t> symbols, int bits_per_symbol);
+
+}  // namespace silica
+
+#endif  // SILICA_ECC_BITS_H_

@@ -1,0 +1,181 @@
+#include "ecc/gf256.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace silica {
+namespace {
+
+struct Tables {
+  std::array<uint8_t, 512> exp;  // doubled so Mul can skip a modulo
+  std::array<uint8_t, 256> log;
+
+  Tables() {
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<size_t>(i)] = static_cast<uint8_t>(x);
+      log[static_cast<size_t>(x)] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= 0x11D;
+      }
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<size_t>(i)] = exp[static_cast<size_t>(i - 255)];
+    }
+    log[0] = 0;  // never used; Mul/Div guard zero operands
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+uint8_t Gf256::Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const auto& t = tables();
+  return t.exp[static_cast<size_t>(t.log[a]) + t.log[b]];
+}
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) {
+  if (b == 0) {
+    throw std::domain_error("GF(256) division by zero");
+  }
+  if (a == 0) {
+    return 0;
+  }
+  const auto& t = tables();
+  return t.exp[static_cast<size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+uint8_t Gf256::Inv(uint8_t a) { return Div(1, a); }
+
+uint8_t Gf256::Pow(uint8_t a, unsigned exp) {
+  if (exp == 0) {
+    return 1;
+  }
+  if (a == 0) {
+    return 0;
+  }
+  const auto& t = tables();
+  const unsigned log_a = t.log[a];
+  return t.exp[(log_a * static_cast<uint64_t>(exp)) % 255];
+}
+
+void Gf256::MulAccumulate(std::span<uint8_t> dst, std::span<const uint8_t> src,
+                          uint8_t coeff) {
+  if (coeff == 0) {
+    return;
+  }
+  if (coeff == 1) {
+    for (size_t i = 0; i < dst.size(); ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const auto& t = tables();
+  const unsigned log_c = t.log[coeff];
+  for (size_t i = 0; i < dst.size(); ++i) {
+    const uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= t.exp[static_cast<size_t>(t.log[s]) + log_c];
+    }
+  }
+}
+
+void Gf256::ScaleInPlace(std::span<uint8_t> data, uint8_t coeff) {
+  if (coeff == 1) {
+    return;
+  }
+  for (auto& byte : data) {
+    byte = Mul(byte, coeff);
+  }
+}
+
+Gf256Matrix Gf256Matrix::Identity(size_t k) {
+  Gf256Matrix m(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    m.At(i, i) = 1;
+  }
+  return m;
+}
+
+Gf256Matrix Gf256Matrix::Cauchy(size_t rows, size_t cols) {
+  if (rows + cols > 256) {
+    throw std::invalid_argument("Cauchy matrix needs rows+cols <= 256 distinct points");
+  }
+  Gf256Matrix m(rows, cols);
+  // x_i = i, y_j = rows + j are distinct in GF(256) as long as rows+cols <= 256.
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      const uint8_t x = static_cast<uint8_t>(i);
+      const uint8_t y = static_cast<uint8_t>(rows + j);
+      m.At(i, j) = Gf256::Inv(Gf256::Add(x, y));
+    }
+  }
+  return m;
+}
+
+bool Gf256Matrix::Invert() {
+  if (rows_ != cols_) {
+    return false;
+  }
+  const size_t n = rows_;
+  Gf256Matrix aug = Identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    size_t pivot = col;
+    while (pivot < n && At(pivot, col) == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return false;
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(At(pivot, c), At(col, c));
+        std::swap(aug.At(pivot, c), aug.At(col, c));
+      }
+    }
+    // Normalize pivot row.
+    const uint8_t inv = Gf256::Inv(At(col, col));
+    Gf256::ScaleInPlace(Row(col), inv);
+    Gf256::ScaleInPlace(aug.Row(col), inv);
+    // Eliminate other rows.
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const uint8_t factor = At(r, col);
+      if (factor != 0) {
+        Gf256::MulAccumulate(Row(r), Row(col), factor);
+        Gf256::MulAccumulate(aug.Row(r), aug.Row(col), factor);
+      }
+    }
+  }
+  *this = aug;
+  return true;
+}
+
+Gf256Matrix Gf256Matrix::Multiply(const Gf256Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Gf256Matrix::Multiply: dimension mismatch");
+  }
+  Gf256Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const uint8_t a = At(i, k);
+      if (a != 0) {
+        Gf256::MulAccumulate(out.Row(i), other.Row(k), a);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace silica

@@ -1,0 +1,67 @@
+// Arithmetic over GF(2^8) with the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1
+// (0x11D, the classic Reed-Solomon field, where alpha = 2 generates the
+// multiplicative group so log/exp tables are well defined).
+//
+// All Silica network coding (Section 5) is linear algebra over this field: redundant
+// sectors are linear combinations of information sectors, and recovery is Gaussian
+// elimination on the combination coefficients.
+#ifndef SILICA_ECC_GF256_H_
+#define SILICA_ECC_GF256_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace silica {
+
+class Gf256 {
+ public:
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Sub(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Mul(uint8_t a, uint8_t b);
+  static uint8_t Div(uint8_t a, uint8_t b);  // b must be nonzero
+  static uint8_t Inv(uint8_t a);             // a must be nonzero
+  static uint8_t Pow(uint8_t a, unsigned exp);
+
+  // dst[i] ^= coeff * src[i]; the inner loop of every encode and decode.
+  static void MulAccumulate(std::span<uint8_t> dst, std::span<const uint8_t> src,
+                            uint8_t coeff);
+
+  // dst[i] = coeff * dst[i].
+  static void ScaleInPlace(std::span<uint8_t> data, uint8_t coeff);
+};
+
+// Dense matrix over GF(256) with row operations for Gaussian elimination.
+class Gf256Matrix {
+ public:
+  Gf256Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  uint8_t& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  uint8_t At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  std::span<uint8_t> Row(size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const uint8_t> Row(size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  // Builds the `k x k` identity.
+  static Gf256Matrix Identity(size_t k);
+
+  // Cauchy matrix rows x cols: A[i][j] = 1 / (x_i + y_j) with distinct x_i, y_j.
+  // Every square submatrix of a Cauchy matrix is invertible, which gives the MDS
+  // "any I of I+R reconstructs the group" property the paper relies on.
+  static Gf256Matrix Cauchy(size_t rows, size_t cols);
+
+  // In-place inversion via Gauss-Jordan. Returns false if singular.
+  bool Invert();
+
+  // this * other.
+  Gf256Matrix Multiply(const Gf256Matrix& other) const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_ECC_GF256_H_

@@ -1,0 +1,78 @@
+#include "ecc/gf65536.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace silica {
+namespace {
+
+struct Tables {
+  std::vector<uint16_t> exp;  // 131070 entries (doubled to skip a modulo)
+  std::vector<uint32_t> log;  // 65536 entries
+
+  Tables() : exp(2 * 65535), log(65536, 0) {
+    uint32_t x = 1;
+    for (uint32_t i = 0; i < 65535; ++i) {
+      exp[i] = static_cast<uint16_t>(x);
+      log[x] = i;
+      x <<= 1;
+      if (x & 0x10000) {
+        x ^= 0x1100B;
+      }
+    }
+    for (uint32_t i = 65535; i < 2 * 65535; ++i) {
+      exp[i] = exp[i - 65535];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+uint16_t Gf65536::Mul(uint16_t a, uint16_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const auto& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint16_t Gf65536::Div(uint16_t a, uint16_t b) {
+  if (b == 0) {
+    throw std::domain_error("GF(65536) division by zero");
+  }
+  if (a == 0) {
+    return 0;
+  }
+  const auto& t = tables();
+  return t.exp[t.log[a] + 65535 - t.log[b]];
+}
+
+uint16_t Gf65536::Inv(uint16_t a) { return Div(1, a); }
+
+void Gf65536::MulAccumulate(std::span<uint16_t> dst, std::span<const uint16_t> src,
+                            uint16_t coeff) {
+  if (coeff == 0) {
+    return;
+  }
+  if (coeff == 1) {
+    for (size_t i = 0; i < dst.size(); ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const auto& t = tables();
+  const uint32_t log_c = t.log[coeff];
+  for (size_t i = 0; i < dst.size(); ++i) {
+    const uint16_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= t.exp[t.log[s] + log_c];
+    }
+  }
+}
+
+}  // namespace silica

@@ -1,0 +1,30 @@
+// Arithmetic over GF(2^16) with the primitive polynomial
+// x^16 + x^12 + x^3 + x + 1 (0x1100B).
+//
+// Section 5: "Silica can use group sizes in the tens of thousands" — beyond the 256
+// shards a GF(2^8) Cauchy construction supports. Cross-platter network groups (all
+// sectors of one track from each platter of a 16+3 set, thousands of shards) use
+// this field instead.
+#ifndef SILICA_ECC_GF65536_H_
+#define SILICA_ECC_GF65536_H_
+
+#include <cstdint>
+#include <span>
+
+namespace silica {
+
+class Gf65536 {
+ public:
+  static uint16_t Add(uint16_t a, uint16_t b) { return a ^ b; }
+  static uint16_t Mul(uint16_t a, uint16_t b);
+  static uint16_t Div(uint16_t a, uint16_t b);  // b must be nonzero
+  static uint16_t Inv(uint16_t a);              // a must be nonzero
+
+  // dst[i] ^= coeff * src[i] over 16-bit words.
+  static void MulAccumulate(std::span<uint16_t> dst, std::span<const uint16_t> src,
+                            uint16_t coeff);
+};
+
+}  // namespace silica
+
+#endif  // SILICA_ECC_GF65536_H_

@@ -1,0 +1,305 @@
+#include "ecc/ldpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace silica {
+namespace {
+
+// Dense GF(2) matrix with 64-bit packed rows; only used at construction time.
+class Gf2Dense {
+ public:
+  Gf2Dense(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), words_((cols + 63) / 64),
+        data_(rows * words_, 0) {}
+
+  void Set(size_t r, size_t c) { data_[r * words_ + c / 64] |= 1ull << (c % 64); }
+  bool Get(size_t r, size_t c) const {
+    return (data_[r * words_ + c / 64] >> (c % 64)) & 1;
+  }
+  void XorRows(size_t dst, size_t src) {
+    for (size_t w = 0; w < words_; ++w) {
+      data_[dst * words_ + w] ^= data_[src * words_ + w];
+    }
+  }
+  void SwapRows(size_t a, size_t b) {
+    if (a != b) {
+      std::swap_ranges(data_.begin() + static_cast<long>(a * words_),
+                       data_.begin() + static_cast<long>((a + 1) * words_),
+                       data_.begin() + static_cast<long>(b * words_));
+    }
+  }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+ private:
+  size_t rows_, cols_, words_;
+  std::vector<uint64_t> data_;
+};
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+LdpcCode LdpcCode::Build(const Config& config) {
+  const size_t n = config.block_bits;
+  const size_t m = n - static_cast<size_t>(std::llround(config.rate * static_cast<double>(n)));
+  const int wc = config.column_weight;
+  if (n < 16 || m == 0 || m >= n || wc < 2 || static_cast<size_t>(wc) > m) {
+    throw std::invalid_argument("LdpcCode::Build: bad configuration");
+  }
+
+  Rng rng(config.seed);
+  LdpcCode code;
+  code.n_ = n;
+  code.check_to_var_.assign(m, {});
+  code.var_to_check_.assign(n, {});
+
+  // Greedy column-by-column construction: pick wc distinct checks of minimal degree,
+  // rejecting picks that would close a 4-cycle (two columns sharing two checks) for a
+  // bounded number of retries.
+  std::vector<uint32_t> degree(m, 0);
+  std::unordered_set<uint64_t> used_pairs;
+  std::vector<uint32_t> order(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    order[i] = i;
+  }
+
+  for (size_t col = 0; col < n; ++col) {
+    std::vector<uint32_t> picks;
+    for (int attempt = 0; attempt < 32 && picks.size() < static_cast<size_t>(wc);
+         ++attempt) {
+      picks.clear();
+      // Sort checks by (degree, random tiebreak) and take from the front with jitter.
+      rng.Shuffle(order);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) { return degree[a] < degree[b]; });
+      for (uint32_t candidate : order) {
+        bool ok = true;
+        for (uint32_t chosen : picks) {
+          if (used_pairs.count(PairKey(chosen, candidate)) != 0) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          picks.push_back(candidate);
+          if (picks.size() == static_cast<size_t>(wc)) {
+            break;
+          }
+        }
+      }
+      if (picks.size() == static_cast<size_t>(wc)) {
+        break;
+      }
+    }
+    if (picks.size() < static_cast<size_t>(wc)) {
+      // Girth conditioning failed (very dense corner); fall back to min-degree rows
+      // even if a 4-cycle results.
+      picks.clear();
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) { return degree[a] < degree[b]; });
+      picks.assign(order.begin(), order.begin() + wc);
+    }
+    for (size_t i = 0; i < picks.size(); ++i) {
+      for (size_t j = i + 1; j < picks.size(); ++j) {
+        used_pairs.insert(PairKey(picks[i], picks[j]));
+      }
+    }
+    for (uint32_t check : picks) {
+      code.check_to_var_[check].push_back(static_cast<uint32_t>(col));
+      code.var_to_check_[col].push_back(check);
+      ++degree[check];
+    }
+  }
+
+  // Derive the systematic encoder: row-reduce H, find pivot columns (parity
+  // positions) and free columns (information positions).
+  Gf2Dense h(m, n);
+  for (size_t check = 0; check < m; ++check) {
+    for (uint32_t var : code.check_to_var_[check]) {
+      h.Set(check, var);
+    }
+  }
+
+  std::vector<uint32_t> pivot_col_of_row;
+  std::vector<bool> is_pivot(n, false);
+  size_t row = 0;
+  for (size_t col = 0; col < n && row < m; ++col) {
+    size_t pivot = row;
+    while (pivot < m && !h.Get(pivot, col)) {
+      ++pivot;
+    }
+    if (pivot == m) {
+      continue;
+    }
+    h.SwapRows(row, pivot);
+    for (size_t r = 0; r < m; ++r) {
+      if (r != row && h.Get(r, col)) {
+        h.XorRows(r, row);
+      }
+    }
+    pivot_col_of_row.push_back(static_cast<uint32_t>(col));
+    is_pivot[col] = true;
+    ++row;
+  }
+  const size_t rank = row;
+  code.k_ = n - rank;
+
+  for (uint32_t col = 0; col < n; ++col) {
+    if (!is_pivot[col]) {
+      code.info_positions_.push_back(col);
+    }
+  }
+  code.parity_positions_ = pivot_col_of_row;
+
+  // After full reduction, row r reads: x[pivot_r] + sum_{free j} h[r][j] * x[j] = 0,
+  // so parity bit r is the XOR of the info bits whose reduced-row entry is 1.
+  const size_t info_words = (code.k_ + 63) / 64;
+  code.parity_map_.assign(rank, std::vector<uint64_t>(info_words, 0));
+  for (size_t r = 0; r < rank; ++r) {
+    for (size_t j = 0; j < code.k_; ++j) {
+      if (h.Get(r, code.info_positions_[j])) {
+        code.parity_map_[r][j / 64] |= 1ull << (j % 64);
+      }
+    }
+  }
+  return code;
+}
+
+std::vector<uint8_t> LdpcCode::Encode(std::span<const uint8_t> info_bits) const {
+  if (info_bits.size() != k_) {
+    throw std::invalid_argument("LdpcCode::Encode: expected k info bits");
+  }
+  std::vector<uint8_t> codeword(n_, 0);
+  const size_t info_words = (k_ + 63) / 64;
+  std::vector<uint64_t> packed(info_words, 0);
+  for (size_t j = 0; j < k_; ++j) {
+    codeword[info_positions_[j]] = info_bits[j];
+    if (info_bits[j]) {
+      packed[j / 64] |= 1ull << (j % 64);
+    }
+  }
+  for (size_t r = 0; r < parity_positions_.size(); ++r) {
+    uint64_t acc = 0;
+    for (size_t w = 0; w < info_words; ++w) {
+      acc ^= parity_map_[r][w] & packed[w];
+    }
+    codeword[parity_positions_[r]] = static_cast<uint8_t>(__builtin_popcountll(acc) & 1);
+  }
+  return codeword;
+}
+
+std::vector<uint8_t> LdpcCode::ExtractInfo(std::span<const uint8_t> codeword) const {
+  if (codeword.size() != n_) {
+    throw std::invalid_argument("LdpcCode::ExtractInfo: expected n bits");
+  }
+  std::vector<uint8_t> info(k_);
+  for (size_t j = 0; j < k_; ++j) {
+    info[j] = codeword[info_positions_[j]];
+  }
+  return info;
+}
+
+bool LdpcCode::CheckSyndrome(std::span<const uint8_t> bits) const {
+  for (const auto& vars : check_to_var_) {
+    uint8_t parity = 0;
+    for (uint32_t v : vars) {
+      parity ^= bits[v];
+    }
+    if (parity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LdpcCode::DecodeResult LdpcCode::Decode(std::span<const float> llr,
+                                        int max_iterations) const {
+  if (llr.size() != n_) {
+    throw std::invalid_argument("LdpcCode::Decode: expected n LLRs");
+  }
+  constexpr float kNormalization = 0.75f;  // standard normalized min-sum factor
+
+  DecodeResult result;
+  result.codeword.assign(n_, 0);
+
+  // Edge storage: messages live per (check, slot in check's adjacency list).
+  std::vector<std::vector<float>> check_msg(check_to_var_.size());
+  for (size_t c = 0; c < check_to_var_.size(); ++c) {
+    check_msg[c].assign(check_to_var_[c].size(), 0.0f);
+  }
+
+  std::vector<float> posterior(llr.begin(), llr.end());
+
+  auto hard_decide = [&] {
+    for (size_t v = 0; v < n_; ++v) {
+      result.codeword[v] = posterior[v] < 0.0f ? 1 : 0;
+    }
+  };
+
+  hard_decide();
+  if (CheckSyndrome(result.codeword)) {
+    result.ok = true;
+    return result;
+  }
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    // Check-node update (min-sum): for each check, compute extrinsic messages from
+    // the variable-to-check messages  (posterior - previous check message).
+    for (size_t c = 0; c < check_to_var_.size(); ++c) {
+      const auto& vars = check_to_var_[c];
+      auto& msgs = check_msg[c];
+      // First pass: min1, min2, sign product.
+      float min1 = std::numeric_limits<float>::max();
+      float min2 = std::numeric_limits<float>::max();
+      size_t min_index = 0;
+      int sign_product = 1;
+      for (size_t e = 0; e < vars.size(); ++e) {
+        const float v2c = posterior[vars[e]] - msgs[e];
+        const float mag = std::fabs(v2c);
+        if (v2c < 0.0f) {
+          sign_product = -sign_product;
+        }
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          min_index = e;
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      // Second pass: write new messages and fold them into the posterior.
+      for (size_t e = 0; e < vars.size(); ++e) {
+        const float v2c = posterior[vars[e]] - msgs[e];
+        const float mag = (e == min_index) ? min2 : min1;
+        int sign = sign_product;
+        if (v2c < 0.0f) {
+          sign = -sign;
+        }
+        const float new_msg = kNormalization * static_cast<float>(sign) * mag;
+        posterior[vars[e]] = v2c + new_msg;
+        msgs[e] = new_msg;
+      }
+    }
+
+    hard_decide();
+    result.iterations = iter;
+    if (CheckSyndrome(result.codeword)) {
+      result.ok = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace silica

@@ -1,0 +1,71 @@
+// Low-density parity-check codes for per-sector error correction (Section 5).
+//
+// Construction: a column-regular Gallager-style ensemble with greedy girth
+// conditioning (new columns avoid creating 4-cycles when possible), followed by
+// Gaussian elimination over GF(2) to derive a systematic encoder. Decoding is
+// normalized min-sum belief propagation over per-bit LLRs, which consumes the soft
+// symbol posteriors produced by the decode stack (the paper's ML decoder).
+#ifndef SILICA_ECC_LDPC_H_
+#define SILICA_ECC_LDPC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace silica {
+
+class LdpcCode {
+ public:
+  struct Config {
+    size_t block_bits = 2048;  // codeword length n
+    double rate = 0.75;        // k / n target; the realized k may differ slightly
+                               // if the random parity matrix is rank-deficient
+    int column_weight = 3;     // ones per column of H
+    uint64_t seed = 1;         // construction seed (same seed -> same code)
+  };
+
+  static LdpcCode Build(const Config& config);
+
+  size_t n() const { return n_; }
+  size_t k() const { return k_; }
+  size_t num_checks() const { return check_to_var_.size(); }
+  double rate() const { return static_cast<double>(k_) / static_cast<double>(n_); }
+
+  // Encodes k information bits (0/1 entries) into an n-bit codeword.
+  std::vector<uint8_t> Encode(std::span<const uint8_t> info_bits) const;
+
+  // Extracts the k information bits from a (decoded) codeword.
+  std::vector<uint8_t> ExtractInfo(std::span<const uint8_t> codeword) const;
+
+  struct DecodeResult {
+    bool ok = false;        // true iff all parity checks are satisfied
+    int iterations = 0;     // BP iterations consumed
+    std::vector<uint8_t> codeword;  // hard decisions, n bits
+  };
+
+  // Decodes from per-bit log-likelihood ratios, positive meaning "bit is 0".
+  DecodeResult Decode(std::span<const float> llr, int max_iterations = 50) const;
+
+  // True iff H * bits == 0.
+  bool CheckSyndrome(std::span<const uint8_t> bits) const;
+
+ private:
+  LdpcCode() = default;
+
+  size_t n_ = 0;
+  size_t k_ = 0;
+
+  // Sparse H adjacency.
+  std::vector<std::vector<uint32_t>> check_to_var_;
+  std::vector<std::vector<uint32_t>> var_to_check_;
+
+  // Systematic encoding: codeword positions of info bits and parity bits, plus the
+  // dense parity map P (m x k, bit-packed rows): parity = P * info.
+  std::vector<uint32_t> info_positions_;
+  std::vector<uint32_t> parity_positions_;
+  std::vector<std::vector<uint64_t>> parity_map_;  // one bit-packed row per parity bit
+};
+
+}  // namespace silica
+
+#endif  // SILICA_ECC_LDPC_H_

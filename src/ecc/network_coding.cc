@@ -1,0 +1,126 @@
+#include "ecc/network_coding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace silica {
+
+NetworkCodec::NetworkCodec(size_t info, size_t redundancy)
+    : info_(info),
+      redundancy_(redundancy),
+      coeff_(Gf256Matrix::Cauchy(redundancy, info)) {
+  if (info == 0 || redundancy == 0) {
+    throw std::invalid_argument("NetworkCodec needs at least one shard of each kind");
+  }
+  if (info + redundancy > 256) {
+    throw std::invalid_argument("NetworkCodec group size limited to 256 shards");
+  }
+}
+
+void NetworkCodec::Encode(std::span<const std::span<const uint8_t>> information,
+                          std::span<const std::span<uint8_t>> redundancy_out) const {
+  if (information.size() != info_ || redundancy_out.size() != redundancy_) {
+    throw std::invalid_argument("NetworkCodec::Encode: wrong shard counts");
+  }
+  for (const auto& r : redundancy_out) {
+    std::fill(r.begin(), r.end(), uint8_t{0});
+  }
+  for (size_t i = 0; i < info_; ++i) {
+    EncodeAccumulate(i, information[i], redundancy_out);
+  }
+}
+
+void NetworkCodec::EncodeAccumulate(
+    size_t info_index, std::span<const uint8_t> information,
+    std::span<const std::span<uint8_t>> redundancy) const {
+  if (info_index >= info_ || redundancy.size() != redundancy_) {
+    throw std::invalid_argument("NetworkCodec::EncodeAccumulate: bad arguments");
+  }
+  for (size_t r = 0; r < redundancy_; ++r) {
+    Gf256::MulAccumulate(redundancy[r], information, coeff_.At(r, info_index));
+  }
+}
+
+void NetworkCodec::GeneratorRow(size_t group_index, std::span<uint8_t> row_out) const {
+  std::fill(row_out.begin(), row_out.end(), uint8_t{0});
+  if (group_index < info_) {
+    row_out[group_index] = 1;
+  } else {
+    const size_t r = group_index - info_;
+    for (size_t c = 0; c < info_; ++c) {
+      row_out[c] = coeff_.At(r, c);
+    }
+  }
+}
+
+bool NetworkCodec::Reconstruct(
+    std::span<const size_t> present_indices,
+    std::span<const std::span<const uint8_t>> present,
+    std::span<const size_t> missing_indices,
+    std::span<const std::span<uint8_t>> recovered_out) const {
+  if (present.size() != present_indices.size() ||
+      recovered_out.size() != missing_indices.size()) {
+    throw std::invalid_argument("NetworkCodec::Reconstruct: mismatched spans");
+  }
+  if (present.size() < info_) {
+    return false;
+  }
+  // Use the first I present shards: solve  G_sel * info = present  for the
+  // information shards, then re-encode whatever is missing.
+  Gf256Matrix sel(info_, info_);
+  for (size_t r = 0; r < info_; ++r) {
+    GeneratorRow(present_indices[r], sel.Row(r));
+  }
+  if (!sel.Invert()) {
+    return false;  // cannot happen for a Cauchy code; kept as a defensive check
+  }
+  const size_t shard_len = present.empty() ? 0 : present[0].size();
+
+  // info[j] = sum_r inv[j][r] * present[r]
+  std::vector<std::vector<uint8_t>> info_shards(info_,
+                                                std::vector<uint8_t>(shard_len, 0));
+  for (size_t j = 0; j < info_; ++j) {
+    for (size_t r = 0; r < info_; ++r) {
+      Gf256::MulAccumulate(info_shards[j], present[r], sel.At(j, r));
+    }
+  }
+
+  std::vector<uint8_t> row(info_);
+  for (size_t m = 0; m < missing_indices.size(); ++m) {
+    auto out = recovered_out[m];
+    std::fill(out.begin(), out.end(), uint8_t{0});
+    GeneratorRow(missing_indices[m], row);
+    for (size_t c = 0; c < info_; ++c) {
+      Gf256::MulAccumulate(out, info_shards[c], row[c]);
+    }
+  }
+  return true;
+}
+
+double NetworkCodec::GroupFailureProbability(double p) const {
+  // P[X > R], X ~ Binomial(n, p), computed in log space to survive n ~ 200 and
+  // p ~ 1e-3 without underflow.
+  const size_t n = group_size();
+  if (p <= 0.0) {
+    return 0.0;
+  }
+  if (p >= 1.0) {
+    return 1.0;
+  }
+  auto log_binom = [](size_t nn, size_t kk) {
+    return std::lgamma(static_cast<double>(nn) + 1) -
+           std::lgamma(static_cast<double>(kk) + 1) -
+           std::lgamma(static_cast<double>(nn - kk) + 1);
+  };
+  double prob = 0.0;
+  for (size_t k = redundancy_ + 1; k <= n; ++k) {
+    const double log_term = log_binom(n, k) + static_cast<double>(k) * std::log(p) +
+                            static_cast<double>(n - k) * std::log1p(-p);
+    prob += std::exp(log_term);
+  }
+  return std::min(prob, 1.0);
+}
+
+}  // namespace silica

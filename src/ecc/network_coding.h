@@ -1,0 +1,75 @@
+// Systematic MDS erasure coding ("network coding" in the paper, Section 5).
+//
+// A network group is I information shards plus R redundant shards such that ANY I
+// shards of the group reconstruct any other shard. Redundant shards are GF(256)
+// linear combinations of the information shards with Cauchy coefficients, so every
+// selection of I surviving shards yields an invertible system (the classic
+// Cauchy-Reed-Solomon argument).
+//
+// The same codec is instantiated at three levels in Silica:
+//   * within-track:   I_t ~ 200 information sectors, R_t ~ 16 redundancy sectors;
+//   * large-group:    I_l ~ 100 information tracks,  R_l ~ 10 redundancy tracks;
+//   * cross-platter:  I_p = 16 information platters, R_p = 3 redundancy platters.
+#ifndef SILICA_ECC_NETWORK_CODING_H_
+#define SILICA_ECC_NETWORK_CODING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/gf256.h"
+
+namespace silica {
+
+class NetworkCodec {
+ public:
+  // Creates a codec for groups of `info` + `redundancy` shards. info + redundancy
+  // must be <= 256 (field size limit for the Cauchy construction).
+  NetworkCodec(size_t info, size_t redundancy);
+
+  size_t info() const { return info_; }
+  size_t redundancy() const { return redundancy_; }
+  size_t group_size() const { return info_ + redundancy_; }
+
+  // Computes all R redundancy shards from the I information shards. Every span in
+  // both vectors must have the same length. Redundancy buffers are overwritten.
+  void Encode(std::span<const std::span<const uint8_t>> information,
+              std::span<const std::span<uint8_t>> redundancy_out) const;
+
+  // Incremental encode: folds information shard `info_index` into all redundancy
+  // buffers. Calling this once per information shard (over zeroed redundancy
+  // buffers) is equivalent to Encode; it lets the write pipeline stream sectors
+  // through without holding a whole group in memory twice.
+  void EncodeAccumulate(size_t info_index, std::span<const uint8_t> information,
+                        std::span<const std::span<uint8_t>> redundancy) const;
+
+  // Reconstructs the missing shards of a group.
+  //
+  // `present_indices[i]` is the group index (0..I+R-1, information shards first) of
+  // the shard stored in `present[i]`. At least I shards must be present. Recovered
+  // information shards are written into `recovered_out[j]` matching
+  // `missing_indices[j]` (which may name information or redundancy shards).
+  //
+  // Returns false if fewer than I shards are available (group lost).
+  bool Reconstruct(std::span<const size_t> present_indices,
+                   std::span<const std::span<const uint8_t>> present,
+                   std::span<const size_t> missing_indices,
+                   std::span<const std::span<uint8_t>> recovered_out) const;
+
+  // Probability that a group is unrecoverable when each shard independently fails
+  // with probability p: P[#failures > R] under Binomial(I+R, p). Used for the
+  // "track decode failure < 1e-24" style durability math in Section 6.
+  double GroupFailureProbability(double shard_failure_prob) const;
+
+ private:
+  // Row g of the full generator: identity for g < I, Cauchy row g-I otherwise.
+  void GeneratorRow(size_t group_index, std::span<uint8_t> row_out) const;
+
+  size_t info_;
+  size_t redundancy_;
+  Gf256Matrix coeff_;  // R x I Cauchy coefficients
+};
+
+}  // namespace silica
+
+#endif  // SILICA_ECC_NETWORK_CODING_H_

@@ -1,0 +1,64 @@
+#include "library/motion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silica {
+
+MotionModel::MotionModel(const MotionParams& params)
+    : params_(params),
+      seek_(LogNormalDistribution::FromMedianAndQuantile(
+          params.seek_median_s, 0.999, params.seek_max_s, params.seek_max_s)),
+      // Crabbing: tight distribution, fastest-to-slowest spread under 100 ms.
+      crab_(params.crab_median_s, 0.03, params.crab_median_s - 0.06,
+            params.crab_max_s) {}
+
+double MotionModel::ExpectedHorizontalTravelTime(double distance_m) const {
+  if (distance_m <= 0.0) {
+    return 0.0;
+  }
+  const double a = params_.acceleration_mps2;
+  const double v = params_.max_speed_mps;
+  const double accel_distance = v * v / a;  // accelerate + decelerate span
+  double cruise_time = 0.0;
+  double ramp_time = 0.0;
+  if (distance_m >= accel_distance) {
+    ramp_time = 2.0 * v / a;
+    cruise_time = (distance_m - accel_distance) / v;
+  } else {
+    // Triangular profile: never reaches top speed.
+    ramp_time = 2.0 * std::sqrt(distance_m / a);
+  }
+  return ramp_time + cruise_time + params_.fine_tune_s;
+}
+
+double MotionModel::HorizontalTravelTime(double distance_m, Rng& rng) const {
+  if (distance_m <= 0.0) {
+    return 0.0;
+  }
+  const double jitter =
+      std::max(0.0, rng.Normal(0.0, params_.fine_tune_jitter_s));
+  return ExpectedHorizontalTravelTime(distance_m) + jitter;
+}
+
+double MotionModel::CrabTime(Rng& rng) const { return crab_.Sample(rng); }
+
+double MotionModel::PickTime(Rng& rng) const {
+  return std::max(0.1, rng.Normal(params_.place_mean_s + params_.pick_extra_s,
+                                  params_.picker_jitter_s));
+}
+
+double MotionModel::PlaceTime(Rng& rng) const {
+  return std::max(0.1, rng.Normal(params_.place_mean_s, params_.picker_jitter_s));
+}
+
+double MotionModel::SeekTime(Rng& rng) const { return seek_.Sample(rng); }
+
+double MotionModel::TravelEnergy(double distance_m, int accel_cycles,
+                                 int crabs) const {
+  return params_.energy_per_meter * distance_m +
+         params_.energy_per_accel_cycle * accel_cycles +
+         params_.energy_per_crab * crabs;
+}
+
+}  // namespace silica

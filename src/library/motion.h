@@ -1,0 +1,83 @@
+// Mechanical latency and energy models for shuttles and read drives, calibrated to
+// the prototype benchmarks of Section 7.1 / Figure 3:
+//   - horizontal motion: trapezoidal velocity profile (acceleration-limited, capped
+//     top speed) plus a constant ~0.5 s fine-tuning alignment phase;
+//   - vertical motion (crabbing): ~3 s per rail transition, 86% of operations within
+//     3 s, max observed 3.02 s;
+//   - pick / place: picking averages 170 ms slower than placing (platter weight);
+//   - mount / unmount / fast switch: a conservative constant 1 s;
+//   - seek: median 0.6 s, max 2 s.
+#ifndef SILICA_LIBRARY_MOTION_H_
+#define SILICA_LIBRARY_MOTION_H_
+
+#include "common/distributions.h"
+#include "common/rng.h"
+
+namespace silica {
+
+struct MotionParams {
+  // Horizontal travel.
+  double max_speed_mps = 2.5;       // top shuttle speed along a rail
+  double acceleration_mps2 = 1.5;   // symmetric accel / decel
+  double fine_tune_s = 0.5;         // constant alignment phase
+  double fine_tune_jitter_s = 0.08; // benchmark spread around the 0.5 s alignment
+
+  // Vertical travel (crabbing between adjacent rails).
+  double crab_median_s = 2.95;
+  double crab_max_s = 3.02;  // paper: max 3.02 s, spread fastest-to-slowest 88 ms
+
+  // Picker.
+  double place_mean_s = 1.45;
+  double pick_extra_s = 0.17;  // picking is ~170 ms slower than placing
+  double picker_jitter_s = 0.05;
+
+  // Read drive.
+  double mount_s = 1.0;        // constant, conservative (no automated mount yet)
+  double fast_switch_s = 1.0;  // dual-slot context switch
+  double seek_median_s = 0.6;
+  double seek_max_s = 2.0;
+
+  // Energy model (relative units per operation; used for Figure 7(b)).
+  double energy_per_meter = 1.0;        // steady horizontal travel
+  double energy_per_accel_cycle = 2.0;  // one start/stop pair
+  double energy_per_crab = 1.5;
+  double energy_per_pick_place = 0.8;
+};
+
+// Samples operation durations; holds its own pre-built distributions.
+class MotionModel {
+ public:
+  explicit MotionModel(const MotionParams& params);
+
+  const MotionParams& params() const { return params_; }
+
+  // Time for a horizontal move of `distance_m` meters including fine tuning.
+  // Deterministic part is the trapezoidal profile; jitter models alignment spread.
+  double HorizontalTravelTime(double distance_m, Rng& rng) const;
+
+  // Deterministic expected horizontal time (used for congestion-overhead
+  // accounting: observed minus expected-in-absence-of-obstruction).
+  double ExpectedHorizontalTravelTime(double distance_m) const;
+
+  double CrabTime(Rng& rng) const;       // one rail transition
+  double PickTime(Rng& rng) const;
+  double PlaceTime(Rng& rng) const;
+  double MountTime() const { return params_.mount_s; }
+  double UnmountTime() const { return params_.mount_s; }
+  double FastSwitchTime() const { return params_.fast_switch_s; }
+  double SeekTime(Rng& rng) const;
+
+  // Energy spent by one leg of travel: distance, number of accel/decel cycles
+  // (>= 1 per move; congestion stops add cycles), and crab count.
+  double TravelEnergy(double distance_m, int accel_cycles, int crabs) const;
+  double PickPlaceEnergy() const { return params_.energy_per_pick_place; }
+
+ private:
+  MotionParams params_;
+  LogNormalDistribution seek_;
+  TruncatedNormalDistribution crab_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_LIBRARY_MOTION_H_

@@ -1,0 +1,73 @@
+#include "library/panel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+
+Panel::Panel(const LibraryConfig& config) : config_(config) {
+  if (config_.storage_racks < 1 || config_.shelves < 1 ||
+      config_.slots_per_shelf < 1 || config_.read_racks < 1 ||
+      config_.read_racks > 2) {
+    throw std::invalid_argument("Panel: invalid library configuration");
+  }
+}
+
+double Panel::StorageRackX(int rack) const {
+  if (rack < 0 || rack >= config_.storage_racks) {
+    throw std::out_of_range("Panel::StorageRackX: rack out of range");
+  }
+  // Layout: [write][read][storage_0 .. storage_{N-1}][read]  (second read rack only
+  // when read_racks == 2).
+  return (2.0 + rack) * config_.rack_width_m;
+}
+
+double Panel::SlotX(const SlotAddress& address) const {
+  if (address.shelf < 0 || address.shelf >= config_.shelves || address.slot < 0 ||
+      address.slot >= config_.slots_per_shelf) {
+    throw std::out_of_range("Panel::SlotX: slot out of range");
+  }
+  const double pitch = config_.rack_width_m / config_.slots_per_shelf;
+  return StorageRackX(address.rack) + (address.slot + 0.5) * pitch;
+}
+
+double Panel::Width() const {
+  return static_cast<double>(config_.num_racks()) * config_.rack_width_m;
+}
+
+DrivePosition Panel::DrivePositionOf(int drive) const {
+  if (drive < 0 || drive >= config_.num_read_drives()) {
+    throw std::out_of_range("Panel::DrivePositionOf: drive out of range");
+  }
+  const int rack_index = drive / config_.drives_per_read_rack;  // 0 = left, 1 = right
+  const int within = drive % config_.drives_per_read_rack;
+  const int column = within / 5;        // two columns of five
+  const int level = within % 5;
+  double rack_x0 = 0.0;
+  if (rack_index == 0) {
+    rack_x0 = 1.0 * config_.rack_width_m;  // just right of the write rack
+  } else {
+    rack_x0 = (2.0 + config_.storage_racks) * config_.rack_width_m;  // far end
+  }
+  DrivePosition pos;
+  pos.x = rack_x0 + (column + 0.5) * config_.rack_width_m / 2.0;
+  // Spread drives across the shelf range: levels 0..4 -> shelves 0,2,4,6,8.
+  pos.shelf = std::min(config_.shelves - 1, level * 2);
+  return pos;
+}
+
+DrivePosition Panel::WriteEjectBay() const {
+  DrivePosition pos;
+  pos.x = 0.5 * config_.rack_width_m;
+  pos.shelf = config_.shelves / 2;
+  return pos;
+}
+
+int Panel::SegmentOf(double x) const {
+  const double segment_width = config_.rack_width_m / kSegmentsPerRack;
+  const int segment = static_cast<int>(x / segment_width);
+  return std::clamp(segment, 0, num_segments() - 1);
+}
+
+}  // namespace silica

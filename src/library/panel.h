@@ -1,0 +1,116 @@
+// Physical layout of one Silica library panel (Section 4).
+//
+// A library is a sequence of racks left to right — write rack, read rack, storage
+// racks, read rack — spanned by parallel horizontal rails. There is a shelf between
+// each pair of contiguous rails; platters stand vertically in slots like books.
+// Shuttles ride the rails: horizontal moves along a shelf "lane", vertical moves by
+// crabbing between rails.
+//
+// Coordinates: x in meters from the left edge of the library; vertical position is
+// the shelf index (0 = bottom). A storage slot is (rack, shelf, slot-in-shelf).
+#ifndef SILICA_LIBRARY_PANEL_H_
+#define SILICA_LIBRARY_PANEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "library/motion.h"
+
+namespace silica {
+
+enum class RackType { kWrite, kRead, kStorage };
+
+struct LibraryConfig {
+  int storage_racks = 7;         // >= 6 by design (Section 6 / Table 1)
+  int drives_per_read_rack = 10; // a read rack fits up to 10 drives
+  int read_racks = 2;            // one next to the write rack, one at the far end
+  int shelves = 10;              // per panel (Section 7.1)
+  int slots_per_shelf = 80;      // storage slots per shelf per rack
+  double rack_width_m = 1.2;
+
+  int num_shuttles = 20;         // bounded by 2x read drives on the panel
+  double drive_throughput_mbps = 60.0;
+  // Optional per-drive override: drives may have different throughputs in the
+  // same library (Section 3's cost-performance trade-off). Missing entries fall
+  // back to drive_throughput_mbps.
+  std::vector<double> drive_throughputs_mbps;
+
+  // Shuttles are battery powered; travel drains the battery (same units as the
+  // MotionParams energy model) and an empty shuttle docks to recharge.
+  double shuttle_battery_capacity = 4000.0;  // 0 disables the battery model
+  double shuttle_recharge_s = 600.0;
+
+  MotionParams motion;
+
+  // Control-plane policy under test (Section 7.2 baselines).
+  enum class Policy {
+    kPartitioned,    // Silica: logical partitions + optional work stealing
+    kShortestPaths,  // SP: free-for-all shortest path routing
+    kNoShuttles,     // NS: infinitely fast platter delivery (lower bound)
+  };
+  Policy policy = Policy::kPartitioned;
+  bool work_stealing = true;
+  double steal_threshold_bytes = 1.0e9;  // queued-bytes imbalance that triggers steals
+  bool group_platter_requests = true;    // serve all queued requests per mount
+  bool fast_switching = true;            // dual-slot verify/customer switching
+
+  int num_read_drives() const { return read_racks * drives_per_read_rack; }
+  int num_racks() const { return 1 + read_racks + storage_racks; }
+  int storage_slots() const { return storage_racks * shelves * slots_per_shelf; }
+};
+
+struct SlotAddress {
+  int rack = 0;   // index among storage racks only (0..storage_racks-1)
+  int shelf = 0;
+  int slot = 0;
+
+  bool operator==(const SlotAddress&) const = default;
+};
+
+struct DrivePosition {
+  double x = 0.0;
+  int shelf = 0;
+};
+
+class Panel {
+ public:
+  explicit Panel(const LibraryConfig& config);
+
+  const LibraryConfig& config() const { return config_; }
+
+  // x coordinate (meters) of a storage slot.
+  double SlotX(const SlotAddress& address) const;
+
+  // Left edge of storage rack `rack` (storage-rack index).
+  double StorageRackX(int rack) const;
+
+  // Span of the whole panel in meters.
+  double Width() const;
+
+  // Position of read drive `drive` (0..num_read_drives-1). Drives 0..9 live in the
+  // left read rack (next to the write rack), 10..19 in the right end rack; within a
+  // rack they sit in two columns across five shelf levels.
+  DrivePosition DrivePositionOf(int drive) const;
+
+  // The eject bay of the write drive, where shuttles collect freshly written
+  // platters for verification.
+  DrivePosition WriteEjectBay() const;
+
+  // Storage region boundaries (x of first storage rack, x past the last).
+  double StorageBeginX() const { return StorageRackX(0); }
+  double StorageEndX() const { return StorageRackX(config_.storage_racks - 1) + config_.rack_width_m; }
+
+  // Converts an x coordinate to a rail segment index for traffic reservations.
+  // A segment is a quarter rack — roughly the exclusion zone around a moving
+  // shuttle (its body plus braking distance).
+  static constexpr int kSegmentsPerRack = 4;
+  int SegmentOf(double x) const;
+  int num_segments() const { return config_.num_racks() * kSegmentsPerRack; }
+
+ private:
+  LibraryConfig config_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_LIBRARY_PANEL_H_

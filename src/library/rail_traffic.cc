@@ -1,0 +1,53 @@
+#include "library/rail_traffic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace silica {
+
+RailTraffic::RailTraffic(int lanes, int segments) {
+  if (lanes < 1 || segments < 1) {
+    throw std::invalid_argument("RailTraffic: need at least one lane and segment");
+  }
+  busy_until_.assign(static_cast<size_t>(lanes),
+                     std::vector<double>(static_cast<size_t>(segments), 0.0));
+}
+
+RailTraffic::Traversal RailTraffic::Traverse(int lane, int from, int to, double now,
+                                             double segment_time) {
+  auto& lane_busy = busy_until_.at(static_cast<size_t>(lane));
+  const int step = to >= from ? 1 : -1;
+
+  RailTraffic::Traversal result;
+  result.depart_time = now;
+  double t = now;
+  for (int segment = from;; segment += step) {
+    double& busy = lane_busy.at(static_cast<size_t>(segment));
+    if (busy > t) {
+      result.congestion_wait += busy - t;
+      ++result.stops;
+      t = busy;
+      if (segment == from) {
+        result.depart_time = t;
+      }
+    }
+    // Occupy this segment while crossing it.
+    busy = t + segment_time;
+    t += segment_time;
+    if (segment == to) {
+      break;
+    }
+  }
+  result.arrive_time = t;
+  return result;
+}
+
+void RailTraffic::Expire(double now) {
+  for (auto& lane : busy_until_) {
+    for (auto& busy : lane) {
+      busy = std::min(busy, now + 60.0);  // clamp pathological reservations
+    }
+  }
+}
+
+}  // namespace silica

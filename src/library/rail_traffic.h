@@ -1,0 +1,44 @@
+// Rail occupancy tracking for congestion modelling (Section 4.1).
+//
+// The traffic manager's job is to keep shuttles from conflicting on shared rails.
+// We model the panel as lanes (one per shelf level) split into coarse segments (one
+// per rack). A horizontal traversal reserves the segments it crosses, in order; if a
+// segment is still held by another shuttle, the newcomer waits (that wait *is* the
+// congestion overhead measured in Figure 7(a)) and pays an extra stop/start
+// acceleration cycle in the energy model of Figure 7(b).
+#ifndef SILICA_LIBRARY_RAIL_TRAFFIC_H_
+#define SILICA_LIBRARY_RAIL_TRAFFIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace silica {
+
+class RailTraffic {
+ public:
+  RailTraffic(int lanes, int segments);
+
+  struct Traversal {
+    double depart_time = 0.0;   // when the shuttle actually leaves (>= requested)
+    double arrive_time = 0.0;   // when it reaches the destination
+    double congestion_wait = 0.0;  // total time spent waiting on busy segments
+    int stops = 0;                 // number of forced stops (extra accel cycles)
+  };
+
+  // Plans a traversal on `lane` from x-segment `from` to `to` starting at `now`,
+  // with `segment_time` seconds needed to cross one segment. Reserves the segments
+  // and returns the timing. Segments are crossed sequentially; each is released as
+  // the shuttle exits it.
+  Traversal Traverse(int lane, int from, int to, double now, double segment_time);
+
+  // Forgets reservations older than `horizon` (keeps the table small in long runs).
+  void Expire(double now);
+
+ private:
+  // busy_until_[lane][segment]: the time the segment becomes free.
+  std::vector<std::vector<double>> busy_until_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_LIBRARY_RAIL_TRAFFIC_H_

@@ -1,0 +1,81 @@
+#include "media/geometry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+
+int MediaGeometry::payload_bytes_per_sector() const {
+  const int n = raw_bits_per_sector();
+  const int k = static_cast<int>(std::llround(ldpc_rate * n));
+  const int usable = k - 32;  // 32-bit CRC of the payload rides inside the info bits
+  if (usable < 8) {
+    throw std::logic_error("sector too small for a payload");
+  }
+  return usable / 8;
+}
+
+int MediaGeometry::large_group_redundancy_total() const {
+  if (large_group_info_tracks <= 0) {
+    return 0;
+  }
+  const int groups = (info_tracks_per_platter + large_group_info_tracks - 1) /
+                     large_group_info_tracks;
+  return groups * large_group_redundancy_tracks;
+}
+
+MediaGeometry MediaGeometry::ProductionScale() {
+  MediaGeometry g;
+  // A sector is >100k voxels and >100 kB of data (Section 3): 416x400 voxels at
+  // 3 bits/voxel and rate 0.75 gives ~46 kB payload per sector... scale rows up to
+  // reach the paper's 100 kB: 624x600 voxels -> 105 kB payload.
+  g.sector_rows = 624;
+  g.sector_cols = 600;
+  g.bits_per_voxel = 3;
+  g.ldpc_rate = 0.75;
+  g.info_sectors_per_track = 200;      // I_t = O(100): ~200 Z layers per stack
+  g.redundancy_sectors_per_track = 16; // R_t = O(10), ~8% overhead
+  // A track is the Z-stack at one XY position (~21 MB payload); a platter offers
+  // on the order of 1e5 XY track positions, for multiple TBs of user data.
+  g.info_tracks_per_platter = 100000;
+  g.large_group_info_tracks = 100;     // I_l = O(100)
+  g.large_group_redundancy_tracks = 2; // ~2% additional overhead
+  return g;
+}
+
+MediaGeometry MediaGeometry::DataPlaneScale() {
+  MediaGeometry g;
+  g.sector_rows = 32;
+  g.sector_cols = 64;  // 2048 voxels, 6144-bit LDPC blocks
+  g.bits_per_voxel = 3;
+  g.ldpc_rate = 0.75;
+  g.info_sectors_per_track = 24;
+  g.redundancy_sectors_per_track = 2;  // same ~8% within-track overhead
+  g.info_tracks_per_platter = 20;
+  g.large_group_info_tracks = 10;
+  g.large_group_redundancy_tracks = 1;
+  return g;
+}
+
+SectorAddress SerpentineSectorAddress(const MediaGeometry& geometry, uint64_t index) {
+  const uint64_t per_track = static_cast<uint64_t>(geometry.info_sectors_per_track);
+  const int track = static_cast<int>(index / per_track);
+  const int offset = static_cast<int>(index % per_track);
+  SectorAddress address;
+  address.track = track;
+  address.sector = (track % 2 == 0)
+                       ? offset
+                       : geometry.info_sectors_per_track - 1 - offset;
+  return address;
+}
+
+uint64_t SerpentineSectorIndex(const MediaGeometry& geometry, SectorAddress address) {
+  const uint64_t per_track = static_cast<uint64_t>(geometry.info_sectors_per_track);
+  const int offset = (address.track % 2 == 0)
+                         ? address.sector
+                         : geometry.info_sectors_per_track - 1 - address.sector;
+  return static_cast<uint64_t>(address.track) * per_track +
+         static_cast<uint64_t>(offset);
+}
+
+}  // namespace silica

@@ -1,0 +1,112 @@
+// Glass media geometry and addressing (Section 3).
+//
+// A platter is a DVD-sized square of fused silica. Data lives in voxels written in 2D
+// XY layers; a rectangular group of voxels a read drive can image at once is a sector
+// (>100k voxels, upwards of 100 kB); a 3D stack of sectors across the Z layers is a
+// track — the minimum read unit. Adjacent tracks can be read in serpentine order
+// without an extra seek.
+//
+// Two profiles of the same struct are used in this repo:
+//   * MediaGeometry::ProductionScale() carries the paper's capacity numbers and is what
+//     the library digital twin uses for sizing (it never touches individual bits);
+//   * MediaGeometry::DataPlaneScale() is a shrunken sector used where real bytes flow
+//     through the LDPC/channel stack, keeping codeword construction tractable while
+//     exercising exactly the same code paths.
+#ifndef SILICA_MEDIA_GEOMETRY_H_
+#define SILICA_MEDIA_GEOMETRY_H_
+
+#include <cstdint>
+
+namespace silica {
+
+struct MediaGeometry {
+  // Voxel grid of one sector (one image on the read drive sensor).
+  int sector_rows = 0;
+  int sector_cols = 0;
+  int bits_per_voxel = 3;
+
+  // Track structure: information + within-track NC redundancy sectors (Section 5).
+  int info_sectors_per_track = 0;
+  int redundancy_sectors_per_track = 0;
+
+  // Platter structure: information tracks, large-group NC redundancy tracks.
+  int info_tracks_per_platter = 0;
+  int large_group_info_tracks = 0;        // I_l: tracks per large coding group
+  int large_group_redundancy_tracks = 0;  // R_l: redundancy tracks per group
+
+  // LDPC code rate applied per sector.
+  double ldpc_rate = 0.75;
+
+  int voxels_per_sector() const { return sector_rows * sector_cols; }
+  int raw_bits_per_sector() const { return voxels_per_sector() * bits_per_voxel; }
+
+  // Usable payload per sector after LDPC parity and the 32-bit sector checksum.
+  int payload_bytes_per_sector() const;
+
+  int sectors_per_track() const {
+    return info_sectors_per_track + redundancy_sectors_per_track;
+  }
+
+  // User-visible payload of one track (information sectors only).
+  uint64_t payload_bytes_per_track() const {
+    return static_cast<uint64_t>(info_sectors_per_track) *
+           static_cast<uint64_t>(payload_bytes_per_sector());
+  }
+
+  // Raw bytes a read drive must stream to read one full track (all sectors).
+  uint64_t raw_bytes_per_track() const {
+    return static_cast<uint64_t>(sectors_per_track()) *
+           static_cast<uint64_t>(raw_bits_per_sector()) / 8;
+  }
+
+  int large_group_redundancy_total() const;
+  int tracks_per_platter() const {
+    return info_tracks_per_platter + large_group_redundancy_total();
+  }
+
+  // User payload per platter (information tracks x information sectors).
+  uint64_t payload_bytes_per_platter() const {
+    return static_cast<uint64_t>(info_tracks_per_platter) * payload_bytes_per_track();
+  }
+
+  // Within-track redundancy overhead (~8% in the paper).
+  double track_redundancy_overhead() const {
+    return static_cast<double>(redundancy_sectors_per_track) /
+           static_cast<double>(info_sectors_per_track);
+  }
+
+  // Large-group redundancy overhead (~2% in the paper).
+  double large_group_overhead() const {
+    return static_cast<double>(large_group_redundancy_tracks) /
+           static_cast<double>(large_group_info_tracks);
+  }
+
+  // Capacity profile used by the library simulator: multi-TB platters, 100 kB
+  // sectors, within-track 200+16 (~8%), large-group 100+2 (~2%).
+  static MediaGeometry ProductionScale();
+
+  // Shrunken profile for the real-bytes data plane: small LDPC blocks, same
+  // structure and overhead ratios.
+  static MediaGeometry DataPlaneScale();
+};
+
+// Addressing. Information sectors of a platter are filled in serpentine order:
+// track 0 sectors 0..S-1, then track 1 sectors S-1..0, and so on (Section 6), so a
+// file that spills over a track boundary continues on the adjacent track with no
+// extra seek.
+struct SectorAddress {
+  int track = 0;
+  int sector = 0;  // index within the track
+
+  bool operator==(const SectorAddress&) const = default;
+};
+
+// Maps the i-th information sector of a platter (in fill order) to its address.
+SectorAddress SerpentineSectorAddress(const MediaGeometry& geometry, uint64_t index);
+
+// Inverse of SerpentineSectorAddress, counting only information sectors.
+uint64_t SerpentineSectorIndex(const MediaGeometry& geometry, SectorAddress address);
+
+}  // namespace silica
+
+#endif  // SILICA_MEDIA_GEOMETRY_H_

@@ -1,0 +1,76 @@
+// Data-plane model of one glass platter: WORM voxel storage plus the self-descriptive
+// header (Section 6: each platter carries its own file list so data remains locatable
+// after a platter-level scan even if the metadata service is lost).
+#ifndef SILICA_MEDIA_PLATTER_H_
+#define SILICA_MEDIA_PLATTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "media/geometry.h"
+
+namespace silica {
+
+struct PlatterFileEntry {
+  uint64_t file_id = 0;
+  std::string name;
+  uint64_t start_sector_index = 0;  // serpentine information-sector index
+  uint64_t size_bytes = 0;
+
+  bool operator==(const PlatterFileEntry&) const = default;
+};
+
+struct PlatterHeader {
+  uint64_t platter_id = 0;
+  std::vector<PlatterFileEntry> files;
+
+  // Length-prefixed binary serialization guarded by CRC-64.
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<PlatterHeader> Parse(std::span<const uint8_t> bytes);
+};
+
+// Holds the written voxel symbols of every sector. Write-once: writing a sector twice
+// throws, matching the physical impossibility of modifying voxels (the read power
+// cannot alter voxels, and the library mechanics never return a platter to a write
+// drive).
+class GlassPlatter {
+ public:
+  GlassPlatter(MediaGeometry geometry, uint64_t platter_id);
+
+  const MediaGeometry& geometry() const { return geometry_; }
+  uint64_t platter_id() const { return platter_id_; }
+
+  // WORM write of one sector's voxel symbols (raw_bits/bits_per_voxel entries).
+  void WriteSector(SectorAddress address, std::vector<uint16_t> symbols);
+
+  bool IsWritten(SectorAddress address) const;
+
+  // Returns the written symbols; throws if the sector was never written.
+  std::span<const uint16_t> SectorSymbols(SectorAddress address) const;
+
+  // Header management. Sealing the platter freezes the header (one-way, like the
+  // air gap: after sealing no further writes of any kind are accepted).
+  void SetHeader(PlatterHeader header);
+  const PlatterHeader& header() const { return header_; }
+  void Seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
+
+  // Fraction of sectors written, for diagnostics.
+  double FillFraction() const;
+
+ private:
+  size_t FlatIndex(SectorAddress address) const;
+
+  MediaGeometry geometry_;
+  uint64_t platter_id_;
+  std::vector<std::vector<uint16_t>> sectors_;  // empty vector == unwritten
+  PlatterHeader header_;
+  bool sealed_ = false;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_MEDIA_PLATTER_H_

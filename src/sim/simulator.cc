@@ -1,0 +1,61 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace silica {
+
+Simulator::EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulator::Schedule: negative delay");
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+Simulator::EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::ScheduleAt: time in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id != kInvalidEvent) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Simulator::Idle() const {
+  // The queue may still hold cancelled tombstones; treat those as idle. This is a
+  // conservative check used mostly by tests; Run() skips tombstones anyway.
+  return queue_.empty() || queue_.size() == cancelled_.size();
+}
+
+uint64_t Simulator::Run(SimTime until) {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > until) {
+      break;
+    }
+    Event event{top.time, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    const auto it = cancelled_.find(event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = event.time;
+    event.fn();
+    ++executed;
+    ++events_executed_;
+  }
+  if (now_ < until && until != kForever) {
+    now_ = until;
+  }
+  return executed;
+}
+
+}  // namespace silica

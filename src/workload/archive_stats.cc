@@ -1,0 +1,96 @@
+#include "workload/archive_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silica {
+
+std::vector<MonthlyOps> GenerateMonthlyOps(int months, Rng& rng) {
+  std::vector<MonthlyOps> out;
+  out.reserve(static_cast<size_t>(months));
+  for (int m = 0; m < months; ++m) {
+    MonthlyOps ops;
+    ops.read_ops = 1e9 * rng.LogNormal(0.0, 0.35);
+    ops.read_bytes = 1e15 * rng.LogNormal(0.0, 0.35);
+    // Writes dominate by ~174x in operations and ~47x in bytes on average, with
+    // month-to-month variation but never below an order of magnitude.
+    const double ops_ratio = std::max(15.0, 174.0 * rng.LogNormal(-0.045, 0.3));
+    const double bytes_ratio = std::max(12.0, 47.0 * rng.LogNormal(-0.045, 0.3));
+    ops.write_ops = ops.read_ops * ops_ratio;
+    ops.write_bytes = ops.read_bytes * bytes_ratio;
+    out.push_back(ops);
+  }
+  return out;
+}
+
+std::vector<double> GenerateHourlyReadRates(int hours, double spread, Rng& rng) {
+  std::vector<double> rates;
+  rates.reserve(static_cast<size_t>(hours));
+  for (int h = 0; h < hours; ++h) {
+    // Lognormal body: the tail/median ratio of the series is ~exp(3.09 * spread).
+    rates.push_back(0.05 * rng.LogNormal(0.0, spread));
+  }
+  return rates;
+}
+
+double TailOverMedian(const std::vector<double>& rates) {
+  if (rates.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = rates;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const size_t tail_rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       std::ceil(0.999 * static_cast<double>(sorted.size()))));
+  const double tail = sorted[tail_rank];
+  return median > 0.0 ? tail / median : 0.0;
+}
+
+std::vector<double> GenerateDailyIngress(int days, Rng& rng) {
+  std::vector<double> daily(static_cast<size_t>(days));
+  // Baseline with weekly texture...
+  for (int d = 0; d < days; ++d) {
+    const double weekly = (d % 7 < 5) ? 1.0 : 0.55;  // quieter weekends
+    daily[static_cast<size_t>(d)] = 0.7 * weekly * rng.LogNormal(0.0, 0.25);
+  }
+  // ...plus rare migration-style surges of 1-3 consecutive days. These produce the
+  // ~16x daily peak while leaving 30-day windows near ~2x the global mean.
+  const int surge_clusters = std::max(1, days / 60);
+  for (int c = 0; c < surge_clusters; ++c) {
+    const int start = static_cast<int>(rng.UniformInt(0, days - 4));
+    const int length = static_cast<int>(rng.UniformInt(1, 3));
+    for (int d = start; d < start + length && d < days; ++d) {
+      daily[static_cast<size_t>(d)] += rng.Uniform(14.0, 22.0);
+    }
+  }
+  return daily;
+}
+
+double PeakOverMean(const std::vector<double>& daily, int window) {
+  if (daily.empty() || window < 1 ||
+      window > static_cast<int>(daily.size())) {
+    throw std::invalid_argument("PeakOverMean: bad window");
+  }
+  double total = 0.0;
+  for (double d : daily) {
+    total += d;
+  }
+  const double mean = total / static_cast<double>(daily.size());
+
+  double rolling = 0.0;
+  double peak = 0.0;
+  for (size_t i = 0; i < daily.size(); ++i) {
+    rolling += daily[i];
+    if (i >= static_cast<size_t>(window)) {
+      rolling -= daily[i - static_cast<size_t>(window)];
+    }
+    if (i + 1 >= static_cast<size_t>(window)) {
+      peak = std::max(peak, rolling / window);
+    }
+  }
+  return mean > 0.0 ? peak / mean : 0.0;
+}
+
+}  // namespace silica

@@ -1,0 +1,55 @@
+// Generators and analyzers for the cloud archival workload characterization
+// (Section 2, Figures 1 and 2).
+//
+// The paper's statistics come from six months of production tape-library logs; the
+// generators here synthesize series with the same published properties so the
+// characterization figures can be regenerated:
+//   Fig 1(a): writes dominate reads — on average 47x by bytes, 174x by operations,
+//             varying month to month but always >10x.
+//   Fig 1(c): per-data-center read rates are heavy-tailed — the 99.9th percentile
+//             hourly rate is up to 1e7x the median, varying widely across DCs.
+//   Fig 2:    ingress is bursty daily (peak/mean ~16x) but smooth monthly (~2x).
+#ifndef SILICA_WORKLOAD_ARCHIVE_STATS_H_
+#define SILICA_WORKLOAD_ARCHIVE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace silica {
+
+struct MonthlyOps {
+  double write_ops = 0.0;
+  double read_ops = 0.0;
+  double write_bytes = 0.0;
+  double read_bytes = 0.0;
+
+  double OpsRatio() const { return read_ops > 0 ? write_ops / read_ops : 0.0; }
+  double BytesRatio() const {
+    return read_bytes > 0 ? write_bytes / read_bytes : 0.0;
+  }
+};
+
+// Six months of write/read volumes with the paper's average ratios (47x bytes,
+// 174x operations) and month-to-month variation.
+std::vector<MonthlyOps> GenerateMonthlyOps(int months, Rng& rng);
+
+// Hourly read rates (MB/s) for one data center over `hours`; `spread` controls the
+// heavy tail (log-normal sigma of the bursts). Returns the series.
+std::vector<double> GenerateHourlyReadRates(int hours, double spread, Rng& rng);
+
+// Tail (99.9th percentile) over median of a rate series; the Figure 1(c) metric.
+double TailOverMedian(const std::vector<double>& rates);
+
+// Daily ingress volumes (bytes/day) over `days`, with diurnal/weekly texture and
+// rare multi-day surges, tuned so that peak-over-mean across rolling windows is
+// ~16x at 1 day and ~2x at 30+ days.
+std::vector<double> GenerateDailyIngress(int days, Rng& rng);
+
+// Peak-over-mean of rolling `window`-day averages (Figure 2's y-axis).
+double PeakOverMean(const std::vector<double>& daily, int window);
+
+}  // namespace silica
+
+#endif  // SILICA_WORKLOAD_ARCHIVE_STATS_H_

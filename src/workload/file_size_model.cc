@@ -1,0 +1,97 @@
+#include "workload/file_size_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace silica {
+namespace {
+
+// Mean of a log-uniform distribution on (lo, hi].
+double LogUniformMean(double lo, double hi) {
+  if (lo <= 0.0) {
+    lo = 1.0;  // first bucket starts at 1 byte
+  }
+  if (hi <= lo) {
+    return hi;
+  }
+  return (hi - lo) / std::log(hi / lo);
+}
+
+}  // namespace
+
+FileSizeModel::FileSizeModel()
+    : FileSizeModel(std::vector<Bucket>{
+          // Count fractions calibrated so that: <=4MiB ~ 58.7% of reads / ~1% of
+          // bytes; >256MiB < 2% of reads / ~85% of bytes; mean ~ 100 MB.
+          {0, 4 * kMiB, 0.587},
+          {4 * kMiB, 16 * kMiB, 0.180},
+          {16 * kMiB, 64 * kMiB, 0.120},
+          {64 * kMiB, 256 * kMiB, 0.095},
+          {256 * kMiB, 1 * kGiB, 0.0100},
+          {1 * kGiB, 4 * kGiB, 0.0040},
+          {4 * kGiB, 16 * kGiB, 0.0015},
+          {16 * kGiB, 64 * kGiB, 0.00060},
+          {64 * kGiB, 256 * kGiB, 0.00020},
+          {256 * kGiB, 1 * kTiB, 0.000040},
+          {1 * kTiB, 4 * kTiB, 0.0000060},
+          {4 * kTiB, 16 * kTiB, 0.0000002},
+      }) {}
+
+FileSizeModel::FileSizeModel(std::vector<Bucket> buckets)
+    : buckets_(std::move(buckets)) {
+  if (buckets_.empty()) {
+    throw std::invalid_argument("FileSizeModel: no buckets");
+  }
+  double total = 0.0;
+  for (const auto& b : buckets_) {
+    total += b.count_fraction;
+  }
+  cdf_.reserve(buckets_.size());
+  double acc = 0.0;
+  for (auto& b : buckets_) {
+    b.count_fraction /= total;
+    acc += b.count_fraction;
+    cdf_.push_back(acc);
+  }
+}
+
+uint64_t FileSizeModel::Sample(Rng& rng, double scale) const {
+  const double u = rng.NextDouble();
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  const auto& b = buckets_[std::min(bucket, buckets_.size() - 1)];
+  const double lo = std::max<double>(1.0, static_cast<double>(b.lo));
+  const double hi = static_cast<double>(b.hi);
+  const double log_sample = rng.Uniform(std::log(lo), std::log(hi));
+  const double bytes = std::exp(log_sample) * scale;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(bytes));
+}
+
+double FileSizeModel::MeanBytes() const {
+  double mean = 0.0;
+  for (const auto& b : buckets_) {
+    mean += b.count_fraction *
+            LogUniformMean(static_cast<double>(b.lo), static_cast<double>(b.hi));
+  }
+  return mean;
+}
+
+double FileSizeModel::ByteFractionAbove(uint64_t threshold) const {
+  double above = 0.0;
+  double total = 0.0;
+  for (const auto& b : buckets_) {
+    const double contribution =
+        b.count_fraction *
+        LogUniformMean(static_cast<double>(b.lo), static_cast<double>(b.hi));
+    total += contribution;
+    if (b.lo >= threshold) {
+      above += contribution;
+    }
+  }
+  return total > 0.0 ? above / total : 0.0;
+}
+
+}  // namespace silica

@@ -1,0 +1,51 @@
+// File-size model fit to the cloud archival workload characterization of Section 2.
+//
+// Figure 1(b): small files dominate operation counts (58.7% of reads are for files
+// of 4 MiB or less, contributing only 1.2% of bytes), files above 256 MiB are <2% of
+// requests but ~85% of bytes read, and sizes span ~10 orders of magnitude. The model
+// is a bucket mixture with log-uniform sampling inside each bucket, with the full
+// library experiments of Section 7.7 implying a mean around 100 MB.
+#ifndef SILICA_WORKLOAD_FILE_SIZE_MODEL_H_
+#define SILICA_WORKLOAD_FILE_SIZE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace silica {
+
+class FileSizeModel {
+ public:
+  struct Bucket {
+    uint64_t lo = 0;       // exclusive lower bound in bytes (0 for the first bucket)
+    uint64_t hi = 0;       // inclusive upper bound in bytes
+    double count_fraction = 0.0;
+  };
+
+  // The paper-calibrated mixture.
+  FileSizeModel();
+
+  // Custom mixture (fractions are normalized).
+  explicit FileSizeModel(std::vector<Bucket> buckets);
+
+  // Samples a file size in bytes; `scale` multiplies the result (used to derive the
+  // IOPS / Volume profiles from the Typical mixture).
+  uint64_t Sample(Rng& rng, double scale = 1.0) const;
+
+  // Analytic mean of the mixture (log-uniform within buckets).
+  double MeanBytes() const;
+
+  // Fraction of total bytes contributed by files larger than `threshold` bytes.
+  double ByteFractionAbove(uint64_t threshold) const;
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_WORKLOAD_FILE_SIZE_MODEL_H_

@@ -1,0 +1,82 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace silica {
+namespace {
+
+constexpr const char* kHeader = "id,arrival_s,file_id,bytes,platter,parent";
+
+bool ParseU64(const std::string& s, uint64_t& out) {
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), out);
+  return result.ec == std::errc{} && result.ptr == s.data() + s.size();
+}
+
+bool ParseDouble(const std::string& s, double& out) {
+  // std::from_chars for double is not universally available; strtod with a
+  // full-consumption check is equivalent here.
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && !s.empty();
+}
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+void WriteTraceCsv(std::ostream& out, const ReadTrace& trace) {
+  out.precision(17);  // round-trippable doubles
+  out << kHeader << "\n";
+  for (const auto& r : trace) {
+    out << r.id << ',' << r.arrival << ',' << r.file_id << ',' << r.bytes << ','
+        << r.platter << ',' << r.parent << "\n";
+  }
+}
+
+std::optional<ReadTrace> ReadTraceCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return std::nullopt;
+  }
+  ReadTrace trace;
+  double last_arrival = 0.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsv(line);
+    if (fields.size() != 6) {
+      return std::nullopt;
+    }
+    ReadRequest r;
+    if (!ParseU64(fields[0], r.id) || !ParseDouble(fields[1], r.arrival) ||
+        !ParseU64(fields[2], r.file_id) || !ParseU64(fields[3], r.bytes) ||
+        !ParseU64(fields[4], r.platter) || !ParseU64(fields[5], r.parent)) {
+      return std::nullopt;
+    }
+    if (r.arrival < last_arrival) {
+      return std::nullopt;  // traces must be time-ordered
+    }
+    last_arrival = r.arrival;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace silica

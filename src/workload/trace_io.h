@@ -1,0 +1,26 @@
+// CSV serialization for read traces, so traces can be generated once (or derived
+// from external logs) and replayed through the twin or the CLI tools.
+//
+// Format (header line required):
+//   id,arrival_s,file_id,bytes,platter,parent
+#ifndef SILICA_WORKLOAD_TRACE_IO_H_
+#define SILICA_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/request.h"
+
+namespace silica {
+
+// Writes the trace as CSV.
+void WriteTraceCsv(std::ostream& out, const ReadTrace& trace);
+
+// Parses a CSV trace. Returns nullopt on malformed input (bad header, wrong
+// column count, non-numeric fields, or arrivals out of order).
+std::optional<ReadTrace> ReadTraceCsv(std::istream& in);
+
+}  // namespace silica
+
+#endif  // SILICA_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,271 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "channel/channel_model.h"
+#include "channel/constellation.h"
+#include "channel/sector_codec.h"
+#include "channel/soft_decoder.h"
+#include "common/rng.h"
+#include "ecc/bits.h"
+#include "media/geometry.h"
+
+namespace silica {
+namespace {
+
+TEST(Constellation, SymbolCountMatchesBits) {
+  for (int bits : {1, 2, 3, 4}) {
+    Constellation c(bits);
+    EXPECT_EQ(c.num_symbols(), 1 << bits);
+    EXPECT_EQ(c.num_retardance_levels() * c.num_azimuth_levels(), 1 << bits);
+  }
+}
+
+TEST(Constellation, PointsAreDistinct) {
+  Constellation c(3);
+  for (int a = 0; a < c.num_symbols(); ++a) {
+    for (int b = a + 1; b < c.num_symbols(); ++b) {
+      const auto& pa = c.Point(static_cast<uint16_t>(a));
+      const auto& pb = c.Point(static_cast<uint16_t>(b));
+      const bool same_r = std::fabs(pa.retardance - pb.retardance) < 1e-9;
+      const bool same_a =
+          Constellation::WrappedAzimuthDelta(pa.azimuth, pb.azimuth) < 1e-9;
+      EXPECT_FALSE(same_r && same_a) << "symbols " << a << " and " << b << " collide";
+    }
+  }
+}
+
+TEST(Constellation, WrittenLevelsClearOfMissing) {
+  // The lowest retardance level must be well above 0 so that missing voxels are
+  // distinguishable from written ones.
+  Constellation c(3);
+  for (int s = 0; s < c.num_symbols(); ++s) {
+    EXPECT_GE(c.Point(static_cast<uint16_t>(s)).retardance, 0.35);
+  }
+}
+
+TEST(Constellation, WrappedAzimuthDelta) {
+  EXPECT_NEAR(Constellation::WrappedAzimuthDelta(0.1, M_PI - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(Constellation::WrappedAzimuthDelta(1.0, 1.5), 0.5, 1e-12);
+  EXPECT_NEAR(Constellation::WrappedAzimuthDelta(0.3, 0.3), 0.0, 1e-12);
+}
+
+TEST(WriteChannel, NoiselessWritePreservesConstellation) {
+  Constellation c(3);
+  WriteChannel channel(c, {.voxel_miss_prob = 0.0, .burst_miss_prob = 0.0});
+  Rng rng(1);
+  std::vector<uint16_t> symbols = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto sector = channel.WriteSector(symbols, 2, 4, rng);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sector.voxels[i].retardance, c.Point(symbols[i]).retardance);
+    EXPECT_DOUBLE_EQ(sector.voxels[i].azimuth, c.Point(symbols[i]).azimuth);
+    EXPECT_EQ(sector.missing[i], 0);
+  }
+}
+
+TEST(WriteChannel, MissingVoxelsHaveZeroRetardance) {
+  Constellation c(3);
+  WriteChannel channel(c, {.voxel_miss_prob = 1.0, .burst_miss_prob = 0.0});
+  Rng rng(2);
+  std::vector<uint16_t> symbols(16, 5);
+  const auto sector = channel.WriteSector(symbols, 4, 4, rng);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_EQ(sector.missing[i], 1);
+    EXPECT_DOUBLE_EQ(sector.voxels[i].retardance, 0.0);
+  }
+}
+
+TEST(WriteChannel, BurstBlanksARun) {
+  Constellation c(3);
+  WriteChannel channel(c, {.voxel_miss_prob = 0.0,
+                           .burst_miss_prob = 0.0,
+                           .burst_length = 8});
+  // With burst prob 0 nothing is blanked...
+  Rng rng(3);
+  std::vector<uint16_t> symbols(64, 1);
+  auto sector = channel.WriteSector(symbols, 8, 8, rng);
+  int missing = 0;
+  for (auto m : sector.missing) {
+    missing += m;
+  }
+  EXPECT_EQ(missing, 0);
+  // ...with prob 1 every voxel is inside some burst.
+  WriteChannel bursty(c, {.voxel_miss_prob = 0.0,
+                          .burst_miss_prob = 1.0,
+                          .burst_length = 8});
+  sector = bursty.WriteSector(symbols, 8, 8, rng);
+  missing = 0;
+  for (auto m : sector.missing) {
+    missing += m;
+  }
+  EXPECT_EQ(missing, 64);
+}
+
+TEST(ReadChannel, LowNoiseMeasurementsNearTruth) {
+  Constellation c(3);
+  WriteChannel writer(c, {.voxel_miss_prob = 0.0, .burst_miss_prob = 0.0});
+  ReadChannel reader({.retardance_sigma = 1e-4,
+                      .azimuth_sigma = 1e-4,
+                      .isi_coupling = 0.0,
+                      .layer_crosstalk = 0.0});
+  Rng rng(4);
+  std::vector<uint16_t> symbols(64);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    symbols[i] = static_cast<uint16_t>(i % 8);
+  }
+  const auto sector = writer.WriteSector(symbols, 8, 8, rng);
+  const auto measured = reader.ReadSector(sector, rng);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_NEAR(measured[i].retardance, c.Point(symbols[i]).retardance, 0.01);
+    EXPECT_LT(Constellation::WrappedAzimuthDelta(measured[i].azimuth,
+                                                 c.Point(symbols[i]).azimuth),
+              0.01);
+  }
+}
+
+TEST(SoftDecoder, CleanChannelYieldsConfidentCorrectPosteriors) {
+  Constellation c(3);
+  WriteChannel writer(c, {.voxel_miss_prob = 0.0, .burst_miss_prob = 0.0});
+  ReadChannelParams quiet{.retardance_sigma = 0.01,
+                          .azimuth_sigma = 0.01,
+                          .isi_coupling = 0.0,
+                          .layer_crosstalk = 0.0};
+  ReadChannel reader(quiet);
+  SoftDecoder decoder(c, quiet);
+  Rng rng(5);
+  std::vector<uint16_t> symbols(64);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    symbols[i] = static_cast<uint16_t>(rng.UniformInt(0, 7));
+  }
+  const auto sector = writer.WriteSector(symbols, 8, 8, rng);
+  const auto measured = reader.ReadSector(sector, rng);
+  const auto posteriors = decoder.Decode(measured);
+  ASSERT_EQ(posteriors.num_voxels(), symbols.size());
+  for (size_t v = 0; v < symbols.size(); ++v) {
+    const auto probs = posteriors.Voxel(v);
+    EXPECT_GT(probs[symbols[v]], 0.95f) << "voxel " << v;
+  }
+}
+
+TEST(SoftDecoder, MissingVoxelFlattensPosterior) {
+  Constellation c(3);
+  ReadChannelParams params{.retardance_sigma = 0.04, .azimuth_sigma = 0.06};
+  SoftDecoder decoder(c, params, {.miss_prior = 0.5});
+  // A measurement at retardance 0: looks exactly like a missing voxel.
+  std::vector<VoxelObservable> measurements = {{.retardance = 0.0, .azimuth = 0.5}};
+  const auto posteriors = decoder.Decode(measurements);
+  const auto probs = posteriors.Voxel(0);
+  float max_p = 0.0f;
+  for (int s = 0; s < posteriors.num_symbols; ++s) {
+    max_p = std::max(max_p, probs[static_cast<size_t>(s)]);
+  }
+  EXPECT_LT(max_p, 0.6f) << "a blank voxel must not produce a confident symbol";
+}
+
+TEST(SoftDecoder, LlrSignsFollowBits) {
+  Constellation c(3);
+  ReadChannelParams params{.retardance_sigma = 0.02, .azimuth_sigma = 0.02};
+  SoftDecoder decoder(c, params);
+  // Perfect measurement of symbol 5 (binary 101).
+  std::vector<VoxelObservable> measurements = {c.Point(5)};
+  const auto posteriors = decoder.Decode(measurements);
+  const auto llrs = decoder.PosteriorsToLlrs(posteriors);
+  ASSERT_EQ(llrs.size(), 3u);
+  EXPECT_LT(llrs[0], 0.0f);  // bit0 = 1 -> negative LLR
+  EXPECT_GT(llrs[1], 0.0f);  // bit1 = 0 -> positive LLR
+  EXPECT_LT(llrs[2], 0.0f);  // bit2 = 1 -> negative LLR
+}
+
+class SectorCodecTest : public ::testing::Test {
+ protected:
+  static const SectorCodec& Codec() {
+    static const SectorCodec codec(MediaGeometry::DataPlaneScale());
+    return codec;
+  }
+};
+
+TEST_F(SectorCodecTest, CleanRoundTrip) {
+  Rng rng(6);
+  std::vector<uint8_t> payload(Codec().payload_bytes());
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  const auto symbols = Codec().EncodeSector(payload);
+  EXPECT_EQ(symbols.size(),
+            static_cast<size_t>(Codec().geometry().voxels_per_sector()));
+
+  const Constellation constellation(Codec().geometry().bits_per_voxel);
+  WriteChannel writer(constellation, {});
+  ReadChannelParams params{};
+  ReadChannel reader(params);
+  SoftDecoder decoder(constellation, params);
+
+  const auto analog = writer.WriteSector(symbols, Codec().geometry().sector_rows,
+                                         Codec().geometry().sector_cols, rng);
+  const auto measured = reader.ReadSector(analog, rng);
+  const auto posteriors = decoder.Decode(measured);
+  const auto decoded = Codec().DecodeSector(posteriors, decoder);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST_F(SectorCodecTest, SurvivesDefaultChannelNoiseRepeatedly) {
+  Rng rng(7);
+  const Constellation constellation(Codec().geometry().bits_per_voxel);
+  WriteChannel writer(constellation, {});
+  ReadChannelParams params{};
+  ReadChannel reader(params);
+  SoftDecoder decoder(constellation, params);
+
+  int failures = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<uint8_t> payload(Codec().payload_bytes());
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    const auto symbols = Codec().EncodeSector(payload);
+    const auto analog = writer.WriteSector(symbols, Codec().geometry().sector_rows,
+                                           Codec().geometry().sector_cols, rng);
+    const auto measured = reader.ReadSector(analog, rng);
+    const auto decoded = Codec().DecodeSector(decoder.Decode(measured), decoder);
+    if (!decoded.has_value() || *decoded != payload) {
+      ++failures;
+    }
+  }
+  // Default parameters target a ~1e-3 sector failure rate; 30 trials should
+  // essentially never fail.
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_F(SectorCodecTest, HeavyNoiseFailsSafe) {
+  Rng rng(8);
+  std::vector<uint8_t> payload(Codec().payload_bytes(), 0x5A);
+  const auto symbols = Codec().EncodeSector(payload);
+
+  const Constellation constellation(Codec().geometry().bits_per_voxel);
+  WriteChannel writer(constellation, {});
+  ReadChannelParams heavy{.retardance_sigma = 0.5,
+                          .azimuth_sigma = 0.9,
+                          .isi_coupling = 0.3,
+                          .layer_crosstalk = 0.3};
+  ReadChannel reader(heavy);
+  SoftDecoder decoder(constellation, heavy);
+
+  const auto analog = writer.WriteSector(symbols, Codec().geometry().sector_rows,
+                                         Codec().geometry().sector_cols, rng);
+  const auto measured = reader.ReadSector(analog, rng);
+  const auto decoded = Codec().DecodeSector(decoder.Decode(measured), decoder);
+  // Either the decode fails (expected) or — never — returns wrong bytes.
+  if (decoded.has_value()) {
+    EXPECT_EQ(*decoded, payload);
+  }
+}
+
+TEST_F(SectorCodecTest, WrongPayloadSizeRejected) {
+  std::vector<uint8_t> payload(Codec().payload_bytes() + 1, 0);
+  EXPECT_THROW(Codec().EncodeSector(payload), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silica

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "decode/decode_service.h"
+
+namespace silica {
+namespace {
+
+std::vector<DecodeJob> UrgentJobs(int count, double slo_s) {
+  std::vector<DecodeJob> jobs;
+  for (int i = 0; i < count; ++i) {
+    DecodeJob job;
+    job.id = static_cast<uint64_t>(i + 1);
+    job.arrival = i * 60.0;
+    job.deadline = job.arrival + slo_s;
+    job.sectors = 2000;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+TEST(DecodeService, MeetsShortSlos) {
+  DecodeServiceConfig config;
+  const auto report = RunDecodeService(config, UrgentJobs(50, 120.0), true);
+  EXPECT_EQ(report.jobs_total, 50u);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate(), 1.0);
+  EXPECT_EQ(report.sectors_decoded, 50u * 2000u);
+}
+
+TEST(DecodeService, MeetsLongSlosCheaper) {
+  // Same work, hours of slack: time shifting must cut cost without missing
+  // deadlines (Section 3.2: "time-shifting of processing to periods of lowest
+  // compute costs").
+  DecodeServiceConfig config;
+  Rng rng(1);
+  std::vector<DecodeJob> jobs;
+  for (int i = 0; i < 200; ++i) {
+    DecodeJob job;
+    job.id = static_cast<uint64_t>(i + 1);
+    job.arrival = rng.Uniform(8 * kHour, 16 * kHour);  // daytime arrivals
+    job.deadline = job.arrival + 18.0 * kHour;         // many-hour SLO
+    job.sectors = 5000;
+    jobs.push_back(job);
+  }
+  const auto shifted = RunDecodeService(config, jobs, true);
+  const auto eager = RunDecodeService(config, jobs, false);
+
+  EXPECT_DOUBLE_EQ(shifted.deadline_hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(eager.deadline_hit_rate(), 1.0);
+  // Shifted work lands in the 0.3-price overnight valley vs ~1.0 daytime.
+  EXPECT_LT(shifted.total_cost, 0.6 * eager.total_cost);
+  // Same total work either way.
+  EXPECT_NEAR(shifted.worker_seconds, eager.worker_seconds, 1.0);
+}
+
+TEST(DecodeService, ElasticScalingBoundsWorkers) {
+  DecodeServiceConfig config;
+  config.max_workers = 4;
+  // A burst too large for 4 workers within the SLO: deadlines must be missed,
+  // and the fleet must never exceed the cap.
+  std::vector<DecodeJob> jobs;
+  for (int i = 0; i < 40; ++i) {
+    DecodeJob job;
+    job.id = static_cast<uint64_t>(i + 1);
+    job.arrival = 0.0;
+    job.deadline = 300.0;
+    job.sectors = 50000;  // 1000 s of work each
+    jobs.push_back(job);
+  }
+  const auto report = RunDecodeService(config, jobs, true);
+  EXPECT_LE(report.peak_workers, 4);
+  EXPECT_LT(report.deadline_hit_rate(), 1.0);
+  EXPECT_EQ(report.sectors_decoded, 40u * 50000u);  // work still completes
+}
+
+TEST(DecodeService, PriceCurveShape) {
+  EXPECT_LT(DiurnalPrice(2 * kHour), DiurnalPrice(12 * kHour));  // night < day
+  EXPECT_DOUBLE_EQ(DiurnalPrice(1 * kHour), DiurnalPrice(25 * kHour));  // periodic
+}
+
+TEST(DecodeService, EmptyInput) {
+  const auto report = RunDecodeService({}, {}, true);
+  EXPECT_EQ(report.jobs_total, 0u);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(report.total_cost, 0.0);
+}
+
+TEST(DecodeService, EdfOrdersUrgentFirst) {
+  // One tight job arriving after a loose one: EDF must still meet both.
+  DecodeServiceConfig config;
+  config.max_workers = 1;
+  config.period_s = 10.0;
+  std::vector<DecodeJob> jobs = {
+      {.id = 1, .arrival = 0.0, .deadline = 10000.0, .sectors = 400},  // loose, 8 s
+      {.id = 2, .arrival = 5.0, .deadline = 40.0, .sectors = 400},     // tight
+  };
+  const auto report = RunDecodeService(config, jobs, true);
+  EXPECT_EQ(report.jobs_met_deadline, 2u);
+}
+
+}  // namespace
+}  // namespace silica

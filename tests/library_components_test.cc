@@ -1,0 +1,229 @@
+// Tests for the library building blocks: panel geometry, motion models, rail
+// traffic reservations — plus the file-size mixture used by the workload generator.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "library/motion.h"
+#include "library/panel.h"
+#include "library/rail_traffic.h"
+#include "workload/file_size_model.h"
+
+namespace silica {
+namespace {
+
+// ---------- Panel geometry ----------
+
+TEST(Panel, RackOrderingLeftToRight) {
+  LibraryConfig config;
+  Panel panel(config);
+  // write rack [0, w), left read rack [w, 2w), storage racks, right read rack.
+  EXPECT_DOUBLE_EQ(panel.StorageRackX(0), 2.0 * config.rack_width_m);
+  EXPECT_DOUBLE_EQ(panel.Width(),
+                   config.num_racks() * config.rack_width_m);
+  EXPECT_LT(panel.WriteEjectBay().x, panel.StorageBeginX());
+}
+
+TEST(Panel, SlotPositionsWithinTheirRack) {
+  LibraryConfig config;
+  Panel panel(config);
+  for (int rack = 0; rack < config.storage_racks; ++rack) {
+    const double x_first = panel.SlotX({rack, 0, 0});
+    const double x_last = panel.SlotX({rack, 0, config.slots_per_shelf - 1});
+    EXPECT_GT(x_first, panel.StorageRackX(rack));
+    EXPECT_LT(x_last, panel.StorageRackX(rack) + config.rack_width_m);
+    EXPECT_LT(x_first, x_last);
+  }
+}
+
+TEST(Panel, DrivesSplitAcrossBothReadRacks) {
+  LibraryConfig config;
+  Panel panel(config);
+  int left = 0;
+  int right = 0;
+  for (int d = 0; d < config.num_read_drives(); ++d) {
+    const auto pos = panel.DrivePositionOf(d);
+    (pos.x < panel.StorageBeginX() ? left : right) += 1;
+    EXPECT_GE(pos.shelf, 0);
+    EXPECT_LT(pos.shelf, config.shelves);
+  }
+  EXPECT_EQ(left, 10);
+  EXPECT_EQ(right, 10);
+}
+
+TEST(Panel, SegmentsCoverPanelMonotonically) {
+  LibraryConfig config;
+  Panel panel(config);
+  int last = -1;
+  for (double x = 0.0; x < panel.Width(); x += 0.05) {
+    const int segment = panel.SegmentOf(x);
+    EXPECT_GE(segment, last);
+    EXPECT_GE(segment, 0);
+    EXPECT_LT(segment, panel.num_segments());
+    last = segment;
+  }
+  EXPECT_EQ(panel.SegmentOf(-1.0), 0);
+  EXPECT_EQ(panel.SegmentOf(panel.Width() + 5.0), panel.num_segments() - 1);
+}
+
+TEST(Panel, InvalidConfigsRejected) {
+  LibraryConfig config;
+  config.read_racks = 3;
+  EXPECT_THROW(Panel{config}, std::invalid_argument);
+  config = LibraryConfig{};
+  config.storage_racks = 0;
+  EXPECT_THROW(Panel{config}, std::invalid_argument);
+}
+
+// ---------- Motion model ----------
+
+TEST(Motion, TrapezoidalProfileProperties) {
+  MotionModel motion{MotionParams{}};
+  // Monotone in distance.
+  double last = 0.0;
+  for (double d = 0.1; d < 12.0; d += 0.3) {
+    const double t = motion.ExpectedHorizontalTravelTime(d);
+    EXPECT_GT(t, last);
+    last = t;
+  }
+  // Long moves approach distance/v_max + constant.
+  const auto& p = MotionParams{};
+  const double t_long = motion.ExpectedHorizontalTravelTime(100.0);
+  EXPECT_NEAR(t_long, 100.0 / p.max_speed_mps + p.max_speed_mps / p.acceleration_mps2 +
+                          p.fine_tune_s,
+              1e-9);
+  // Zero distance costs nothing.
+  EXPECT_DOUBLE_EQ(motion.ExpectedHorizontalTravelTime(0.0), 0.0);
+}
+
+TEST(Motion, ShortMovesAreTriangular) {
+  MotionModel motion{MotionParams{}};
+  const auto& p = MotionParams{};
+  const double d = 0.1;  // too short to reach top speed
+  EXPECT_NEAR(motion.ExpectedHorizontalTravelTime(d),
+              2.0 * std::sqrt(d / p.acceleration_mps2) + p.fine_tune_s, 1e-9);
+}
+
+TEST(Motion, SampledTimesAtLeastExpected) {
+  MotionModel motion{MotionParams{}};
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Uniform(0.1, 10.0);
+    EXPECT_GE(motion.HorizontalTravelTime(d, rng),
+              motion.ExpectedHorizontalTravelTime(d) - 1e-9);
+  }
+}
+
+TEST(Motion, EnergyModelComposition) {
+  MotionModel motion{MotionParams{}};
+  const auto& p = MotionParams{};
+  EXPECT_DOUBLE_EQ(motion.TravelEnergy(2.0, 1, 3),
+                   2.0 * p.energy_per_meter + p.energy_per_accel_cycle +
+                       3.0 * p.energy_per_crab);
+  // Congestion stops add accel cycles, thus energy.
+  EXPECT_GT(motion.TravelEnergy(2.0, 3, 0), motion.TravelEnergy(2.0, 1, 0));
+}
+
+// ---------- Rail traffic ----------
+
+TEST(RailTraffic, UnobstructedTraversalHasNoWait) {
+  RailTraffic rails(10, 40);
+  const auto t = rails.Traverse(3, 5, 12, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.congestion_wait, 0.0);
+  EXPECT_EQ(t.stops, 0);
+  EXPECT_DOUBLE_EQ(t.depart_time, 100.0);
+  EXPECT_DOUBLE_EQ(t.arrive_time, 100.0 + 8 * 0.5);
+}
+
+TEST(RailTraffic, FollowerWaitsForLeader) {
+  RailTraffic rails(10, 40);
+  const auto leader = rails.Traverse(3, 0, 10, 0.0, 1.0);
+  // A follower entering the same segments immediately afterward must wait.
+  const auto follower = rails.Traverse(3, 0, 10, 0.1, 1.0);
+  EXPECT_GT(follower.congestion_wait, 0.0);
+  EXPECT_GT(follower.stops, 0);
+  EXPECT_GT(follower.arrive_time, leader.arrive_time);
+}
+
+TEST(RailTraffic, DifferentLanesNeverConflict) {
+  RailTraffic rails(10, 40);
+  rails.Traverse(3, 0, 10, 0.0, 1.0);
+  const auto other = rails.Traverse(4, 0, 10, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(other.congestion_wait, 0.0);
+}
+
+TEST(RailTraffic, OppositeDirectionsConflictOnSharedSegments) {
+  RailTraffic rails(10, 40);
+  rails.Traverse(2, 0, 20, 0.0, 0.5);
+  const auto oncoming = rails.Traverse(2, 20, 0, 0.0, 0.5);
+  EXPECT_GT(oncoming.congestion_wait, 0.0);
+}
+
+TEST(RailTraffic, SingleSegmentMove) {
+  RailTraffic rails(2, 4);
+  const auto t = rails.Traverse(0, 2, 2, 10.0, 0.7);
+  EXPECT_DOUBLE_EQ(t.arrive_time, 10.7);
+}
+
+TEST(RailTraffic, RejectsBadShape) {
+  EXPECT_THROW(RailTraffic(0, 5), std::invalid_argument);
+  EXPECT_THROW(RailTraffic(5, 0), std::invalid_argument);
+}
+
+// ---------- File size model ----------
+
+TEST(FileSizeModel, MatchesPaperHeadAndTail) {
+  const FileSizeModel model;
+  // Analytic properties of the calibrated mixture.
+  EXPECT_NEAR(model.buckets().front().count_fraction, 0.587, 0.01);
+  EXPECT_GT(model.ByteFractionAbove(256 * kMiB), 0.80);
+  EXPECT_LT(model.ByteFractionAbove(256 * kMiB), 0.92);
+  // Mean around 100 MB (the Section 7.7 assumption).
+  EXPECT_GT(model.MeanBytes(), 60e6);
+  EXPECT_LT(model.MeanBytes(), 200e6);
+}
+
+TEST(FileSizeModel, SamplesRespectBucketBounds) {
+  const FileSizeModel model;
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t s = model.Sample(rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 16 * kTiB);
+  }
+}
+
+TEST(FileSizeModel, ScaleMultipliesSizes) {
+  const FileSizeModel model;
+  Rng a(3);
+  Rng b(3);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t base = model.Sample(a, 1.0);
+    const uint64_t scaled = model.Sample(b, 10.0);
+    EXPECT_NEAR(static_cast<double>(scaled), 10.0 * static_cast<double>(base),
+                static_cast<double>(base) + 16.0);
+  }
+}
+
+TEST(FileSizeModel, CustomBucketsNormalized) {
+  FileSizeModel model({{0, 100, 2.0}, {100, 200, 2.0}});
+  Rng rng(4);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (model.Sample(rng) <= 100) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(low, 5000, 300);
+}
+
+TEST(FileSizeModel, EmptyRejected) {
+  EXPECT_THROW(FileSizeModel(std::vector<FileSizeModel::Bucket>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silica

@@ -1,0 +1,234 @@
+// Cross-cutting property and fuzz tests: randomized scheduler operations against a
+// reference model, LDPC behaviour across code rates, simulator determinism across
+// policies and knobs, and trace CSV round-tripping.
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/library_sim.h"
+#include "core/request_scheduler.h"
+#include "ecc/ldpc.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace silica {
+namespace {
+
+// ---------- Scheduler fuzz vs reference model ----------
+
+// Reference: a plain multimap from arrival to request, scanned linearly.
+class ReferenceScheduler {
+ public:
+  void Submit(const ReadRequest& r) { queue_.emplace(r.arrival, r); }
+
+  std::optional<uint64_t> SelectPlatter(
+      const std::function<bool(uint64_t)>& accessible) const {
+    for (const auto& [arrival, r] : queue_) {
+      if (accessible(r.platter)) {
+        return r.platter;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::vector<ReadRequest> TakeAll(uint64_t platter) {
+    std::vector<ReadRequest> taken;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->second.platter == platter) {
+        taken.push_back(it->second);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return taken;
+  }
+
+  size_t size() const { return queue_.size(); }
+
+ private:
+  std::multimap<double, ReadRequest> queue_;
+};
+
+TEST(SchedulerFuzz, MatchesReferenceModelOverRandomOps) {
+  Rng rng(101);
+  RequestScheduler real;
+  ReferenceScheduler reference;
+  double clock = 0.0;
+  uint64_t id = 1;
+
+  for (int op = 0; op < 5000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      clock += rng.Exponential(1.0);
+      ReadRequest r;
+      r.id = id++;
+      r.arrival = clock;
+      r.file_id = r.id;
+      r.bytes = static_cast<uint64_t>(rng.UniformInt(1, 1 << 20));
+      r.platter = static_cast<uint64_t>(rng.UniformInt(0, 19));
+      real.Submit(r);
+      reference.Submit(r);
+    } else if (dice < 0.8) {
+      // Random accessibility mask.
+      const uint64_t mask = rng.NextU64() | 1;
+      auto accessible = [mask](uint64_t p) { return (mask >> (p % 20)) & 1; };
+      ASSERT_EQ(real.SelectPlatter(accessible),
+                reference.SelectPlatter(accessible))
+          << "op " << op;
+    } else {
+      const auto platter = static_cast<uint64_t>(rng.UniformInt(0, 19));
+      const auto a = real.TakeRequests(platter);
+      const auto b = reference.TakeAll(platter);
+      ASSERT_EQ(a.size(), b.size()) << "op " << op;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].id, b[i].id) << "op " << op;
+      }
+    }
+    ASSERT_EQ(real.pending_requests(), reference.size());
+  }
+}
+
+// ---------- LDPC across rates ----------
+
+class LdpcRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LdpcRateSweep, RoundTripsAndCorrectsLightNoise) {
+  const double rate = GetParam();
+  auto code = LdpcCode::Build({.block_bits = 1536, .rate = rate, .seed = 7});
+  EXPECT_NEAR(code.rate(), rate, 0.03);
+  Rng rng(static_cast<uint64_t>(rate * 1000));
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<uint8_t> info(code.k());
+    for (auto& b : info) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 1));
+    }
+    const auto codeword = code.Encode(info);
+    ASSERT_TRUE(code.CheckSyndrome(codeword));
+
+    // Light noise (0.5% flips): every rate here must correct it.
+    std::vector<float> llr(code.n());
+    for (size_t i = 0; i < code.n(); ++i) {
+      uint8_t bit = codeword[i];
+      if (rng.Bernoulli(0.005)) {
+        bit ^= 1;
+      }
+      llr[i] = bit ? -5.3f : 5.3f;
+    }
+    const auto result = code.Decode(llr);
+    ASSERT_TRUE(result.ok);
+    ASSERT_EQ(code.ExtractInfo(result.codeword), info);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LdpcRateSweep,
+                         ::testing::Values(0.5, 0.66, 0.75, 0.85));
+
+// ---------- Simulator determinism across configurations ----------
+
+struct DeterminismCase {
+  LibraryConfig::Policy policy;
+  bool stealing;
+  bool grouping;
+  double write_rate;
+};
+
+class SimDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimDeterminism, IdenticalSeedsIdenticalResults) {
+  static const DeterminismCase kCases[] = {
+      {LibraryConfig::Policy::kPartitioned, true, true, 0.0},
+      {LibraryConfig::Policy::kPartitioned, false, false, 0.0},
+      {LibraryConfig::Policy::kShortestPaths, false, true, 0.0},
+      {LibraryConfig::Policy::kNoShuttles, false, true, 0.0},
+      {LibraryConfig::Policy::kPartitioned, true, true, 2.0},
+  };
+  const auto& c = kCases[static_cast<size_t>(GetParam())];
+
+  auto profile = TraceProfile::Iops(31);
+  profile.window_s = 3600.0;
+  profile.warmup_s = 300.0;
+  profile.cooldown_s = 300.0;
+  const auto trace = GenerateTrace(profile, 400);
+
+  LibrarySimConfig config;
+  config.library.policy = c.policy;
+  config.library.work_stealing = c.stealing;
+  config.library.group_platter_requests = c.grouping;
+  config.write_platters_per_hour = c.write_rate;
+  config.media.info_tracks_per_platter = 2000;  // keep verifies short
+  config.num_info_platters = 400;
+  config.measure_start = trace.measure_start;
+  config.measure_end = trace.measure_end;
+  config.seed = 77;
+
+  const auto a = SimulateLibrary(config, trace.requests);
+  const auto b = SimulateLibrary(config, trace.requests);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.travels, b.travels);
+  EXPECT_DOUBLE_EQ(a.travel_energy_total, b.travel_energy_total);
+  EXPECT_DOUBLE_EQ(a.drive_read_seconds, b.drive_read_seconds);
+  EXPECT_DOUBLE_EQ(a.completion_times.Percentile(0.999),
+                   b.completion_times.Percentile(0.999));
+  EXPECT_EQ(a.platters_verified, b.platters_verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SimDeterminism, ::testing::Range(0, 5));
+
+// ---------- Trace CSV round trip ----------
+
+TEST(TraceIo, RoundTripsGeneratedTraces) {
+  auto profile = TraceProfile::Volume(5);
+  profile.window_s = 1800.0;
+  profile.warmup_s = 60.0;
+  profile.cooldown_s = 60.0;
+  const auto trace = GenerateTrace(profile, 200);
+
+  std::stringstream buffer;
+  WriteTraceCsv(buffer, trace.requests);
+  const auto parsed = ReadTraceCsv(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), trace.requests.size());
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    EXPECT_EQ((*parsed)[i].id, trace.requests[i].id);
+    EXPECT_NEAR((*parsed)[i].arrival, trace.requests[i].arrival, 1e-6);
+    EXPECT_EQ((*parsed)[i].bytes, trace.requests[i].bytes);
+    EXPECT_EQ((*parsed)[i].platter, trace.requests[i].platter);
+    EXPECT_EQ((*parsed)[i].parent, trace.requests[i].parent);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream s("wrong,header\n1,2,3,4,5,6\n");
+    EXPECT_FALSE(ReadTraceCsv(s).has_value());
+  }
+  {
+    std::stringstream s("id,arrival_s,file_id,bytes,platter,parent\n1,2,3,4\n");
+    EXPECT_FALSE(ReadTraceCsv(s).has_value());
+  }
+  {
+    std::stringstream s("id,arrival_s,file_id,bytes,platter,parent\n1,abc,3,4,5,6\n");
+    EXPECT_FALSE(ReadTraceCsv(s).has_value());
+  }
+  {
+    // Out-of-order arrivals.
+    std::stringstream s(
+        "id,arrival_s,file_id,bytes,platter,parent\n1,5,1,1,0,0\n2,4,2,1,0,0\n");
+    EXPECT_FALSE(ReadTraceCsv(s).has_value());
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  WriteTraceCsv(buffer, {});
+  const auto parsed = ReadTraceCsv(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace silica

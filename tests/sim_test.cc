@@ -1,0 +1,109 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace silica {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  double inner_time = 0.0;
+  sim.Schedule(1.0, [&] {
+    sim.Schedule(2.0, [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(inner_time, 3.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.Schedule(1.0, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1.0, [&] { ++count; });
+  sim.Schedule(10.0, [&] { ++count; });
+  sim.Run(5.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+  sim.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.Schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.Schedule(5.0, [&] {
+    EXPECT_THROW(sim.ScheduleAt(1.0, [] {}), std::invalid_argument);
+  });
+  sim.Run();
+}
+
+TEST(Simulator, IdleReflectsQueueState) {
+  Simulator sim;
+  EXPECT_TRUE(sim.Idle());
+  const auto id = sim.Schedule(1.0, [] {});
+  EXPECT_FALSE(sim.Idle());
+  sim.Cancel(id);
+  EXPECT_TRUE(sim.Idle());  // only a tombstone remains
+  sim.Run();
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.Schedule(1.0, [&] { ++fired; });
+  sim.Run();
+  sim.Cancel(id);  // already executed; must not corrupt later runs
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventCountTracked) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.Schedule(static_cast<double>(i), [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace silica

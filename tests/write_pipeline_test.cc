@@ -1,0 +1,114 @@
+// Tests for the explicit write/verification pipeline (Section 3.1): the write
+// drive ejects platters, shuttles deliver them to read drives, every byte is read
+// back before the platter counts as durably stored, and customer reads preempt
+// verification via fast switching.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/library_sim.h"
+#include "workload/trace_gen.h"
+
+namespace silica {
+namespace {
+
+LibrarySimConfig WriteConfig(LibraryConfig::Policy policy,
+                             const GeneratedTrace& trace) {
+  LibrarySimConfig config;
+  config.library.policy = policy;
+  config.num_info_platters = 500;
+  config.measure_start = trace.measure_start;
+  config.measure_end = trace.measure_end;
+  config.write_platters_per_hour = 4.0;
+  config.write_until = trace.measure_end;
+  config.seed = 11;
+  // Shrink the media so a full-platter verification takes minutes, not hours.
+  config.media.info_tracks_per_platter = 2000;
+  return config;
+}
+
+class WritePipelinePolicy
+    : public ::testing::TestWithParam<LibraryConfig::Policy> {};
+
+TEST_P(WritePipelinePolicy, PlattersFlowEjectToStored) {
+  auto profile = TraceProfile::Typical(9);
+  profile.window_s = 4.0 * kHour;
+  const auto trace = GenerateTrace(profile, 500);
+  auto config = WriteConfig(GetParam(), trace);
+  const auto result = SimulateLibrary(config, trace.requests);
+
+  // The write drive produced platters through the window...
+  EXPECT_GT(result.platters_written, 8u);
+  // ...and they were verified end-to-end (the sim runs to quiescence).
+  EXPECT_EQ(result.platters_verified, result.platters_written);
+  EXPECT_EQ(result.verify_turnaround.count(), result.platters_verified);
+  // Turnaround includes at least the full-platter read time.
+  const double min_verify_s =
+      StreamSeconds(static_cast<uint64_t>(config.media.tracks_per_platter()) *
+                        config.media.raw_bytes_per_track(),
+                    config.library.drive_throughput_mbps);
+  EXPECT_GE(result.verify_turnaround.min(), min_verify_s);
+
+  // Customer traffic still completed fully.
+  EXPECT_EQ(result.requests_completed, result.requests_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, WritePipelinePolicy,
+                         ::testing::Values(LibraryConfig::Policy::kPartitioned,
+                                           LibraryConfig::Policy::kShortestPaths,
+                                           LibraryConfig::Policy::kNoShuttles));
+
+TEST(WritePipeline, CustomerReadsPreemptVerification) {
+  // With and without the write/verify load, customer tails should stay in the
+  // same ballpark: verification only consumes otherwise-idle drive time.
+  auto profile = TraceProfile::Typical(10);
+  profile.window_s = 4.0 * kHour;
+  const auto trace = GenerateTrace(profile, 500);
+
+  auto with_writes = WriteConfig(LibraryConfig::Policy::kPartitioned, trace);
+  auto without = with_writes;
+  without.write_platters_per_hour = 0.0;
+
+  const auto rw = SimulateLibrary(with_writes, trace.requests);
+  const auto ro = SimulateLibrary(without, trace.requests);
+  EXPECT_EQ(rw.requests_completed, ro.requests_completed);
+  // Verification must not blow customer tails up by more than ~2x + a constant
+  // (it is preemptible within one fast switch).
+  EXPECT_LT(rw.completion_times.Percentile(0.999),
+            2.0 * ro.completion_times.Percentile(0.999) + 600.0);
+}
+
+TEST(WritePipeline, AbstractModeUnchanged) {
+  // write_platters_per_hour = 0 keeps the paper's methodology: an inexhaustible
+  // verify backlog, no eject traffic, no turnaround samples.
+  const auto trace = GenerateTrace(TraceProfile::Typical(12), 500);
+  LibrarySimConfig config;
+  config.num_info_platters = 500;
+  const auto result = SimulateLibrary(config, trace.requests);
+  EXPECT_EQ(result.platters_written, 0u);
+  EXPECT_EQ(result.platters_verified, 0u);
+  EXPECT_EQ(result.verify_turnaround.count(), 0u);
+  EXPECT_GT(result.drive_verify_seconds, 0.0);  // abstract backlog still verifies
+}
+
+TEST(WritePipeline, VerifyThroughputScalesWithDrives) {
+  // Halving the drives (and shuttles) must slow verification turnaround.
+  auto profile = TraceProfile::Typical(13);
+  profile.window_s = 4.0 * kHour;
+  const auto trace = GenerateTrace(profile, 500);
+
+  auto big = WriteConfig(LibraryConfig::Policy::kPartitioned, trace);
+  big.write_platters_per_hour = 8.0;
+  auto small = big;
+  small.library.drives_per_read_rack = 2;  // 4 drives
+  small.library.num_shuttles = 4;
+
+  const auto rb = SimulateLibrary(big, trace.requests);
+  const auto rs = SimulateLibrary(small, trace.requests);
+  EXPECT_EQ(rb.platters_verified, rb.platters_written);
+  EXPECT_EQ(rs.platters_verified, rs.platters_written);
+  EXPECT_LT(rb.verify_turnaround.Percentile(0.9),
+            rs.verify_turnaround.Percentile(0.9));
+}
+
+}  // namespace
+}  // namespace silica

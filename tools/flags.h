@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for the CLI tools: --key=value pairs.
+#ifndef SILICA_TOOLS_FLAGS_H_
+#define SILICA_TOOLS_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace silica {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_TOOLS_FLAGS_H_

@@ -1,0 +1,106 @@
+// silica_sim: run the library digital twin from the command line.
+//
+//   silica_sim --profile=iops --policy=silica|sp|ns --shuttles=20 --mbps=60
+//              [--platters=3000] [--seed=1] [--unavailable=0.1] [--zipf=0.9]
+//              [--no-stealing] [--no-grouping] [--no-fast-switch]
+//
+// Prints a one-screen report: completion percentiles, drive split, shuttle stats.
+#include <cstdio>
+#include <string>
+
+#include <fstream>
+
+#include "common/units.h"
+#include "core/library_sim.h"
+#include "flags.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+int main(int argc, char** argv) {
+  using namespace silica;
+  const Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: silica_sim --profile=iops|volume|typical --policy=silica|sp|ns\n"
+        "  [--trace=file.csv  (replay a CSV trace instead of generating one)]\n"
+        "  [--shuttles=20] [--mbps=60] [--platters=3000] [--seed=1]\n"
+        "  [--unavailable=0.0] [--zipf=0.0] [--no-stealing] [--no-grouping]\n"
+        "  [--no-fast-switch]\n");
+    return 0;
+  }
+
+  const std::string name = flags.Get("profile", "iops");
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  TraceProfile profile = name == "iops"     ? TraceProfile::Iops(seed)
+                         : name == "volume" ? TraceProfile::Volume(seed)
+                                            : TraceProfile::Typical(seed);
+  profile.zipf_skew = flags.GetDouble("zipf", 0.0);
+  const auto platters = static_cast<uint64_t>(flags.GetInt("platters", 3000));
+  GeneratedTrace trace;
+  if (flags.Has("trace")) {
+    std::ifstream in(flags.Get("trace", ""));
+    const auto parsed = ReadTraceCsv(in);
+    if (!parsed) {
+      std::fprintf(stderr, "error: could not parse trace CSV\n");
+      return 1;
+    }
+    trace.requests = *parsed;
+    trace.measure_start = 0.0;
+    trace.measure_end = trace.requests.empty() ? 0.0 : trace.requests.back().arrival;
+    for (const auto& r : trace.requests) {
+      trace.window_bytes += r.bytes;
+    }
+    profile.name = "csv";
+  } else {
+    trace = GenerateTrace(profile, platters);
+  }
+
+  LibrarySimConfig config;
+  const std::string policy = flags.Get("policy", "silica");
+  config.library.policy = policy == "sp" ? LibraryConfig::Policy::kShortestPaths
+                          : policy == "ns" ? LibraryConfig::Policy::kNoShuttles
+                                           : LibraryConfig::Policy::kPartitioned;
+  config.library.num_shuttles = static_cast<int>(flags.GetInt("shuttles", 20));
+  config.library.drive_throughput_mbps = flags.GetDouble("mbps", 60.0);
+  config.library.work_stealing = !flags.Has("no-stealing");
+  config.library.group_platter_requests = !flags.Has("no-grouping");
+  config.library.fast_switching = !flags.Has("no-fast-switch");
+  config.num_info_platters = platters;
+  config.unavailable_fraction = flags.GetDouble("unavailable", 0.0);
+  config.measure_start = trace.measure_start;
+  config.measure_end = trace.measure_end;
+  config.seed = seed;
+
+  const auto r = SimulateLibrary(config, trace.requests);
+
+  std::printf("trace %s: %llu requests (%s in window) | policy %s, %d shuttles, "
+              "%.0f MB/s\n",
+              profile.name.c_str(),
+              static_cast<unsigned long long>(r.requests_total),
+              FormatBytes(trace.window_bytes).c_str(), policy.c_str(),
+              config.library.num_shuttles, config.library.drive_throughput_mbps);
+  std::printf("completion: p50 %s | p99 %s | p99.9 %s | max %s\n",
+              FormatDuration(r.completion_times.Percentile(0.5)).c_str(),
+              FormatDuration(r.completion_times.Percentile(0.99)).c_str(),
+              FormatDuration(r.completion_times.Percentile(0.999)).c_str(),
+              FormatDuration(r.completion_times.max()).c_str());
+  std::printf("drives: util %.1f%% (reads %.1f%%, verifies %.1f%%)\n",
+              100.0 * r.DriveUtilization(), 100.0 * r.DriveReadFraction(),
+              100.0 * r.DriveVerifyFraction());
+  std::printf("shuttles: %llu travels (mean %.1fs, p99.9 %.1fs), congestion "
+              "%.1f%%, energy/op %.2f, %llu steals, %llu recharges\n",
+              static_cast<unsigned long long>(r.travels), r.travel_times.mean(),
+              r.travel_times.Percentile(0.999),
+              100.0 * r.CongestionOverheadFraction(),
+              r.EnergyPerPlatterOperation(),
+              static_cast<unsigned long long>(r.work_steals),
+              static_cast<unsigned long long>(r.shuttle_recharges));
+  if (r.recovery_reads > 0) {
+    std::printf("recovery: %llu cross-platter sub-reads\n",
+                static_cast<unsigned long long>(r.recovery_reads));
+  }
+  const double slo = 15.0 * 3600.0;
+  std::printf("verdict: %s the 15 h SLO\n",
+              r.completion_times.Percentile(0.999) <= slo ? "meets" : "MISSES");
+  return 0;
+}
