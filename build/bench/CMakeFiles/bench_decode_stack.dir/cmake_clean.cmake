@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decode_stack.dir/bench_decode_stack.cc.o"
+  "CMakeFiles/bench_decode_stack.dir/bench_decode_stack.cc.o.d"
+  "bench_decode_stack"
+  "bench_decode_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decode_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

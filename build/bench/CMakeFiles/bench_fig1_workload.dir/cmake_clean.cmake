@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_workload.dir/bench_fig1_workload.cc.o"
+  "CMakeFiles/bench_fig1_workload.dir/bench_fig1_workload.cc.o.d"
+  "bench_fig1_workload"
+  "bench_fig1_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ingress.dir/bench_fig2_ingress.cc.o"
+  "CMakeFiles/bench_fig2_ingress.dir/bench_fig2_ingress.cc.o.d"
+  "bench_fig2_ingress"
+  "bench_fig2_ingress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ingress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

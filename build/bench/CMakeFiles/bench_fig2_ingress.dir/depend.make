@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_ingress.
+# This may be replaced when dependencies are built.

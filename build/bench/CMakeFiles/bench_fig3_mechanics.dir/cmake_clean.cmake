@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mechanics.dir/bench_fig3_mechanics.cc.o"
+  "CMakeFiles/bench_fig3_mechanics.dir/bench_fig3_mechanics.cc.o.d"
+  "bench_fig3_mechanics"
+  "bench_fig3_mechanics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mechanics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

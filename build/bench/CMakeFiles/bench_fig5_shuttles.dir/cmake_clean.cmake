@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_shuttles.dir/bench_fig5_shuttles.cc.o"
+  "CMakeFiles/bench_fig5_shuttles.dir/bench_fig5_shuttles.cc.o.d"
+  "bench_fig5_shuttles"
+  "bench_fig5_shuttles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_shuttles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

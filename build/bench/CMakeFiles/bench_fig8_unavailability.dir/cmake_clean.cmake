@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_unavailability.dir/bench_fig8_unavailability.cc.o"
+  "CMakeFiles/bench_fig8_unavailability.dir/bench_fig8_unavailability.cc.o.d"
+  "bench_fig8_unavailability"
+  "bench_fig8_unavailability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_unavailability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_full_library.dir/bench_fig9_full_library.cc.o"
+  "CMakeFiles/bench_fig9_full_library.dir/bench_fig9_full_library.cc.o.d"
+  "bench_fig9_full_library"
+  "bench_fig9_full_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_full_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

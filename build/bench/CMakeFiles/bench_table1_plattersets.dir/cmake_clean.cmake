@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_plattersets.dir/bench_table1_plattersets.cc.o"
+  "CMakeFiles/bench_table1_plattersets.dir/bench_table1_plattersets.cc.o.d"
+  "bench_table1_plattersets"
+  "bench_table1_plattersets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_plattersets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

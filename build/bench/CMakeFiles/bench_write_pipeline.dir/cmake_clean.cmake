@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_write_pipeline.dir/bench_write_pipeline.cc.o"
+  "CMakeFiles/bench_write_pipeline.dir/bench_write_pipeline.cc.o.d"
+  "bench_write_pipeline"
+  "bench_write_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_write_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

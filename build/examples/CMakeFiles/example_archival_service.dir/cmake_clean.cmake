@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_archival_service.dir/archival_service.cpp.o"
+  "CMakeFiles/example_archival_service.dir/archival_service.cpp.o.d"
+  "example_archival_service"
+  "example_archival_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_archival_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_durability_drill.dir/durability_drill.cpp.o"
+  "CMakeFiles/example_durability_drill.dir/durability_drill.cpp.o.d"
+  "example_durability_drill"
+  "example_durability_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_durability_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_library_tour.dir/library_tour.cpp.o"
+  "CMakeFiles/example_library_tour.dir/library_tour.cpp.o.d"
+  "example_library_tour"
+  "example_library_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_library_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sustainability_report.dir/sustainability_report.cpp.o"
+  "CMakeFiles/example_sustainability_report.dir/sustainability_report.cpp.o.d"
+  "example_sustainability_report"
+  "example_sustainability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sustainability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

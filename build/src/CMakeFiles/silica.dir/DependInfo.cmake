@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/channel_estimator.cc" "src/CMakeFiles/silica.dir/channel/channel_estimator.cc.o" "gcc" "src/CMakeFiles/silica.dir/channel/channel_estimator.cc.o.d"
+  "/root/repo/src/channel/channel_model.cc" "src/CMakeFiles/silica.dir/channel/channel_model.cc.o" "gcc" "src/CMakeFiles/silica.dir/channel/channel_model.cc.o.d"
+  "/root/repo/src/channel/constellation.cc" "src/CMakeFiles/silica.dir/channel/constellation.cc.o" "gcc" "src/CMakeFiles/silica.dir/channel/constellation.cc.o.d"
+  "/root/repo/src/channel/sector_codec.cc" "src/CMakeFiles/silica.dir/channel/sector_codec.cc.o" "gcc" "src/CMakeFiles/silica.dir/channel/sector_codec.cc.o.d"
+  "/root/repo/src/channel/soft_decoder.cc" "src/CMakeFiles/silica.dir/channel/soft_decoder.cc.o" "gcc" "src/CMakeFiles/silica.dir/channel/soft_decoder.cc.o.d"
+  "/root/repo/src/common/crc.cc" "src/CMakeFiles/silica.dir/common/crc.cc.o" "gcc" "src/CMakeFiles/silica.dir/common/crc.cc.o.d"
+  "/root/repo/src/common/distributions.cc" "src/CMakeFiles/silica.dir/common/distributions.cc.o" "gcc" "src/CMakeFiles/silica.dir/common/distributions.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/silica.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/silica.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/silica.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/silica.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/silica.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/silica.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/CMakeFiles/silica.dir/common/units.cc.o" "gcc" "src/CMakeFiles/silica.dir/common/units.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/silica.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/data_pipeline.cc" "src/CMakeFiles/silica.dir/core/data_pipeline.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/data_pipeline.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/CMakeFiles/silica.dir/core/deployment.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/deployment.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/CMakeFiles/silica.dir/core/layout.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/layout.cc.o.d"
+  "/root/repo/src/core/library_sim.cc" "src/CMakeFiles/silica.dir/core/library_sim.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/library_sim.cc.o.d"
+  "/root/repo/src/core/metadata.cc" "src/CMakeFiles/silica.dir/core/metadata.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/metadata.cc.o.d"
+  "/root/repo/src/core/partitioning.cc" "src/CMakeFiles/silica.dir/core/partitioning.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/partitioning.cc.o.d"
+  "/root/repo/src/core/request_scheduler.cc" "src/CMakeFiles/silica.dir/core/request_scheduler.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/request_scheduler.cc.o.d"
+  "/root/repo/src/core/silica_service.cc" "src/CMakeFiles/silica.dir/core/silica_service.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/silica_service.cc.o.d"
+  "/root/repo/src/core/staging.cc" "src/CMakeFiles/silica.dir/core/staging.cc.o" "gcc" "src/CMakeFiles/silica.dir/core/staging.cc.o.d"
+  "/root/repo/src/decode/decode_service.cc" "src/CMakeFiles/silica.dir/decode/decode_service.cc.o" "gcc" "src/CMakeFiles/silica.dir/decode/decode_service.cc.o.d"
+  "/root/repo/src/ecc/bits.cc" "src/CMakeFiles/silica.dir/ecc/bits.cc.o" "gcc" "src/CMakeFiles/silica.dir/ecc/bits.cc.o.d"
+  "/root/repo/src/ecc/gf256.cc" "src/CMakeFiles/silica.dir/ecc/gf256.cc.o" "gcc" "src/CMakeFiles/silica.dir/ecc/gf256.cc.o.d"
+  "/root/repo/src/ecc/gf65536.cc" "src/CMakeFiles/silica.dir/ecc/gf65536.cc.o" "gcc" "src/CMakeFiles/silica.dir/ecc/gf65536.cc.o.d"
+  "/root/repo/src/ecc/large_group_codec.cc" "src/CMakeFiles/silica.dir/ecc/large_group_codec.cc.o" "gcc" "src/CMakeFiles/silica.dir/ecc/large_group_codec.cc.o.d"
+  "/root/repo/src/ecc/ldpc.cc" "src/CMakeFiles/silica.dir/ecc/ldpc.cc.o" "gcc" "src/CMakeFiles/silica.dir/ecc/ldpc.cc.o.d"
+  "/root/repo/src/ecc/network_coding.cc" "src/CMakeFiles/silica.dir/ecc/network_coding.cc.o" "gcc" "src/CMakeFiles/silica.dir/ecc/network_coding.cc.o.d"
+  "/root/repo/src/library/motion.cc" "src/CMakeFiles/silica.dir/library/motion.cc.o" "gcc" "src/CMakeFiles/silica.dir/library/motion.cc.o.d"
+  "/root/repo/src/library/panel.cc" "src/CMakeFiles/silica.dir/library/panel.cc.o" "gcc" "src/CMakeFiles/silica.dir/library/panel.cc.o.d"
+  "/root/repo/src/library/rail_traffic.cc" "src/CMakeFiles/silica.dir/library/rail_traffic.cc.o" "gcc" "src/CMakeFiles/silica.dir/library/rail_traffic.cc.o.d"
+  "/root/repo/src/media/geometry.cc" "src/CMakeFiles/silica.dir/media/geometry.cc.o" "gcc" "src/CMakeFiles/silica.dir/media/geometry.cc.o.d"
+  "/root/repo/src/media/platter.cc" "src/CMakeFiles/silica.dir/media/platter.cc.o" "gcc" "src/CMakeFiles/silica.dir/media/platter.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/silica.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/silica.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/workload/archive_stats.cc" "src/CMakeFiles/silica.dir/workload/archive_stats.cc.o" "gcc" "src/CMakeFiles/silica.dir/workload/archive_stats.cc.o.d"
+  "/root/repo/src/workload/file_size_model.cc" "src/CMakeFiles/silica.dir/workload/file_size_model.cc.o" "gcc" "src/CMakeFiles/silica.dir/workload/file_size_model.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/CMakeFiles/silica.dir/workload/trace_gen.cc.o" "gcc" "src/CMakeFiles/silica.dir/workload/trace_gen.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/silica.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/silica.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

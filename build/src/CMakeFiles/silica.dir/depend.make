@@ -1,0 +1,2 @@
+# Empty dependencies file for silica.
+# This may be replaced when dependencies are built.

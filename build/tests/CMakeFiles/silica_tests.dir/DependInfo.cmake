@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/channel_test.cc" "tests/CMakeFiles/silica_tests.dir/channel_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/channel_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/silica_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_services_test.cc" "tests/CMakeFiles/silica_tests.dir/core_services_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/core_services_test.cc.o.d"
+  "/root/repo/tests/data_pipeline_test.cc" "tests/CMakeFiles/silica_tests.dir/data_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/data_pipeline_test.cc.o.d"
+  "/root/repo/tests/decode_service_test.cc" "tests/CMakeFiles/silica_tests.dir/decode_service_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/decode_service_test.cc.o.d"
+  "/root/repo/tests/ecc_test.cc" "tests/CMakeFiles/silica_tests.dir/ecc_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/ecc_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/silica_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/layout_test.cc" "tests/CMakeFiles/silica_tests.dir/layout_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/layout_test.cc.o.d"
+  "/root/repo/tests/library_components_test.cc" "tests/CMakeFiles/silica_tests.dir/library_components_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/library_components_test.cc.o.d"
+  "/root/repo/tests/library_sim_test.cc" "tests/CMakeFiles/silica_tests.dir/library_sim_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/library_sim_test.cc.o.d"
+  "/root/repo/tests/media_test.cc" "tests/CMakeFiles/silica_tests.dir/media_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/media_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/silica_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/service_test.cc" "tests/CMakeFiles/silica_tests.dir/service_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/service_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/silica_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/write_pipeline_test.cc" "tests/CMakeFiles/silica_tests.dir/write_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/silica_tests.dir/write_pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/silica.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

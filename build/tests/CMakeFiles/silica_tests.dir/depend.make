@@ -1,0 +1,2 @@
+# Empty dependencies file for silica_tests.
+# This may be replaced when dependencies are built.

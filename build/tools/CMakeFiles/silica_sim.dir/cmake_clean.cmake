@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silica_sim.dir/silica_sim.cc.o"
+  "CMakeFiles/silica_sim.dir/silica_sim.cc.o.d"
+  "silica_sim"
+  "silica_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silica_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silica_trace.dir/silica_trace.cc.o"
+  "CMakeFiles/silica_trace.dir/silica_trace.cc.o.d"
+  "silica_trace"
+  "silica_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silica_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
