@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "telemetry/telemetry.h"
+
 namespace silica {
 namespace {
 
@@ -58,6 +60,22 @@ DataPlane::DataPlane(DataPlaneConfig config)
                    static_cast<size_t>(config.geometry.redundancy_sectors_per_track)),
       large_codec_(static_cast<size_t>(config.geometry.large_group_info_tracks),
                    static_cast<size_t>(config.geometry.large_group_redundancy_tracks)) {}
+
+void DataPlane::SetTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    stage_counters_ = StageCounters{};
+    return;
+  }
+  MetricsRegistry& metrics = telemetry->metrics;
+  stage_counters_.sectors_read = &metrics.GetCounter("decode_sectors_read_total");
+  stage_counters_.ldpc_failures = &metrics.GetCounter("decode_ldpc_failures_total");
+  stage_counters_.track_nc_recoveries =
+      &metrics.GetCounter("decode_track_nc_recoveries_total");
+  stage_counters_.large_nc_recoveries =
+      &metrics.GetCounter("decode_large_nc_recoveries_total");
+  stage_counters_.platters_verified =
+      &metrics.GetCounter("decode_platters_verified_total");
+}
 
 WrittenPlatter PlatterWriter::WritePlatter(uint64_t platter_id,
                                            const std::vector<FileData>& files,
@@ -180,12 +198,19 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
   const size_t info_sectors = static_cast<size_t>(g.info_sectors_per_track);
 
   std::vector<std::optional<std::vector<uint8_t>>> decoded(sectors);
+  const DataPlane::StageCounters& counters = plane_->stage_counters();
   for (size_t s = 0; s < sectors; ++s) {
     decoded[s] = DecodeSector(platter, {track, static_cast<int>(s)}, rng);
     if (stats != nullptr) {
       ++stats->sectors_read;
       if (!decoded[s]) {
         ++stats->ldpc_failures;
+      }
+    }
+    if (counters.sectors_read != nullptr) {
+      counters.sectors_read->Increment();
+      if (!decoded[s]) {
+        counters.ldpc_failures->Increment();
       }
     }
   }
@@ -218,6 +243,9 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
         decoded[missing[m]] = std::move(recovered[m]);
         if (stats != nullptr) {
           ++stats->track_nc_recoveries;
+        }
+        if (counters.track_nc_recoveries != nullptr) {
+          counters.track_nc_recoveries->Increment();
         }
       }
       missing.clear();
@@ -282,6 +310,9 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
         if (stats != nullptr) {
           ++stats->large_nc_recoveries;
         }
+        if (counters.large_nc_recoveries != nullptr) {
+          counters.large_nc_recoveries->Increment();
+        }
       } else {
         still_missing.push_back(pos);
       }
@@ -338,6 +369,9 @@ VerifyReport PlatterVerifier::Verify(const GlassPlatter& platter, Rng& rng) cons
     }
   }
   report.durable = report.unrecoverable_sectors == 0;
+  if (plane_->stage_counters().platters_verified != nullptr) {
+    plane_->stage_counters().platters_verified->Increment();
+  }
   return report;
 }
 

@@ -32,6 +32,9 @@
 
 namespace silica {
 
+class Counter;
+struct Telemetry;
+
 struct DataPlaneConfig {
   MediaGeometry geometry = MediaGeometry::DataPlaneScale();
   WriteChannelParams write_channel;
@@ -62,7 +65,21 @@ class DataPlane {
 
   size_t sector_payload_bytes() const { return sector_codec_.payload_bytes(); }
 
+  // Publishes decode-stack stage counters (sectors read, LDPC failures, NC
+  // recoveries per layer, verifications) into the registry; nullptr detaches. The
+  // counters are shared by every reader/verifier built on this plane.
+  void SetTelemetry(Telemetry* telemetry);
+  struct StageCounters {
+    Counter* sectors_read = nullptr;
+    Counter* ldpc_failures = nullptr;
+    Counter* track_nc_recoveries = nullptr;
+    Counter* large_nc_recoveries = nullptr;
+    Counter* platters_verified = nullptr;
+  };
+  const StageCounters& stage_counters() const { return stage_counters_; }
+
  private:
+  StageCounters stage_counters_;
   DataPlaneConfig config_;
   Constellation constellation_;
   SectorCodec sector_codec_;

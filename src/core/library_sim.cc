@@ -15,11 +15,19 @@
 #include "library/motion.h"
 #include "library/rail_traffic.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace silica {
 namespace {
 
 using Policy = LibraryConfig::Policy;
+
+// Shared no-op tracer (mask 0): every recording call bails on one branch, so the
+// instrumentation below never needs a null check on the tracer pointer.
+Tracer& NullTracer() {
+  static Tracer tracer;
+  return tracer;
+}
 
 struct PlatterInfo {
   SlotAddress slot;
@@ -41,6 +49,7 @@ struct Shuttle {
   bool failed = false;  // detected by the controller; leaves service after its job
   double battery = 0.0;  // remaining energy (MotionParams units)
   Rng rng{0};
+  int track = 0;  // tracer track for this shuttle's spans
 };
 
 // A read drive has platter stations (Section 4: "slots into which platters are
@@ -72,6 +81,8 @@ struct Drive {
   double read_s = 0.0;
   double verify_s = 0.0;
   double switch_s = 0.0;
+  int track = 0;  // tracer track for this drive's spans
+  Tracer::SpanHandle verify_span = Tracer::kInvalidSpan;
 };
 
 struct ReturnJob {
@@ -98,9 +109,13 @@ class Sim {
         motion_(config.library.motion),
         rails_(config.library.shelves, panel_.num_segments()),
         rng_(config.seed),
-        trace_(trace) {
+        trace_(trace),
+        tel_(config.telemetry),
+        tracer_(config.telemetry != nullptr ? &config.telemetry->tracer
+                                            : &NullTracer()) {
     SetUpPlatters();
     SetUpControlPlane();
+    SetUpTelemetry();
   }
 
   LibrarySimResult Run();
@@ -109,6 +124,8 @@ class Sim {
   // ---- setup ----
   void SetUpPlatters();
   void SetUpControlPlane();
+  void SetUpTelemetry();
+  void PublishSummaryMetrics();
 
   // ---- arrivals ----
   void OnArrival(const ReadRequest& request);
@@ -217,6 +234,25 @@ class Sim {
   std::unordered_map<uint64_t, ParentState> parents_;
   std::deque<uint64_t> eject_queue_;  // freshly written platters at the eject bay
   uint64_t next_sub_id_ = 1ull << 62;
+
+  // Telemetry. tracer_ is never null (a shared disabled tracer stands in when no
+  // sink is attached); metric handles are null without telemetry and resolved once
+  // in SetUpTelemetry so hot paths pay a branch + add.
+  Telemetry* tel_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  int sched_track_ = 0;
+  int pipeline_track_ = 0;
+  Counter* c_steals_ = nullptr;
+  Counter* c_recharges_ = nullptr;
+  Counter* c_recovery_reads_ = nullptr;
+  Counter* c_completed_ = nullptr;
+  Counter* c_travels_ = nullptr;
+  Counter* c_platter_ops_ = nullptr;
+  Counter* c_platters_written_ = nullptr;
+  Histogram* h_completion_ = nullptr;
+  Histogram* h_travel_ = nullptr;
+  Histogram* h_queue_wait_ = nullptr;
+  Histogram* h_verify_turnaround_ = nullptr;
 
   LibrarySimResult result_;
 };
@@ -336,8 +372,83 @@ void Sim::SetUpControlPlane() {
   }
 }
 
+void Sim::SetUpTelemetry() {
+  if (tel_ == nullptr) {
+    return;
+  }
+  sim_.SetTelemetry(tel_);
+  rails_.SetTelemetry(tel_);
+  for (size_t s = 0; s < schedulers_.size(); ++s) {
+    schedulers_[s].SetTelemetry(tel_, static_cast<int>(s));
+  }
+
+  MetricsRegistry& metrics = tel_->metrics;
+  c_steals_ = &metrics.GetCounter("library_work_steals_total");
+  c_recharges_ = &metrics.GetCounter("library_shuttle_recharges_total");
+  c_recovery_reads_ = &metrics.GetCounter("library_recovery_reads_total");
+  c_completed_ = &metrics.GetCounter("library_requests_completed_total");
+  c_travels_ = &metrics.GetCounter("library_shuttle_travels_total");
+  c_platter_ops_ = &metrics.GetCounter("library_platter_operations_total");
+  c_platters_written_ = &metrics.GetCounter("library_platters_written_total");
+  h_completion_ = &metrics.GetHistogram("library_completion_seconds");
+  h_travel_ = &metrics.GetHistogram("library_travel_seconds");
+  h_queue_wait_ = &metrics.GetHistogram("library_queue_wait_seconds");
+  h_verify_turnaround_ = &metrics.GetHistogram("library_verify_turnaround_seconds");
+
+  // Tracks only exist when a sink is attached; the null tracer never registers
+  // any, so repeated headless runs cannot accumulate track names.
+  if (tracer_->enabled(kTraceAll)) {
+    sched_track_ = tracer_->RegisterTrack("scheduler");
+    pipeline_track_ = tracer_->RegisterTrack("write pipeline");
+    for (auto& shuttle : shuttles_) {
+      shuttle.track = tracer_->RegisterTrack("shuttle " + std::to_string(shuttle.id));
+    }
+    for (auto& drive : drives_) {
+      drive.track = tracer_->RegisterTrack("drive " + std::to_string(drive.id));
+    }
+  }
+}
+
+void Sim::PublishSummaryMetrics() {
+  if (tel_ == nullptr) {
+    return;
+  }
+  sim_.FlushCounters();
+  MetricsRegistry& metrics = tel_->metrics;
+  // The Figure 6 drive split and the Figure 7 congestion overheads, exactly as the
+  // CLI report prints them.
+  metrics.GetGauge("library_drive_utilization").Set(result_.DriveUtilization());
+  metrics.GetGauge("library_drive_read_fraction").Set(result_.DriveReadFraction());
+  metrics.GetGauge("library_drive_verify_fraction")
+      .Set(result_.DriveVerifyFraction());
+  metrics.GetGauge("library_drive_read_seconds").Set(result_.drive_read_seconds);
+  metrics.GetGauge("library_drive_verify_seconds")
+      .Set(result_.drive_verify_seconds);
+  metrics.GetGauge("library_drive_switch_seconds")
+      .Set(result_.drive_switch_seconds);
+  metrics.GetGauge("library_drive_idle_seconds").Set(result_.drive_idle_seconds);
+  metrics.GetGauge("library_congestion_overhead_fraction")
+      .Set(result_.CongestionOverheadFraction());
+  metrics.GetGauge("library_congestion_wait_seconds")
+      .Set(result_.congestion_wait_total);
+  metrics.GetGauge("library_congestion_stops")
+      .Set(static_cast<double>(result_.congestion_stops));
+  metrics.GetGauge("library_energy_per_platter_operation")
+      .Set(result_.EnergyPerPlatterOperation());
+  metrics.GetGauge("library_requests_total")
+      .Set(static_cast<double>(result_.requests_total));
+  metrics.GetGauge("library_makespan_seconds").Set(result_.makespan);
+  for (const auto& drive : drives_) {
+    const MetricLabels labels = {{"drive", std::to_string(drive.id)}};
+    metrics.GetGauge("drive_read_seconds", labels).Set(drive.read_s);
+    metrics.GetGauge("drive_verify_seconds", labels).Set(drive.verify_s);
+    metrics.GetGauge("drive_switch_seconds", labels).Set(drive.switch_s);
+  }
+}
+
 void Sim::OnArrival(const ReadRequest& request) {
   const PlatterInfo& platter = platters_.at(request.platter);
+  tracer_->AsyncBegin(kTraceScheduler, request.id, sim_.Now(), "request");
   if (!platter.unavailable) {
     schedulers_[static_cast<size_t>(SchedulerOf(request.platter))].Submit(request);
   } else {
@@ -376,8 +487,12 @@ void Sim::OnArrival(const ReadRequest& request) {
       sub.parent = request.id;
       sub.id = next_sub_id_++;
       sub.platter = candidates[i];
+      tracer_->AsyncBegin(kTraceScheduler, sub.id, sim_.Now(), "recovery_read");
       schedulers_[static_cast<size_t>(SchedulerOf(sub.platter))].Submit(sub);
       ++result_.recovery_reads;
+      if (c_recovery_reads_ != nullptr) {
+        c_recovery_reads_->Increment();
+      }
     }
   }
   TryDispatchAll();
@@ -483,6 +598,11 @@ void Sim::TryDispatchPartition(int p) {
   }
   if (stolen) {
     ++result_.work_steals;
+    if (c_steals_ != nullptr) {
+      c_steals_->Increment();
+    }
+    tracer_->Instant(kTraceScheduler, sched_track_, sim_.Now(), "work_steal",
+                     {{"partition", static_cast<double>(p)}});
   }
 
   platters_[*target].state = PlatterInfo::State::kTargeted;
@@ -639,6 +759,11 @@ Sim::Leg Sim::Travel(Shuttle& shuttle, double x, int shelf) {
   const double energy = motion_.TravelEnergy(leg.distance, 1 + leg.stops, leg.crabs);
   result_.travel_energy_total += energy;
   shuttle.battery -= energy;
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now(), leg.duration, "travel",
+                {{"distance_m", leg.distance},
+                 {"congestion_s", leg.congestion},
+                 {"stops", static_cast<double>(leg.stops)},
+                 {"crabs", static_cast<double>(leg.crabs)}});
   return leg;
 }
 
@@ -648,25 +773,42 @@ void Sim::RecordLeg(const Leg& leg) {
   result_.congestion_wait_total += leg.congestion;
   result_.expected_travel_total += leg.expected;
   result_.congestion_stops += static_cast<uint64_t>(leg.stops);
+  if (c_travels_ != nullptr) {
+    c_travels_->Increment();
+    h_travel_->Observe(leg.duration);
+  }
 }
 
 void Sim::StartFetch(Shuttle& shuttle, uint64_t platter, int drive) {
   const PlatterInfo& info = platters_[platter];
+  const auto fetch_span = tracer_->BeginSpan(
+      kTraceShuttle, shuttle.track, sim_.Now(), "fetch",
+      {{"platter", static_cast<double>(platter)},
+       {"drive", static_cast<double>(drive)}});
   const Leg leg1 = Travel(shuttle, info.x, info.shelf);
   RecordLeg(leg1);
   const double pick = motion_.PickTime(shuttle.rng);
   result_.travel_energy_total += motion_.PickPlaceEnergy();
   ++result_.platter_operations;
+  if (c_platter_ops_ != nullptr) {
+    c_platter_ops_->Increment();
+  }
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg1.duration, pick,
+                "pick");
 
-  sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter, drive] {
+  sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter, drive, fetch_span] {
     const Drive& d = drives_[static_cast<size_t>(drive)];
     const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
     RecordLeg(leg2);
     const double place = motion_.PlaceTime(shuttle.rng);
     result_.travel_energy_total += motion_.PickPlaceEnergy();
+    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
+                  "place");
 
-    sim_.Schedule(leg2.duration + place, [this, &shuttle, platter, drive] {
+    sim_.Schedule(leg2.duration + place, [this, &shuttle, platter, drive,
+                                          fetch_span] {
       platters_[platter].state = PlatterInfo::State::kAtDrive;
+      tracer_->EndSpan(fetch_span, sim_.Now());
       DeliverToDrive(drive, platter);
       OnShuttleJobDone(shuttle);
     });
@@ -675,13 +817,23 @@ void Sim::StartFetch(Shuttle& shuttle, uint64_t platter, int drive) {
 
 void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
   const Drive& drive = drives_[static_cast<size_t>(job.drive)];
+  const auto return_span = tracer_->BeginSpan(
+      kTraceShuttle, shuttle.track, sim_.Now(),
+      job.verify_slot ? "store_verified" : "return",
+      {{"platter", static_cast<double>(job.platter)},
+       {"drive", static_cast<double>(job.drive)}});
   const Leg leg1 = Travel(shuttle, drive.pos.x, drive.pos.shelf);
   RecordLeg(leg1);
   const double pick = motion_.PickTime(shuttle.rng);
   result_.travel_energy_total += motion_.PickPlaceEnergy();
   ++result_.platter_operations;
+  if (c_platter_ops_ != nullptr) {
+    c_platter_ops_->Increment();
+  }
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg1.duration, pick,
+                "pick");
 
-  sim_.Schedule(leg1.duration + pick, [this, &shuttle, job] {
+  sim_.Schedule(leg1.duration + pick, [this, &shuttle, job, return_span] {
     Drive& d = drives_[static_cast<size_t>(job.drive)];
     if (job.verify_slot) {
       // Collected the verified platter: the verify slot frees for the next one.
@@ -692,10 +844,20 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
       RecordLeg(leg_store);
       const double place_store = motion_.PlaceTime(shuttle.rng);
       result_.travel_energy_total += motion_.PickPlaceEnergy();
-      sim_.Schedule(leg_store.duration + place_store, [this, &shuttle, job] {
+      tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg_store.duration,
+                    place_store, "place");
+      sim_.Schedule(leg_store.duration + place_store,
+                    [this, &shuttle, job, return_span] {
         platters_[job.platter].state = PlatterInfo::State::kStored;
-        result_.verify_turnaround.Add(sim_.Now() -
-                                      platters_[job.platter].created_at);
+        const double turnaround =
+            sim_.Now() - platters_[job.platter].created_at;
+        result_.verify_turnaround.Add(turnaround);
+        if (h_verify_turnaround_ != nullptr) {
+          h_verify_turnaround_->Observe(turnaround);
+        }
+        tracer_->EndSpan(return_span, sim_.Now());
+        tracer_->AsyncEnd(kTracePipeline, job.platter, sim_.Now(),
+                          "platter_verify");
         OnShuttleJobDone(shuttle);
       });
       return;
@@ -719,9 +881,12 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
     RecordLeg(leg2);
     const double place = motion_.PlaceTime(shuttle.rng);
     result_.travel_energy_total += motion_.PickPlaceEnergy();
+    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
+                  "place");
 
-    sim_.Schedule(leg2.duration + place, [this, &shuttle, job] {
+    sim_.Schedule(leg2.duration + place, [this, &shuttle, job, return_span] {
       platters_[job.platter].state = PlatterInfo::State::kStored;
+      tracer_->EndSpan(return_span, sim_.Now());
       OnShuttleJobDone(shuttle);
     });
   });
@@ -738,6 +903,11 @@ void Sim::OnShuttleJobDone(Shuttle& shuttle) {
     // Recharge in place (docks line the rails); the shuttle is unavailable to the
     // traffic manager until charged.
     ++result_.shuttle_recharges;
+    if (c_recharges_ != nullptr) {
+      c_recharges_->Increment();
+    }
+    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now(),
+                  config_.library.shuttle_recharge_s, "recharge");
     sim_.Schedule(config_.library.shuttle_recharge_s, [this, &shuttle, capacity] {
       shuttle.battery = capacity;
       shuttle.busy = false;
@@ -773,6 +943,10 @@ void Sim::TryStartSession(int drive_id) {
   const double switch_cost = SwitchCost();
   drive.switch_s += switch_cost;
   drive.read_s += motion_.MountTime();
+  tracer_->Span(kTraceDrive, drive.track, sim_.Now(), switch_cost, "switch");
+  tracer_->Span(kTraceDrive, drive.track, sim_.Now() + switch_cost,
+                motion_.MountTime(), "mount",
+                {{"platter", static_cast<double>(platter)}});
   sim_.Schedule(switch_cost + motion_.MountTime(),
                 [this, drive_id, platter] { ServeNext(drive_id, platter); });
   // A new fetch can head for the freed input station right away.
@@ -800,6 +974,14 @@ void Sim::ServeNext(int drive_id, uint64_t platter) {
                       TrackReadSeconds(drive);
   drive.read_s += seek + read;
   ++drive.served_in_session;
+  if (h_queue_wait_ != nullptr) {
+    h_queue_wait_->Observe(sim_.Now() - request.arrival);
+  }
+  tracer_->AsyncInstant(kTraceScheduler, request.id, sim_.Now(), "dispatch");
+  tracer_->Span(kTraceDrive, drive.track, sim_.Now(), seek + read, "read",
+                {{"bytes", static_cast<double>(request.bytes)},
+                 {"seek_s", seek},
+                 {"request", static_cast<double>(request.id)}});
   sim_.Schedule(seek + read, [this, drive_id, platter, request] {
     RecordCompletion(request);
     ServeNext(drive_id, platter);
@@ -810,6 +992,9 @@ void Sim::EndSession(int drive_id, uint64_t platter) {
   Drive& drive = drives_[static_cast<size_t>(drive_id)];
   const double unmount = motion_.UnmountTime();
   drive.read_s += unmount;
+  tracer_->Span(kTraceDrive, drive.track, sim_.Now(), unmount, "unmount",
+                {{"platter", static_cast<double>(platter)},
+                 {"served", static_cast<double>(drive.served_in_session)}});
   sim_.Schedule(unmount, [this, drive_id, platter] {
     Drive& d = drives_[static_cast<size_t>(drive_id)];
     d.mounted = false;
@@ -845,6 +1030,7 @@ void Sim::FinishUnmount(int drive_id) {
     // Switch back to the co-mounted verification platter.
     const double switch_cost = SwitchCost();
     drive.switch_s += switch_cost;
+    tracer_->Span(kTraceDrive, drive.track, sim_.Now(), switch_cost, "switch");
     sim_.Schedule(switch_cost, [this, drive_id] {
       Drive& d = drives_[static_cast<size_t>(drive_id)];
       if (!d.mounted) {
@@ -863,6 +1049,9 @@ void Sim::StartVerifyClock(int drive_id) {
   }
   drive.verifying = true;
   drive.verify_since = sim_.Now();
+  drive.verify_span = tracer_->BeginSpan(
+      kTraceDrive, drive.track, sim_.Now(), "verify",
+      {{"platter", static_cast<double>(drive.verify_platter)}});
   if (drive.verify_remaining_s < Simulator::kForever / 2) {
     drive.verify_event = sim_.Schedule(
         drive.verify_remaining_s, [this, drive_id] { OnVerifyComplete(drive_id); });
@@ -878,6 +1067,8 @@ void Sim::PauseVerifyClock(int drive_id) {
   drive.verify_s += elapsed;
   drive.verify_remaining_s -= elapsed;
   drive.verifying = false;
+  tracer_->EndSpan(drive.verify_span, sim_.Now());
+  drive.verify_span = Tracer::kInvalidSpan;
   sim_.Cancel(drive.verify_event);
   drive.verify_event = Simulator::kInvalidEvent;
 }
@@ -889,13 +1080,23 @@ void Sim::OnVerifyComplete(int drive_id) {
   drive.verifying = false;
   drive.verify_present = false;
   ++result_.platters_verified;
+  tracer_->EndSpan(drive.verify_span, sim_.Now());
+  drive.verify_span = Tracer::kInvalidSpan;
+  tracer_->Instant(kTraceDrive, drive.track, sim_.Now(), "verify_complete",
+                   {{"platter", static_cast<double>(drive.verify_platter)}});
 
   // The verified platter waits in the verify slot for a shuttle to store it; its
   // staged copy can now be released.
   if (config_.library.policy == Policy::kNoShuttles) {
     platters_[drive.verify_platter].state = PlatterInfo::State::kStored;
-    result_.verify_turnaround.Add(sim_.Now() -
-                                  platters_[drive.verify_platter].created_at);
+    const double turnaround =
+        sim_.Now() - platters_[drive.verify_platter].created_at;
+    result_.verify_turnaround.Add(turnaround);
+    if (h_verify_turnaround_ != nullptr) {
+      h_verify_turnaround_->Observe(turnaround);
+    }
+    tracer_->AsyncEnd(kTracePipeline, drive.verify_platter, sim_.Now(),
+                      "platter_verify");
   } else {
     drive.verified_waiting = true;
     const int p = partitioned() ? platters_[drive.verify_platter].partition : 0;
@@ -926,6 +1127,12 @@ void Sim::ProduceWrittenPlatter() {
   platters_.push_back(p);
   eject_queue_.push_back(slot_index);
   ++result_.platters_written;
+  if (c_platters_written_ != nullptr) {
+    c_platters_written_->Increment();
+  }
+  tracer_->Instant(kTracePipeline, pipeline_track_, sim_.Now(), "eject",
+                   {{"platter", static_cast<double>(slot_index)}});
+  tracer_->AsyncBegin(kTracePipeline, slot_index, sim_.Now(), "platter_verify");
 
   if (config_.library.policy == Policy::kNoShuttles) {
     // Teleport straight into the first drive with a free verify slot.
@@ -986,20 +1193,34 @@ bool Sim::TryDispatchVerifyWork(Shuttle& shuttle, int partition) {
 
 void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) {
   const auto bay = panel_.WriteEjectBay();
+  const auto delivery_span = tracer_->BeginSpan(
+      kTraceShuttle, shuttle.track, sim_.Now(), "verify_delivery",
+      {{"platter", static_cast<double>(platter)},
+       {"drive", static_cast<double>(drive_id)}});
   const Leg leg1 = Travel(shuttle, bay.x, bay.shelf);
   RecordLeg(leg1);
   const double pick = motion_.PickTime(shuttle.rng);
   result_.travel_energy_total += motion_.PickPlaceEnergy();
   ++result_.platter_operations;
+  if (c_platter_ops_ != nullptr) {
+    c_platter_ops_->Increment();
+  }
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg1.duration, pick,
+                "pick");
 
-  sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter, drive_id] {
+  sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter, drive_id,
+                                       delivery_span] {
     const Drive& d = drives_[static_cast<size_t>(drive_id)];
     const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
     RecordLeg(leg2);
     const double place = motion_.PlaceTime(shuttle.rng);
     result_.travel_energy_total += motion_.PickPlaceEnergy();
+    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
+                  "place");
 
-    sim_.Schedule(leg2.duration + place, [this, &shuttle, platter, drive_id] {
+    sim_.Schedule(leg2.duration + place, [this, &shuttle, platter, drive_id,
+                                          delivery_span] {
+      tracer_->EndSpan(delivery_span, sim_.Now());
       Drive& drive = drives_[static_cast<size_t>(drive_id)];
       drive.verify_incoming = false;
       drive.verify_present = true;
@@ -1017,6 +1238,10 @@ void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) 
 void Sim::RecordCompletion(const ReadRequest& request) {
   const double now = sim_.Now();
   result_.makespan = std::max(result_.makespan, now);
+  // Recovery sub-reads carry ids above next_sub_id_'s base; their async span was
+  // opened under "recovery_read", trace-file requests under "request".
+  tracer_->AsyncEnd(kTraceScheduler, request.id, now,
+                    request.id >= (1ull << 62) ? "recovery_read" : "request");
 
   // Walk up the fan-in chain: a child's completion may finish its parent, which may
   // in turn finish the grandparent (e.g. a recovery group completing a shard).
@@ -1035,8 +1260,14 @@ void Sim::RecordCompletion(const ReadRequest& request) {
     parents_.erase(it);
   }
   ++result_.requests_completed;
+  if (c_completed_ != nullptr) {
+    c_completed_->Increment();
+  }
   if (arrival >= config_.measure_start && arrival <= config_.measure_end) {
     result_.completion_times.Add(now - arrival);
+    if (h_completion_ != nullptr) {
+      h_completion_->Observe(now - arrival);
+    }
   }
 }
 
@@ -1080,6 +1311,8 @@ LibrarySimResult Sim::Run() {
     if (drive.verifying) {
       drive.verify_s += std::max(0.0, end - drive.verify_since);
       drive.verify_since = end;
+      tracer_->EndSpan(drive.verify_span, end);
+      drive.verify_span = Tracer::kInvalidSpan;
     }
     result_.drive_read_seconds += drive.read_s;
     result_.drive_verify_seconds += drive.verify_s;
@@ -1087,6 +1320,7 @@ LibrarySimResult Sim::Run() {
     const double accounted = drive.read_s + drive.verify_s + drive.switch_s;
     result_.drive_idle_seconds += std::max(0.0, end - accounted);
   }
+  PublishSummaryMetrics();
   return result_;
 }
 

@@ -28,6 +28,8 @@
 
 namespace silica {
 
+struct Telemetry;
+
 struct LibrarySimConfig {
   LibraryConfig library;
   MediaGeometry media = MediaGeometry::ProductionScale();
@@ -60,6 +62,12 @@ struct LibrarySimConfig {
   // remaining shuttles (and work stealing) absorb its partition's load. Static
   // blast-zone unavailability is modeled separately via unavailable_fraction.
   std::vector<std::pair<double, int>> shuttle_failures;
+
+  // Optional observability (not owned). When set, the twin publishes live metrics
+  // (queue depths, drive time split, congestion, steals, completion histograms) and
+  // simulation-time trace spans for every shuttle, drive, and scheduler into it.
+  // nullptr (the default) keeps the hot path free of telemetry work.
+  Telemetry* telemetry = nullptr;
 };
 
 struct LibrarySimResult {

@@ -2,7 +2,31 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace silica {
+
+void RequestScheduler::SetTelemetry(Telemetry* telemetry, int scheduler_id) {
+  if (telemetry == nullptr) {
+    submitted_counter_ = nullptr;
+    pending_gauge_ = nullptr;
+    bytes_gauge_ = nullptr;
+    return;
+  }
+  const MetricLabels labels = {{"scheduler", std::to_string(scheduler_id)}};
+  submitted_counter_ =
+      &telemetry->metrics.GetCounter("scheduler_requests_submitted_total", labels);
+  pending_gauge_ =
+      &telemetry->metrics.GetGauge("scheduler_pending_requests", labels);
+  bytes_gauge_ = &telemetry->metrics.GetGauge("scheduler_queued_bytes", labels);
+}
+
+void RequestScheduler::PublishDepth() {
+  if (pending_gauge_ != nullptr) {
+    pending_gauge_->Set(static_cast<double>(pending_requests_));
+    bytes_gauge_->Set(static_cast<double>(total_bytes_));
+  }
+}
 
 void RequestScheduler::Submit(const ReadRequest& request) {
   auto [it, inserted] = by_platter_.try_emplace(request.platter);
@@ -17,6 +41,10 @@ void RequestScheduler::Submit(const ReadRequest& request) {
   queue.bytes += request.bytes;
   total_bytes_ += request.bytes;
   ++pending_requests_;
+  if (submitted_counter_ != nullptr) {
+    submitted_counter_->Increment();
+    PublishDepth();
+  }
 }
 
 std::optional<uint64_t> RequestScheduler::SelectPlatter(
@@ -64,6 +92,7 @@ std::vector<ReadRequest> RequestScheduler::TakeRequests(uint64_t platter, bool a
   } else {
     order_.emplace(queue.requests.front().arrival, platter);
   }
+  PublishDepth();
   return taken;
 }
 

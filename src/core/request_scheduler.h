@@ -22,8 +22,16 @@
 
 namespace silica {
 
+class Counter;
+class Gauge;
+struct Telemetry;
+
 class RequestScheduler {
  public:
+  // Publishes queue-depth gauges and a submission counter, labeled with this
+  // scheduler's partition id, into the registry; nullptr detaches.
+  void SetTelemetry(Telemetry* telemetry, int scheduler_id);
+
   // Queues a request. Requests must be submitted in nondecreasing arrival order
   // (the event loop guarantees this).
   void Submit(const ReadRequest& request);
@@ -59,7 +67,11 @@ class RequestScheduler {
   };
 
   void EraseIndex(uint64_t platter);
+  void PublishDepth();
 
+  Counter* submitted_counter_ = nullptr;
+  Gauge* pending_gauge_ = nullptr;
+  Gauge* bytes_gauge_ = nullptr;
   std::unordered_map<uint64_t, PlatterQueue> by_platter_;
   // (oldest arrival, platter) for earliest-first selection.
   std::set<std::pair<double, uint64_t>> order_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "telemetry/telemetry.h"
+
 namespace silica {
 
 double DiurnalPrice(double t) {
@@ -35,6 +37,8 @@ DecodeReport RunDecodeService(const DecodeServiceConfig& config,
   DecodeReport report;
   report.jobs_total = jobs.size();
 
+  Tracer* tracer =
+      config.telemetry != nullptr ? &config.telemetry->tracer : nullptr;
   std::vector<PendingJob> pending;
   size_t next_arrival = 0;
   double t = jobs.empty() ? 0.0 : std::floor(jobs.front().arrival / config.period_s) *
@@ -47,6 +51,9 @@ DecodeReport RunDecodeService(const DecodeServiceConfig& config,
       p.job = jobs[next_arrival];
       p.remaining_s = static_cast<double>(p.job.sectors) * config.seconds_per_sector;
       report.sectors_decoded += p.job.sectors;
+      if (tracer != nullptr) {
+        tracer->AsyncBegin(kTraceDecode, p.job.id, p.job.arrival, "decode_job");
+      }
       pending.push_back(p);
       ++next_arrival;
     }
@@ -109,6 +116,10 @@ DecodeReport RunDecodeService(const DecodeServiceConfig& config,
         static_cast<int>(std::ceil(work_target / config.period_s)),
         config.min_workers, config.max_workers);
     report.peak_workers = std::max(report.peak_workers, workers);
+    if (tracer != nullptr) {
+      tracer->CounterEvent(kTraceDecode, t, "decode_workers",
+                           static_cast<double>(workers));
+    }
 
     // Process EDF at aggregate speed `workers` for this period, but only up to
     // the work target (idle workers cost nothing — the fleet is elastic).
@@ -128,6 +139,13 @@ DecodeReport RunDecodeService(const DecodeServiceConfig& config,
         if (finish <= p.job.deadline) {
           ++report.jobs_met_deadline;
         }
+        if (tracer != nullptr) {
+          tracer->AsyncEnd(kTraceDecode, p.job.id, finish, "decode_job");
+        }
+        if (config.telemetry != nullptr) {
+          config.telemetry->metrics.GetHistogram("decode_job_lateness_seconds")
+              .Observe(finish - p.job.deadline);
+        }
       }
     }
     report.worker_seconds += busy;
@@ -144,6 +162,19 @@ DecodeReport RunDecodeService(const DecodeServiceConfig& config,
   if (report.sectors_decoded > 0) {
     report.mean_cost_per_sector =
         report.total_cost / static_cast<double>(report.sectors_decoded);
+  }
+  if (config.telemetry != nullptr) {
+    MetricsRegistry& metrics = config.telemetry->metrics;
+    metrics.GetCounter("decode_jobs_total")
+        .Increment(static_cast<double>(report.jobs_total));
+    metrics.GetCounter("decode_jobs_met_deadline_total")
+        .Increment(static_cast<double>(report.jobs_met_deadline));
+    metrics.GetCounter("decode_sectors_decoded_total")
+        .Increment(static_cast<double>(report.sectors_decoded));
+    metrics.GetCounter("decode_worker_seconds_total").Increment(report.worker_seconds);
+    metrics.GetCounter("decode_cost_total").Increment(report.total_cost);
+    metrics.GetGauge("decode_peak_workers")
+        .Set(static_cast<double>(report.peak_workers));
   }
   return report;
 }

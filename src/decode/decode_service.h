@@ -21,6 +21,8 @@
 
 namespace silica {
 
+struct Telemetry;
+
 struct DecodeJob {
   uint64_t id = 0;
   double arrival = 0.0;     // seconds
@@ -47,6 +49,10 @@ struct DecodeServiceConfig {
   // Jobs whose slack exceeds this multiple of the period are eligible for
   // time-shifting toward cheaper periods.
   double shift_slack_periods = 2.0;
+
+  // Optional observability: per-job async spans + a fleet-size counter track in the
+  // tracer (category decode) and summary metrics in the registry.
+  Telemetry* telemetry = nullptr;
 };
 
 struct DecodeReport {

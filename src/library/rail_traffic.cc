@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace silica {
+
+void RailTraffic::SetTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    traversals_counter_ = nullptr;
+    congestion_stops_counter_ = nullptr;
+    congestion_wait_counter_ = nullptr;
+    return;
+  }
+  traversals_counter_ = &telemetry->metrics.GetCounter("rail_traversals_total");
+  congestion_stops_counter_ =
+      &telemetry->metrics.GetCounter("rail_congestion_stops_total");
+  congestion_wait_counter_ =
+      &telemetry->metrics.GetCounter("rail_congestion_wait_seconds_total");
+}
 
 RailTraffic::RailTraffic(int lanes, int segments) {
   if (lanes < 1 || segments < 1) {
@@ -39,6 +55,13 @@ RailTraffic::Traversal RailTraffic::Traverse(int lane, int from, int to, double 
     }
   }
   result.arrive_time = t;
+  if (traversals_counter_ != nullptr) {
+    traversals_counter_->Increment();
+    if (result.stops > 0) {
+      congestion_stops_counter_->Increment(static_cast<double>(result.stops));
+      congestion_wait_counter_->Increment(result.congestion_wait);
+    }
+  }
   return result;
 }
 

@@ -14,9 +14,15 @@
 
 namespace silica {
 
+class Counter;
+struct Telemetry;
+
 class RailTraffic {
  public:
   RailTraffic(int lanes, int segments);
+
+  // Publishes traversal / congestion counters into the registry; nullptr detaches.
+  void SetTelemetry(Telemetry* telemetry);
 
   struct Traversal {
     double depart_time = 0.0;   // when the shuttle actually leaves (>= requested)
@@ -37,6 +43,9 @@ class RailTraffic {
  private:
   // busy_until_[lane][segment]: the time the segment becomes free.
   std::vector<std::vector<double>> busy_until_;
+  Counter* traversals_counter_ = nullptr;
+  Counter* congestion_stops_counter_ = nullptr;
+  Counter* congestion_wait_counter_ = nullptr;
 };
 
 }  // namespace silica

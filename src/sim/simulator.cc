@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/telemetry.h"
+
 namespace silica {
 
 Simulator::EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
@@ -22,15 +24,78 @@ Simulator::EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn)
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id != kInvalidEvent) {
-    cancelled_.insert(id);
+  if (id == kInvalidEvent || id >= next_id_) {
+    return;
+  }
+  if (!cancelled_.insert(id).second) {
+    return;  // double cancel
+  }
+  ++events_cancelled_;
+  // A cancel of an id that already fired leaves a stale entry (we cannot tell
+  // without a per-event side structure, which slows the hot pop path; the cold
+  // paths re-verify instead). Purge once stale entries provably dominate, so the
+  // set stays bounded by ~2x the genuinely queued tombstones.
+  if (cancelled_.size() > 2 * queue_.size() + 64) {
+    PurgeStaleTombstones();
   }
 }
 
+void Simulator::PurgeStaleTombstones() {
+  std::unordered_set<EventId> queued;
+  queued.reserve(cancelled_.size());
+  for (const Event& event : queue_.c) {
+    if (cancelled_.count(event.id) != 0) {
+      queued.insert(event.id);
+    }
+  }
+  events_cancelled_ -= cancelled_.size() - queued.size();
+  cancelled_ = std::move(queued);
+}
+
 bool Simulator::Idle() const {
-  // The queue may still hold cancelled tombstones; treat those as idle. This is a
-  // conservative check used mostly by tests; Run() skips tombstones anyway.
-  return queue_.empty() || queue_.size() == cancelled_.size();
+  // Counts tombstones against the actual queue contents rather than trusting
+  // cancelled_.size(): the set may hold stale entries for events that fired
+  // before being cancelled. Cold path (tests and end-of-run checks), so the
+  // O(queue) sweep is fine.
+  if (queue_.c.empty()) {
+    return true;
+  }
+  if (cancelled_.empty()) {
+    return false;
+  }
+  size_t tombstones = 0;
+  for (const Event& event : queue_.c) {
+    tombstones += cancelled_.count(event.id);
+  }
+  return queue_.size() == tombstones;
+}
+
+void Simulator::SetTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    scheduled_counter_ = executed_counter_ = cancelled_counter_ = nullptr;
+    return;
+  }
+  scheduled_counter_ = &telemetry->metrics.GetCounter("sim_events_scheduled_total");
+  executed_counter_ = &telemetry->metrics.GetCounter("sim_events_executed_total");
+  cancelled_counter_ = &telemetry->metrics.GetCounter("sim_events_cancelled_total");
+}
+
+void Simulator::FlushCounters() {
+  if (scheduled_counter_ == nullptr) {
+    return;
+  }
+  // Settle events_cancelled_ first: cancels of already-fired events must not be
+  // reported as cancellations.
+  PurgeStaleTombstones();
+  const uint64_t scheduled = next_id_ - 1;
+  scheduled_counter_->Increment(static_cast<double>(scheduled - flushed_scheduled_));
+  flushed_scheduled_ = scheduled;
+  executed_counter_->Increment(
+      static_cast<double>(events_executed_ - flushed_executed_));
+  flushed_executed_ = events_executed_;
+  cancelled_counter_->Increment(
+      static_cast<double>(events_cancelled_ - flushed_cancelled_));
+  flushed_cancelled_ = events_cancelled_;
 }
 
 uint64_t Simulator::Run(SimTime until) {

@@ -15,6 +15,9 @@
 
 namespace silica {
 
+class Counter;
+struct Telemetry;
+
 using SimTime = double;  // seconds
 
 class Simulator {
@@ -42,6 +45,17 @@ class Simulator {
 
   uint64_t events_executed() const { return events_executed_; }
 
+  // Publishes event-loop counters (events scheduled / executed / cancelled) into
+  // the telemetry registry; nullptr detaches. The event loop itself stays
+  // telemetry-free: totals reach the registry only when FlushCounters() is called
+  // (the library twin does so when it publishes its end-of-run summary).
+  void SetTelemetry(Telemetry* telemetry);
+
+  // Pushes the delta since the last flush into the registry counters; no-op when
+  // detached. Kept out of Run(): even a pointer check in the event loop's epilogue
+  // measurably perturbs the hottest function in the twin.
+  void FlushCounters();
+
   static constexpr SimTime kForever = 1e30;
 
  private:
@@ -58,12 +72,42 @@ class Simulator {
       return a.id > b.id;  // FIFO among simultaneous events
     }
   };
+  // Exposes the heap's underlying vector so the cold paths (Idle, the tombstone
+  // purge) can enumerate queued events without disturbing the heap.
+  struct EventQueue : std::priority_queue<Event, std::vector<Event>, Later> {
+    using std::priority_queue<Event, std::vector<Event>, Later>::c;
+  };
+
+  // Drops cancelled_ entries whose event is no longer in the queue (a cancel that
+  // raced the event firing leaves one behind) and settles events_cancelled_ to
+  // count only cancels that actually prevented execution. O(queue + cancelled_);
+  // called from cold paths and, amortized, from Cancel so the set stays bounded
+  // by the number of genuinely queued tombstones instead of growing for the
+  // lifetime of the simulator.
+  void PurgeStaleTombstones();
 
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t events_cancelled_ = 0;
+  EventQueue queue_;
+  // Tombstones: ids cancelled while (believed) queued. Run() skips and erases
+  // them as they surface. May transiently hold stale ids — cancels of events that
+  // had already fired — which PurgeStaleTombstones() reclaims; correctness never
+  // depends on the set being exact, only the cold paths re-verify against the
+  // queue. Kept as the sole hot-path side structure deliberately: it holds only
+  // cancelled (rare) events, so the event loop's per-pop lookup stays tiny and
+  // cache-resident (every per-event bookkeeping scheme tried here — dense bitset,
+  // byte map, slot+generation table — measurably slowed the full-library bench;
+  // see DESIGN.md section 9).
   std::unordered_set<EventId> cancelled_;
+
+  Counter* scheduled_counter_ = nullptr;
+  Counter* executed_counter_ = nullptr;
+  Counter* cancelled_counter_ = nullptr;
+  uint64_t flushed_scheduled_ = 0;
+  uint64_t flushed_executed_ = 0;
+  uint64_t flushed_cancelled_ = 0;
 };
 
 }  // namespace silica

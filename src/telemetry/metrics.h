@@ -1,0 +1,127 @@
+// Metrics registry: named, label-tagged counters, gauges, and histograms that any
+// component of the digital twin can publish into, snapshotable to Prometheus-style
+// text and JSON.
+//
+// Design goals, in order:
+//   1. Handles are stable: `GetCounter(...)` returns a reference that stays valid
+//      for the registry's lifetime, so hot paths resolve a metric once at setup and
+//      then pay a single add per event.
+//   2. Deterministic export: metrics serialize in (name, labels) order so snapshots
+//      diff cleanly across runs and golden files are stable.
+//   3. Merge semantics for sharded runs: counters add, gauges take the other side's
+//      latest value, histograms absorb the other side's samples.
+//
+// Histograms reuse the existing StreamingStats (mean/min/max) and PercentileTracker
+// (exact quantiles) rather than inventing a third accumulator.
+#ifndef SILICA_TELEMETRY_METRICS_H_
+#define SILICA_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace silica {
+
+// Label set attached to a metric instance, e.g. {{"drive", "3"}, {"policy", "silica"}}.
+// Kept sorted by key so equal label sets always serialize identically.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Increment(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  void Observe(double x) {
+    stats_.Add(x);
+    percentiles_.Add(x);
+  }
+  void Merge(const Histogram& other) {
+    stats_.Merge(other.stats_);
+    percentiles_.Merge(other.percentiles_);
+  }
+
+  uint64_t count() const { return stats_.count(); }
+  double sum() const { return stats_.sum(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double Percentile(double q) const { return percentiles_.Percentile(q); }
+
+ private:
+  StreamingStats stats_;
+  PercentileTracker percentiles_;
+};
+
+class MetricsRegistry {
+ public:
+  // Finds or creates the metric; the returned reference stays valid for the
+  // registry's lifetime. Requesting an existing name with a different metric kind
+  // throws (a name identifies exactly one kind).
+  Counter& GetCounter(const std::string& name, MetricLabels labels = {});
+  Gauge& GetGauge(const std::string& name, MetricLabels labels = {});
+  Histogram& GetHistogram(const std::string& name, MetricLabels labels = {});
+
+  // Point lookups for tests / report plumbing. Zero (or empty histogram) when the
+  // metric does not exist.
+  double CounterValue(const std::string& name, const MetricLabels& labels = {}) const;
+  double GaugeValue(const std::string& name, const MetricLabels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const MetricLabels& labels = {}) const;
+
+  // Absorbs `other`: counters add, gauges take other's value, histograms merge.
+  void Merge(const MetricsRegistry& other);
+
+  size_t size() const { return metrics_.size(); }
+
+  // Prometheus text exposition (histograms render as summaries with quantiles).
+  std::string ToPrometheusText() const;
+  // One JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  // Key = name + '\0'-separated serialized labels: sorts by name then labels.
+  using Key = std::pair<std::string, std::string>;
+  static std::string EncodeLabels(const MetricLabels& labels);
+  Entry& FindOrCreate(const std::string& name, MetricLabels labels, Kind kind);
+  const Entry* Find(const std::string& name, const MetricLabels& labels,
+                    Kind kind) const;
+
+  std::map<Key, Entry> metrics_;
+};
+
+// Escapes `s` into `out` as JSON string contents (no surrounding quotes). Shared by
+// the metrics and trace exporters.
+void AppendJsonEscaped(std::string* out, const std::string& s);
+
+}  // namespace silica
+
+#endif  // SILICA_TELEMETRY_METRICS_H_

@@ -1,0 +1,20 @@
+// The telemetry context threaded through the digital twin: one metrics registry
+// plus one simulation-time tracer. Components accept a `Telemetry*` (nullptr means
+// "no observability", the default) and resolve metric handles once at setup so the
+// per-event cost is a branch and an add.
+#ifndef SILICA_TELEMETRY_TELEMETRY_H_
+#define SILICA_TELEMETRY_TELEMETRY_H_
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace silica {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,193 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+
+#include "telemetry/metrics.h"
+
+namespace silica {
+namespace {
+
+struct CategoryName {
+  const char* name;
+  uint32_t bit;
+};
+constexpr CategoryName kCategoryNames[] = {
+    {"sim", kTraceSim},           {"shuttle", kTraceShuttle},
+    {"drive", kTraceDrive},       {"scheduler", kTraceScheduler},
+    {"decode", kTraceDecode},     {"pipeline", kTracePipeline},
+    {"all", kTraceAll},
+};
+
+const char* NameOf(TraceCategory category) {
+  for (const auto& entry : kCategoryNames) {
+    if (entry.bit == static_cast<uint32_t>(category)) {
+      return entry.name;
+    }
+  }
+  return "other";
+}
+
+// trace_event timestamps are microseconds.
+int64_t ToMicros(double seconds) { return static_cast<int64_t>(seconds * 1e6); }
+
+void AppendMicros(std::string* out, const char* key, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", \"%s\": %" PRId64, key, ToMicros(seconds));
+  out->append(buf);
+}
+
+}  // namespace
+
+uint32_t ParseTraceCategories(const std::string& csv) {
+  if (csv.empty()) {
+    return kTraceAll;
+  }
+  uint32_t mask = 0;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t end = csv.find(',', start);
+    if (end == std::string::npos) {
+      end = csv.size();
+    }
+    const std::string token = csv.substr(start, end - start);
+    for (const auto& entry : kCategoryNames) {
+      if (token == entry.name) {
+        mask |= entry.bit;
+      }
+    }
+    start = end + 1;
+  }
+  return mask;
+}
+
+int Tracer::RegisterTrack(const std::string& name) {
+  tracks_.push_back(name);
+  return static_cast<int>(tracks_.size() - 1);
+}
+
+void Tracer::SpanImpl(TraceCategory category, int track, double start_s,
+                      double duration_s, const char* name,
+                      std::initializer_list<Arg> args) {
+  Record(Event{Phase::kComplete, category, track, 0, start_s, duration_s, name,
+               std::vector<Arg>(args)});
+}
+
+Tracer::SpanHandle Tracer::BeginSpanImpl(TraceCategory category, int track,
+                                         double start_s, const char* name,
+                                         std::initializer_list<Arg> args) {
+  Record(Event{Phase::kComplete, category, track, 0, start_s, 0.0, name,
+               std::vector<Arg>(args)});
+  return events_.size() - 1;
+}
+
+void Tracer::EndSpanImpl(SpanHandle handle, double end_s) {
+  if (handle >= events_.size()) {
+    return;
+  }
+  Event& event = events_[handle];
+  event.duration = std::max(0.0, end_s - event.ts);
+}
+
+void Tracer::InstantImpl(TraceCategory category, int track, double ts_s,
+                         const char* name, std::initializer_list<Arg> args) {
+  Record(Event{Phase::kInstant, category, track, 0, ts_s, 0.0, name,
+               std::vector<Arg>(args)});
+}
+
+void Tracer::AsyncImpl(char phase, TraceCategory category, uint64_t id,
+                       double ts_s, const char* name) {
+  Record(Event{static_cast<Phase>(phase), category, 0, id, ts_s, 0.0, name, {}});
+}
+
+void Tracer::CounterEventImpl(TraceCategory category, double ts_s,
+                              const char* name, double value) {
+  Record(Event{Phase::kCounter, category, 0, 0, ts_s, value, name, {}});
+}
+
+void Tracer::ExportJson(std::ostream& out) const {
+  // Stable timestamp order (ties broken by recording order) so exports diff
+  // cleanly and the viewer never sees out-of-order async pairs.
+  std::vector<size_t> order(events_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return events_[a].ts < events_[b].ts;
+  });
+
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  // Track-name metadata events ("M") label the rows in the Perfetto UI.
+  for (size_t track = 0; track < tracks_.size(); ++track) {
+    std::string line = "{\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    line.append(std::to_string(track));
+    line.append(", \"name\": \"thread_name\", \"args\": {\"name\": \"");
+    AppendJsonEscaped(&line, tracks_[track]);
+    line.append("\"}}");
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << line;
+  }
+  for (const size_t index : order) {
+    const Event& event = events_[index];
+    std::string line = "{\"ph\": \"";
+    line.push_back(static_cast<char>(event.phase));
+    line.append("\", \"pid\": 1, \"tid\": ");
+    line.append(std::to_string(event.track));
+    line.append(", \"cat\": \"");
+    line.append(NameOf(event.category));
+    line.append("\", \"name\": \"");
+    AppendJsonEscaped(&line, event.name);
+    line.push_back('"');
+    AppendMicros(&line, "ts", event.ts);
+    switch (event.phase) {
+      case Phase::kComplete:
+        AppendMicros(&line, "dur", event.duration);
+        break;
+      case Phase::kInstant:
+        line.append(", \"s\": \"t\"");  // thread-scoped instant
+        break;
+      case Phase::kAsyncBegin:
+      case Phase::kAsyncInstant:
+      case Phase::kAsyncEnd: {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ", \"id\": \"0x%" PRIx64 "\"", event.id);
+        line.append(buf);
+        break;
+      }
+      case Phase::kCounter:
+        break;
+    }
+    if (event.phase == Phase::kCounter) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %.17g}",
+                    event.duration);
+      line.append(buf);
+    } else if (!event.args.empty()) {
+      line.append(", \"args\": {");
+      bool first_arg = true;
+      for (const Arg& arg : event.args) {
+        if (!first_arg) {
+          line.append(", ");
+        }
+        first_arg = false;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "\"%s\": %.17g", arg.key, arg.value);
+        line.append(buf);
+      }
+      line.push_back('}');
+    }
+    line.push_back('}');
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << line;
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace silica

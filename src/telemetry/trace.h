@@ -1,0 +1,176 @@
+// Simulation-time tracer exporting Chrome/Perfetto `trace_event` JSON.
+//
+// The digital twin is a discrete event simulation: every component already knows the
+// exact simulated start time and duration of its work, so spans are recorded as
+// complete ("X") events with explicit timestamps — no clocks, no thread-locals.
+// Components that begin a span before knowing its end (e.g. a drive's verify window,
+// preempted at an unknown future time) use BeginSpan/EndSpan, which backfills the
+// duration into the already-recorded event. Request-lifetime spans that overlap
+// freely (many outstanding reads on one scheduler) use the async ("b"/"n"/"e")
+// event family keyed by request id.
+//
+// Fast path: a Tracer is disabled until Enable() is called. Every recording method
+// first checks a single enabled-categories word, so with no sink attached the cost
+// per call site is one load + branch — near-zero against the simulator's work per
+// event (acceptance: < 2% throughput regression on the full-library bench).
+//
+// Time base: simulation seconds, exported as integer microseconds (the trace_event
+// `ts` unit). Tracks ("threads" in the viewer) are registered per component:
+// shuttle 0..N, drive 0..M, scheduler, write pipeline.
+#ifndef SILICA_TELEMETRY_TRACE_H_
+#define SILICA_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace silica {
+
+// Bitmask categories; filterable at runtime (--trace-categories=shuttle,drive).
+enum TraceCategory : uint32_t {
+  kTraceSim = 1u << 0,        // event-loop internals
+  kTraceShuttle = 1u << 1,    // travel / crab / pick / place / recharge
+  kTraceDrive = 1u << 2,      // mount / seek+read / verify / switch / unmount
+  kTraceScheduler = 1u << 3,  // request enqueue -> dispatch -> complete, steals
+  kTraceDecode = 1u << 4,     // decode service jobs and fleet size
+  kTracePipeline = 1u << 5,   // write pipeline: eject -> verify -> store
+  kTraceAll = 0xFFFFFFFFu,
+};
+
+// Parses "shuttle,drive,scheduler" (or "all") into a category mask; unknown names
+// are ignored. Empty input means all categories.
+uint32_t ParseTraceCategories(const std::string& csv);
+
+class Tracer {
+ public:
+  using SpanHandle = size_t;
+  static constexpr SpanHandle kInvalidSpan = static_cast<SpanHandle>(-1);
+
+  // Small inline argument list attached to a span/instant; doubles only, which is
+  // all the twin needs (distances, bytes, counts, seconds).
+  struct Arg {
+    const char* key;
+    double value;
+  };
+
+  // Attaches the sink: recording starts, restricted to `categories`.
+  void Enable(uint32_t categories = kTraceAll) { mask_ = categories; }
+  void Disable() { mask_ = 0; }
+  bool enabled(TraceCategory category) const { return (mask_ & category) != 0; }
+
+  // Names a track (a "thread" row in the Perfetto UI). Returns the track id.
+  int RegisterTrack(const std::string& name);
+
+  // All recording methods are inline wrappers around out-of-line *Impl bodies:
+  // when the category is disabled the call site reduces to a load + branch and
+  // the compiler sinks argument materialization into the enabled path.
+
+  // Complete span: [start_s, start_s + duration_s] on `track`.
+  void Span(TraceCategory category, int track, double start_s, double duration_s,
+            const char* name, std::initializer_list<Arg> args = {}) {
+    if ((mask_ & category) != 0) {
+      SpanImpl(category, track, start_s, duration_s, name, args);
+    }
+  }
+
+  // Open span whose end is not yet known; EndSpan backfills the duration.
+  // Returns kInvalidSpan (and EndSpan is a no-op) when the category is disabled.
+  SpanHandle BeginSpan(TraceCategory category, int track, double start_s,
+                       const char* name, std::initializer_list<Arg> args = {}) {
+    if ((mask_ & category) == 0) {
+      return kInvalidSpan;
+    }
+    return BeginSpanImpl(category, track, start_s, name, args);
+  }
+  void EndSpan(SpanHandle handle, double end_s) {
+    if (handle != kInvalidSpan) {
+      EndSpanImpl(handle, end_s);
+    }
+  }
+
+  // Instantaneous marker on a track.
+  void Instant(TraceCategory category, int track, double ts_s, const char* name,
+               std::initializer_list<Arg> args = {}) {
+    if ((mask_ & category) != 0) {
+      InstantImpl(category, track, ts_s, name, args);
+    }
+  }
+
+  // Async span family: overlapping per-id spans (e.g. one per in-flight request).
+  void AsyncBegin(TraceCategory category, uint64_t id, double ts_s,
+                  const char* name) {
+    if ((mask_ & category) != 0) {
+      AsyncImpl('b', category, id, ts_s, name);
+    }
+  }
+  void AsyncInstant(TraceCategory category, uint64_t id, double ts_s,
+                    const char* name) {
+    if ((mask_ & category) != 0) {
+      AsyncImpl('n', category, id, ts_s, name);
+    }
+  }
+  void AsyncEnd(TraceCategory category, uint64_t id, double ts_s,
+                const char* name) {
+    if ((mask_ & category) != 0) {
+      AsyncImpl('e', category, id, ts_s, name);
+    }
+  }
+
+  // Counter track (rendered as an area chart in the viewer).
+  void CounterEvent(TraceCategory category, double ts_s, const char* name,
+                    double value) {
+    if ((mask_ & category) != 0) {
+      CounterEventImpl(category, ts_s, name, value);
+    }
+  }
+
+  size_t num_events() const { return events_.size(); }
+
+  // Writes the whole trace as a JSON object {"traceEvents": [...]} — the
+  // Chrome/Perfetto trace_event format. Events are ordered by timestamp.
+  void ExportJson(std::ostream& out) const;
+
+ private:
+  enum class Phase : char {
+    kComplete = 'X',
+    kInstant = 'i',
+    kAsyncBegin = 'b',
+    kAsyncInstant = 'n',
+    kAsyncEnd = 'e',
+    kCounter = 'C',
+  };
+  struct Event {
+    Phase phase;
+    TraceCategory category;
+    int track = 0;
+    uint64_t id = 0;         // async events only
+    double ts = 0.0;         // seconds
+    double duration = 0.0;   // kComplete only
+    const char* name = "";   // string literals only; never freed
+    std::vector<Arg> args;
+  };
+
+  void Record(Event event) { events_.push_back(std::move(event)); }
+
+  void SpanImpl(TraceCategory category, int track, double start_s,
+                double duration_s, const char* name,
+                std::initializer_list<Arg> args);
+  SpanHandle BeginSpanImpl(TraceCategory category, int track, double start_s,
+                           const char* name, std::initializer_list<Arg> args);
+  void EndSpanImpl(SpanHandle handle, double end_s);
+  void InstantImpl(TraceCategory category, int track, double ts_s,
+                   const char* name, std::initializer_list<Arg> args);
+  void AsyncImpl(char phase, TraceCategory category, uint64_t id, double ts_s,
+                 const char* name);
+  void CounterEventImpl(TraceCategory category, double ts_s, const char* name,
+                        double value);
+
+  uint32_t mask_ = 0;  // disabled by default: the compiled-in fast path
+  std::vector<std::string> tracks_;
+  std::vector<Event> events_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_TELEMETRY_TRACE_H_

@@ -96,6 +96,46 @@ TEST(Simulator, CancelAfterFireIsNoop) {
   EXPECT_EQ(fired, 2);
 }
 
+// Regression: cancelling ids that are not pending (already fired, or never
+// issued) used to insert permanent tombstones, making Idle() report false
+// forever once live events were queued alongside them.
+TEST(Simulator, CancelOfFiredIdLeavesNoTombstone) {
+  Simulator sim;
+  const auto id = sim.Schedule(1.0, [] {});
+  sim.Run();
+  EXPECT_TRUE(sim.Idle());
+  sim.Cancel(id);  // fired already — must not create a tombstone
+  sim.Schedule(1.0, [] {});
+  EXPECT_FALSE(sim.Idle());  // one live event, zero tombstones
+  sim.Run();
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(Simulator, CancelOfUnknownIdLeavesNoTombstone) {
+  Simulator sim;
+  sim.Cancel(12345);  // never scheduled
+  sim.Cancel(Simulator::kInvalidEvent);
+  EXPECT_TRUE(sim.Idle());
+  sim.Schedule(1.0, [] {});
+  EXPECT_FALSE(sim.Idle());
+  sim.Run();
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(Simulator, DoubleCancelCountsOneTombstone) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.Schedule(1.0, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Cancel(id);  // second cancel is a no-op, not a second tombstone
+  EXPECT_TRUE(sim.Idle());
+  sim.Schedule(2.0, [] {});
+  EXPECT_FALSE(sim.Idle());
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.Idle());
+}
+
 TEST(Simulator, EventCountTracked) {
   Simulator sim;
   for (int i = 0; i < 7; ++i) {

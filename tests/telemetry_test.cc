@@ -1,0 +1,495 @@
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace silica {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser, just enough to validate exporter
+// output structurally (no external JSON dependency allowed in this repo).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type =
+      Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("trailing characters at " + std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.str = ParseString();
+      return v;
+    }
+    if (c == 't' || c == 'f') return ParseKeyword();
+    if (c == 'n') return ParseKeyword();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (Consume('}')) return v;
+    while (true) {
+      const std::string key = ParseString();
+      Expect(':');
+      v.object.emplace(key, ParseValue());
+      if (Consume('}')) return v;
+      Expect(',');
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (Consume(']')) return v;
+    while (true) {
+      v.array.push_back(ParseValue());
+      if (Consume(']')) return v;
+      Expect(',');
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        throw std::runtime_error("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          throw std::runtime_error("unterminated escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) {
+              throw std::runtime_error("bad \\u escape");
+            }
+            out += "\\u" + text_.substr(pos_, 4);  // kept opaque; fine for tests
+            pos_ += 4;
+            break;
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue ParseKeyword() {
+    JsonValue v;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.type = JsonValue::Type::kBool;
+      pos_ += 5;
+    } else if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+    } else {
+      throw std::runtime_error("bad keyword at " + std::to_string(pos_));
+    }
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      throw std::runtime_error("bad number at " + std::to_string(pos_));
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+JsonValue ParseJsonOrDie(const std::string& text) {
+  JsonParser parser(text);
+  return parser.Parse();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, HandlesAreStableAndAccumulate) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("requests_total");
+  c.Increment();
+  c.Increment(4.0);
+  // Same name resolves to the same instance.
+  EXPECT_EQ(&registry.GetCounter("requests_total"), &c);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("requests_total"), 5.0);
+
+  Gauge& g = registry.GetGauge("queue_depth");
+  g.Set(7.0);
+  g.Add(-2.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("queue_depth"), 5.0);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishInstances) {
+  MetricsRegistry registry;
+  registry.GetCounter("ops_total", {{"drive", "0"}}).Increment(2.0);
+  registry.GetCounter("ops_total", {{"drive", "1"}}).Increment(3.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("ops_total", {{"drive", "0"}}), 2.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("ops_total", {{"drive", "1"}}), 3.0);
+  // Unlabeled instance is distinct and absent.
+  EXPECT_DOUBLE_EQ(registry.CounterValue("ops_total"), 0.0);
+  // Label order does not matter: sorted on entry.
+  registry.GetCounter("xy", {{"b", "2"}, {"a", "1"}}).Increment();
+  EXPECT_DOUBLE_EQ(registry.CounterValue("xy", {{"a", "1"}, {"b", "2"}}), 1.0);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("x");
+  EXPECT_THROW(registry.GetGauge("x"), std::logic_error);
+  EXPECT_THROW(registry.GetHistogram("x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, HistogramPercentiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("latency_seconds");
+  for (int i = 1; i <= 1000; ++i) {
+    h.Observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+  EXPECT_NEAR(h.Percentile(0.5), 500.0, 1.0);
+  EXPECT_NEAR(h.Percentile(0.9), 900.0, 1.0);
+  EXPECT_NEAR(h.Percentile(0.99), 990.0, 1.0);
+  const Histogram* found = registry.FindHistogram("latency_seconds");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &h);
+  EXPECT_EQ(registry.FindHistogram("nope"), nullptr);
+}
+
+TEST(MetricsRegistry, MergeSemantics) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("c").Increment(10.0);
+  b.GetCounter("c").Increment(5.0);
+  b.GetCounter("only_b").Increment(1.0);
+  a.GetGauge("g").Set(1.0);
+  b.GetGauge("g").Set(9.0);
+  a.GetHistogram("h").Observe(1.0);
+  b.GetHistogram("h").Observe(3.0);
+
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.CounterValue("c"), 15.0);       // counters add
+  EXPECT_DOUBLE_EQ(a.CounterValue("only_b"), 1.0);   // absent metrics created
+  EXPECT_DOUBLE_EQ(a.GaugeValue("g"), 9.0);          // gauges take other's value
+  const Histogram* h = a.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);                         // histograms absorb samples
+  EXPECT_DOUBLE_EQ(h->sum(), 4.0);
+}
+
+TEST(MetricsRegistry, PrometheusTextSnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("reads_total", {{"drive", "0"}}).Increment(12.0);
+  registry.GetGauge("util").Set(0.5);
+  Histogram& h = registry.GetHistogram("wait_seconds");
+  h.Observe(1.0);
+  h.Observe(2.0);
+
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE reads_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reads_total{drive=\"0\"} 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE util gauge"), std::string::npos);
+  EXPECT_NE(text.find("util 0.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wait_seconds summary"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_sum 3"), std::string::npos);
+  // Deterministic: serializing twice yields identical bytes.
+  EXPECT_EQ(text, registry.ToPrometheusText());
+}
+
+TEST(MetricsRegistry, JsonSnapshotParsesAndRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"k", "va\"l\\ue"}}).Increment(2.0);  // needs escaping
+  registry.GetGauge("g").Set(1.25);
+  registry.GetHistogram("h").Observe(4.0);
+
+  // Sections map serialized "name{labels}" -> value (or histogram object).
+  const JsonValue root = ParseJsonOrDie(registry.ToJson());
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue* counters = root.Get("counters");
+  const JsonValue* gauges = root.Get("gauges");
+  const JsonValue* histograms = root.Get("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_EQ(counters->object.size(), 1u);
+  const auto& [counter_key, counter_value] = *counters->object.begin();
+  EXPECT_EQ(counter_key, "c{k=\"va\"l\\ue\"}");  // label value kept verbatim
+  EXPECT_DOUBLE_EQ(counter_value.number, 2.0);
+  EXPECT_DOUBLE_EQ(gauges->Get("g")->number, 1.25);
+  ASSERT_EQ(histograms->object.size(), 1u);
+  const JsonValue* h = histograms->Get("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->Get("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(h->Get("p50")->number, 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer;  // never enabled
+  const int track = tracer.RegisterTrack("t");
+  tracer.Span(kTraceShuttle, track, 0.0, 1.0, "travel");
+  tracer.Instant(kTraceShuttle, track, 0.5, "marker");
+  tracer.AsyncBegin(kTraceScheduler, 1, 0.0, "request");
+  tracer.AsyncEnd(kTraceScheduler, 1, 1.0, "request");
+  tracer.CounterEvent(kTraceDecode, 0.0, "workers", 3.0);
+  EXPECT_EQ(tracer.BeginSpan(kTraceDrive, track, 0.0, "verify"),
+            Tracer::kInvalidSpan);
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(Tracer, CategoryFiltering) {
+  Tracer tracer;
+  tracer.Enable(kTraceShuttle | kTraceDrive);
+  EXPECT_TRUE(tracer.enabled(kTraceShuttle));
+  EXPECT_TRUE(tracer.enabled(kTraceDrive));
+  EXPECT_FALSE(tracer.enabled(kTraceScheduler));
+  const int track = tracer.RegisterTrack("t");
+  tracer.Span(kTraceShuttle, track, 0.0, 1.0, "travel");       // recorded
+  tracer.Span(kTraceScheduler, track, 0.0, 1.0, "dispatch");   // filtered out
+  tracer.Instant(kTraceDrive, track, 2.0, "verify_complete");  // recorded
+  EXPECT_EQ(tracer.num_events(), 2u);
+}
+
+TEST(Tracer, ParseTraceCategoriesNamesAndDefaults) {
+  EXPECT_EQ(ParseTraceCategories(""), kTraceAll);
+  EXPECT_EQ(ParseTraceCategories("all"), kTraceAll);
+  EXPECT_EQ(ParseTraceCategories("shuttle"), kTraceShuttle);
+  EXPECT_EQ(ParseTraceCategories("shuttle,drive"), kTraceShuttle | kTraceDrive);
+  EXPECT_EQ(ParseTraceCategories("scheduler,decode,pipeline"),
+            kTraceScheduler | kTraceDecode | kTracePipeline);
+  EXPECT_EQ(ParseTraceCategories("bogus,shuttle"), kTraceShuttle);
+}
+
+TEST(Tracer, BeginEndSpanBackfillsDuration) {
+  Tracer tracer;
+  tracer.Enable();
+  const int track = tracer.RegisterTrack("drive 0");
+  const auto span = tracer.BeginSpan(kTraceDrive, track, 10.0, "verify");
+  ASSERT_NE(span, Tracer::kInvalidSpan);
+  tracer.EndSpan(span, 25.0);
+
+  std::ostringstream out;
+  tracer.ExportJson(out);
+  const JsonValue root = ParseJsonOrDie(out.str());
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const auto& e : events->array) {
+    if (e.Get("name") != nullptr && e.Get("name")->str == "verify") {
+      found = true;
+      EXPECT_DOUBLE_EQ(e.Get("ts")->number, 10.0 * 1e6);
+      EXPECT_DOUBLE_EQ(e.Get("dur")->number, 15.0 * 1e6);
+      EXPECT_EQ(e.Get("ph")->str, "X");
+    }
+  }
+  EXPECT_TRUE(found);
+  // Ending an invalid handle is a harmless no-op.
+  tracer.EndSpan(Tracer::kInvalidSpan, 30.0);
+}
+
+// Golden structural check: the export is valid trace_event JSON — a top-level
+// {"traceEvents": [...]} whose events carry the required keys for their phase,
+// sorted by timestamp, with nested spans contained within their parents.
+TEST(Tracer, ExportIsValidTraceEventJson) {
+  Tracer tracer;
+  tracer.Enable();
+  const int shuttle = tracer.RegisterTrack("shuttle 0");
+  const int drive = tracer.RegisterTrack("drive 0");
+  // Nested spans: fetch encloses travel and pick.
+  tracer.Span(kTraceShuttle, shuttle, 0.0, 10.0, "fetch",
+              {{"platter", 7.0}, {"drive", 0.0}});
+  tracer.Span(kTraceShuttle, shuttle, 1.0, 4.0, "travel", {{"distance_m", 12.5}});
+  tracer.Span(kTraceShuttle, shuttle, 6.0, 2.0, "pick");
+  tracer.Span(kTraceDrive, drive, 11.0, 3.0, "read");
+  tracer.Instant(kTraceShuttle, shuttle, 5.5, "work_steal");
+  tracer.AsyncBegin(kTraceScheduler, 42, 0.0, "request");
+  tracer.AsyncInstant(kTraceScheduler, 42, 11.0, "dispatch");
+  tracer.AsyncEnd(kTraceScheduler, 42, 14.0, "request");
+  tracer.CounterEvent(kTraceDecode, 2.0, "decode_workers", 8.0);
+
+  std::ostringstream out;
+  tracer.ExportJson(out);
+  const JsonValue root = ParseJsonOrDie(out.str());
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+
+  double last_ts = -1.0;
+  size_t spans = 0, asyncs = 0, metadata = 0;
+  for (const auto& e : events->array) {
+    ASSERT_EQ(e.type, JsonValue::Type::kObject);
+    const JsonValue* ph = e.Get("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.Get("name"), nullptr);
+    ASSERT_NE(e.Get("pid"), nullptr);
+    if (ph->str == "M") {
+      ++metadata;  // thread_name records; no ts ordering requirement
+      EXPECT_EQ(e.Get("name")->str, "thread_name");
+      ASSERT_NE(e.Get("args"), nullptr);
+      EXPECT_NE(e.Get("args")->Get("name"), nullptr);
+      continue;
+    }
+    const JsonValue* ts = e.Get("ts");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_GE(ts->number, last_ts);  // sorted by timestamp
+    last_ts = ts->number;
+    if (ph->str == "X") {
+      ++spans;
+      ASSERT_NE(e.Get("dur"), nullptr);
+      EXPECT_GE(e.Get("dur")->number, 0.0);
+      ASSERT_NE(e.Get("tid"), nullptr);
+    } else if (ph->str == "b" || ph->str == "n" || ph->str == "e") {
+      ++asyncs;
+      ASSERT_NE(e.Get("id"), nullptr);
+      ASSERT_NE(e.Get("cat"), nullptr);
+    } else if (ph->str == "i") {
+      ASSERT_NE(e.Get("s"), nullptr);  // instant scope
+    } else if (ph->str == "C") {
+      ASSERT_NE(e.Get("args"), nullptr);
+    } else {
+      FAIL() << "unexpected phase " << ph->str;
+    }
+  }
+  EXPECT_EQ(metadata, 2u);  // two named tracks
+  EXPECT_EQ(spans, 4u);
+  EXPECT_EQ(asyncs, 3u);
+
+  // Span args survive export with their values.
+  bool travel_found = false;
+  for (const auto& e : events->array) {
+    if (e.Get("name") != nullptr && e.Get("name")->str == "travel") {
+      travel_found = true;
+      ASSERT_NE(e.Get("args"), nullptr);
+      EXPECT_DOUBLE_EQ(e.Get("args")->Get("distance_m")->number, 12.5);
+    }
+  }
+  EXPECT_TRUE(travel_found);
+}
+
+// End-to-end: a tiny simulated run through Telemetry produces a consistent
+// registry + trace pair (what silica_sim wires up for --metrics-out/--trace-out).
+TEST(Telemetry, RegistryAndTracerComposable) {
+  Telemetry telemetry;
+  telemetry.tracer.Enable(kTraceShuttle);
+  const int track = telemetry.tracer.RegisterTrack("shuttle 0");
+  for (int i = 0; i < 3; ++i) {
+    telemetry.tracer.Span(kTraceShuttle, track, i * 10.0, 4.0, "travel");
+    telemetry.metrics.GetCounter("library_travels_total").Increment();
+    telemetry.metrics.GetHistogram("library_travel_seconds").Observe(4.0);
+  }
+  EXPECT_EQ(telemetry.tracer.num_events(), 3u);
+  EXPECT_DOUBLE_EQ(telemetry.metrics.CounterValue("library_travels_total"), 3.0);
+  EXPECT_EQ(telemetry.metrics.FindHistogram("library_travel_seconds")->count(), 3u);
+}
+
+}  // namespace
+}  // namespace silica

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo health check: tier-1 verify (full build + ctest) plus an ASan/UBSan pass
+# over the event engine and telemetry tests.
+#
+#   tools/check.sh            # tier-1 + sanitizer pass
+#   tools/check.sh --fast     # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: configure + build + ctest =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+ctest --preset default -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== OK (fast mode, sanitizers skipped) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan over simulator + telemetry tests =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$jobs" --target silica_tests
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ./build-asan/tests/silica_tests \
+  --gtest_filter='Simulator.*:MetricsRegistry.*:Tracer.*:Telemetry.*'
+
+echo "== OK =="

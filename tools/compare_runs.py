@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare two silica_sim --json run reports for bench trajectory tracking.
+
+Usage:
+    silica_sim --profile=iops --json > baseline.json
+    ... change the code ...
+    silica_sim --profile=iops --json > candidate.json
+    tools/compare_runs.py baseline.json candidate.json [--tolerance=0.02]
+
+Prints a per-metric delta table and exits non-zero when any tracked metric
+regresses by more than the tolerance (fraction, default 2%). "Regression" is
+directional: completion times, makespan, congestion, and energy should not go
+up; drive utilization and completed requests should not go down.
+"""
+import argparse
+import json
+import sys
+
+# (json path, label, direction) — direction +1 means "higher is better",
+# -1 means "lower is better", 0 means informational only.
+TRACKED = [
+    (("requests", "completed"), "requests completed", +1),
+    (("completion_seconds", "p50"), "completion p50 (s)", -1),
+    (("completion_seconds", "p99"), "completion p99 (s)", -1),
+    (("completion_seconds", "p999"), "completion p99.9 (s)", -1),
+    (("completion_seconds", "max"), "completion max (s)", -1),
+    (("drives", "utilization"), "drive utilization", +1),
+    (("drives", "read_fraction"), "drive read fraction", 0),
+    (("drives", "verify_fraction"), "drive verify fraction", 0),
+    (("shuttles", "travel_mean_s"), "travel mean (s)", -1),
+    (("shuttles", "congestion_overhead_fraction"), "congestion overhead", -1),
+    (("shuttles", "energy_per_platter_op"), "energy / platter op", -1),
+    (("shuttles", "work_steals"), "work steals", 0),
+    (("makespan_seconds",), "makespan (s)", -1),
+]
+
+
+def lookup(report, path):
+    node = report
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed fractional regression (default 0.02)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+
+    base_cfg, cand_cfg = base.get("config", {}), cand.get("config", {})
+    if base_cfg != cand_cfg:
+        print("note: configs differ, deltas compare different experiments")
+        for key in sorted(set(base_cfg) | set(cand_cfg)):
+            if base_cfg.get(key) != cand_cfg.get(key):
+                print(f"  {key}: {base_cfg.get(key)!r} -> {cand_cfg.get(key)!r}")
+
+    regressions = []
+    width = max(len(label) for _, label, _ in TRACKED)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+    for path, label, direction in TRACKED:
+        b, c = lookup(base, path), lookup(cand, path)
+        if b is None or c is None:
+            print(f"{label:<{width}}  {'missing':>14}  {'missing':>14}")
+            continue
+        delta = (c - b) / b if b else (0.0 if c == b else float("inf"))
+        mark = ""
+        if direction != 0 and direction * delta < -args.tolerance:
+            mark = "  <-- regression"
+            regressions.append(label)
+        print(f"{label:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+7.1%}{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.1%}: {', '.join(regressions)}")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

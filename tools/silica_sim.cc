@@ -3,18 +3,87 @@
 //   silica_sim --profile=iops --policy=silica|sp|ns --shuttles=20 --mbps=60
 //              [--platters=3000] [--seed=1] [--unavailable=0.1] [--zipf=0.9]
 //              [--no-stealing] [--no-grouping] [--no-fast-switch]
+//              [--metrics-out=m.json|m.prom] [--trace-out=t.json]
+//              [--trace-categories=shuttle,drive,scheduler,pipeline] [--json]
 //
 // Prints a one-screen report: completion percentiles, drive split, shuttle stats.
+// With --json the report is a single machine-readable JSON object instead (for
+// bench trajectory tracking; see tools/compare_runs.py). --metrics-out snapshots
+// the metrics registry (Prometheus text, or JSON when the path ends in .json);
+// --trace-out writes a Chrome/Perfetto-loadable trace of the run.
 #include <cstdio>
-#include <string>
-
 #include <fstream>
+#include <memory>
+#include <string>
 
 #include "common/units.h"
 #include "core/library_sim.h"
 #include "flags.h"
+#include "telemetry/telemetry.h"
 #include "workload/trace_gen.h"
 #include "workload/trace_io.h"
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void PrintJsonReport(const silica::LibrarySimResult& r,
+                     const silica::LibrarySimConfig& config,
+                     const std::string& profile, const std::string& policy,
+                     uint64_t window_bytes, double slo_s) {
+  const auto& ct = r.completion_times;
+  std::printf("{\n");
+  std::printf(
+      "  \"config\": {\"profile\": \"%s\", \"policy\": \"%s\", \"shuttles\": %d, "
+      "\"mbps\": %g, \"platters\": %llu, \"seed\": %llu, \"unavailable\": %g, "
+      "\"work_stealing\": %s, \"grouping\": %s, \"fast_switching\": %s},\n",
+      profile.c_str(), policy.c_str(), config.library.num_shuttles,
+      config.library.drive_throughput_mbps,
+      static_cast<unsigned long long>(config.num_info_platters),
+      static_cast<unsigned long long>(config.seed), config.unavailable_fraction,
+      config.library.work_stealing ? "true" : "false",
+      config.library.group_platter_requests ? "true" : "false",
+      config.library.fast_switching ? "true" : "false");
+  std::printf(
+      "  \"requests\": {\"total\": %llu, \"completed\": %llu, "
+      "\"recovery_reads\": %llu, \"window_bytes\": %llu},\n",
+      static_cast<unsigned long long>(r.requests_total),
+      static_cast<unsigned long long>(r.requests_completed),
+      static_cast<unsigned long long>(r.recovery_reads),
+      static_cast<unsigned long long>(window_bytes));
+  std::printf(
+      "  \"completion_seconds\": {\"p50\": %.6g, \"p90\": %.6g, \"p99\": %.6g, "
+      "\"p999\": %.6g, \"max\": %.6g, \"mean\": %.6g},\n",
+      ct.Percentile(0.5), ct.Percentile(0.9), ct.Percentile(0.99),
+      ct.Percentile(0.999), ct.max(), ct.mean());
+  std::printf(
+      "  \"drives\": {\"utilization\": %.6g, \"read_fraction\": %.6g, "
+      "\"verify_fraction\": %.6g, \"read_seconds\": %.6g, \"verify_seconds\": "
+      "%.6g, \"switch_seconds\": %.6g, \"idle_seconds\": %.6g},\n",
+      r.DriveUtilization(), r.DriveReadFraction(), r.DriveVerifyFraction(),
+      r.drive_read_seconds, r.drive_verify_seconds, r.drive_switch_seconds,
+      r.drive_idle_seconds);
+  std::printf(
+      "  \"shuttles\": {\"travels\": %llu, \"travel_mean_s\": %.6g, "
+      "\"travel_p999_s\": %.6g, \"congestion_overhead_fraction\": %.6g, "
+      "\"congestion_stops\": %llu, \"energy_per_platter_op\": %.6g, "
+      "\"work_steals\": %llu, \"recharges\": %llu},\n",
+      static_cast<unsigned long long>(r.travels), r.travel_times.mean(),
+      r.travel_times.Percentile(0.999), r.CongestionOverheadFraction(),
+      static_cast<unsigned long long>(r.congestion_stops),
+      r.EnergyPerPlatterOperation(),
+      static_cast<unsigned long long>(r.work_steals),
+      static_cast<unsigned long long>(r.shuttle_recharges));
+  std::printf("  \"makespan_seconds\": %.6g,\n", r.makespan);
+  std::printf("  \"meets_slo\": %s\n",
+              ct.Percentile(0.999) <= slo_s ? "true" : "false");
+  std::printf("}\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace silica;
@@ -25,7 +94,13 @@ int main(int argc, char** argv) {
         "  [--trace=file.csv  (replay a CSV trace instead of generating one)]\n"
         "  [--shuttles=20] [--mbps=60] [--platters=3000] [--seed=1]\n"
         "  [--unavailable=0.0] [--zipf=0.0] [--no-stealing] [--no-grouping]\n"
-        "  [--no-fast-switch]\n");
+        "  [--no-fast-switch]\n"
+        "  [--json                     machine-readable run report on stdout]\n"
+        "  [--metrics-out=FILE         metrics snapshot (.json -> JSON, else\n"
+        "                              Prometheus text)]\n"
+        "  [--trace-out=FILE           Chrome/Perfetto trace_event JSON]\n"
+        "  [--trace-categories=LIST    comma list of sim,shuttle,drive,\n"
+        "                              scheduler,decode,pipeline (default all)]\n");
     return 0;
   }
 
@@ -71,7 +146,47 @@ int main(int argc, char** argv) {
   config.measure_end = trace.measure_end;
   config.seed = seed;
 
+  // Attach telemetry only when a sink was requested: with no sinks, the twin runs
+  // the compiled-in fast path (null telemetry pointer, disabled tracer).
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string trace_out = flags.Get("trace-out", "");
+  std::unique_ptr<Telemetry> telemetry;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    telemetry = std::make_unique<Telemetry>();
+    if (!trace_out.empty()) {
+      telemetry->tracer.Enable(
+          ParseTraceCategories(flags.Get("trace-categories", "")));
+    }
+    config.telemetry = telemetry.get();
+  }
+
   const auto r = SimulateLibrary(config, trace.requests);
+
+  if (telemetry != nullptr) {
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      out << (EndsWith(metrics_out, ".json") ? telemetry->metrics.ToJson()
+                                             : telemetry->metrics.ToPrometheusText());
+      if (!out) {
+        std::fprintf(stderr, "error: could not write %s\n", metrics_out.c_str());
+        return 1;
+      }
+    }
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      telemetry->tracer.ExportJson(out);
+      if (!out) {
+        std::fprintf(stderr, "error: could not write %s\n", trace_out.c_str());
+        return 1;
+      }
+    }
+  }
+
+  const double slo = 15.0 * 3600.0;
+  if (flags.Has("json")) {
+    PrintJsonReport(r, config, profile.name, policy, trace.window_bytes, slo);
+    return 0;
+  }
 
   std::printf("trace %s: %llu requests (%s in window) | policy %s, %d shuttles, "
               "%.0f MB/s\n",
@@ -99,7 +214,6 @@ int main(int argc, char** argv) {
     std::printf("recovery: %llu cross-platter sub-reads\n",
                 static_cast<unsigned long long>(r.recovery_reads));
   }
-  const double slo = 15.0 * 3600.0;
   std::printf("verdict: %s the 15 h SLO\n",
               r.completion_times.Percentile(0.999) <= slo ? "meets" : "MISSES");
   return 0;
