@@ -87,6 +87,21 @@ class LogNormalDistribution final : public Distribution {
   double mu_, sigma_, max_value_;
 };
 
+// Memoryless inter-event times; the standard model for failure arrivals (MTBF)
+// in reliability simulations. `mean` is the expected time between events.
+class ExponentialDistribution final : public Distribution {
+ public:
+  explicit ExponentialDistribution(double mean) : mean_(mean) {}
+  double Sample(Rng& rng) const override { return rng.Exponential(1.0 / mean_); }
+  double Mean() const override { return mean_; }
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<ExponentialDistribution>(*this);
+  }
+
+ private:
+  double mean_;
+};
+
 // Inverse-CDF sampler over a piecewise-linear quantile table.
 class EmpiricalDistribution final : public Distribution {
  public:

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -36,8 +37,18 @@ struct PlatterInfo {
   int partition = 0;
   uint64_t set = 0;         // platter-set id
   bool unavailable = false;
+  // Count of independent dynamic-fault causes keeping the platter unreadable
+  // (rack outage, captive in a dead drive, stranded on a dead shuttle). Reads
+  // route around a dark platter exactly as they do around a static failure.
+  int dark = 0;
   double created_at = 0.0;  // for freshly written platters: eject time
   enum class State { kStored, kTargeted, kAtDrive, kAtEject } state = State::kStored;
+};
+
+struct ReturnJob {
+  uint64_t platter = 0;
+  int drive = 0;
+  bool verify_slot = false;  // pick from the verify slot instead of the output
 };
 
 struct Shuttle {
@@ -50,6 +61,26 @@ struct Shuttle {
   double battery = 0.0;  // remaining energy (MotionParams units)
   Rng rng{0};
   int track = 0;  // tracer track for this shuttle's spans
+
+  // What the shuttle is physically doing, so a dynamic breakdown can abort the
+  // in-flight motion and roll its side effects back. The two-stage jobs split at
+  // the pick: before it the cargo is still at its source, after it the cargo is
+  // in the shuttle's grip (and strands with the shuttle).
+  enum class Job {
+    kNone,
+    kFetchGo,      // heading to the platter's slot
+    kFetchCarry,   // carrying the platter to a drive
+    kReturnGo,     // heading to a drive's output (or verify) station
+    kReturnCarry,  // carrying a platter back to its slot
+    kVerifyGo,     // heading to the write-eject bay
+    kVerifyCarry,  // carrying a written platter to a drive's verify slot
+    kRecharge,
+  };
+  Job job = Job::kNone;
+  uint64_t job_platter = 0;
+  int job_drive = 0;
+  ReturnJob job_return;
+  Simulator::EventId job_event = Simulator::kInvalidEvent;
 };
 
 // A read drive has platter stations (Section 4: "slots into which platters are
@@ -83,25 +114,34 @@ struct Drive {
   double switch_s = 0.0;
   int track = 0;  // tracer track for this drive's spans
   Tracer::SpanHandle verify_span = Tracer::kInvalidSpan;
-};
 
-struct ReturnJob {
-  uint64_t platter = 0;
-  int drive = 0;
-  bool verify_slot = false;  // pick from the verify slot instead of the output
+  // Dynamic-fault state: a down drive is "sealed" — platters inside it are
+  // captive (dark) until repair, no new work is routed to it, and an in-flight
+  // customer read is aborted and requeued. Short mechanical ops (mount / switch /
+  // unmount) that were already underway complete; `resume_pending` remembers that
+  // a mounted session must pick back up when the drive returns.
+  bool down = false;
+  bool resume_pending = false;
+  Simulator::EventId read_event = Simulator::kInvalidEvent;  // in-flight read
+  ReadRequest inflight;       // valid while read_event is pending
+  double read_started = 0.0;  // for refunding unspent read seconds on abort
+  double read_cost = 0.0;
 };
 
 // Fan-in bookkeeping: a request with children (shards of a large file, or recovery
 // sub-reads for an unavailable platter) completes when its last child does. `up`
 // chains to the grandparent so recovery reads of a shard propagate correctly.
+// `failed` poisons the group: if any child is given up on, the root resolves as
+// failed rather than completed (but resolves exactly once either way).
 struct ParentState {
   double arrival = 0.0;
   int remaining = 0;
   uint64_t up = 0;
+  bool failed = false;
 };
 
 // The whole simulation state machine. One instance per SimulateLibrary call.
-class Sim {
+class Sim final : public FaultHost {
  public:
   Sim(const LibrarySimConfig& config, const ReadTrace& trace)
       : config_(config),
@@ -115,6 +155,16 @@ class Sim {
                                             : &NullTracer()) {
     SetUpPlatters();
     SetUpControlPlane();
+    if (config_.faults.enabled()) {
+      // The injector gets its own forked stream and each component forks again
+      // from it, so fault schedules depend only on the seed — and a disabled
+      // config leaves rng_ (and the whole event order) untouched.
+      injector_ = std::make_unique<FaultInjector>(
+          sim_, *this, config_.faults, rng_.Fork(0xFA17D00D),
+          static_cast<int>(shuttles_.size()), static_cast<int>(drives_.size()),
+          config_.library.storage_racks);
+      rack_darkened_.resize(static_cast<size_t>(config_.library.storage_racks));
+    }
     SetUpTelemetry();
   }
 
@@ -129,6 +179,60 @@ class Sim {
 
   // ---- arrivals ----
   void OnArrival(const ReadRequest& request);
+  // Amplifies a read of an unreadable platter into sub-reads of its platter set
+  // (cross-platter recovery, Section 5). Returns false when no candidate platter
+  // is currently readable (possible only under dynamic faults).
+  bool FanOutRecovery(const ReadRequest& request);
+
+  // ---- dynamic faults (FaultHost) ----
+  void OnShuttleDown(int shuttle) override;
+  void OnShuttleRepaired(int shuttle) override;
+  void OnDriveDown(int drive) override;
+  void OnDriveRepaired(int drive) override;
+  void OnRackDown(int rack) override;
+  void OnRackRepaired(int rack) override;
+
+  // Where an aborted carry's cargo ends up once an operator recovers it.
+  enum class StrandKind { kStore, kStoreVerified, kEject };
+  void AbortShuttleJob(Shuttle& shuttle);
+  void StrandPlatter(uint64_t platter, StrandKind kind);
+  // Enumerates every platter physically inside / queued against a drive: the
+  // input station, the mounted platter, a pending (stuck) unmount, the verify
+  // slot (explicit-write mode only — the abstract backlog is not a real
+  // platter), and queued return jobs. Platters whose return job is already in a
+  // shuttle's grip are deliberately excluded: they escape a failing drive.
+  template <typename Fn>
+  void ForEachPlatterInDrive(const Drive& drive, Fn&& fn) {
+    if (drive.input_occupied) {
+      fn(drive.input_platter);
+    }
+    if (drive.mounted) {
+      fn(drive.mounted_platter);
+    }
+    if (drive.output_pending) {
+      fn(drive.output_platter);
+    }
+    if (explicit_writes() && drive.verify_present) {
+      fn(drive.verify_platter);
+    }
+    for (const auto& queue : returns_) {
+      for (const auto& job : queue) {
+        if (job.drive == drive.id) {
+          fn(job.platter);
+        }
+      }
+    }
+  }
+  // Degraded-mode retry policy: a dark platter with queued reads is probed with
+  // exponential backoff; when the backoff budget runs out its queue converts to
+  // recovery fan-out (the same path static unavailability takes at arrival).
+  void EnsureRetry(uint64_t platter);
+  void ScheduleRetryProbe(uint64_t platter, int attempt);
+  void OnRetryProbe(uint64_t platter, int attempt);
+  void ConvertToRecovery(uint64_t platter);
+  // Stops the renewal processes once the workload is fully resolved, so open-
+  // ended fault injection cannot keep the event queue non-empty forever.
+  void MaybeStopInjecting();
 
   // ---- dispatch ----
   void TryDispatchAll();
@@ -189,9 +293,14 @@ class Sim {
     return partitioned() ? platters_[platter].partition : 0;
   }
   bool partitioned() const { return config_.library.policy == Policy::kPartitioned; }
+  // Readable at all: not statically failed and not dark from a dynamic fault.
+  bool Servable(uint64_t platter) const {
+    const auto& p = platters_[platter];
+    return !p.unavailable && p.dark == 0;
+  }
   bool Accessible(uint64_t platter) const {
     const auto& p = platters_[platter];
-    return p.state == PlatterInfo::State::kStored && !p.unavailable;
+    return p.state == PlatterInfo::State::kStored && !p.unavailable && p.dark == 0;
   }
   int PickDriveNear(const std::vector<int>& candidates, double x) const;
   // True when every shuttle of the partition has failed: the controller lets
@@ -205,6 +314,17 @@ class Sim {
     }
     return true;
   }
+  // True when every read drive of the partition is down: neighbours may steal
+  // its queued work unconditionally, like an orphaned (shuttle-less) partition.
+  bool PartitionDrivesDown(int p) const {
+    const auto& drives = partitioner_->partitions()[static_cast<size_t>(p)].drives;
+    for (int d : drives) {
+      if (!drives_[static_cast<size_t>(d)].down) {
+        return false;
+      }
+    }
+    return !drives.empty();
+  }
   double TrackReadSeconds(const Drive& drive) const {
     return StreamSeconds(config_.media.raw_bytes_per_track(),
                          drive.throughput_mbps);
@@ -214,6 +334,8 @@ class Sim {
     return std::max<uint64_t>(1, (bytes + per_track - 1) / per_track);
   }
   void RecordCompletion(const ReadRequest& request);
+  void RecordFailure(const ReadRequest& request);
+  void ResolveRequest(const ReadRequest& request, bool failed);
 
   // ---- members ----
   LibrarySimConfig config_;
@@ -235,6 +357,14 @@ class Sim {
   std::deque<uint64_t> eject_queue_;  // freshly written platters at the eject bay
   uint64_t next_sub_id_ = 1ull << 62;
 
+  // Dynamic fault injection. Null when config_.faults is disabled, in which case
+  // none of the degraded-mode paths below can fire and the event order is
+  // bit-identical to a build without the subsystem.
+  std::unique_ptr<FaultInjector> injector_;
+  std::vector<std::vector<uint64_t>> rack_darkened_;  // per rack: snapshot of
+                                                      // platters its outage darkened
+  std::unordered_set<uint64_t> retry_pending_;  // platters with a probe scheduled
+
   // Telemetry. tracer_ is never null (a shared disabled tracer stands in when no
   // sink is attached); metric handles are null without telemetry and resolved once
   // in SetUpTelemetry so hot paths pay a branch + add.
@@ -242,6 +372,7 @@ class Sim {
   Tracer* tracer_ = nullptr;
   int sched_track_ = 0;
   int pipeline_track_ = 0;
+  int faults_track_ = 0;
   Counter* c_steals_ = nullptr;
   Counter* c_recharges_ = nullptr;
   Counter* c_recovery_reads_ = nullptr;
@@ -249,6 +380,11 @@ class Sim {
   Counter* c_travels_ = nullptr;
   Counter* c_platter_ops_ = nullptr;
   Counter* c_platters_written_ = nullptr;
+  Counter* c_aborts_ = nullptr;
+  Counter* c_dark_retries_ = nullptr;
+  Counter* c_converted_ = nullptr;
+  Counter* c_req_failed_ = nullptr;
+  Counter* c_stranded_ = nullptr;
   Histogram* h_completion_ = nullptr;
   Histogram* h_travel_ = nullptr;
   Histogram* h_queue_wait_ = nullptr;
@@ -395,11 +531,25 @@ void Sim::SetUpTelemetry() {
   h_queue_wait_ = &metrics.GetHistogram("library_queue_wait_seconds");
   h_verify_turnaround_ = &metrics.GetHistogram("library_verify_turnaround_seconds");
 
+  // Fault metrics only exist when injection is configured, so runs without
+  // faults export exactly the same registry as before the subsystem existed.
+  if (injector_ != nullptr) {
+    injector_->SetTelemetry(tel_);
+    c_aborts_ = &metrics.GetCounter("fault_shuttle_job_aborts_total");
+    c_dark_retries_ = &metrics.GetCounter("fault_dark_retries_total");
+    c_converted_ = &metrics.GetCounter("fault_converted_requests_total");
+    c_req_failed_ = &metrics.GetCounter("fault_requests_failed_total");
+    c_stranded_ = &metrics.GetCounter("fault_stranded_recoveries_total");
+  }
+
   // Tracks only exist when a sink is attached; the null tracer never registers
   // any, so repeated headless runs cannot accumulate track names.
   if (tracer_->enabled(kTraceAll)) {
     sched_track_ = tracer_->RegisterTrack("scheduler");
     pipeline_track_ = tracer_->RegisterTrack("write pipeline");
+    if (injector_ != nullptr) {
+      faults_track_ = tracer_->RegisterTrack("faults");
+    }
     for (auto& shuttle : shuttles_) {
       shuttle.track = tracer_->RegisterTrack("shuttle " + std::to_string(shuttle.id));
     }
@@ -438,6 +588,12 @@ void Sim::PublishSummaryMetrics() {
   metrics.GetGauge("library_requests_total")
       .Set(static_cast<double>(result_.requests_total));
   metrics.GetGauge("library_makespan_seconds").Set(result_.makespan);
+  if (injector_ != nullptr) {
+    metrics.GetGauge("library_requests_failed")
+        .Set(static_cast<double>(result_.requests_failed));
+    metrics.GetGauge("library_amplified_requests")
+        .Set(static_cast<double>(result_.amplified_requests));
+  }
   for (const auto& drive : drives_) {
     const MetricLabels labels = {{"drive", std::to_string(drive.id)}};
     metrics.GetGauge("drive_read_seconds", labels).Set(drive.read_s);
@@ -447,55 +603,67 @@ void Sim::PublishSummaryMetrics() {
 }
 
 void Sim::OnArrival(const ReadRequest& request) {
-  const PlatterInfo& platter = platters_.at(request.platter);
   tracer_->AsyncBegin(kTraceScheduler, request.id, sim_.Now(), "request");
-  if (!platter.unavailable) {
+  if (Servable(request.platter)) {
     schedulers_[static_cast<size_t>(SchedulerOf(request.platter))].Submit(request);
-  } else {
-    // Cross-platter recovery (Section 5): read the matching tracks from I_p other
-    // platters of the set; the request completes when the last sub-read does.
-    std::vector<uint64_t> candidates;
-    const uint64_t info = config_.num_info_platters;
-    const uint64_t set = platter.set;
-    const uint64_t set_first =
-        set * static_cast<uint64_t>(config_.platter_set_info);
-    const uint64_t set_last = std::min<uint64_t>(
-        set_first + static_cast<uint64_t>(config_.platter_set_info), info);
-    for (uint64_t p = set_first; p < set_last; ++p) {
-      if (p != request.platter && !platters_[p].unavailable) {
-        candidates.push_back(p);
-      }
-    }
-    for (int r = 0; r < config_.platter_set_redundancy; ++r) {
-      const uint64_t p =
-          info + set * static_cast<uint64_t>(config_.platter_set_redundancy) +
-          static_cast<uint64_t>(r);
-      if (p < platters_.size() && !platters_[p].unavailable) {
-        candidates.push_back(p);
-      }
-    }
-    const size_t needed =
-        std::min<size_t>(candidates.size(),
-                         static_cast<size_t>(config_.platter_set_info));
-    if (needed == 0) {
-      return;  // set lost; cannot happen with the <=R-per-set invariant
-    }
-    parents_[request.id] =
-        ParentState{request.arrival, static_cast<int>(needed), request.parent};
-    for (size_t i = 0; i < needed; ++i) {
-      ReadRequest sub = request;
-      sub.parent = request.id;
-      sub.id = next_sub_id_++;
-      sub.platter = candidates[i];
-      tracer_->AsyncBegin(kTraceScheduler, sub.id, sim_.Now(), "recovery_read");
-      schedulers_[static_cast<size_t>(SchedulerOf(sub.platter))].Submit(sub);
-      ++result_.recovery_reads;
-      if (c_recovery_reads_ != nullptr) {
-        c_recovery_reads_->Increment();
-      }
-    }
+  } else if (!FanOutRecovery(request)) {
+    // No recovery candidate is readable right now (only possible under dynamic
+    // faults). Park the request in its queue and probe with backoff: components
+    // may heal before the controller must give the read up.
+    schedulers_[static_cast<size_t>(SchedulerOf(request.platter))].Submit(request);
+    EnsureRetry(request.platter);
   }
   TryDispatchAll();
+}
+
+bool Sim::FanOutRecovery(const ReadRequest& request) {
+  // Cross-platter recovery (Section 5): read the matching tracks from I_p other
+  // platters of the set; the request completes when the last sub-read does.
+  const PlatterInfo& platter = platters_[request.platter];
+  std::vector<uint64_t> candidates;
+  const uint64_t info = config_.num_info_platters;
+  const uint64_t set = platter.set;
+  const uint64_t set_first = set * static_cast<uint64_t>(config_.platter_set_info);
+  const uint64_t set_last = std::min<uint64_t>(
+      set_first + static_cast<uint64_t>(config_.platter_set_info), info);
+  for (uint64_t p = set_first; p < set_last; ++p) {
+    if (p != request.platter && Servable(p)) {
+      candidates.push_back(p);
+    }
+  }
+  for (int r = 0; r < config_.platter_set_redundancy; ++r) {
+    const uint64_t p =
+        info + set * static_cast<uint64_t>(config_.platter_set_redundancy) +
+        static_cast<uint64_t>(r);
+    if (p < platters_.size() && Servable(p)) {
+      candidates.push_back(p);
+    }
+  }
+  const size_t needed = std::min<size_t>(
+      candidates.size(), static_cast<size_t>(config_.platter_set_info));
+  if (needed == 0) {
+    return false;  // set currently lost (overlapping outages)
+  }
+  parents_[request.id] =
+      ParentState{request.arrival, static_cast<int>(needed), request.parent};
+  ++result_.amplified_requests;
+  for (size_t i = 0; i < needed; ++i) {
+    ReadRequest sub = request;
+    sub.parent = request.id;
+    sub.id = next_sub_id_++;
+    sub.platter = candidates[i];
+    // Sub-reads enter their queues now (equal to the arrival on the arrival
+    // path; later when a dark platter's queue converts after retries). The
+    // parent entry above keeps the original arrival for the latency stats.
+    sub.arrival = sim_.Now();
+    tracer_->AsyncBegin(kTraceScheduler, sub.id, sim_.Now(), "recovery_read");
+    schedulers_[static_cast<size_t>(SchedulerOf(sub.platter))].Submit(sub);
+    ++result_.recovery_reads;
+    if (c_recovery_reads_ != nullptr) {
+      c_recovery_reads_->Increment();
+    }
+  }
+  return true;
 }
 
 void Sim::TryDispatchAll() {
@@ -521,8 +689,8 @@ int Sim::PickDriveNear(const std::vector<int>& candidates, double x) const {
   double best_distance = 1e18;
   for (int d : candidates) {
     const Drive& drive = drives_[static_cast<size_t>(d)];
-    if (drive.input_reserved) {
-      continue;  // a platter is already on its way to this drive
+    if (drive.down || drive.input_reserved) {
+      continue;  // dead, or a platter is already on its way to this drive
     }
     const double distance = std::fabs(drive.pos.x - x);
     if (distance < best_distance) {
@@ -574,10 +742,11 @@ void Sim::TryDispatchPartition(int p) {
         continue;
       }
       const uint64_t bytes = schedulers_[static_cast<size_t>(q)].total_queued_bytes();
-      // Orphaned partitions (failed shuttles) are stolen from unconditionally.
+      // Partitions that cannot help themselves — all shuttles failed, or every
+      // read drive down — are stolen from unconditionally.
       if (bytes > own_bytes + static_cast<uint64_t>(
                                   config_.library.steal_threshold_bytes) ||
-          (bytes > 0 && PartitionOrphaned(q))) {
+          (bytes > 0 && (PartitionOrphaned(q) || PartitionDrivesDown(q)))) {
         donors.emplace_back(bytes, q);
       }
     }
@@ -663,7 +832,8 @@ void Sim::TryDispatchDrives() {
   RequestScheduler& scheduler = schedulers_[0];
   if (explicit_writes()) {
     for (auto& drive : drives_) {
-      if (!eject_queue_.empty() && !drive.verify_present && !drive.verified_waiting) {
+      if (!eject_queue_.empty() && !drive.down && !drive.verify_present &&
+          !drive.verified_waiting) {
         const uint64_t id = eject_queue_.front();
         eject_queue_.pop_front();
         drive.verify_present = true;
@@ -677,7 +847,7 @@ void Sim::TryDispatchDrives() {
     }
   }
   for (auto& drive : drives_) {
-    if (drive.input_reserved || drive.mounted) {
+    if (drive.down || drive.input_reserved || drive.mounted) {
       continue;
     }
     const auto target =
@@ -695,7 +865,16 @@ void Sim::TryDispatchDrives() {
 
 bool Sim::TryDispatchReturns(int p) {
   auto& queue = returns_[static_cast<size_t>(p)];
-  if (queue.empty()) {
+  // First job whose drive is alive; jobs against sealed (down) drives wait for
+  // the repair without blocking the rest of the queue.
+  size_t job_index = queue.size();
+  for (size_t i = 0; i < queue.size(); ++i) {
+    if (!drives_[static_cast<size_t>(queue[i].drive)].down) {
+      job_index = i;
+      break;
+    }
+  }
+  if (job_index == queue.size()) {
     return false;
   }
   // Prefer a shuttle of the partition; SP (and orphaned partitions, whose own
@@ -720,8 +899,8 @@ bool Sim::TryDispatchReturns(int p) {
   if (shuttle == nullptr) {
     return false;
   }
-  const ReturnJob job = queue.front();
-  queue.pop_front();
+  const ReturnJob job = queue[job_index];
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(job_index));
   shuttle->busy = true;
   StartReturn(*shuttle, job);
   return true;
@@ -796,7 +975,11 @@ void Sim::StartFetch(Shuttle& shuttle, uint64_t platter, int drive) {
   tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg1.duration, pick,
                 "pick");
 
-  sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter, drive, fetch_span] {
+  shuttle.job = Shuttle::Job::kFetchGo;
+  shuttle.job_platter = platter;
+  shuttle.job_drive = drive;
+  shuttle.job_event = sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter,
+                                                           drive, fetch_span] {
     const Drive& d = drives_[static_cast<size_t>(drive)];
     const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
     RecordLeg(leg2);
@@ -805,8 +988,10 @@ void Sim::StartFetch(Shuttle& shuttle, uint64_t platter, int drive) {
     tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
                   "place");
 
-    sim_.Schedule(leg2.duration + place, [this, &shuttle, platter, drive,
-                                          fetch_span] {
+    shuttle.job = Shuttle::Job::kFetchCarry;
+    shuttle.job_event = sim_.Schedule(leg2.duration + place, [this, &shuttle,
+                                                              platter, drive,
+                                                              fetch_span] {
       platters_[platter].state = PlatterInfo::State::kAtDrive;
       tracer_->EndSpan(fetch_span, sim_.Now());
       DeliverToDrive(drive, platter);
@@ -833,7 +1018,12 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
   tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg1.duration, pick,
                 "pick");
 
-  sim_.Schedule(leg1.duration + pick, [this, &shuttle, job, return_span] {
+  shuttle.job = Shuttle::Job::kReturnGo;
+  shuttle.job_platter = job.platter;
+  shuttle.job_drive = job.drive;
+  shuttle.job_return = job;
+  shuttle.job_event = sim_.Schedule(leg1.duration + pick, [this, &shuttle, job,
+                                                           return_span] {
     Drive& d = drives_[static_cast<size_t>(job.drive)];
     if (job.verify_slot) {
       // Collected the verified platter: the verify slot frees for the next one.
@@ -846,8 +1036,10 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
       result_.travel_energy_total += motion_.PickPlaceEnergy();
       tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg_store.duration,
                     place_store, "place");
-      sim_.Schedule(leg_store.duration + place_store,
-                    [this, &shuttle, job, return_span] {
+      shuttle.job = Shuttle::Job::kReturnCarry;
+      shuttle.job_event =
+          sim_.Schedule(leg_store.duration + place_store,
+                        [this, &shuttle, job, return_span] {
         platters_[job.platter].state = PlatterInfo::State::kStored;
         const double turnaround =
             sim_.Now() - platters_[job.platter].created_at;
@@ -884,15 +1076,19 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
     tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
                   "place");
 
-    sim_.Schedule(leg2.duration + place, [this, &shuttle, job, return_span] {
-      platters_[job.platter].state = PlatterInfo::State::kStored;
-      tracer_->EndSpan(return_span, sim_.Now());
-      OnShuttleJobDone(shuttle);
-    });
+    shuttle.job = Shuttle::Job::kReturnCarry;
+    shuttle.job_event =
+        sim_.Schedule(leg2.duration + place, [this, &shuttle, job, return_span] {
+          platters_[job.platter].state = PlatterInfo::State::kStored;
+          tracer_->EndSpan(return_span, sim_.Now());
+          OnShuttleJobDone(shuttle);
+        });
   });
 }
 
 void Sim::OnShuttleJobDone(Shuttle& shuttle) {
+  shuttle.job = Shuttle::Job::kNone;
+  shuttle.job_event = Simulator::kInvalidEvent;
   if (shuttle.failed) {
     // The controller detected the failure; the shuttle parks permanently.
     TryDispatchAll();
@@ -908,7 +1104,11 @@ void Sim::OnShuttleJobDone(Shuttle& shuttle) {
     }
     tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now(),
                   config_.library.shuttle_recharge_s, "recharge");
-    sim_.Schedule(config_.library.shuttle_recharge_s, [this, &shuttle, capacity] {
+    shuttle.job = Shuttle::Job::kRecharge;
+    shuttle.job_event = sim_.Schedule(config_.library.shuttle_recharge_s,
+                                      [this, &shuttle, capacity] {
+      shuttle.job = Shuttle::Job::kNone;
+      shuttle.job_event = Simulator::kInvalidEvent;
       shuttle.battery = capacity;
       shuttle.busy = false;
       TryDispatchAll();
@@ -923,12 +1123,19 @@ void Sim::DeliverToDrive(int drive_id, uint64_t platter) {
   Drive& drive = drives_[static_cast<size_t>(drive_id)];
   drive.input_occupied = true;
   drive.input_platter = platter;
+  if (drive.down) {
+    // Delivered into a drive that died while the fetch was in flight: the
+    // platter is captive in the input station until the repair.
+    ++platters_[platter].dark;
+    EnsureRetry(platter);
+    return;
+  }
   TryStartSession(drive_id);
 }
 
 void Sim::TryStartSession(int drive_id) {
   Drive& drive = drives_[static_cast<size_t>(drive_id)];
-  if (drive.mounted || !drive.input_occupied || drive.output_pending) {
+  if (drive.down || drive.mounted || !drive.input_occupied || drive.output_pending) {
     return;
   }
   const uint64_t platter = drive.input_platter;
@@ -955,6 +1162,11 @@ void Sim::TryStartSession(int drive_id) {
 
 void Sim::ServeNext(int drive_id, uint64_t platter) {
   Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  if (drive.down) {
+    // Sealed: the session picks back up from here when the drive is repaired.
+    drive.resume_pending = true;
+    return;
+  }
   RequestScheduler& scheduler = schedulers_[static_cast<size_t>(SchedulerOf(platter))];
 
   const bool grouping = config_.library.group_platter_requests;
@@ -982,7 +1194,11 @@ void Sim::ServeNext(int drive_id, uint64_t platter) {
                 {{"bytes", static_cast<double>(request.bytes)},
                  {"seek_s", seek},
                  {"request", static_cast<double>(request.id)}});
-  sim_.Schedule(seek + read, [this, drive_id, platter, request] {
+  drive.inflight = request;
+  drive.read_started = sim_.Now();
+  drive.read_cost = seek + read;
+  drive.read_event = sim_.Schedule(seek + read, [this, drive_id, platter, request] {
+    drives_[static_cast<size_t>(drive_id)].read_event = Simulator::kInvalidEvent;
     RecordCompletion(request);
     ServeNext(drive_id, platter);
   });
@@ -999,8 +1215,12 @@ void Sim::EndSession(int drive_id, uint64_t platter) {
     Drive& d = drives_[static_cast<size_t>(drive_id)];
     d.mounted = false;
     if (config_.library.policy == Policy::kNoShuttles) {
-      // NS: the platter teleports home.
+      // NS: the platter teleports home. If the drive died mid-unmount the
+      // platter still escapes, so release the captive mark taken at failure.
       platters_[platter].state = PlatterInfo::State::kStored;
+      if (d.down && platters_[platter].dark > 0) {
+        --platters_[platter].dark;
+      }
       FinishUnmount(drive_id);
       return;
     }
@@ -1044,7 +1264,7 @@ void Sim::FinishUnmount(int drive_id) {
 
 void Sim::StartVerifyClock(int drive_id) {
   Drive& drive = drives_[static_cast<size_t>(drive_id)];
-  if (drive.verifying || drive.mounted || !drive.verify_present) {
+  if (drive.down || drive.verifying || drive.mounted || !drive.verify_present) {
     return;
   }
   drive.verifying = true;
@@ -1103,6 +1323,7 @@ void Sim::OnVerifyComplete(int drive_id) {
     returns_[static_cast<size_t>(p)].push_back(ReturnJob{
         .platter = drive.verify_platter, .drive = drive_id, .verify_slot = true});
   }
+  MaybeStopInjecting();
   TryDispatchAll();
 }
 
@@ -1137,7 +1358,7 @@ void Sim::ProduceWrittenPlatter() {
   if (config_.library.policy == Policy::kNoShuttles) {
     // Teleport straight into the first drive with a free verify slot.
     for (auto& drive : drives_) {
-      if (!drive.verify_present && !drive.verified_waiting) {
+      if (!drive.down && !drive.verify_present && !drive.verified_waiting) {
         const uint64_t id = eject_queue_.front();
         eject_queue_.pop_front();
         drive.verify_present = true;
@@ -1167,14 +1388,16 @@ bool Sim::TryDispatchVerifyWork(Shuttle& shuttle, int partition) {
   if (partitioned()) {
     for (int d : partitioner_->partitions()[static_cast<size_t>(partition)].drives) {
       const Drive& drive = drives_[static_cast<size_t>(d)];
-      if (!drive.verify_present && !drive.verify_incoming && !drive.verified_waiting) {
+      if (!drive.down && !drive.verify_present && !drive.verify_incoming &&
+          !drive.verified_waiting) {
         target_drive = d;
         break;
       }
     }
   } else {
     for (const auto& drive : drives_) {
-      if (!drive.verify_present && !drive.verify_incoming && !drive.verified_waiting) {
+      if (!drive.down && !drive.verify_present && !drive.verify_incoming &&
+          !drive.verified_waiting) {
         target_drive = drive.id;
         break;
       }
@@ -1208,8 +1431,11 @@ void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) 
   tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg1.duration, pick,
                 "pick");
 
-  sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter, drive_id,
-                                       delivery_span] {
+  shuttle.job = Shuttle::Job::kVerifyGo;
+  shuttle.job_platter = platter;
+  shuttle.job_drive = drive_id;
+  shuttle.job_event = sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter,
+                                                           drive_id, delivery_span] {
     const Drive& d = drives_[static_cast<size_t>(drive_id)];
     const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
     RecordLeg(leg2);
@@ -1218,8 +1444,10 @@ void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) 
     tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
                   "place");
 
-    sim_.Schedule(leg2.duration + place, [this, &shuttle, platter, drive_id,
-                                          delivery_span] {
+    shuttle.job = Shuttle::Job::kVerifyCarry;
+    shuttle.job_event = sim_.Schedule(leg2.duration + place, [this, &shuttle,
+                                                              platter, drive_id,
+                                                              delivery_span] {
       tracer_->EndSpan(delivery_span, sim_.Now());
       Drive& drive = drives_[static_cast<size_t>(drive_id)];
       drive.verify_incoming = false;
@@ -1227,7 +1455,9 @@ void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) 
       drive.verify_platter = platter;
       drive.verify_remaining_s = VerifySeconds(drive);
       platters_[platter].state = PlatterInfo::State::kAtDrive;
-      if (!drive.mounted) {
+      if (drive.down) {
+        ++platters_[platter].dark;  // captive until the drive is repaired
+      } else if (!drive.mounted) {
         StartVerifyClock(drive_id);
       }
       OnShuttleJobDone(shuttle);
@@ -1236,15 +1466,27 @@ void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) 
 }
 
 void Sim::RecordCompletion(const ReadRequest& request) {
+  ResolveRequest(request, /*failed=*/false);
+}
+
+void Sim::RecordFailure(const ReadRequest& request) {
+  ResolveRequest(request, /*failed=*/true);
+}
+
+void Sim::ResolveRequest(const ReadRequest& request, bool failed) {
   const double now = sim_.Now();
-  result_.makespan = std::max(result_.makespan, now);
+  if (!failed) {
+    result_.makespan = std::max(result_.makespan, now);
+  }
   // Recovery sub-reads carry ids above next_sub_id_'s base; their async span was
   // opened under "recovery_read", trace-file requests under "request".
   tracer_->AsyncEnd(kTraceScheduler, request.id, now,
                     request.id >= (1ull << 62) ? "recovery_read" : "request");
 
-  // Walk up the fan-in chain: a child's completion may finish its parent, which may
-  // in turn finish the grandparent (e.g. a recovery group completing a shard).
+  // Walk up the fan-in chain: a child's resolution may finish its parent, which
+  // may in turn finish the grandparent (e.g. a recovery group completing a
+  // shard). A failed child poisons the whole group, but the root still resolves
+  // exactly once, when its last child does.
   uint64_t parent = request.parent;
   double arrival = request.arrival;
   while (parent != 0) {
@@ -1252,12 +1494,22 @@ void Sim::RecordCompletion(const ReadRequest& request) {
     if (it == parents_.end()) {
       return;  // already reported (defensive)
     }
+    it->second.failed |= failed;
     if (--it->second.remaining > 0) {
       return;  // siblings still in flight
     }
+    failed = it->second.failed;
     arrival = it->second.arrival;
     parent = it->second.up;
     parents_.erase(it);
+  }
+  if (failed) {
+    ++result_.requests_failed;
+    if (c_req_failed_ != nullptr) {
+      c_req_failed_->Increment();
+    }
+    MaybeStopInjecting();
+    return;
   }
   ++result_.requests_completed;
   if (c_completed_ != nullptr) {
@@ -1269,6 +1521,326 @@ void Sim::RecordCompletion(const ReadRequest& request) {
       h_completion_->Observe(now - arrival);
     }
   }
+  MaybeStopInjecting();
+}
+
+// ---- dynamic faults ----
+
+void Sim::AbortShuttleJob(Shuttle& shuttle) {
+  sim_.Cancel(shuttle.job_event);
+  shuttle.job_event = Simulator::kInvalidEvent;
+  const Shuttle::Job job = shuttle.job;
+  shuttle.job = Shuttle::Job::kNone;
+  if (job == Shuttle::Job::kNone) {
+    return;
+  }
+  ++result_.faults.aborted_shuttle_jobs;
+  if (c_aborts_ != nullptr) {
+    c_aborts_->Increment();
+  }
+  tracer_->Instant(kTraceFaults, faults_track_, sim_.Now(), "shuttle_job_aborted",
+                   {{"shuttle", static_cast<double>(shuttle.id)}});
+  switch (job) {
+    case Shuttle::Job::kFetchGo:
+      // The platter was never picked: it is still in its slot.
+      platters_[shuttle.job_platter].state = PlatterInfo::State::kStored;
+      drives_[static_cast<size_t>(shuttle.job_drive)].input_reserved = false;
+      break;
+    case Shuttle::Job::kFetchCarry:
+      drives_[static_cast<size_t>(shuttle.job_drive)].input_reserved = false;
+      StrandPlatter(shuttle.job_platter, StrandKind::kStore);
+      break;
+    case Shuttle::Job::kReturnGo: {
+      // Not yet at the drive: put the job back at the head of its queue.
+      const ReturnJob& job_back = shuttle.job_return;
+      const int p = partitioned() ? platters_[job_back.platter].partition : 0;
+      returns_[static_cast<size_t>(p)].push_front(job_back);
+      if (drives_[static_cast<size_t>(job_back.drive)].down) {
+        // Re-enters a sealed drive's queue (the shuttle had picked the job
+        // before the drive died): mark the platter captive so the repair-time
+        // release stays symmetric.
+        ++platters_[job_back.platter].dark;
+      }
+      break;
+    }
+    case Shuttle::Job::kReturnCarry:
+      StrandPlatter(shuttle.job_return.platter,
+                    shuttle.job_return.verify_slot ? StrandKind::kStoreVerified
+                                                   : StrandKind::kStore);
+      break;
+    case Shuttle::Job::kVerifyGo:
+      drives_[static_cast<size_t>(shuttle.job_drive)].verify_incoming = false;
+      eject_queue_.push_front(shuttle.job_platter);
+      break;
+    case Shuttle::Job::kVerifyCarry:
+      drives_[static_cast<size_t>(shuttle.job_drive)].verify_incoming = false;
+      StrandPlatter(shuttle.job_platter, StrandKind::kEject);
+      break;
+    case Shuttle::Job::kRecharge:  // the repair includes servicing the battery
+    case Shuttle::Job::kNone:
+      break;
+  }
+}
+
+void Sim::StrandPlatter(uint64_t platter, StrandKind kind) {
+  // The cargo strands with the dead shuttle; an operator recovers it after a
+  // fixed delay (fixed, not sampled, to keep fault runs seed-reproducible).
+  ++platters_[platter].dark;
+  tracer_->Instant(kTraceFaults, faults_track_, sim_.Now(), "platter_stranded",
+                   {{"platter", static_cast<double>(platter)}});
+  sim_.Schedule(config_.faults.stranded_recovery_s, [this, platter, kind] {
+    PlatterInfo& p = platters_[platter];
+    --p.dark;
+    ++result_.faults.stranded_recoveries;
+    if (c_stranded_ != nullptr) {
+      c_stranded_->Increment();
+    }
+    switch (kind) {
+      case StrandKind::kStore:
+        p.state = PlatterInfo::State::kStored;
+        break;
+      case StrandKind::kStoreVerified: {
+        p.state = PlatterInfo::State::kStored;
+        const double turnaround = sim_.Now() - p.created_at;
+        result_.verify_turnaround.Add(turnaround);
+        if (h_verify_turnaround_ != nullptr) {
+          h_verify_turnaround_->Observe(turnaround);
+        }
+        tracer_->AsyncEnd(kTracePipeline, platter, sim_.Now(), "platter_verify");
+        break;
+      }
+      case StrandKind::kEject:
+        p.state = PlatterInfo::State::kAtEject;
+        eject_queue_.push_front(platter);
+        break;
+    }
+    TryDispatchAll();
+  });
+}
+
+void Sim::OnShuttleDown(int s) {
+  Shuttle& shuttle = shuttles_[static_cast<size_t>(s)];
+  tracer_->AsyncBegin(kTraceFaults, 0xFA000000ull + static_cast<uint64_t>(s),
+                      sim_.Now(), "shuttle_outage");
+  if (shuttle.failed) {
+    return;  // already out (overlap with a legacy scripted failure)
+  }
+  shuttle.failed = true;
+  if (shuttle.busy) {
+    AbortShuttleJob(shuttle);
+    shuttle.busy = false;
+  }
+  if (config_.faults.shuttle.repair == nullptr && !shuttles_.empty()) {
+    // Fail-stop fleet loss: once no shuttle can ever return, nothing makes
+    // progress, so keeping the other renewal processes alive would only keep
+    // the run from draining.
+    bool any_alive = false;
+    for (const auto& other : shuttles_) {
+      any_alive |= !other.failed;
+    }
+    if (!any_alive && injector_ != nullptr) {
+      injector_->StopInjecting();
+    }
+  }
+  TryDispatchAll();
+}
+
+void Sim::OnShuttleRepaired(int s) {
+  Shuttle& shuttle = shuttles_[static_cast<size_t>(s)];
+  tracer_->AsyncEnd(kTraceFaults, 0xFA000000ull + static_cast<uint64_t>(s),
+                    sim_.Now(), "shuttle_outage");
+  shuttle.failed = false;
+  shuttle.busy = false;
+  shuttle.battery = config_.library.shuttle_battery_capacity;  // serviced too
+  TryDispatchAll();
+}
+
+void Sim::OnDriveDown(int d) {
+  Drive& drive = drives_[static_cast<size_t>(d)];
+  tracer_->AsyncBegin(kTraceFaults, 0xD0000000ull + static_cast<uint64_t>(d),
+                      sim_.Now(), "drive_outage");
+  drive.down = true;
+  // Abort the in-flight customer read, refund its unspent seconds, and put the
+  // request back at the head of its platter group (arrival order preserved).
+  if (drive.read_event != Simulator::kInvalidEvent) {
+    sim_.Cancel(drive.read_event);
+    drive.read_event = Simulator::kInvalidEvent;
+    drive.read_s -= std::max(0.0, drive.read_started + drive.read_cost - sim_.Now());
+    schedulers_[static_cast<size_t>(SchedulerOf(drive.inflight.platter))]
+        .Requeue(drive.inflight);
+    drive.resume_pending = true;
+  }
+  PauseVerifyClock(d);
+  // Every platter inside is captive until repair: reads route around it, either
+  // waiting out the backoff budget or amplifying into recovery.
+  ForEachPlatterInDrive(drive, [this](uint64_t platter) {
+    ++platters_[platter].dark;
+    EnsureRetry(platter);
+  });
+  if (config_.faults.drive.repair == nullptr && injector_ != nullptr) {
+    bool any_alive = false;
+    for (const auto& other : drives_) {
+      any_alive |= !other.down;
+    }
+    if (!any_alive) {
+      injector_->StopInjecting();  // fail-stop loss of every drive: see above
+    }
+  }
+  TryDispatchAll();
+}
+
+void Sim::OnDriveRepaired(int d) {
+  Drive& drive = drives_[static_cast<size_t>(d)];
+  if (!drive.down) {
+    return;
+  }
+  drive.down = false;
+  tracer_->AsyncEnd(kTraceFaults, 0xD0000000ull + static_cast<uint64_t>(d),
+                    sim_.Now(), "drive_outage");
+  ForEachPlatterInDrive(drive, [this](uint64_t platter) {
+    if (platters_[platter].dark > 0) {
+      --platters_[platter].dark;
+    }
+  });
+  if (drive.mounted && drive.resume_pending) {
+    // Resume the interrupted session; if its queue was converted to recovery in
+    // the meantime this finds it empty and unmounts normally.
+    drive.resume_pending = false;
+    ServeNext(d, drive.mounted_platter);
+  } else if (!drive.mounted) {
+    TryStartSession(d);
+    if (!drive.mounted) {
+      StartVerifyClock(d);
+    }
+  }
+  TryDispatchAll();
+}
+
+void Sim::OnRackDown(int r) {
+  tracer_->AsyncBegin(kTraceFaults, 0x2AC00000ull + static_cast<uint64_t>(r),
+                      sim_.Now(), "rack_outage");
+  auto& darkened = rack_darkened_[static_cast<size_t>(r)];
+  for (uint64_t i = 0; i < platters_.size(); ++i) {
+    PlatterInfo& p = platters_[i];
+    if (p.slot.rack == r && p.state == PlatterInfo::State::kStored) {
+      ++p.dark;
+      darkened.push_back(i);
+      EnsureRetry(i);
+    }
+  }
+  // In-flight fetches that have not picked their platter yet lose access to it;
+  // the (healthy) shuttle abandons the job and frees up. Platters already in a
+  // shuttle's grip escape the blast zone.
+  for (auto& shuttle : shuttles_) {
+    if (shuttle.failed || !shuttle.busy ||
+        shuttle.job != Shuttle::Job::kFetchGo) {
+      continue;
+    }
+    const uint64_t platter = shuttle.job_platter;
+    if (platters_[platter].slot.rack != r) {
+      continue;
+    }
+    AbortShuttleJob(shuttle);  // state -> kStored, input reservation freed
+    shuttle.busy = false;
+    ++platters_[platter].dark;
+    darkened.push_back(platter);
+    EnsureRetry(platter);
+  }
+  TryDispatchAll();
+}
+
+void Sim::OnRackRepaired(int r) {
+  tracer_->AsyncEnd(kTraceFaults, 0x2AC00000ull + static_cast<uint64_t>(r),
+                    sim_.Now(), "rack_outage");
+  auto& darkened = rack_darkened_[static_cast<size_t>(r)];
+  for (uint64_t platter : darkened) {
+    if (platters_[platter].dark > 0) {
+      --platters_[platter].dark;
+    }
+  }
+  darkened.clear();
+  TryDispatchAll();
+}
+
+void Sim::EnsureRetry(uint64_t platter) {
+  if (injector_ == nullptr || retry_pending_.count(platter) != 0) {
+    return;
+  }
+  if (Servable(platter) ||
+      !schedulers_[static_cast<size_t>(SchedulerOf(platter))].HasRequests(platter)) {
+    return;
+  }
+  retry_pending_.insert(platter);
+  ScheduleRetryProbe(platter, 0);
+}
+
+void Sim::ScheduleRetryProbe(uint64_t platter, int attempt) {
+  const double delay =
+      std::min(config_.faults.retry_backoff_cap_s,
+               config_.faults.retry_backoff_base_s * std::ldexp(1.0, attempt));
+  sim_.Schedule(delay,
+                [this, platter, attempt] { OnRetryProbe(platter, attempt); });
+}
+
+void Sim::OnRetryProbe(uint64_t platter, int attempt) {
+  ++result_.faults.dark_retries;
+  if (c_dark_retries_ != nullptr) {
+    c_dark_retries_->Increment();
+  }
+  if (!schedulers_[static_cast<size_t>(SchedulerOf(platter))].HasRequests(platter)) {
+    retry_pending_.erase(platter);  // served or converted through another path
+    return;
+  }
+  if (Servable(platter)) {
+    retry_pending_.erase(platter);
+    TryDispatchAll();
+    return;
+  }
+  if (attempt + 1 >= config_.faults.max_retries) {
+    retry_pending_.erase(platter);
+    ConvertToRecovery(platter);
+    return;
+  }
+  ScheduleRetryProbe(platter, attempt + 1);
+}
+
+void Sim::ConvertToRecovery(uint64_t platter) {
+  // The backoff budget ran out: the platter's queued reads amplify into
+  // platter-set recovery, exactly as a statically unavailable platter's do at
+  // arrival. A read with no readable candidates either is given up on.
+  auto taken = schedulers_[static_cast<size_t>(SchedulerOf(platter))].TakeRequests(
+      platter, /*all=*/true);
+  tracer_->Instant(kTraceFaults, faults_track_, sim_.Now(), "convert_to_recovery",
+                   {{"platter", static_cast<double>(platter)},
+                    {"requests", static_cast<double>(taken.size())}});
+  for (const auto& request : taken) {
+    ++result_.faults.converted_requests;
+    if (c_converted_ != nullptr) {
+      c_converted_->Increment();
+    }
+    if (!FanOutRecovery(request)) {
+      RecordFailure(request);
+    }
+  }
+  TryDispatchAll();
+}
+
+void Sim::MaybeStopInjecting() {
+  if (injector_ == nullptr) {
+    return;
+  }
+  if (result_.requests_completed + result_.requests_failed <
+      result_.requests_total) {
+    return;
+  }
+  if (explicit_writes()) {
+    const double interval = 3600.0 / config_.write_platters_per_hour;
+    if (result_.platters_verified < result_.platters_written ||
+        sim_.Now() + interval <= config_.write_until) {
+      return;  // the write pipeline is still producing or verifying
+    }
+  }
+  injector_->StopInjecting();
 }
 
 LibrarySimResult Sim::Run() {
@@ -1303,6 +1875,12 @@ LibrarySimResult Sim::Run() {
       });
     }
   }
+  if (injector_ != nullptr &&
+      (result_.requests_total > 0 || explicit_writes())) {
+    // Nothing to injure on an empty workload — and the renewal processes would
+    // keep the event queue alive forever.
+    injector_->Start();
+  }
   sim_.Run();
 
   // Flush drive ledgers to the makespan.
@@ -1319,6 +1897,20 @@ LibrarySimResult Sim::Run() {
     result_.drive_switch_seconds += drive.switch_s;
     const double accounted = drive.read_s + drive.verify_s + drive.switch_s;
     result_.drive_idle_seconds += std::max(0.0, end - accounted);
+  }
+  if (injector_ != nullptr) {
+    result_.faults.shuttle_failures = injector_->shuttle_stats().failures;
+    result_.faults.shuttle_repairs = injector_->shuttle_stats().repairs;
+    result_.faults.drive_failures = injector_->drive_stats().failures;
+    result_.faults.drive_repairs = injector_->drive_stats().repairs;
+    result_.faults.rack_failures = injector_->rack_stats().failures;
+    result_.faults.rack_repairs = injector_->rack_stats().repairs;
+  }
+  if (result_.requests_completed + result_.requests_failed <
+      result_.requests_total) {
+    // Whatever the drained run could not resolve (e.g. fail-stop loss of the
+    // whole fleet) is accounted as failed: completed + failed == total always.
+    result_.requests_failed = result_.requests_total - result_.requests_completed;
   }
   PublishSummaryMetrics();
   return result_;

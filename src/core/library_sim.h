@@ -23,6 +23,7 @@
 
 #include "common/stats.h"
 #include "core/request.h"
+#include "faults/fault_injector.h"
 #include "library/panel.h"
 #include "media/geometry.h"
 
@@ -63,6 +64,13 @@ struct LibrarySimConfig {
   // blast-zone unavailability is modeled separately via unavailable_fraction.
   std::vector<std::pair<double, int>> shuttle_failures;
 
+  // Dynamic fault injection (src/faults): time-varying shuttle breakdowns
+  // (aborted mid-transit), read-drive failures (sessions resume on repair), and
+  // rack/blast-zone outages (resident platters go dark and reads amplify into
+  // platter-set recovery, per outage interval). Disabled by default; when
+  // disabled the twin's behavior is bit-identical to a build without it.
+  FaultConfig faults;
+
   // Optional observability (not owned). When set, the twin publishes live metrics
   // (queue depths, drive time split, congestion, steals, completion histograms) and
   // simulation-time trace spans for every shuttle, drive, and scheduler into it.
@@ -97,6 +105,25 @@ struct LibrarySimResult {
 
   uint64_t work_steals = 0;
   uint64_t shuttle_recharges = 0;
+
+  // Dynamic fault injection and degraded-mode bookkeeping. `amplified_requests`
+  // counts logical reads served through cross-platter recovery fan-out (static
+  // unavailability or dark platters); recovery_reads counts the sub-reads those
+  // fan-outs issued, so amplified <= recovery_reads <= amplified * I_p always.
+  // `requests_failed` counts reads the controller gave up on (platter-set
+  // unreadable after retries, or stranded when the run drained); completed +
+  // failed == total holds for every schedule — nothing is dropped or duplicated.
+  struct FaultOutcome {
+    uint64_t shuttle_failures = 0, shuttle_repairs = 0;
+    uint64_t drive_failures = 0, drive_repairs = 0;
+    uint64_t rack_failures = 0, rack_repairs = 0;
+    uint64_t aborted_shuttle_jobs = 0;  // in-flight motions cancelled mid-transit
+    uint64_t stranded_recoveries = 0;   // platters recovered off dead shuttles
+    uint64_t dark_retries = 0;          // backoff probes of dark platters
+    uint64_t converted_requests = 0;    // queued reads converted to recovery
+  } faults;
+  uint64_t amplified_requests = 0;
+  uint64_t requests_failed = 0;
 
   // Explicit write pipeline (Section 3.1).
   uint64_t platters_written = 0;    // ejected by the write drive

@@ -96,6 +96,25 @@ std::vector<ReadRequest> RequestScheduler::TakeRequests(uint64_t platter, bool a
   return taken;
 }
 
+void RequestScheduler::Requeue(const ReadRequest& request) {
+  auto [it, inserted] = by_platter_.try_emplace(request.platter);
+  PlatterQueue& queue = it->second;
+  if (!inserted) {
+    if (!queue.requests.empty() &&
+        request.arrival > queue.requests.front().arrival) {
+      throw std::invalid_argument(
+          "RequestScheduler: Requeue would reorder arrivals");
+    }
+    EraseIndex(request.platter);
+  }
+  queue.requests.push_front(request);
+  queue.bytes += request.bytes;
+  total_bytes_ += request.bytes;
+  ++pending_requests_;
+  order_.emplace(request.arrival, request.platter);
+  PublishDepth();
+}
+
 bool RequestScheduler::HasRequests(uint64_t platter) const {
   return by_platter_.count(platter) != 0;
 }

@@ -46,6 +46,12 @@ class RequestScheduler {
   // request is popped (the no-grouping ablation).
   std::vector<ReadRequest> TakeRequests(uint64_t platter, bool all = true);
 
+  // Puts a previously taken request back at the *front* of its platter group,
+  // restoring arrival order. Used by degraded mode when a read drive dies with a
+  // request in flight: the popped request must re-enter the queue ahead of its
+  // younger siblings, which Submit's nondecreasing-arrival contract forbids.
+  void Requeue(const ReadRequest& request);
+
   bool HasRequests(uint64_t platter) const;
   size_t pending_requests() const { return pending_requests_; }
   size_t pending_platters() const { return by_platter_.size(); }

@@ -1,0 +1,160 @@
+#include "faults/fault_injector.h"
+
+#include "telemetry/telemetry.h"
+
+namespace silica {
+
+FaultProcess FaultProcess::Exponential(double mtbf_s, double mttr_s) {
+  FaultProcess process;
+  if (mtbf_s > 0.0) {
+    process.uptime = std::make_shared<ExponentialDistribution>(mtbf_s);
+    if (mttr_s > 0.0) {
+      process.repair = std::make_shared<ExponentialDistribution>(mttr_s);
+    }
+  }
+  return process;
+}
+
+FaultInjector::FaultInjector(Simulator& sim, FaultHost& host,
+                             const FaultConfig& config, const Rng& rng,
+                             int num_shuttles, int num_drives, int num_racks)
+    : sim_(sim), host_(host), config_(config) {
+  // One forked stream per component, tagged by (class, id), so a schedule
+  // depends only on the seed — never on event interleaving or component counts
+  // of the other classes.
+  const struct {
+    Class cls;
+    int count;
+  } classes[] = {{kShuttle, num_shuttles}, {kDrive, num_drives}, {kRack, num_racks}};
+  for (const auto& [cls, count] : classes) {
+    if (!ProcessOf(cls).enabled()) {
+      continue;
+    }
+    for (int id = 0; id < count; ++id) {
+      Component component;
+      component.cls = cls;
+      component.id = id;
+      component.rng = rng.Fork(0xFA17'0000u + (static_cast<uint64_t>(cls) << 32) +
+                               static_cast<uint64_t>(id));
+      components_.push_back(std::move(component));
+    }
+  }
+}
+
+const FaultProcess& FaultInjector::ProcessOf(Class cls) const {
+  switch (cls) {
+    case kShuttle:
+      return config_.shuttle;
+    case kDrive:
+      return config_.drive;
+    case kRack:
+    default:
+      return config_.rack;
+  }
+}
+
+void FaultInjector::Start() {
+  for (auto& component : components_) {
+    ScheduleFailure(component);
+  }
+}
+
+void FaultInjector::ScheduleFailure(Component& component) {
+  if (stopped_) {
+    return;
+  }
+  const double uptime = ProcessOf(component.cls).uptime->Sample(component.rng);
+  const double when = sim_.Now() + uptime;
+  if (when > config_.inject_until_s) {
+    return;  // the injection window closed; this process retires
+  }
+  component.pending =
+      sim_.Schedule(uptime, [this, &component] { OnFailure(component); });
+}
+
+void FaultInjector::OnFailure(Component& component) {
+  component.pending = Simulator::kInvalidEvent;
+  component.down = true;
+  ++stats_[component.cls].failures;
+  if (failure_counters_[component.cls] != nullptr) {
+    failure_counters_[component.cls]->Increment();
+  }
+  NotifyDown(component);
+
+  const FaultProcess& process = ProcessOf(component.cls);
+  if (process.repair != nullptr) {
+    const double mttr = process.repair->Sample(component.rng);
+    sim_.Schedule(mttr, [this, &component] { OnRepair(component); });
+  }
+  // No repair law: the component is lost for good (fail-stop).
+}
+
+void FaultInjector::OnRepair(Component& component) {
+  component.down = false;
+  ++stats_[component.cls].repairs;
+  if (repair_counters_[component.cls] != nullptr) {
+    repair_counters_[component.cls]->Increment();
+  }
+  NotifyRepaired(component);
+  ScheduleFailure(component);
+}
+
+void FaultInjector::NotifyDown(const Component& component) {
+  switch (component.cls) {
+    case kShuttle:
+      host_.OnShuttleDown(component.id);
+      break;
+    case kDrive:
+      host_.OnDriveDown(component.id);
+      break;
+    case kRack:
+      host_.OnRackDown(component.id);
+      break;
+  }
+}
+
+void FaultInjector::NotifyRepaired(const Component& component) {
+  switch (component.cls) {
+    case kShuttle:
+      host_.OnShuttleRepaired(component.id);
+      break;
+    case kDrive:
+      host_.OnDriveRepaired(component.id);
+      break;
+    case kRack:
+      host_.OnRackRepaired(component.id);
+      break;
+  }
+}
+
+void FaultInjector::StopInjecting() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  for (auto& component : components_) {
+    if (component.pending != Simulator::kInvalidEvent) {
+      sim_.Cancel(component.pending);
+      component.pending = Simulator::kInvalidEvent;
+    }
+  }
+}
+
+void FaultInjector::SetTelemetry(Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    for (int c = 0; c < 3; ++c) {
+      failure_counters_[c] = repair_counters_[c] = nullptr;
+    }
+    return;
+  }
+  const char* names[3] = {"shuttle", "drive", "rack"};
+  for (int c = 0; c < 3; ++c) {
+    const MetricLabels labels = {{"component", names[c]}};
+    failure_counters_[c] =
+        &telemetry->metrics.GetCounter("fault_failures_total", labels);
+    repair_counters_[c] =
+        &telemetry->metrics.GetCounter("fault_repairs_total", labels);
+  }
+}
+
+}  // namespace silica

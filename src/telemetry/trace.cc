@@ -18,7 +18,7 @@ constexpr CategoryName kCategoryNames[] = {
     {"sim", kTraceSim},           {"shuttle", kTraceShuttle},
     {"drive", kTraceDrive},       {"scheduler", kTraceScheduler},
     {"decode", kTraceDecode},     {"pipeline", kTracePipeline},
-    {"all", kTraceAll},
+    {"faults", kTraceFaults},     {"all", kTraceAll},
 };
 
 const char* NameOf(TraceCategory category) {

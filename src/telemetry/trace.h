@@ -35,6 +35,7 @@ enum TraceCategory : uint32_t {
   kTraceScheduler = 1u << 3,  // request enqueue -> dispatch -> complete, steals
   kTraceDecode = 1u << 4,     // decode service jobs and fleet size
   kTracePipeline = 1u << 5,   // write pipeline: eject -> verify -> store
+  kTraceFaults = 1u << 6,     // injected failures, repairs, degraded-mode retries
   kTraceAll = 0xFFFFFFFFu,
 };
 

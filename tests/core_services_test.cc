@@ -78,6 +78,87 @@ TEST(RequestScheduler, OutOfOrderSubmissionThrows) {
   EXPECT_THROW(s.Submit(Req(2, 4.0, 100)), std::invalid_argument);
 }
 
+TEST(RequestScheduler, PlatterDarkensBetweenSelectionAndDrain) {
+  // Degraded mode: a platter can go dark after SelectPlatter returned it but
+  // before the fetch drains its queue (a rack fails mid-decision). The queue
+  // must survive untouched, selection must fall through to the next platter,
+  // and the dark platter must come back once accessible again.
+  RequestScheduler s;
+  s.Submit(Req(1, 1.0, 100));
+  s.Submit(Req(2, 2.0, 200));
+  auto all = [](uint64_t) { return true; };
+  ASSERT_EQ(s.SelectPlatter(all), 100u);
+
+  // 100 goes dark before TakeRequests; the controller re-selects instead.
+  auto not_100 = [](uint64_t p) { return p != 100; };
+  EXPECT_EQ(s.SelectPlatter(not_100), 200u);
+  EXPECT_TRUE(s.HasRequests(100));
+  EXPECT_EQ(s.EarliestArrival(100), 1.0);
+  EXPECT_EQ(s.pending_requests(), 2u);
+
+  // Repair: platter 100 is selectable again and still holds the oldest read.
+  EXPECT_EQ(s.SelectPlatter(all), 100u);
+  const auto taken = s.TakeRequests(100);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].id, 1u);
+}
+
+TEST(RequestScheduler, EarliestArrivalAfterPartialPops) {
+  RequestScheduler s;
+  s.Submit(Req(1, 1.0, 100));
+  s.Submit(Req(2, 2.0, 100));
+  s.Submit(Req(3, 3.0, 100));
+  EXPECT_EQ(s.EarliestArrival(100), 1.0);
+  s.TakeRequests(100, /*all=*/false);
+  EXPECT_EQ(s.EarliestArrival(100), 2.0);
+  s.TakeRequests(100, /*all=*/false);
+  EXPECT_EQ(s.EarliestArrival(100), 3.0);
+  s.TakeRequests(100, /*all=*/false);
+  EXPECT_FALSE(s.EarliestArrival(100).has_value());
+  EXPECT_FALSE(s.HasRequests(100));
+  EXPECT_EQ(s.pending_requests(), 0u);
+  EXPECT_EQ(s.total_queued_bytes(), 0u);
+}
+
+TEST(RequestScheduler, RequeueRestoresFrontAndSelectionOrder) {
+  // The drive-failure path: the oldest request was popped for serving, the
+  // drive died, and the request must re-enter ahead of its younger siblings.
+  RequestScheduler s;
+  s.Submit(Req(1, 1.0, 100, 10));
+  s.Submit(Req(2, 2.0, 100, 20));
+  s.Submit(Req(3, 1.5, 200, 30));
+  const auto popped = s.TakeRequests(100, /*all=*/false);
+  ASSERT_EQ(popped.size(), 1u);
+  // With request 1 out, platter 200's 1.5 s arrival beats 100's 2.0 s.
+  auto all = [](uint64_t) { return true; };
+  EXPECT_EQ(s.SelectPlatter(all), 200u);
+
+  s.Requeue(popped[0]);
+  EXPECT_EQ(s.SelectPlatter(all), 100u);  // oldest read leads again
+  EXPECT_EQ(s.EarliestArrival(100), 1.0);
+  EXPECT_EQ(s.QueuedBytes(100), 30u);
+  EXPECT_EQ(s.pending_requests(), 3u);
+  const auto drained = s.TakeRequests(100);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].id, 1u);
+  EXPECT_EQ(drained[1].id, 2u);
+}
+
+TEST(RequestScheduler, RequeueIntoEmptyGroupAndReorderThrows) {
+  RequestScheduler s;
+  s.Submit(Req(1, 1.0, 100));
+  const auto popped = s.TakeRequests(100);  // group now gone entirely
+  ASSERT_EQ(popped.size(), 1u);
+  s.Requeue(popped[0]);
+  EXPECT_TRUE(s.HasRequests(100));
+  EXPECT_EQ(s.EarliestArrival(100), 1.0);
+
+  // Requeue is strictly a front-restore: pushing a request younger than the
+  // current head would silently reorder arrivals, so it must throw.
+  s.Submit(Req(2, 2.0, 100));
+  EXPECT_THROW(s.Requeue(Req(9, 3.0, 100)), std::invalid_argument);
+}
+
 // ---------- Metadata ----------
 
 TEST(Metadata, WriteLookupRoundTrip) {

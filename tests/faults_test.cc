@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "core/library_sim.h"
+#include "faults/fault_injector.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+#include "workload/trace_gen.h"
+
+namespace silica {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests: renewal semantics against a recording host.
+// ---------------------------------------------------------------------------
+
+struct FaultEvent {
+  double time;
+  char kind;  // 'S'/'s' shuttle down/up, 'D'/'d' drive, 'R'/'r' rack
+  int id;
+
+  bool operator==(const FaultEvent& other) const {
+    return time == other.time && kind == other.kind && id == other.id;
+  }
+};
+
+class RecordingHost : public FaultHost {
+ public:
+  explicit RecordingHost(Simulator& sim) : sim_(sim) {}
+
+  void OnShuttleDown(int shuttle) override { Record('S', shuttle); }
+  void OnShuttleRepaired(int shuttle) override { Record('s', shuttle); }
+  void OnDriveDown(int drive) override { Record('D', drive); }
+  void OnDriveRepaired(int drive) override { Record('d', drive); }
+  void OnRackDown(int rack) override { Record('R', rack); }
+  void OnRackRepaired(int rack) override { Record('r', rack); }
+
+  std::vector<FaultEvent> events;
+
+ private:
+  void Record(char kind, int id) { events.push_back({sim_.Now(), kind, id}); }
+  Simulator& sim_;
+};
+
+FaultConfig ShuttleOnlyConfig(double mtbf_s, double mttr_s, double until_s) {
+  FaultConfig config;
+  config.shuttle = FaultProcess::Exponential(mtbf_s, mttr_s);
+  config.inject_until_s = until_s;
+  return config;
+}
+
+TEST(FaultInjector, RenewalAlternatesDownAndRepair) {
+  Simulator sim;
+  RecordingHost host(sim);
+  const auto config = ShuttleOnlyConfig(100.0, 10.0, 2000.0);
+  FaultInjector injector(sim, host, config, Rng(42), /*num_shuttles=*/3,
+                         /*num_drives=*/0, /*num_racks=*/0);
+  injector.Start();
+  sim.Run();
+
+  // The window closed and every repair drains, so downs and ups pair off.
+  EXPECT_GT(injector.shuttle_stats().failures, 0u);
+  EXPECT_EQ(injector.shuttle_stats().failures, injector.shuttle_stats().repairs);
+  EXPECT_EQ(injector.drive_stats().failures, 0u);
+  EXPECT_EQ(injector.rack_stats().failures, 0u);
+
+  // Per component the sequence strictly alternates down, up, down, up, ...
+  std::vector<char> last(3, 's');
+  uint64_t downs = 0;
+  uint64_t ups = 0;
+  for (const auto& event : host.events) {
+    ASSERT_TRUE(event.kind == 'S' || event.kind == 's');
+    ASSERT_GE(event.id, 0);
+    ASSERT_LT(event.id, 3);
+    ASSERT_NE(event.kind, last[static_cast<size_t>(event.id)])
+        << "component " << event.id << " fired the same transition twice";
+    last[static_cast<size_t>(event.id)] = event.kind;
+    event.kind == 'S' ? ++downs : ++ups;
+  }
+  EXPECT_EQ(downs, injector.shuttle_stats().failures);
+  EXPECT_EQ(ups, injector.shuttle_stats().repairs);
+}
+
+TEST(FaultInjector, ScheduleIsDeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    RecordingHost host(sim);
+    FaultConfig config;
+    config.shuttle = FaultProcess::Exponential(200.0, 30.0);
+    config.drive = FaultProcess::Exponential(400.0, 60.0);
+    config.rack = FaultProcess::Exponential(800.0, 90.0);
+    config.inject_until_s = 5000.0;
+    FaultInjector injector(sim, host, config, Rng(seed), 4, 3, 2);
+    injector.Start();
+    sim.Run();
+    return host.events;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "event " << i << " diverged";
+  }
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(FaultInjector, ComponentStreamsAreIndependentAcrossClasses) {
+  // Enabling another class must not perturb a class's schedule: each component
+  // draws from its own forked stream tagged by (class, id).
+  auto shuttle_events = [](bool with_drives) {
+    Simulator sim;
+    RecordingHost host(sim);
+    FaultConfig config;
+    config.shuttle = FaultProcess::Exponential(300.0, 40.0);
+    if (with_drives) {
+      config.drive = FaultProcess::Exponential(150.0, 20.0);
+    }
+    config.inject_until_s = 4000.0;
+    FaultInjector injector(sim, host, config, Rng(11), 5, 6, 0);
+    injector.Start();
+    sim.Run();
+    std::vector<FaultEvent> shuttles;
+    for (const auto& event : host.events) {
+      if (event.kind == 'S' || event.kind == 's') {
+        shuttles.push_back(event);
+      }
+    }
+    return shuttles;
+  };
+  EXPECT_EQ(shuttle_events(false), shuttle_events(true));
+}
+
+TEST(FaultInjector, PermanentFailuresFireAtMostOncePerComponent) {
+  Simulator sim;
+  RecordingHost host(sim);
+  // No repair law: fail-stop. With no repairs pending the queue drains on its
+  // own even though the injection window never closes.
+  const auto config = ShuttleOnlyConfig(50.0, /*mttr_s=*/0.0, /*until_s=*/1e30);
+  FaultInjector injector(sim, host, config, Rng(3), 4, 0, 0);
+  injector.Start();
+  sim.Run();
+  EXPECT_EQ(injector.shuttle_stats().failures, 4u);
+  EXPECT_EQ(injector.shuttle_stats().repairs, 0u);
+  EXPECT_EQ(host.events.size(), 4u);
+}
+
+TEST(FaultInjector, StopInjectingLetsPendingRepairsComplete) {
+  Simulator sim;
+  RecordingHost host(sim);
+  const auto config = ShuttleOnlyConfig(80.0, 500.0, 1e30);
+  FaultInjector injector(sim, host, config, Rng(9), 6, 0, 0);
+  injector.Start();
+  const double stop_at = 200.0;
+  sim.ScheduleAt(stop_at, [&] { injector.StopInjecting(); });
+  sim.Run();
+
+  // No failure fires after the stop, but every down component still comes back.
+  for (const auto& event : host.events) {
+    if (event.kind == 'S') {
+      EXPECT_LE(event.time, stop_at);
+    }
+  }
+  EXPECT_EQ(injector.shuttle_stats().failures, injector.shuttle_stats().repairs);
+  injector.StopInjecting();  // idempotent
+}
+
+TEST(FaultInjector, InjectUntilClosesTheWindow) {
+  Simulator sim;
+  RecordingHost host(sim);
+  const auto config = ShuttleOnlyConfig(100.0, 10.0, 1000.0);
+  FaultInjector injector(sim, host, config, Rng(21), 4, 0, 0);
+  injector.Start();
+  sim.Run();
+  for (const auto& event : host.events) {
+    if (event.kind == 'S') {
+      EXPECT_LE(event.time, 1000.0);
+    }
+  }
+  EXPECT_TRUE(sim.Idle());
+}
+
+// ---------------------------------------------------------------------------
+// Library-level invariants: conservation, determinism, degraded-mode outcomes.
+// ---------------------------------------------------------------------------
+
+LibrarySimConfig SmallConfig(LibraryConfig::Policy policy) {
+  LibrarySimConfig config;
+  config.library.policy = policy;
+  config.library.num_shuttles = 8;
+  config.library.storage_racks = 6;
+  config.num_info_platters = 400;
+  config.seed = 7;
+  return config;
+}
+
+ReadTrace UniformTrace(int count, double spacing_s, uint64_t platters,
+                       uint64_t bytes) {
+  ReadTrace trace;
+  for (int i = 0; i < count; ++i) {
+    ReadRequest r;
+    r.id = static_cast<uint64_t>(i + 1);
+    r.arrival = i * spacing_s;
+    r.file_id = r.id;
+    r.bytes = bytes;
+    r.platter = static_cast<uint64_t>(i) % platters;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+FaultConfig RepairingFaults() {
+  FaultConfig faults;
+  faults.shuttle = FaultProcess::Exponential(1500.0, 200.0);
+  faults.drive = FaultProcess::Exponential(2500.0, 300.0);
+  faults.rack = FaultProcess::Exponential(4000.0, 400.0);
+  return faults;
+}
+
+// Property test: request conservation under randomized fault schedules. For
+// every seed, every submitted read resolves exactly once (completed + failed ==
+// total), completion statistics only count completions, and recovery-read
+// accounting respects amplified <= recovery_reads <= amplified * I_p.
+TEST(FaultedLibrary, ConservationAcrossSeeds) {
+  uint64_t shuttle_failures = 0;
+  uint64_t drive_failures = 0;
+  uint64_t rack_failures = 0;
+  uint64_t aborted_jobs = 0;
+  uint64_t dark_retries = 0;
+  uint64_t amplified = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    auto config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+    config.seed = seed;
+    config.faults = RepairingFaults();
+    const auto trace = UniformTrace(120, 5.0, config.num_info_platters, 4 * kMiB);
+    const auto result = SimulateLibrary(config, trace);
+
+    ASSERT_EQ(result.requests_total, 120u) << "seed " << seed;
+    ASSERT_EQ(result.requests_completed + result.requests_failed,
+              result.requests_total)
+        << "seed " << seed << ": a request was dropped or double-counted";
+    // Every class here repairs quickly relative to the retry budget, so no
+    // platter set ever becomes unreadable: nothing may fail outright.
+    ASSERT_EQ(result.requests_failed, 0u) << "seed " << seed;
+    ASSERT_EQ(result.completion_times.count(), result.requests_completed)
+        << "seed " << seed;
+    if (result.completion_times.count() > 0) {
+      ASSERT_GE(result.completion_times.min(), 0.0)
+          << "seed " << seed << ": completion before arrival";
+    }
+    ASSERT_LE(result.amplified_requests, result.recovery_reads)
+        << "seed " << seed;
+    ASSERT_LE(result.recovery_reads,
+              result.amplified_requests * static_cast<uint64_t>(
+                                              config.platter_set_info))
+        << "seed " << seed;
+
+    shuttle_failures += result.faults.shuttle_failures;
+    drive_failures += result.faults.drive_failures;
+    rack_failures += result.faults.rack_failures;
+    aborted_jobs += result.faults.aborted_shuttle_jobs;
+    dark_retries += result.faults.dark_retries;
+    amplified += result.amplified_requests;
+  }
+  // The sweep must actually exercise the machinery: across 50 seeds every
+  // fault class fires and degraded mode does real work.
+  EXPECT_GT(shuttle_failures, 0u);
+  EXPECT_GT(drive_failures, 0u);
+  EXPECT_GT(rack_failures, 0u);
+  EXPECT_GT(aborted_jobs + dark_retries + amplified, 0u);
+}
+
+// Same seed and fault config: bit-identical results and bit-identical metrics.
+TEST(FaultedLibrary, DeterministicWithFaults) {
+  auto run = [](Telemetry* telemetry) {
+    auto config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+    config.faults = RepairingFaults();
+    config.telemetry = telemetry;
+    const auto trace = UniformTrace(150, 4.0, config.num_info_platters, 4 * kMiB);
+    return SimulateLibrary(config, trace);
+  };
+  Telemetry telemetry_a;
+  Telemetry telemetry_b;
+  const auto a = run(&telemetry_a);
+  const auto b = run(&telemetry_b);
+
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.requests_failed, b.requests_failed);
+  EXPECT_EQ(a.recovery_reads, b.recovery_reads);
+  EXPECT_EQ(a.amplified_requests, b.amplified_requests);
+  EXPECT_EQ(a.travels, b.travels);
+  EXPECT_EQ(a.work_steals, b.work_steals);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.completion_times.Percentile(0.5),
+                   b.completion_times.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(a.completion_times.Percentile(0.999),
+                   b.completion_times.Percentile(0.999));
+  EXPECT_DOUBLE_EQ(a.drive_read_seconds, b.drive_read_seconds);
+  EXPECT_DOUBLE_EQ(a.drive_idle_seconds, b.drive_idle_seconds);
+  EXPECT_EQ(a.faults.shuttle_failures, b.faults.shuttle_failures);
+  EXPECT_EQ(a.faults.shuttle_repairs, b.faults.shuttle_repairs);
+  EXPECT_EQ(a.faults.drive_failures, b.faults.drive_failures);
+  EXPECT_EQ(a.faults.drive_repairs, b.faults.drive_repairs);
+  EXPECT_EQ(a.faults.rack_failures, b.faults.rack_failures);
+  EXPECT_EQ(a.faults.rack_repairs, b.faults.rack_repairs);
+  EXPECT_EQ(a.faults.aborted_shuttle_jobs, b.faults.aborted_shuttle_jobs);
+  EXPECT_EQ(a.faults.stranded_recoveries, b.faults.stranded_recoveries);
+  EXPECT_EQ(a.faults.dark_retries, b.faults.dark_retries);
+  EXPECT_EQ(a.faults.converted_requests, b.faults.converted_requests);
+
+  // The whole observable surface, not just the summary: every counter, gauge,
+  // and histogram in the registry must match byte for byte.
+  EXPECT_EQ(telemetry_a.metrics.ToJson(), telemetry_b.metrics.ToJson());
+}
+
+TEST(FaultedLibrary, DisabledFaultsLeaveLedgerUntouched) {
+  auto config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  const auto trace = UniformTrace(100, 5.0, config.num_info_platters, 4 * kMiB);
+  const auto result = SimulateLibrary(config, trace);
+  EXPECT_EQ(result.requests_failed, 0u);
+  EXPECT_EQ(result.amplified_requests, 0u);
+  EXPECT_EQ(result.faults.shuttle_failures, 0u);
+  EXPECT_EQ(result.faults.drive_failures, 0u);
+  EXPECT_EQ(result.faults.rack_failures, 0u);
+  EXPECT_EQ(result.faults.aborted_shuttle_jobs, 0u);
+  EXPECT_EQ(result.faults.dark_retries, 0u);
+}
+
+TEST(FaultedLibrary, DriveFaultsResumeSessionsAndComplete) {
+  auto config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.faults.drive = FaultProcess::Exponential(1000.0, 120.0);
+  const auto trace = UniformTrace(150, 4.0, config.num_info_platters, 4 * kMiB);
+  const auto result = SimulateLibrary(config, trace);
+  EXPECT_GT(result.faults.drive_failures, 0u);
+  EXPECT_GT(result.faults.drive_repairs, 0u);
+  EXPECT_EQ(result.requests_completed, 150u);
+  EXPECT_EQ(result.requests_failed, 0u);
+}
+
+TEST(FaultedLibrary, PermanentRackOutagesFailEveryRead) {
+  // All six blast zones fail almost immediately and never repair, so the whole
+  // library goes dark: every read must resolve as failed — none may hang the
+  // run or silently vanish.
+  auto config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.faults.rack = FaultProcess::Exponential(1.0, /*mttr_s=*/0.0);
+  const auto trace = UniformTrace(40, 5.0, config.num_info_platters, 4 * kMiB);
+  const auto result = SimulateLibrary(config, trace);
+  EXPECT_EQ(result.faults.rack_failures, 6u);
+  EXPECT_EQ(result.faults.rack_repairs, 0u);
+  EXPECT_EQ(result.requests_completed, 0u);
+  EXPECT_EQ(result.requests_failed, 40u);
+  EXPECT_EQ(result.completion_times.count(), 0u);
+  EXPECT_GT(result.faults.dark_retries, 0u);
+}
+
+TEST(FaultedLibrary, ShuttleFleetLossStillBalancesTheLedger) {
+  // Every shuttle dies permanently early in the trace. Stored platters are not
+  // dark (the data survives; nothing can carry it), so unserved reads drain as
+  // failures when the run ends — conservation must still hold exactly.
+  auto config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.faults.shuttle = FaultProcess::Exponential(100.0, /*mttr_s=*/0.0);
+  const auto trace = UniformTrace(200, 10.0, config.num_info_platters, 4 * kMiB);
+  const auto result = SimulateLibrary(config, trace);
+  EXPECT_EQ(result.faults.shuttle_failures, 8u);
+  EXPECT_EQ(result.requests_completed + result.requests_failed, 200u);
+  EXPECT_GT(result.requests_failed, 0u);
+}
+
+}  // namespace
+}  // namespace silica

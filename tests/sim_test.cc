@@ -136,6 +136,76 @@ TEST(Simulator, DoubleCancelCountsOneTombstone) {
   EXPECT_TRUE(sim.Idle());
 }
 
+// Re-entrancy regressions: fault-host callbacks fire from inside the event
+// loop and Cancel/Schedule re-entrantly (an aborted shuttle job cancels its
+// arrival event; a drive failure cancels the in-flight read and schedules the
+// retry probe). These pin the semantics those paths rely on.
+
+TEST(Simulator, CancelSameTimeSiblingFromInsideCallback) {
+  Simulator sim;
+  std::vector<int> order;
+  Simulator::EventId sibling = Simulator::kInvalidEvent;
+  sim.Schedule(1.0, [&] {
+    order.push_back(1);
+    sim.Cancel(sibling);  // queued at the same timestamp, not yet fired
+  });
+  sibling = sim.Schedule(1.0, [&] { order.push_back(2); });
+  sim.Schedule(1.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, CancelSelfFromInsideCallbackIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  Simulator::EventId self = Simulator::kInvalidEvent;
+  self = sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Cancel(self);  // already executing — must not tombstone or reorder
+  });
+  sim.Schedule(2.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(Simulator, ZeroDelayScheduleFromCallbackRunsAfterSameTimeSiblings) {
+  // A zero-delay event scheduled from inside a firing callback lands at the
+  // same timestamp but with a larger id, so FIFO runs it after every already-
+  // queued event at that time.
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1.0, [&] {
+    order.push_back(1);
+    sim.Schedule(0.0, [&] { order.push_back(9); });
+  });
+  sim.Schedule(1.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 9}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.0);
+}
+
+TEST(Simulator, CancelAndRescheduleFromCallbackKeepsDeterministicOrder) {
+  // The drive-failure path in one motion: cancel a pending event and schedule
+  // its replacement from inside a callback, twice, asserting the replacement
+  // fires exactly once at the replacement time.
+  Simulator sim;
+  std::vector<double> fired_at;
+  Simulator::EventId pending = Simulator::kInvalidEvent;
+  pending = sim.Schedule(5.0, [&] { fired_at.push_back(sim.Now()); });
+  sim.Schedule(1.0, [&] {
+    sim.Cancel(pending);
+    pending = sim.Schedule(3.0, [&] { fired_at.push_back(sim.Now()); });
+  });
+  sim.Schedule(2.0, [&] {
+    sim.Cancel(pending);
+    pending = sim.Schedule(4.0, [&] { fired_at.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(fired_at.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired_at[0], 6.0);
+}
+
 TEST(Simulator, EventCountTracked) {
   Simulator sim;
   for (int i = 0; i < 7; ++i) {

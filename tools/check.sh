@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 verify (full build + ctest) plus an ASan/UBSan pass
-# over the event engine and telemetry tests.
+# over the event engine, telemetry, and fault-injection tests.
 #
 #   tools/check.sh            # tier-1 + sanitizer pass
 #   tools/check.sh --fast     # tier-1 only
@@ -19,11 +19,11 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== sanitizers: ASan+UBSan over simulator + telemetry tests =="
+echo "== sanitizers: ASan+UBSan over simulator + telemetry + fault tests =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" --target silica_tests
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/silica_tests \
-  --gtest_filter='Simulator.*:MetricsRegistry.*:Tracer.*:Telemetry.*'
+  --gtest_filter='Simulator.*:MetricsRegistry.*:Tracer.*:Telemetry.*:FaultInjector.*:FaultedLibrary.*'
 
 echo "== OK =="

@@ -3,6 +3,9 @@
 //   silica_sim --profile=iops --policy=silica|sp|ns --shuttles=20 --mbps=60
 //              [--platters=3000] [--seed=1] [--unavailable=0.1] [--zipf=0.9]
 //              [--no-stealing] [--no-grouping] [--no-fast-switch]
+//              [--fault-shuttle-mtbf=S --fault-shuttle-mttr=S]
+//              [--fault-drive-mtbf=S --fault-drive-mttr=S]
+//              [--fault-rack-mtbf=S --fault-rack-mttr=S] [--fault-until=S]
 //              [--metrics-out=m.json|m.prom] [--trace-out=t.json]
 //              [--trace-categories=shuttle,drive,scheduler,pipeline] [--json]
 //
@@ -77,6 +80,27 @@ void PrintJsonReport(const silica::LibrarySimResult& r,
       r.EnergyPerPlatterOperation(),
       static_cast<unsigned long long>(r.work_steals),
       static_cast<unsigned long long>(r.shuttle_recharges));
+  if (config.faults.enabled()) {
+    std::printf(
+        "  \"faults\": {\"shuttle_failures\": %llu, \"shuttle_repairs\": %llu, "
+        "\"drive_failures\": %llu, \"drive_repairs\": %llu, \"rack_failures\": "
+        "%llu, \"rack_repairs\": %llu, \"aborted_shuttle_jobs\": %llu, "
+        "\"stranded_recoveries\": %llu, \"dark_retries\": %llu, "
+        "\"converted_requests\": %llu, \"amplified_requests\": %llu, "
+        "\"requests_failed\": %llu},\n",
+        static_cast<unsigned long long>(r.faults.shuttle_failures),
+        static_cast<unsigned long long>(r.faults.shuttle_repairs),
+        static_cast<unsigned long long>(r.faults.drive_failures),
+        static_cast<unsigned long long>(r.faults.drive_repairs),
+        static_cast<unsigned long long>(r.faults.rack_failures),
+        static_cast<unsigned long long>(r.faults.rack_repairs),
+        static_cast<unsigned long long>(r.faults.aborted_shuttle_jobs),
+        static_cast<unsigned long long>(r.faults.stranded_recoveries),
+        static_cast<unsigned long long>(r.faults.dark_retries),
+        static_cast<unsigned long long>(r.faults.converted_requests),
+        static_cast<unsigned long long>(r.amplified_requests),
+        static_cast<unsigned long long>(r.requests_failed));
+  }
   std::printf("  \"makespan_seconds\": %.6g,\n", r.makespan);
   std::printf("  \"meets_slo\": %s\n",
               ct.Percentile(0.999) <= slo_s ? "true" : "false");
@@ -95,6 +119,11 @@ int main(int argc, char** argv) {
         "  [--shuttles=20] [--mbps=60] [--platters=3000] [--seed=1]\n"
         "  [--unavailable=0.0] [--zipf=0.0] [--no-stealing] [--no-grouping]\n"
         "  [--no-fast-switch]\n"
+        "  [--fault-shuttle-mtbf=S    exponential shuttle breakdowns, mean S s]\n"
+        "  [--fault-shuttle-mttr=S    shuttle repair time (0 = permanent)]\n"
+        "  [--fault-drive-mtbf=S --fault-drive-mttr=S    read-drive outages]\n"
+        "  [--fault-rack-mtbf=S  --fault-rack-mttr=S     rack (blast-zone) outages]\n"
+        "  [--fault-until=S           inject no new failures after time S]\n"
         "  [--json                     machine-readable run report on stdout]\n"
         "  [--metrics-out=FILE         metrics snapshot (.json -> JSON, else\n"
         "                              Prometheus text)]\n"
@@ -145,6 +174,25 @@ int main(int argc, char** argv) {
   config.measure_start = trace.measure_start;
   config.measure_end = trace.measure_end;
   config.seed = seed;
+
+  const double shuttle_mtbf = flags.GetDouble("fault-shuttle-mtbf", 0.0);
+  const double drive_mtbf = flags.GetDouble("fault-drive-mtbf", 0.0);
+  const double rack_mtbf = flags.GetDouble("fault-rack-mtbf", 0.0);
+  if (shuttle_mtbf > 0.0) {
+    config.faults.shuttle = FaultProcess::Exponential(
+        shuttle_mtbf, flags.GetDouble("fault-shuttle-mttr", 0.0));
+  }
+  if (drive_mtbf > 0.0) {
+    config.faults.drive = FaultProcess::Exponential(
+        drive_mtbf, flags.GetDouble("fault-drive-mttr", 0.0));
+  }
+  if (rack_mtbf > 0.0) {
+    config.faults.rack = FaultProcess::Exponential(
+        rack_mtbf, flags.GetDouble("fault-rack-mttr", 0.0));
+  }
+  if (flags.Has("fault-until")) {
+    config.faults.inject_until_s = flags.GetDouble("fault-until", 1e30);
+  }
 
   // Attach telemetry only when a sink was requested: with no sinks, the twin runs
   // the compiled-in fast path (null telemetry pointer, disabled tracer).
@@ -213,6 +261,24 @@ int main(int argc, char** argv) {
   if (r.recovery_reads > 0) {
     std::printf("recovery: %llu cross-platter sub-reads\n",
                 static_cast<unsigned long long>(r.recovery_reads));
+  }
+  if (config.faults.enabled()) {
+    std::printf("faults: shuttles %llu/%llu, drives %llu/%llu, racks %llu/%llu "
+                "(failed/repaired)\n",
+                static_cast<unsigned long long>(r.faults.shuttle_failures),
+                static_cast<unsigned long long>(r.faults.shuttle_repairs),
+                static_cast<unsigned long long>(r.faults.drive_failures),
+                static_cast<unsigned long long>(r.faults.drive_repairs),
+                static_cast<unsigned long long>(r.faults.rack_failures),
+                static_cast<unsigned long long>(r.faults.rack_repairs));
+    std::printf("degraded: %llu aborted jobs, %llu stranded recoveries, %llu "
+                "dark retries, %llu converted, %llu amplified, %llu failed\n",
+                static_cast<unsigned long long>(r.faults.aborted_shuttle_jobs),
+                static_cast<unsigned long long>(r.faults.stranded_recoveries),
+                static_cast<unsigned long long>(r.faults.dark_retries),
+                static_cast<unsigned long long>(r.faults.converted_requests),
+                static_cast<unsigned long long>(r.amplified_requests),
+                static_cast<unsigned long long>(r.requests_failed));
   }
   std::printf("verdict: %s the 15 h SLO\n",
               r.completion_times.Percentile(0.999) <= slo ? "meets" : "MISSES");
