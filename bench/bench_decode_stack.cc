@@ -1,14 +1,67 @@
-// Decode stack economics (Section 3.2): the disaggregated, elastic decode service
-// supports SLOs from seconds to hours and time-shifts slack-rich work into the
-// cheapest compute periods. Not a numbered paper figure; quantifies the claim.
+// Decode stack throughput and economics (Section 3.2).
+//
+// Default (human) mode: a multicore sector-decode throughput measurement over the
+// real data plane (write a platter, read every track back through the channel +
+// soft decoder + LDPC), followed by the cost/SLO and elasticity sweeps of the
+// disaggregated decode service.
+//
+// --threads=N sizes the worker pool for the measured run (default: hardware
+// concurrency); a 1-thread baseline always runs first so the speedup is reported.
+// --json emits one machine-readable object on stdout (sectors/s per worker count,
+// speedup vs 1 thread) for BENCH_decode_stack.json trajectories.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/data_pipeline.h"
 #include "decode/decode_service.h"
 
 namespace silica {
 namespace {
+
+struct ThroughputRun {
+  int threads = 1;
+  uint64_t sectors = 0;
+  double wall_seconds = 0.0;
+  double sectors_per_second = 0.0;
+};
+
+// Writes one full platter, then times the read path (channel sim + soft decode +
+// LDPC for every sector of every track) with a pool of `threads` workers.
+ThroughputRun MeasureDecodeThroughput(DataPlane& plane,
+                                      const WrittenPlatter& written, int threads) {
+  ThroughputRun run;
+  run.threads = threads;
+
+  ThreadPool pool(static_cast<size_t>(threads));
+  plane.SetThreadPool(threads > 1 ? &pool : nullptr);
+
+  PlatterReader reader(plane);
+  Rng rng(2024);
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < plane.geometry().tracks_per_platter(); ++t) {
+    ReadStats stats;
+    const auto decoded = reader.ReadTrackPayloads(written.platter, t, rng, &stats);
+    run.sectors += stats.sectors_read;
+    (void)decoded;
+  }
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  plane.SetThreadPool(nullptr);
+  if (run.wall_seconds > 0.0) {
+    run.sectors_per_second =
+        static_cast<double>(run.sectors) / run.wall_seconds;
+  }
+  return run;
+}
 
 std::vector<DecodeJob> DaytimeJobs(int count, double slo_s, uint64_t seed) {
   Rng rng(seed);
@@ -57,11 +110,90 @@ void ElasticitySweep() {
   }
 }
 
+int Run(int threads, bool json) {
+  // One platter through the real write pipeline; the read side is what we time.
+  DataPlane plane(DataPlaneConfig{});
+  PlatterWriter writer(plane);
+  const MediaGeometry& g = plane.geometry();
+  std::vector<uint8_t> bytes(g.payload_bytes_per_platter() / 2);
+  Rng fill(99);
+  for (auto& b : bytes) {
+    b = static_cast<uint8_t>(fill.NextU64());
+  }
+  Rng write_rng(4);
+  const auto written = writer.WritePlatter(
+      1, {FileData{.file_id = 1, .name = "bench", .bytes = std::move(bytes)}},
+      write_rng);
+
+  const auto baseline = MeasureDecodeThroughput(plane, written, 1);
+  ThroughputRun threaded = baseline;
+  if (threads > 1) {
+    threaded = MeasureDecodeThroughput(plane, written, threads);
+  }
+  const double speedup = baseline.sectors_per_second > 0.0
+                             ? threaded.sectors_per_second /
+                                   baseline.sectors_per_second
+                             : 0.0;
+
+  if (json) {
+    auto render = [](const ThroughputRun& r) {
+      return JsonObject()
+          .Field("threads", r.threads)
+          .Field("sectors", r.sectors)
+          .Field("wall_seconds", r.wall_seconds)
+          .Field("sectors_per_second", r.sectors_per_second)
+          .Str();
+    };
+    JsonObject out;
+    out.Field("bench", "decode_stack")
+        .Field("threads", threads)
+        .FieldRaw("runs", JsonArray({render(baseline), render(threaded)}))
+        .Field("sectors_per_second", threaded.sectors_per_second)
+        .Field("speedup_vs_1_thread", speedup);
+    std::printf("%s\n", out.Str().c_str());
+    return 0;
+  }
+
+  Header("Decode stack: multicore sector-decode throughput");
+  std::printf("%-10s %10s %14s %18s %10s\n", "threads", "sectors", "wall (s)",
+              "sectors/s", "speedup");
+  std::printf("%-10d %10llu %14.3f %18.1f %9.2fx\n", baseline.threads,
+              static_cast<unsigned long long>(baseline.sectors),
+              baseline.wall_seconds, baseline.sectors_per_second, 1.0);
+  if (threads > 1) {
+    std::printf("%-10d %10llu %14.3f %18.1f %9.2fx\n", threaded.threads,
+                static_cast<unsigned long long>(threaded.sectors),
+                threaded.wall_seconds, threaded.sectors_per_second, speedup);
+  }
+
+  SloSweep();
+  ElasticitySweep();
+  return 0;
+}
+
 }  // namespace
 }  // namespace silica
 
-int main() {
-  silica::SloSweep();
-  silica::ElasticitySweep();
-  return 0;
+int main(int argc, char** argv) {
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) {
+    threads = 1;
+  }
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+      if (threads < 1) {
+        std::fprintf(stderr, "error: --threads must be >= 1\n");
+        return 1;
+      }
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help") {
+      std::printf("usage: bench_decode_stack [--threads=N] [--json]\n");
+      return 0;
+    }
+  }
+  return silica::Run(threads, json);
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/units.h"
 #include "core/library_sim.h"
@@ -55,6 +56,65 @@ inline void Header(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n");
+}
+
+// Minimal JSON object builder for machine-readable bench output. Benches emit one
+// object per run on stdout under --json; CI redirects that into BENCH_<name>.json
+// so result trajectories can be tracked across commits (see tools/compare_runs.py
+// for the silica_sim equivalent). Keys are emitted in insertion order.
+class JsonObject {
+ public:
+  JsonObject& Field(const char* key, const std::string& value) {
+    Append(key, "\"" + value + "\"");
+    return *this;
+  }
+  JsonObject& Field(const char* key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonObject& Field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    Append(key, buf);
+    return *this;
+  }
+  JsonObject& Field(const char* key, uint64_t value) {
+    Append(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& Field(const char* key, int value) {
+    Append(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& Field(const char* key, bool value) {
+    Append(key, value ? "true" : "false");
+    return *this;
+  }
+  // Nests a pre-rendered JSON value (object or array) verbatim.
+  JsonObject& FieldRaw(const char* key, const std::string& raw) {
+    Append(key, raw);
+    return *this;
+  }
+  std::string Str() const { return "{" + body_ + "}"; }
+
+ private:
+  void Append(const char* key, const std::string& rendered) {
+    if (!body_.empty()) {
+      body_ += ", ";
+    }
+    body_ += "\"" + std::string(key) + "\": " + rendered;
+  }
+  std::string body_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& rendered_items) {
+  std::string out = "[";
+  for (size_t i = 0; i < rendered_items.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += rendered_items[i];
+  }
+  return out + "]";
 }
 
 }  // namespace silica

@@ -27,17 +27,20 @@ std::vector<uint16_t> SectorCodec::EncodeSector(std::span<const uint8_t> payload
   }
   const uint32_t crc = Crc32c(payload);
 
-  std::vector<uint8_t> info_bits;
-  info_bits.reserve(ldpc_.k());
-  auto payload_bits = BytesToBits(payload);
-  info_bits.insert(info_bits.end(), payload_bits.begin(), payload_bits.end());
-  for (int b = 0; b < 32; ++b) {
-    info_bits.push_back(static_cast<uint8_t>((crc >> b) & 1));
+  // Info stream (LSB-first): payload bytes, then the 32 CRC bits, then zero
+  // padding up to k — packed straight into 64-bit words, no byte-per-bit blowup.
+  std::vector<uint64_t> info_words(ldpc_.info_words(), 0);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    info_words[i / 8] |= static_cast<uint64_t>(payload[i]) << ((i % 8) * 8);
   }
-  info_bits.resize(ldpc_.k(), 0);  // zero padding up to k
+  const size_t crc_bit = payload.size() * 8;
+  info_words[crc_bit / 64] |= static_cast<uint64_t>(crc) << (crc_bit % 64);
+  if (crc_bit % 64 > 32 && crc_bit / 64 + 1 < info_words.size()) {
+    info_words[crc_bit / 64 + 1] |= static_cast<uint64_t>(crc) >> (64 - crc_bit % 64);
+  }
 
-  const auto codeword = ldpc_.Encode(info_bits);
-  return BitsToSymbols(codeword, geometry_.bits_per_voxel);
+  const auto codeword = ldpc_.EncodePacked(info_words);
+  return PackedBitsToSymbols(codeword, ldpc_.n(), geometry_.bits_per_voxel);
 }
 
 std::optional<std::vector<uint8_t>> SectorCodec::DecodeFromLlrs(

@@ -1,8 +1,15 @@
 #include "common/thread_pool.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace silica {
+namespace {
+
+// Identity of the pool whose WorkerLoop is running on this thread, if any.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   workers_.reserve(num_threads);
@@ -11,22 +18,34 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& worker : workers_) {
-    worker.join();
+    if (worker.joinable()) {
+      worker.join();
+    }
   }
 }
+
+bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
 
 std::future<void> ThreadPool::Submit(std::function<void()> job) {
   std::packaged_task<void()> task(std::move(job));
   auto future = task.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::Submit: pool is shut down");
+    }
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -39,6 +58,7 @@ void ThreadPool::Drain() {
 }
 
 void ThreadPool::WorkerLoop() {
+  current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -51,7 +71,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    task();  // exceptions land in the task's future, never escape the worker
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -3,12 +3,17 @@
 // The production Silica decode stack is a fleet of stateless microservices; the pool is
 // the in-process analogue: jobs are independent sector decodes submitted from the read
 // path, and the pool can be resized between phases to model elastic scaling.
+//
+// Jobs run as std::packaged_task<void()>, so an exception thrown by a job is captured
+// and rethrown from the future returned by Submit() — never swallowed. Submitting to a
+// pool that has been shut down (or is mid-destruction) throws instead of deadlocking.
 #ifndef SILICA_COMMON_THREAD_POOL_H_
 #define SILICA_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -25,25 +30,86 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a job; the returned future resolves when it completes.
+  // Enqueues a job; the returned future resolves when it completes and rethrows
+  // any exception the job raised. Throws std::runtime_error after Shutdown().
   std::future<void> Submit(std::function<void()> job);
 
-  // Blocks until every job submitted so far has finished.
+  // Blocks until every job submitted so far has finished. Exceptions raised by
+  // jobs are reported through their futures, not through Drain.
   void Drain();
 
+  // Stops accepting work, runs the queue dry, and joins the workers. Idempotent;
+  // called automatically by the destructor.
+  void Shutdown();
+
+  size_t size() const { return workers_.size(); }
   size_t num_threads() const { return workers_.size(); }
+
+  // True when the calling thread is one of this pool's workers. Used by
+  // ParallelFor to degrade to an inline loop instead of deadlocking on nested
+  // submission.
+  bool OnWorkerThread() const;
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable drained_cv_;
   size_t in_flight_ = 0;
   bool stopping_ = false;
 };
+
+// Runs fn(i) for every i in [0, n), fanning contiguous index chunks out across the
+// pool. Deterministic by construction: every index runs exactly once and fn must
+// only write to state owned by its index (e.g. results[i]), so the outcome is
+// independent of the worker count and identical to the serial loop.
+//
+// Falls back to a plain inline loop when pool is null, has at most one worker, or
+// the caller is itself a pool worker (nested fan-out would deadlock a saturated
+// pool). All chunks run to completion even if one throws; afterwards the first
+// exception in chunk order (lowest failing index range) is rethrown to the caller.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (pool == nullptr || pool->size() <= 1 || n == 1 || pool->OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // A few chunks per worker evens out skew (sector decode times vary with noise)
+  // without paying per-index submission overhead.
+  const size_t chunks = std::min(n, pool->size() * 4);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    futures.push_back(pool->Submit([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    }));
+  }
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
 
 }  // namespace silica
 

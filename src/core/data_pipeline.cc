@@ -1,10 +1,12 @@
 #include "core/data_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "telemetry/telemetry.h"
 
 namespace silica {
@@ -75,6 +77,9 @@ void DataPlane::SetTelemetry(Telemetry* telemetry) {
       &metrics.GetCounter("decode_large_nc_recoveries_total");
   stage_counters_.platters_verified =
       &metrics.GetCounter("decode_platters_verified_total");
+  stage_counters_.decode_wall_seconds = &metrics.GetGauge("decode_wall_seconds");
+  stage_counters_.sectors_per_second =
+      &metrics.GetGauge("decode_sectors_per_second");
 }
 
 WrittenPlatter PlatterWriter::WritePlatter(uint64_t platter_id,
@@ -121,9 +126,11 @@ WrittenPlatter PlatterWriter::WritePlatter(uint64_t platter_id,
     cursor += need;
   }
 
-  // 2. Within-track NC for every information track.
+  // 2. Within-track NC for every information track. Tracks are independent and
+  // the GF(256) math is exact, so fanning over tracks is thread-count invariant.
+  ThreadPool* pool = plane_->thread_pool();
   const NetworkCodec& track_codec = plane_->track_codec();
-  for (size_t t = 0; t < info_tracks; ++t) {
+  ParallelFor(pool, info_tracks, [&](size_t t) {
     std::vector<std::span<const uint8_t>> info;
     std::vector<std::span<uint8_t>> redundancy;
     for (size_t s = 0; s < info_sectors; ++s) {
@@ -133,7 +140,7 @@ WrittenPlatter PlatterWriter::WritePlatter(uint64_t platter_id,
       redundancy.emplace_back(payloads[t][s]);
     }
     track_codec.Encode(info, redundancy);
-  }
+  });
 
   // 3. Large-group NC across tracks, one group per I_l information tracks,
   // protecting every sector position (short final groups pad with zero tracks).
@@ -142,37 +149,71 @@ WrittenPlatter PlatterWriter::WritePlatter(uint64_t platter_id,
   const size_t group_red = static_cast<size_t>(g.large_group_redundancy_tracks);
   const size_t groups = (info_tracks + group_info - 1) / group_info;
   const std::vector<uint8_t> zero_payload(payload_bytes, 0);
-  for (size_t grp = 0; grp < groups; ++grp) {
-    for (size_t pos = 0; pos < sectors; ++pos) {
-      std::vector<std::span<const uint8_t>> info;
-      for (size_t i = 0; i < group_info; ++i) {
-        const size_t t = grp * group_info + i;
-        info.emplace_back(t < info_tracks ? std::span<const uint8_t>(payloads[t][pos])
-                                          : std::span<const uint8_t>(zero_payload));
-      }
-      std::vector<std::span<uint8_t>> redundancy;
-      for (size_t r = 0; r < group_red; ++r) {
-        const size_t t = info_tracks + grp * group_red + r;
-        redundancy.emplace_back(payloads[t][pos]);
-      }
-      large.Encode(info, redundancy);
+  // Every (group, sector position) pair writes a disjoint set of redundancy
+  // buffers, so the whole grid fans out.
+  ParallelFor(pool, groups * sectors, [&](size_t idx) {
+    const size_t grp = idx / sectors;
+    const size_t pos = idx % sectors;
+    std::vector<std::span<const uint8_t>> info;
+    for (size_t i = 0; i < group_info; ++i) {
+      const size_t t = grp * group_info + i;
+      info.emplace_back(t < info_tracks ? std::span<const uint8_t>(payloads[t][pos])
+                                        : std::span<const uint8_t>(zero_payload));
     }
-  }
+    std::vector<std::span<uint8_t>> redundancy;
+    for (size_t r = 0; r < group_red; ++r) {
+      const size_t t = info_tracks + grp * group_red + r;
+      redundancy.emplace_back(payloads[t][pos]);
+    }
+    large.Encode(info, redundancy);
+  });
 
   // 4. Encode every sector through LDPC and the write channel onto the glass.
-  for (size_t t = 0; t < all_tracks; ++t) {
-    for (size_t s = 0; s < sectors; ++s) {
+  //
+  // Determinism contract: with no pool (or one worker) the sectors consume `rng`
+  // sequentially — byte-identical to the unthreaded build. With more workers the
+  // parent stream is advanced once and each sector draws noise from a forked
+  // child keyed by its flat index, so the platter is deterministic and the same
+  // for every worker count > 1.
+  if (pool != nullptr && pool->size() > 1) {
+    const Rng base = rng;
+    rng.NextU64();
+    std::vector<std::vector<uint16_t>> grid(all_tracks * sectors);
+    ParallelFor(pool, all_tracks * sectors, [&](size_t idx) {
+      const size_t t = idx / sectors;
+      const size_t s = idx % sectors;
+      Rng child = base.Fork(idx);
       auto symbols = plane_->sector_codec().EncodeSector(payloads[t][s]);
       const auto analog = plane_->write_channel().WriteSector(
-          symbols, g.sector_rows, g.sector_cols, rng);
+          symbols, g.sector_rows, g.sector_cols, child);
       for (size_t v = 0; v < symbols.size(); ++v) {
         if (analog.missing[v]) {
           symbols[v] = kMissingVoxel;
         }
       }
+      grid[idx] = std::move(symbols);
+    });
+    for (size_t idx = 0; idx < grid.size(); ++idx) {
       out.platter.WriteSector(
-          SectorAddress{static_cast<int>(t), static_cast<int>(s)},
-          std::move(symbols));
+          SectorAddress{static_cast<int>(idx / sectors),
+                        static_cast<int>(idx % sectors)},
+          std::move(grid[idx]));
+    }
+  } else {
+    for (size_t t = 0; t < all_tracks; ++t) {
+      for (size_t s = 0; s < sectors; ++s) {
+        auto symbols = plane_->sector_codec().EncodeSector(payloads[t][s]);
+        const auto analog = plane_->write_channel().WriteSector(
+            symbols, g.sector_rows, g.sector_cols, rng);
+        for (size_t v = 0; v < symbols.size(); ++v) {
+          if (analog.missing[v]) {
+            symbols[v] = kMissingVoxel;
+          }
+        }
+        out.platter.WriteSector(
+            SectorAddress{static_cast<int>(t), static_cast<int>(s)},
+            std::move(symbols));
+      }
     }
   }
   out.platter.SetHeader(std::move(header));
@@ -199,8 +240,28 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
 
   std::vector<std::optional<std::vector<uint8_t>>> decoded(sectors);
   const DataPlane::StageCounters& counters = plane_->stage_counters();
+  ThreadPool* pool = plane_->thread_pool();
+  const auto decode_start = std::chrono::steady_clock::now();
+  if (pool != nullptr && pool->size() > 1) {
+    // Parallel path: each sector decodes against a forked child stream keyed by
+    // its index (deterministic for any worker count > 1); the parent stream
+    // advances exactly once. Counters are not thread-safe, so the fan-out only
+    // writes decoded[s] and the tallies run serially afterwards.
+    const Rng base = rng;
+    rng.NextU64();
+    ParallelFor(pool, sectors, [&](size_t s) {
+      Rng child = base.Fork(s);
+      decoded[s] = DecodeSector(platter, {track, static_cast<int>(s)}, child);
+    });
+  } else {
+    for (size_t s = 0; s < sectors; ++s) {
+      decoded[s] = DecodeSector(platter, {track, static_cast<int>(s)}, rng);
+    }
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - decode_start)
+          .count();
   for (size_t s = 0; s < sectors; ++s) {
-    decoded[s] = DecodeSector(platter, {track, static_cast<int>(s)}, rng);
     if (stats != nullptr) {
       ++stats->sectors_read;
       if (!decoded[s]) {
@@ -213,6 +274,12 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
         counters.ldpc_failures->Increment();
       }
     }
+  }
+  if (counters.decode_wall_seconds != nullptr) {
+    counters.decode_wall_seconds->Set(wall_seconds);
+  }
+  if (counters.sectors_per_second != nullptr && wall_seconds > 0.0) {
+    counters.sectors_per_second->Set(static_cast<double>(sectors) / wall_seconds);
   }
 
   // Within-track recovery of missing information sectors.
@@ -238,7 +305,7 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
       recovered_views.emplace_back(r);
     }
     if (plane_->track_codec().Reconstruct(present_indices, present, missing,
-                                          recovered_views)) {
+                                          recovered_views, pool)) {
       for (size_t m = 0; m < missing.size(); ++m) {
         decoded[missing[m]] = std::move(recovered[m]);
         if (stats != nullptr) {
@@ -305,7 +372,7 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
       const std::vector<size_t> want = {my_offset};
       if (plane_->large_group_codec().Reconstruct(
               present_indices, present, want,
-              std::span<const std::span<uint8_t>>(&recovered_view, 1))) {
+              std::span<const std::span<uint8_t>>(&recovered_view, 1), pool)) {
         decoded[pos] = std::move(recovered);
         if (stats != nullptr) {
           ++stats->large_nc_recoveries;
@@ -419,7 +486,8 @@ std::vector<WrittenPlatter> PlatterSetCodec::EncodeRedundancyPlatters(
     for (size_t p = 0; p < info_platters.size(); ++p) {
       for (size_t s = 0; s < sectors; ++s) {
         const auto shard = BytesToWords(info_platters[p]->payloads[t][s]);
-        codec_.EncodeAccumulate(p * sectors + s, shard, red_views);
+        codec_.EncodeAccumulate(p * sectors + s, shard, red_views,
+                                plane_->thread_pool());
       }
     }
     for (int r = 0; r < set_.redundancy; ++r) {
@@ -540,7 +608,8 @@ std::optional<std::vector<std::vector<uint8_t>>> PlatterSetCodec::RecoverTrack(
   for (size_t i = 0; i < red_words.size(); ++i) {
     red_views[i] = red_words[i];
   }
-  if (!codec_.RecoverInfo(info_views, missing, red_indices, red_views)) {
+  if (!codec_.RecoverInfo(info_views, missing, red_indices, red_views,
+                          plane_->thread_pool())) {
     return std::nullopt;
   }
 

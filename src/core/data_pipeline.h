@@ -33,6 +33,8 @@
 namespace silica {
 
 class Counter;
+class Gauge;
+class ThreadPool;
 struct Telemetry;
 
 struct DataPlaneConfig {
@@ -75,11 +77,23 @@ class DataPlane {
     Counter* track_nc_recoveries = nullptr;
     Counter* large_nc_recoveries = nullptr;
     Counter* platters_verified = nullptr;
+    Gauge* decode_wall_seconds = nullptr;   // wall time of the last track decode
+    Gauge* sectors_per_second = nullptr;    // throughput of the last track decode
   };
   const StageCounters& stage_counters() const { return stage_counters_; }
 
+  // Attaches a worker pool; per-sector encode/decode work fans out across it.
+  // nullptr (the default) or a single-worker pool keeps the exact serial code
+  // path, including the legacy shared-Rng consumption order, so output is
+  // byte-identical to the unthreaded build. With more workers, per-sector noise
+  // comes from Rng::Fork(sector_index) child streams: still fully deterministic,
+  // and identical for every worker count > 1.
+  void SetThreadPool(ThreadPool* pool) { thread_pool_ = pool; }
+  ThreadPool* thread_pool() const { return thread_pool_; }
+
  private:
   StageCounters stage_counters_;
+  ThreadPool* thread_pool_ = nullptr;
   DataPlaneConfig config_;
   Constellation constellation_;
   SectorCodec sector_codec_;

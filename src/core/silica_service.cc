@@ -7,12 +7,17 @@ namespace silica {
 
 SilicaService::SilicaService(ServiceConfig config)
     : config_(config),
+      pool_(config.threads > 1
+                ? std::make_unique<ThreadPool>(static_cast<size_t>(config.threads))
+                : nullptr),
       plane_(config.data_plane),
       writer_(plane_),
       reader_(plane_),
       verifier_(plane_),
       set_codec_(plane_, config.platter_set),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  plane_.SetThreadPool(pool_.get());
+}
 
 void SilicaService::Put(const std::string& name, uint64_t account,
                         std::vector<uint8_t> data) {

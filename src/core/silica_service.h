@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/data_pipeline.h"
 #include "core/layout.h"
 #include "core/metadata.h"
@@ -28,6 +29,10 @@ struct ServiceConfig {
   DataPlaneConfig data_plane;
   PlatterSetConfig platter_set{4, 2};  // small sets keep examples fast
   uint64_t seed = 1;
+  // Worker threads for per-sector encode/decode. 1 keeps the exact serial code
+  // path (byte-identical output to the unthreaded build); higher values fan
+  // sector work across an owned ThreadPool.
+  int threads = 1;
 };
 
 class SilicaService {
@@ -80,6 +85,7 @@ class SilicaService {
   std::optional<std::vector<uint8_t>> ReadViaRecovery(const FileVersion& version);
 
   ServiceConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  // owned; attached to plane_ when threads > 1
   DataPlane plane_;
   PlatterWriter writer_;
   PlatterReader reader_;

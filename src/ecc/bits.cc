@@ -45,6 +45,33 @@ std::vector<uint16_t> BitsToSymbols(std::span<const uint8_t> bits, int bits_per_
   return symbols;
 }
 
+std::vector<uint16_t> PackedBitsToSymbols(std::span<const uint64_t> words,
+                                          size_t num_bits, int bits_per_symbol) {
+  if (bits_per_symbol < 1 || bits_per_symbol > 16) {
+    throw std::invalid_argument("PackedBitsToSymbols: bits_per_symbol out of range");
+  }
+  if (num_bits % static_cast<size_t>(bits_per_symbol) != 0) {
+    throw std::invalid_argument("PackedBitsToSymbols: bit count not a symbol multiple");
+  }
+  if (words.size() * 64 < num_bits) {
+    throw std::invalid_argument("PackedBitsToSymbols: word stream too short");
+  }
+  const size_t bps = static_cast<size_t>(bits_per_symbol);
+  std::vector<uint16_t> symbols(num_bits / bps, 0);
+  const uint64_t mask = (1ull << bits_per_symbol) - 1;
+  for (size_t s = 0; s < symbols.size(); ++s) {
+    const size_t bit = s * bps;
+    const size_t word = bit / 64;
+    const size_t shift = bit % 64;
+    uint64_t chunk = words[word] >> shift;
+    if (shift + bps > 64 && word + 1 < words.size()) {
+      chunk |= words[word + 1] << (64 - shift);
+    }
+    symbols[s] = static_cast<uint16_t>(chunk & mask);
+  }
+  return symbols;
+}
+
 std::vector<uint8_t> SymbolsToBits(std::span<const uint16_t> symbols,
                                    int bits_per_symbol) {
   std::vector<uint8_t> bits;

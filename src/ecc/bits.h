@@ -25,6 +25,13 @@ std::vector<uint16_t> BitsToSymbols(std::span<const uint8_t> bits, int bits_per_
 // Inverse of BitsToSymbols.
 std::vector<uint8_t> SymbolsToBits(std::span<const uint16_t> symbols, int bits_per_symbol);
 
+// Groups the first `num_bits` bits of a packed 64-bit word stream (bit i at word
+// i/64, bit i%64 — the layout LdpcCode::EncodePacked emits) into symbols of
+// `bits_per_symbol` bits. Bit-identical to BitsToSymbols over the expanded
+// stream, without materializing a byte per bit.
+std::vector<uint16_t> PackedBitsToSymbols(std::span<const uint64_t> words,
+                                          size_t num_bits, int bits_per_symbol);
+
 }  // namespace silica
 
 #endif  // SILICA_ECC_BITS_H_

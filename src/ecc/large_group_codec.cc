@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "ecc/gf65536.h"
 
 namespace silica {
@@ -23,19 +24,19 @@ uint16_t LargeGroupCodec::Coefficient(size_t redundancy_row, size_t info_col) co
 
 void LargeGroupCodec::EncodeAccumulate(
     size_t info_index, std::span<const uint16_t> shard,
-    std::span<const std::span<uint16_t>> redundancy) const {
+    std::span<const std::span<uint16_t>> redundancy, ThreadPool* pool) const {
   if (info_index >= info_ || redundancy.size() != redundancy_) {
     throw std::invalid_argument("LargeGroupCodec::EncodeAccumulate: bad arguments");
   }
-  for (size_t r = 0; r < redundancy_; ++r) {
+  ParallelFor(pool, redundancy_, [&](size_t r) {
     Gf65536::MulAccumulate(redundancy[r], shard, Coefficient(r, info_index));
-  }
+  });
 }
 
 bool LargeGroupCodec::RecoverInfo(
     std::span<const std::span<uint16_t>> info, std::span<const size_t> missing_info,
     std::span<const size_t> redundancy_indices,
-    std::span<const std::span<const uint16_t>> redundancy) const {
+    std::span<const std::span<const uint16_t>> redundancy, ThreadPool* pool) const {
   const size_t m = missing_info.size();
   if (m == 0) {
     return true;
@@ -54,9 +55,11 @@ bool LargeGroupCodec::RecoverInfo(
     is_missing[idx] = 1;
   }
 
-  // Syndromes: s_r = red_r - sum over known info of coeff * shard.
+  // Syndromes: s_r = red_r - sum over known info of coeff * shard. Each syndrome
+  // row only reads shared state and writes its own buffer, so rows fan out; the
+  // O(m^3) Gauss-Jordan below stays serial (m is small and row ops are coupled).
   std::vector<std::vector<uint16_t>> syndromes(m, std::vector<uint16_t>(len, 0));
-  for (size_t e = 0; e < m; ++e) {
+  ParallelFor(pool, m, [&](size_t e) {
     const size_t r = redundancy_indices[e];
     std::copy(redundancy[e].begin(), redundancy[e].end(), syndromes[e].begin());
     for (size_t c = 0; c < info_; ++c) {
@@ -64,7 +67,7 @@ bool LargeGroupCodec::RecoverInfo(
         Gf65536::MulAccumulate(syndromes[e], info[c], Coefficient(r, c));
       }
     }
-  }
+  });
 
   // Solve the m x m system A * missing = syndromes via Gauss-Jordan over GF(2^16),
   // where A[e][j] = Coefficient(redundancy_indices[e], missing_info[j]).

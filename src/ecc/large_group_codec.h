@@ -17,6 +17,8 @@
 
 namespace silica {
 
+class ThreadPool;
+
 class LargeGroupCodec {
  public:
   LargeGroupCodec(size_t info, size_t redundancy);
@@ -26,8 +28,11 @@ class LargeGroupCodec {
 
   // redundancy[r] += coeff(r, info_index) * shard, for all r. Streaming encode:
   // call once per information shard over zero-initialized redundancy buffers.
+  // A non-null `pool` fans the independent redundancy rows across its workers;
+  // GF(2^16) arithmetic is exact, so the result is thread-count invariant.
   void EncodeAccumulate(size_t info_index, std::span<const uint16_t> shard,
-                        std::span<const std::span<uint16_t>> redundancy) const;
+                        std::span<const std::span<uint16_t>> redundancy,
+                        ThreadPool* pool = nullptr) const;
 
   // Recovers missing information shards.
   //
@@ -39,7 +44,8 @@ class LargeGroupCodec {
   bool RecoverInfo(std::span<const std::span<uint16_t>> info,
                    std::span<const size_t> missing_info,
                    std::span<const size_t> redundancy_indices,
-                   std::span<const std::span<const uint16_t>> redundancy) const;
+                   std::span<const std::span<const uint16_t>> redundancy,
+                   ThreadPool* pool = nullptr) const;
 
   uint16_t Coefficient(size_t redundancy_row, size_t info_col) const;
 

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_set>
 
 #include "common/rng.h"
@@ -48,9 +53,63 @@ uint64_t PairKey(uint32_t a, uint32_t b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+// Process-wide Build cache. Keyed by every Config field; the rate participates
+// through its raw bit pattern so distinct doubles never alias.
+struct BuildCache {
+  std::mutex mutex;
+  std::map<std::tuple<size_t, uint64_t, int, uint64_t>, LdpcCode> codes;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+BuildCache& GetCache() {
+  static BuildCache* cache = new BuildCache();  // leaked: process lifetime
+  return *cache;
+}
+
+std::tuple<size_t, uint64_t, int, uint64_t> CacheKey(const LdpcCode::Config& c) {
+  uint64_t rate_bits = 0;
+  static_assert(sizeof(rate_bits) == sizeof(c.rate));
+  std::memcpy(&rate_bits, &c.rate, sizeof(rate_bits));
+  return {c.block_bits, rate_bits, c.column_weight, c.seed};
+}
+
 }  // namespace
 
 LdpcCode LdpcCode::Build(const Config& config) {
+  BuildCache& cache = GetCache();
+  const auto key = CacheKey(config);
+  {
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.codes.find(key);
+    if (it != cache.codes.end()) {
+      ++cache.hits;
+      return it->second;
+    }
+  }
+  // Construct outside the lock (seconds for large blocks); concurrent builders of
+  // the same key race benignly — first insert wins, both results are identical.
+  LdpcCode code = BuildUncached(config);
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  ++cache.misses;
+  return cache.codes.emplace(key, std::move(code)).first->second;
+}
+
+LdpcCode::BuildCacheStats LdpcCode::GetBuildCacheStats() {
+  BuildCache& cache = GetCache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  return {cache.hits, cache.misses};
+}
+
+void LdpcCode::ClearBuildCache() {
+  BuildCache& cache = GetCache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.codes.clear();
+  cache.hits = 0;
+  cache.misses = 0;
+}
+
+LdpcCode LdpcCode::BuildUncached(const Config& config) {
   const size_t n = config.block_bits;
   const size_t m = n - static_cast<size_t>(std::llround(config.rate * static_cast<double>(n)));
   const int wc = config.column_weight;
@@ -61,8 +120,7 @@ LdpcCode LdpcCode::Build(const Config& config) {
   Rng rng(config.seed);
   LdpcCode code;
   code.n_ = n;
-  code.check_to_var_.assign(m, {});
-  code.var_to_check_.assign(n, {});
+  std::vector<std::vector<uint32_t>> check_to_var(m);
 
   // Greedy column-by-column construction: pick wc distinct checks of minimal degree,
   // rejecting picks that would close a 4-cycle (two columns sharing two checks) for a
@@ -116,9 +174,42 @@ LdpcCode LdpcCode::Build(const Config& config) {
       }
     }
     for (uint32_t check : picks) {
-      code.check_to_var_[check].push_back(static_cast<uint32_t>(col));
-      code.var_to_check_[col].push_back(check);
+      check_to_var[check].push_back(static_cast<uint32_t>(col));
       ++degree[check];
+    }
+  }
+
+  // Flatten the adjacency into CSR, check-major and variable-major. Edge order
+  // within a check matches the construction order (ascending column), which the
+  // decoder relies on for bit-identical message schedules.
+  size_t num_edges = 0;
+  for (const auto& vars : check_to_var) {
+    num_edges += vars.size();
+  }
+  code.check_offsets_.reserve(m + 1);
+  code.check_vars_.reserve(num_edges);
+  code.check_offsets_.push_back(0);
+  for (const auto& vars : check_to_var) {
+    code.check_vars_.insert(code.check_vars_.end(), vars.begin(), vars.end());
+    code.check_offsets_.push_back(static_cast<uint32_t>(code.check_vars_.size()));
+  }
+  code.var_offsets_.assign(n + 1, 0);
+  for (uint32_t var : code.check_vars_) {
+    ++code.var_offsets_[var + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    code.var_offsets_[v + 1] += code.var_offsets_[v];
+  }
+  code.var_checks_.resize(num_edges);
+  {
+    std::vector<uint32_t> cursor(code.var_offsets_.begin(),
+                                 code.var_offsets_.end() - 1);
+    for (size_t c = 0; c < m; ++c) {
+      for (uint32_t e = code.check_offsets_[c]; e < code.check_offsets_[c + 1];
+           ++e) {
+        code.var_checks_[cursor[code.check_vars_[e]]++] =
+            static_cast<uint32_t>(c);
+      }
     }
   }
 
@@ -126,8 +217,9 @@ LdpcCode LdpcCode::Build(const Config& config) {
   // positions) and free columns (information positions).
   Gf2Dense h(m, n);
   for (size_t check = 0; check < m; ++check) {
-    for (uint32_t var : code.check_to_var_[check]) {
-      h.Set(check, var);
+    for (uint32_t e = code.check_offsets_[check]; e < code.check_offsets_[check + 1];
+         ++e) {
+      h.Set(check, code.check_vars_[e]);
     }
   }
 
@@ -165,36 +257,58 @@ LdpcCode LdpcCode::Build(const Config& config) {
   // After full reduction, row r reads: x[pivot_r] + sum_{free j} h[r][j] * x[j] = 0,
   // so parity bit r is the XOR of the info bits whose reduced-row entry is 1.
   const size_t info_words = (code.k_ + 63) / 64;
-  code.parity_map_.assign(rank, std::vector<uint64_t>(info_words, 0));
+  code.parity_map_.assign(rank * info_words, 0);
   for (size_t r = 0; r < rank; ++r) {
     for (size_t j = 0; j < code.k_; ++j) {
       if (h.Get(r, code.info_positions_[j])) {
-        code.parity_map_[r][j / 64] |= 1ull << (j % 64);
+        code.parity_map_[r * info_words + j / 64] |= 1ull << (j % 64);
       }
     }
   }
   return code;
 }
 
-std::vector<uint8_t> LdpcCode::Encode(std::span<const uint8_t> info_bits) const {
-  if (info_bits.size() != k_) {
-    throw std::invalid_argument("LdpcCode::Encode: expected k info bits");
+std::vector<uint64_t> LdpcCode::EncodePacked(
+    std::span<const uint64_t> packed_info) const {
+  if (packed_info.size() != info_words()) {
+    throw std::invalid_argument("LdpcCode::EncodePacked: expected k packed bits");
   }
-  std::vector<uint8_t> codeword(n_, 0);
-  const size_t info_words = (k_ + 63) / 64;
-  std::vector<uint64_t> packed(info_words, 0);
+  const size_t words = info_words();
+  std::vector<uint64_t> codeword(codeword_words(), 0);
   for (size_t j = 0; j < k_; ++j) {
-    codeword[info_positions_[j]] = info_bits[j];
-    if (info_bits[j]) {
-      packed[j / 64] |= 1ull << (j % 64);
+    if ((packed_info[j / 64] >> (j % 64)) & 1) {
+      const uint32_t pos = info_positions_[j];
+      codeword[pos / 64] |= 1ull << (pos % 64);
     }
   }
   for (size_t r = 0; r < parity_positions_.size(); ++r) {
     uint64_t acc = 0;
-    for (size_t w = 0; w < info_words; ++w) {
-      acc ^= parity_map_[r][w] & packed[w];
+    const uint64_t* row = parity_map_.data() + r * words;
+    for (size_t w = 0; w < words; ++w) {
+      acc ^= row[w] & packed_info[w];
     }
-    codeword[parity_positions_[r]] = static_cast<uint8_t>(__builtin_popcountll(acc) & 1);
+    if (__builtin_popcountll(acc) & 1) {
+      const uint32_t pos = parity_positions_[r];
+      codeword[pos / 64] |= 1ull << (pos % 64);
+    }
+  }
+  return codeword;
+}
+
+std::vector<uint8_t> LdpcCode::Encode(std::span<const uint8_t> info_bits) const {
+  if (info_bits.size() != k_) {
+    throw std::invalid_argument("LdpcCode::Encode: expected k info bits");
+  }
+  std::vector<uint64_t> packed(info_words(), 0);
+  for (size_t j = 0; j < k_; ++j) {
+    if (info_bits[j]) {
+      packed[j / 64] |= 1ull << (j % 64);
+    }
+  }
+  const auto packed_codeword = EncodePacked(packed);
+  std::vector<uint8_t> codeword(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    codeword[i] = static_cast<uint8_t>((packed_codeword[i / 64] >> (i % 64)) & 1);
   }
   return codeword;
 }
@@ -211,12 +325,31 @@ std::vector<uint8_t> LdpcCode::ExtractInfo(std::span<const uint8_t> codeword) co
 }
 
 bool LdpcCode::CheckSyndrome(std::span<const uint8_t> bits) const {
-  for (const auto& vars : check_to_var_) {
+  const size_t m = num_checks();
+  for (size_t c = 0; c < m; ++c) {
     uint8_t parity = 0;
-    for (uint32_t v : vars) {
-      parity ^= bits[v];
+    for (uint32_t e = check_offsets_[c]; e < check_offsets_[c + 1]; ++e) {
+      parity ^= bits[check_vars_[e]];
     }
     if (parity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LdpcCode::CheckSyndromePacked(std::span<const uint64_t> words) const {
+  if (words.size() != codeword_words()) {
+    throw std::invalid_argument("LdpcCode::CheckSyndromePacked: expected n bits");
+  }
+  const size_t m = num_checks();
+  for (size_t c = 0; c < m; ++c) {
+    uint64_t parity = 0;
+    for (uint32_t e = check_offsets_[c]; e < check_offsets_[c + 1]; ++e) {
+      const uint32_t v = check_vars_[e];
+      parity ^= words[v / 64] >> (v % 64);
+    }
+    if (parity & 1) {
       return false;
     }
   }
@@ -230,42 +363,63 @@ LdpcCode::DecodeResult LdpcCode::Decode(std::span<const float> llr,
   }
   constexpr float kNormalization = 0.75f;  // standard normalized min-sum factor
 
+  const size_t m = num_checks();
   DecodeResult result;
   result.codeword.assign(n_, 0);
 
-  // Edge storage: messages live per (check, slot in check's adjacency list).
-  std::vector<std::vector<float>> check_msg(check_to_var_.size());
-  for (size_t c = 0; c < check_to_var_.size(); ++c) {
-    check_msg[c].assign(check_to_var_[c].size(), 0.0f);
-  }
-
+  // Contiguous per-edge message buffer (edge order = CSR order).
+  std::vector<float> msgs(check_vars_.size(), 0.0f);
   std::vector<float> posterior(llr.begin(), llr.end());
 
-  auto hard_decide = [&] {
-    for (size_t v = 0; v < n_; ++v) {
-      result.codeword[v] = posterior[v] < 0.0f ? 1 : 0;
+  // Incremental syndrome: hard decisions are maintained as posteriors are written,
+  // and every sign flip toggles the parity of the checks on that variable (via the
+  // variable-major CSR). `unsatisfied` therefore always equals the number of
+  // failing checks for the current hard decisions — the per-iteration convergence
+  // test is O(flips * column_weight) instead of a full O(edges) syndrome sweep.
+  std::vector<uint8_t> check_parity(m, 0);
+  size_t unsatisfied = 0;
+  for (size_t v = 0; v < n_; ++v) {
+    result.codeword[v] = posterior[v] < 0.0f ? 1 : 0;
+  }
+  for (size_t c = 0; c < m; ++c) {
+    uint8_t parity = 0;
+    for (uint32_t e = check_offsets_[c]; e < check_offsets_[c + 1]; ++e) {
+      parity ^= result.codeword[check_vars_[e]];
     }
-  };
-
-  hard_decide();
-  if (CheckSyndrome(result.codeword)) {
+    check_parity[c] = parity;
+    unsatisfied += parity;
+  }
+  if (unsatisfied == 0) {
     result.ok = true;
     return result;
   }
 
+  auto flip_bit = [&](uint32_t v, uint8_t bit) {
+    result.codeword[v] = bit;
+    for (uint32_t j = var_offsets_[v]; j < var_offsets_[v + 1]; ++j) {
+      const uint32_t c2 = var_checks_[j];
+      check_parity[c2] ^= 1;
+      if (check_parity[c2]) {
+        ++unsatisfied;
+      } else {
+        --unsatisfied;
+      }
+    }
+  };
+
   for (int iter = 1; iter <= max_iterations; ++iter) {
     // Check-node update (min-sum): for each check, compute extrinsic messages from
-    // the variable-to-check messages  (posterior - previous check message).
-    for (size_t c = 0; c < check_to_var_.size(); ++c) {
-      const auto& vars = check_to_var_[c];
-      auto& msgs = check_msg[c];
+    // the variable-to-check messages (posterior - previous check message).
+    for (size_t c = 0; c < m; ++c) {
+      const uint32_t begin = check_offsets_[c];
+      const uint32_t end = check_offsets_[c + 1];
       // First pass: min1, min2, sign product.
       float min1 = std::numeric_limits<float>::max();
       float min2 = std::numeric_limits<float>::max();
-      size_t min_index = 0;
+      uint32_t min_edge = begin;
       int sign_product = 1;
-      for (size_t e = 0; e < vars.size(); ++e) {
-        const float v2c = posterior[vars[e]] - msgs[e];
+      for (uint32_t e = begin; e < end; ++e) {
+        const float v2c = posterior[check_vars_[e]] - msgs[e];
         const float mag = std::fabs(v2c);
         if (v2c < 0.0f) {
           sign_product = -sign_product;
@@ -273,28 +427,34 @@ LdpcCode::DecodeResult LdpcCode::Decode(std::span<const float> llr,
         if (mag < min1) {
           min2 = min1;
           min1 = mag;
-          min_index = e;
+          min_edge = e;
         } else if (mag < min2) {
           min2 = mag;
         }
       }
-      // Second pass: write new messages and fold them into the posterior.
-      for (size_t e = 0; e < vars.size(); ++e) {
-        const float v2c = posterior[vars[e]] - msgs[e];
-        const float mag = (e == min_index) ? min2 : min1;
+      // Second pass: write new messages, fold them into the posterior, and track
+      // hard-decision flips for the incremental syndrome.
+      for (uint32_t e = begin; e < end; ++e) {
+        const uint32_t v = check_vars_[e];
+        const float v2c = posterior[v] - msgs[e];
+        const float mag = (e == min_edge) ? min2 : min1;
         int sign = sign_product;
         if (v2c < 0.0f) {
           sign = -sign;
         }
         const float new_msg = kNormalization * static_cast<float>(sign) * mag;
-        posterior[vars[e]] = v2c + new_msg;
+        const float updated = v2c + new_msg;
+        posterior[v] = updated;
         msgs[e] = new_msg;
+        const uint8_t bit = updated < 0.0f ? 1 : 0;
+        if (bit != result.codeword[v]) {
+          flip_bit(v, bit);
+        }
       }
     }
 
-    hard_decide();
     result.iterations = iter;
-    if (CheckSyndrome(result.codeword)) {
+    if (unsatisfied == 0) {
       result.ok = true;
       return result;
     }

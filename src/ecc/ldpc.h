@@ -5,6 +5,14 @@
 // Gaussian elimination over GF(2) to derive a systematic encoder. Decoding is
 // normalized min-sum belief propagation over per-bit LLRs, which consumes the soft
 // symbol posteriors produced by the decode stack (the paper's ML decoder).
+//
+// Hot-path layout: the sparse parity matrix H is stored as CSR (flat edge arrays
+// plus offsets) in both check-major and variable-major order, decode messages live
+// in one contiguous per-edge buffer, and convergence is detected by an incremental
+// syndrome maintained on hard-decision flips inside the check-node pass — no
+// separate syndrome sweep per iteration. The dense Gaussian elimination that
+// derives the systematic encoder runs once per distinct Config: Build() memoizes
+// constructed codes in a process-wide cache.
 #ifndef SILICA_ECC_LDPC_H_
 #define SILICA_ECC_LDPC_H_
 
@@ -24,15 +32,43 @@ class LdpcCode {
     uint64_t seed = 1;         // construction seed (same seed -> same code)
   };
 
+  // Builds (or fetches from the process-wide cache) the code for `config`. The
+  // O(m*n) dense elimination runs at most once per distinct Config; subsequent
+  // calls copy the cached tables.
   static LdpcCode Build(const Config& config);
+
+  struct BuildCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  static BuildCacheStats GetBuildCacheStats();
+  static void ClearBuildCache();  // test hook
 
   size_t n() const { return n_; }
   size_t k() const { return k_; }
-  size_t num_checks() const { return check_to_var_.size(); }
+  size_t num_checks() const {
+    return check_offsets_.empty() ? 0 : check_offsets_.size() - 1;
+  }
+  size_t num_edges() const { return check_vars_.size(); }
+
+  // Read-only views of the check-major CSR adjacency (edges of check c occupy
+  // [check_offsets()[c], check_offsets()[c+1]) in check_vars()). Exposed for
+  // tests and analysis tools; the decoder owns the layout.
+  std::span<const uint32_t> check_offsets() const { return check_offsets_; }
+  std::span<const uint32_t> check_vars() const { return check_vars_; }
   double rate() const { return static_cast<double>(k_) / static_cast<double>(n_); }
 
   // Encodes k information bits (0/1 entries) into an n-bit codeword.
   std::vector<uint8_t> Encode(std::span<const uint8_t> info_bits) const;
+
+  // Packed encode: k information bits in 64-bit words (LSB-first, bit j of the
+  // info stream at word j/64, bit j%64) -> packed n-bit codeword in the same
+  // layout. Bit-identical to Encode; this is the representation the sector codec
+  // feeds end-to-end so the hot loop never expands to a byte per bit.
+  std::vector<uint64_t> EncodePacked(std::span<const uint64_t> info_words) const;
+
+  size_t info_words() const { return (k_ + 63) / 64; }
+  size_t codeword_words() const { return (n_ + 63) / 64; }
 
   // Extracts the k information bits from a (decoded) codeword.
   std::vector<uint8_t> ExtractInfo(std::span<const uint8_t> codeword) const;
@@ -49,21 +85,31 @@ class LdpcCode {
   // True iff H * bits == 0.
   bool CheckSyndrome(std::span<const uint8_t> bits) const;
 
+  // Same over a packed codeword (bit i at word i/64, bit i%64).
+  bool CheckSyndromePacked(std::span<const uint64_t> words) const;
+
  private:
   LdpcCode() = default;
+
+  static LdpcCode BuildUncached(const Config& config);
 
   size_t n_ = 0;
   size_t k_ = 0;
 
-  // Sparse H adjacency.
-  std::vector<std::vector<uint32_t>> check_to_var_;
-  std::vector<std::vector<uint32_t>> var_to_check_;
+  // Sparse H in CSR form, check-major and variable-major. check_vars_[e] is the
+  // variable of edge e; edges of check c occupy [check_offsets_[c],
+  // check_offsets_[c+1]). var_checks_ mirrors that for columns.
+  std::vector<uint32_t> check_offsets_;  // num_checks + 1
+  std::vector<uint32_t> check_vars_;     // one entry per edge
+  std::vector<uint32_t> var_offsets_;    // n + 1
+  std::vector<uint32_t> var_checks_;     // one entry per edge
 
   // Systematic encoding: codeword positions of info bits and parity bits, plus the
-  // dense parity map P (m x k, bit-packed rows): parity = P * info.
+  // dense parity map P (m x k, bit-packed rows, row stride info_words()):
+  // parity = P * info.
   std::vector<uint32_t> info_positions_;
   std::vector<uint32_t> parity_positions_;
-  std::vector<std::vector<uint64_t>> parity_map_;  // one bit-packed row per parity bit
+  std::vector<uint64_t> parity_map_;
 };
 
 }  // namespace silica

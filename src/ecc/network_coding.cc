@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace silica {
 
 NetworkCodec::NetworkCodec(size_t info, size_t redundancy)
@@ -20,27 +22,31 @@ NetworkCodec::NetworkCodec(size_t info, size_t redundancy)
 }
 
 void NetworkCodec::Encode(std::span<const std::span<const uint8_t>> information,
-                          std::span<const std::span<uint8_t>> redundancy_out) const {
+                          std::span<const std::span<uint8_t>> redundancy_out,
+                          ThreadPool* pool) const {
   if (information.size() != info_ || redundancy_out.size() != redundancy_) {
     throw std::invalid_argument("NetworkCodec::Encode: wrong shard counts");
   }
-  for (const auto& r : redundancy_out) {
-    std::fill(r.begin(), r.end(), uint8_t{0});
-  }
-  for (size_t i = 0; i < info_; ++i) {
-    EncodeAccumulate(i, information[i], redundancy_out);
-  }
+  // Each redundancy row is an independent GF(256) combination of the information
+  // shards, so rows fan out across the pool; the per-row accumulation order stays
+  // ascending, matching the serial EncodeAccumulate loop exactly.
+  ParallelFor(pool, redundancy_, [&](size_t r) {
+    std::fill(redundancy_out[r].begin(), redundancy_out[r].end(), uint8_t{0});
+    for (size_t i = 0; i < info_; ++i) {
+      Gf256::MulAccumulate(redundancy_out[r], information[i], coeff_.At(r, i));
+    }
+  });
 }
 
 void NetworkCodec::EncodeAccumulate(
     size_t info_index, std::span<const uint8_t> information,
-    std::span<const std::span<uint8_t>> redundancy) const {
+    std::span<const std::span<uint8_t>> redundancy, ThreadPool* pool) const {
   if (info_index >= info_ || redundancy.size() != redundancy_) {
     throw std::invalid_argument("NetworkCodec::EncodeAccumulate: bad arguments");
   }
-  for (size_t r = 0; r < redundancy_; ++r) {
+  ParallelFor(pool, redundancy_, [&](size_t r) {
     Gf256::MulAccumulate(redundancy[r], information, coeff_.At(r, info_index));
-  }
+  });
 }
 
 void NetworkCodec::GeneratorRow(size_t group_index, std::span<uint8_t> row_out) const {
@@ -59,7 +65,7 @@ bool NetworkCodec::Reconstruct(
     std::span<const size_t> present_indices,
     std::span<const std::span<const uint8_t>> present,
     std::span<const size_t> missing_indices,
-    std::span<const std::span<uint8_t>> recovered_out) const {
+    std::span<const std::span<uint8_t>> recovered_out, ThreadPool* pool) const {
   if (present.size() != present_indices.size() ||
       recovered_out.size() != missing_indices.size()) {
     throw std::invalid_argument("NetworkCodec::Reconstruct: mismatched spans");
@@ -78,24 +84,24 @@ bool NetworkCodec::Reconstruct(
   }
   const size_t shard_len = present.empty() ? 0 : present[0].size();
 
-  // info[j] = sum_r inv[j][r] * present[r]
+  // info[j] = sum_r inv[j][r] * present[r]; each j writes only its own shard.
   std::vector<std::vector<uint8_t>> info_shards(info_,
                                                 std::vector<uint8_t>(shard_len, 0));
-  for (size_t j = 0; j < info_; ++j) {
+  ParallelFor(pool, info_, [&](size_t j) {
     for (size_t r = 0; r < info_; ++r) {
       Gf256::MulAccumulate(info_shards[j], present[r], sel.At(j, r));
     }
-  }
+  });
 
-  std::vector<uint8_t> row(info_);
-  for (size_t m = 0; m < missing_indices.size(); ++m) {
+  ParallelFor(pool, missing_indices.size(), [&](size_t m) {
     auto out = recovered_out[m];
     std::fill(out.begin(), out.end(), uint8_t{0});
+    std::vector<uint8_t> row(info_);
     GeneratorRow(missing_indices[m], row);
     for (size_t c = 0; c < info_; ++c) {
       Gf256::MulAccumulate(out, info_shards[c], row[c]);
     }
-  }
+  });
   return true;
 }
 

@@ -21,6 +21,8 @@
 
 namespace silica {
 
+class ThreadPool;
+
 class NetworkCodec {
  public:
   // Creates a codec for groups of `info` + `redundancy` shards. info + redundancy
@@ -33,15 +35,19 @@ class NetworkCodec {
 
   // Computes all R redundancy shards from the I information shards. Every span in
   // both vectors must have the same length. Redundancy buffers are overwritten.
+  // A non-null `pool` fans the independent redundancy rows across its workers;
+  // GF(256) arithmetic is exact, so the output is identical for any thread count.
   void Encode(std::span<const std::span<const uint8_t>> information,
-              std::span<const std::span<uint8_t>> redundancy_out) const;
+              std::span<const std::span<uint8_t>> redundancy_out,
+              ThreadPool* pool = nullptr) const;
 
   // Incremental encode: folds information shard `info_index` into all redundancy
   // buffers. Calling this once per information shard (over zeroed redundancy
   // buffers) is equivalent to Encode; it lets the write pipeline stream sectors
   // through without holding a whole group in memory twice.
   void EncodeAccumulate(size_t info_index, std::span<const uint8_t> information,
-                        std::span<const std::span<uint8_t>> redundancy) const;
+                        std::span<const std::span<uint8_t>> redundancy,
+                        ThreadPool* pool = nullptr) const;
 
   // Reconstructs the missing shards of a group.
   //
@@ -54,7 +60,8 @@ class NetworkCodec {
   bool Reconstruct(std::span<const size_t> present_indices,
                    std::span<const std::span<const uint8_t>> present,
                    std::span<const size_t> missing_indices,
-                   std::span<const std::span<uint8_t>> recovered_out) const;
+                   std::span<const std::span<uint8_t>> recovered_out,
+                   ThreadPool* pool = nullptr) const;
 
   // Probability that a group is unrecoverable when each shard independently fails
   // with probability p: P[#failures > R] under Binomial(I+R, p). Used for the

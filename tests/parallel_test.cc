@@ -1,0 +1,474 @@
+// Data-plane parallelism: ParallelFor semantics, ThreadPool lifecycle, the CSR
+// LDPC decoder's bit-identity against the original vector-of-vectors min-sum
+// implementation, the Build cache, and thread-count invariance of the pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/data_pipeline.h"
+#include "ecc/bits.h"
+#include "ecc/ldpc.h"
+#include "telemetry/telemetry.h"
+
+namespace silica {
+namespace {
+
+// ---------- ParallelFor ----------
+
+std::vector<uint64_t> RunParallelSquares(ThreadPool* pool, size_t n) {
+  std::vector<uint64_t> results(n, 0);
+  ParallelFor(pool, n, [&](size_t i) { results[i] = i * i + 1; });
+  return results;
+}
+
+TEST(ParallelFor, IdenticalResultsAcrossThreadCounts) {
+  const size_t n = 1000;
+  const auto serial = RunParallelSquares(nullptr, n);
+  for (size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(RunParallelSquares(&pool, n), serial) << workers << " workers";
+  }
+}
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 777;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(&pool, n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  const size_t n = 100;
+  std::vector<uint8_t> ran(n, 0);
+  EXPECT_THROW(ParallelFor(&pool, n,
+                           [&](size_t i) {
+                             if (i == 37) {
+                               throw std::runtime_error("injected");
+                             }
+                             ran[i] = 1;
+                           }),
+               std::runtime_error);
+  // Every chunk other than the throwing one runs to completion; within the
+  // throwing chunk, indices after the throw are skipped. So the gap is confined
+  // to one chunk's worth of indices starting at the throw site.
+  const size_t chunk = (n + pool.size() * 4 - 1) / (pool.size() * 4);
+  size_t skipped = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!ran[i]) {
+      ++skipped;
+      EXPECT_GE(i, 37u) << "index before the throw site did not run";
+      EXPECT_LT(i, 37 + chunk) << "index outside the throwing chunk did not run";
+    }
+  }
+  EXPECT_GE(skipped, 1u);  // at least the throwing index itself
+  EXPECT_LE(skipped, chunk);
+}
+
+TEST(ParallelFor, ExceptionResultsMatchSerialBehavior) {
+  // The same injected exception must surface no matter the worker count.
+  for (size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    EXPECT_THROW(
+        ParallelFor(&pool, 64,
+                    [](size_t i) {
+                      if (i % 17 == 3) {
+                        throw std::invalid_argument("boom");
+                      }
+                    }),
+        std::invalid_argument)
+        << workers << " workers";
+  }
+}
+
+TEST(ParallelFor, NestedCallFromWorkerDegradesInline) {
+  ThreadPool pool(2);
+  std::vector<uint64_t> outer(8, 0);
+  ParallelFor(&pool, outer.size(), [&](size_t i) {
+    // A nested fan-out on a saturated pool would deadlock if it queued; it must
+    // run inline on the worker instead.
+    std::vector<uint64_t> inner(16, 0);
+    ParallelFor(&pool, inner.size(), [&](size_t j) { inner[j] = j; });
+    outer[i] = std::accumulate(inner.begin(), inner.end(), uint64_t{0});
+  });
+  for (uint64_t v : outer) {
+    EXPECT_EQ(v, 120u);
+  }
+}
+
+// ---------- ThreadPool lifecycle ----------
+
+TEST(ThreadPoolLifecycle, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Submit([] {}).get();
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolLifecycle, WorkerExceptionReachesCaller) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::logic_error("from worker"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+  // The pool survives a throwing job.
+  auto ok = pool.Submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPoolLifecycle, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  std::atomic<bool> on_worker{false};
+  pool.Submit([&] { on_worker = pool.OnWorkerThread(); }).get();
+  EXPECT_TRUE(on_worker.load());
+}
+
+// ---------- LDPC: CSR decoder vs the original implementation ----------
+
+// The pre-CSR decoder, verbatim: vector-of-vectors adjacency, per-check message
+// buffers, and a full syndrome sweep per iteration. Used as the bit-exactness
+// oracle for the flattened implementation.
+struct ReferenceDecodeResult {
+  bool ok = false;
+  int iterations = 0;
+  std::vector<uint8_t> codeword;
+};
+
+ReferenceDecodeResult ReferenceDecode(
+    const std::vector<std::vector<uint32_t>>& check_to_var, size_t n,
+    std::span<const float> llr, int max_iterations) {
+  constexpr float kNormalization = 0.75f;
+  ReferenceDecodeResult result;
+  result.codeword.assign(n, 0);
+
+  std::vector<std::vector<float>> check_msg(check_to_var.size());
+  for (size_t c = 0; c < check_to_var.size(); ++c) {
+    check_msg[c].assign(check_to_var[c].size(), 0.0f);
+  }
+  std::vector<float> posterior(llr.begin(), llr.end());
+
+  auto hard_decide = [&] {
+    for (size_t v = 0; v < n; ++v) {
+      result.codeword[v] = posterior[v] < 0.0f ? 1 : 0;
+    }
+  };
+  auto syndrome_ok = [&] {
+    for (const auto& vars : check_to_var) {
+      uint8_t parity = 0;
+      for (uint32_t v : vars) {
+        parity ^= result.codeword[v];
+      }
+      if (parity) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  hard_decide();
+  if (syndrome_ok()) {
+    result.ok = true;
+    return result;
+  }
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    for (size_t c = 0; c < check_to_var.size(); ++c) {
+      const auto& vars = check_to_var[c];
+      auto& msgs = check_msg[c];
+      float min1 = std::numeric_limits<float>::max();
+      float min2 = std::numeric_limits<float>::max();
+      size_t min_index = 0;
+      int sign_product = 1;
+      for (size_t e = 0; e < vars.size(); ++e) {
+        const float v2c = posterior[vars[e]] - msgs[e];
+        const float mag = std::fabs(v2c);
+        if (v2c < 0.0f) {
+          sign_product = -sign_product;
+        }
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          min_index = e;
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      for (size_t e = 0; e < vars.size(); ++e) {
+        const float v2c = posterior[vars[e]] - msgs[e];
+        const float mag = (e == min_index) ? min2 : min1;
+        int sign = sign_product;
+        if (v2c < 0.0f) {
+          sign = -sign;
+        }
+        const float new_msg = kNormalization * static_cast<float>(sign) * mag;
+        posterior[vars[e]] = v2c + new_msg;
+        msgs[e] = new_msg;
+      }
+    }
+    hard_decide();
+    result.iterations = iter;
+    if (syndrome_ok()) {
+      result.ok = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<uint32_t>> AdjacencyFromCsr(const LdpcCode& code) {
+  const auto offsets = code.check_offsets();
+  const auto vars = code.check_vars();
+  std::vector<std::vector<uint32_t>> check_to_var(code.num_checks());
+  for (size_t c = 0; c < check_to_var.size(); ++c) {
+    check_to_var[c].assign(vars.begin() + offsets[c], vars.begin() + offsets[c + 1]);
+  }
+  return check_to_var;
+}
+
+TEST(LdpcCsr, DecodeBitIdenticalToReferenceOn50Draws) {
+  const auto code = LdpcCode::Build({.block_bits = 512, .rate = 0.75,
+                                     .column_weight = 3, .seed = 5});
+  const auto check_to_var = AdjacencyFromCsr(code);
+
+  Rng rng(1234);
+  for (int draw = 0; draw < 50; ++draw) {
+    // A random codeword carried over a noisy BPSK-ish channel: LLR magnitude ~2
+    // with unit-ish noise leaves some draws needing several iterations and some
+    // failing outright — both paths must match exactly.
+    std::vector<uint8_t> info(code.k());
+    for (auto& b : info) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 1));
+    }
+    const auto codeword = code.Encode(info);
+    std::vector<float> llr(code.n());
+    const double sigma = 0.7 + 0.02 * draw;  // sweep into the failure region
+    for (size_t i = 0; i < llr.size(); ++i) {
+      const double clean = codeword[i] ? -2.0 : 2.0;
+      llr[i] = static_cast<float>(clean + rng.Normal(0.0, sigma));
+    }
+
+    const auto fast = code.Decode(llr, 50);
+    const auto ref = ReferenceDecode(check_to_var, code.n(), llr, 50);
+    ASSERT_EQ(fast.ok, ref.ok) << "draw " << draw;
+    ASSERT_EQ(fast.iterations, ref.iterations) << "draw " << draw;
+    ASSERT_EQ(fast.codeword, ref.codeword) << "draw " << draw;
+  }
+}
+
+TEST(LdpcCsr, PackedEncodeMatchesByteEncode) {
+  const auto code = LdpcCode::Build({.block_bits = 512, .rate = 0.75,
+                                     .column_weight = 3, .seed = 5});
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<uint8_t> info(code.k());
+    std::vector<uint64_t> packed(code.info_words(), 0);
+    for (size_t j = 0; j < info.size(); ++j) {
+      info[j] = static_cast<uint8_t>(rng.UniformInt(0, 1));
+      if (info[j]) {
+        packed[j / 64] |= 1ull << (j % 64);
+      }
+    }
+    const auto codeword = code.Encode(info);
+    const auto packed_codeword = code.EncodePacked(packed);
+    ASSERT_EQ(packed_codeword.size(), code.codeword_words());
+    for (size_t i = 0; i < code.n(); ++i) {
+      ASSERT_EQ((packed_codeword[i / 64] >> (i % 64)) & 1, uint64_t{codeword[i]})
+          << "bit " << i;
+    }
+    EXPECT_TRUE(code.CheckSyndrome(codeword));
+    EXPECT_TRUE(code.CheckSyndromePacked(packed_codeword));
+
+    // Flip one bit: both syndrome views must reject.
+    auto corrupted = packed_codeword;
+    corrupted[0] ^= 1ull;
+    EXPECT_FALSE(code.CheckSyndromePacked(corrupted));
+  }
+}
+
+TEST(LdpcCsr, PackedBitsToSymbolsMatchesByteExpansion) {
+  Rng rng(31);
+  for (int bits_per_symbol : {1, 2, 3, 4, 8, 16}) {
+    const size_t num_bits = 960;  // divisible by all tested symbol widths
+    std::vector<uint64_t> words((num_bits + 63) / 64);
+    for (auto& w : words) {
+      w = rng.NextU64();
+    }
+    std::vector<uint8_t> bits(num_bits);
+    for (size_t i = 0; i < num_bits; ++i) {
+      bits[i] = static_cast<uint8_t>((words[i / 64] >> (i % 64)) & 1);
+    }
+    EXPECT_EQ(PackedBitsToSymbols(words, num_bits, bits_per_symbol),
+              BitsToSymbols(bits, bits_per_symbol))
+        << bits_per_symbol << " bits/symbol";
+  }
+}
+
+TEST(LdpcBuildCache, HitReturnsSameMatrix) {
+  LdpcCode::ClearBuildCache();
+  const LdpcCode::Config config{.block_bits = 256, .rate = 0.75,
+                                .column_weight = 3, .seed = 9};
+  const auto first = LdpcCode::Build(config);
+  auto stats = LdpcCode::GetBuildCacheStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  const auto second = LdpcCode::Build(config);
+  stats = LdpcCode::GetBuildCacheStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // The cached copy is the same code: same shape, same adjacency, same encoder.
+  ASSERT_EQ(second.n(), first.n());
+  ASSERT_EQ(second.k(), first.k());
+  EXPECT_TRUE(std::equal(first.check_offsets().begin(), first.check_offsets().end(),
+                         second.check_offsets().begin(),
+                         second.check_offsets().end()));
+  EXPECT_TRUE(std::equal(first.check_vars().begin(), first.check_vars().end(),
+                         second.check_vars().begin(), second.check_vars().end()));
+  std::vector<uint8_t> info(first.k());
+  for (size_t j = 0; j < info.size(); ++j) {
+    info[j] = static_cast<uint8_t>(j % 2);
+  }
+  EXPECT_EQ(first.Encode(info), second.Encode(info));
+
+  // A different seed is a different cache entry.
+  auto other = config;
+  other.seed = 10;
+  (void)LdpcCode::Build(other);
+  stats = LdpcCode::GetBuildCacheStats();
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+// ---------- DataPlane: thread-count invariance ----------
+
+std::vector<FileData> PipelineFiles(Rng& rng) {
+  std::vector<FileData> files;
+  FileData f;
+  f.file_id = 1;
+  f.name = "invariance";
+  f.bytes.resize(20000);
+  for (auto& b : f.bytes) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  files.push_back(std::move(f));
+  return files;
+}
+
+TEST(DataPlaneParallel, WriteAndReadIdenticalForAnyWorkerCountAboveOne) {
+  // The parallel path forks a child RNG per sector, so every pool size > 1 must
+  // produce the same platter and the same decoded payloads.
+  DataPlane plane{DataPlaneConfig{}};
+  const MediaGeometry& g = plane.geometry();
+
+  auto write_with_pool = [&](size_t workers) {
+    ThreadPool pool(workers);
+    plane.SetThreadPool(&pool);
+    Rng rng(4242);
+    PlatterWriter writer(plane);
+    Rng file_rng(1);
+    auto written = writer.WritePlatter(1, PipelineFiles(file_rng), rng);
+    plane.SetThreadPool(nullptr);
+    return written;
+  };
+
+  const auto two = write_with_pool(2);
+  const auto four = write_with_pool(4);
+  for (int t = 0; t < g.tracks_per_platter(); ++t) {
+    for (int s = 0; s < g.sectors_per_track(); ++s) {
+      const auto a = two.platter.SectorSymbols({t, s});
+      const auto b = four.platter.SectorSymbols({t, s});
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "track " << t << " sector " << s;
+    }
+  }
+
+  auto read_with_pool = [&](size_t workers) {
+    ThreadPool pool(workers);
+    plane.SetThreadPool(&pool);
+    PlatterReader reader(plane);
+    Rng rng(77);
+    auto decoded = reader.ReadTrackPayloads(two.platter, 0, rng, nullptr);
+    plane.SetThreadPool(nullptr);
+    return decoded;
+  };
+  const auto decoded_two = read_with_pool(2);
+  const auto decoded_four = read_with_pool(4);
+  ASSERT_EQ(decoded_two.size(), decoded_four.size());
+  for (size_t s = 0; s < decoded_two.size(); ++s) {
+    ASSERT_EQ(decoded_two[s].has_value(), decoded_four[s].has_value()) << s;
+    if (decoded_two[s]) {
+      EXPECT_EQ(*decoded_two[s], *decoded_four[s]) << s;
+    }
+  }
+  // Payloads decode correctly regardless of the fan-out.
+  for (size_t s = 0; s < static_cast<size_t>(g.info_sectors_per_track); ++s) {
+    ASSERT_TRUE(decoded_two[s].has_value()) << s;
+    EXPECT_EQ(*decoded_two[s], two.payloads[0][s]) << s;
+  }
+}
+
+TEST(DataPlaneParallel, DecodeGaugesSurfaceInMetricsSnapshot) {
+  // The read path times its decode loop and publishes throughput gauges into
+  // the attached metrics registry — the same registry --metrics-out snapshots.
+  DataPlane plane{DataPlaneConfig{}};
+  Telemetry telemetry;
+  plane.SetTelemetry(&telemetry);
+
+  Rng rng(4242);
+  PlatterWriter writer(plane);
+  Rng file_rng(1);
+  auto written = writer.WritePlatter(1, PipelineFiles(file_rng), rng);
+
+  PlatterReader reader(plane);
+  Rng read_rng(77);
+  (void)reader.ReadTrackPayloads(written.platter, 0, read_rng, nullptr);
+
+  EXPECT_GT(telemetry.metrics.GetGauge("decode_wall_seconds").value(), 0.0);
+  EXPECT_GT(telemetry.metrics.GetGauge("decode_sectors_per_second").value(), 0.0);
+  const std::string prom = telemetry.metrics.ToPrometheusText();
+  EXPECT_NE(prom.find("decode_wall_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("decode_sectors_per_second"), std::string::npos);
+}
+
+TEST(DataPlaneParallel, SerialPathMatchesDetachedPool) {
+  // pool == nullptr and a 1-worker pool must both take the legacy serial path.
+  DataPlane plane{DataPlaneConfig{}};
+
+  auto write_serialish = [&](bool with_singleton_pool) {
+    ThreadPool pool(1);
+    plane.SetThreadPool(with_singleton_pool ? &pool : nullptr);
+    Rng rng(4242);
+    PlatterWriter writer(plane);
+    Rng file_rng(1);
+    auto written = writer.WritePlatter(1, PipelineFiles(file_rng), rng);
+    plane.SetThreadPool(nullptr);
+    return written;
+  };
+  const auto detached = write_serialish(false);
+  const auto singleton = write_serialish(true);
+  const MediaGeometry& g = plane.geometry();
+  for (int t = 0; t < g.tracks_per_platter(); ++t) {
+    for (int s = 0; s < g.sectors_per_track(); ++s) {
+      const auto a = detached.platter.SectorSymbols({t, s});
+      const auto b = singleton.platter.SectorSymbols({t, s});
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "track " << t << " sector " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace silica

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Repo health check: tier-1 verify (full build + ctest) plus an ASan/UBSan pass
-# over the event engine, telemetry, and fault-injection tests.
+# Repo health check: tier-1 verify (full build + ctest) plus sanitizer passes.
 #
-#   tools/check.sh            # tier-1 + sanitizer pass
+#   tools/check.sh            # tier-1 + ASan/UBSan pass
 #   tools/check.sh --fast     # tier-1 only
+#   tools/check.sh --tsan     # tier-1 + TSan over the threaded data-plane tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +16,17 @@ ctest --preset default -j "$jobs"
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== OK (fast mode, sanitizers skipped) =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  echo "== sanitizers: TSan over thread-pool + dataplane + fault tests =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs" --target silica_tests
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/silica_tests \
+    --gtest_filter='ThreadPool*:ParallelFor.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:FaultInjector.*:FaultedLibrary.*'
+  echo "== OK =="
   exit 0
 fi
 

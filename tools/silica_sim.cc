@@ -6,7 +6,7 @@
 //              [--fault-shuttle-mtbf=S --fault-shuttle-mttr=S]
 //              [--fault-drive-mtbf=S --fault-drive-mttr=S]
 //              [--fault-rack-mtbf=S --fault-rack-mttr=S] [--fault-until=S]
-//              [--metrics-out=m.json|m.prom] [--trace-out=t.json]
+//              [--threads=1] [--metrics-out=m.json|m.prom] [--trace-out=t.json]
 //              [--trace-categories=shuttle,drive,scheduler,pipeline] [--json]
 //
 // Prints a one-screen report: completion percentiles, drive split, shuttle stats.
@@ -36,20 +36,21 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 void PrintJsonReport(const silica::LibrarySimResult& r,
                      const silica::LibrarySimConfig& config,
                      const std::string& profile, const std::string& policy,
-                     uint64_t window_bytes, double slo_s) {
+                     uint64_t window_bytes, double slo_s, int threads) {
   const auto& ct = r.completion_times;
   std::printf("{\n");
   std::printf(
       "  \"config\": {\"profile\": \"%s\", \"policy\": \"%s\", \"shuttles\": %d, "
       "\"mbps\": %g, \"platters\": %llu, \"seed\": %llu, \"unavailable\": %g, "
-      "\"work_stealing\": %s, \"grouping\": %s, \"fast_switching\": %s},\n",
+      "\"work_stealing\": %s, \"grouping\": %s, \"fast_switching\": %s, "
+      "\"threads\": %d},\n",
       profile.c_str(), policy.c_str(), config.library.num_shuttles,
       config.library.drive_throughput_mbps,
       static_cast<unsigned long long>(config.num_info_platters),
       static_cast<unsigned long long>(config.seed), config.unavailable_fraction,
       config.library.work_stealing ? "true" : "false",
       config.library.group_platter_requests ? "true" : "false",
-      config.library.fast_switching ? "true" : "false");
+      config.library.fast_switching ? "true" : "false", threads);
   std::printf(
       "  \"requests\": {\"total\": %llu, \"completed\": %llu, "
       "\"recovery_reads\": %llu, \"window_bytes\": %llu},\n",
@@ -124,6 +125,10 @@ int main(int argc, char** argv) {
         "  [--fault-drive-mtbf=S --fault-drive-mttr=S    read-drive outages]\n"
         "  [--fault-rack-mtbf=S  --fault-rack-mttr=S     rack (blast-zone) outages]\n"
         "  [--fault-until=S           inject no new failures after time S]\n"
+        "  [--threads=N               worker threads for data-plane coding work;\n"
+        "                              the sim-time event loop itself stays\n"
+        "                              single-threaded, so results are identical\n"
+        "                              for every N (default 1)]\n"
         "  [--json                     machine-readable run report on stdout]\n"
         "  [--metrics-out=FILE         metrics snapshot (.json -> JSON, else\n"
         "                              Prometheus text)]\n"
@@ -135,6 +140,15 @@ int main(int argc, char** argv) {
 
   const std::string name = flags.Get("profile", "iops");
   const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  // The library twin is a sim-time DES whose event loop must stay single-threaded
+  // (event order is the determinism contract). --threads is validated and recorded
+  // in the run report so scripted sweeps carry one knob across the sim and the
+  // data-plane benches; the timing-only twin performs no per-sector coding itself.
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  if (threads < 1) {
+    std::fprintf(stderr, "error: --threads must be >= 1\n");
+    return 1;
+  }
   TraceProfile profile = name == "iops"     ? TraceProfile::Iops(seed)
                          : name == "volume" ? TraceProfile::Volume(seed)
                                             : TraceProfile::Typical(seed);
@@ -232,7 +246,8 @@ int main(int argc, char** argv) {
 
   const double slo = 15.0 * 3600.0;
   if (flags.Has("json")) {
-    PrintJsonReport(r, config, profile.name, policy, trace.window_bytes, slo);
+    PrintJsonReport(r, config, profile.name, policy, trace.window_bytes, slo,
+                    threads);
     return 0;
   }
 
