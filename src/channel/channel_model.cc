@@ -46,6 +46,15 @@ AnalogSector WriteChannel::WriteSector(std::span<const uint16_t> symbols, int ro
   return sector;
 }
 
+ReadChannelParams ReadChannelParams::Aged(double stress) const {
+  ReadChannelParams aged = *this;
+  const double widen = 1.0 + std::max(0.0, stress);
+  aged.retardance_sigma *= widen;
+  aged.azimuth_sigma *= widen;
+  aged.layer_crosstalk *= widen;
+  return aged;
+}
+
 std::vector<VoxelObservable> ReadChannel::ReadSector(const AnalogSector& sector,
                                                      Rng& rng) const {
   std::vector<VoxelObservable> measured(sector.voxels.size());

@@ -32,6 +32,13 @@ struct ReadChannelParams {
   double azimuth_sigma = 0.075;     // radians of azimuth noise
   double isi_coupling = 0.06;       // pull toward the XY-neighbour mean retardance
   double layer_crosstalk = 0.02;    // additive scattered light from adjacent layers
+
+  // Media aging widens the measurement: nanograting contrast decays, so sensor
+  // noise and crosstalk grow with the platter's accumulated age stress. The
+  // decoder keeps its pristine priors — it does not know the glass has aged —
+  // which is exactly what makes old sectors fail LDPC and climb the repair
+  // ladder.
+  ReadChannelParams Aged(double stress) const;
 };
 
 // The "written" analog state of a sector: one observable per voxel, with missing

@@ -1,6 +1,7 @@
 #include "core/data_pipeline.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
@@ -75,6 +76,10 @@ void DataPlane::SetTelemetry(Telemetry* telemetry) {
       &metrics.GetCounter("decode_track_nc_recoveries_total");
   stage_counters_.large_nc_recoveries =
       &metrics.GetCounter("decode_large_nc_recoveries_total");
+  stage_counters_.platter_set_recoveries =
+      &metrics.GetCounter("decode_platter_set_recoveries_total");
+  stage_counters_.recovery_reads =
+      &metrics.GetCounter("decode_recovery_reads_total");
   stage_counters_.platters_verified =
       &metrics.GetCounter("decode_platters_verified_total");
   stage_counters_.decode_wall_seconds = &metrics.GetGauge("decode_wall_seconds");
@@ -227,7 +232,13 @@ std::optional<std::vector<uint8_t>> PlatterReader::DecodeSector(
   const auto symbols = platter.SectorSymbols(address);
   const auto analog =
       BuildAnalog(plane_->constellation(), symbols, g.sector_rows, g.sector_cols);
-  const auto measured = plane_->read_channel().ReadSector(analog, rng);
+  // Aged glass measures noisier than the decoder's pristine priors assume; the
+  // pristine path is untouched (bit-identical) when the platter never aged.
+  const auto measured =
+      platter.age_stress() > 0.0
+          ? ReadChannel(plane_->read_channel().params().Aged(platter.age_stress()))
+                .ReadSector(analog, rng)
+          : plane_->read_channel().ReadSector(analog, rng);
   const auto posteriors = plane_->soft_decoder().Decode(measured);
   return plane_->sector_codec().DecodeSector(posteriors, plane_->soft_decoder());
 }
@@ -349,6 +360,12 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
         }
         auto shard = DecodeSector(platter, {static_cast<int>(t),
                                             static_cast<int>(pos)}, rng);
+        if (stats != nullptr) {
+          ++stats->recovery_reads;
+        }
+        if (counters.recovery_reads != nullptr) {
+          counters.recovery_reads->Increment();
+        }
         if (shard) {
           present_indices.push_back(i);
           present_storage.push_back(std::move(*shard));
@@ -358,6 +375,12 @@ std::vector<std::optional<std::vector<uint8_t>>> PlatterReader::ReadTrackPayload
         const size_t t = info_tracks + grp * group_red + r;
         auto shard = DecodeSector(platter, {static_cast<int>(t),
                                             static_cast<int>(pos)}, rng);
+        if (stats != nullptr) {
+          ++stats->recovery_reads;
+        }
+        if (counters.recovery_reads != nullptr) {
+          counters.recovery_reads->Increment();
+        }
         if (shard) {
           present_indices.push_back(group_info + r);
           present_storage.push_back(std::move(*shard));
@@ -429,6 +452,8 @@ VerifyReport PlatterVerifier::Verify(const GlassPlatter& platter, Rng& rng) cons
     const auto decoded = reader.ReadTrackPayloads(platter, t, rng, &stats);
     report.sectors_total += stats.sectors_read;
     report.sector_erasures += stats.ldpc_failures;
+    report.track_nc_recoveries += stats.track_nc_recoveries;
+    report.large_nc_recoveries += stats.large_nc_recoveries;
     for (const auto& payload : decoded) {
       if (!payload) {
         ++report.unrecoverable_sectors;
@@ -436,6 +461,9 @@ VerifyReport PlatterVerifier::Verify(const GlassPlatter& platter, Rng& rng) cons
     }
   }
   report.durable = report.unrecoverable_sectors == 0;
+  // Every first-read erasure must be accounted for by exactly one recovery
+  // layer or the unrecoverable bucket.
+  assert(report.Conserves());
   if (plane_->stage_counters().platters_verified != nullptr) {
     plane_->stage_counters().platters_verified->Increment();
   }
@@ -525,9 +553,19 @@ std::vector<WrittenPlatter> PlatterSetCodec::EncodeRedundancyPlatters(
 }
 
 std::optional<std::vector<std::vector<uint8_t>>> PlatterSetCodec::AllTrackPayloads(
-    const GlassPlatter& platter, int track, Rng& rng) const {
+    const GlassPlatter& platter, int track, Rng& rng, ReadStats* stats) const {
   PlatterReader reader(*plane_);
-  auto decoded = reader.ReadTrackPayloads(platter, track, rng, nullptr);
+  ReadStats local;
+  auto decoded = reader.ReadTrackPayloads(platter, track, rng, &local);
+  if (stats != nullptr) {
+    // Peer-platter reads are recovery traffic from the caller's perspective;
+    // they must not inflate the caller's nominal sectors_read.
+    stats->recovery_reads += local.sectors_read + local.recovery_reads;
+  }
+  if (plane_->stage_counters().recovery_reads != nullptr) {
+    plane_->stage_counters().recovery_reads->Increment(
+        static_cast<double>(local.sectors_read));
+  }
   std::vector<std::vector<uint8_t>> out;
   out.reserve(decoded.size());
   for (auto& payload : decoded) {
@@ -544,7 +582,7 @@ std::optional<std::vector<std::vector<uint8_t>>> PlatterSetCodec::RecoverTrack(
     const std::vector<size_t>& available_info_indices,
     const std::vector<const GlassPlatter*>& available_redundancy,
     const std::vector<size_t>& available_redundancy_indices,
-    size_t missing_info_index, int track, Rng& rng) const {
+    size_t missing_info_index, int track, Rng& rng, ReadStats* stats) const {
   const MediaGeometry& g = plane_->geometry();
   const size_t sectors = static_cast<size_t>(g.sectors_per_track());
   const size_t payload_bytes = plane_->sector_payload_bytes();
@@ -557,7 +595,7 @@ std::optional<std::vector<std::vector<uint8_t>>> PlatterSetCodec::RecoverTrack(
   std::vector<uint8_t> have(static_cast<size_t>(set_.info), 0);
   for (size_t i = 0; i < available_info.size(); ++i) {
     const size_t p = available_info_indices[i];
-    auto payloads = AllTrackPayloads(*available_info[i], track, rng);
+    auto payloads = AllTrackPayloads(*available_info[i], track, rng, stats);
     if (!payloads) {
       continue;  // platter unreadable at this track; treat as missing
     }
@@ -584,7 +622,7 @@ std::optional<std::vector<std::vector<uint8_t>>> PlatterSetCodec::RecoverTrack(
   std::vector<std::vector<uint16_t>> red_words;
   for (size_t i = 0; i < available_redundancy.size(); ++i) {
     const size_t r = available_redundancy_indices[i];
-    auto payloads = AllTrackPayloads(*available_redundancy[i], track, rng);
+    auto payloads = AllTrackPayloads(*available_redundancy[i], track, rng, stats);
     if (!payloads) {
       continue;
     }
@@ -617,6 +655,13 @@ std::optional<std::vector<std::vector<uint8_t>>> PlatterSetCodec::RecoverTrack(
   for (size_t s = 0; s < sectors; ++s) {
     out[s] = WordsToBytes(info_words[missing_info_index * sectors + s],
                           payload_bytes);
+  }
+  if (stats != nullptr) {
+    stats->platter_set_recoveries += sectors;
+  }
+  if (plane_->stage_counters().platter_set_recoveries != nullptr) {
+    plane_->stage_counters().platter_set_recoveries->Increment(
+        static_cast<double>(sectors));
   }
   return out;
 }

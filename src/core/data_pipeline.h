@@ -76,6 +76,12 @@ class DataPlane {
     Counter* ldpc_failures = nullptr;
     Counter* track_nc_recoveries = nullptr;
     Counter* large_nc_recoveries = nullptr;
+    // Cross-platter 16+3 recoveries (sectors rebuilt by PlatterSetCodec) and
+    // the extra sector decodes the recovery layers themselves issue (gathering
+    // large-group peers / set peers). Kept separate from sectors_read so a
+    // platter's nominal read count stays comparable across recovery depths.
+    Counter* platter_set_recoveries = nullptr;
+    Counter* recovery_reads = nullptr;
     Counter* platters_verified = nullptr;
     Gauge* decode_wall_seconds = nullptr;   // wall time of the last track decode
     Gauge* sectors_per_second = nullptr;    // throughput of the last track decode
@@ -113,8 +119,8 @@ struct WrittenPlatter {
   std::vector<std::vector<std::vector<uint8_t>>> payloads;
 };
 
-// Sentinel symbol marking a voxel that failed to form during writing.
-inline constexpr uint16_t kMissingVoxel = 0xFFFF;
+// kMissingVoxel (the failed/decayed voxel sentinel) lives in media/platter.h,
+// shared with the media-aging model.
 
 // Writes platters through the write channel.
 class PlatterWriter {
@@ -136,6 +142,8 @@ struct ReadStats {
   uint64_t ldpc_failures = 0;          // sectors that became erasures
   uint64_t track_nc_recoveries = 0;    // sectors recovered by within-track NC
   uint64_t large_nc_recoveries = 0;    // sectors recovered by the large group
+  uint64_t platter_set_recoveries = 0; // sectors rebuilt from the platter set
+  uint64_t recovery_reads = 0;         // extra sector decodes issued by recovery
   bool used_large_group = false;
 };
 
@@ -165,18 +173,27 @@ class PlatterReader {
                                                    Rng& rng) const;
 
   friend class PlatterVerifier;
+  friend class PlatterRepairer;
   const DataPlane* plane_;
 };
 
 struct VerifyReport {
   uint64_t sectors_total = 0;
   uint64_t sector_erasures = 0;        // LDPC/CRC failures on first read
+  uint64_t track_nc_recoveries = 0;    // erasures fixed by within-track NC
+  uint64_t large_nc_recoveries = 0;    // erasures fixed by the large group
   uint64_t unrecoverable_sectors = 0;  // beyond all on-platter NC layers
   bool durable = false;                // platter acceptable; staged data deletable
   double sector_failure_rate() const {
     return sectors_total
                ? static_cast<double>(sector_erasures) / static_cast<double>(sectors_total)
                : 0.0;
+  }
+  // Counter conservation: every erasure is either recovered by exactly one NC
+  // layer or counted unrecoverable. Verify() asserts this in debug builds.
+  bool Conserves() const {
+    return sector_erasures ==
+           track_nc_recoveries + large_nc_recoveries + unrecoverable_sectors;
   }
 };
 
@@ -208,19 +225,23 @@ class PlatterSetCodec {
   // Reconstructs the information-sector payloads of `track` on the missing platter
   // (identified by its index in the set, 0-based among information platters) from
   // the other platters. Requires at least I_p readable platters among the rest.
+  // `stats`, when given, accumulates the peer reads this recovery issued plus
+  // platter_set_recoveries for the sectors rebuilt (so callers outside
+  // PlatterVerifier still feed the plane's stage counters).
   std::optional<std::vector<std::vector<uint8_t>>> RecoverTrack(
       const std::vector<const GlassPlatter*>& available_info,
       const std::vector<size_t>& available_info_indices,
       const std::vector<const GlassPlatter*>& available_redundancy,
       const std::vector<size_t>& available_redundancy_indices,
-      size_t missing_info_index, int track, Rng& rng) const;
+      size_t missing_info_index, int track, Rng& rng,
+      ReadStats* stats = nullptr) const;
 
   const LargeGroupCodec& group_codec() const { return codec_; }
 
  private:
   // Payload of every sector (info + within-track redundancy) of a track, decoded.
   std::optional<std::vector<std::vector<uint8_t>>> AllTrackPayloads(
-      const GlassPlatter& platter, int track, Rng& rng) const;
+      const GlassPlatter& platter, int track, Rng& rng, ReadStats* stats) const;
 
   const DataPlane* plane_;
   PlatterSetConfig set_;

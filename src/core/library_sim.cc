@@ -49,6 +49,7 @@ struct ReturnJob {
   uint64_t platter = 0;
   int drive = 0;
   bool verify_slot = false;  // pick from the verify slot instead of the output
+  bool scrub = false;        // a scrubbed platter, not a freshly written one
 };
 
 struct Shuttle {
@@ -74,6 +75,8 @@ struct Shuttle {
     kReturnCarry,  // carrying a platter back to its slot
     kVerifyGo,     // heading to the write-eject bay
     kVerifyCarry,  // carrying a written platter to a drive's verify slot
+    kScrubGo,      // heading to a stored platter picked for scrubbing
+    kScrubCarry,   // carrying a scrub target to a drive's verify slot
     kRecharge,
   };
   Job job = Job::kNone;
@@ -126,6 +129,13 @@ struct Drive {
   ReadRequest inflight;       // valid while read_event is pending
   double read_started = 0.0;  // for refunding unspent read seconds on abort
   double read_cost = 0.0;
+
+  // Background scrub: the verify slot holds a stored platter under a scrub pass
+  // (detection read, then an inline-repair phase billed on the verify clock).
+  // Customer sessions preempt both phases via the ordinary fast switch.
+  bool scrubbing = false;
+  bool scrub_repairing = false;
+  uint64_t scrub_pending[kNumRepairTiers] = {0, 0, 0, 0};  // detected, by tier
 };
 
 // Fan-in bookkeeping: a request with children (shards of a large file, or recovery
@@ -162,8 +172,18 @@ class Sim final : public FaultHost {
       injector_ = std::make_unique<FaultInjector>(
           sim_, *this, config_.faults, rng_.Fork(0xFA17D00D),
           static_cast<int>(shuttles_.size()), static_cast<int>(drives_.size()),
-          config_.library.storage_racks);
+          config_.library.storage_racks, static_cast<int>(platters_.size()));
       rack_darkened_.resize(static_cast<size_t>(config_.library.storage_racks));
+    }
+    if (config_.scrub.enabled || config_.faults.aging.enabled()) {
+      // Health tracking plus per-platter severity streams. Fork() is const, so
+      // a run with scrub and aging disabled leaves rng_ — and with it the whole
+      // event order — bit-identical to a build without the subsystem.
+      scrub_.Init(config_.scrub, platters_.size());
+      aging_rngs_.reserve(platters_.size());
+      for (uint64_t p = 0; p < platters_.size(); ++p) {
+        aging_rngs_.push_back(rng_.Fork(0xA9E50000ull + p));
+      }
     }
     SetUpTelemetry();
   }
@@ -191,6 +211,44 @@ class Sim final : public FaultHost {
   void OnDriveRepaired(int drive) override;
   void OnRackDown(int rack) override;
   void OnRackRepaired(int rack) override;
+  void OnPlatterAged(int platter) override;
+
+  // ---- background scrub + repair escalation ----
+  // Scrub work is dispatched only while the customer workload is unresolved so
+  // the renewal loop (pass complete -> dispatch next pass) cannot keep the
+  // event queue non-empty forever.
+  bool ScrubAllowed() const {
+    return config_.scrub.enabled && scrub_.initialized() &&
+           result_.requests_completed + result_.requests_failed <
+               result_.requests_total;
+  }
+  double SectorSeconds(const Drive& drive) const {
+    return StreamSeconds(config_.media.raw_bytes_per_track(),
+                         drive.throughput_mbps) /
+           static_cast<double>(config_.media.sectors_per_track());
+  }
+  // A pass streams a deterministic sample of the platter's tracks (full-platter
+  // verification at production scale costs tens of drive-hours per platter).
+  double ScrubSeconds(const Drive& drive) const {
+    return VerifySeconds(drive) * config_.scrub.track_sample_fraction;
+  }
+  bool TryDispatchScrubWork(Shuttle& shuttle, int partition);
+  void StartScrubFetch(Shuttle& shuttle, uint64_t platter, int drive);
+  // Loads the platter into the drive's verify slot and starts the detection
+  // read on the verify clock (paused while the drive is down or mounted).
+  void BeginScrubPass(int drive, uint64_t platter);
+  void OnScrubPassComplete(int drive);
+  void ApplyScrubRepairs(int drive);
+  void FinishScrub(int drive);
+  // Tier-3 escalation: rebuild the platter from its 16+3 set. Peer reads are
+  // real recovery fan-out traffic; reads of the platter degrade (amplify) while
+  // the rebuild is in flight; rebuilds that cannot gather I_p readable peers
+  // back off exponentially and are abandoned — data loss — after the budget.
+  void StartRebuild(uint64_t platter, uint64_t sectors);
+  void TryRebuildReads(uint64_t platter);
+  void OnRebuildReadsDone(uint64_t platter, bool failed);
+  void CompleteRebuild(uint64_t platter);
+  void FailRebuild(uint64_t platter);
 
   // Where an aborted carry's cargo ends up once an operator recovers it.
   enum class StrandKind { kStore, kStoreVerified, kEject };
@@ -212,7 +270,7 @@ class Sim final : public FaultHost {
     if (drive.output_pending) {
       fn(drive.output_platter);
     }
-    if (explicit_writes() && drive.verify_present) {
+    if ((explicit_writes() || drive.scrubbing) && drive.verify_present) {
       fn(drive.verify_platter);
     }
     for (const auto& queue : returns_) {
@@ -365,6 +423,20 @@ class Sim final : public FaultHost {
                                                       // platters its outage darkened
   std::unordered_set<uint64_t> retry_pending_;  // platters with a probe scheduled
 
+  // Background scrub + repair. scrub_ is initialized (and aging_rngs_ filled)
+  // only when scrub or media aging is configured; otherwise every path below is
+  // dead and the event order matches a build without the subsystem.
+  ScrubScheduler scrub_;
+  std::vector<Rng> aging_rngs_;  // per-platter damage-severity streams
+  struct Rebuild {
+    uint64_t sectors = 0;  // tier-3 damage being rebuilt
+    int attempt = 0;       // backoff probes spent waiting for set peers
+  };
+  std::unordered_map<uint64_t, Rebuild> rebuilds_;  // by platter
+  // Synthetic fan-in parents for rebuild peer reads, resolved out-of-band in
+  // ResolveRequest (a rebuild is maintenance traffic, not a customer request).
+  std::unordered_map<uint64_t, uint64_t> rebuild_parent_of_;  // parent id -> platter
+
   // Telemetry. tracer_ is never null (a shared disabled tracer stands in when no
   // sink is attached); metric handles are null without telemetry and resolved once
   // in SetUpTelemetry so hot paths pay a branch + add.
@@ -373,6 +445,7 @@ class Sim final : public FaultHost {
   int sched_track_ = 0;
   int pipeline_track_ = 0;
   int faults_track_ = 0;
+  int scrub_track_ = 0;
   Counter* c_steals_ = nullptr;
   Counter* c_recharges_ = nullptr;
   Counter* c_recovery_reads_ = nullptr;
@@ -385,6 +458,11 @@ class Sim final : public FaultHost {
   Counter* c_converted_ = nullptr;
   Counter* c_req_failed_ = nullptr;
   Counter* c_stranded_ = nullptr;
+  Counter* c_scrub_passes_ = nullptr;
+  Counter* c_scrub_detections_ = nullptr;
+  Counter* c_repair_sectors_[kNumRepairTiers] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* c_repair_unrecoverable_ = nullptr;
+  Counter* c_rebuild_reads_ = nullptr;
   Histogram* h_completion_ = nullptr;
   Histogram* h_travel_ = nullptr;
   Histogram* h_queue_wait_ = nullptr;
@@ -454,6 +532,11 @@ void Sim::SetUpControlPlane() {
     if (explicit_writes()) {
       // The verify backlog is modeled explicitly: drives start empty and wait
       // for written platters to arrive from the eject bay.
+      drive.verify_present = false;
+      drive.verifying = false;
+    } else if (config_.scrub.enabled) {
+      // Scrub mode drops the abstract always-mounted backlog: verify slots are
+      // fed with real stored platters by the scrub scheduler instead.
       drive.verify_present = false;
       drive.verifying = false;
     } else {
@@ -542,6 +625,21 @@ void Sim::SetUpTelemetry() {
     c_stranded_ = &metrics.GetCounter("fault_stranded_recoveries_total");
   }
 
+  // Scrub/repair metrics only exist when scrub or media aging is configured,
+  // mirroring the fault-metric rule above.
+  if (scrub_.initialized()) {
+    c_scrub_passes_ = &metrics.GetCounter("scrub_passes_total");
+    c_scrub_detections_ = &metrics.GetCounter("scrub_detections_total");
+    for (int t = 0; t < kNumRepairTiers; ++t) {
+      c_repair_sectors_[t] = &metrics.GetCounter(
+          "repair_sectors_total",
+          {{"tier", RepairTierName(static_cast<RepairTier>(t))}});
+    }
+    c_repair_unrecoverable_ =
+        &metrics.GetCounter("repair_unrecoverable_sectors_total");
+    c_rebuild_reads_ = &metrics.GetCounter("repair_rebuild_reads_total");
+  }
+
   // Tracks only exist when a sink is attached; the null tracer never registers
   // any, so repeated headless runs cannot accumulate track names.
   if (tracer_->enabled(kTraceAll)) {
@@ -549,6 +647,9 @@ void Sim::SetUpTelemetry() {
     pipeline_track_ = tracer_->RegisterTrack("write pipeline");
     if (injector_ != nullptr) {
       faults_track_ = tracer_->RegisterTrack("faults");
+    }
+    if (scrub_.initialized()) {
+      scrub_track_ = tracer_->RegisterTrack("scrub");
     }
     for (auto& shuttle : shuttles_) {
       shuttle.track = tracer_->RegisterTrack("shuttle " + std::to_string(shuttle.id));
@@ -593,6 +694,14 @@ void Sim::PublishSummaryMetrics() {
         .Set(static_cast<double>(result_.requests_failed));
     metrics.GetGauge("library_amplified_requests")
         .Set(static_cast<double>(result_.amplified_requests));
+  }
+  if (scrub_.initialized()) {
+    metrics.GetGauge("scrub_latent_sectors")
+        .Set(static_cast<double>(result_.scrub.latent_sectors));
+    metrics.GetGauge("repair_detected_sectors")
+        .Set(static_cast<double>(result_.scrub.ledger.detected));
+    metrics.GetGauge("repair_bytes_lost")
+        .Set(static_cast<double>(result_.scrub.ledger.bytes_lost));
   }
   for (const auto& drive : drives_) {
     const MetricLabels labels = {{"drive", std::to_string(drive.id)}};
@@ -762,6 +871,9 @@ void Sim::TryDispatchPartition(int p) {
   if (!target) {
     if (explicit_writes()) {
       TryDispatchVerifyWork(shuttle, p);
+    } else if (ScrubAllowed()) {
+      // Idle verify capacity: scrub a stored platter of this partition.
+      TryDispatchScrubWork(shuttle, p);
     }
     return;
   }
@@ -789,6 +901,12 @@ void Sim::TryDispatchGlobalShuttles() {
       if (explicit_writes()) {
         for (auto& s : shuttles_) {
           if (!s.busy && !s.failed && !TryDispatchVerifyWork(s, 0)) {
+            break;
+          }
+        }
+      } else if (ScrubAllowed()) {
+        for (auto& s : shuttles_) {
+          if (!s.busy && !s.failed && !TryDispatchScrubWork(s, 0)) {
             break;
           }
         }
@@ -853,13 +971,29 @@ void Sim::TryDispatchDrives() {
     const auto target =
         scheduler.SelectPlatter([this](uint64_t platter) { return Accessible(platter); });
     if (!target) {
-      return;
+      break;
     }
     // NS: the platter is loaded the instant the drive frees up.
     const uint64_t platter = *target;
     platters_[platter].state = PlatterInfo::State::kAtDrive;
     drive.input_reserved = true;
     DeliverToDrive(drive.id, platter);
+  }
+  if (ScrubAllowed()) {
+    // NS scrub: teleport a due platter straight into a free verify slot.
+    for (auto& drive : drives_) {
+      if (drive.down || drive.verify_present || drive.verify_incoming ||
+          drive.verified_waiting) {
+        continue;
+      }
+      const auto target = scrub_.SelectPlatter(
+          sim_.Now(), [this](uint64_t platter) { return Accessible(platter); });
+      if (!target) {
+        break;
+      }
+      platters_[*target].state = PlatterInfo::State::kAtDrive;
+      BeginScrubPass(drive.id, *target);
+    }
   }
 }
 
@@ -1041,15 +1175,21 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
           sim_.Schedule(leg_store.duration + place_store,
                         [this, &shuttle, job, return_span] {
         platters_[job.platter].state = PlatterInfo::State::kStored;
-        const double turnaround =
-            sim_.Now() - platters_[job.platter].created_at;
-        result_.verify_turnaround.Add(turnaround);
-        if (h_verify_turnaround_ != nullptr) {
-          h_verify_turnaround_->Observe(turnaround);
+        if (!job.scrub) {
+          // Scrubbed platters were not just written: no verify turnaround to
+          // record and no pipeline span to close.
+          const double turnaround =
+              sim_.Now() - platters_[job.platter].created_at;
+          result_.verify_turnaround.Add(turnaround);
+          if (h_verify_turnaround_ != nullptr) {
+            h_verify_turnaround_->Observe(turnaround);
+          }
         }
         tracer_->EndSpan(return_span, sim_.Now());
-        tracer_->AsyncEnd(kTracePipeline, job.platter, sim_.Now(),
-                          "platter_verify");
+        if (!job.scrub) {
+          tracer_->AsyncEnd(kTracePipeline, job.platter, sim_.Now(),
+                            "platter_verify");
+        }
         OnShuttleJobDone(shuttle);
       });
       return;
@@ -1206,6 +1346,32 @@ void Sim::ServeNext(int drive_id, uint64_t platter) {
 
 void Sim::EndSession(int drive_id, uint64_t platter) {
   Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  if (scrub_.initialized()) {
+    // The session's reads just swept part of this platter: latent damage
+    // surfaces here too, not only under the scrubber (CRC failures during
+    // customer reads are the other detection channel a real library has).
+    PlatterHealth& h = scrub_.health(platter);
+    if (!h.rebuilding && !h.lost && h.TotalLatent() > 0) {
+      ++result_.scrub.read_detections;
+      if (h.latent[0] > 0) {
+        // Shallow damage clears inline: the drive re-reads the failing sector
+        // while the platter is mounted anyway (tier-0 LDPC retry).
+        const uint64_t n = h.latent[0];
+        h.latent[0] = 0;
+        result_.scrub.ledger.detected += n;
+        result_.scrub.ledger.Add(RepairTier::kLdpcRetry, n);
+        if (c_repair_sectors_[0] != nullptr) {
+          c_repair_sectors_[0]->Increment(static_cast<double>(n));
+        }
+      }
+      if (h.TotalLatent() > 0) {
+        // Deeper damage needs a dedicated pass: jump the scrub queue.
+        scrub_.MarkSuspect(platter);
+        tracer_->Instant(kTraceScrub, scrub_track_, sim_.Now(), "read_detection",
+                         {{"platter", static_cast<double>(platter)}});
+      }
+    }
+  }
   const double unmount = motion_.UnmountTime();
   drive.read_s += unmount;
   tracer_->Span(kTraceDrive, drive.track, sim_.Now(), unmount, "unmount",
@@ -1295,6 +1461,17 @@ void Sim::PauseVerifyClock(int drive_id) {
 
 void Sim::OnVerifyComplete(int drive_id) {
   Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  if (drive.scrubbing) {
+    // A scrub phase (detection read or inline-repair reads) finished; the slot
+    // release and health accounting differ from write verification.
+    drive.verify_event = Simulator::kInvalidEvent;
+    drive.verify_s += std::max(0.0, sim_.Now() - drive.verify_since);
+    drive.verifying = false;
+    tracer_->EndSpan(drive.verify_span, sim_.Now());
+    drive.verify_span = Tracer::kInvalidSpan;
+    OnScrubPassComplete(drive_id);
+    return;
+  }
   drive.verify_event = Simulator::kInvalidEvent;
   drive.verify_s += std::max(0.0, sim_.Now() - drive.verify_since);
   drive.verifying = false;
@@ -1465,6 +1642,395 @@ void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) 
   });
 }
 
+// ---- background scrub + repair escalation ----
+
+void Sim::OnPlatterAged(int platter) {
+  // The injector decided *when* a damage event hits; the twin samples the
+  // severity (sectors struck, repair tier needed) from the platter's own forked
+  // stream, so the pattern depends only on (seed, platter).
+  const uint64_t p = static_cast<uint64_t>(platter);
+  Rng& rng = aging_rngs_[p];
+  const auto& aging = config_.faults.aging;
+  const uint64_t sectors = static_cast<uint64_t>(
+      rng.UniformInt(1, std::max(1, aging.max_sectors_per_event)));
+  double total_weight = 0.0;
+  for (int t = 0; t < kNumRepairTiers; ++t) {
+    total_weight += aging.tier_weights[t];
+  }
+  double u = rng.Uniform(0.0, total_weight > 0.0 ? total_weight : 1.0);
+  int tier = 0;
+  for (; tier < kNumRepairTiers - 1; ++tier) {
+    u -= aging.tier_weights[tier];
+    if (u < 0.0) {
+      break;
+    }
+  }
+  ++result_.scrub.aging_events;
+  result_.scrub.latent_sectors += sectors;
+  tracer_->Instant(kTraceScrub, scrub_track_, sim_.Now(), "media_aged",
+                   {{"platter", static_cast<double>(p)},
+                    {"sectors", static_cast<double>(sectors)},
+                    {"tier", static_cast<double>(tier)}});
+  PlatterHealth& h = scrub_.health(p);
+  if (h.lost) {
+    return;  // already written off; further decay changes nothing
+  }
+  scrub_.RecordDamage(p, static_cast<RepairTier>(tier), sectors);
+}
+
+bool Sim::TryDispatchScrubWork(Shuttle& shuttle, int partition) {
+  // Find a drive (in this partition for the partitioned policy) with a free
+  // verify slot and no delivery already en route, like TryDispatchVerifyWork.
+  int target_drive = -1;
+  if (partitioned()) {
+    for (int d : partitioner_->partitions()[static_cast<size_t>(partition)].drives) {
+      const Drive& drive = drives_[static_cast<size_t>(d)];
+      if (!drive.down && !drive.verify_present && !drive.verify_incoming &&
+          !drive.verified_waiting) {
+        target_drive = d;
+        break;
+      }
+    }
+  } else {
+    for (const auto& drive : drives_) {
+      if (!drive.down && !drive.verify_present && !drive.verify_incoming &&
+          !drive.verified_waiting) {
+        target_drive = drive.id;
+        break;
+      }
+    }
+  }
+  if (target_drive < 0) {
+    return false;
+  }
+  auto eligible = [this, partition](uint64_t p) {
+    if (partitioned() && platters_[p].partition != partition) {
+      return false;
+    }
+    return Accessible(p);
+  };
+  const auto target = scrub_.SelectPlatter(sim_.Now(), eligible);
+  if (!target) {
+    return false;
+  }
+  platters_[*target].state = PlatterInfo::State::kTargeted;
+  drives_[static_cast<size_t>(target_drive)].verify_incoming = true;
+  shuttle.busy = true;
+  StartScrubFetch(shuttle, *target, target_drive);
+  return true;
+}
+
+void Sim::StartScrubFetch(Shuttle& shuttle, uint64_t platter, int drive_id) {
+  const PlatterInfo& info = platters_[platter];
+  const auto fetch_span = tracer_->BeginSpan(
+      kTraceShuttle, shuttle.track, sim_.Now(), "scrub_fetch",
+      {{"platter", static_cast<double>(platter)},
+       {"drive", static_cast<double>(drive_id)}});
+  const Leg leg1 = Travel(shuttle, info.x, info.shelf);
+  RecordLeg(leg1);
+  const double pick = motion_.PickTime(shuttle.rng);
+  result_.travel_energy_total += motion_.PickPlaceEnergy();
+  ++result_.platter_operations;
+  if (c_platter_ops_ != nullptr) {
+    c_platter_ops_->Increment();
+  }
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg1.duration, pick,
+                "pick");
+
+  shuttle.job = Shuttle::Job::kScrubGo;
+  shuttle.job_platter = platter;
+  shuttle.job_drive = drive_id;
+  shuttle.job_event = sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter,
+                                                           drive_id, fetch_span] {
+    const Drive& d = drives_[static_cast<size_t>(drive_id)];
+    const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
+    RecordLeg(leg2);
+    const double place = motion_.PlaceTime(shuttle.rng);
+    result_.travel_energy_total += motion_.PickPlaceEnergy();
+    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
+                  "place");
+
+    shuttle.job = Shuttle::Job::kScrubCarry;
+    shuttle.job_event = sim_.Schedule(leg2.duration + place, [this, &shuttle,
+                                                              platter, drive_id,
+                                                              fetch_span] {
+      tracer_->EndSpan(fetch_span, sim_.Now());
+      drives_[static_cast<size_t>(drive_id)].verify_incoming = false;
+      platters_[platter].state = PlatterInfo::State::kAtDrive;
+      BeginScrubPass(drive_id, platter);
+      OnShuttleJobDone(shuttle);
+    });
+  });
+}
+
+void Sim::BeginScrubPass(int drive_id, uint64_t platter) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  drive.verify_present = true;
+  drive.verify_platter = platter;
+  drive.verify_remaining_s = ScrubSeconds(drive);
+  drive.scrubbing = true;
+  drive.scrub_repairing = false;
+  tracer_->Instant(kTraceScrub, scrub_track_, sim_.Now(), "scrub_start",
+                   {{"platter", static_cast<double>(platter)},
+                    {"drive", static_cast<double>(drive_id)}});
+  if (drive.down) {
+    ++platters_[platter].dark;  // captive until the drive is repaired
+  } else if (!drive.mounted) {
+    StartVerifyClock(drive_id);
+  }
+}
+
+void Sim::OnScrubPassComplete(int drive_id) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  const uint64_t platter = drive.verify_platter;
+  if (drive.scrub_repairing) {
+    // The inline-repair phase's drive time elapsed; commit the ledger.
+    double cost = 0.0;
+    for (int t = 0; t < kNumRepairTiers - 1; ++t) {
+      cost += static_cast<double>(drive.scrub_pending[t]) *
+              config_.scrub.repair_read_factor[t] * SectorSeconds(drive);
+    }
+    result_.scrub.repair_read_seconds += cost;
+    ApplyScrubRepairs(drive_id);
+    return;
+  }
+  // Detection pass: the drive has now actually read (a sample of) the platter,
+  // so its latent damage — whatever tier it needs — becomes visible.
+  ++result_.scrub.scrubs_completed;
+  if (c_scrub_passes_ != nullptr) {
+    c_scrub_passes_->Increment();
+  }
+  result_.scrub.scrub_read_seconds += ScrubSeconds(drive);
+  PlatterHealth& h = scrub_.health(platter);
+  const uint64_t damage = h.TotalLatent();
+  tracer_->Instant(kTraceScrub, scrub_track_, sim_.Now(), "scrub_complete",
+                   {{"platter", static_cast<double>(platter)},
+                    {"damage", static_cast<double>(damage)}});
+  if (damage == 0) {
+    FinishScrub(drive_id);
+    return;
+  }
+  ++result_.scrub.scrub_detections;
+  if (c_scrub_detections_ != nullptr) {
+    c_scrub_detections_->Increment();
+  }
+  result_.scrub.ledger.detected += damage;
+  // Snapshot the found damage and zero the health buckets: aging that lands
+  // while the repair is in flight belongs to the *next* detection (otherwise
+  // repaired could exceed detected and the ledger would not conserve).
+  for (int t = 0; t < kNumRepairTiers; ++t) {
+    drive.scrub_pending[t] = h.latent[t];
+    h.latent[t] = 0;
+  }
+  double cost = 0.0;
+  for (int t = 0; t < kNumRepairTiers - 1; ++t) {
+    cost += static_cast<double>(drive.scrub_pending[t]) *
+            config_.scrub.repair_read_factor[t] * SectorSeconds(drive);
+  }
+  if (cost > 0.0) {
+    // On-platter tiers repair inline at the drive: extra reads billed on the
+    // verify clock, so customer traffic still preempts via the fast switch.
+    drive.scrub_repairing = true;
+    drive.verify_remaining_s = cost;
+    if (!drive.down && !drive.mounted) {
+      StartVerifyClock(drive_id);
+    }
+    return;
+  }
+  ApplyScrubRepairs(drive_id);
+}
+
+void Sim::ApplyScrubRepairs(int drive_id) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  const uint64_t platter = drive.verify_platter;
+  for (int t = 0; t < kNumRepairTiers - 1; ++t) {
+    const uint64_t n = drive.scrub_pending[t];
+    drive.scrub_pending[t] = 0;
+    if (n == 0) {
+      continue;
+    }
+    result_.scrub.ledger.Add(static_cast<RepairTier>(t), n);
+    if (c_repair_sectors_[t] != nullptr) {
+      c_repair_sectors_[t]->Increment(static_cast<double>(n));
+    }
+  }
+  const uint64_t tier3 = drive.scrub_pending[kNumRepairTiers - 1];
+  drive.scrub_pending[kNumRepairTiers - 1] = 0;
+  FinishScrub(drive_id);
+  if (tier3 > 0) {
+    StartRebuild(platter, tier3);
+  }
+}
+
+void Sim::FinishScrub(int drive_id) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  const uint64_t platter = drive.verify_platter;
+  drive.scrubbing = false;
+  drive.scrub_repairing = false;
+  drive.verify_present = false;
+  if (config_.library.policy == Policy::kNoShuttles) {
+    platters_[platter].state = PlatterInfo::State::kStored;
+  } else {
+    // The platter waits in the verify slot for a shuttle to store it, exactly
+    // like a freshly verified written platter.
+    drive.verified_waiting = true;
+    const int p = partitioned() ? platters_[platter].partition : 0;
+    returns_[static_cast<size_t>(p)].push_back(
+        ReturnJob{.platter = platter, .drive = drive_id, .verify_slot = true,
+                  .scrub = true});
+  }
+  TryDispatchAll();
+}
+
+void Sim::StartRebuild(uint64_t platter, uint64_t sectors) {
+  PlatterHealth& h = scrub_.health(platter);
+  h.rebuilding = true;
+  rebuilds_[platter] = Rebuild{sectors, 0};
+  ++result_.scrub.rebuilds_started;
+  // Reads of the platter degrade into recovery fan-out while it rebuilds, via
+  // the same dark-platter path a rack outage uses.
+  ++platters_[platter].dark;
+  tracer_->AsyncBegin(kTraceScrub, 0x2EB0000000ull + platter, sim_.Now(),
+                      "rebuild");
+  TryRebuildReads(platter);
+}
+
+void Sim::TryRebuildReads(uint64_t platter) {
+  auto it = rebuilds_.find(platter);
+  if (it == rebuilds_.end()) {
+    return;
+  }
+  // Gather readable set peers, exactly like FanOutRecovery — but a rebuild
+  // needs a full complement of I_p peers to reconstruct the platter.
+  const PlatterInfo& target = platters_[platter];
+  std::vector<uint64_t> candidates;
+  const uint64_t info = config_.num_info_platters;
+  const uint64_t set = target.set;
+  const uint64_t set_first = set * static_cast<uint64_t>(config_.platter_set_info);
+  const uint64_t set_last = std::min<uint64_t>(
+      set_first + static_cast<uint64_t>(config_.platter_set_info), info);
+  for (uint64_t p = set_first; p < set_last; ++p) {
+    if (p != platter && Servable(p)) {
+      candidates.push_back(p);
+    }
+  }
+  for (int r = 0; r < config_.platter_set_redundancy; ++r) {
+    const uint64_t p =
+        info + set * static_cast<uint64_t>(config_.platter_set_redundancy) +
+        static_cast<uint64_t>(r);
+    if (p < platters_.size() && Servable(p)) {
+      candidates.push_back(p);
+    }
+  }
+  const size_t needed = static_cast<size_t>(config_.platter_set_info);
+  if (candidates.size() < needed) {
+    Rebuild& rebuild = it->second;
+    if (rebuild.attempt >= config_.scrub.max_rebuild_retries) {
+      FailRebuild(platter);
+      return;
+    }
+    const double delay =
+        std::min(config_.scrub.rebuild_backoff_cap_s,
+                 config_.scrub.rebuild_backoff_base_s *
+                     std::ldexp(1.0, rebuild.attempt));
+    ++rebuild.attempt;
+    ++result_.scrub.rebuild_retries;
+    sim_.Schedule(delay, [this, platter] { TryRebuildReads(platter); });
+    return;
+  }
+  const uint64_t parent_id = next_sub_id_++;
+  rebuild_parent_of_[parent_id] = platter;
+  parents_[parent_id] = ParentState{sim_.Now(), static_cast<int>(needed), 0};
+  const uint64_t bytes =
+      config_.media.payload_bytes_per_track() *
+      static_cast<uint64_t>(config_.media.info_tracks_per_platter);
+  for (size_t i = 0; i < needed; ++i) {
+    ReadRequest sub;
+    sub.id = next_sub_id_++;
+    sub.parent = parent_id;
+    sub.platter = candidates[i];
+    sub.bytes = bytes;  // a rebuild streams each peer's full payload
+    sub.arrival = sim_.Now();
+    tracer_->AsyncBegin(kTraceScheduler, sub.id, sim_.Now(), "recovery_read");
+    schedulers_[static_cast<size_t>(SchedulerOf(sub.platter))].Submit(sub);
+    ++result_.scrub.rebuild_reads;
+    if (c_rebuild_reads_ != nullptr) {
+      c_rebuild_reads_->Increment();
+    }
+  }
+  TryDispatchAll();
+}
+
+void Sim::OnRebuildReadsDone(uint64_t platter, bool failed) {
+  auto it = rebuilds_.find(platter);
+  if (it == rebuilds_.end()) {
+    return;
+  }
+  if (failed) {
+    // Some peer read was given up on; back off and retry the whole gather.
+    Rebuild& rebuild = it->second;
+    if (rebuild.attempt >= config_.scrub.max_rebuild_retries) {
+      FailRebuild(platter);
+      return;
+    }
+    const double delay =
+        std::min(config_.scrub.rebuild_backoff_cap_s,
+                 config_.scrub.rebuild_backoff_base_s *
+                     std::ldexp(1.0, rebuild.attempt));
+    ++rebuild.attempt;
+    ++result_.scrub.rebuild_retries;
+    sim_.Schedule(delay, [this, platter] { TryRebuildReads(platter); });
+    return;
+  }
+  // All peers read: write and verify the replacement platter, then swap it in.
+  sim_.Schedule(config_.scrub.rebuild_write_s,
+                [this, platter] { CompleteRebuild(platter); });
+}
+
+void Sim::CompleteRebuild(uint64_t platter) {
+  auto it = rebuilds_.find(platter);
+  if (it == rebuilds_.end()) {
+    return;
+  }
+  const uint64_t sectors = it->second.sectors;
+  rebuilds_.erase(it);
+  PlatterHealth& h = scrub_.health(platter);
+  h.rebuilding = false;
+  if (platters_[platter].dark > 0) {
+    --platters_[platter].dark;
+  }
+  result_.scrub.ledger.Add(RepairTier::kPlatterSet, sectors);
+  if (c_repair_sectors_[kNumRepairTiers - 1] != nullptr) {
+    c_repair_sectors_[kNumRepairTiers - 1]->Increment(
+        static_cast<double>(sectors));
+  }
+  ++result_.scrub.rebuilds_completed;
+  tracer_->AsyncEnd(kTraceScrub, 0x2EB0000000ull + platter, sim_.Now(),
+                    "rebuild");
+  TryDispatchAll();
+}
+
+void Sim::FailRebuild(uint64_t platter) {
+  auto it = rebuilds_.find(platter);
+  const uint64_t sectors = it->second.sectors;
+  rebuilds_.erase(it);
+  PlatterHealth& h = scrub_.health(platter);
+  h.rebuilding = false;
+  h.lost = true;  // written off: never scrubbed or rebuilt again
+  if (platters_[platter].dark > 0) {
+    --platters_[platter].dark;
+  }
+  result_.scrub.ledger.unrecoverable += sectors;
+  result_.scrub.ledger.bytes_lost +=
+      sectors * static_cast<uint64_t>(config_.media.payload_bytes_per_sector());
+  if (c_repair_unrecoverable_ != nullptr) {
+    c_repair_unrecoverable_->Increment(static_cast<double>(sectors));
+  }
+  tracer_->AsyncEnd(kTraceScrub, 0x2EB0000000ull + platter, sim_.Now(),
+                    "rebuild");
+  TryDispatchAll();
+}
+
 void Sim::RecordCompletion(const ReadRequest& request) {
   ResolveRequest(request, /*failed=*/false);
 }
@@ -1500,8 +2066,19 @@ void Sim::ResolveRequest(const ReadRequest& request, bool failed) {
     }
     failed = it->second.failed;
     arrival = it->second.arrival;
+    const uint64_t finished = parent;
     parent = it->second.up;
     parents_.erase(it);
+    // A rebuild's synthetic fan-in parent resolves out-of-band: it is
+    // maintenance traffic, not a customer request, so it must not touch the
+    // completed/failed ledger (completed + failed == total stays intact).
+    auto rebuild = rebuild_parent_of_.find(finished);
+    if (rebuild != rebuild_parent_of_.end()) {
+      const uint64_t target = rebuild->second;
+      rebuild_parent_of_.erase(rebuild);
+      OnRebuildReadsDone(target, failed);
+      return;
+    }
   }
   if (failed) {
     ++result_.requests_failed;
@@ -1564,9 +2141,12 @@ void Sim::AbortShuttleJob(Shuttle& shuttle) {
       break;
     }
     case Shuttle::Job::kReturnCarry:
+      // Scrubbed platters go back as plain stores: their verify turnaround was
+      // recorded at write time, not now.
       StrandPlatter(shuttle.job_return.platter,
-                    shuttle.job_return.verify_slot ? StrandKind::kStoreVerified
-                                                   : StrandKind::kStore);
+                    shuttle.job_return.verify_slot && !shuttle.job_return.scrub
+                        ? StrandKind::kStoreVerified
+                        : StrandKind::kStore);
       break;
     case Shuttle::Job::kVerifyGo:
       drives_[static_cast<size_t>(shuttle.job_drive)].verify_incoming = false;
@@ -1575,6 +2155,16 @@ void Sim::AbortShuttleJob(Shuttle& shuttle) {
     case Shuttle::Job::kVerifyCarry:
       drives_[static_cast<size_t>(shuttle.job_drive)].verify_incoming = false;
       StrandPlatter(shuttle.job_platter, StrandKind::kEject);
+      break;
+    case Shuttle::Job::kScrubGo:
+      // The scrub target was never picked: it stays in its slot and becomes
+      // eligible for the next scrub dispatch.
+      platters_[shuttle.job_platter].state = PlatterInfo::State::kStored;
+      drives_[static_cast<size_t>(shuttle.job_drive)].verify_incoming = false;
+      break;
+    case Shuttle::Job::kScrubCarry:
+      drives_[static_cast<size_t>(shuttle.job_drive)].verify_incoming = false;
+      StrandPlatter(shuttle.job_platter, StrandKind::kStore);
       break;
     case Shuttle::Job::kRecharge:  // the repair includes servicing the battery
     case Shuttle::Job::kNone:
@@ -1733,7 +2323,8 @@ void Sim::OnRackDown(int r) {
   // shuttle's grip escape the blast zone.
   for (auto& shuttle : shuttles_) {
     if (shuttle.failed || !shuttle.busy ||
-        shuttle.job != Shuttle::Job::kFetchGo) {
+        (shuttle.job != Shuttle::Job::kFetchGo &&
+         shuttle.job != Shuttle::Job::kScrubGo)) {
       continue;
     }
     const uint64_t platter = shuttle.job_platter;
@@ -1912,6 +2503,37 @@ LibrarySimResult Sim::Run() {
     // whole fleet) is accounted as failed: completed + failed == total always.
     result_.requests_failed = result_.requests_total - result_.requests_completed;
   }
+  // Reconcile the repair ledger on drained runs so it always conserves:
+  // inline repairs stuck in a permanently dead drive were in fact recovered by
+  // the detection read (only the billed drive time was lost); rebuilds that
+  // never finished are data loss.
+  for (auto& drive : drives_) {
+    for (int t = 0; t < kNumRepairTiers - 1; ++t) {
+      if (drive.scrub_pending[t] > 0) {
+        result_.scrub.ledger.Add(static_cast<RepairTier>(t),
+                                 drive.scrub_pending[t]);
+        drive.scrub_pending[t] = 0;
+      }
+    }
+    const uint64_t tier3 = drive.scrub_pending[kNumRepairTiers - 1];
+    if (tier3 > 0) {
+      drive.scrub_pending[kNumRepairTiers - 1] = 0;
+      result_.scrub.ledger.unrecoverable += tier3;
+      result_.scrub.ledger.bytes_lost +=
+          tier3 *
+          static_cast<uint64_t>(config_.media.payload_bytes_per_sector());
+    }
+  }
+  for (auto& [platter, rebuild] : rebuilds_) {
+    result_.scrub.ledger.unrecoverable += rebuild.sectors;
+    result_.scrub.ledger.bytes_lost +=
+        rebuild.sectors *
+        static_cast<uint64_t>(config_.media.payload_bytes_per_sector());
+    PlatterHealth& h = scrub_.health(platter);
+    h.rebuilding = false;
+    h.lost = true;
+  }
+  rebuilds_.clear();
   PublishSummaryMetrics();
   return result_;
 }

@@ -23,6 +23,8 @@
 
 #include "common/stats.h"
 #include "core/request.h"
+#include "core/scrub.h"
+#include "ecc/repair.h"
 #include "faults/fault_injector.h"
 #include "library/panel.h"
 #include "media/geometry.h"
@@ -70,6 +72,13 @@ struct LibrarySimConfig {
   // platter-set recovery, per outage interval). Disabled by default; when
   // disabled the twin's behavior is bit-identical to a build without it.
   FaultConfig faults;
+
+  // Background scrub + repair orchestration (src/core/scrub.h). Requires media
+  // aging (faults.aging) to have anything to find, but also runs without it
+  // (pure verification sweeps). When enabled, drives no longer assume the
+  // abstract always-mounted verification backlog: their verify slots are fed by
+  // the scrubber, and customer traffic preempts via the same 1 s fast switch.
+  ScrubConfig scrub;
 
   // Optional observability (not owned). When set, the twin publishes live metrics
   // (queue depths, drive time split, congestion, steals, completion histograms) and
@@ -129,6 +138,24 @@ struct LibrarySimResult {
   uint64_t platters_written = 0;    // ejected by the write drive
   uint64_t platters_verified = 0;   // fully read back on a read drive
   PercentileTracker verify_turnaround;  // eject -> durably stored (seconds)
+
+  // Media aging + background scrub + repair escalation. The ledger obeys
+  // `detected == sum(repaired by tier) + unrecoverable` for every schedule;
+  // with the paper's 16+3 platter sets and peers readable, bytes_lost stays 0.
+  struct ScrubOutcome {
+    uint64_t aging_events = 0;       // media damage events injected
+    uint64_t latent_sectors = 0;     // sectors those events damaged
+    uint64_t scrubs_completed = 0;   // scrub passes finished at a drive
+    uint64_t scrub_detections = 0;   // passes that surfaced latent damage
+    uint64_t read_detections = 0;    // customer sessions that surfaced damage
+    uint64_t rebuilds_started = 0;   // tier-3 platter rebuilds begun
+    uint64_t rebuilds_completed = 0;
+    uint64_t rebuild_retries = 0;    // backoff probes waiting for set peers
+    uint64_t rebuild_reads = 0;      // set-peer sub-reads issued by rebuilds
+    double scrub_read_seconds = 0.0;   // drive time streaming scrub passes
+    double repair_read_seconds = 0.0;  // extra drive time on inline repairs
+    RepairLedger ledger;
+  } scrub;
 
   double CongestionOverheadFraction() const {
     return expected_travel_total > 0.0 ? congestion_wait_total / expected_travel_total

@@ -248,6 +248,72 @@ void SilicaService::MarkAvailable(uint64_t platter_id) {
   }
 }
 
+std::optional<uint64_t> SilicaService::AgePlatter(uint64_t platter_id,
+                                                 double years) {
+  const auto it = platters_.find(platter_id);
+  if (it == platters_.end()) {
+    return std::nullopt;
+  }
+  MediaAger ager(config_.aging, config_.seed);
+  return ager.Age(it->second.written.platter, years);
+}
+
+std::optional<SilicaService::ScrubResult> SilicaService::ScrubPlatter(
+    uint64_t platter_id) {
+  const auto it = platters_.find(platter_id);
+  if (it == platters_.end()) {
+    return std::nullopt;
+  }
+  StoredPlatter& stored = it->second;
+
+  ScrubResult result;
+  result.detection = verifier_.Verify(stored.written.platter, rng_);
+  if (result.detection.sector_erasures == 0) {
+    return result;  // healthy glass; nothing to escalate
+  }
+
+  // Gather the readable set peers (same split as ReadViaRecovery). Redundancy
+  // platters hold no customer payloads, so they repair on-platter only.
+  const PlatterSetCodec* codec = nullptr;
+  std::vector<const GlassPlatter*> avail_info;
+  std::vector<size_t> avail_info_idx;
+  std::vector<const GlassPlatter*> avail_red;
+  std::vector<size_t> avail_red_idx;
+  const auto set_it = sets_.find(stored.set_id);
+  if (!stored.is_redundancy && set_it != sets_.end()) {
+    codec = &set_codec_;
+    for (uint64_t id : set_it->second) {
+      if (id == platter_id) {
+        continue;
+      }
+      const auto& member = platters_.at(id);
+      if (member.unavailable) {
+        continue;
+      }
+      if (member.is_redundancy) {
+        avail_red.push_back(&member.written.platter);
+        avail_red_idx.push_back(member.index_in_set -
+                                static_cast<size_t>(config_.platter_set.info));
+      } else {
+        avail_info.push_back(&member.written.platter);
+        avail_info_idx.push_back(member.index_in_set);
+      }
+    }
+  }
+
+  PlatterRepairer repairer(plane_);
+  PlatterRepairOutcome outcome =
+      repairer.Repair(stored.written.platter, codec, avail_info, avail_info_idx,
+                      avail_red, avail_red_idx, stored.index_in_set, rng_);
+  result.ledger = outcome.ledger;
+  result.data_lost = !outcome.data_intact;
+  if (outcome.rewritten) {
+    stored.written = std::move(*outcome.rewritten);
+    result.replaced = true;
+  }
+  return result;
+}
+
 MetadataService SilicaService::ScanAndRebuildIndex() const {
   std::vector<PlatterHeader> headers;
   for (const auto& [id, stored] : platters_) {

@@ -22,6 +22,9 @@
 #include "core/data_pipeline.h"
 #include "core/layout.h"
 #include "core/metadata.h"
+#include "core/platter_repair.h"
+#include "ecc/repair.h"
+#include "faults/media_aging.h"
 
 namespace silica {
 
@@ -33,6 +36,8 @@ struct ServiceConfig {
   // path (byte-identical output to the unthreaded build); higher values fan
   // sector work across an owned ThreadPool.
   int threads = 1;
+  // Physical media-decay law used by AgePlatter (per platter-year).
+  MediaAgingParams aging;
 };
 
 class SilicaService {
@@ -65,6 +70,25 @@ class SilicaService {
   // recovery. Returns false for unknown ids.
   bool MarkUnavailable(uint64_t platter_id);
   void MarkAvailable(uint64_t platter_id);
+
+  // Applies `years` of physical decay (voxel-noise aging + latent sector
+  // errors) to a stored platter in place. Deterministic per (seed, platter id).
+  // Returns the number of sectors struck, or nullopt for unknown ids.
+  std::optional<uint64_t> AgePlatter(uint64_t platter_id, double years);
+
+  struct ScrubResult {
+    VerifyReport detection;  // the scrub's full verification read
+    RepairLedger ledger;     // repair-escalation outcome (information sectors)
+    bool replaced = false;   // platter rewritten onto fresh glass and swapped in
+    bool data_lost = false;  // some payload unrecoverable even via the set
+  };
+
+  // Background-scrub entry point: verification-reads the platter with the read
+  // technology; when damage is detected, runs the repair ladder (LDPC retry ->
+  // within-track NC -> large group -> 16+3 platter set) and swaps the rewritten
+  // platter in when every payload is recovered. Redundancy platters repair with
+  // their on-platter tiers only. Returns nullopt for unknown ids.
+  std::optional<ScrubResult> ScrubPlatter(uint64_t platter_id);
 
   const MetadataService& metadata() const { return metadata_; }
   const DataPlane& data_plane() const { return plane_; }

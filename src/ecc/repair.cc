@@ -1,0 +1,19 @@
+#include "ecc/repair.h"
+
+namespace silica {
+
+const char* RepairTierName(RepairTier tier) {
+  switch (tier) {
+    case RepairTier::kLdpcRetry:
+      return "ldpc_retry";
+    case RepairTier::kTrackNc:
+      return "track_nc";
+    case RepairTier::kLargeGroup:
+      return "large_group";
+    case RepairTier::kPlatterSet:
+      return "platter_set";
+  }
+  return "unknown";
+}
+
+}  // namespace silica

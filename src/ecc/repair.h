@@ -1,0 +1,66 @@
+// The repair-escalation vocabulary shared by the data plane and the digital
+// twin: the four tiers of the on/cross-platter recovery ladder (Section 3.1,
+// Figure 4 of the paper) and a conservation ledger that accounts for every
+// detected sector failure exactly once.
+//
+// The ladder, cheapest first:
+//   0. kLdpcRetry  — re-read + re-decode the sector (soft noise, ISI tails);
+//   1. kTrackNc    — within-track network code over I_t + R_t sectors;
+//   2. kLargeGroup — large-group network code across tracks of the platter;
+//   3. kPlatterSet — cross-platter 16+3 erasure rebuild from the platter set.
+//
+// The ledger's invariant — `detected == sum(repaired) + unrecoverable` — is the
+// durability analogue of the control plane's `completed + failed == total`
+// request conservation: no sector failure is dropped or double-counted.
+#ifndef SILICA_ECC_REPAIR_H_
+#define SILICA_ECC_REPAIR_H_
+
+#include <cstdint>
+
+namespace silica {
+
+enum class RepairTier {
+  kLdpcRetry = 0,
+  kTrackNc = 1,
+  kLargeGroup = 2,
+  kPlatterSet = 3,
+};
+
+inline constexpr int kNumRepairTiers = 4;
+
+// Stable short names for telemetry labels and JSON reports.
+const char* RepairTierName(RepairTier tier);
+
+struct RepairLedger {
+  uint64_t detected = 0;                       // sector failures observed
+  uint64_t repaired[kNumRepairTiers] = {0, 0, 0, 0};
+  uint64_t unrecoverable = 0;                  // failures no tier could fix
+  uint64_t bytes_lost = 0;                     // payload bytes of the above
+
+  void Add(RepairTier tier, uint64_t sectors) {
+    repaired[static_cast<int>(tier)] += sectors;
+  }
+
+  uint64_t repaired_total() const {
+    uint64_t total = 0;
+    for (int t = 0; t < kNumRepairTiers; ++t) {
+      total += repaired[t];
+    }
+    return total;
+  }
+
+  bool Conserves() const { return detected == repaired_total() + unrecoverable; }
+
+  void Merge(const RepairLedger& other) {
+    detected += other.detected;
+    for (int t = 0; t < kNumRepairTiers; ++t) {
+      repaired[t] += other.repaired[t];
+    }
+    unrecoverable += other.unrecoverable;
+    bytes_lost += other.bytes_lost;
+  }
+};
+
+}  // namespace silica
+
+#endif  // SILICA_ECC_REPAIR_H_

@@ -17,7 +17,8 @@ FaultProcess FaultProcess::Exponential(double mtbf_s, double mttr_s) {
 
 FaultInjector::FaultInjector(Simulator& sim, FaultHost& host,
                              const FaultConfig& config, const Rng& rng,
-                             int num_shuttles, int num_drives, int num_racks)
+                             int num_shuttles, int num_drives, int num_racks,
+                             int num_platters)
     : sim_(sim), host_(host), config_(config) {
   // One forked stream per component, tagged by (class, id), so a schedule
   // depends only on the seed — never on event interleaving or component counts
@@ -25,9 +26,12 @@ FaultInjector::FaultInjector(Simulator& sim, FaultHost& host,
   const struct {
     Class cls;
     int count;
-  } classes[] = {{kShuttle, num_shuttles}, {kDrive, num_drives}, {kRack, num_racks}};
+  } classes[] = {{kShuttle, num_shuttles},
+                 {kDrive, num_drives},
+                 {kRack, num_racks},
+                 {kMedia, num_platters}};
   for (const auto& [cls, count] : classes) {
-    if (!ProcessOf(cls).enabled()) {
+    if (!ClassEnabled(cls)) {
       continue;
     }
     for (int id = 0; id < count; ++id) {
@@ -53,6 +57,17 @@ const FaultProcess& FaultInjector::ProcessOf(Class cls) const {
   }
 }
 
+bool FaultInjector::ClassEnabled(Class cls) const {
+  return cls == kMedia ? config_.aging.enabled() : ProcessOf(cls).enabled();
+}
+
+// Time to the component's next failure event: the class's uptime law for the
+// mechanical classes, the damage-event gap for media aging.
+const Distribution* FaultInjector::UptimeOf(Class cls) const {
+  return cls == kMedia ? config_.aging.event_gap.get()
+                       : ProcessOf(cls).uptime.get();
+}
+
 void FaultInjector::Start() {
   for (auto& component : components_) {
     ScheduleFailure(component);
@@ -63,7 +78,7 @@ void FaultInjector::ScheduleFailure(Component& component) {
   if (stopped_) {
     return;
   }
-  const double uptime = ProcessOf(component.cls).uptime->Sample(component.rng);
+  const double uptime = UptimeOf(component.cls)->Sample(component.rng);
   const double when = sim_.Now() + uptime;
   if (when > config_.inject_until_s) {
     return;  // the injection window closed; this process retires
@@ -74,11 +89,20 @@ void FaultInjector::ScheduleFailure(Component& component) {
 
 void FaultInjector::OnFailure(Component& component) {
   component.pending = Simulator::kInvalidEvent;
-  component.down = true;
   ++stats_[component.cls].failures;
   if (failure_counters_[component.cls] != nullptr) {
     failure_counters_[component.cls]->Increment();
   }
+
+  if (component.cls == kMedia) {
+    // Media damage is latent, not an outage: the platter stays in service and
+    // the process renews immediately. Repair is the scrub orchestrator's job.
+    host_.OnPlatterAged(component.id);
+    ScheduleFailure(component);
+    return;
+  }
+
+  component.down = true;
   NotifyDown(component);
 
   const FaultProcess& process = ProcessOf(component.cls);
@@ -142,13 +166,16 @@ void FaultInjector::StopInjecting() {
 
 void FaultInjector::SetTelemetry(Telemetry* telemetry) {
   if (telemetry == nullptr) {
-    for (int c = 0; c < 3; ++c) {
+    for (int c = 0; c < kNumClasses; ++c) {
       failure_counters_[c] = repair_counters_[c] = nullptr;
     }
     return;
   }
-  const char* names[3] = {"shuttle", "drive", "rack"};
-  for (int c = 0; c < 3; ++c) {
+  const char* names[kNumClasses] = {"shuttle", "drive", "rack", "media"};
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (c == kMedia && !config_.aging.enabled()) {
+      continue;  // don't mint media series for runs without aging
+    }
     const MetricLabels labels = {{"component", names[c]}};
     failure_counters_[c] =
         &telemetry->metrics.GetCounter("fault_failures_total", labels);

@@ -24,6 +24,7 @@
 
 #include "common/distributions.h"
 #include "common/rng.h"
+#include "faults/media_aging.h"
 #include "sim/simulator.h"
 
 namespace silica {
@@ -51,6 +52,12 @@ struct FaultConfig {
   FaultProcess drive;    // read drive sealed; session resumes on repair
   FaultProcess rack;     // blast zone: resident platters go dark
 
+  // Media degradation: latent damage events on stored platters. Unlike the
+  // mechanical classes, media events never take a component "down" and have no
+  // repair law — each event immediately renews, and undoing the damage is the
+  // scrub/repair orchestrator's job, not the injector's.
+  MediaAgingConfig aging;
+
   // No *new* failures are injected after this time (pending repairs still
   // complete). The host additionally stops injection once its workload is
   // resolved, so an open-ended window cannot keep the simulation alive forever.
@@ -69,7 +76,8 @@ struct FaultConfig {
   double stranded_recovery_s = 600.0;
 
   bool enabled() const {
-    return shuttle.enabled() || drive.enabled() || rack.enabled();
+    return shuttle.enabled() || drive.enabled() || rack.enabled() ||
+           aging.enabled();
   }
 };
 
@@ -83,6 +91,11 @@ class FaultHost {
   virtual void OnDriveRepaired(int drive) = 0;
   virtual void OnRackDown(int rack) = 0;
   virtual void OnRackRepaired(int rack) = 0;
+
+  // A media-aging event struck stored platter `platter`. The host samples the
+  // severity (sectors hit, repair tier needed) from its own per-platter stream.
+  // Defaulted so hosts that predate media aging keep compiling unchanged.
+  virtual void OnPlatterAged(int platter) { (void)platter; }
 };
 
 class FaultInjector {
@@ -93,9 +106,11 @@ class FaultInjector {
   };
 
   // `sim` and `host` must outlive the injector. Component counts fix how many
-  // independent processes each class runs.
+  // independent processes each class runs; `num_platters` drives the media
+  // aging class (platters created after construction are not aged).
   FaultInjector(Simulator& sim, FaultHost& host, const FaultConfig& config,
-                const Rng& rng, int num_shuttles, int num_drives, int num_racks);
+                const Rng& rng, int num_shuttles, int num_drives, int num_racks,
+                int num_platters = 0);
 
   // Schedules the first failure of every enabled component process.
   void Start();
@@ -113,9 +128,12 @@ class FaultInjector {
   const ClassStats& shuttle_stats() const { return stats_[0]; }
   const ClassStats& drive_stats() const { return stats_[1]; }
   const ClassStats& rack_stats() const { return stats_[2]; }
+  // Media events have no repair side; `repairs` stays 0 for this class.
+  const ClassStats& media_stats() const { return stats_[3]; }
 
  private:
-  enum Class { kShuttle = 0, kDrive = 1, kRack = 2 };
+  enum Class { kShuttle = 0, kDrive = 1, kRack = 2, kMedia = 3 };
+  static constexpr int kNumClasses = 4;
   struct Component {
     Class cls;
     int id = 0;
@@ -125,6 +143,8 @@ class FaultInjector {
   };
 
   const FaultProcess& ProcessOf(Class cls) const;
+  bool ClassEnabled(Class cls) const;
+  const Distribution* UptimeOf(Class cls) const;
   void ScheduleFailure(Component& component);
   void OnFailure(Component& component);
   void OnRepair(Component& component);
@@ -135,11 +155,11 @@ class FaultInjector {
   FaultHost& host_;
   FaultConfig config_;
   std::vector<Component> components_;
-  ClassStats stats_[3];
+  ClassStats stats_[kNumClasses];
   bool stopped_ = false;
 
-  Counter* failure_counters_[3] = {nullptr, nullptr, nullptr};
-  Counter* repair_counters_[3] = {nullptr, nullptr, nullptr};
+  Counter* failure_counters_[kNumClasses] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* repair_counters_[kNumClasses] = {nullptr, nullptr, nullptr, nullptr};
 };
 
 }  // namespace silica

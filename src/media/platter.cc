@@ -133,6 +133,25 @@ void GlassPlatter::SetHeader(PlatterHeader header) {
   header_ = std::move(header);
 }
 
+size_t GlassPlatter::Erode(SectorAddress address,
+                           std::span<const size_t> voxel_indices) {
+  auto& slot = sectors_[FlatIndex(address)];
+  if (slot.empty()) {
+    return 0;  // nothing written here; nothing to decay
+  }
+  size_t erased = 0;
+  for (const size_t v : voxel_indices) {
+    if (v >= slot.size()) {
+      throw std::out_of_range("GlassPlatter: eroded voxel index out of range");
+    }
+    if (slot[v] != kMissingVoxel) {
+      slot[v] = kMissingVoxel;
+      ++erased;
+    }
+  }
+  return erased;
+}
+
 double GlassPlatter::FillFraction() const {
   size_t written = 0;
   for (const auto& s : sectors_) {

@@ -14,6 +14,11 @@
 
 namespace silica {
 
+// Sentinel symbol for a voxel that failed to form when written — or, after
+// media aging, decayed past readability. The read channel treats it as a pure
+// erasure (no measurement at all).
+inline constexpr uint16_t kMissingVoxel = 0xFFFF;
+
 struct PlatterFileEntry {
   uint64_t file_id = 0;
   std::string name;
@@ -61,6 +66,22 @@ class GlassPlatter {
   // Fraction of sectors written, for diagnostics.
   double FillFraction() const;
 
+  // --- Media aging (physical decay, NOT writes) ---------------------------
+  // The WORM rule above models what the *drives* can do to voxels; time does
+  // not respect it. These mutators model decay of already-written glass and are
+  // therefore allowed on sealed platters. Only the aging model (MediaAger /
+  // the fault injector's media class) may call them.
+
+  // Blanks the given voxel positions of a written sector to kMissingVoxel
+  // (a latent sector error in the making). No-op on unwritten sectors.
+  // Returns the number of voxels newly erased.
+  size_t Erode(SectorAddress address, std::span<const size_t> voxel_indices);
+
+  // Accumulated read-noise stress: 0 = pristine; the read channel widens its
+  // noise by a factor of (1 + age_stress) when measuring this platter.
+  double age_stress() const { return age_stress_; }
+  void AddAgeStress(double stress) { age_stress_ += stress; }
+
  private:
   size_t FlatIndex(SectorAddress address) const;
 
@@ -69,6 +90,7 @@ class GlassPlatter {
   std::vector<std::vector<uint16_t>> sectors_;  // empty vector == unwritten
   PlatterHeader header_;
   bool sealed_ = false;
+  double age_stress_ = 0.0;
 };
 
 }  // namespace silica

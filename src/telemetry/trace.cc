@@ -18,7 +18,8 @@ constexpr CategoryName kCategoryNames[] = {
     {"sim", kTraceSim},           {"shuttle", kTraceShuttle},
     {"drive", kTraceDrive},       {"scheduler", kTraceScheduler},
     {"decode", kTraceDecode},     {"pipeline", kTracePipeline},
-    {"faults", kTraceFaults},     {"all", kTraceAll},
+    {"faults", kTraceFaults},     {"scrub", kTraceScrub},
+    {"all", kTraceAll},
 };
 
 const char* NameOf(TraceCategory category) {

@@ -36,6 +36,7 @@ enum TraceCategory : uint32_t {
   kTraceDecode = 1u << 4,     // decode service jobs and fleet size
   kTracePipeline = 1u << 5,   // write pipeline: eject -> verify -> store
   kTraceFaults = 1u << 6,     // injected failures, repairs, degraded-mode retries
+  kTraceScrub = 1u << 7,      // media aging, scrub passes, repair escalation
   kTraceAll = 0xFFFFFFFFu,
 };
 

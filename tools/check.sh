@@ -14,27 +14,36 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs"
 ctest --preset default -j "$jobs"
 
+echo "== smoke: durability sweep (aging x scrub, JSON) =="
+./build/bench/bench_durability --json | python3 -c '
+import json, sys
+cells = json.load(sys.stdin)["cells"]
+for cell in cells:
+    assert cell["conserves"], f"repair ledger leak: {cell}"
+print(f"ok: {len(cells)} cells, ledger conserves in each")
+'
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== OK (fast mode, sanitizers skipped) =="
   exit 0
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
-  echo "== sanitizers: TSan over thread-pool + dataplane + fault tests =="
+  echo "== sanitizers: TSan over thread-pool + dataplane + fault/scrub tests =="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$jobs" --target silica_tests
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/silica_tests \
-    --gtest_filter='ThreadPool*:ParallelFor.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:FaultInjector.*:FaultedLibrary.*'
+    --gtest_filter='ThreadPool*:ParallelFor.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*'
   echo "== OK =="
   exit 0
 fi
 
-echo "== sanitizers: ASan+UBSan over simulator + telemetry + fault tests =="
+echo "== sanitizers: ASan+UBSan over simulator + telemetry + fault/scrub tests =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" --target silica_tests
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/silica_tests \
-  --gtest_filter='Simulator.*:MetricsRegistry.*:Tracer.*:Telemetry.*:FaultInjector.*:FaultedLibrary.*'
+  --gtest_filter='Simulator.*:MetricsRegistry.*:Tracer.*:Telemetry.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*'
 
 echo "== OK =="

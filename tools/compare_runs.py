@@ -34,6 +34,25 @@ TRACKED = [
     (("makespan_seconds",), "makespan (s)", -1),
 ]
 
+# Durability counters, present only when the run enabled media aging or the
+# background scrubber (--aging-mtbe / --scrub). Compared only when both runs
+# carry them; a run without the feature simply skips these rows.
+OPTIONAL_TRACKED = [
+    (("aging", "events"), "aging events", 0),
+    (("aging", "latent_sectors"), "latent sectors", 0),
+    (("scrub", "passes"), "scrub passes", 0),
+    (("scrub", "detections"), "scrub detections", 0),
+    (("repair", "detected"), "repair: detected sectors", 0),
+    (("repair", "ldpc_retry"), "repair: ldpc retry", 0),
+    (("repair", "track_nc"), "repair: within-track NC", 0),
+    (("repair", "large_group"), "repair: large group", 0),
+    (("repair", "platter_set"), "repair: platter set", 0),
+    (("repair", "unrecoverable"), "repair: unrecoverable", -1),
+    (("repair", "bytes_lost"), "repair: bytes lost", -1),
+    (("repair", "rebuilds_completed"), "rebuilds completed", 0),
+    (("repair", "rebuild_reads"), "rebuild set-peer reads", 0),
+]
+
 
 def lookup(report, path):
     node = report
@@ -64,10 +83,15 @@ def main():
             if base_cfg.get(key) != cand_cfg.get(key):
                 print(f"  {key}: {base_cfg.get(key)!r} -> {cand_cfg.get(key)!r}")
 
+    tracked = list(TRACKED)
+    for path, label, direction in OPTIONAL_TRACKED:
+        if lookup(base, path) is not None and lookup(cand, path) is not None:
+            tracked.append((path, label, direction))
+
     regressions = []
-    width = max(len(label) for _, label, _ in TRACKED)
+    width = max(len(label) for _, label, _ in tracked)
     print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
-    for path, label, direction in TRACKED:
+    for path, label, direction in tracked:
         b, c = lookup(base, path), lookup(cand, path)
         if b is None or c is None:
             print(f"{label:<{width}}  {'missing':>14}  {'missing':>14}")

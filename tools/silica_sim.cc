@@ -6,6 +6,8 @@
 //              [--fault-shuttle-mtbf=S --fault-shuttle-mttr=S]
 //              [--fault-drive-mtbf=S --fault-drive-mttr=S]
 //              [--fault-rack-mtbf=S --fault-rack-mttr=S] [--fault-until=S]
+//              [--aging-mtbe=S --aging-max-sectors=N]
+//              [--scrub --scrub-interval=S --scrub-sample=F]
 //              [--threads=1] [--metrics-out=m.json|m.prom] [--trace-out=t.json]
 //              [--trace-categories=shuttle,drive,scheduler,pipeline] [--json]
 //
@@ -81,6 +83,44 @@ void PrintJsonReport(const silica::LibrarySimResult& r,
       r.EnergyPerPlatterOperation(),
       static_cast<unsigned long long>(r.work_steals),
       static_cast<unsigned long long>(r.shuttle_recharges));
+  if (config.faults.aging.enabled() || config.scrub.enabled) {
+    const auto& s = r.scrub;
+    std::printf(
+        "  \"aging\": {\"enabled\": %s, \"events\": %llu, \"latent_sectors\": "
+        "%llu},\n",
+        config.faults.aging.enabled() ? "true" : "false",
+        static_cast<unsigned long long>(s.aging_events),
+        static_cast<unsigned long long>(s.latent_sectors));
+    std::printf(
+        "  \"scrub\": {\"enabled\": %s, \"interval_s\": %.6g, \"sample\": %.6g, "
+        "\"passes\": %llu, \"detections\": %llu, "
+        "\"read_detections\": %llu, \"scrub_read_seconds\": %.6g, "
+        "\"repair_read_seconds\": %.6g},\n",
+        config.scrub.enabled ? "true" : "false", config.scrub.platter_interval_s,
+        config.scrub.track_sample_fraction,
+        static_cast<unsigned long long>(s.scrubs_completed),
+        static_cast<unsigned long long>(s.scrub_detections),
+        static_cast<unsigned long long>(s.read_detections), s.scrub_read_seconds,
+        s.repair_read_seconds);
+    std::printf(
+        "  \"repair\": {\"detected\": %llu, \"ldpc_retry\": %llu, "
+        "\"track_nc\": %llu, \"large_group\": %llu, \"platter_set\": %llu, "
+        "\"unrecoverable\": %llu, \"bytes_lost\": %llu, \"rebuilds_started\": "
+        "%llu, \"rebuilds_completed\": %llu, \"rebuild_retries\": %llu, "
+        "\"rebuild_reads\": %llu, \"conserves\": %s},\n",
+        static_cast<unsigned long long>(s.ledger.detected),
+        static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kLdpcRetry)]),
+        static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kTrackNc)]),
+        static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kLargeGroup)]),
+        static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kPlatterSet)]),
+        static_cast<unsigned long long>(s.ledger.unrecoverable),
+        static_cast<unsigned long long>(s.ledger.bytes_lost),
+        static_cast<unsigned long long>(s.rebuilds_started),
+        static_cast<unsigned long long>(s.rebuilds_completed),
+        static_cast<unsigned long long>(s.rebuild_retries),
+        static_cast<unsigned long long>(s.rebuild_reads),
+        s.ledger.Conserves() ? "true" : "false");
+  }
   if (config.faults.enabled()) {
     std::printf(
         "  \"faults\": {\"shuttle_failures\": %llu, \"shuttle_repairs\": %llu, "
@@ -125,6 +165,16 @@ int main(int argc, char** argv) {
         "  [--fault-drive-mtbf=S --fault-drive-mttr=S    read-drive outages]\n"
         "  [--fault-rack-mtbf=S  --fault-rack-mttr=S     rack (blast-zone) outages]\n"
         "  [--fault-until=S           inject no new failures after time S]\n"
+        "  [--aging-mtbe=S            media aging: mean seconds between latent\n"
+        "                              damage events per stored platter]\n"
+        "  [--aging-max-sectors=N     sectors struck per damage event, 1..N\n"
+        "                              (default 4; requires --aging-mtbe)]\n"
+        "  [--scrub                   background scrub on idle verify slots +\n"
+        "                              multi-layer repair escalation]\n"
+        "  [--scrub-interval=S        seconds between scrub passes per platter\n"
+        "                              (default 21600; requires --scrub)]\n"
+        "  [--scrub-sample=F          fraction of tracks streamed per pass,\n"
+        "                              in (0,1] (default 0.05; requires --scrub)]\n"
         "  [--threads=N               worker threads for data-plane coding work;\n"
         "                              the sim-time event loop itself stays\n"
         "                              single-threaded, so results are identical\n"
@@ -134,7 +184,8 @@ int main(int argc, char** argv) {
         "                              Prometheus text)]\n"
         "  [--trace-out=FILE           Chrome/Perfetto trace_event JSON]\n"
         "  [--trace-categories=LIST    comma list of sim,shuttle,drive,\n"
-        "                              scheduler,decode,pipeline (default all)]\n");
+        "                              scheduler,decode,pipeline,faults,scrub\n"
+        "                              (default all)]\n");
     return 0;
   }
 
@@ -206,6 +257,69 @@ int main(int argc, char** argv) {
   }
   if (flags.Has("fault-until")) {
     config.faults.inject_until_s = flags.GetDouble("fault-until", 1e30);
+  }
+
+  // Media aging + background scrub. Flag combinations are validated up front so
+  // a sweep script fails loudly instead of silently running the wrong model.
+  if (flags.Has("aging-mtbe")) {
+    const double mtbe = flags.GetDouble("aging-mtbe", 0.0);
+    if (mtbe <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --aging-mtbe must be > 0 seconds (mean gap between "
+                   "damage events per platter); got %g\n",
+                   mtbe);
+      return 1;
+    }
+    config.faults.aging = MediaAgingConfig::Exponential(mtbe);
+    if (flags.Has("aging-max-sectors")) {
+      const int max_sectors =
+          static_cast<int>(flags.GetInt("aging-max-sectors", 0));
+      if (max_sectors < 1) {
+        std::fprintf(stderr, "error: --aging-max-sectors must be >= 1; got %d\n",
+                     max_sectors);
+        return 1;
+      }
+      config.faults.aging.max_sectors_per_event = max_sectors;
+    }
+  } else if (flags.Has("aging-max-sectors")) {
+    std::fprintf(stderr,
+                 "error: --aging-max-sectors requires --aging-mtbe (it scales "
+                 "damage events, and --aging-mtbe enables them)\n");
+    return 1;
+  }
+  if (flags.Has("scrub")) {
+    config.scrub.enabled = true;
+    if (flags.Has("scrub-interval")) {
+      const double interval = flags.GetDouble("scrub-interval", 0.0);
+      if (interval <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --scrub-interval must be > 0 seconds; got %g\n",
+                     interval);
+        return 1;
+      }
+      config.scrub.platter_interval_s = interval;
+    }
+    if (flags.Has("scrub-sample")) {
+      const double sample = flags.GetDouble("scrub-sample", 0.0);
+      if (sample <= 0.0 || sample > 1.0) {
+        std::fprintf(stderr,
+                     "error: --scrub-sample must be in (0, 1] (fraction of "
+                     "tracks streamed per pass); got %g\n",
+                     sample);
+        return 1;
+      }
+      config.scrub.track_sample_fraction = sample;
+    }
+  } else {
+    for (const char* dependent : {"scrub-interval", "scrub-sample"}) {
+      if (flags.Has(dependent)) {
+        std::fprintf(stderr,
+                     "error: --%s requires --scrub (background scrubbing is "
+                     "off by default)\n",
+                     dependent);
+        return 1;
+      }
+    }
   }
 
   // Attach telemetry only when a sink was requested: with no sinks, the twin runs
@@ -294,6 +408,35 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.faults.converted_requests),
                 static_cast<unsigned long long>(r.amplified_requests),
                 static_cast<unsigned long long>(r.requests_failed));
+  }
+  if (config.faults.aging.enabled() || config.scrub.enabled) {
+    const auto& s = r.scrub;
+    std::printf("aging: %llu events struck %llu sectors | scrub: %llu passes "
+                "(%llu detections), %llu read detections\n",
+                static_cast<unsigned long long>(s.aging_events),
+                static_cast<unsigned long long>(s.latent_sectors),
+                static_cast<unsigned long long>(s.scrubs_completed),
+                static_cast<unsigned long long>(s.scrub_detections),
+                static_cast<unsigned long long>(s.read_detections));
+    std::printf("repair: %llu detected -> ldpc %llu, track-nc %llu, "
+                "large-group %llu, platter-set %llu, unrecoverable %llu "
+                "(%llu bytes lost)%s\n",
+                static_cast<unsigned long long>(s.ledger.detected),
+                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kLdpcRetry)]),
+                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kTrackNc)]),
+                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kLargeGroup)]),
+                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kPlatterSet)]),
+                static_cast<unsigned long long>(s.ledger.unrecoverable),
+                static_cast<unsigned long long>(s.ledger.bytes_lost),
+                s.ledger.Conserves() ? "" : " [LEDGER LEAK]");
+    if (s.rebuilds_started > 0) {
+      std::printf("rebuilds: %llu started, %llu completed, %llu retries, %llu "
+                  "set-peer reads\n",
+                  static_cast<unsigned long long>(s.rebuilds_started),
+                  static_cast<unsigned long long>(s.rebuilds_completed),
+                  static_cast<unsigned long long>(s.rebuild_retries),
+                  static_cast<unsigned long long>(s.rebuild_reads));
+    }
   }
   std::printf("verdict: %s the 15 h SLO\n",
               r.completion_times.Percentile(0.999) <= slo ? "meets" : "MISSES");
