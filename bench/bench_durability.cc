@@ -10,10 +10,12 @@
 //
 // Kept small (a few hundred platters, a short IOPS trace) so the full sweep
 // runs in seconds; `--json` emits one machine-readable object for trajectory
-// tracking (tools/check.sh smoke-runs it).
+// tracking (tools/check.sh smoke-runs it). `--sweep-threads=K` runs the grid
+// cells in parallel with byte-identical output for every K.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -93,6 +95,22 @@ int main(int argc, char** argv) {
   // rate, compressed so a short run exercises every repair tier.
   const std::vector<double> mtbes = {0.0, 8.0 * 3600.0, 3600.0};
 
+  // Build the cell grid first, fan the simulations out (--sweep-threads=K; the
+  // shared trace is read-only), then print in grid order so the report is
+  // byte-identical for every K.
+  std::vector<std::pair<double, bool>> grid;
+  for (double mtbe : mtbes) {
+    for (bool scrub : {false, true}) {
+      if (mtbe == 0.0 && !scrub) {
+        continue;  // the all-off cell is every other bench
+      }
+      grid.emplace_back(mtbe, scrub);
+    }
+  }
+  const auto results = RunSweep<Cell>(
+      grid.size(), SweepThreadsArg(argc, argv),
+      [&](size_t i) { return RunCell(trace, grid[i].first, grid[i].second); });
+
   std::vector<std::string> cells;
   if (!json) {
     Header("Durability: media aging x background scrub (400 platters, IOPS)");
@@ -100,37 +118,31 @@ int main(int argc, char** argv) {
                 "scrub", "events", "latent", "detected", "passes",
                 "repaired (ldpc/tnc/lg/set)", "unrec", "lost", "p99");
   }
-  for (double mtbe : mtbes) {
-    for (bool scrub : {false, true}) {
-      if (mtbe == 0.0 && !scrub) {
-        continue;  // the all-off cell is every other bench
-      }
-      const Cell cell = RunCell(trace, mtbe, scrub);
-      if (json) {
-        cells.push_back(CellJson(cell));
-        continue;
-      }
-      const auto& s = cell.result.scrub;
-      char repaired[64];
-      std::snprintf(repaired, sizeof(repaired), "%llu/%llu/%llu/%llu",
-                    static_cast<unsigned long long>(s.ledger.repaired[0]),
-                    static_cast<unsigned long long>(s.ledger.repaired[1]),
-                    static_cast<unsigned long long>(s.ledger.repaired[2]),
-                    static_cast<unsigned long long>(s.ledger.repaired[3]));
-      std::printf("%-10s %6s %8llu %8llu %10llu %9llu %28s %7llu %6llu %10s%s\n",
-                  cell.mtbe_s > 0.0
-                      ? FormatDuration(cell.mtbe_s).c_str()
-                      : "off",
-                  cell.scrub ? "on" : "off",
-                  static_cast<unsigned long long>(s.aging_events),
-                  static_cast<unsigned long long>(s.latent_sectors),
-                  static_cast<unsigned long long>(s.ledger.detected),
-                  static_cast<unsigned long long>(s.scrubs_completed), repaired,
-                  static_cast<unsigned long long>(s.ledger.unrecoverable),
-                  static_cast<unsigned long long>(s.ledger.bytes_lost),
-                  Tail(cell.result).c_str(),
-                  s.ledger.Conserves() ? "" : "  [LEDGER LEAK]");
+  for (const Cell& cell : results) {
+    if (json) {
+      cells.push_back(CellJson(cell));
+      continue;
     }
+    const auto& s = cell.result.scrub;
+    char repaired[64];
+    std::snprintf(repaired, sizeof(repaired), "%llu/%llu/%llu/%llu",
+                  static_cast<unsigned long long>(s.ledger.repaired[0]),
+                  static_cast<unsigned long long>(s.ledger.repaired[1]),
+                  static_cast<unsigned long long>(s.ledger.repaired[2]),
+                  static_cast<unsigned long long>(s.ledger.repaired[3]));
+    std::printf("%-10s %6s %8llu %8llu %10llu %9llu %28s %7llu %6llu %10s%s\n",
+                cell.mtbe_s > 0.0
+                    ? FormatDuration(cell.mtbe_s).c_str()
+                    : "off",
+                cell.scrub ? "on" : "off",
+                static_cast<unsigned long long>(s.aging_events),
+                static_cast<unsigned long long>(s.latent_sectors),
+                static_cast<unsigned long long>(s.ledger.detected),
+                static_cast<unsigned long long>(s.scrubs_completed), repaired,
+                static_cast<unsigned long long>(s.ledger.unrecoverable),
+                static_cast<unsigned long long>(s.ledger.bytes_lost),
+                Tail(cell.result).c_str(),
+                s.ledger.Conserves() ? "" : "  [LEDGER LEAK]");
   }
   if (json) {
     std::printf("%s\n",

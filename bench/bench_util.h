@@ -5,11 +5,14 @@
 #define SILICA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
 #include "core/library_sim.h"
+#include "core/sweep.h"
 #include "workload/trace_gen.h"
 
 namespace silica {
@@ -50,6 +53,19 @@ inline std::string Tail(const LibrarySimResult& result) {
 inline const char* SloVerdict(const LibrarySimResult& result) {
   return result.completion_times.Percentile(0.999) <= kSloSeconds ? "meets SLO"
                                                                   : "MISSES SLO";
+}
+
+// Parses --sweep-threads=K (default 1). Benches fan their sweep cells out with
+// RunSweep and print rows afterwards in cell order, so every K produces a
+// byte-identical table; K only changes the wall-clock time.
+inline int SweepThreadsArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sweep-threads=", 16) == 0) {
+      const int k = std::atoi(argv[i] + 16);
+      return k > 0 ? k : 1;
+    }
+  }
+  return 1;
 }
 
 inline void Header(const char* title) {

@@ -547,6 +547,7 @@ void Sim::SetUpControlPlane() {
   if (config_.library.policy == Policy::kNoShuttles) {
     schedulers_.resize(1);
     returns_.resize(1);
+    schedulers_[0].ReservePlatters(platters_.size());
     return;
   }
 
@@ -588,6 +589,11 @@ void Sim::SetUpControlPlane() {
       shuttle.battery = lib.shuttle_battery_capacity;
       shuttle.rng = rng_.Fork(0x5105 + static_cast<uint64_t>(s));
     }
+  }
+  // Pre-size the schedulers' flat platter index: platter ids are dense layout
+  // indices, so each scheduler's slot table maps them without rehashing.
+  for (auto& scheduler : schedulers_) {
+    scheduler.ReservePlatters(platters_.size());
   }
 }
 

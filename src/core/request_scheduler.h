@@ -6,16 +6,24 @@
 // platters* is selected, even if an older request exists for a platter that is
 // currently inaccessible (being carried, mounted, or obscured). Once a platter is
 // mounted, all queued requests for it are serviced, amortizing the fetch.
+//
+// Hot-path layout: platter groups live in a flat slot pool indexed by platter id
+// (platter ids are dense layout indices), and earliest-first selection runs on a
+// lazy-deletion min-heap of (arrival, platter) entries — Submit/TakeRequests/
+// SelectPlatter never allocate tree or hash nodes. A heap entry is stale once its
+// platter's group is gone or its front arrival moved (partial takes, requeues);
+// stale entries are dropped when they surface at the heap top, and the heap is
+// rebuilt from the live groups if stale entries ever dominate. Selection output
+// is identical to the ordered-set implementation this replaces: entries are
+// visited in exact (arrival, platter) order and duplicates are skipped.
 #ifndef SILICA_CORE_REQUEST_SCHEDULER_H_
 #define SILICA_CORE_REQUEST_SCHEDULER_H_
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/request.h"
@@ -31,6 +39,10 @@ class RequestScheduler {
   // Publishes queue-depth gauges and a submission counter, labeled with this
   // scheduler's partition id, into the registry; nullptr detaches.
   void SetTelemetry(Telemetry* telemetry, int scheduler_id);
+
+  // Pre-sizes the platter index (platter ids are dense layout indices). Optional:
+  // the index also grows on demand.
+  void ReservePlatters(uint64_t num_platters);
 
   // Queues a request. Requests must be submitted in nondecreasing arrival order
   // (the event loop guarantees this).
@@ -54,7 +66,7 @@ class RequestScheduler {
 
   bool HasRequests(uint64_t platter) const;
   size_t pending_requests() const { return pending_requests_; }
-  size_t pending_platters() const { return by_platter_.size(); }
+  size_t pending_platters() const { return active_groups_; }
   uint64_t total_queued_bytes() const { return total_bytes_; }
 
   // Total queued bytes for a platter (0 when none), and the arrival time of its
@@ -70,17 +82,43 @@ class RequestScheduler {
   struct PlatterQueue {
     std::deque<ReadRequest> requests;
     uint64_t bytes = 0;
+    uint64_t platter = 0;
+    bool in_use = false;
   };
+  // (oldest arrival, platter): min-heap entries for earliest-first selection.
+  using Entry = std::pair<double, uint64_t>;
 
-  void EraseIndex(uint64_t platter);
+  static constexpr int32_t kNoSlot = -1;
+
+  // Slot of the platter's group, or kNoSlot.
+  int32_t SlotOf(uint64_t platter) const {
+    return platter < slots_.size() ? slots_[platter] : kNoSlot;
+  }
+  PlatterQueue& GetOrCreate(uint64_t platter, bool* created);
+  void ReleaseSlot(uint64_t platter, int32_t slot);
+  void PushEntry(double arrival, uint64_t platter);
+  // True when the entry no longer describes its platter's front-of-queue state.
+  bool Stale(const Entry& entry) const;
+  // Rebuilds the heap from live groups once stale entries dominate, so lazy
+  // deletion stays O(live) in memory.
+  void CompactHeapIfNeeded();
   void PublishDepth();
 
   Counter* submitted_counter_ = nullptr;
   Gauge* pending_gauge_ = nullptr;
   Gauge* bytes_gauge_ = nullptr;
-  std::unordered_map<uint64_t, PlatterQueue> by_platter_;
-  // (oldest arrival, platter) for earliest-first selection.
-  std::set<std::pair<double, uint64_t>> order_;
+
+  std::vector<int32_t> slots_;      // platter id -> pool slot
+  std::vector<PlatterQueue> pool_;  // slot storage, recycled via free_
+  std::vector<int32_t> free_;
+  size_t active_groups_ = 0;
+
+  // Lazy-deletion min-heap (std::greater on (arrival, platter)). Mutable with
+  // scratch_: SelectPlatter pops entries to visit them in sorted order and
+  // pushes the live ones back — logically const, physically a reshuffle.
+  mutable std::vector<Entry> heap_;
+  mutable std::vector<Entry> scratch_;
+
   size_t pending_requests_ = 0;
   uint64_t total_bytes_ = 0;
 };

@@ -1,13 +1,14 @@
 #include "ecc/ldpc.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
-#include <tuple>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/rng.h"
@@ -54,12 +55,39 @@ uint64_t PairKey(uint32_t a, uint32_t b) {
 }
 
 // Process-wide Build cache. Keyed by every Config field; the rate participates
-// through its raw bit pattern so distinct doubles never alias.
+// through its raw bit pattern so distinct doubles never alias. After warmup every
+// lookup is a hit, and the sweep runner's replications all hit concurrently, so
+// the hit path takes only a shared lock (hits/misses are atomics for the same
+// reason); builders still serialize on the exclusive side. unordered_map keeps
+// hit lookups O(1) — iteration order does not matter to anyone.
+struct BuildCacheKey {
+  size_t block_bits;
+  uint64_t rate_bits;
+  int column_weight;
+  uint64_t seed;
+  bool operator==(const BuildCacheKey&) const = default;
+};
+
+struct BuildCacheKeyHash {
+  size_t operator()(const BuildCacheKey& k) const {
+    uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the four fields
+    const auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(k.block_bits);
+    mix(k.rate_bits);
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(k.column_weight)));
+    mix(k.seed);
+    return static_cast<size_t>(h);
+  }
+};
+
 struct BuildCache {
-  std::mutex mutex;
-  std::map<std::tuple<size_t, uint64_t, int, uint64_t>, LdpcCode> codes;
-  uint64_t hits = 0;
-  uint64_t misses = 0;
+  std::shared_mutex mutex;
+  std::unordered_map<BuildCacheKey, LdpcCode, BuildCacheKeyHash> codes;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
 };
 
 BuildCache& GetCache() {
@@ -67,7 +95,7 @@ BuildCache& GetCache() {
   return *cache;
 }
 
-std::tuple<size_t, uint64_t, int, uint64_t> CacheKey(const LdpcCode::Config& c) {
+BuildCacheKey CacheKey(const LdpcCode::Config& c) {
   uint64_t rate_bits = 0;
   static_assert(sizeof(rate_bits) == sizeof(c.rate));
   std::memcpy(&rate_bits, &c.rate, sizeof(rate_bits));
@@ -80,30 +108,30 @@ LdpcCode LdpcCode::Build(const Config& config) {
   BuildCache& cache = GetCache();
   const auto key = CacheKey(config);
   {
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    std::shared_lock<std::shared_mutex> lock(cache.mutex);
     const auto it = cache.codes.find(key);
     if (it != cache.codes.end()) {
-      ++cache.hits;
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
   // Construct outside the lock (seconds for large blocks); concurrent builders of
   // the same key race benignly — first insert wins, both results are identical.
   LdpcCode code = BuildUncached(config);
-  std::lock_guard<std::mutex> lock(cache.mutex);
-  ++cache.misses;
+  std::unique_lock<std::shared_mutex> lock(cache.mutex);
+  cache.misses.fetch_add(1, std::memory_order_relaxed);
   return cache.codes.emplace(key, std::move(code)).first->second;
 }
 
 LdpcCode::BuildCacheStats LdpcCode::GetBuildCacheStats() {
   BuildCache& cache = GetCache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
-  return {cache.hits, cache.misses};
+  std::shared_lock<std::shared_mutex> lock(cache.mutex);
+  return {cache.hits.load(), cache.misses.load()};
 }
 
 void LdpcCode::ClearBuildCache() {
   BuildCache& cache = GetCache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
+  std::unique_lock<std::shared_mutex> lock(cache.mutex);
   cache.codes.clear();
   cache.hits = 0;
   cache.misses = 0;

@@ -1,0 +1,217 @@
+// Two-level calendar queue: the event store behind Simulator.
+//
+// A classic Brown-style calendar queue hashed on event time. The ring of
+// `bucket_count_` (power of two) buckets covers `bucket_count_ * width_`
+// seconds of simulated "year"; an event lands in bucket `day & mask` where
+// `day = floor(time / width)`. Pops scan forward from the current day and
+// min-select within one bucket, so schedule and pop are O(1) amortized when
+// the width tracks the mean inter-event gap — the queue resizes and re-widths
+// itself from the live contents whenever the population doubles or halves, and
+// falls back to a direct search (plus a re-width, since a miss means the
+// geometry went stale) after a fruitless year of scanning.
+//
+// Determinism contract: PopTop() always removes the globally least event under
+// lexicographic (time, id) order — identical to the binary-heap engine it
+// replaced, including the FIFO tie-break among simultaneous events. Bucket
+// storage order is irrelevant: selection is by key, and keys are unique.
+#ifndef SILICA_SIM_CALENDAR_QUEUE_H_
+#define SILICA_SIM_CALENDAR_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "sim/inline_event.h"
+
+namespace silica {
+
+using SimTime = double;  // seconds
+
+struct SimEvent {
+  SimTime time;
+  uint64_t id;
+  InlineEvent fn;
+};
+
+class CalendarQueue {
+ public:
+  CalendarQueue() { buckets_.resize(kMinBuckets); }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void Push(SimTime time, uint64_t id, InlineEvent fn) {
+    const uint64_t day = DayOf(time);
+    const size_t bucket = static_cast<size_t>(day) & mask_;
+    buckets_[bucket].push_back(SimEvent{time, id, std::move(fn)});
+    ++size_;
+    if (size_ == 1 || day < cur_day_) {
+      cur_day_ = day;  // the scan must not start past the new event
+    }
+    if (top_valid_ && Precedes(time, id, TopEvent())) {
+      top_bucket_ = bucket;
+      top_slot_ = buckets_[bucket].size() - 1;
+    }
+    if (size_ > 2 * bucket_count_) {
+      Rebuild(bucket_count_ * 2);
+    }
+  }
+
+  // Least (time, id) event. Valid until the next Push/PopTop. Requires !empty().
+  const SimEvent& Top() {
+    FindTop();
+    return TopEvent();
+  }
+
+  // Removes and returns the least (time, id) event. Requires !empty().
+  SimEvent PopTop() {
+    FindTop();
+    std::vector<SimEvent>& bucket = buckets_[top_bucket_];
+    SimEvent out = std::move(bucket[top_slot_]);
+    if (top_slot_ != bucket.size() - 1) {
+      bucket[top_slot_] = std::move(bucket.back());
+    }
+    bucket.pop_back();
+    --size_;
+    top_valid_ = false;
+    // No shrink here: a fill/drain cycle (batched schedules, cancel storms)
+    // would rebuild on every swing. An oversized ring costs nothing while the
+    // queue is empty, refills for free, and if the population really has moved
+    // on, the fruitless-year scan in FindTop right-sizes it.
+    return out;
+  }
+
+  // Cold-path enumeration (Idle checks, tombstone purges). Order unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& bucket : buckets_) {
+      for (const SimEvent& event : bucket) {
+        fn(event);
+      }
+    }
+  }
+
+  size_t bucket_count() const { return bucket_count_; }
+  double width() const { return width_; }
+
+ private:
+  static constexpr size_t kMinBuckets = 16;
+  // Day indices are clamped so `time * inv_width_` can never overflow the
+  // conversion to uint64_t; every event past the clamp shares one final day
+  // and min-selection inside its bucket keeps ordering exact.
+  static constexpr double kMaxDay = 1e18;
+
+  static bool Precedes(SimTime time, uint64_t id, const SimEvent& other) {
+    if (time != other.time) {
+      return time < other.time;
+    }
+    return id < other.id;
+  }
+
+  uint64_t DayOf(SimTime time) const {
+    const double day = time * inv_width_;
+    return day >= kMaxDay ? static_cast<uint64_t>(kMaxDay)
+                          : static_cast<uint64_t>(day);
+  }
+
+  SimEvent& TopEvent() { return buckets_[top_bucket_][top_slot_]; }
+
+  // Smallest power-of-two bucket count that keeps load factor <= 2.
+  size_t NormalCount() const {
+    size_t count = kMinBuckets;
+    while (2 * count < size_) {
+      count *= 2;
+    }
+    return count;
+  }
+
+  void FindTop() {
+    if (top_valid_ || size_ == 0) {
+      return;
+    }
+    size_t scanned_days = 0;
+    for (;;) {
+      const std::vector<SimEvent>& bucket =
+          buckets_[static_cast<size_t>(cur_day_) & mask_];
+      size_t best = bucket.size();
+      for (size_t slot = 0; slot < bucket.size(); ++slot) {
+        const SimEvent& event = bucket[slot];
+        if (DayOf(event.time) != cur_day_) {
+          continue;  // belongs to a different year of this bucket
+        }
+        if (best == bucket.size() ||
+            Precedes(event.time, event.id, bucket[best])) {
+          best = slot;
+        }
+      }
+      if (best != bucket.size()) {
+        top_bucket_ = static_cast<size_t>(cur_day_) & mask_;
+        top_slot_ = best;
+        top_valid_ = true;
+        return;
+      }
+      ++cur_day_;
+      if (++scanned_days >= bucket_count_) {
+        // A whole year with nothing due: the width no longer matches the event
+        // population (e.g. a sparse far-future tail, or a ring left oversized
+        // after a drain). Re-width and right-size around what is actually
+        // queued; the rebuild leaves cur_day_ at the minimum.
+        Rebuild(NormalCount());
+        scanned_days = 0;
+      }
+    }
+  }
+
+  void Rebuild(size_t new_count) {
+    std::vector<SimEvent> all;
+    all.reserve(size_);
+    for (auto& bucket : buckets_) {
+      for (SimEvent& event : bucket) {
+        all.push_back(std::move(event));
+      }
+      bucket.clear();
+    }
+    double min_time = std::numeric_limits<double>::infinity();
+    double max_time = -std::numeric_limits<double>::infinity();
+    for (const SimEvent& event : all) {
+      min_time = event.time < min_time ? event.time : min_time;
+      max_time = event.time > max_time ? event.time : max_time;
+    }
+    bucket_count_ = new_count;
+    mask_ = new_count - 1;
+    buckets_.resize(new_count);
+    // Aim for ~2 events per day: the ring then covers one to four times the
+    // queued span, so a year scan almost always lands on the next event.
+    const double span = all.empty() ? 0.0 : max_time - min_time;
+    width_ = span > 0.0 ? 2.0 * span / static_cast<double>(all.size()) : 1.0;
+    if (width_ < 1e-12) {
+      width_ = 1e-12;  // keep inv_width_ finite for denormal spans
+    }
+    inv_width_ = 1.0 / width_;
+    cur_day_ = all.empty() ? 0 : DayOf(min_time);
+    top_valid_ = false;
+    for (SimEvent& event : all) {
+      buckets_[static_cast<size_t>(DayOf(event.time)) & mask_].push_back(
+          std::move(event));
+    }
+  }
+
+  std::vector<std::vector<SimEvent>> buckets_;
+  size_t bucket_count_ = kMinBuckets;
+  size_t mask_ = kMinBuckets - 1;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  uint64_t cur_day_ = 0;
+  size_t size_ = 0;
+  // Cached location of the current minimum, filled by FindTop so Top() followed
+  // by PopTop() pays for one scan.
+  bool top_valid_ = false;
+  size_t top_bucket_ = 0;
+  size_t top_slot_ = 0;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_SIM_CALENDAR_QUEUE_H_

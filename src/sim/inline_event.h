@@ -1,0 +1,223 @@
+// Allocation-free event callbacks for the discrete event simulator.
+//
+// std::function pays a heap allocation for any capture larger than its tiny
+// internal buffer (16 bytes on libstdc++), and the twin's event callbacks —
+// `[this, &shuttle, platter, request]` and friends — routinely capture 24..56
+// bytes. At millions of events per run that allocation (and the matching free
+// in the event-loop epilogue) dominates the schedule path. InlineEvent is the
+// replacement: a move-only callable with a 64-byte small-buffer optimization
+// sized for every capture the twin actually makes, falling back to a
+// thread-local size-class freelist for oversized or throwing-move captures so
+// even the rare big event reuses memory instead of round-tripping malloc.
+//
+// The freelist is thread-local on purpose: a Simulator instance runs on exactly
+// one thread (the sweep runner gives each replication its own instance on its
+// own pool thread), so blocks never migrate between threads and the freelist
+// needs no locks. Blocks are returned on destruction and reused by the next
+// oversized capture of the same size class; anything beyond the largest class
+// degrades to plain new/delete.
+#ifndef SILICA_SIM_INLINE_EVENT_H_
+#define SILICA_SIM_INLINE_EVENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace silica {
+
+namespace internal {
+
+// Size-class freelist for oversized event captures. Classes are powers of two
+// from 128 B to 1 KiB; a freed block's first word links to the next free block.
+class EventArena {
+ public:
+  static constexpr size_t kMinClass = 128;
+  static constexpr size_t kMaxClass = 1024;
+
+  static void* Allocate(size_t size) {
+    const int cls = ClassOf(size);
+    if (cls < 0) {
+      return ::operator new(size);
+    }
+    FreeList& list = Lists()[static_cast<size_t>(cls)];
+    if (list.head != nullptr) {
+      void* block = list.head;
+      list.head = *static_cast<void**>(block);
+      return block;
+    }
+    return ::operator new(kMinClass << cls);
+  }
+
+  static void Deallocate(void* block, size_t size) {
+    const int cls = ClassOf(size);
+    if (cls < 0) {
+      ::operator delete(block);
+      return;
+    }
+    FreeList& list = Lists()[static_cast<size_t>(cls)];
+    *static_cast<void**>(block) = list.head;
+    list.head = block;
+  }
+
+ private:
+  struct FreeList {
+    void* head = nullptr;
+    ~FreeList() {
+      while (head != nullptr) {
+        void* next = *static_cast<void**>(head);
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  };
+  static constexpr size_t kNumClasses = 4;  // 128, 256, 512, 1024
+
+  // -1 when the size exceeds every class (plain new/delete).
+  static int ClassOf(size_t size) {
+    size_t cls_size = kMinClass;
+    for (size_t c = 0; c < kNumClasses; ++c, cls_size <<= 1) {
+      if (size <= cls_size) {
+        return static_cast<int>(c);
+      }
+    }
+    return -1;
+  }
+
+  static FreeList* Lists() {
+    thread_local FreeList lists[kNumClasses];
+    return lists;
+  }
+};
+
+}  // namespace internal
+
+class InlineEvent {
+ public:
+  // Sized so Event{time, id, fn} stays within two cache lines while covering
+  // the largest capture the library twin schedules (this + ReadRequest = 56 B).
+  static constexpr size_t kInlineCapacity = 64;
+
+  InlineEvent() = default;
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Fn>, InlineEvent>>>
+  InlineEvent(Fn&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<Fn>;
+    static_assert(std::is_invocable_r_v<void, Decayed&>,
+                  "InlineEvent requires a void() callable");
+    constexpr bool kFitsInline =
+        sizeof(Decayed) <= kInlineCapacity &&
+        alignof(Decayed) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<Decayed>;
+    if constexpr (kFitsInline) {
+      ::new (static_cast<void*>(inline_)) Decayed(std::forward<Fn>(fn));
+      vtable_ = &kInlineVTable<Decayed>;
+    } else {
+      void* block = internal::EventArena::Allocate(sizeof(Decayed));
+      try {
+        ::new (block) Decayed(std::forward<Fn>(fn));
+      } catch (...) {
+        internal::EventArena::Deallocate(block, sizeof(Decayed));
+        throw;
+      }
+      heap_ = block;
+      vtable_ = &kHeapVTable<Decayed>;
+    }
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept { MoveFrom(other); }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { Reset(); }
+
+  void operator()() { vtable_->invoke(Target()); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  // True when the callable lives in the inline buffer (no allocation happened).
+  bool is_inline() const { return vtable_ != nullptr && !vtable_->heap; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* target);
+    // Move-construct the callable into `dst` from `src` and destroy `src`.
+    // Inline targets relocate the object; heap targets never move (the owning
+    // InlineEvent just hands over the pointer).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* target);
+    size_t size;  // allocation size for heap targets
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable = {
+      [](void* target) { (*static_cast<Fn*>(target))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* target) { static_cast<Fn*>(target)->~Fn(); },
+      sizeof(Fn),
+      false,
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable = {
+      [](void* target) { (*static_cast<Fn*>(target))(); },
+      nullptr,  // heap targets transfer by pointer, never relocate
+      [](void* target) { static_cast<Fn*>(target)->~Fn(); },
+      sizeof(Fn),
+      true,
+  };
+
+  void* Target() { return vtable_->heap ? heap_ : static_cast<void*>(inline_); }
+
+  void MoveFrom(InlineEvent& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ == nullptr) {
+      return;
+    }
+    if (vtable_->heap) {
+      heap_ = other.heap_;
+    } else {
+      vtable_->relocate(inline_, other.inline_);
+    }
+    other.vtable_ = nullptr;
+  }
+
+  void Reset() {
+    if (vtable_ == nullptr) {
+      return;
+    }
+    if (vtable_->heap) {
+      vtable_->destroy(heap_);
+      internal::EventArena::Deallocate(heap_, vtable_->size);
+    } else {
+      vtable_->destroy(inline_);
+    }
+    vtable_ = nullptr;
+  }
+
+  const VTable* vtable_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char inline_[kInlineCapacity];
+    void* heap_;
+  };
+};
+
+}  // namespace silica
+
+#endif  // SILICA_SIM_INLINE_EVENT_H_

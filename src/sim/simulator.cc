@@ -7,19 +7,19 @@
 
 namespace silica {
 
-Simulator::EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+Simulator::EventId Simulator::Schedule(SimTime delay, InlineEvent fn) {
   if (delay < 0.0) {
     throw std::invalid_argument("Simulator::Schedule: negative delay");
   }
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-Simulator::EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+Simulator::EventId Simulator::ScheduleAt(SimTime when, InlineEvent fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::ScheduleAt: time in the past");
   }
   const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  queue_.Push(when, id, std::move(fn));
   return id;
 }
 
@@ -43,11 +43,11 @@ void Simulator::Cancel(EventId id) {
 void Simulator::PurgeStaleTombstones() {
   std::unordered_set<EventId> queued;
   queued.reserve(cancelled_.size());
-  for (const Event& event : queue_.c) {
+  queue_.ForEach([this, &queued](const SimEvent& event) {
     if (cancelled_.count(event.id) != 0) {
       queued.insert(event.id);
     }
-  }
+  });
   events_cancelled_ -= cancelled_.size() - queued.size();
   cancelled_ = std::move(queued);
 }
@@ -57,16 +57,16 @@ bool Simulator::Idle() const {
   // cancelled_.size(): the set may hold stale entries for events that fired
   // before being cancelled. Cold path (tests and end-of-run checks), so the
   // O(queue) sweep is fine.
-  if (queue_.c.empty()) {
+  if (queue_.empty()) {
     return true;
   }
   if (cancelled_.empty()) {
     return false;
   }
   size_t tombstones = 0;
-  for (const Event& event : queue_.c) {
+  queue_.ForEach([this, &tombstones](const SimEvent& event) {
     tombstones += cancelled_.count(event.id);
-  }
+  });
   return queue_.size() == tombstones;
 }
 
@@ -101,16 +101,16 @@ void Simulator::FlushCounters() {
 uint64_t Simulator::Run(SimTime until) {
   uint64_t executed = 0;
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.time > until) {
+    if (queue_.Top().time > until) {
       break;
     }
-    Event event{top.time, top.id, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
-    const auto it = cancelled_.find(event.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+    SimEvent event = queue_.PopTop();
+    if (!cancelled_.empty()) {
+      const auto it = cancelled_.find(event.id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
     }
     now_ = event.time;
     event.fn();

@@ -4,21 +4,27 @@
 // twin of the library" (Section 7). This is that engine: a monotonic clock and an
 // event queue with stable FIFO tie-breaking so runs are bit-reproducible given the
 // same seed and schedule order.
+//
+// The hot path is allocation-free: callbacks are InlineEvent (64-byte small-buffer
+// callables, src/sim/inline_event.h) and the store is a calendar queue with
+// amortized O(1) schedule/pop (src/sim/calendar_queue.h). Both replacements are
+// behavior-preserving — events fire in exactly the lexicographic (time, id) order
+// the original std::function + binary-heap engine used, which
+// tests/sim_equivalence_test.cc pins against a reference heap across randomized
+// schedule/cancel/zero-delay/tie workloads.
 #ifndef SILICA_SIM_SIMULATOR_H_
 #define SILICA_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <unordered_set>
-#include <vector>
+
+#include "sim/calendar_queue.h"
+#include "sim/inline_event.h"
 
 namespace silica {
 
 class Counter;
 struct Telemetry;
-
-using SimTime = double;  // seconds
 
 class Simulator {
  public:
@@ -28,10 +34,10 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventId Schedule(SimTime delay, std::function<void()> fn);
+  EventId Schedule(SimTime delay, InlineEvent fn);
 
   // Schedules `fn` at an absolute time (>= Now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, InlineEvent fn);
 
   // Cancels a pending event; cancelling an already-fired or invalid id is a no-op.
   void Cancel(EventId id);
@@ -59,25 +65,6 @@ class Simulator {
   static constexpr SimTime kForever = 1e30;
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.id > b.id;  // FIFO among simultaneous events
-    }
-  };
-  // Exposes the heap's underlying vector so the cold paths (Idle, the tombstone
-  // purge) can enumerate queued events without disturbing the heap.
-  struct EventQueue : std::priority_queue<Event, std::vector<Event>, Later> {
-    using std::priority_queue<Event, std::vector<Event>, Later>::c;
-  };
-
   // Drops cancelled_ entries whose event is no longer in the queue (a cancel that
   // raced the event firing leaves one behind) and settles events_cancelled_ to
   // count only cancels that actually prevented execution. O(queue + cancelled_);
@@ -90,7 +77,7 @@ class Simulator {
   EventId next_id_ = 1;
   uint64_t events_executed_ = 0;
   uint64_t events_cancelled_ = 0;
-  EventQueue queue_;
+  CalendarQueue queue_;
   // Tombstones: ids cancelled while (believed) queued. Run() skips and erases
   // them as they surface. May transiently hold stale ids — cancels of events that
   // had already fired — which PurgeStaleTombstones() reclaims; correctness never
@@ -99,7 +86,8 @@ class Simulator {
   // cancelled (rare) events, so the event loop's per-pop lookup stays tiny and
   // cache-resident (every per-event bookkeeping scheme tried here — dense bitset,
   // byte map, slot+generation table — measurably slowed the full-library bench;
-  // see DESIGN.md section 9).
+  // see DESIGN.md section 9). The purge re-verifies against the calendar buckets
+  // via CalendarQueue::ForEach, exactly as it did against the old heap's storage.
   std::unordered_set<EventId> cancelled_;
 
   Counter* scheduled_counter_ = nullptr;

@@ -164,6 +164,18 @@ const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
   return entry != nullptr ? entry->histogram.get() : nullptr;
 }
 
+std::vector<const std::pair<const MetricsRegistry::Key, MetricsRegistry::Entry>*>
+MetricsRegistry::SortedEntries() const {
+  std::vector<const std::pair<const Key, Entry>*> sorted;
+  sorted.reserve(metrics_.size());
+  for (const auto& item : metrics_) {
+    sorted.push_back(&item);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return sorted;
+}
+
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
   for (const auto& [key, entry] : other.metrics_) {
     Entry& mine = FindOrCreate(key.first, entry.labels, entry.kind);
@@ -184,7 +196,8 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
 std::string MetricsRegistry::ToPrometheusText() const {
   std::string out;
   std::string last_typed;  // emit one # TYPE line per metric name
-  for (const auto& [key, entry] : metrics_) {
+  for (const auto* item : SortedEntries()) {
+    const auto& [key, entry] = *item;
     const std::string& name = key.first;
     if (name != last_typed) {
       out.append("# TYPE ");
@@ -248,7 +261,8 @@ std::string MetricsRegistry::ToJson() const {
   std::string counters;
   std::string gauges;
   std::string histograms;
-  for (const auto& [key, entry] : metrics_) {
+  for (const auto* item : SortedEntries()) {
+    const auto& [key, entry] = *item;
     std::string label = key.first;
     AppendLabelText(&label, entry.labels);
     std::string* section = entry.kind == Kind::kCounter  ? &counters

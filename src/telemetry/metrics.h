@@ -7,7 +7,9 @@
 //      for the registry's lifetime, so hot paths resolve a metric once at setup and
 //      then pay a single add per event.
 //   2. Deterministic export: metrics serialize in (name, labels) order so snapshots
-//      diff cleanly across runs and golden files are stable.
+//      diff cleanly across runs and golden files are stable. Storage is an
+//      unordered_map (hot-path lookups dominate); exporters sort a view of the
+//      entries, so the exposition text is identical to the old ordered-map one.
 //   3. Merge semantics for sharded runs: counters add, gauges take the other side's
 //      latest value, histograms absorb the other side's samples.
 //
@@ -17,9 +19,9 @@
 #define SILICA_TELEMETRY_METRICS_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -110,12 +112,21 @@ class MetricsRegistry {
   };
   // Key = name + '\0'-separated serialized labels: sorts by name then labels.
   using Key = std::pair<std::string, std::string>;
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      const size_t h1 = std::hash<std::string>{}(key.first);
+      const size_t h2 = std::hash<std::string>{}(key.second);
+      return h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+    }
+  };
   static std::string EncodeLabels(const MetricLabels& labels);
   Entry& FindOrCreate(const std::string& name, MetricLabels labels, Kind kind);
   const Entry* Find(const std::string& name, const MetricLabels& labels,
                     Kind kind) const;
+  // Entries sorted by (name, labels) — the exporters' deterministic view.
+  std::vector<const std::pair<const Key, Entry>*> SortedEntries() const;
 
-  std::map<Key, Entry> metrics_;
+  std::unordered_map<Key, Entry, KeyHash> metrics_;
 };
 
 // Escapes `s` into `out` as JSON string contents (no surrounding quotes). Shared by

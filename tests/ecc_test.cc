@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -353,6 +355,62 @@ TEST(Ldpc, NeverReportsOkForWrongCodeword) {
       EXPECT_TRUE(code.CheckSyndrome(result.codeword));
     }
   }
+}
+
+// ---------- Build cache ----------
+
+TEST(LdpcBuildCache, ConcurrentBuildersShareOneConstruction) {
+  LdpcCode::ClearBuildCache();
+  LdpcCode::Config config;
+  config.block_bits = 1024;
+  config.seed = 77;
+
+  // Many threads racing the same key: the shared-lock hit path and the
+  // exclusive insert must hand every caller an identical code.
+  constexpr int kThreads = 8;
+  constexpr int kBuildsPerThread = 50;
+  struct Shape {
+    size_t n = 0;
+    size_t k = 0;
+    size_t checks = 0;
+  };
+  std::vector<Shape> shapes(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&config, &shapes, t] {
+      for (int i = 0; i < kBuildsPerThread; ++i) {
+        const LdpcCode code = LdpcCode::Build(config);
+        if (i == 0) {
+          shapes[static_cast<size_t>(t)] = {code.n(), code.k(), code.num_checks()};
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  const LdpcCode reference = LdpcCode::Build(config);
+  for (const Shape& shape : shapes) {
+    EXPECT_EQ(shape.n, reference.n());
+    EXPECT_EQ(shape.k, reference.k());
+    EXPECT_EQ(shape.checks, reference.num_checks());
+  }
+
+  const auto stats = LdpcCode::GetBuildCacheStats();
+  // Concurrent first builders may each miss (benign race, all results are
+  // identical), but after warmup every lookup is a hit.
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_LE(stats.misses, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kBuildsPerThread + 1);
+
+  // Distinct keys never alias.
+  LdpcCode::Config other = config;
+  other.seed = 78;
+  LdpcCode::Build(other);
+  EXPECT_EQ(LdpcCode::GetBuildCacheStats().misses, stats.misses + 1);
+  LdpcCode::ClearBuildCache();
 }
 
 }  // namespace

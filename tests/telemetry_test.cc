@@ -301,6 +301,47 @@ TEST(MetricsRegistry, PrometheusTextSnapshot) {
   EXPECT_EQ(text, registry.ToPrometheusText());
 }
 
+TEST(MetricsRegistry, ExportOrderIndependentOfInsertionOrder) {
+  // Storage is unordered; exporters must still serialize in (name, labels)
+  // order, so two registries populated in opposite orders export identical
+  // bytes — the golden-file stability the ordered map used to provide.
+  const std::vector<std::pair<std::string, MetricLabels>> counters = {
+      {"zeta_total", {}},
+      {"alpha_total", {{"drive", "1"}}},
+      {"alpha_total", {{"drive", "0"}}},
+      {"mid_total", {{"b", "2"}, {"a", "1"}}},
+  };
+  MetricsRegistry forward;
+  MetricsRegistry backward;
+  for (size_t i = 0; i < counters.size(); ++i) {
+    forward.GetCounter(counters[i].first, counters[i].second)
+        .Increment(static_cast<double>(i));
+    const auto& [name, labels] = counters[counters.size() - 1 - i];
+    backward.GetCounter(name, labels)
+        .Increment(static_cast<double>(counters.size() - 1 - i));
+  }
+  forward.GetGauge("util").Set(0.5);
+  backward.GetGauge("util").Set(0.5);
+  forward.GetHistogram("wait").Observe(1.0);
+  backward.GetHistogram("wait").Observe(1.0);
+
+  EXPECT_EQ(forward.ToPrometheusText(), backward.ToPrometheusText());
+  EXPECT_EQ(forward.ToJson(), backward.ToJson());
+  // And the order really is sorted: alpha before mid before zeta.
+  const std::string text = forward.ToPrometheusText();
+  const size_t alpha = text.find("alpha_total");
+  const size_t mid = text.find("mid_total");
+  const size_t zeta = text.find("zeta_total");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, mid);
+  EXPECT_LT(mid, zeta);
+  // Labels sort within a name: drive="0" precedes drive="1".
+  EXPECT_LT(text.find("alpha_total{drive=\"0\"}"),
+            text.find("alpha_total{drive=\"1\"}"));
+}
+
 TEST(MetricsRegistry, JsonSnapshotParsesAndRoundTrips) {
   MetricsRegistry registry;
   registry.GetCounter("c", {{"k", "va\"l\\ue"}}).Increment(2.0);  // needs escaping

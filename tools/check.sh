@@ -23,6 +23,21 @@ for cell in cells:
 print(f"ok: {len(cells)} cells, ledger conserves in each")
 '
 
+echo "== smoke: event-loop microbench (reduced ops, JSON) =="
+./build/bench/bench_events --json --ops=100000 | python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+workloads = report["workloads"]
+assert len(workloads) == 3, workloads
+for w in workloads:
+    assert w["engine_events_per_sec"] > 0 and w["heap_events_per_sec"] > 0, w
+# The full-ops 2x claim lives in BENCH_events.json; at smoke size under CI
+# load we only require the engine not to have fallen behind the old heap.
+sched = next(w for w in workloads if w["workload"] == "schedule_heavy")
+assert sched["speedup"] > 1.2, f"schedule_heavy speedup collapsed: {sched}"
+print("ok: " + ", ".join("%s %.2fx" % (w["workload"], w["speedup"]) for w in workloads))
+'
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== OK (fast mode, sanitizers skipped) =="
   exit 0
@@ -34,7 +49,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build --preset tsan -j "$jobs" --target silica_tests
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/silica_tests \
-    --gtest_filter='ThreadPool*:ParallelFor.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*'
+    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*'
   echo "== OK =="
   exit 0
 fi
@@ -44,6 +59,6 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" --target silica_tests
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/silica_tests \
-  --gtest_filter='Simulator.*:MetricsRegistry.*:Tracer.*:Telemetry.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*'
+  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:MetricsRegistry.*:Tracer.*:Telemetry.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*'
 
 echo "== OK =="

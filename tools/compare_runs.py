@@ -11,6 +11,12 @@ Prints a per-metric delta table and exits non-zero when any tracked metric
 regresses by more than the tolerance (fraction, default 2%). "Regression" is
 directional: completion times, makespan, congestion, and energy should not go
 up; drive utilization and completed requests should not go down.
+
+Also understands `bench_events --json` reports (detected by "bench": "events"):
+per workload, engine events/sec and the engine-vs-heap speedup must not drop by
+more than the tolerance. Raw events/sec is machine-sensitive, so cross-machine
+comparisons should use a generous tolerance (CI uses 0.25); the speedup ratio
+is the robust signal.
 """
 import argparse
 import json
@@ -63,6 +69,54 @@ def lookup(report, path):
     return node
 
 
+def compare_events(base, cand, tolerance):
+    """Diff two bench_events reports: events/sec and speedup per workload."""
+    base_wl = {w["workload"]: w for w in base.get("workloads", [])}
+    cand_wl = {w["workload"]: w for w in cand.get("workloads", [])}
+    if base.get("ops_per_workload") != cand.get("ops_per_workload"):
+        print(f"note: ops differ ({base.get('ops_per_workload')} -> "
+              f"{cand.get('ops_per_workload')}); rates still comparable")
+
+    regressions = []
+    rows = []
+    for name in base_wl:
+        if name not in cand_wl:
+            rows.append((f"{name}: missing in candidate", None))
+            regressions.append(name)
+            continue
+        for key, label, direction in [
+            ("engine_events_per_sec", "events/sec", +1),
+            ("speedup", "speedup vs heap", +1),
+            ("heap_events_per_sec", "heap events/sec", 0),
+        ]:
+            b, c = base_wl[name].get(key), cand_wl[name].get(key)
+            if b is None or c is None or b == 0:
+                continue
+            delta = (c - b) / b
+            mark = ""
+            if direction != 0 and direction * delta < -tolerance:
+                mark = "  <-- regression"
+                regressions.append(f"{name} {label}")
+            rows.append((f"{name}: {label}", (b, c, delta, mark)))
+
+    width = max((len(label) for label, _ in rows), default=20)
+    print(f"{'workload metric':<{width}}  {'baseline':>14}  "
+          f"{'candidate':>14}  {'delta':>8}")
+    for label, row in rows:
+        if row is None:
+            print(f"{label:<{width}}")
+            continue
+        b, c, delta, mark = row
+        print(f"{label:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+7.1%}{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{tolerance:.1%}: {', '.join(regressions)}")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -75,6 +129,12 @@ def main():
         base = json.load(f)
     with open(args.candidate) as f:
         cand = json.load(f)
+
+    if base.get("bench") == "events" or cand.get("bench") == "events":
+        if base.get("bench") != cand.get("bench"):
+            print("error: only one of the reports is a bench_events report")
+            return 2
+        return compare_events(base, cand, args.tolerance)
 
     base_cfg, cand_cfg = base.get("config", {}), cand.get("config", {})
     if base_cfg != cand_cfg:

@@ -8,6 +8,7 @@
 //              [--fault-rack-mtbf=S --fault-rack-mttr=S] [--fault-until=S]
 //              [--aging-mtbe=S --aging-max-sectors=N]
 //              [--scrub --scrub-interval=S --scrub-sample=F]
+//              [--replications=N --sweep-threads=K]
 //              [--threads=1] [--metrics-out=m.json|m.prom] [--trace-out=t.json]
 //              [--trace-categories=shuttle,drive,scheduler,pipeline] [--json]
 //
@@ -20,9 +21,11 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/units.h"
 #include "core/library_sim.h"
+#include "core/sweep.h"
 #include "flags.h"
 #include "telemetry/telemetry.h"
 #include "workload/trace_gen.h"
@@ -148,6 +151,89 @@ void PrintJsonReport(const silica::LibrarySimResult& r,
   std::printf("}\n");
 }
 
+void PrintTextReport(const silica::LibrarySimResult& r,
+                     const silica::LibrarySimConfig& config,
+                     const std::string& profile, const std::string& policy,
+                     uint64_t window_bytes, double slo) {
+  using silica::FormatBytes;
+  using silica::FormatDuration;
+  std::printf("trace %s: %llu requests (%s in window) | policy %s, %d shuttles, "
+              "%.0f MB/s\n",
+              profile.c_str(),
+              static_cast<unsigned long long>(r.requests_total),
+              FormatBytes(window_bytes).c_str(), policy.c_str(),
+              config.library.num_shuttles, config.library.drive_throughput_mbps);
+  std::printf("completion: p50 %s | p99 %s | p99.9 %s | max %s\n",
+              FormatDuration(r.completion_times.Percentile(0.5)).c_str(),
+              FormatDuration(r.completion_times.Percentile(0.99)).c_str(),
+              FormatDuration(r.completion_times.Percentile(0.999)).c_str(),
+              FormatDuration(r.completion_times.max()).c_str());
+  std::printf("drives: util %.1f%% (reads %.1f%%, verifies %.1f%%)\n",
+              100.0 * r.DriveUtilization(), 100.0 * r.DriveReadFraction(),
+              100.0 * r.DriveVerifyFraction());
+  std::printf("shuttles: %llu travels (mean %.1fs, p99.9 %.1fs), congestion "
+              "%.1f%%, energy/op %.2f, %llu steals, %llu recharges\n",
+              static_cast<unsigned long long>(r.travels), r.travel_times.mean(),
+              r.travel_times.Percentile(0.999),
+              100.0 * r.CongestionOverheadFraction(),
+              r.EnergyPerPlatterOperation(),
+              static_cast<unsigned long long>(r.work_steals),
+              static_cast<unsigned long long>(r.shuttle_recharges));
+  if (r.recovery_reads > 0) {
+    std::printf("recovery: %llu cross-platter sub-reads\n",
+                static_cast<unsigned long long>(r.recovery_reads));
+  }
+  if (config.faults.enabled()) {
+    std::printf("faults: shuttles %llu/%llu, drives %llu/%llu, racks %llu/%llu "
+                "(failed/repaired)\n",
+                static_cast<unsigned long long>(r.faults.shuttle_failures),
+                static_cast<unsigned long long>(r.faults.shuttle_repairs),
+                static_cast<unsigned long long>(r.faults.drive_failures),
+                static_cast<unsigned long long>(r.faults.drive_repairs),
+                static_cast<unsigned long long>(r.faults.rack_failures),
+                static_cast<unsigned long long>(r.faults.rack_repairs));
+    std::printf("degraded: %llu aborted jobs, %llu stranded recoveries, %llu "
+                "dark retries, %llu converted, %llu amplified, %llu failed\n",
+                static_cast<unsigned long long>(r.faults.aborted_shuttle_jobs),
+                static_cast<unsigned long long>(r.faults.stranded_recoveries),
+                static_cast<unsigned long long>(r.faults.dark_retries),
+                static_cast<unsigned long long>(r.faults.converted_requests),
+                static_cast<unsigned long long>(r.amplified_requests),
+                static_cast<unsigned long long>(r.requests_failed));
+  }
+  if (config.faults.aging.enabled() || config.scrub.enabled) {
+    const auto& s = r.scrub;
+    std::printf("aging: %llu events struck %llu sectors | scrub: %llu passes "
+                "(%llu detections), %llu read detections\n",
+                static_cast<unsigned long long>(s.aging_events),
+                static_cast<unsigned long long>(s.latent_sectors),
+                static_cast<unsigned long long>(s.scrubs_completed),
+                static_cast<unsigned long long>(s.scrub_detections),
+                static_cast<unsigned long long>(s.read_detections));
+    std::printf("repair: %llu detected -> ldpc %llu, track-nc %llu, "
+                "large-group %llu, platter-set %llu, unrecoverable %llu "
+                "(%llu bytes lost)%s\n",
+                static_cast<unsigned long long>(s.ledger.detected),
+                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kLdpcRetry)]),
+                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kTrackNc)]),
+                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kLargeGroup)]),
+                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kPlatterSet)]),
+                static_cast<unsigned long long>(s.ledger.unrecoverable),
+                static_cast<unsigned long long>(s.ledger.bytes_lost),
+                s.ledger.Conserves() ? "" : " [LEDGER LEAK]");
+    if (s.rebuilds_started > 0) {
+      std::printf("rebuilds: %llu started, %llu completed, %llu retries, %llu "
+                  "set-peer reads\n",
+                  static_cast<unsigned long long>(s.rebuilds_started),
+                  static_cast<unsigned long long>(s.rebuilds_completed),
+                  static_cast<unsigned long long>(s.rebuild_retries),
+                  static_cast<unsigned long long>(s.rebuild_reads));
+    }
+  }
+  std::printf("verdict: %s the 15 h SLO\n",
+              r.completion_times.Percentile(0.999) <= slo ? "meets" : "MISSES");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,6 +261,11 @@ int main(int argc, char** argv) {
         "                              (default 21600; requires --scrub)]\n"
         "  [--scrub-sample=F          fraction of tracks streamed per pass,\n"
         "                              in (0,1] (default 0.05; requires --scrub)]\n"
+        "  [--replications=N          run N independent replications: #0 keeps\n"
+        "                              --seed, later ones fork it by index;\n"
+        "                              reports print in replication order]\n"
+        "  [--sweep-threads=K         run replications on K threads; output is\n"
+        "                              byte-identical for every K (default 1)]\n"
         "  [--threads=N               worker threads for data-plane coding work;\n"
         "                              the sim-time event loop itself stays\n"
         "                              single-threaded, so results are identical\n"
@@ -200,28 +291,44 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --threads must be >= 1\n");
     return 1;
   }
+  // Multi-seed replication sweep: run N independent replications (replication 0
+  // keeps --seed, later ones fork it by index; see SweepSeed) and print the
+  // reports in replication order. --sweep-threads parallelizes the replications
+  // themselves; output is byte-identical for every thread count.
+  const int replications = static_cast<int>(flags.GetInt("replications", 1));
+  if (replications < 1) {
+    std::fprintf(stderr, "error: --replications must be >= 1\n");
+    return 1;
+  }
+  const int sweep_threads = static_cast<int>(flags.GetInt("sweep-threads", 1));
+  if (sweep_threads < 1) {
+    std::fprintf(stderr, "error: --sweep-threads must be >= 1\n");
+    return 1;
+  }
   TraceProfile profile = name == "iops"     ? TraceProfile::Iops(seed)
                          : name == "volume" ? TraceProfile::Volume(seed)
                                             : TraceProfile::Typical(seed);
   profile.zipf_skew = flags.GetDouble("zipf", 0.0);
   const auto platters = static_cast<uint64_t>(flags.GetInt("platters", 3000));
-  GeneratedTrace trace;
-  if (flags.Has("trace")) {
+  // CSV replay traces are read once and shared (read-only) by every replication;
+  // generated traces are produced per replication from the replication's seed.
+  const bool csv_trace = flags.Has("trace");
+  GeneratedTrace shared_trace;
+  if (csv_trace) {
     std::ifstream in(flags.Get("trace", ""));
     const auto parsed = ReadTraceCsv(in);
     if (!parsed) {
       std::fprintf(stderr, "error: could not parse trace CSV\n");
       return 1;
     }
-    trace.requests = *parsed;
-    trace.measure_start = 0.0;
-    trace.measure_end = trace.requests.empty() ? 0.0 : trace.requests.back().arrival;
-    for (const auto& r : trace.requests) {
-      trace.window_bytes += r.bytes;
+    shared_trace.requests = *parsed;
+    shared_trace.measure_start = 0.0;
+    shared_trace.measure_end =
+        shared_trace.requests.empty() ? 0.0 : shared_trace.requests.back().arrival;
+    for (const auto& r : shared_trace.requests) {
+      shared_trace.window_bytes += r.bytes;
     }
     profile.name = "csv";
-  } else {
-    trace = GenerateTrace(profile, platters);
   }
 
   LibrarySimConfig config;
@@ -236,9 +343,7 @@ int main(int argc, char** argv) {
   config.library.fast_switching = !flags.Has("no-fast-switch");
   config.num_info_platters = platters;
   config.unavailable_fraction = flags.GetDouble("unavailable", 0.0);
-  config.measure_start = trace.measure_start;
-  config.measure_end = trace.measure_end;
-  config.seed = seed;
+  config.seed = seed;  // per-replication: measure window + seed set in the sweep
 
   const double shuttle_mtbf = flags.GetDouble("fault-shuttle-mtbf", 0.0);
   const double drive_mtbf = flags.GetDouble("fault-drive-mtbf", 0.0);
@@ -323,26 +428,73 @@ int main(int argc, char** argv) {
   }
 
   // Attach telemetry only when a sink was requested: with no sinks, the twin runs
-  // the compiled-in fast path (null telemetry pointer, disabled tracer).
+  // the compiled-in fast path (null telemetry pointer, disabled tracer). With
+  // replications, each runs against its own registry (no cross-thread contention)
+  // and the registries are merged in replication order before the snapshot.
   const std::string metrics_out = flags.Get("metrics-out", "");
   const std::string trace_out = flags.Get("trace-out", "");
-  std::unique_ptr<Telemetry> telemetry;
+  if (replications > 1 && !trace_out.empty()) {
+    std::fprintf(stderr,
+                 "error: --trace-out requires --replications=1 (a trace file "
+                 "describes a single run)\n");
+    return 1;
+  }
+  std::vector<std::unique_ptr<Telemetry>> telemetries;
   if (!metrics_out.empty() || !trace_out.empty()) {
-    telemetry = std::make_unique<Telemetry>();
-    if (!trace_out.empty()) {
-      telemetry->tracer.Enable(
-          ParseTraceCategories(flags.Get("trace-categories", "")));
+    for (int i = 0; i < replications; ++i) {
+      telemetries.push_back(std::make_unique<Telemetry>());
+      if (!trace_out.empty()) {
+        telemetries.back()->tracer.Enable(
+            ParseTraceCategories(flags.Get("trace-categories", "")));
+      }
     }
-    config.telemetry = telemetry.get();
   }
 
-  const auto r = SimulateLibrary(config, trace.requests);
+  struct Replication {
+    LibrarySimResult result;
+    LibrarySimConfig config;
+    std::string profile_name;
+    uint64_t window_bytes = 0;
+  };
+  const double zipf_skew = profile.zipf_skew;
+  const auto reps = RunSweep<Replication>(
+      static_cast<size_t>(replications), sweep_threads, [&](size_t i) {
+        const uint64_t rep_seed = SweepSeed(seed, i);
+        TraceProfile rep_profile = name == "iops" ? TraceProfile::Iops(rep_seed)
+                                   : name == "volume"
+                                       ? TraceProfile::Volume(rep_seed)
+                                       : TraceProfile::Typical(rep_seed);
+        rep_profile.zipf_skew = zipf_skew;
+        GeneratedTrace trace;
+        if (csv_trace) {
+          trace = shared_trace;
+          rep_profile.name = "csv";
+        } else {
+          trace = GenerateTrace(rep_profile, platters);
+        }
+        LibrarySimConfig rep_config = config;
+        rep_config.seed = rep_seed;
+        rep_config.measure_start = trace.measure_start;
+        rep_config.measure_end = trace.measure_end;
+        rep_config.telemetry =
+            telemetries.empty() ? nullptr : telemetries[i].get();
+        Replication rep;
+        rep.result = SimulateLibrary(rep_config, trace.requests);
+        rep.config = rep_config;
+        rep.profile_name = rep_profile.name;
+        rep.window_bytes = trace.window_bytes;
+        return rep;
+      });
 
-  if (telemetry != nullptr) {
+  if (!telemetries.empty()) {
+    for (size_t i = 1; i < telemetries.size(); ++i) {
+      telemetries[0]->metrics.Merge(telemetries[i]->metrics);
+    }
     if (!metrics_out.empty()) {
       std::ofstream out(metrics_out);
-      out << (EndsWith(metrics_out, ".json") ? telemetry->metrics.ToJson()
-                                             : telemetry->metrics.ToPrometheusText());
+      out << (EndsWith(metrics_out, ".json")
+                  ? telemetries[0]->metrics.ToJson()
+                  : telemetries[0]->metrics.ToPrometheusText());
       if (!out) {
         std::fprintf(stderr, "error: could not write %s\n", metrics_out.c_str());
         return 1;
@@ -350,7 +502,7 @@ int main(int argc, char** argv) {
     }
     if (!trace_out.empty()) {
       std::ofstream out(trace_out);
-      telemetry->tracer.ExportJson(out);
+      telemetries[0]->tracer.ExportJson(out);
       if (!out) {
         std::fprintf(stderr, "error: could not write %s\n", trace_out.c_str());
         return 1;
@@ -359,86 +511,29 @@ int main(int argc, char** argv) {
   }
 
   const double slo = 15.0 * 3600.0;
-  if (flags.Has("json")) {
-    PrintJsonReport(r, config, profile.name, policy, trace.window_bytes, slo,
-                    threads);
-    return 0;
+  const bool json = flags.Has("json");
+  if (json && replications > 1) {
+    std::printf("[\n");
   }
-
-  std::printf("trace %s: %llu requests (%s in window) | policy %s, %d shuttles, "
-              "%.0f MB/s\n",
-              profile.name.c_str(),
-              static_cast<unsigned long long>(r.requests_total),
-              FormatBytes(trace.window_bytes).c_str(), policy.c_str(),
-              config.library.num_shuttles, config.library.drive_throughput_mbps);
-  std::printf("completion: p50 %s | p99 %s | p99.9 %s | max %s\n",
-              FormatDuration(r.completion_times.Percentile(0.5)).c_str(),
-              FormatDuration(r.completion_times.Percentile(0.99)).c_str(),
-              FormatDuration(r.completion_times.Percentile(0.999)).c_str(),
-              FormatDuration(r.completion_times.max()).c_str());
-  std::printf("drives: util %.1f%% (reads %.1f%%, verifies %.1f%%)\n",
-              100.0 * r.DriveUtilization(), 100.0 * r.DriveReadFraction(),
-              100.0 * r.DriveVerifyFraction());
-  std::printf("shuttles: %llu travels (mean %.1fs, p99.9 %.1fs), congestion "
-              "%.1f%%, energy/op %.2f, %llu steals, %llu recharges\n",
-              static_cast<unsigned long long>(r.travels), r.travel_times.mean(),
-              r.travel_times.Percentile(0.999),
-              100.0 * r.CongestionOverheadFraction(),
-              r.EnergyPerPlatterOperation(),
-              static_cast<unsigned long long>(r.work_steals),
-              static_cast<unsigned long long>(r.shuttle_recharges));
-  if (r.recovery_reads > 0) {
-    std::printf("recovery: %llu cross-platter sub-reads\n",
-                static_cast<unsigned long long>(r.recovery_reads));
-  }
-  if (config.faults.enabled()) {
-    std::printf("faults: shuttles %llu/%llu, drives %llu/%llu, racks %llu/%llu "
-                "(failed/repaired)\n",
-                static_cast<unsigned long long>(r.faults.shuttle_failures),
-                static_cast<unsigned long long>(r.faults.shuttle_repairs),
-                static_cast<unsigned long long>(r.faults.drive_failures),
-                static_cast<unsigned long long>(r.faults.drive_repairs),
-                static_cast<unsigned long long>(r.faults.rack_failures),
-                static_cast<unsigned long long>(r.faults.rack_repairs));
-    std::printf("degraded: %llu aborted jobs, %llu stranded recoveries, %llu "
-                "dark retries, %llu converted, %llu amplified, %llu failed\n",
-                static_cast<unsigned long long>(r.faults.aborted_shuttle_jobs),
-                static_cast<unsigned long long>(r.faults.stranded_recoveries),
-                static_cast<unsigned long long>(r.faults.dark_retries),
-                static_cast<unsigned long long>(r.faults.converted_requests),
-                static_cast<unsigned long long>(r.amplified_requests),
-                static_cast<unsigned long long>(r.requests_failed));
-  }
-  if (config.faults.aging.enabled() || config.scrub.enabled) {
-    const auto& s = r.scrub;
-    std::printf("aging: %llu events struck %llu sectors | scrub: %llu passes "
-                "(%llu detections), %llu read detections\n",
-                static_cast<unsigned long long>(s.aging_events),
-                static_cast<unsigned long long>(s.latent_sectors),
-                static_cast<unsigned long long>(s.scrubs_completed),
-                static_cast<unsigned long long>(s.scrub_detections),
-                static_cast<unsigned long long>(s.read_detections));
-    std::printf("repair: %llu detected -> ldpc %llu, track-nc %llu, "
-                "large-group %llu, platter-set %llu, unrecoverable %llu "
-                "(%llu bytes lost)%s\n",
-                static_cast<unsigned long long>(s.ledger.detected),
-                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kLdpcRetry)]),
-                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kTrackNc)]),
-                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kLargeGroup)]),
-                static_cast<unsigned long long>(s.ledger.repaired[static_cast<int>(silica::RepairTier::kPlatterSet)]),
-                static_cast<unsigned long long>(s.ledger.unrecoverable),
-                static_cast<unsigned long long>(s.ledger.bytes_lost),
-                s.ledger.Conserves() ? "" : " [LEDGER LEAK]");
-    if (s.rebuilds_started > 0) {
-      std::printf("rebuilds: %llu started, %llu completed, %llu retries, %llu "
-                  "set-peer reads\n",
-                  static_cast<unsigned long long>(s.rebuilds_started),
-                  static_cast<unsigned long long>(s.rebuilds_completed),
-                  static_cast<unsigned long long>(s.rebuild_retries),
-                  static_cast<unsigned long long>(s.rebuild_reads));
+  for (size_t i = 0; i < reps.size(); ++i) {
+    const Replication& rep = reps[i];
+    if (json) {
+      if (i != 0) {
+        std::printf(",\n");
+      }
+      PrintJsonReport(rep.result, rep.config, rep.profile_name, policy,
+                      rep.window_bytes, slo, threads);
+    } else {
+      if (replications > 1) {
+        std::printf("%s=== replication %zu, seed %llu ===\n", i == 0 ? "" : "\n",
+                    i, static_cast<unsigned long long>(rep.config.seed));
+      }
+      PrintTextReport(rep.result, rep.config, rep.profile_name, policy,
+                      rep.window_bytes, slo);
     }
   }
-  std::printf("verdict: %s the 15 h SLO\n",
-              r.completion_times.Percentile(0.999) <= slo ? "meets" : "MISSES");
+  if (json && replications > 1) {
+    std::printf("]\n");
+  }
   return 0;
 }
