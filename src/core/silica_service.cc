@@ -2,11 +2,37 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace silica {
 
+namespace {
+
+ServiceConfig ValidateConfig(ServiceConfig config) {
+  if (config.threads < 1) {
+    throw std::invalid_argument(
+        "ServiceConfig: threads must be >= 1 (got " +
+        std::to_string(config.threads) + ")");
+  }
+  if (config.platter_set.info <= 0) {
+    throw std::invalid_argument(
+        "ServiceConfig: platter_set.info (data platters) must be > 0 (got " +
+        std::to_string(config.platter_set.info) + ")");
+  }
+  if (config.platter_set.redundancy < 0) {
+    throw std::invalid_argument(
+        "ServiceConfig: platter_set.redundancy must be >= 0 (got " +
+        std::to_string(config.platter_set.redundancy) + ")");
+  }
+  return config;
+}
+
+}  // namespace
+
 SilicaService::SilicaService(ServiceConfig config)
-    : config_(config),
+    : config_(ValidateConfig(config)),
       pool_(config.threads > 1
                 ? std::make_unique<ThreadPool>(static_cast<size_t>(config.threads))
                 : nullptr),
@@ -171,6 +197,79 @@ std::optional<std::vector<uint8_t>> SilicaService::Get(const std::string& name) 
   entry.start_sector_index = version->start_sector_index;
   entry.size_bytes = version->bytes;
   return reader_.ReadFile(it->second.written.platter, entry, rng_);
+}
+
+SilicaService::BatchReadResult SilicaService::BatchGet(
+    const std::vector<std::string>& names) {
+  BatchReadResult result;
+  result.files.resize(names.size());
+
+  // Group the requests by the platter that holds each name, platters in
+  // first-appearance order. Unknown names resolve to nullopt without a mount.
+  std::unordered_map<uint64_t, std::vector<size_t>> by_platter;
+  std::vector<uint64_t> platter_order;
+  std::vector<std::optional<FileVersion>> versions(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    versions[i] = metadata_.Lookup(names[i]);
+    if (!versions[i]) {
+      continue;
+    }
+    auto [it, inserted] = by_platter.try_emplace(versions[i]->platter_id);
+    if (inserted) {
+      platter_order.push_back(versions[i]->platter_id);
+    }
+    it->second.push_back(i);
+  }
+
+  for (uint64_t platter_id : platter_order) {
+    const auto it = platters_.find(platter_id);
+    if (it == platters_.end()) {
+      continue;  // stale metadata; every read of it stays nullopt
+    }
+    ++result.platter_mounts;
+    for (size_t i : by_platter.at(platter_id)) {
+      const FileVersion& version = *versions[i];
+      if (it->second.unavailable) {
+        result.files[i] = ReadViaRecovery(version);
+        ++result.recovery_reads;
+        continue;
+      }
+      PlatterFileEntry entry;
+      entry.name = names[i];
+      entry.start_sector_index = version.start_sector_index;
+      entry.size_bytes = version.bytes;
+      result.files[i] = reader_.ReadFile(it->second.written.platter, entry, rng_);
+    }
+  }
+  if (batch_mount_counter_ != nullptr) {
+    batch_mount_counter_->Increment(static_cast<double>(result.platter_mounts));
+    batch_read_counter_->Increment(static_cast<double>(names.size()));
+  }
+  return result;
+}
+
+bool SilicaService::Delete(const std::string& name) {
+  const bool shredded = metadata_.Delete(name);
+  if (shredded && shredded_counter_ != nullptr) {
+    shredded_counter_->Increment();
+  }
+  return shredded;
+}
+
+void SilicaService::SetTelemetry(Telemetry* telemetry) {
+  plane_.SetTelemetry(telemetry);
+  if (telemetry == nullptr) {
+    shredded_counter_ = nullptr;
+    batch_mount_counter_ = nullptr;
+    batch_read_counter_ = nullptr;
+    return;
+  }
+  shredded_counter_ =
+      &telemetry->metrics.GetCounter("service_files_shredded_total");
+  batch_mount_counter_ =
+      &telemetry->metrics.GetCounter("service_batch_platter_mounts_total");
+  batch_read_counter_ =
+      &telemetry->metrics.GetCounter("service_batch_reads_total");
 }
 
 std::optional<std::vector<uint8_t>> SilicaService::ReadViaRecovery(

@@ -28,6 +28,9 @@
 
 namespace silica {
 
+class Counter;
+struct Telemetry;
+
 struct ServiceConfig {
   DataPlaneConfig data_plane;
   PlatterSetConfig platter_set{4, 2};  // small sets keep examples fast
@@ -42,6 +45,9 @@ struct ServiceConfig {
 
 class SilicaService {
  public:
+  // Validates `config` up front: threads must be >= 1 and the platter-set shape
+  // must be sane (info > 0, redundancy >= 0). Throws std::invalid_argument with
+  // a specific message instead of producing undefined behavior downstream.
   explicit SilicaService(ServiceConfig config);
 
   // Stages a file for writing. Data is buffered until Flush().
@@ -63,8 +69,25 @@ class SilicaService {
   // Reads the latest version of a file back through the full decode stack.
   std::optional<std::vector<uint8_t>> Get(const std::string& name);
 
-  // Logical delete by crypto-shredding.
-  bool Delete(const std::string& name) { return metadata_.Delete(name); }
+  struct BatchReadResult {
+    // One entry per requested name, in request order; nullopt when the name is
+    // unknown/deleted or the data is unrecoverable.
+    std::vector<std::optional<std::vector<uint8_t>>> files;
+    uint64_t platter_mounts = 0;   // distinct platters visited by the batch
+    uint64_t recovery_reads = 0;   // reads served via cross-platter recovery
+  };
+
+  // Batched read entry point for the front-end: groups the names by platter so
+  // one mount serves every file co-located on it (platters are visited in
+  // first-appearance order; results come back in request order). The whole
+  // batch costs `platter_mounts` mounts, against `names.size()` for the same
+  // reads issued through Get() one at a time.
+  BatchReadResult BatchGet(const std::vector<std::string>& names);
+
+  // Logical delete by crypto-shredding. Bumps service_files_shredded_total when
+  // telemetry is attached; the voxels stay in the glass but are unreadable, and
+  // scrub/repair of the platter must not resurrect the name.
+  bool Delete(const std::string& name);
 
   // Fails a platter (e.g. its blast zone is blocked); reads will use cross-platter
   // recovery. Returns false for unknown ids.
@@ -93,6 +116,10 @@ class SilicaService {
   const MetadataService& metadata() const { return metadata_; }
   const DataPlane& data_plane() const { return plane_; }
   uint64_t platters_in_library() const { return platters_.size(); }
+
+  // Publishes service-level counters (crypto-shredded files, batched-read
+  // mounts) and forwards to the data plane's stage counters; nullptr detaches.
+  void SetTelemetry(Telemetry* telemetry);
 
   // Scans every platter header and rebuilds a metadata index (disaster recovery).
   MetadataService ScanAndRebuildIndex() const;
@@ -123,6 +150,10 @@ class SilicaService {
     uint64_t account = 0;
     std::vector<uint8_t> data;
   };
+  Counter* shredded_counter_ = nullptr;
+  Counter* batch_mount_counter_ = nullptr;
+  Counter* batch_read_counter_ = nullptr;
+
   std::vector<PendingFile> staged_;
   uint64_t next_file_id_ = 1;
   uint64_t next_platter_id_ = 1;

@@ -1,0 +1,171 @@
+#include "frontend/admission.h"
+
+#include <algorithm>
+
+namespace silica {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {}
+
+void AdmissionController::SetTenantBudget(uint64_t tenant, TenantBudget budget) {
+  TenantState& state = StateFor(tenant, /*now=*/0.0);
+  state.budget = budget;
+  // Re-prime the buckets so the new caps apply from the next refill.
+  state.request_tokens = std::min(state.request_tokens, budget.burst_requests);
+  state.byte_tokens = std::min(state.byte_tokens, budget.burst_bytes);
+}
+
+AdmissionController::TenantState& AdmissionController::StateFor(uint64_t tenant,
+                                                                double now) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  TenantState& state = it->second;
+  if (inserted) {
+    rr_order_.push_back(tenant);
+  }
+  if (!state.seen) {
+    state.seen = true;
+    state.budget = config_.default_budget;
+    state.request_tokens = state.budget.burst_requests;
+    state.byte_tokens = state.budget.burst_bytes;
+    state.last_refill = now;
+  }
+  return state;
+}
+
+bool AdmissionController::Enqueue(const QueuedRequest& request, double now) {
+  TenantState& state = StateFor(request.tenant, now);
+  if (state.queue.size() >= config_.max_queue_depth) {
+    return false;
+  }
+  state.queue.push_back(request);
+  ++total_queued_;
+  return true;
+}
+
+void AdmissionController::Refill(TenantState& state, double now) {
+  const double dt = now - state.last_refill;
+  if (dt <= 0.0) {
+    return;
+  }
+  state.last_refill = now;
+  if (state.budget.requests_per_s > 0.0) {
+    state.request_tokens = std::min(state.budget.burst_requests,
+                                    state.request_tokens +
+                                        dt * state.budget.requests_per_s);
+  }
+  if (state.budget.bytes_per_s > 0.0) {
+    state.byte_tokens = std::min(state.budget.burst_bytes,
+                                 state.byte_tokens + dt * state.budget.bytes_per_s);
+  }
+}
+
+bool AdmissionController::BudgetAllows(const TenantState& state, uint64_t cost) {
+  if (state.budget.requests_per_s > 0.0 && state.request_tokens < 1.0) {
+    return false;
+  }
+  if (state.budget.bytes_per_s > 0.0 &&
+      state.byte_tokens < static_cast<double>(cost)) {
+    return false;
+  }
+  return true;
+}
+
+size_t AdmissionController::Admit(double now, size_t max_admit,
+                                  std::vector<QueuedRequest>* out) {
+  if (total_queued_ == 0 || max_admit == 0) {
+    return 0;
+  }
+  for (auto& [tenant, state] : tenants_) {
+    (void)tenant;
+    Refill(state, now);
+  }
+
+  size_t admitted = 0;
+  bool progressed = true;
+  // Each outer iteration is one DRR round over the active tenants; the loop
+  // ends when a full round admits nothing (every queue empty or blocked).
+  while (progressed && admitted < max_admit && total_queued_ > 0) {
+    progressed = false;
+    const size_t n = rr_order_.size();
+    for (size_t visited = 0; visited < n && admitted < max_admit; ++visited) {
+      const size_t slot = (rr_cursor_ + visited) % n;
+      TenantState& state = tenants_.at(rr_order_[slot]);
+      if (state.queue.empty()) {
+        state.deficit_bytes = 0.0;  // idle tenants bank no deficit
+        continue;
+      }
+      // Earn this round's quantum, capped so an idle-then-bursting tenant
+      // cannot spend rounds of banked deficit at once: the cap is one quantum
+      // beyond what the head-of-line request needs.
+      const double head_cost = static_cast<double>(state.queue.front().cost_bytes);
+      state.deficit_bytes =
+          std::min(state.deficit_bytes + static_cast<double>(config_.quantum_bytes),
+                   head_cost + static_cast<double>(config_.quantum_bytes));
+
+      while (!state.queue.empty() && admitted < max_admit) {
+        const QueuedRequest& head = state.queue.front();
+        const double cost = static_cast<double>(head.cost_bytes);
+        if (state.deficit_bytes < cost || !BudgetAllows(state, head.cost_bytes)) {
+          break;
+        }
+        state.deficit_bytes -= cost;
+        if (state.budget.requests_per_s > 0.0) {
+          state.request_tokens -= 1.0;
+        }
+        if (state.budget.bytes_per_s > 0.0) {
+          state.byte_tokens -= cost;
+        }
+        state.admitted_bytes += head.cost_bytes;
+        out->push_back(head);
+        state.queue.pop_front();
+        --total_queued_;
+        ++admitted;
+        progressed = true;
+      }
+      if (state.queue.empty()) {
+        state.deficit_bytes = 0.0;
+      }
+    }
+    if (n > 0) {
+      // Resume the next Admit (and the next round) one past where we started,
+      // so no tenant is permanently first.
+      rr_cursor_ = (rr_cursor_ + 1) % n;
+    }
+  }
+  return admitted;
+}
+
+void AdmissionController::DrainAll(std::vector<QueuedRequest>* out) {
+  for (uint64_t tenant : rr_order_) {
+    TenantState& state = tenants_.at(tenant);
+    while (!state.queue.empty()) {
+      out->push_back(state.queue.front());
+      state.queue.pop_front();
+      --total_queued_;
+    }
+    state.deficit_bytes = 0.0;
+  }
+}
+
+size_t AdmissionController::queue_depth(uint64_t tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.queue.size();
+}
+
+size_t AdmissionController::active_tenants() const {
+  size_t active = 0;
+  for (const auto& [tenant, state] : tenants_) {
+    (void)tenant;
+    if (!state.queue.empty()) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+uint64_t AdmissionController::admitted_bytes(uint64_t tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.admitted_bytes;
+}
+
+}  // namespace silica

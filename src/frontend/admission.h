@@ -1,0 +1,107 @@
+// Fair-share admission control for the front-end (DESIGN.md section 14.2).
+//
+// Each tenant owns a bounded FIFO queue. Enqueue refuses (backpressure) once the
+// queue holds `max_queue_depth` requests — the caller rejects the request with
+// kOverloaded instead of letting memory grow with offered load. A deficit-
+// round-robin (DRR) scheduler drains the queues: every round each active tenant
+// earns `quantum_bytes` of deficit and admits head-of-line requests while the
+// deficit covers their byte cost, so tenants share service bytes (not request
+// counts) proportionally regardless of request-size mix. Per-tenant token
+// buckets (requests/s and bytes/s) cap how fast any single tenant can be
+// admitted; a budget of 0 means unlimited.
+//
+// The controller is deterministic: tenants are visited in first-activation
+// order from a persistent cursor, time is an explicit argument, and no wall
+// clock or map-iteration order is consulted.
+#ifndef SILICA_FRONTEND_ADMISSION_H_
+#define SILICA_FRONTEND_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/protocol/frame.h"
+
+namespace silica {
+
+struct TenantBudget {
+  double requests_per_s = 0.0;  // token refill rate; 0 = unlimited
+  double bytes_per_s = 0.0;     // token refill rate; 0 = unlimited
+  // Bucket capacities: how much headroom an idle tenant accumulates.
+  double burst_requests = 32.0;
+  double burst_bytes = 8.0 * 1024 * 1024;
+};
+
+struct AdmissionConfig {
+  size_t max_queue_depth = 256;       // per tenant; beyond -> kOverloaded
+  uint64_t quantum_bytes = 64 * 1024; // DRR deficit earned per round
+  TenantBudget default_budget;        // applied to tenants without an override
+};
+
+// One queued request as admission sees it: identity plus byte cost. The
+// front-end keeps the full frame; admission only needs the accounting view.
+struct QueuedRequest {
+  RequestId id = kInvalidRequestId;
+  uint64_t tenant = 0;
+  uint64_t cost_bytes = 1;
+  double enqueue_time = 0.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  // Budget override for one tenant (takes effect immediately).
+  void SetTenantBudget(uint64_t tenant, TenantBudget budget);
+
+  // Appends to the tenant's FIFO. Returns false when the queue is at
+  // max_queue_depth (the caller should reject with kOverloaded).
+  bool Enqueue(const QueuedRequest& request, double now);
+
+  // Runs DRR rounds at time `now`, appending admitted requests to `out` in
+  // admission order, until every queue is empty or budget-blocked, or
+  // `max_admit` requests have been admitted. Returns the number admitted.
+  size_t Admit(double now, size_t max_admit, std::vector<QueuedRequest>* out);
+
+  // Shutdown path: empties every queue into `out` (first-seen tenant order,
+  // FIFO within a tenant) ignoring deficits and budgets. Used by Drain when the
+  // drain deadline passes so no request is silently dropped.
+  void DrainAll(std::vector<QueuedRequest>* out);
+
+  size_t queue_depth(uint64_t tenant) const;
+  size_t total_queued() const { return total_queued_; }
+  size_t active_tenants() const;
+  // Cumulative bytes admitted for a tenant (fair-share accounting).
+  uint64_t admitted_bytes(uint64_t tenant) const;
+
+  static constexpr size_t kNoAdmitLimit = std::numeric_limits<size_t>::max();
+
+ private:
+  struct TenantState {
+    std::deque<QueuedRequest> queue;
+    TenantBudget budget;
+    double deficit_bytes = 0.0;
+    double request_tokens = 0.0;
+    double byte_tokens = 0.0;
+    double last_refill = 0.0;
+    bool seen = false;  // budget/bucket initialized
+    uint64_t admitted_bytes = 0;
+  };
+
+  TenantState& StateFor(uint64_t tenant, double now);
+  static void Refill(TenantState& state, double now);
+  // True if the head of `state`'s queue fits the token buckets right now.
+  static bool BudgetAllows(const TenantState& state, uint64_t cost);
+
+  AdmissionConfig config_;
+  std::unordered_map<uint64_t, TenantState> tenants_;
+  std::vector<uint64_t> rr_order_;  // tenants in first-seen order
+  size_t rr_cursor_ = 0;            // persists across Admit calls
+  size_t total_queued_ = 0;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_FRONTEND_ADMISSION_H_

@@ -1,0 +1,64 @@
+#include "frontend/batcher.h"
+
+#include <algorithm>
+
+namespace silica {
+
+void Batcher::AddRead(uint64_t platter, BatchedRequest request) {
+  auto [it, inserted] = read_groups_.try_emplace(platter);
+  ReadBatch& batch = it->second;
+  if (inserted) {
+    batch.platter = platter;
+    batch.oldest_admit = request.admit_time;
+    read_order_.push_back(platter);
+  }
+  batch.oldest_admit = std::min(batch.oldest_admit, request.admit_time);
+  batch.reads.push_back(std::move(request));
+  ++pending_reads_;
+}
+
+void Batcher::AddWrite(BatchedRequest request) {
+  if (write_stage_.writes.empty()) {
+    write_stage_.oldest_admit = request.admit_time;
+  }
+  write_stage_.oldest_admit =
+      std::min(write_stage_.oldest_admit, request.admit_time);
+  write_stage_.total_bytes += request.bytes;
+  write_stage_.writes.push_back(std::move(request));
+}
+
+std::vector<ReadBatch> Batcher::TakeReadyReads(double now, bool force) {
+  std::vector<ReadBatch> ready;
+  std::vector<uint64_t> remaining;
+  for (uint64_t platter : read_order_) {
+    auto it = read_groups_.find(platter);
+    ReadBatch& batch = it->second;
+    if (force || ReadReady(batch, now)) {
+      pending_reads_ -= batch.reads.size();
+      ready.push_back(std::move(batch));
+      read_groups_.erase(it);
+    } else {
+      remaining.push_back(platter);
+    }
+  }
+  read_order_ = std::move(remaining);
+  return ready;
+}
+
+std::optional<WriteBatch> Batcher::TakeReadyWrites(double now, bool force) {
+  if (write_stage_.writes.empty()) {
+    return std::nullopt;
+  }
+  const bool ready = force ||
+                     write_stage_.total_bytes >= config_.flush_bytes ||
+                     write_stage_.writes.size() >= config_.max_writes_per_batch ||
+                     now - write_stage_.oldest_admit >= config_.max_write_linger_s;
+  if (!ready) {
+    return std::nullopt;
+  }
+  WriteBatch out = std::move(write_stage_);
+  write_stage_ = WriteBatch{};
+  return out;
+}
+
+}  // namespace silica

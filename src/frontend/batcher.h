@@ -1,0 +1,84 @@
+// Request coalescing for the front-end (DESIGN.md section 14.3).
+//
+// Admitted reads are grouped by target platter so one mount serves many
+// requests; admitted writes accumulate into a flush-sized staging batch so one
+// SilicaService::Flush commits many files. A group dispatches when it is full,
+// when its oldest member has lingered past `max_linger_s` (bounded added
+// latency), or when the caller forces a drain. Groups dispatch in the order
+// their platters were first seen, which keeps execution deterministic.
+#ifndef SILICA_FRONTEND_BATCHER_H_
+#define SILICA_FRONTEND_BATCHER_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/protocol/frame.h"
+
+namespace silica {
+
+struct BatchConfig {
+  size_t max_reads_per_batch = 16;   // per-platter group size trigger
+  uint64_t flush_bytes = 256 * 1024; // write staging byte trigger (~1 platter)
+  size_t max_writes_per_batch = 64;  // write staging count trigger
+  double max_linger_s = 2.0;         // oldest read waits at most this long
+  // Writes linger longer: a flush writes (and pads) a whole platter set, so
+  // under-filled flushes are far more expensive than an under-filled mount.
+  double max_write_linger_s = 4.0;
+};
+
+// A request riding in a batch: identity plus what execution needs.
+struct BatchedRequest {
+  RequestId id = kInvalidRequestId;
+  uint64_t tenant = 0;
+  std::string name;
+  uint64_t bytes = 0;     // resolved read size / payload size
+  double admit_time = 0.0;
+};
+
+struct ReadBatch {
+  uint64_t platter = 0;
+  std::vector<BatchedRequest> reads;
+  double oldest_admit = 0.0;
+};
+
+struct WriteBatch {
+  std::vector<BatchedRequest> writes;
+  uint64_t total_bytes = 0;
+  double oldest_admit = 0.0;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatchConfig config) : config_(config) {}
+
+  void AddRead(uint64_t platter, BatchedRequest request);
+  void AddWrite(BatchedRequest request);
+
+  // Removes and returns every read group that is ready at `now` (full, expired,
+  // or `force`), in first-seen platter order.
+  std::vector<ReadBatch> TakeReadyReads(double now, bool force);
+
+  // Removes and returns the write stage when it is ready at `now`.
+  std::optional<WriteBatch> TakeReadyWrites(double now, bool force);
+
+  size_t pending_reads() const { return pending_reads_; }
+  size_t pending_writes() const { return write_stage_.writes.size(); }
+
+ private:
+  bool ReadReady(const ReadBatch& batch, double now) const {
+    return batch.reads.size() >= config_.max_reads_per_batch ||
+           now - batch.oldest_admit >= config_.max_linger_s;
+  }
+
+  BatchConfig config_;
+  std::unordered_map<uint64_t, ReadBatch> read_groups_;
+  std::vector<uint64_t> read_order_;  // platters in first-seen order
+  WriteBatch write_stage_;
+  size_t pending_reads_ = 0;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_FRONTEND_BATCHER_H_

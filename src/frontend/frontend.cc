@@ -1,0 +1,515 @@
+#include "frontend/frontend.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/telemetry.h"
+
+namespace silica {
+
+double JainFairnessIndex(const std::vector<double>& shares) {
+  if (shares.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+FrontEnd::FrontEnd(SilicaService& service, FrontEndConfig config,
+                   Telemetry* telemetry)
+    : service_(service),
+      config_(config),
+      telemetry_(telemetry),
+      admission_(config.admission),
+      batcher_(config.batch) {
+  if (telemetry_ != nullptr) {
+    service_.SetTelemetry(telemetry_);
+    trace_track_ = telemetry_->tracer.RegisterTrack("frontend");
+    auto& metrics = telemetry_->metrics;
+    c_submitted_ = &metrics.GetCounter("frontend_submitted_total");
+    c_accepted_ = &metrics.GetCounter("frontend_accepted_total");
+    c_rejected_ = &metrics.GetCounter("frontend_rejected_total");
+    c_admitted_ = &metrics.GetCounter("frontend_admitted_total");
+    c_completed_ = &metrics.GetCounter("frontend_completed_total");
+    c_failed_ = &metrics.GetCounter("frontend_failed_total");
+    c_mounts_ = &metrics.GetCounter("frontend_platter_mounts_total");
+    c_coalesced_ = &metrics.GetCounter("frontend_coalesced_reads_total");
+    g_queue_depth_ = &metrics.GetGauge("frontend_queue_depth");
+    g_pending_batched_ = &metrics.GetGauge("frontend_pending_batched");
+  }
+}
+
+FrontEnd::TenantStats& FrontEnd::StatsFor(uint64_t tenant) {
+  auto [it, inserted] = tenant_stats_.try_emplace(tenant);
+  if (inserted) {
+    tenant_order_.push_back(tenant);
+  }
+  return it->second;
+}
+
+RequestId FrontEnd::Reject(RequestFrame frame, StatusCode status, double now) {
+  const RequestId id = ids_.Allocate();
+  ++counters_.submitted;
+  ++counters_.rejected;
+  if (c_submitted_ != nullptr) {
+    c_submitted_->Increment();
+    c_rejected_->Increment();
+  }
+  TenantStats& stats = StatsFor(frame.tenant);
+  ++stats.submitted;
+  ++stats.rejected;
+
+  Record record;
+  record.tenant = frame.tenant;
+  record.op = frame.op;
+  record.state = RequestState::kRejected;
+  record.submit_time = now;
+  record.name = std::move(frame.name);
+  records_.emplace(id, std::move(record));
+
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.Instant(kTraceFrontend, trace_track_, now, "reject",
+                               {{"tenant", static_cast<double>(frame.tenant)}});
+  }
+  Completion completion;
+  completion.id = id;
+  completion.tenant = frame.tenant;
+  completion.op = frame.op;
+  completion.status = status;
+  completion.submit_time = now;
+  completion.complete_time = now;
+  completions_.push_back(completion);
+  if (callback_) {
+    callback_(completions_.back());
+  }
+  return id;
+}
+
+RequestId FrontEnd::Submit(RequestFrame frame, double now) {
+  // Size the request for fair-share accounting before admission.
+  uint64_t cost = 1;
+  switch (frame.op) {
+    case OpType::kPut: {
+      const uint64_t capacity =
+          service_.data_plane().geometry().payload_bytes_per_platter();
+      if (frame.payload.size() > capacity) {
+        return Reject(std::move(frame), StatusCode::kInvalidArgument, now);
+      }
+      cost = std::max<uint64_t>(1, frame.payload.size());
+      break;
+    }
+    case OpType::kGet: {
+      const auto version = service_.metadata().Lookup(frame.name);
+      cost = version ? std::max<uint64_t>(1, version->bytes)
+                     : std::max<uint64_t>(1, frame.read_bytes_hint);
+      break;
+    }
+    case OpType::kDelete:
+      cost = 1;
+      break;
+  }
+
+  const RequestId id = ids_.Allocate();
+  QueuedRequest queued{id, frame.tenant, cost, now};
+  if (!admission_.Enqueue(queued, now)) {
+    // Undo the id-first ordering: re-issue through the rejection path so the
+    // record and completion carry this id.
+    ++counters_.submitted;
+    ++counters_.rejected;
+    if (c_submitted_ != nullptr) {
+      c_submitted_->Increment();
+      c_rejected_->Increment();
+    }
+    TenantStats& stats = StatsFor(frame.tenant);
+    ++stats.submitted;
+    ++stats.rejected;
+    Record record;
+    record.tenant = frame.tenant;
+    record.op = frame.op;
+    record.state = RequestState::kRejected;
+    record.submit_time = now;
+    record.name = std::move(frame.name);
+    records_.emplace(id, std::move(record));
+    Completion completion;
+    completion.id = id;
+    completion.tenant = record.tenant;
+    completion.op = record.op;
+    completion.status = StatusCode::kOverloaded;
+    completion.submit_time = now;
+    completion.complete_time = now;
+    completions_.push_back(std::move(completion));
+    if (callback_) {
+      callback_(completions_.back());
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.Instant(kTraceFrontend, trace_track_, now, "overloaded",
+                                 {{"tenant", static_cast<double>(queued.tenant)},
+                                  {"depth", static_cast<double>(
+                                                admission_.queue_depth(queued.tenant))}});
+    }
+    return id;
+  }
+
+  ++counters_.submitted;
+  ++counters_.accepted;
+  if (c_submitted_ != nullptr) {
+    c_submitted_->Increment();
+    c_accepted_->Increment();
+  }
+  TenantStats& stats = StatsFor(frame.tenant);
+  ++stats.submitted;
+  ++stats.accepted;
+
+  Record record;
+  record.tenant = frame.tenant;
+  record.op = frame.op;
+  record.state = RequestState::kPending;
+  record.submit_time = now;
+  record.cost_bytes = cost;
+  record.name = std::move(frame.name);
+  record.payload = std::move(frame.payload);
+  records_.emplace(id, std::move(record));
+
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.AsyncBegin(kTraceFrontend, id, now, "request");
+  }
+  return id;
+}
+
+RequestId FrontEnd::SubmitEncoded(std::span<const uint8_t> wire, double now) {
+  auto frame = DecodeFrame(wire);
+  if (!frame) {
+    return Reject(RequestFrame{}, StatusCode::kInvalidArgument, now);
+  }
+  return Submit(std::move(*frame), now);
+}
+
+void FrontEnd::RouteAdmitted(const QueuedRequest& admitted, double now) {
+  Record& record = records_.at(admitted.id);
+  record.state = RequestState::kAdmitted;
+  StatsFor(record.tenant).admitted_bytes += admitted.cost_bytes;
+
+  switch (record.op) {
+    case OpType::kGet: {
+      // Resolve placement now: the name may have been written or shredded while
+      // the request waited in its tenant queue.
+      const auto version = service_.metadata().Lookup(record.name);
+      if (!version) {
+        // Read-your-writes: the name may be an admitted Put still waiting in
+        // the write stage; serve it from staging memory instead of failing.
+        const auto staged = staged_.find(record.name);
+        if (staged != staged_.end()) {
+          const Record& put = records_.at(staged->second.latest);
+          ++counters_.staged_read_hits;
+          counters_.bytes_read += put.payload.size();
+          record.cost_bytes = put.payload.size();
+          Complete(admitted.id, StatusCode::kOk,
+                   now + config_.exec.request_overhead_s,
+                   config_.return_data ? std::make_optional(put.payload)
+                                       : std::nullopt);
+          return;
+        }
+        Complete(admitted.id, StatusCode::kNotFound,
+                 now + config_.exec.request_overhead_s, std::nullopt);
+        return;
+      }
+      record.state = RequestState::kBatched;
+      batcher_.AddRead(version->platter_id,
+                       BatchedRequest{admitted.id, record.tenant, record.name,
+                                      version->bytes, now});
+      return;
+    }
+    case OpType::kPut: {
+      record.state = RequestState::kBatched;
+      StagedWrite& staged = staged_[record.name];
+      staged.latest = admitted.id;
+      ++staged.count;
+      batcher_.AddWrite(BatchedRequest{admitted.id, record.tenant, record.name,
+                                       record.payload.size(), now});
+      return;
+    }
+    case OpType::kDelete: {
+      record.state = RequestState::kExecuting;
+      ++counters_.deletes_executed;
+      const bool shredded = service_.Delete(record.name);
+      Complete(admitted.id, shredded ? StatusCode::kOk : StatusCode::kNotFound,
+               now + config_.exec.request_overhead_s, std::nullopt);
+      return;
+    }
+  }
+}
+
+void FrontEnd::Pump(double now) {
+  std::vector<QueuedRequest> admitted;
+  admission_.Admit(now, AdmissionController::kNoAdmitLimit, &admitted);
+  for (const QueuedRequest& request : admitted) {
+    ++counters_.admitted;
+    if (c_admitted_ != nullptr) {
+      c_admitted_->Increment();
+    }
+    RouteAdmitted(request, now);
+  }
+  for (ReadBatch& batch : batcher_.TakeReadyReads(now, /*force=*/false)) {
+    ExecuteReadBatch(std::move(batch), now);
+  }
+  if (auto writes = batcher_.TakeReadyWrites(now, /*force=*/false)) {
+    ExecuteWriteBatch(std::move(*writes), now);
+  }
+  PublishGauges(now);
+}
+
+void FrontEnd::ExecuteReadBatch(ReadBatch batch, double now) {
+  std::vector<std::string> names;
+  names.reserve(batch.reads.size());
+  for (const BatchedRequest& read : batch.reads) {
+    records_.at(read.id).state = RequestState::kExecuting;
+    names.push_back(read.name);
+  }
+
+  auto result = service_.BatchGet(names);
+
+  ++counters_.read_batches;
+  counters_.reads_executed += batch.reads.size();
+  counters_.platter_mounts += result.platter_mounts;
+  if (batch.reads.size() > result.platter_mounts) {
+    counters_.coalesced_reads += batch.reads.size() - result.platter_mounts;
+  }
+  if (c_mounts_ != nullptr) {
+    c_mounts_->Increment(static_cast<double>(result.platter_mounts));
+    if (batch.reads.size() > result.platter_mounts) {
+      c_coalesced_->Increment(
+          static_cast<double>(batch.reads.size() - result.platter_mounts));
+    }
+  }
+
+  // Deterministic service times: one mount, then each request pays its seek
+  // overhead plus transfer time, sequentially within the mount.
+  double t = now + config_.exec.mount_s;
+  for (size_t i = 0; i < batch.reads.size(); ++i) {
+    const BatchedRequest& read = batch.reads[i];
+    t += config_.exec.request_overhead_s +
+         static_cast<double>(read.bytes) / config_.exec.read_bytes_per_s;
+    StatusCode status;
+    if (result.files[i].has_value()) {
+      status = StatusCode::kOk;
+      counters_.bytes_read += read.bytes;
+    } else {
+      // Distinguish "shredded while batched" from "data unrecoverable".
+      status = service_.metadata().Lookup(read.name)
+                   ? StatusCode::kInternalError
+                   : StatusCode::kNotFound;
+    }
+    Complete(read.id, status, t,
+             config_.return_data ? std::move(result.files[i]) : std::nullopt);
+  }
+
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.Span(
+        kTraceFrontend, trace_track_, now, t - now, "read_batch",
+        {{"platter", static_cast<double>(batch.platter)},
+         {"reads", static_cast<double>(batch.reads.size())},
+         {"mounts", static_cast<double>(result.platter_mounts)}});
+  }
+}
+
+void FrontEnd::ExecuteWriteBatch(WriteBatch batch, double now) {
+  // Pre-flush version snapshot per distinct name, so commits are attributable
+  // even when one batch carries several versions of the same name.
+  std::unordered_map<std::string, uint64_t> version_before;
+  for (const BatchedRequest& write : batch.writes) {
+    if (!version_before.count(write.name)) {
+      const auto version = service_.metadata().Lookup(write.name);
+      version_before[write.name] = version ? version->version : 0;
+    }
+  }
+
+  std::vector<size_t> remaining;  // indices into batch.writes, batch order
+  for (size_t i = 0; i < batch.writes.size(); ++i) {
+    const BatchedRequest& write = batch.writes[i];
+    Record& record = records_.at(write.id);
+    record.state = RequestState::kExecuting;
+    // Leaving the stage: once flushed, reads resolve through metadata instead.
+    const auto staged = staged_.find(write.name);
+    if (staged != staged_.end() && --staged->second.count == 0) {
+      staged_.erase(staged);
+    }
+    try {
+      service_.Put(record.name, record.tenant, std::move(record.payload));
+      remaining.push_back(i);
+    } catch (const std::invalid_argument&) {
+      Complete(write.id, StatusCode::kInvalidArgument, now, std::nullopt);
+    }
+  }
+  counters_.writes_executed += batch.writes.size();
+
+  double t = now;
+  int attempts = 0;
+  const double span_start = now;
+  while (!remaining.empty() && attempts <= config_.max_write_retries) {
+    uint64_t attempt_bytes = 0;
+    for (size_t i : remaining) {
+      attempt_bytes += batch.writes[i].bytes;
+    }
+    service_.Flush();
+    ++attempts;
+    ++counters_.flushes;
+    if (attempts > 1) {
+      ++counters_.write_retries;
+    }
+    t += config_.exec.flush_s +
+         static_cast<double>(attempt_bytes) / config_.exec.write_bytes_per_s;
+
+    // A write is committed once its name's version count advanced past the
+    // writes of that name ordered before it in the batch.
+    std::unordered_map<std::string, uint64_t> committed_budget;
+    for (auto& [name, before] : version_before) {
+      const auto version = service_.metadata().Lookup(name);
+      const uint64_t after = version ? version->version : 0;
+      committed_budget[name] = after > before ? after - before : 0;
+    }
+    std::vector<size_t> still_remaining;
+    for (size_t i : remaining) {
+      const BatchedRequest& write = batch.writes[i];
+      uint64_t& budget = committed_budget[write.name];
+      if (budget > 0) {
+        --budget;
+        counters_.bytes_written += write.bytes;
+        Complete(write.id, StatusCode::kOk, t, std::nullopt);
+      } else {
+        still_remaining.push_back(i);
+      }
+    }
+    // Future attempts only need to cover what actually committed this round.
+    for (auto& [name, before] : version_before) {
+      const auto version = service_.metadata().Lookup(name);
+      before = version ? version->version : 0;
+    }
+    remaining = std::move(still_remaining);
+  }
+  for (size_t i : remaining) {
+    Complete(batch.writes[i].id, StatusCode::kVerifyFailed, t, std::nullopt);
+  }
+
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.Span(kTraceFrontend, trace_track_, span_start,
+                            t - span_start, "write_flush",
+                            {{"writes", static_cast<double>(batch.writes.size())},
+                             {"bytes", static_cast<double>(batch.total_bytes)},
+                             {"attempts", static_cast<double>(attempts)}});
+  }
+}
+
+void FrontEnd::Complete(RequestId id, StatusCode status, double complete_time,
+                        std::optional<std::vector<uint8_t>> data) {
+  Record& record = records_.at(id);
+  const bool ok = status == StatusCode::kOk;
+  record.state = ok ? RequestState::kDone : RequestState::kFailed;
+  record.payload.clear();
+  record.payload.shrink_to_fit();
+
+  if (ok) {
+    ++counters_.completed;
+    if (c_completed_ != nullptr) {
+      c_completed_->Increment();
+    }
+  } else {
+    ++counters_.failed;
+    if (c_failed_ != nullptr) {
+      c_failed_->Increment();
+    }
+  }
+  TenantStats& stats = StatsFor(record.tenant);
+  if (ok) {
+    ++stats.completed;
+  } else {
+    ++stats.failed;
+  }
+  stats.latency.Add(complete_time - record.submit_time);
+
+  Completion completion;
+  completion.id = id;
+  completion.tenant = record.tenant;
+  completion.op = record.op;
+  completion.status = status;
+  completion.submit_time = record.submit_time;
+  completion.complete_time = complete_time;
+  completion.bytes = record.cost_bytes;
+  completion.data = std::move(data);
+  completions_.push_back(std::move(completion));
+  if (callback_) {
+    callback_(completions_.back());
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.AsyncEnd(kTraceFrontend, id, complete_time, "request");
+  }
+}
+
+double FrontEnd::Drain(double now) {
+  double t = now;
+  const double deadline = now + config_.max_drain_s;
+  while (!idle()) {
+    Pump(t);
+    for (ReadBatch& batch : batcher_.TakeReadyReads(t, /*force=*/true)) {
+      ExecuteReadBatch(std::move(batch), t);
+    }
+    if (auto writes = batcher_.TakeReadyWrites(t, /*force=*/true)) {
+      ExecuteWriteBatch(std::move(*writes), t);
+    }
+    if (idle()) {
+      break;
+    }
+    if (t >= deadline) {
+      // Budgets can no longer drain in time; shed what is left so the front
+      // door stays lossless in its accounting.
+      std::vector<QueuedRequest> shed;
+      admission_.DrainAll(&shed);
+      for (const QueuedRequest& request : shed) {
+        ++counters_.admitted;
+        if (c_admitted_ != nullptr) {
+          c_admitted_->Increment();
+        }
+        StatsFor(records_.at(request.id).tenant).admitted_bytes +=
+            request.cost_bytes;
+        Complete(request.id, StatusCode::kOverloaded, t, std::nullopt);
+      }
+      break;
+    }
+    t += config_.drain_step_s;
+  }
+  PublishGauges(t);
+  return t;
+}
+
+std::optional<RequestState> FrontEnd::StateOf(RequestId id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return std::nullopt;
+  }
+  return it->second.state;
+}
+
+std::vector<Completion> FrontEnd::TakeCompletions() {
+  std::vector<Completion> out;
+  out.swap(completions_);
+  return out;
+}
+
+void FrontEnd::PublishGauges(double now) {
+  if (g_queue_depth_ == nullptr) {
+    return;
+  }
+  g_queue_depth_->Set(static_cast<double>(admission_.total_queued()));
+  g_pending_batched_->Set(static_cast<double>(pending_batched()));
+  telemetry_->tracer.CounterEvent(kTraceFrontend, now, "frontend_queue_depth",
+                                  static_cast<double>(admission_.total_queued()));
+}
+
+}  // namespace silica

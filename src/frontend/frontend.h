@@ -1,0 +1,230 @@
+// Asynchronous ingest/read front-end over SilicaService (DESIGN.md section 14).
+//
+// The digital twin used to be driven synchronously by offline traces calling
+// Put/Get/Flush inline. This layer gives it a real request lifecycle:
+//
+//   Submit(frame) -> RequestId            (returns immediately)
+//   Pending -> Admitted -> Batched -> Executing -> {Done, Failed}
+//                \-> Rejected (kOverloaded backpressure / malformed frame)
+//
+// Submit enqueues into the tenant's bounded FIFO; a deficit-round-robin
+// admission controller (admission.h) shares service bytes fairly across
+// tenants under per-tenant rate/byte budgets; a coalescing batcher (batcher.h)
+// groups admitted reads by target platter and writes into flush-sized staging
+// batches so one mount / one Flush serves many requests. Completions are
+// delivered through an optional callback and a pollable completion queue.
+//
+// Time is explicit: every entry point takes `now` in seconds, and execution
+// latency comes from a deterministic cost model (mount + per-request overhead +
+// bytes/throughput), so a virtual-clock driver replays workloads byte-
+// identically while a wall-clock driver simply passes real elapsed time. The
+// front-end itself is single-threaded and allocates no background threads —
+// asynchrony is in the API shape, exactly like the rest of the DES twin.
+#ifndef SILICA_FRONTEND_FRONTEND_H_
+#define SILICA_FRONTEND_FRONTEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/silica_service.h"
+#include "frontend/admission.h"
+#include "frontend/batcher.h"
+#include "frontend/protocol/frame.h"
+
+namespace silica {
+
+struct Telemetry;
+class Gauge;
+
+// Deterministic service-time model for completions (simulation seconds).
+struct ExecutionModel {
+  double mount_s = 2.0;             // once per read batch (per platter mount)
+  double request_overhead_s = 0.1;  // seek/setup per request within a mount
+  double read_bytes_per_s = 60e6;   // drive read throughput
+  double flush_s = 5.0;             // once per staging flush (write + verify)
+  double write_bytes_per_s = 30e6;  // write-channel throughput
+};
+
+struct FrontEndConfig {
+  AdmissionConfig admission;
+  BatchConfig batch;
+  ExecutionModel exec;
+  // A write whose platter fails verification stays staged; the batch re-runs
+  // Flush up to this many extra times before reporting kVerifyFailed.
+  int max_write_retries = 3;
+  // Attach decoded bytes to Get completions (disable for load tests that only
+  // measure latency, to keep the completion queue small).
+  bool return_data = true;
+  // Drain(): virtual-time step used while waiting for budget-limited tenants'
+  // tokens to refill, and the cap on how long a drain may run.
+  double drain_step_s = 0.5;
+  double max_drain_s = 24.0 * 3600.0;
+};
+
+struct Completion {
+  RequestId id = kInvalidRequestId;
+  uint64_t tenant = 0;
+  OpType op = OpType::kGet;
+  StatusCode status = StatusCode::kOk;
+  double submit_time = 0.0;
+  double complete_time = 0.0;
+  uint64_t bytes = 0;  // read size or payload size
+  std::optional<std::vector<uint8_t>> data;  // Get only, when return_data
+};
+
+// Jain's fairness index over per-tenant shares: (sum x)^2 / (n * sum x^2).
+// 1.0 is perfectly fair; 1/n is maximally unfair. Returns 1.0 for empty input.
+double JainFairnessIndex(const std::vector<double>& shares);
+
+class FrontEnd {
+ public:
+  // `telemetry` (optional) also attaches to the underlying service, so batched
+  // reads and crypto-shreds land in the same registry as front-end counters.
+  FrontEnd(SilicaService& service, FrontEndConfig config,
+           Telemetry* telemetry = nullptr);
+
+  using CompletionCallback = std::function<void(const Completion&)>;
+  void SetCompletionCallback(CompletionCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  // Per-tenant budget override (rate/byte token buckets).
+  void SetTenantBudget(uint64_t tenant, TenantBudget budget) {
+    admission_.SetTenantBudget(tenant, budget);
+  }
+
+  // Enqueues a request at time `now`. Always returns a fresh id; check
+  // StateOf/completions for kRejected when admission refused it.
+  RequestId Submit(RequestFrame frame, double now);
+
+  // Wire entry point: decodes the frame first; undecodable bytes are rejected
+  // with kInvalidArgument (still consuming an id, as a real listener would).
+  RequestId SubmitEncoded(std::span<const uint8_t> wire, double now);
+
+  // Advances the front-end to time `now`: refills budgets, runs fair-share
+  // admission, routes admitted requests into batches, and executes every batch
+  // that is full or past its linger deadline.
+  void Pump(double now);
+
+  // Forces all queued work through, stepping virtual time forward (from `now`)
+  // when budget-limited tenants must wait for tokens. Returns the virtual time
+  // at which the last work item executed.
+  double Drain(double now);
+
+  // Lifecycle of a submitted id; kInvalidRequestId/unknown ids return nullopt.
+  std::optional<RequestState> StateOf(RequestId id) const;
+
+  // Completions accumulated since the last call (in completion order).
+  std::vector<Completion> TakeCompletions();
+
+  struct Counters {
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;   // entered a tenant queue
+    uint64_t rejected = 0;   // kOverloaded / kInvalidArgument at the door
+    uint64_t admitted = 0;   // passed fair-share admission
+    uint64_t completed = 0;  // terminal Done
+    uint64_t failed = 0;     // terminal Failed
+    uint64_t read_batches = 0;
+    uint64_t reads_executed = 0;
+    uint64_t staged_read_hits = 0;  // Gets served from the write stage
+    uint64_t platter_mounts = 0;
+    uint64_t coalesced_reads = 0;  // reads that shared another request's mount
+    uint64_t flushes = 0;
+    uint64_t write_retries = 0;
+    uint64_t writes_executed = 0;
+    uint64_t deletes_executed = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+
+    // Lossless-front-door invariants (checked by tests and the bench).
+    bool ConservesAdmission() const { return submitted == accepted + rejected; }
+    bool ConservesCompletion() const { return admitted == completed + failed; }
+  };
+  const Counters& counters() const { return counters_; }
+
+  struct TenantStats {
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t admitted_bytes = 0;
+    PercentileTracker latency;  // complete_time - submit_time, terminal only
+  };
+  // Tenants in first-submit order (deterministic iteration for reports).
+  const std::vector<uint64_t>& tenant_order() const { return tenant_order_; }
+  const TenantStats& tenant_stats(uint64_t tenant) const {
+    return tenant_stats_.at(tenant);
+  }
+
+  size_t queue_depth() const { return admission_.total_queued(); }
+  size_t pending_batched() const {
+    return batcher_.pending_reads() + batcher_.pending_writes();
+  }
+  bool idle() const { return queue_depth() == 0 && pending_batched() == 0; }
+
+ private:
+  struct Record {
+    uint64_t tenant = 0;
+    OpType op = OpType::kGet;
+    RequestState state = RequestState::kPending;
+    double submit_time = 0.0;
+    uint64_t cost_bytes = 0;
+    std::string name;
+    std::vector<uint8_t> payload;  // Put only; released at execution
+  };
+
+  RequestId Reject(RequestFrame frame, StatusCode status, double now);
+  void RouteAdmitted(const QueuedRequest& admitted, double now);
+  void ExecuteReadBatch(ReadBatch batch, double now);
+  void ExecuteWriteBatch(WriteBatch batch, double now);
+  void Complete(RequestId id, StatusCode status, double complete_time,
+                std::optional<std::vector<uint8_t>> data);
+  TenantStats& StatsFor(uint64_t tenant);
+  void PublishGauges(double now);
+
+  SilicaService& service_;
+  FrontEndConfig config_;
+  Telemetry* telemetry_ = nullptr;
+  int trace_track_ = 0;
+
+  // Read-your-writes: names with an admitted-but-unflushed Put, pointing at the
+  // latest staged request so a Get can be served from staging memory.
+  struct StagedWrite {
+    RequestId latest = kInvalidRequestId;
+    uint64_t count = 0;  // staged puts of this name still awaiting flush
+  };
+
+  RequestIdAllocator ids_;
+  AdmissionController admission_;
+  Batcher batcher_;
+  std::unordered_map<std::string, StagedWrite> staged_;
+  std::unordered_map<RequestId, Record> records_;
+  std::vector<Completion> completions_;
+  CompletionCallback callback_;
+
+  Counters counters_;
+  std::unordered_map<uint64_t, TenantStats> tenant_stats_;
+  std::vector<uint64_t> tenant_order_;
+
+  Counter* c_submitted_ = nullptr;
+  Counter* c_accepted_ = nullptr;
+  Counter* c_rejected_ = nullptr;
+  Counter* c_admitted_ = nullptr;
+  Counter* c_completed_ = nullptr;
+  Counter* c_failed_ = nullptr;
+  Counter* c_mounts_ = nullptr;
+  Counter* c_coalesced_ = nullptr;
+  Gauge* g_queue_depth_ = nullptr;
+  Gauge* g_pending_batched_ = nullptr;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_FRONTEND_FRONTEND_H_

@@ -1,0 +1,174 @@
+#include "frontend/protocol/frame.h"
+
+#include <cstring>
+
+#include "common/crc.h"
+
+namespace silica {
+namespace {
+
+constexpr uint16_t kFrameMagic = 0x51FA;  // "Silica Front-end, version A"
+constexpr uint8_t kFrameVersion = 1;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+// Little reader over the wire bytes; every Take checks the remaining length.
+struct Cursor {
+  std::span<const uint8_t> bytes;
+  size_t pos = 0;
+
+  bool Take(void* dst, size_t n) {
+    if (pos + n > bytes.size()) {
+      return false;
+    }
+    std::memcpy(dst, bytes.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  template <typename T>
+  bool TakeLe(T* v) {
+    uint8_t buf[sizeof(T)];
+    if (!Take(buf, sizeof(T))) {
+      return false;
+    }
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out = static_cast<T>(out | (static_cast<T>(buf[i]) << (8 * i)));
+    }
+    *v = out;
+    return true;
+  }
+};
+
+}  // namespace
+
+const char* OpName(OpType op) {
+  switch (op) {
+    case OpType::kPut:
+      return "put";
+    case OpType::kGet:
+      return "get";
+    case OpType::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+const char* StatusName(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kVerifyFailed:
+      return "verify_failed";
+    case StatusCode::kInternalError:
+      return "internal_error";
+  }
+  return "?";
+}
+
+const char* StateName(RequestState state) {
+  switch (state) {
+    case RequestState::kPending:
+      return "pending";
+    case RequestState::kAdmitted:
+      return "admitted";
+    case RequestState::kBatched:
+      return "batched";
+    case RequestState::kExecuting:
+      return "executing";
+    case RequestState::kDone:
+      return "done";
+    case RequestState::kFailed:
+      return "failed";
+    case RequestState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> EncodeFrame(const RequestFrame& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(2 + 1 + 1 + 8 + 8 + 4 + frame.name.size() + 8 +
+              frame.payload.size() + 4);
+  PutU16(&out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<uint8_t>(frame.op));
+  PutU64(&out, frame.tenant);
+  PutU64(&out, frame.read_bytes_hint);
+  PutU32(&out, static_cast<uint32_t>(frame.name.size()));
+  out.insert(out.end(), frame.name.begin(), frame.name.end());
+  PutU64(&out, frame.payload.size());
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  PutU32(&out, Crc32c(std::span<const uint8_t>(out.data(), out.size())));
+  return out;
+}
+
+std::optional<RequestFrame> DecodeFrame(std::span<const uint8_t> wire) {
+  if (wire.size() < 4) {
+    return std::nullopt;
+  }
+  // CRC trailer covers every byte before it.
+  Cursor crc_cursor{wire.subspan(wire.size() - 4), 0};
+  uint32_t stored_crc = 0;
+  crc_cursor.TakeLe(&stored_crc);
+  const auto body = wire.subspan(0, wire.size() - 4);
+  if (Crc32c(body) != stored_crc) {
+    return std::nullopt;
+  }
+
+  Cursor cursor{body, 0};
+  uint16_t magic = 0;
+  uint8_t version = 0;
+  uint8_t op_raw = 0;
+  RequestFrame frame;
+  if (!cursor.TakeLe(&magic) || magic != kFrameMagic) {
+    return std::nullopt;
+  }
+  if (!cursor.TakeLe(&version) || version != kFrameVersion) {
+    return std::nullopt;
+  }
+  if (!cursor.TakeLe(&op_raw) || op_raw < 1 ||
+      op_raw > static_cast<uint8_t>(OpType::kDelete)) {
+    return std::nullopt;
+  }
+  frame.op = static_cast<OpType>(op_raw);
+  if (!cursor.TakeLe(&frame.tenant) || !cursor.TakeLe(&frame.read_bytes_hint)) {
+    return std::nullopt;
+  }
+  uint32_t name_len = 0;
+  if (!cursor.TakeLe(&name_len) || cursor.pos + name_len > body.size()) {
+    return std::nullopt;
+  }
+  frame.name.assign(reinterpret_cast<const char*>(body.data() + cursor.pos),
+                    name_len);
+  cursor.pos += name_len;
+  uint64_t payload_len = 0;
+  if (!cursor.TakeLe(&payload_len) || cursor.pos + payload_len != body.size()) {
+    return std::nullopt;
+  }
+  frame.payload.assign(body.begin() + static_cast<long>(cursor.pos), body.end());
+  return frame;
+}
+
+}  // namespace silica

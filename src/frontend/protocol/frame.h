@@ -1,0 +1,89 @@
+// Front-end protocol layer: request frames, monotonic request ids, and typed
+// status codes (DESIGN.md section 14.1).
+//
+// The archival service front door speaks a small wire-ish protocol: a client
+// submits a *frame* (operation + tenant + object name + payload) and receives a
+// monotonically increasing RequestId it can poll or wait on. Frames have a
+// defined byte encoding (magic, version, CRC32C trailer) so the layer behaves
+// like a network boundary — decode failures map to kInvalidArgument instead of
+// undefined behavior — but in-process callers can also hand the struct over
+// directly and skip the serialization round trip.
+#ifndef SILICA_FRONTEND_PROTOCOL_FRAME_H_
+#define SILICA_FRONTEND_PROTOCOL_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace silica {
+
+using RequestId = uint64_t;
+inline constexpr RequestId kInvalidRequestId = 0;
+
+enum class OpType : uint8_t {
+  kPut = 1,     // stage `payload` under `name`
+  kGet = 2,     // read the latest version of `name`
+  kDelete = 3,  // crypto-shred `name`
+};
+
+// Terminal and transient outcomes a request can carry. The numeric values are
+// part of the wire contract; append only.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,         // Get/Delete of an unknown or shredded name
+  kOverloaded = 2,       // rejected at admission: tenant queue full
+  kInvalidArgument = 3,  // malformed frame or oversized payload
+  kVerifyFailed = 4,     // write could not be committed within the retry budget
+  kInternalError = 5,
+};
+
+// Explicit request lifecycle (DESIGN.md section 14 diagram):
+//   Pending -> Admitted -> Batched -> Executing -> {Done, Failed}
+// with Rejected as the immediate terminal state when admission refuses entry.
+enum class RequestState : uint8_t {
+  kPending = 0,    // sitting in its tenant's FIFO queue
+  kAdmitted = 1,   // passed fair-share admission, en route to a batch
+  kBatched = 2,    // waiting in a per-platter read group or the write stage
+  kExecuting = 3,  // its batch is running against SilicaService
+  kDone = 4,
+  kFailed = 5,
+  kRejected = 6,
+};
+
+const char* OpName(OpType op);
+const char* StatusName(StatusCode status);
+const char* StateName(RequestState state);
+
+struct RequestFrame {
+  uint64_t tenant = 0;
+  OpType op = OpType::kGet;
+  std::string name;
+  // Client-declared size of the read (used for fair-share accounting before the
+  // metadata lookup resolves the true size). Ignored for Put/Delete.
+  uint64_t read_bytes_hint = 0;
+  std::vector<uint8_t> payload;  // Put only
+};
+
+// Wire encoding: [magic u16][version u8][op u8][tenant u64][hint u64]
+// [name_len u32][name bytes][payload_len u64][payload bytes][crc32c u32].
+// All integers little-endian. The CRC covers every preceding byte.
+std::vector<uint8_t> EncodeFrame(const RequestFrame& frame);
+
+// Returns nullopt on bad magic/version/op, truncation, or CRC mismatch.
+std::optional<RequestFrame> DecodeFrame(std::span<const uint8_t> wire);
+
+// Monotonic id source; ids start at 1 so kInvalidRequestId never collides.
+class RequestIdAllocator {
+ public:
+  RequestId Allocate() { return next_++; }
+  RequestId last_allocated() const { return next_ - 1; }
+
+ private:
+  RequestId next_ = 1;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_FRONTEND_PROTOCOL_FRAME_H_

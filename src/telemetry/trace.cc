@@ -19,7 +19,7 @@ constexpr CategoryName kCategoryNames[] = {
     {"drive", kTraceDrive},       {"scheduler", kTraceScheduler},
     {"decode", kTraceDecode},     {"pipeline", kTracePipeline},
     {"faults", kTraceFaults},     {"scrub", kTraceScrub},
-    {"all", kTraceAll},
+    {"frontend", kTraceFrontend}, {"all", kTraceAll},
 };
 
 const char* NameOf(TraceCategory category) {

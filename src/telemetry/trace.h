@@ -37,6 +37,7 @@ enum TraceCategory : uint32_t {
   kTracePipeline = 1u << 5,   // write pipeline: eject -> verify -> store
   kTraceFaults = 1u << 6,     // injected failures, repairs, degraded-mode retries
   kTraceScrub = 1u << 7,      // media aging, scrub passes, repair escalation
+  kTraceFrontend = 1u << 8,   // request lifecycle, admission, batching, flushes
   kTraceAll = 0xFFFFFFFFu,
 };
 

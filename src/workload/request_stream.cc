@@ -1,0 +1,163 @@
+#include "workload/request_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace silica {
+
+std::string TenantObjectName(uint64_t tenant, uint64_t index) {
+  return "t" + std::to_string(tenant) + "/o" + std::to_string(index);
+}
+
+namespace {
+
+// Object sizes: log-normal with mean `mean_bytes`, clamped so no sampled
+// payload approaches platter capacity.
+uint64_t SampleObjectBytes(Rng& rng, uint64_t mean_bytes) {
+  constexpr double kSigma = 0.5;
+  const double mu = std::log(static_cast<double>(mean_bytes)) -
+                    0.5 * kSigma * kSigma;  // E[LogNormal(mu, s)] = mean_bytes
+  const double sampled = rng.LogNormal(mu, kSigma);
+  const double clamped =
+      std::clamp(sampled, 1.0, static_cast<double>(mean_bytes) * 32.0);
+  return static_cast<uint64_t>(clamped);
+}
+
+struct TenantGenerator {
+  uint64_t tenant;
+  TenantProfile profile;
+  Rng rng;
+  std::vector<uint64_t> live;  // indices of objects this tenant can read/delete
+  uint64_t next_index;
+
+  std::vector<TimedFrame> Generate(double duration_s) {
+    std::vector<TimedFrame> out;
+    double t = 0.0;
+    double envelope = 1.0;
+    double next_refresh = 0.0;
+    while (true) {
+      if (profile.burst_sigma > 0.0 && t >= next_refresh) {
+        // Mean-1 log-normal envelope, refreshed every burst period — the same
+        // heavy-tailed modulation GenerateTrace applies (Fig 1(c)).
+        envelope = rng.LogNormal(
+            -0.5 * profile.burst_sigma * profile.burst_sigma,
+            profile.burst_sigma);
+        next_refresh = t + profile.burst_period_s;
+      }
+      const double rate = profile.rate_per_s * std::max(envelope, 1e-6);
+      t += rng.Exponential(rate);
+      if (t >= duration_s) {
+        return out;
+      }
+      out.push_back(TimedFrame{t, MakeFrame()});
+    }
+  }
+
+  RequestFrame MakeFrame() {
+    RequestFrame frame;
+    frame.tenant = tenant;
+    const double u = rng.NextDouble();
+    if (u < profile.read_fraction && !live.empty()) {
+      frame.op = OpType::kGet;
+      frame.name = TenantObjectName(tenant, PickLive(/*remove=*/false));
+      frame.read_bytes_hint = profile.mean_object_bytes;
+      return frame;
+    }
+    if (u < profile.read_fraction + profile.delete_fraction && !live.empty()) {
+      frame.op = OpType::kDelete;
+      frame.name = TenantObjectName(tenant, PickLive(/*remove=*/true));
+      return frame;
+    }
+    frame.op = OpType::kPut;
+    const uint64_t index = next_index++;
+    live.push_back(index);
+    frame.name = TenantObjectName(tenant, index);
+    const uint64_t bytes = SampleObjectBytes(rng, profile.mean_object_bytes);
+    frame.payload.resize(bytes);
+    for (auto& b : frame.payload) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    return frame;
+  }
+
+  uint64_t PickLive(bool remove) {
+    const size_t slot = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+    const uint64_t index = live[slot];
+    if (remove) {
+      live[slot] = live.back();
+      live.pop_back();
+    }
+    return index;
+  }
+};
+
+}  // namespace
+
+std::vector<TimedFrame> GenerateRequestStream(const RequestStreamConfig& config) {
+  Rng root(config.seed);
+  struct Entry {
+    double time;
+    uint64_t tenant;
+    size_t seq;
+    size_t slot;  // index into the flat frame pool
+  };
+  std::vector<Entry> order;
+  std::vector<TimedFrame> pool;
+
+  for (int t = 0; t < config.num_tenants; ++t) {
+    TenantGenerator gen{
+        static_cast<uint64_t>(t),
+        static_cast<size_t>(t) < config.overrides.size()
+            ? config.overrides[static_cast<size_t>(t)]
+            : config.base,
+        root.Fork(0x7E4A47ull + static_cast<uint64_t>(t)),
+        {},
+        static_cast<uint64_t>(config.initial_objects_per_tenant)};
+    gen.live.reserve(static_cast<size_t>(config.initial_objects_per_tenant));
+    for (int i = 0; i < config.initial_objects_per_tenant; ++i) {
+      gen.live.push_back(static_cast<uint64_t>(i));
+    }
+    auto frames = gen.Generate(config.duration_s);
+    for (size_t seq = 0; seq < frames.size(); ++seq) {
+      order.push_back(Entry{frames[seq].time, static_cast<uint64_t>(t), seq,
+                            pool.size()});
+      pool.push_back(std::move(frames[seq]));
+    }
+  }
+
+  // (time, tenant, sequence) ordering: floating-point ties (rare but possible)
+  // break by tenant id, never by pool position, so the merge is deterministic.
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.time, a.tenant, a.seq) < std::tie(b.time, b.tenant, b.seq);
+  });
+
+  std::vector<TimedFrame> out;
+  out.reserve(pool.size());
+  for (const Entry& entry : order) {
+    out.push_back(std::move(pool[entry.slot]));
+  }
+  return out;
+}
+
+std::vector<TimedFrame> AdaptTraceToFrames(const GeneratedTrace& trace,
+                                           int num_tenants) {
+  std::vector<TimedFrame> out;
+  out.reserve(trace.requests.size());
+  for (const ReadRequest& request : trace.requests) {
+    const uint64_t tenant =
+        request.file_id % static_cast<uint64_t>(std::max(num_tenants, 1));
+    RequestFrame frame;
+    frame.tenant = tenant;
+    frame.op = OpType::kGet;
+    frame.name = TenantObjectName(tenant, request.file_id);
+    frame.read_bytes_hint = request.bytes;
+    out.push_back(TimedFrame{request.arrival, std::move(frame)});
+  }
+  return out;
+}
+
+}  // namespace silica

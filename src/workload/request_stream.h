@@ -1,0 +1,67 @@
+// Multi-tenant request-stream generation for the front-end (DESIGN.md §14.5).
+//
+// Bridges the workload layer to the new service front door: instead of a flat
+// ReadTrace consumed inline, it produces a time-ordered stream of protocol
+// frames from many tenants — per-tenant Poisson arrivals modulated by the same
+// log-normal burst envelope the paper-derived traces use (Fig 1(c) heavy
+// tails), a configurable read/write/delete mix, and per-tenant object catalogs
+// so reads target names the tenant previously wrote. Also adapts an existing
+// GeneratedTrace into tenant-attributed frames so the fig-level traces can be
+// replayed through the front-end unchanged.
+#ifndef SILICA_WORKLOAD_REQUEST_STREAM_H_
+#define SILICA_WORKLOAD_REQUEST_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/protocol/frame.h"
+#include "workload/trace_gen.h"
+
+namespace silica {
+
+struct TenantProfile {
+  double rate_per_s = 1.0;       // mean arrival rate of this tenant
+  double read_fraction = 0.7;    // P(Get); remaining splits write/delete
+  double delete_fraction = 0.05; // P(Delete); P(Put) = 1 - read - delete
+  uint64_t mean_object_bytes = 2048;  // log-normal-ish object sizes
+  double burst_sigma = 0.8;      // 0 = pure Poisson
+  double burst_period_s = 30.0;  // envelope refresh interval
+};
+
+struct RequestStreamConfig {
+  int num_tenants = 64;
+  double duration_s = 30.0;
+  TenantProfile base;
+  // Optional per-tenant overrides: entry i (when present) replaces `base` for
+  // tenant id i. Shorter than num_tenants is fine.
+  std::vector<TenantProfile> overrides;
+  // Objects each tenant owns before the stream starts (written in a setup
+  // phase); reads and deletes draw uniformly from the live catalog.
+  int initial_objects_per_tenant = 4;
+  uint64_t seed = 1;
+};
+
+struct TimedFrame {
+  double time = 0.0;
+  RequestFrame frame;
+};
+
+// Name of tenant `t`'s object number `i` ("t<t>/o<i>"): shared with the setup
+// phase so generated reads resolve against what setup wrote.
+std::string TenantObjectName(uint64_t tenant, uint64_t index);
+
+// Deterministic for a given config: per-tenant forked RNG streams, merged by
+// (time, tenant, sequence) so the output order never depends on map ordering
+// or float ties.
+std::vector<TimedFrame> GenerateRequestStream(const RequestStreamConfig& config);
+
+// Adapts a read-only GeneratedTrace into tenant-attributed Get frames: request
+// `file_id` maps to tenant `file_id % num_tenants` and the trace's byte size
+// becomes the read hint. Arrival order is preserved.
+std::vector<TimedFrame> AdaptTraceToFrames(const GeneratedTrace& trace,
+                                           int num_tenants);
+
+}  // namespace silica
+
+#endif  // SILICA_WORKLOAD_REQUEST_STREAM_H_

@@ -1,0 +1,457 @@
+// Front-end subsystem tests (DESIGN.md section 14): protocol framing, request
+// lifecycle, fair-share admission, backpressure, coalescing, read-your-writes,
+// and the determinism property the virtual-clock bench relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "frontend/frontend.h"
+#include "telemetry/telemetry.h"
+#include "workload/request_stream.h"
+
+namespace silica {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Rng& rng, size_t n) {
+  std::vector<uint8_t> data(n);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  return data;
+}
+
+ServiceConfig SmallServiceConfig(uint64_t seed = 42) {
+  ServiceConfig config;
+  config.platter_set = PlatterSetConfig{4, 2};
+  config.seed = seed;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol layer
+// ---------------------------------------------------------------------------
+
+TEST(FrontendProtocolTest, FrameRoundTripAllOps) {
+  Rng rng(5);
+  RequestFrame put;
+  put.tenant = 17;
+  put.op = OpType::kPut;
+  put.name = "acct/object-1";
+  put.payload = RandomBytes(rng, 300);
+
+  RequestFrame get;
+  get.tenant = 9;
+  get.op = OpType::kGet;
+  get.name = "acct/object-1";
+  get.read_bytes_hint = 4096;
+
+  RequestFrame del;
+  del.tenant = 3;
+  del.op = OpType::kDelete;
+  del.name = "acct/object-2";
+
+  for (const RequestFrame& frame : {put, get, del}) {
+    const auto wire = EncodeFrame(frame);
+    const auto decoded = DecodeFrame(wire);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->tenant, frame.tenant);
+    EXPECT_EQ(decoded->op, frame.op);
+    EXPECT_EQ(decoded->name, frame.name);
+    EXPECT_EQ(decoded->read_bytes_hint, frame.read_bytes_hint);
+    EXPECT_EQ(decoded->payload, frame.payload);
+  }
+}
+
+TEST(FrontendProtocolTest, CorruptedFramesRejected) {
+  Rng rng(6);
+  RequestFrame frame;
+  frame.tenant = 2;
+  frame.op = OpType::kPut;
+  frame.name = "x/y";
+  frame.payload = RandomBytes(rng, 64);
+  const auto wire = EncodeFrame(frame);
+
+  // CRC32C detects every single-byte corruption; length fields are bounds-
+  // checked before the CRC so oversized claims fail as truncation, not UB.
+  for (size_t i = 0; i < wire.size(); ++i) {
+    auto corrupted = wire;
+    corrupted[i] ^= 0xA5;
+    EXPECT_FALSE(DecodeFrame(corrupted).has_value()) << "byte " << i;
+  }
+  // Every strict prefix is truncated.
+  for (size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(
+        DecodeFrame(std::span<const uint8_t>(wire.data(), n)).has_value())
+        << "prefix " << n;
+  }
+  EXPECT_FALSE(DecodeFrame({}).has_value());
+}
+
+TEST(FrontendProtocolTest, RequestIdsMonotonicFromOne) {
+  RequestIdAllocator ids;
+  EXPECT_EQ(ids.Allocate(), 1u);  // never collides with kInvalidRequestId
+  EXPECT_EQ(ids.Allocate(), 2u);
+  EXPECT_EQ(ids.Allocate(), 3u);
+  EXPECT_EQ(ids.last_allocated(), 3u);
+}
+
+TEST(FrontendProtocolTest, JainFairnessIndexBounds) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({8.0, 0.0, 0.0, 0.0}), 0.25);  // 1/n
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle and backpressure
+// ---------------------------------------------------------------------------
+
+TEST(FrontendTest, LifecycleProgressesToDone) {
+  SilicaService service(SmallServiceConfig());
+  Rng rng(7);
+  const auto data = RandomBytes(rng, 900);
+  service.Put("t0/o0", 0, data);
+  service.Flush();
+
+  FrontEnd frontend(service, FrontEndConfig{});
+  RequestFrame get;
+  get.op = OpType::kGet;
+  get.name = "t0/o0";
+  // Through the full wire path: encode, then submit the bytes.
+  const RequestId id = frontend.SubmitEncoded(EncodeFrame(get), /*now=*/0.0);
+  ASSERT_NE(id, kInvalidRequestId);
+  EXPECT_EQ(frontend.StateOf(id), RequestState::kPending);
+
+  frontend.Pump(0.0);  // admitted into a read group; linger not yet expired
+  EXPECT_EQ(frontend.StateOf(id), RequestState::kBatched);
+
+  frontend.Pump(3.0);  // past max_linger_s: the batch executes
+  EXPECT_EQ(frontend.StateOf(id), RequestState::kDone);
+
+  const auto completions = frontend.TakeCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].id, id);
+  EXPECT_EQ(completions[0].status, StatusCode::kOk);
+  ASSERT_TRUE(completions[0].data.has_value());
+  EXPECT_EQ(*completions[0].data, data);
+  EXPECT_GT(completions[0].complete_time, completions[0].submit_time);
+  EXPECT_EQ(frontend.StateOf(kInvalidRequestId), std::nullopt);
+}
+
+TEST(FrontendTest, UndecodableBytesRejectedAsInvalidArgument) {
+  SilicaService service(SmallServiceConfig());
+  FrontEnd frontend(service, FrontEndConfig{});
+  const std::vector<uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF};
+  const RequestId id = frontend.SubmitEncoded(garbage, 0.0);
+  EXPECT_EQ(frontend.StateOf(id), RequestState::kRejected);
+  const auto completions = frontend.TakeCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status, StatusCode::kInvalidArgument);
+  EXPECT_TRUE(frontend.counters().ConservesAdmission());
+}
+
+TEST(FrontendTest, BackpressureRejectsOnlyAboveQueueDepth) {
+  SilicaService service(SmallServiceConfig());
+  FrontEndConfig config;
+  config.admission.max_queue_depth = 4;
+  FrontEnd frontend(service, config);
+
+  RequestFrame get;
+  get.op = OpType::kGet;
+  get.name = "nope";
+  get.read_bytes_hint = 100;
+
+  // At or below the depth: nothing is rejected.
+  for (int i = 0; i < 3; ++i) {
+    frontend.Submit(get, 0.0);
+  }
+  EXPECT_EQ(frontend.counters().rejected, 0u);
+
+  // Push past the bound without draining: exactly the overflow is rejected.
+  for (int i = 0; i < 7; ++i) {
+    frontend.Submit(get, 0.0);
+  }
+  const auto& counters = frontend.counters();
+  EXPECT_EQ(counters.submitted, 10u);
+  EXPECT_EQ(counters.accepted, 4u);
+  EXPECT_EQ(counters.rejected, 6u);
+  EXPECT_TRUE(counters.ConservesAdmission());
+  for (const Completion& completion : frontend.TakeCompletions()) {
+    EXPECT_EQ(completion.status, StatusCode::kOverloaded);
+  }
+
+  frontend.Drain(0.0);
+  EXPECT_TRUE(frontend.counters().ConservesCompletion());
+  EXPECT_TRUE(frontend.idle());
+}
+
+TEST(FrontendTest, FairShareContainsGreedyTenant) {
+  SilicaService service(SmallServiceConfig());
+  Rng rng(8);
+  for (int i = 0; i < 4; ++i) {
+    service.Put(TenantObjectName(0, static_cast<uint64_t>(i)), 0,
+                RandomBytes(rng, 1000));
+    service.Put(TenantObjectName(1, static_cast<uint64_t>(i)), 1,
+                RandomBytes(rng, 1000));
+  }
+  service.Flush();
+
+  FrontEndConfig config;
+  config.admission.max_queue_depth = 64;
+  config.return_data = false;
+  FrontEnd frontend(service, config);
+  TenantBudget budget;  // greedy tenant 0: ~2 of its 1KB reads per second
+  budget.bytes_per_s = 2000.0;
+  budget.burst_bytes = 2000.0;
+  frontend.SetTenantBudget(0, budget);
+
+  RequestFrame get;
+  get.op = OpType::kGet;
+  for (int i = 0; i < 16; ++i) {
+    get.tenant = 0;
+    get.name = TenantObjectName(0, static_cast<uint64_t>(i % 4));
+    frontend.Submit(get, 0.0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    get.tenant = 1;
+    get.name = TenantObjectName(1, static_cast<uint64_t>(i));
+    frontend.Submit(get, 0.0);
+  }
+
+  frontend.Pump(0.0);
+  // One pass of admission: the greedy tenant is clamped to its byte budget
+  // while the unbudgeted interactive tenant is admitted in full.
+  EXPECT_LE(frontend.tenant_stats(0).admitted_bytes, 2000u);
+  EXPECT_EQ(frontend.tenant_stats(1).admitted_bytes, 4000u);
+  EXPECT_GT(frontend.queue_depth(), 0u);  // greedy backlog still queued
+
+  const double end = frontend.Drain(0.0);
+  const auto& counters = frontend.counters();
+  EXPECT_TRUE(counters.ConservesAdmission());
+  EXPECT_TRUE(counters.ConservesCompletion());
+  EXPECT_EQ(frontend.tenant_stats(1).completed, 4u);
+  EXPECT_EQ(frontend.tenant_stats(0).completed, 16u);
+  // Draining the greedy backlog had to wait for token refills: the last
+  // completions land seconds later on the virtual clock.
+  EXPECT_GT(end, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing and read-your-writes
+// ---------------------------------------------------------------------------
+
+TEST(FrontendTest, CoalescingUsesFewerMountsThanReads) {
+  SilicaService service(SmallServiceConfig());
+  Rng rng(9);
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) {
+    names.push_back(TenantObjectName(0, static_cast<uint64_t>(i)));
+    service.Put(names.back(), 0, RandomBytes(rng, 800));
+  }
+  service.Flush();  // small files pack together onto few platters
+
+  // BatchGet: results in request order, one mount per distinct platter.
+  const auto batch = service.BatchGet(names);
+  ASSERT_EQ(batch.files.size(), names.size());
+  std::vector<uint64_t> distinct_platters;
+  for (const auto& name : names) {
+    const auto version = service.metadata().Lookup(name);
+    ASSERT_TRUE(version.has_value());
+    if (std::find(distinct_platters.begin(), distinct_platters.end(),
+                  version->platter_id) == distinct_platters.end()) {
+      distinct_platters.push_back(version->platter_id);
+    }
+  }
+  EXPECT_EQ(batch.platter_mounts, distinct_platters.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    ASSERT_TRUE(batch.files[i].has_value()) << names[i];
+    EXPECT_EQ(batch.files[i], service.Get(names[i]));
+  }
+
+  // Through the front-end, concurrent reads of co-located files coalesce.
+  FrontEndConfig config;
+  config.return_data = false;
+  FrontEnd frontend(service, config);
+  RequestFrame get;
+  get.op = OpType::kGet;
+  for (const auto& name : names) {
+    get.name = name;
+    frontend.Submit(get, 0.0);
+  }
+  frontend.Drain(0.0);
+  const auto& counters = frontend.counters();
+  EXPECT_EQ(counters.reads_executed, names.size());
+  EXPECT_LT(counters.platter_mounts, counters.reads_executed);
+  EXPECT_EQ(counters.coalesced_reads,
+            counters.reads_executed - counters.platter_mounts);
+}
+
+TEST(FrontendTest, ReadYourWritesServedFromWriteStage) {
+  SilicaService service(SmallServiceConfig());
+  Rng rng(10);
+  const auto payload = RandomBytes(rng, 512);
+
+  FrontEnd frontend(service, FrontEndConfig{});
+  RequestFrame put;
+  put.op = OpType::kPut;
+  put.name = "t0/fresh";
+  put.payload = payload;
+  const RequestId put_id = frontend.Submit(put, 0.0);
+  frontend.Pump(0.0);  // admitted into the write stage; flush not yet due
+  EXPECT_EQ(frontend.StateOf(put_id), RequestState::kBatched);
+  ASSERT_FALSE(service.metadata().Lookup("t0/fresh").has_value());
+
+  RequestFrame get;
+  get.op = OpType::kGet;
+  get.name = "t0/fresh";
+  const RequestId get_id = frontend.Submit(get, 0.1);
+  frontend.Pump(0.2);
+  EXPECT_EQ(frontend.StateOf(get_id), RequestState::kDone);
+  EXPECT_EQ(frontend.counters().staged_read_hits, 1u);
+
+  bool saw_get = false;
+  for (const Completion& completion : frontend.TakeCompletions()) {
+    if (completion.id != get_id) {
+      continue;
+    }
+    saw_get = true;
+    EXPECT_EQ(completion.status, StatusCode::kOk);
+    ASSERT_TRUE(completion.data.has_value());
+    EXPECT_EQ(*completion.data, payload);
+  }
+  EXPECT_TRUE(saw_get);
+
+  frontend.Drain(0.2);  // the staged put commits
+  EXPECT_EQ(frontend.StateOf(put_id), RequestState::kDone);
+  EXPECT_EQ(service.Get("t0/fresh"), payload);
+  EXPECT_TRUE(frontend.counters().ConservesCompletion());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+struct ReplayResult {
+  std::vector<std::tuple<RequestId, uint64_t, StatusCode, double>> completions;
+  FrontEnd::Counters counters;
+};
+
+ReplayResult RunReplay(uint64_t seed) {
+  ServiceConfig service_config = SmallServiceConfig(seed);
+  service_config.threads = 2;  // threaded decode must stay deterministic
+  SilicaService service(service_config);
+
+  RequestStreamConfig stream_config;
+  stream_config.num_tenants = 6;
+  stream_config.duration_s = 4.0;
+  stream_config.base.rate_per_s = 1.0;
+  stream_config.initial_objects_per_tenant = 2;
+  stream_config.seed = seed;
+
+  for (int t = 0; t < stream_config.num_tenants; ++t) {
+    Rng fill(seed + 100 + static_cast<uint64_t>(t));
+    for (int i = 0; i < stream_config.initial_objects_per_tenant; ++i) {
+      service.Put(TenantObjectName(static_cast<uint64_t>(t),
+                                   static_cast<uint64_t>(i)),
+                  static_cast<uint64_t>(t), RandomBytes(fill, 600));
+    }
+  }
+  service.Flush();
+
+  FrontEndConfig config;
+  config.return_data = false;
+  FrontEnd frontend(service, config);
+  TenantBudget budget;
+  budget.bytes_per_s = 4096.0;
+  budget.burst_bytes = 4096.0;
+  frontend.SetTenantBudget(0, budget);
+
+  for (const TimedFrame& timed : GenerateRequestStream(stream_config)) {
+    frontend.Pump(timed.time);
+    frontend.Submit(timed.frame, timed.time);
+  }
+  frontend.Drain(stream_config.duration_s);
+
+  ReplayResult result;
+  result.counters = frontend.counters();
+  for (const Completion& completion : frontend.TakeCompletions()) {
+    result.completions.emplace_back(completion.id, completion.tenant,
+                                    completion.status,
+                                    completion.complete_time);
+  }
+  return result;
+}
+
+TEST(FrontendTest, VirtualClockReplayIsDeterministic) {
+  const ReplayResult a = RunReplay(123);
+  const ReplayResult b = RunReplay(123);
+  // Same seed: identical completion order, statuses, and (virtual) times.
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.counters.submitted, b.counters.submitted);
+  EXPECT_EQ(a.counters.accepted, b.counters.accepted);
+  EXPECT_EQ(a.counters.rejected, b.counters.rejected);
+  EXPECT_EQ(a.counters.completed, b.counters.completed);
+  EXPECT_EQ(a.counters.failed, b.counters.failed);
+  EXPECT_EQ(a.counters.platter_mounts, b.counters.platter_mounts);
+  EXPECT_EQ(a.counters.flushes, b.counters.flushes);
+  EXPECT_EQ(a.counters.bytes_read, b.counters.bytes_read);
+  EXPECT_EQ(a.counters.bytes_written, b.counters.bytes_written);
+
+  EXPECT_TRUE(a.counters.ConservesAdmission());
+  EXPECT_TRUE(a.counters.ConservesCompletion());
+  EXPECT_GT(a.counters.completed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Workload adapter
+// ---------------------------------------------------------------------------
+
+TEST(RequestStreamTest, GeneratorIsDeterministicAndTimeOrdered) {
+  RequestStreamConfig config;
+  config.num_tenants = 5;
+  config.duration_s = 6.0;
+  config.base.rate_per_s = 2.0;
+  config.seed = 31;
+
+  const auto a = GenerateRequestStream(config);
+  const auto b = GenerateRequestStream(config);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].frame.tenant, b[i].frame.tenant);
+    EXPECT_EQ(a[i].frame.op, b[i].frame.op);
+    EXPECT_EQ(a[i].frame.name, b[i].frame.name);
+    EXPECT_EQ(a[i].frame.payload, b[i].frame.payload);
+    if (i > 0) {
+      EXPECT_GE(a[i].time, a[i - 1].time);
+    }
+    EXPECT_LT(a[i].time, config.duration_s);
+    EXPECT_LT(a[i].frame.tenant, static_cast<uint64_t>(config.num_tenants));
+  }
+}
+
+TEST(RequestStreamTest, TraceAdapterAttributesTenants) {
+  TraceProfile profile;
+  profile.window_s = 120.0;
+  profile.warmup_s = 0.0;
+  profile.cooldown_s = 0.0;
+  profile.mean_rate_per_s = 0.5;
+  profile.seed = 12;
+  const auto trace = GenerateTrace(profile, /*num_platters=*/16);
+  ASSERT_FALSE(trace.requests.empty());
+  const auto frames = AdaptTraceToFrames(trace, 8);
+  ASSERT_EQ(frames.size(), trace.requests.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].frame.op, OpType::kGet);
+    EXPECT_EQ(frames[i].frame.tenant, trace.requests[i].file_id % 8);
+    EXPECT_EQ(frames[i].time, trace.requests[i].arrival);
+    EXPECT_EQ(frames[i].frame.read_bytes_hint, trace.requests[i].bytes);
+  }
+}
+
+}  // namespace
+}  // namespace silica

@@ -38,6 +38,23 @@ assert sched["speedup"] > 1.2, f"schedule_heavy speedup collapsed: {sched}"
 print("ok: " + ", ".join("%s %.2fx" % (w["workload"], w["speedup"]) for w in workloads))
 '
 
+echo "== smoke: front-end fair-share harness (reduced load, JSON) =="
+./build/bench/bench_frontend --json --tenants=12 --duration=4 --greedy=2 \
+    --queue-depth=16 | python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+totals, conservation = report["totals"], report["conservation"]
+assert conservation["admission"], f"front door lost a submission: {totals}"
+assert conservation["completion"], f"front door lost an admission: {totals}"
+coalescing = report["coalescing"]
+assert coalescing["platter_mounts"] < coalescing["reads_executed"], coalescing
+assert report["fairness"]["jain_goodput_steady"] > 0.8, report["fairness"]
+print("ok: %d submitted, %d rejected, %.2f reads/mount, steady Jain %.3f" % (
+    totals["submitted"], totals["rejected"],
+    coalescing["reads_executed"] / max(coalescing["platter_mounts"], 1),
+    report["fairness"]["jain_goodput_steady"]))
+'
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== OK (fast mode, sanitizers skipped) =="
   exit 0
@@ -49,7 +66,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build --preset tsan -j "$jobs" --target silica_tests
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/silica_tests \
-    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*'
+    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendTest.VirtualClockReplayIsDeterministic'
   echo "== OK =="
   exit 0
 fi
@@ -59,6 +76,6 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" --target silica_tests
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/silica_tests \
-  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:MetricsRegistry.*:Tracer.*:Telemetry.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*'
+  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:MetricsRegistry.*:Tracer.*:Telemetry.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
 
 echo "== OK =="

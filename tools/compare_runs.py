@@ -17,6 +17,12 @@ per workload, engine events/sec and the engine-vs-heap speedup must not drop by
 more than the tolerance. Raw events/sec is machine-sensitive, so cross-machine
 comparisons should use a generous tolerance (CI uses 0.25); the speedup ratio
 is the robust signal.
+
+And `bench_frontend --json` reports (detected by "bench": "frontend"): the
+conservation invariants must hold in both runs, completed requests / steady
+goodput fairness / coalescing must not degrade, and latency percentiles must
+not rise beyond the tolerance. Virtual-clock reports at the same seed and
+config are byte-identical, so any delta at all flags a behavior change.
 """
 import argparse
 import json
@@ -117,6 +123,70 @@ def compare_events(base, cand, tolerance):
     return 0
 
 
+# bench_frontend report rows, same (path, label, direction) convention.
+FRONTEND_TRACKED = [
+    (("totals", "submitted"), "requests submitted", 0),
+    (("totals", "accepted"), "requests accepted", 0),
+    (("totals", "rejected"), "requests rejected", 0),
+    (("totals", "completed"), "requests completed", +1),
+    (("totals", "failed"), "requests failed", -1),
+    (("totals", "staged_read_hits"), "staged read hits", 0),
+    (("totals", "flushes"), "flushes", -1),
+    (("totals", "write_retries"), "write retries", -1),
+    (("coalescing", "mounts_per_read"), "mounts per read", -1),
+    (("fairness", "jain_completed_all"), "Jain (completed, all)", 0),
+    (("fairness", "jain_goodput_steady"), "Jain (goodput, steady)", +1),
+    (("latency", "p50_s"), "latency p50 (s)", -1),
+    (("latency", "p99_s"), "latency p99 (s)", -1),
+    (("latency", "max_s"), "latency max (s)", -1),
+]
+
+
+def compare_frontend(base, cand, tolerance):
+    """Diff two bench_frontend reports: conservation is a hard gate, then the
+    usual directional delta table over totals/fairness/coalescing/latency."""
+    failures = []
+    for name, report in (("baseline", base), ("candidate", cand)):
+        conservation = report.get("conservation", {})
+        if not conservation.get("admission", False):
+            failures.append(f"{name}: submitted != accepted + rejected")
+        if not conservation.get("completion", False):
+            failures.append(f"{name}: admitted != completed + failed")
+    for failure in failures:
+        print(f"CONSERVATION VIOLATION — {failure}")
+    if failures:
+        return 1
+
+    base_cfg, cand_cfg = base.get("config", {}), cand.get("config", {})
+    if base_cfg != cand_cfg:
+        print("note: configs differ, deltas compare different experiments")
+        for key in sorted(set(base_cfg) | set(cand_cfg)):
+            if base_cfg.get(key) != cand_cfg.get(key):
+                print(f"  {key}: {base_cfg.get(key)!r} -> {cand_cfg.get(key)!r}")
+
+    regressions = []
+    width = max(len(label) for _, label, _ in FRONTEND_TRACKED)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+    for path, label, direction in FRONTEND_TRACKED:
+        b, c = lookup(base, path), lookup(cand, path)
+        if b is None or c is None:
+            print(f"{label:<{width}}  {'missing':>14}  {'missing':>14}")
+            continue
+        delta = (c - b) / b if b else (0.0 if c == b else float("inf"))
+        mark = ""
+        if direction != 0 and direction * delta < -tolerance:
+            mark = "  <-- regression"
+            regressions.append(label)
+        print(f"{label:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+7.1%}{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{tolerance:.1%}: {', '.join(regressions)}")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -130,11 +200,13 @@ def main():
     with open(args.candidate) as f:
         cand = json.load(f)
 
-    if base.get("bench") == "events" or cand.get("bench") == "events":
-        if base.get("bench") != cand.get("bench"):
-            print("error: only one of the reports is a bench_events report")
-            return 2
-        return compare_events(base, cand, args.tolerance)
+    for bench, comparator in (("events", compare_events),
+                              ("frontend", compare_frontend)):
+        if base.get("bench") == bench or cand.get("bench") == bench:
+            if base.get("bench") != cand.get("bench"):
+                print(f"error: only one of the reports is a bench_{bench} report")
+                return 2
+            return comparator(base, cand, args.tolerance)
 
     base_cfg, cand_cfg = base.get("config", {}), cand.get("config", {})
     if base_cfg != cand_cfg:
