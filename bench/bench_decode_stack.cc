@@ -7,12 +7,16 @@
 //
 // --threads=N sizes the worker pool for the measured run (default: hardware
 // concurrency); a 1-thread baseline always runs first so the speedup is reported.
+// --simd=auto|scalar|avx2|neon forces the kernel tier for the full-stack run.
 // --json emits one machine-readable object on stdout (sectors/s per worker count,
-// speedup vs 1 thread) for BENCH_decode_stack.json trajectories.
+// speedup vs 1 thread, and a per-SIMD-tier kernel-stage section with a
+// bit-identity checksum) for BENCH_decode.json trajectories; see
+// tools/compare_runs.py for the diff rules.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +26,10 @@
 #include "common/thread_pool.h"
 #include "core/data_pipeline.h"
 #include "decode/decode_service.h"
+#include "ecc/gf256.h"
+#include "ecc/ldpc.h"
+#include "ecc/network_coding.h"
+#include "ecc/simd/gf256_kernels.h"
 
 namespace silica {
 namespace {
@@ -60,6 +68,170 @@ ThroughputRun MeasureDecodeThroughput(DataPlane& plane,
     run.sectors_per_second =
         static_cast<double>(run.sectors) / run.wall_seconds;
   }
+  return run;
+}
+
+// Per-SIMD-tier kernel-stage measurement. Each stage works on deterministic
+// inputs (fixed seeds), so the FNV-1a checksum over every output byte is the
+// bit-identity gate: all tiers must produce the same checksum, run to run and
+// machine to machine.
+struct TierRun {
+  std::string tier;
+  double gf256_gbps = 0.0;                   // GF(256) MulAccumulate bandwidth
+  double recovery_sectors_per_second = 0.0;  // Cauchy/NC shard recovery rate
+  double ldpc_decodes_per_second = 0.0;      // min-sum decodes of the 50-draw corpus
+  uint64_t checksum = 0;                     // FNV-1a over all stage outputs
+};
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+
+uint64_t Fnv1a(const uint8_t* data, size_t len, uint64_t h) {
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+TierRun MeasureKernelStage(SimdMode mode) {
+  TierRun run;
+  run.tier = SimdModeName(mode);
+  SetSimdMode(mode);  // caller iterates AvailableSimdModes(), so this succeeds
+  uint64_t checksum = kFnvBasis;
+
+  // Stage 1: GF(256) multiply-accumulate over a sector-sized shard, cycling
+  // through every nonzero coefficient (the network-coding encode inner loop).
+  {
+    constexpr size_t kShardBytes = 64 * 1024;
+    constexpr int kIters = 512;
+    std::vector<uint8_t> dst(kShardBytes);
+    std::vector<uint8_t> src(kShardBytes);
+    Rng rng(7);
+    for (auto& b : src) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    for (auto& b : dst) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      Gf256::MulAccumulate(dst, src, static_cast<uint8_t>((i % 255) + 1));
+    }
+    const double secs = Seconds(start);
+    if (secs > 0.0) {
+      run.gf256_gbps = static_cast<double>(kShardBytes) * kIters / secs / 1e9;
+    }
+    checksum = Fnv1a(dst.data(), dst.size(), checksum);
+  }
+
+  // Stage 2: Cauchy/NC recovery — lose the first `redundancy` shards of a
+  // 64+8 group and reconstruct them from the survivors, repeatedly. This is the
+  // platter-set repair hot loop (matrix inversion + batched row updates), and
+  // the single-thread sectors_per_second that simd_speedup reports on.
+  {
+    constexpr size_t kInfo = 64;
+    constexpr size_t kRedundancy = 8;
+    constexpr size_t kShardLen = 4096;
+    constexpr int kReps = 24;
+    const NetworkCodec codec(kInfo, kRedundancy);
+    Rng rng(11);
+    std::vector<std::vector<uint8_t>> info(kInfo,
+                                           std::vector<uint8_t>(kShardLen));
+    for (auto& shard : info) {
+      for (auto& b : shard) {
+        b = static_cast<uint8_t>(rng.NextU64());
+      }
+    }
+    std::vector<std::vector<uint8_t>> redundancy(
+        kRedundancy, std::vector<uint8_t>(kShardLen, 0));
+    {
+      std::vector<std::span<const uint8_t>> info_spans(info.begin(), info.end());
+      std::vector<std::span<uint8_t>> red_spans(redundancy.begin(),
+                                                redundancy.end());
+      codec.Encode(info_spans, red_spans, nullptr);
+    }
+    // Missing: information shards 0..R-1. Present: the rest of the group.
+    std::vector<size_t> missing_indices;
+    for (size_t m = 0; m < kRedundancy; ++m) {
+      missing_indices.push_back(m);
+    }
+    std::vector<size_t> present_indices;
+    std::vector<std::span<const uint8_t>> present;
+    for (size_t i = kRedundancy; i < kInfo; ++i) {
+      present_indices.push_back(i);
+      present.push_back(info[i]);
+    }
+    for (size_t r = 0; r < kRedundancy; ++r) {
+      present_indices.push_back(kInfo + r);
+      present.push_back(redundancy[r]);
+    }
+    std::vector<std::vector<uint8_t>> recovered(
+        kRedundancy, std::vector<uint8_t>(kShardLen, 0));
+    std::vector<std::span<uint8_t>> recovered_spans(recovered.begin(),
+                                                    recovered.end());
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      codec.Reconstruct(present_indices, present, missing_indices,
+                        recovered_spans, nullptr);
+    }
+    const double secs = Seconds(start);
+    if (secs > 0.0) {
+      run.recovery_sectors_per_second =
+          static_cast<double>(kRedundancy) * kReps / secs;
+    }
+    for (const auto& shard : recovered) {
+      checksum = Fnv1a(shard.data(), shard.size(), checksum);
+    }
+  }
+
+  // Stage 3: LDPC min-sum over the 50-noise-draw corpus of parallel_test.cc
+  // (same code shape, seeds, and sigma sweep). Hard decisions and iteration
+  // counts fold into the checksum, pinning the vectorized decoder's schedule.
+  {
+    const auto code = LdpcCode::Build(
+        {.block_bits = 512, .rate = 0.75, .column_weight = 3, .seed = 5});
+    Rng rng(1234);
+    std::vector<std::vector<float>> corpus;
+    for (int draw = 0; draw < 50; ++draw) {
+      std::vector<uint8_t> info(code.k());
+      for (auto& b : info) {
+        b = static_cast<uint8_t>(rng.UniformInt(0, 1));
+      }
+      const auto codeword = code.Encode(info);
+      std::vector<float> llr(code.n());
+      const double sigma = 0.7 + 0.02 * draw;
+      for (size_t i = 0; i < llr.size(); ++i) {
+        const double clean = codeword[i] ? -2.0 : 2.0;
+        llr[i] = static_cast<float>(clean + rng.Normal(0.0, sigma));
+      }
+      corpus.push_back(std::move(llr));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    uint64_t decodes = 0;
+    for (int pass = 0; pass < 4; ++pass) {
+      for (const auto& llr : corpus) {
+        const auto result = code.Decode(llr, 50);
+        ++decodes;
+        if (pass == 0) {
+          checksum = Fnv1a(result.codeword.data(), result.codeword.size(),
+                           checksum);
+          const uint8_t iters = static_cast<uint8_t>(result.iterations);
+          checksum = Fnv1a(&iters, 1, checksum);
+        }
+      }
+    }
+    const double secs = Seconds(start);
+    if (secs > 0.0) {
+      run.ldpc_decodes_per_second = static_cast<double>(decodes) / secs;
+    }
+  }
+
+  run.checksum = checksum;
   return run;
 }
 
@@ -110,7 +282,38 @@ void ElasticitySweep() {
   }
 }
 
-int Run(int threads, bool json) {
+int Run(int threads, bool json, SimdMode simd) {
+  // Per-tier kernel-stage runs first (they force tiers globally; the full-stack
+  // run below then pins the requested tier). Scalar is always index 0.
+  const std::vector<SimdMode> tiers = AvailableSimdModes();
+  std::vector<TierRun> tier_runs;
+  for (const SimdMode mode : tiers) {
+    tier_runs.push_back(MeasureKernelStage(mode));
+  }
+  // Best non-scalar tier by recovery throughput (the metric simd_speedup is
+  // defined on); falls back to scalar when no vector tier is available.
+  size_t best = 0;
+  for (size_t i = 1; i < tier_runs.size(); ++i) {
+    if (tier_runs[i].recovery_sectors_per_second >
+        tier_runs[best].recovery_sectors_per_second) {
+      best = i;
+    }
+  }
+  const double simd_speedup =
+      tier_runs[0].recovery_sectors_per_second > 0.0
+          ? tier_runs[best].recovery_sectors_per_second /
+                tier_runs[0].recovery_sectors_per_second
+          : 0.0;
+  bool bit_identical = true;
+  for (const TierRun& t : tier_runs) {
+    bit_identical = bit_identical && t.checksum == tier_runs[0].checksum;
+  }
+
+  if (!SetSimdMode(simd)) {
+    std::fprintf(stderr, "error: requested --simd tier is not available\n");
+    return 1;
+  }
+
   // One platter through the real write pipeline; the read side is what we time.
   DataPlane plane(DataPlaneConfig{});
   PlatterWriter writer(plane);
@@ -144,15 +347,50 @@ int Run(int threads, bool json) {
           .Field("sectors_per_second", r.sectors_per_second)
           .Str();
     };
+    auto render_tier = [](const TierRun& t) {
+      char checksum_hex[32];
+      std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                    static_cast<unsigned long long>(t.checksum));
+      return JsonObject()
+          .Field("tier", t.tier)
+          .Field("gf256_gbps", t.gf256_gbps)
+          .Field("recovery_sectors_per_second", t.recovery_sectors_per_second)
+          .Field("ldpc_decodes_per_second", t.ldpc_decodes_per_second)
+          .Field("checksum", std::string(checksum_hex))
+          .Str();
+    };
+    std::vector<std::string> tier_json;
+    for (const TierRun& t : tier_runs) {
+      tier_json.push_back(render_tier(t));
+    }
+    JsonObject simd_out;
+    simd_out.FieldRaw("tiers", JsonArray(tier_json))
+        .Field("best_tier", tier_runs[best].tier)
+        .Field("simd_speedup", simd_speedup)
+        .Field("bit_identical", bit_identical);
     JsonObject out;
     out.Field("bench", "decode_stack")
         .Field("threads", threads)
         .FieldRaw("runs", JsonArray({render(baseline), render(threaded)}))
         .Field("sectors_per_second", threaded.sectors_per_second)
-        .Field("speedup_vs_1_thread", speedup);
+        .Field("speedup_vs_1_thread", speedup)
+        .FieldRaw("simd", simd_out.Str());
     std::printf("%s\n", out.Str().c_str());
     return 0;
   }
+
+  Header("Decode stack: SIMD kernel tiers (single thread)");
+  std::printf("%-10s %14s %22s %18s %18s\n", "tier", "gf256 GB/s",
+              "recovery sectors/s", "ldpc decodes/s", "checksum");
+  for (const TierRun& t : tier_runs) {
+    std::printf("%-10s %14.2f %22.1f %18.1f   %016llx\n", t.tier.c_str(),
+                t.gf256_gbps, t.recovery_sectors_per_second,
+                t.ldpc_decodes_per_second,
+                static_cast<unsigned long long>(t.checksum));
+  }
+  std::printf("best tier %s: %.2fx recovery speedup vs scalar; tiers %s\n",
+              tier_runs[best].tier.c_str(), simd_speedup,
+              bit_identical ? "bit-identical" : "DIVERGED (BUG)");
 
   Header("Decode stack: multicore sector-decode throughput");
   std::printf("%-10s %10s %14s %18s %10s\n", "threads", "sectors", "wall (s)",
@@ -180,6 +418,7 @@ int main(int argc, char** argv) {
     threads = 1;
   }
   bool json = false;
+  silica::SimdMode simd = silica::SimdMode::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
@@ -188,12 +427,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --threads must be >= 1\n");
         return 1;
       }
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      const auto parsed =
+          silica::ParseSimdMode(arg.c_str() + std::strlen("--simd="));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "error: --simd must be one of auto/scalar/avx2/neon\n");
+        return 1;
+      }
+      simd = *parsed;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--help") {
-      std::printf("usage: bench_decode_stack [--threads=N] [--json]\n");
+      std::printf(
+          "usage: bench_decode_stack [--threads=N] "
+          "[--simd=auto|scalar|avx2|neon] [--json]\n");
       return 0;
     }
   }
-  return silica::Run(threads, json);
+  return silica::Run(threads, json, simd);
 }

@@ -1,9 +1,11 @@
 #include "core/silica_service.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "ecc/simd/gf256_kernels.h"
 #include "telemetry/telemetry.h"
 
 namespace silica {
@@ -25,6 +27,18 @@ ServiceConfig ValidateConfig(ServiceConfig config) {
     throw std::invalid_argument(
         "ServiceConfig: platter_set.redundancy must be >= 0 (got " +
         std::to_string(config.platter_set.redundancy) + ")");
+  }
+  const std::optional<SimdMode> simd = ParseSimdMode(config.simd);
+  if (!simd.has_value()) {
+    throw std::invalid_argument(
+        "ServiceConfig: simd must be one of auto/scalar/avx2/neon (got \"" +
+        config.simd + "\")");
+  }
+  // Process-wide: kernels are stateless and every tier is bit-identical, so
+  // applying the most recent service's choice globally is safe.
+  if (!SetSimdMode(*simd)) {
+    throw std::invalid_argument("ServiceConfig: simd tier \"" + config.simd +
+                                "\" is not available on this CPU/build");
   }
   return config;
 }

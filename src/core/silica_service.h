@@ -41,6 +41,11 @@ struct ServiceConfig {
   int threads = 1;
   // Physical media-decay law used by AgePlatter (per platter-year).
   MediaAgingParams aging;
+  // SIMD dispatch tier for the GF(256)/GF(2^16)/LDPC data-plane kernels:
+  // "auto" (best the CPU supports), "scalar", "avx2", or "neon". Applied
+  // process-wide at service construction. Every tier is bit-identical to
+  // scalar, so this only affects throughput — never output bytes.
+  std::string simd = "auto";
 };
 
 class SilicaService {

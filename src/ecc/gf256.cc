@@ -2,6 +2,9 @@
 
 #include <array>
 #include <stdexcept>
+#include <utility>
+
+#include "ecc/simd/gf256_kernels.h"
 
 namespace silica {
 namespace {
@@ -72,29 +75,16 @@ void Gf256::MulAccumulate(std::span<uint8_t> dst, std::span<const uint8_t> src,
   if (coeff == 0) {
     return;
   }
-  if (coeff == 1) {
-    for (size_t i = 0; i < dst.size(); ++i) {
-      dst[i] ^= src[i];
-    }
-    return;
-  }
-  const auto& t = tables();
-  const unsigned log_c = t.log[coeff];
-  for (size_t i = 0; i < dst.size(); ++i) {
-    const uint8_t s = src[i];
-    if (s != 0) {
-      dst[i] ^= t.exp[static_cast<size_t>(t.log[s]) + log_c];
-    }
-  }
+  // Dispatches to the active SIMD tier; every tier is pinned bit-identical to
+  // the scalar reference by tests/gf256_kernels_test.cc.
+  ActiveKernels().mul_accumulate(dst.data(), src.data(), dst.size(), coeff);
 }
 
 void Gf256::ScaleInPlace(std::span<uint8_t> data, uint8_t coeff) {
   if (coeff == 1) {
     return;
   }
-  for (auto& byte : data) {
-    byte = Mul(byte, coeff);
-  }
+  ActiveKernels().scale_in_place(data.data(), data.size(), coeff);
 }
 
 Gf256Matrix Gf256Matrix::Identity(size_t k) {
@@ -126,11 +116,15 @@ bool Gf256Matrix::Invert() {
     return false;
   }
   const size_t n = rows_;
+  // Eliminate on a working copy so a singular matrix is returned untouched —
+  // recovery paths probe candidate combination matrices and must be able to
+  // retry with a different platter subset after a false return.
+  Gf256Matrix work = *this;
   Gf256Matrix aug = Identity(n);
   for (size_t col = 0; col < n; ++col) {
     // Find pivot.
     size_t pivot = col;
-    while (pivot < n && At(pivot, col) == 0) {
+    while (pivot < n && work.At(pivot, col) == 0) {
       ++pivot;
     }
     if (pivot == n) {
@@ -138,27 +132,27 @@ bool Gf256Matrix::Invert() {
     }
     if (pivot != col) {
       for (size_t c = 0; c < n; ++c) {
-        std::swap(At(pivot, c), At(col, c));
+        std::swap(work.At(pivot, c), work.At(col, c));
         std::swap(aug.At(pivot, c), aug.At(col, c));
       }
     }
     // Normalize pivot row.
-    const uint8_t inv = Gf256::Inv(At(col, col));
-    Gf256::ScaleInPlace(Row(col), inv);
+    const uint8_t inv = Gf256::Inv(work.At(col, col));
+    Gf256::ScaleInPlace(work.Row(col), inv);
     Gf256::ScaleInPlace(aug.Row(col), inv);
     // Eliminate other rows.
     for (size_t r = 0; r < n; ++r) {
       if (r == col) {
         continue;
       }
-      const uint8_t factor = At(r, col);
+      const uint8_t factor = work.At(r, col);
       if (factor != 0) {
-        Gf256::MulAccumulate(Row(r), Row(col), factor);
+        Gf256::MulAccumulate(work.Row(r), work.Row(col), factor);
         Gf256::MulAccumulate(aug.Row(r), aug.Row(col), factor);
       }
     }
   }
-  *this = aug;
+  *this = std::move(aug);
   return true;
 }
 

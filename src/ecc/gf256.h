@@ -51,7 +51,9 @@ class Gf256Matrix {
   // "any I of I+R reconstructs the group" property the paper relies on.
   static Gf256Matrix Cauchy(size_t rows, size_t cols);
 
-  // In-place inversion via Gauss-Jordan. Returns false if singular.
+  // In-place inversion via Gauss-Jordan. Returns false if singular, in which
+  // case the matrix is left unchanged (recovery paths probe candidate
+  // combination matrices and retry with a different shard subset on failure).
   bool Invert();
 
   // this * other.

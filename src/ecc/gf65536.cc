@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ecc/simd/gf256_kernels.h"
+
 namespace silica {
 namespace {
 
@@ -63,6 +65,12 @@ void Gf65536::MulAccumulate(std::span<uint16_t> dst, std::span<const uint16_t> s
     for (size_t i = 0; i < dst.size(); ++i) {
       dst[i] ^= src[i];
     }
+    return;
+  }
+  // Tiers without a GF(2^16) kernel leave mul_accumulate16 null and every
+  // caller takes this same log/exp loop, so cross-tier identity holds either way.
+  if (const auto kernel = ActiveKernels().mul_accumulate16) {
+    kernel(dst.data(), src.data(), dst.size(), coeff);
     return;
   }
   const auto& t = tables();

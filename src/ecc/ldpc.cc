@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "common/rng.h"
+#include "ecc/simd/gf256_kernels.h"
 
 namespace silica {
 namespace {
@@ -309,11 +310,19 @@ std::vector<uint64_t> LdpcCode::EncodePacked(
       codeword[pos / 64] |= 1ull << (pos % 64);
     }
   }
+  // XOR is order-independent, so the vectorized fold is bit-identical to the
+  // sequential loop; tiers without the kernel take the inline loop below.
+  const auto fold_kernel = ActiveKernels().xor_and_fold;
   for (size_t r = 0; r < parity_positions_.size(); ++r) {
-    uint64_t acc = 0;
     const uint64_t* row = parity_map_.data() + r * words;
-    for (size_t w = 0; w < words; ++w) {
-      acc ^= row[w] & packed_info[w];
+    uint64_t acc;
+    if (fold_kernel != nullptr) {
+      acc = fold_kernel(row, packed_info.data(), words);
+    } else {
+      acc = 0;
+      for (size_t w = 0; w < words; ++w) {
+        acc ^= row[w] & packed_info[w];
+      }
     }
     if (__builtin_popcountll(acc) & 1) {
       const uint32_t pos = parity_positions_[r];
@@ -435,12 +444,38 @@ LdpcCode::DecodeResult LdpcCode::Decode(std::span<const float> llr,
     }
   };
 
+  // Vectorized check-node kernel of the active SIMD tier, or null. The kernel
+  // contract (gf256_kernels.h) pins it bit-identical to the inline loops below:
+  // same IEEE operations in the same per-edge order, same strict-< min
+  // selection, so hard decisions, flip order, and iteration counts match the
+  // scalar tier exactly. Checks are still processed sequentially — only the
+  // intra-check edge loop is vectorized — which preserves the layered message
+  // schedule (later checks see this check's posterior updates).
+  const auto check_node_kernel = ActiveKernels().ldpc_check_node;
+
   for (int iter = 1; iter <= max_iterations; ++iter) {
     // Check-node update (min-sum): for each check, compute extrinsic messages from
     // the variable-to-check messages (posterior - previous check message).
     for (size_t c = 0; c < m; ++c) {
       const uint32_t begin = check_offsets_[c];
       const uint32_t end = check_offsets_[c + 1];
+      const uint32_t deg = end - begin;
+      if (check_node_kernel != nullptr && deg <= 64) {
+        // Kernel preconditions hold: construction gives each variable distinct
+        // checks, so a check's edge slice never repeats a variable, and check
+        // degrees are far below 64 for all supported code shapes.
+        const uint64_t hard =
+            check_node_kernel(posterior.data(), msgs.data() + begin,
+                              check_vars_.data() + begin, deg, kNormalization);
+        for (uint32_t j = 0; j < deg; ++j) {
+          const uint32_t v = check_vars_[begin + j];
+          const uint8_t bit = static_cast<uint8_t>((hard >> j) & 1);
+          if (bit != result.codeword[v]) {
+            flip_bit(v, bit);
+          }
+        }
+        continue;
+      }
       // First pass: min1, min2, sign product.
       float min1 = std::numeric_limits<float>::max();
       float min2 = std::numeric_limits<float>::max();

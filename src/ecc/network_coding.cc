@@ -82,24 +82,23 @@ bool NetworkCodec::Reconstruct(
   if (!sel.Invert()) {
     return false;  // cannot happen for a Cauchy code; kept as a defensive check
   }
-  const size_t shard_len = present.empty() ? 0 : present[0].size();
 
-  // info[j] = sum_r inv[j][r] * present[r]; each j writes only its own shard.
-  std::vector<std::vector<uint8_t>> info_shards(info_,
-                                                std::vector<uint8_t>(shard_len, 0));
-  ParallelFor(pool, info_, [&](size_t j) {
-    for (size_t r = 0; r < info_; ++r) {
-      Gf256::MulAccumulate(info_shards[j], present[r], sel.At(j, r));
-    }
-  });
-
+  // Batched recovery: fold the generator rows of the missing shards through the
+  // inverted selection matrix once (R = G_missing * sel^-1, coefficient-sized
+  // work), then each missing shard is a single accumulate sweep over the present
+  // shards. GF arithmetic is exact, so this regrouping is byte-identical to
+  // materializing the information shards first, and it replaces info^2 + I*M
+  // shard-length passes (plus the intermediate shard buffers) with I*M passes.
+  Gf256Matrix missing_rows(missing_indices.size(), info_);
+  for (size_t m = 0; m < missing_indices.size(); ++m) {
+    GeneratorRow(missing_indices[m], missing_rows.Row(m));
+  }
+  const Gf256Matrix combine = missing_rows.Multiply(sel);  // sel holds the inverse
   ParallelFor(pool, missing_indices.size(), [&](size_t m) {
     auto out = recovered_out[m];
     std::fill(out.begin(), out.end(), uint8_t{0});
-    std::vector<uint8_t> row(info_);
-    GeneratorRow(missing_indices[m], row);
-    for (size_t c = 0; c < info_; ++c) {
-      Gf256::MulAccumulate(out, info_shards[c], row[c]);
+    for (size_t r = 0; r < info_; ++r) {
+      Gf256::MulAccumulate(out, present[r], combine.At(m, r));
     }
   });
   return true;

@@ -1,0 +1,371 @@
+// x86-64 AVX2 tier: shuffled-nibble-lookup GF kernels plus the vectorized LDPC
+// min-sum check-node update.
+//
+// The GF(256) trick (classic SSSE3 technique, run at AVX2 width): a product
+// c*x splits over the nibbles of x, c*x = c*(x & 0xF) ^ c*(x >> 4 << 4), so two
+// 16-entry tables per coefficient turn multiplication into two PSHUFBs and an
+// XOR — 32 products per iteration instead of one log/exp lookup chain per byte.
+// This beats log/exp tables because PSHUFB does 32 parallel lookups from a
+// register with no memory traffic, while log/exp needs three dependent L1 loads
+// per byte and a zero-guard branch. GF(2^16) runs the same trick over four
+// nibbles with the product's low and high bytes in separate shuffle planes.
+//
+// Bit-identity with the scalar tier is structural: GF arithmetic is exact, and
+// the float min-sum kernel performs the same IEEE operations (no FMA, same
+// per-edge evaluation order) as the scalar loop. gf256_kernels_test.cc pins it.
+//
+// This file is compiled with -mavx2 (x86-64 builds only); nothing here may run
+// before the __builtin_cpu_supports check in Avx2Kernels().
+#include "ecc/simd/gf256_kernels.h"
+
+#if defined(__x86_64__) && !defined(SILICA_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace silica {
+namespace {
+
+// Carry-less field multiplies used only to build lookup tables (kept local so
+// table construction has no dependency on the log/exp statics in gf256.cc).
+uint8_t GfMul8(uint8_t a, uint8_t b) {
+  uint8_t r = 0;
+  while (b != 0) {
+    if (b & 1) {
+      r ^= a;
+    }
+    const bool carry = (a & 0x80) != 0;
+    a = static_cast<uint8_t>(a << 1);
+    if (carry) {
+      a ^= 0x1D;  // x^8 + x^4 + x^3 + x^2 + 1 with the x^8 bit dropped
+    }
+    b >>= 1;
+  }
+  return r;
+}
+
+uint16_t GfMul16(uint16_t a, uint16_t b) {
+  uint32_t acc = a;
+  uint16_t r = 0;
+  while (b != 0) {
+    if (b & 1) {
+      r ^= static_cast<uint16_t>(acc);
+    }
+    acc <<= 1;
+    if (acc & 0x10000) {
+      acc ^= 0x1100B;  // x^16 + x^12 + x^3 + x + 1
+    }
+    b >>= 1;
+  }
+  return r;
+}
+
+// Per-coefficient nibble product tables: lo[c][n] = c*n, hi[c][n] = c*(n<<4).
+struct NibbleTables {
+  alignas(16) uint8_t lo[256][16];
+  alignas(16) uint8_t hi[256][16];
+
+  NibbleTables() {
+    for (int c = 0; c < 256; ++c) {
+      for (int n = 0; n < 16; ++n) {
+        lo[c][n] = GfMul8(static_cast<uint8_t>(c), static_cast<uint8_t>(n));
+        hi[c][n] = GfMul8(static_cast<uint8_t>(c), static_cast<uint8_t>(n << 4));
+      }
+    }
+  }
+};
+
+const NibbleTables& tables() {
+  static const NibbleTables t;  // built on first kernel call, after the CPU check
+  return t;
+}
+
+void Avx2XorAccumulate(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  for (; i < len; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+void Avx2MulAccumulate(uint8_t* dst, const uint8_t* src, size_t len,
+                       uint8_t coeff) {
+  if (coeff == 1) {
+    Avx2XorAccumulate(dst, src, len);
+    return;
+  }
+  const NibbleTables& t = tables();
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[coeff])));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[coeff])));
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i plo = _mm256_shuffle_epi8(tlo, _mm256_and_si256(s, nib));
+    const __m256i phi = _mm256_shuffle_epi8(
+        thi, _mm256_and_si256(_mm256_srli_epi16(s, 4), nib));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(plo, phi)));
+  }
+  for (; i < len; ++i) {
+    const uint8_t s = src[i];
+    dst[i] ^= static_cast<uint8_t>(t.lo[coeff][s & 0x0F] ^ t.hi[coeff][s >> 4]);
+  }
+}
+
+void Avx2ScaleInPlace(uint8_t* data, size_t len, uint8_t coeff) {
+  const NibbleTables& t = tables();
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[coeff])));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[coeff])));
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i plo = _mm256_shuffle_epi8(tlo, _mm256_and_si256(s, nib));
+    const __m256i phi = _mm256_shuffle_epi8(
+        thi, _mm256_and_si256(_mm256_srli_epi16(s, 4), nib));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(data + i),
+                        _mm256_xor_si256(plo, phi));
+  }
+  for (; i < len; ++i) {
+    const uint8_t s = data[i];
+    data[i] = static_cast<uint8_t>(t.lo[coeff][s & 0x0F] ^ t.hi[coeff][s >> 4]);
+  }
+}
+
+// GF(2^16): product = XOR over the four nibbles of the word; per-call tables
+// (64 scalar multiplies) amortize over shard-length buffers. Table k holds
+// coeff * (n << 4k), split into a low-byte and a high-byte shuffle plane so
+// PSHUFB can produce 16-bit products from byte lookups.
+void Avx2MulAccumulate16(uint16_t* dst, const uint16_t* src, size_t len,
+                         uint16_t coeff) {
+  alignas(16) uint8_t lo8[4][16];
+  alignas(16) uint8_t hi8[4][16];
+  for (int k = 0; k < 4; ++k) {
+    for (int n = 0; n < 16; ++n) {
+      const uint16_t p =
+          GfMul16(coeff, static_cast<uint16_t>(n << (4 * k)));
+      lo8[k][n] = static_cast<uint8_t>(p & 0xFF);
+      hi8[k][n] = static_cast<uint8_t>(p >> 8);
+    }
+  }
+  __m256i tlo[4];
+  __m256i thi[4];
+  for (int k = 0; k < 4; ++k) {
+    tlo[k] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(lo8[k])));
+    thi[k] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(hi8[k])));
+  }
+  const __m256i nib16 = _mm256_set1_epi16(0x000F);
+  // Setting the top bit of each lane's high byte makes PSHUFB write zero there,
+  // so lookups only land in the low byte of each 16-bit lane.
+  const __m256i oddhi = _mm256_set1_epi16(static_cast<short>(0x8000));
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i acc = _mm256_setzero_si256();
+    for (int k = 0; k < 4; ++k) {
+      const __m256i idx = _mm256_or_si256(
+          _mm256_and_si256(_mm256_srli_epi16(x, 4 * k), nib16), oddhi);
+      const __m256i plo = _mm256_shuffle_epi8(tlo[k], idx);
+      const __m256i phi = _mm256_slli_epi16(_mm256_shuffle_epi8(thi[k], idx), 8);
+      acc = _mm256_xor_si256(acc, _mm256_or_si256(plo, phi));
+    }
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, acc));
+  }
+  for (; i < len; ++i) {
+    const uint16_t x = src[i];
+    uint16_t p = 0;
+    for (int k = 0; k < 4; ++k) {
+      const int n = (x >> (4 * k)) & 0xF;
+      p ^= static_cast<uint16_t>(lo8[k][n] | (hi8[k][n] << 8));
+    }
+    dst[i] ^= p;
+  }
+}
+
+uint64_t Avx2XorAndFold(const uint64_t* a, const uint64_t* b, size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_xor_si256(acc, _mm256_and_si256(va, vb));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t r = lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3];
+  for (; i < words; ++i) {
+    r ^= a[i] & b[i];
+  }
+  return r;
+}
+
+// One min-sum check-node update (see the vtable contract in gf256_kernels.h).
+// Pass 1 gathers v2c = posterior - msg and reduces min/sign; pass 2 emits the
+// normalized messages and folds them back. All float operations are plain IEEE
+// sub/mul/add in the scalar loop's per-edge order; sign flips and min selection
+// are exact, so the result matches the scalar tier bit for bit.
+uint64_t Avx2LdpcCheckNode(float* posterior, float* msgs, const uint32_t* vars,
+                           uint32_t deg, float normalization) {
+  alignas(32) float v2c[64];
+  alignas(32) float mag[64];
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 absmask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  __m256 minv = _mm256_set1_ps(std::numeric_limits<float>::max());
+  unsigned neg_count = 0;
+  uint32_t j = 0;
+  for (; j + 8 <= deg; j += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vars + j));
+    const __m256 g = _mm256_i32gather_ps(posterior, idx, 4);
+    const __m256 m = _mm256_loadu_ps(msgs + j);
+    const __m256 v = _mm256_sub_ps(g, m);
+    const __m256 a = _mm256_and_ps(v, absmask);
+    _mm256_store_ps(v2c + j, v);
+    _mm256_store_ps(mag + j, a);
+    neg_count += static_cast<unsigned>(std::popcount(
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_LT_OQ)))));
+    minv = _mm256_min_ps(minv, a);
+  }
+  alignas(32) float minlanes[8];
+  _mm256_store_ps(minlanes, minv);
+  float min1 = minlanes[0];
+  for (int l = 1; l < 8; ++l) {
+    min1 = minlanes[l] < min1 ? minlanes[l] : min1;
+  }
+  for (; j < deg; ++j) {
+    const float v = posterior[vars[j]] - msgs[j];
+    v2c[j] = v;
+    const float a = std::fabs(v);
+    mag[j] = a;
+    if (v < 0.0f) {
+      ++neg_count;
+    }
+    if (a < min1) {
+      min1 = a;
+    }
+  }
+
+  // First edge attaining min1 owns it (strict-< semantics of the scalar loop);
+  // min2 is the minimum over the remaining edges, duplicates of min1 included.
+  uint32_t min_index = 0;
+  for (uint32_t e = 0; e < deg; ++e) {
+    if (mag[e] == min1) {
+      min_index = e;
+      break;
+    }
+  }
+  float min2 = std::numeric_limits<float>::max();
+  for (uint32_t e = 0; e < deg; ++e) {
+    if (e != min_index && mag[e] < min2) {
+      min2 = mag[e];
+    }
+  }
+  const int sign_product = (neg_count & 1) != 0 ? -1 : 1;
+
+  // base = normalization * sign_product is exactly the scalar loop's
+  // (kNormalization * sign) factor; the per-lane negation for v2c < 0 is an
+  // exact sign-bit flip, so base*mag and -(base*mag) reproduce scalar products.
+  const float base = normalization * static_cast<float>(sign_product);
+  uint64_t bits = 0;
+  const __m256 vbase = _mm256_set1_ps(base);
+  const __m256 vmin1 = _mm256_set1_ps(min1);
+  const __m256 vmin2 = _mm256_set1_ps(min2);
+  const __m256i vminidx = _mm256_set1_epi32(static_cast<int>(min_index));
+  const __m256i lane0 = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i signbit = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  alignas(32) float upd[8];
+  j = 0;
+  for (; j + 8 <= deg; j += 8) {
+    const __m256 v = _mm256_load_ps(v2c + j);
+    const __m256i lanes =
+        _mm256_add_epi32(lane0, _mm256_set1_epi32(static_cast<int>(j)));
+    const __m256 magsel = _mm256_blendv_ps(
+        vmin1, vmin2,
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(lanes, vminidx)));
+    __m256 nm = _mm256_mul_ps(vbase, magsel);
+    const __m256 negmask = _mm256_cmp_ps(v, zero, _CMP_LT_OQ);
+    nm = _mm256_castsi256_ps(
+        _mm256_xor_si256(_mm256_castps_si256(nm),
+                         _mm256_and_si256(_mm256_castps_si256(negmask), signbit)));
+    const __m256 u = _mm256_add_ps(v, nm);
+    _mm256_storeu_ps(msgs + j, nm);
+    _mm256_store_ps(upd, u);
+    const auto hard = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(u, zero, _CMP_LT_OQ)));
+    bits |= static_cast<uint64_t>(hard) << j;
+    for (int l = 0; l < 8; ++l) {
+      posterior[vars[j + static_cast<uint32_t>(l)]] = upd[l];
+    }
+  }
+  for (; j < deg; ++j) {
+    const float v = v2c[j];
+    const float m2 = (j == min_index) ? min2 : min1;
+    float nm = base * m2;
+    if (v < 0.0f) {
+      nm = -nm;
+    }
+    const float u = v + nm;
+    msgs[j] = nm;
+    posterior[vars[j]] = u;
+    if (u < 0.0f) {
+      bits |= uint64_t{1} << j;
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+const Gf256Kernels* Avx2Kernels() {
+  if (!__builtin_cpu_supports("avx2")) {
+    return nullptr;
+  }
+  static const Gf256Kernels k = {
+      .tier = SimdMode::kAvx2,
+      .name = "avx2",
+      .mul_accumulate = &Avx2MulAccumulate,
+      .scale_in_place = &Avx2ScaleInPlace,
+      .mul_accumulate16 = &Avx2MulAccumulate16,
+      .xor_and_fold = &Avx2XorAndFold,
+      .ldpc_check_node = &Avx2LdpcCheckNode,
+  };
+  return &k;
+}
+
+}  // namespace silica
+
+#else  // !x86-64 or SIMD disabled at build time
+
+namespace silica {
+const Gf256Kernels* Avx2Kernels() { return nullptr; }
+}  // namespace silica
+
+#endif

@@ -1,0 +1,112 @@
+// Runtime-dispatched SIMD kernels for the data-plane field arithmetic.
+//
+// Every encode and recovery in the Silica data plane bottoms out in a handful of
+// tight loops: GF(256) multiply-accumulate over sector-sized shards (network
+// coding, Cauchy matrix elimination), GF(2^16) multiply-accumulate (large-group
+// codec), the packed-64-bit parity fold of the systematic LDPC encoder, and the
+// per-check min-sum update of the LDPC decoder. This header defines a vtable of
+// those loops (`Gf256Kernels`) with one implementation per dispatch tier:
+//
+//   * scalar — the portable reference, byte-for-byte the pre-SIMD code paths;
+//   * avx2   — x86-64 shuffled-nibble-lookup kernels (PSHUFB over per-coefficient
+//              16-entry nibble product tables; SSSE3 technique, AVX2 width);
+//   * neon   — AArch64 vtbl equivalent of the shuffled-nibble kernels.
+//
+// The tier is selected once at startup from CPUID (auto) or forced via
+// `--simd={auto,scalar,avx2,neon}` (threaded through ServiceConfig, silica_sim,
+// and the benches). The contract, enforced by tests/gf256_kernels_test.cc, is
+// that every tier is bit-identical to the scalar reference: GF arithmetic is
+// exact, and the float min-sum kernel performs the same IEEE operations in the
+// same per-edge order, so vectorization never changes a single output byte.
+//
+// Optional entries (`mul_accumulate16`, `xor_and_fold`, `ldpc_check_node`) may
+// be null; callers fall back to their inline scalar loop, which is the same code
+// every tier falls back to, preserving cross-tier identity.
+#ifndef SILICA_ECC_SIMD_GF256_KERNELS_H_
+#define SILICA_ECC_SIMD_GF256_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace silica {
+
+enum class SimdMode {
+  kAuto = 0,    // pick the best tier the CPU supports (default)
+  kScalar = 1,  // portable reference loops
+  kAvx2 = 2,    // x86-64 AVX2 shuffled-nibble kernels
+  kNeon = 3,    // AArch64 NEON vtbl kernels
+};
+
+struct Gf256Kernels {
+  // Dispatch-tier identity (kScalar/kAvx2/kNeon; never kAuto).
+  SimdMode tier;
+  const char* name;
+
+  // dst[i] ^= coeff * src[i] over GF(256). coeff == 0 is handled by the caller
+  // (no-op); coeff == 1 must be supported (plain XOR).
+  void (*mul_accumulate)(uint8_t* dst, const uint8_t* src, size_t len,
+                         uint8_t coeff);
+
+  // data[i] = coeff * data[i] over GF(256). coeff == 1 handled by the caller.
+  void (*scale_in_place)(uint8_t* data, size_t len, uint8_t coeff);
+
+  // dst[i] ^= coeff * src[i] over GF(2^16) words, or null (caller's scalar
+  // loop). coeff == 0/1 are handled by the caller.
+  void (*mul_accumulate16)(uint16_t* dst, const uint16_t* src, size_t len,
+                           uint16_t coeff);
+
+  // XOR-fold of (a[w] & b[w]) over `words` 64-bit words — the inner product of
+  // the packed LDPC parity map with a packed info block — or null. XOR is
+  // commutative and associative, so any evaluation order is bit-identical.
+  uint64_t (*xor_and_fold)(const uint64_t* a, const uint64_t* b, size_t words);
+
+  // One LDPC min-sum check-node update over the CSR edge slice [0, deg):
+  //   v2c[j]   = posterior[vars[j]] - msgs[j]
+  //   min1/min2/first-min-index/sign-product over |v2c| (strict < semantics,
+  //   first edge attaining the minimum owns min1, exactly like the scalar loop)
+  //   msgs[j]  = (normalization * sign_j) * mag_j      (same float evaluation
+  //   posterior[vars[j]] = v2c[j] + msgs[j]             order as the scalar code)
+  // Returns the updated hard decisions: bit j = (posterior[vars[j]] < 0).
+  // Preconditions: deg <= 64 and vars[0..deg) are distinct (both guaranteed by
+  // the CSR construction; the decoder falls back inline otherwise). Null for
+  // tiers without a vectorized min-sum.
+  uint64_t (*ldpc_check_node)(float* posterior, float* msgs,
+                              const uint32_t* vars, uint32_t deg,
+                              float normalization);
+};
+
+// The portable reference tier (always available).
+const Gf256Kernels& ScalarKernels();
+
+// Tier constructors: null when the build disabled SIMD, the architecture does
+// not match, or the CPU lacks the required features (checked at runtime).
+const Gf256Kernels* Avx2Kernels();
+const Gf256Kernels* NeonKernels();
+
+// The kernels selected by the current mode. Defaults to the best tier the CPU
+// supports; stable for the life of the process unless SetSimdMode intervenes.
+const Gf256Kernels& ActiveKernels();
+
+// Forces a dispatch tier. Returns false (and changes nothing) if the tier is
+// unavailable on this CPU/build. kAuto re-runs detection. Call once at startup
+// (or between single-threaded test phases): switching while data-plane threads
+// are mid-kernel is not synchronized.
+bool SetSimdMode(SimdMode mode);
+
+// The tier currently in effect (kScalar/kAvx2/kNeon; never kAuto).
+SimdMode ActiveSimdMode();
+
+// "auto" / "scalar" / "avx2" / "neon" <-> SimdMode.
+std::optional<SimdMode> ParseSimdMode(std::string_view name);
+const char* SimdModeName(SimdMode mode);
+
+// Every tier that SetSimdMode would accept on this machine, scalar first.
+// The differential suites iterate this to pin each tier to the reference.
+std::vector<SimdMode> AvailableSimdModes();
+
+}  // namespace silica
+
+#endif  // SILICA_ECC_SIMD_GF256_KERNELS_H_

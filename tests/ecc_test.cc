@@ -87,6 +87,35 @@ TEST(Gf256Matrix, SingularDetected) {
   EXPECT_FALSE(m.Invert());
 }
 
+TEST(Gf256Matrix, SingularInvertLeavesMatrixUnchanged) {
+  // A rank-deficient matrix that survives several elimination columns before
+  // the singularity shows: columns 0 and 1 have pivots, column 2 is the XOR of
+  // the first two, so the old implementation would have scaled and eliminated
+  // rows before failing. Invert must return the matrix exactly as it was.
+  Gf256Matrix m(3, 3);
+  m.At(0, 0) = 3;
+  m.At(0, 1) = 7;
+  m.At(1, 0) = 5;
+  m.At(1, 1) = 11;
+  for (size_t r = 0; r < 3; ++r) {
+    m.At(r, 2) = Gf256::Add(m.At(r, 0), m.At(r, 1));
+  }
+  m.At(2, 0) = Gf256::Add(m.At(0, 0), m.At(1, 0));
+  m.At(2, 1) = Gf256::Add(m.At(0, 1), m.At(1, 1));
+  m.At(2, 2) = Gf256::Add(m.At(2, 0), m.At(2, 1));
+  Gf256Matrix before = m;
+  ASSERT_FALSE(m.Invert());
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m.At(r, c), before.At(r, c))
+          << "singular Invert modified (" << r << "," << c << ")";
+    }
+  }
+  // The same object must still be usable for a retry with a fixed-up matrix.
+  m.At(2, 2) = Gf256::Add(m.At(2, 2), 1);  // break the linear dependence
+  EXPECT_TRUE(m.Invert());
+}
+
 // ---------- Network coding ----------
 
 std::vector<std::vector<uint8_t>> RandomShards(Rng& rng, size_t count, size_t len) {
@@ -182,6 +211,44 @@ TEST(NetworkCodec, TooFewShardsFails) {
   std::vector<std::vector<uint8_t>> out(1, std::vector<uint8_t>(16));
   EXPECT_FALSE(codec.Reconstruct(present_indices, ConstViews(shards), missing,
                                  MutViews(out)));
+}
+
+TEST(NetworkCodec, SingularCombinationMatrixFailsCleanly) {
+  // A platter-set recovery handed the same surviving shard twice builds a
+  // combination (selection) matrix with duplicate generator rows — singular.
+  // Reconstruct must report failure without touching the output shards, and the
+  // caller must be able to retry with a corrected shard subset immediately.
+  NetworkCodec codec(4, 2);
+  Rng rng(31);
+  auto info = RandomShards(rng, 4, 16);
+  std::vector<std::vector<uint8_t>> red(2, std::vector<uint8_t>(16));
+  codec.Encode(ConstViews(info), MutViews(red));
+
+  std::vector<std::vector<uint8_t>> group = info;
+  group.insert(group.end(), red.begin(), red.end());
+
+  // Shard 1 listed twice: 4 "present" shards, but only rank 3.
+  std::vector<size_t> bad_present_indices = {1, 1, 2, 3};
+  std::vector<std::span<const uint8_t>> bad_present_views;
+  for (size_t p : bad_present_indices) {
+    bad_present_views.emplace_back(group[p].data(), group[p].size());
+  }
+  std::vector<size_t> missing = {0};
+  std::vector<std::vector<uint8_t>> out(1, std::vector<uint8_t>(16, 0xAB));
+  const std::vector<uint8_t> sentinel = out[0];
+  EXPECT_FALSE(codec.Reconstruct(bad_present_indices, bad_present_views,
+                                 missing, MutViews(out)));
+  EXPECT_EQ(out[0], sentinel) << "failed recovery must not write outputs";
+
+  // Retry with a valid subset succeeds and recovers the lost shard.
+  std::vector<size_t> good_present_indices = {1, 2, 3, 4};
+  std::vector<std::span<const uint8_t>> good_present_views;
+  for (size_t p : good_present_indices) {
+    good_present_views.emplace_back(group[p].data(), group[p].size());
+  }
+  ASSERT_TRUE(codec.Reconstruct(good_present_indices, good_present_views,
+                                missing, MutViews(out)));
+  EXPECT_EQ(out[0], info[0]);
 }
 
 TEST(NetworkCodec, IncrementalEncodeMatchesBatch) {

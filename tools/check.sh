@@ -55,6 +55,31 @@ print("ok: %d submitted, %d rejected, %.2f reads/mount, steady Jain %.3f" % (
     report["fairness"]["jain_goodput_steady"]))
 '
 
+echo "== smoke: SIMD kernel tiers (differential checksums, JSON) =="
+./build/bench/bench_decode_stack --json --threads=1 | python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+simd = report["simd"]
+tiers = {t["tier"]: t for t in simd["tiers"]}
+assert "scalar" in tiers, simd
+assert simd["bit_identical"], f"SIMD tiers disagree with scalar: {simd}"
+for tier in tiers.values():
+    assert tier["checksum"] == tiers["scalar"]["checksum"], simd
+print("ok: tiers " + ", ".join(sorted(tiers)) +
+      " bit-identical; best %s at %.2fx recovery speedup" % (
+          simd["best_tier"], simd["simd_speedup"]))
+'
+
+echo "== smoke: fig9 engine byte-identity (--simd=scalar vs auto) =="
+# The library twin behind the fig9 sweep must produce byte-identical reports
+# whatever kernel tier is active; any diff means a vector kernel changed bytes.
+./build/tools/silica_sim --profile=iops --platters=300 --simd=scalar --json \
+    > /tmp/silica_simd_scalar.json
+./build/tools/silica_sim --profile=iops --platters=300 --simd=auto --json \
+    > /tmp/silica_simd_auto.json
+cmp /tmp/silica_simd_scalar.json /tmp/silica_simd_auto.json
+echo "ok: --simd=scalar and --simd=auto reports are byte-identical"
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== OK (fast mode, sanitizers skipped) =="
   exit 0
@@ -66,7 +91,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build --preset tsan -j "$jobs" --target silica_tests
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/silica_tests \
-    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendTest.VirtualClockReplayIsDeterministic'
+    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:Gf256Kernels.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendTest.VirtualClockReplayIsDeterministic'
   echo "== OK =="
   exit 0
 fi
@@ -76,6 +101,6 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" --target silica_tests
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/silica_tests \
-  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:MetricsRegistry.*:Tracer.*:Telemetry.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
+  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:MetricsRegistry.*:Tracer.*:Telemetry.*:Gf256Kernels.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
 
 echo "== OK =="

@@ -23,6 +23,15 @@ conservation invariants must hold in both runs, completed requests / steady
 goodput fairness / coalescing must not degrade, and latency percentiles must
 not rise beyond the tolerance. Virtual-clock reports at the same seed and
 config are byte-identical, so any delta at all flags a behavior change.
+
+And `bench_decode_stack --json` reports (detected by "bench": "decode_stack",
+tracked in BENCH_decode.json): two hard gates first — every SIMD tier's
+kernel-stage checksum must agree within each report (bit_identical), and the
+scalar checksum must be unchanged between baseline and candidate (the kernel
+inputs are fixed-seed, so any checksum drift is a wrong-answer bug, not noise).
+Then the usual directional table: full-stack and per-tier throughput plus
+simd_speedup must not drop beyond the tolerance (wall-clock rates are
+machine-sensitive; use a generous tolerance across machines).
 """
 import argparse
 import json
@@ -187,6 +196,84 @@ def compare_frontend(base, cand, tolerance):
     return 0
 
 
+def compare_decode_stack(base, cand, tolerance):
+    """Diff two bench_decode_stack reports. Bit-identity is a hard gate:
+    within each report every tier's checksum must match (the bench computes
+    them over fixed-seed inputs), and the scalar checksum must be identical
+    between the runs — checksum drift means a kernel produced different bytes,
+    which no tolerance excuses. Throughput rows are directional and tolerant."""
+    failures = []
+    for name, report in (("baseline", base), ("candidate", cand)):
+        simd = report.get("simd", {})
+        if not simd.get("bit_identical", False):
+            failures.append(f"{name}: SIMD tiers disagree (bit_identical false)")
+        # Re-derive identity from the tier checksums rather than trusting the
+        # flag, so a hand-edited or partially regenerated report can't pass.
+        sums = {t["tier"]: t.get("checksum") for t in simd.get("tiers", [])}
+        scalar_sum = sums.get("scalar")
+        for tier, checksum in sums.items():
+            if scalar_sum is not None and checksum != scalar_sum:
+                failures.append(
+                    f"{name}: tier {tier} checksum {checksum} != scalar "
+                    f"{scalar_sum}")
+    base_tiers = {t["tier"]: t for t in base.get("simd", {}).get("tiers", [])}
+    cand_tiers = {t["tier"]: t for t in cand.get("simd", {}).get("tiers", [])}
+    b_sum = base_tiers.get("scalar", {}).get("checksum")
+    c_sum = cand_tiers.get("scalar", {}).get("checksum")
+    if b_sum is None or c_sum is None:
+        failures.append("scalar tier checksum missing from a report")
+    elif b_sum != c_sum:
+        failures.append(f"scalar checksum changed: {b_sum} -> {c_sum} "
+                        "(kernel outputs diverged from baseline)")
+    for failure in failures:
+        print(f"BIT-IDENTITY VIOLATION — {failure}")
+    if failures:
+        return 1
+
+    rows = [
+        (("sectors_per_second",), "full-stack sectors/s", +1),
+        (("speedup_vs_1_thread",), "thread speedup", +1),
+        (("simd", "simd_speedup"), "simd speedup (recovery)", +1),
+    ]
+    regressions = []
+    table = []
+    for path, label, direction in rows:
+        b, c = lookup(base, path), lookup(cand, path)
+        if b is None or c is None:
+            continue
+        table.append((label, b, c, direction))
+    for tier in base_tiers:
+        if tier not in cand_tiers:
+            print(f"note: tier {tier} missing in candidate (different machine?)")
+            continue
+        for key, label, direction in [
+            ("gf256_gbps", "gf256 GB/s", +1),
+            ("recovery_sectors_per_second", "recovery sectors/s", +1),
+            ("ldpc_decodes_per_second", "ldpc decodes/s", +1),
+        ]:
+            b = base_tiers[tier].get(key)
+            c = cand_tiers[tier].get(key)
+            if b is not None and c is not None:
+                table.append((f"{tier}: {label}", b, c, direction))
+
+    width = max((len(label) for label, *_ in table), default=20)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+    for label, b, c, direction in table:
+        delta = (c - b) / b if b else (0.0 if c == b else float("inf"))
+        mark = ""
+        if direction != 0 and direction * delta < -tolerance:
+            mark = "  <-- regression"
+            regressions.append(label)
+        print(f"{label:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+7.1%}{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{tolerance:.1%}: {', '.join(regressions)}")
+        return 1
+    print("\nbit-identity holds; no regressions beyond tolerance")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -201,7 +288,8 @@ def main():
         cand = json.load(f)
 
     for bench, comparator in (("events", compare_events),
-                              ("frontend", compare_frontend)):
+                              ("frontend", compare_frontend),
+                              ("decode_stack", compare_decode_stack)):
         if base.get("bench") == bench or cand.get("bench") == bench:
             if base.get("bench") != cand.get("bench"):
                 print(f"error: only one of the reports is a bench_{bench} report")

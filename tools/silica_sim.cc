@@ -9,7 +9,8 @@
 //              [--aging-mtbe=S --aging-max-sectors=N]
 //              [--scrub --scrub-interval=S --scrub-sample=F]
 //              [--replications=N --sweep-threads=K]
-//              [--threads=1] [--metrics-out=m.json|m.prom] [--trace-out=t.json]
+//              [--threads=1] [--simd=auto|scalar|avx2|neon]
+//              [--metrics-out=m.json|m.prom] [--trace-out=t.json]
 //              [--trace-categories=shuttle,drive,scheduler,pipeline] [--json]
 //
 // Prints a one-screen report: completion percentiles, drive split, shuttle stats.
@@ -20,10 +21,12 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "ecc/simd/gf256_kernels.h"
 #include "core/library_sim.h"
 #include "core/sweep.h"
 #include "flags.h"
@@ -270,6 +273,9 @@ int main(int argc, char** argv) {
         "                              the sim-time event loop itself stays\n"
         "                              single-threaded, so results are identical\n"
         "                              for every N (default 1)]\n"
+        "  [--simd=auto|scalar|avx2|neon   data-plane kernel dispatch tier;\n"
+        "                              every tier is bit-identical, so this only\n"
+        "                              affects throughput (default auto)]\n"
         "  [--json                     machine-readable run report on stdout]\n"
         "  [--metrics-out=FILE         metrics snapshot (.json -> JSON, else\n"
         "                              Prometheus text)]\n"
@@ -289,6 +295,31 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
   if (threads < 1) {
     std::fprintf(stderr, "error: --threads must be >= 1\n");
+    return 1;
+  }
+  // Data-plane SIMD tier. Deliberately NOT echoed into the JSON report: every
+  // tier is bit-identical, so scripted byte-identity checks can diff a
+  // --simd=scalar run against --simd=auto directly.
+  const std::string simd = flags.Get("simd", "auto");
+  const std::optional<SimdMode> simd_mode = ParseSimdMode(simd);
+  if (!simd_mode.has_value()) {
+    std::fprintf(stderr,
+                 "error: --simd must be one of auto/scalar/avx2/neon; got %s\n",
+                 simd.c_str());
+    return 1;
+  }
+  if (!SetSimdMode(*simd_mode)) {
+    std::fprintf(stderr,
+                 "error: --simd=%s is not available on this CPU/build "
+                 "(available:%s)\n",
+                 simd.c_str(), [] {
+                   std::string list;
+                   for (const SimdMode m : AvailableSimdModes()) {
+                     list += " ";
+                     list += SimdModeName(m);
+                   }
+                   return list;
+                 }().c_str());
     return 1;
   }
   // Multi-seed replication sweep: run N independent replications (replication 0
