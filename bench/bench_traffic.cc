@@ -1,0 +1,259 @@
+// Control-plane scaling bench: holds simulated events/sec roughly flat while the
+// shuttle fleet grows from 1 to 256 (the tentpole claim of the sharded traffic
+// manager). Each fleet size gets a proportionally scaled library — one partition
+// per shuttle, read drives and storage racks grown to match, ~constant request
+// load per drive — and a skewed synthetic burst that exercises work stealing,
+// congestion-aware routing, and dynamic repartitioning at once.
+//
+// Conservation is a hard gate: every run must resolve all of its requests
+// (completed + failed == total) or the bench exits nonzero. `--json` emits one
+// object for trajectory tracking; CI keeps BENCH_traffic.json and
+// tools/compare_runs.py --bench=traffic diffs two captures.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/library_sim.h"
+
+namespace silica {
+namespace {
+
+struct FleetResult {
+  int shuttles = 0;
+  int drives = 0;
+  uint64_t platters = 0;
+  uint64_t requests = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t events_executed = 0;
+  double wall_seconds = 0.0;
+  double events_per_second = 0.0;
+  uint64_t work_steals = 0;
+  uint64_t congestion_stops = 0;
+  uint64_t congestion_detours = 0;
+  uint64_t repartitions = 0;
+  double p999_completion_s = 0.0;
+  bool conserves = false;
+};
+
+// Skewed burst over a fixed window: squaring the uniform concentrates load on
+// the low platter ids (roughly the low-x partitions), which is what makes the
+// repartitioner and the steal path earn their keep at scale.
+ReadTrace MakeTrace(uint64_t requests, uint64_t platters, uint64_t seed) {
+  constexpr double kWindowS = 2.0 * 3600.0;
+  constexpr uint64_t kBytes = 64ull << 20;
+  Rng rng(seed);
+  ReadTrace trace;
+  trace.reserve(requests);
+  for (uint64_t i = 0; i < requests; ++i) {
+    ReadRequest r;
+    r.id = i + 1;
+    r.arrival = rng.NextDouble() * kWindowS;
+    const double u = rng.NextDouble();
+    r.platter = std::min<uint64_t>(
+        platters - 1, static_cast<uint64_t>(u * u * static_cast<double>(platters)));
+    r.file_id = r.id;
+    r.bytes = kBytes;
+    trace.push_back(r);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const ReadRequest& a, const ReadRequest& b) {
+              return a.arrival != b.arrival ? a.arrival < b.arrival : a.id < b.id;
+            });
+  return trace;
+}
+
+FleetResult RunFleet(int shuttles, uint64_t requests_per_shuttle, int reps) {
+  LibrarySimConfig config;
+  auto& lib = config.library;
+  lib.policy = LibraryConfig::Policy::kPartitioned;
+  lib.num_shuttles = shuttles;
+  // One partition per shuttle: drives and racks grow with the fleet so the
+  // per-drive request load stays roughly constant across fleet sizes.
+  lib.drives_per_read_rack = std::max(5, (shuttles + 1) / 2);
+  const uint64_t platters = 40ull * static_cast<uint64_t>(shuttles);
+  // Storage must hold the information platters plus their 16+3 redundancy
+  // peers; round the rack count up from that total.
+  const uint64_t with_redundancy = platters + (platters + 15) / 16 * 3;
+  const uint64_t per_rack =
+      static_cast<uint64_t>(lib.shelves * lib.slots_per_shelf);
+  lib.storage_racks = std::max(
+      7, static_cast<int>((with_redundancy + per_rack - 1) / per_rack));
+  lib.work_stealing = true;
+  lib.congestion_aware_routing = true;
+  lib.repartition_interval_s = 600.0;
+  config.num_info_platters = platters;
+  config.seed = 99 + static_cast<uint64_t>(shuttles);
+  config.measure_start = 0.0;
+  config.measure_end = 1e30;
+
+  const uint64_t requests = requests_per_shuttle * static_cast<uint64_t>(shuttles);
+  const ReadTrace trace =
+      MakeTrace(requests, platters, 7000 + static_cast<uint64_t>(shuttles));
+
+  // Each fleet runs `reps` times and keeps the fastest wall clock: the small
+  // fleets finish in milliseconds, where scheduler noise would otherwise
+  // dominate the events/sec ratio the gate is built on. The simulation itself
+  // is deterministic, so every rep produces identical results.
+  LibrarySimResult result;
+  double wall = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    LibrarySimResult r = SimulateLibrary(config, trace);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (rep == 0 || elapsed < wall) {
+      wall = elapsed;
+      result = std::move(r);
+    }
+  }
+
+  FleetResult fr;
+  fr.shuttles = shuttles;
+  fr.drives = lib.num_read_drives();
+  fr.platters = platters;
+  fr.requests = result.requests_total;
+  fr.completed = result.requests_completed;
+  fr.failed = result.requests_failed;
+  fr.events_executed = result.events_executed;
+  fr.wall_seconds = wall;
+  fr.events_per_second =
+      wall > 0.0 ? static_cast<double>(result.events_executed) / wall : 0.0;
+  fr.work_steals = result.work_steals;
+  fr.congestion_stops = result.congestion_stops;
+  fr.congestion_detours = result.congestion_detours;
+  fr.repartitions = result.repartitions;
+  fr.p999_completion_s = result.completion_times.Percentile(0.999);
+  fr.conserves =
+      result.requests_completed + result.requests_failed == result.requests_total;
+  return fr;
+}
+
+}  // namespace
+}  // namespace silica
+
+int main(int argc, char** argv) {
+  using namespace silica;
+  bool json = false;
+  uint64_t requests_per_shuttle = 150;
+  int reps = 3;
+  std::vector<int> fleets = {1, 8, 32, 128, 256};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      const long long n = std::atoll(argv[i] + 11);
+      if (n > 0) {
+        requests_per_shuttle = static_cast<uint64_t>(n);
+      }
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      const long long n = std::atoll(argv[i] + 7);
+      if (n > 0) {
+        reps = static_cast<int>(n);
+      }
+    } else if (std::strncmp(argv[i], "--fleets=", 9) == 0) {
+      fleets.clear();
+      for (const char* p = argv[i] + 9; *p != '\0';) {
+        fleets.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') {
+          ++p;
+        }
+        if (*p == ',') {
+          ++p;
+        }
+      }
+    }
+  }
+
+  std::vector<FleetResult> results;
+  for (int shuttles : fleets) {
+    results.push_back(RunFleet(shuttles, requests_per_shuttle, reps));
+    const FleetResult& fr = results.back();
+    if (!fr.conserves) {
+      std::fprintf(stderr,
+                   "bench_traffic: conservation violated at %d shuttles: "
+                   "completed %llu + failed %llu != total %llu\n",
+                   fr.shuttles, static_cast<unsigned long long>(fr.completed),
+                   static_cast<unsigned long long>(fr.failed),
+                   static_cast<unsigned long long>(fr.requests));
+      return 1;
+    }
+  }
+
+  // The tentpole gate: events/sec at the largest fleet stays within 2x of the
+  // small-fleet throughput (flat control-plane cost per event).
+  double eps_small = 0.0, eps_large = 0.0;
+  for (const auto& fr : results) {
+    if (fr.shuttles == 8) {
+      eps_small = fr.events_per_second;
+    }
+  }
+  if (!results.empty()) {
+    eps_large = results.back().events_per_second;
+    if (eps_small == 0.0) {
+      eps_small = results.front().events_per_second;
+    }
+  }
+  const double ratio = eps_small > 0.0 ? eps_large / eps_small : 0.0;
+
+  if (json) {
+    std::vector<std::string> items;
+    for (const auto& fr : results) {
+      items.push_back(JsonObject()
+                          .Field("shuttles", fr.shuttles)
+                          .Field("drives", fr.drives)
+                          .Field("platters", fr.platters)
+                          .Field("requests", fr.requests)
+                          .Field("completed", fr.completed)
+                          .Field("failed", fr.failed)
+                          .Field("events_executed", fr.events_executed)
+                          .Field("wall_seconds", fr.wall_seconds)
+                          .Field("events_per_second", fr.events_per_second)
+                          .Field("work_steals", fr.work_steals)
+                          .Field("congestion_stops", fr.congestion_stops)
+                          .Field("congestion_detours", fr.congestion_detours)
+                          .Field("repartitions", fr.repartitions)
+                          .Field("p999_completion_s", fr.p999_completion_s)
+                          .Field("conserves", fr.conserves)
+                          .Str());
+    }
+    std::printf("%s\n",
+                JsonObject()
+                    .Field("bench", "traffic")
+                    .Field("requests_per_shuttle", requests_per_shuttle)
+                    .FieldRaw("fleets", JsonArray(items))
+                    .Field("events_per_second_ratio_largest_vs_8", ratio)
+                    .Str()
+                    .c_str());
+    return 0;
+  }
+
+  Header("Traffic-manager scaling: sharded control plane, 1 -> 256 shuttles");
+  std::printf("%9s %7s %9s %9s %12s %11s %7s %8s %8s %7s\n", "shuttles",
+              "drives", "platters", "requests", "events", "events/s", "steals",
+              "detours", "stops", "repart");
+  for (const auto& fr : results) {
+    std::printf("%9d %7d %9llu %9llu %12llu %11.0f %7llu %8llu %8llu %7llu\n",
+                fr.shuttles, fr.drives,
+                static_cast<unsigned long long>(fr.platters),
+                static_cast<unsigned long long>(fr.requests),
+                static_cast<unsigned long long>(fr.events_executed),
+                fr.events_per_second,
+                static_cast<unsigned long long>(fr.work_steals),
+                static_cast<unsigned long long>(fr.congestion_detours),
+                static_cast<unsigned long long>(fr.congestion_stops),
+                static_cast<unsigned long long>(fr.repartitions));
+  }
+  std::printf("\nevents/sec at %d shuttles vs 8 shuttles: %.2fx "
+              "(the sharded control plane targets >= 0.5x)\n",
+              results.empty() ? 0 : results.back().shuttles, ratio);
+  return 0;
+}

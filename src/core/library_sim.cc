@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -13,12 +14,14 @@
 #include "common/units.h"
 #include "core/partitioning.h"
 #include "core/request_scheduler.h"
+#include "core/sharded_scheduler.h"
 #include "library/motion.h"
 #include "library/rail_traffic.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 
 namespace silica {
+
 namespace {
 
 using Policy = LibraryConfig::Policy;
@@ -149,6 +152,62 @@ struct ParentState {
   uint64_t up = 0;
   bool failed = false;
 };
+
+// Rejects malformed configurations up front with a message naming the
+// offending knob, instead of producing undefined behavior (or a crash deep in
+// partitioning) downstream. Mirrors SilicaService's ValidateConfig style.
+void ValidateLibrarySimConfig(const LibrarySimConfig& config) {
+  const LibraryConfig& lib = config.library;
+  const auto reject = [](const std::string& what) {
+    throw std::invalid_argument("LibrarySimConfig: " + what);
+  };
+  if (lib.num_shuttles < 1) {
+    reject("library.num_shuttles must be >= 1 (got " +
+           std::to_string(lib.num_shuttles) + ")");
+  }
+  if (lib.storage_racks < 1 || lib.shelves < 1 || lib.slots_per_shelf < 1) {
+    reject("library storage geometry (storage_racks, shelves, slots_per_shelf) "
+           "must all be >= 1 (got " + std::to_string(lib.storage_racks) + ", " +
+           std::to_string(lib.shelves) + ", " +
+           std::to_string(lib.slots_per_shelf) + ")");
+  }
+  if (lib.read_racks < 1 || lib.drives_per_read_rack < 1) {
+    reject("library read geometry (read_racks, drives_per_read_rack) must be "
+           ">= 1 (got " + std::to_string(lib.read_racks) + ", " +
+           std::to_string(lib.drives_per_read_rack) + ")");
+  }
+  if (!(lib.steal_threshold_bytes >= 0.0)) {  // also rejects NaN
+    reject("library.steal_threshold_bytes must be >= 0 (got " +
+           std::to_string(lib.steal_threshold_bytes) + ")");
+  }
+  if (lib.congestion_detour_shelves < 0) {
+    reject("library.congestion_detour_shelves must be >= 0 (got " +
+           std::to_string(lib.congestion_detour_shelves) + ")");
+  }
+  if (!(lib.repartition_interval_s >= 0.0)) {
+    reject("library.repartition_interval_s must be >= 0 (got " +
+           std::to_string(lib.repartition_interval_s) + ")");
+  }
+  if (lib.repartition_interval_s > 0.0) {
+    if (!(lib.repartition_ewma_alpha > 0.0) || lib.repartition_ewma_alpha > 1.0) {
+      reject("library.repartition_ewma_alpha must be in (0, 1] (got " +
+             std::to_string(lib.repartition_ewma_alpha) + ")");
+    }
+    if (!(lib.repartition_lo >= 0.0) || !(lib.repartition_hi > lib.repartition_lo)) {
+      reject("library repartition band needs 0 <= repartition_lo < "
+             "repartition_hi (got lo=" + std::to_string(lib.repartition_lo) +
+             ", hi=" + std::to_string(lib.repartition_hi) + ")");
+    }
+  }
+  if (!(config.write_surge_factor >= 1.0)) {
+    reject("write_surge_factor must be >= 1 (got " +
+           std::to_string(config.write_surge_factor) + ")");
+  }
+  if (!(config.write_surge_duration_s >= 0.0)) {
+    reject("write_surge_duration_s must be >= 0 (got " +
+           std::to_string(config.write_surge_duration_s) + ")");
+  }
+}
 
 // The whole simulation state machine. One instance per SimulateLibrary call.
 class Sim final : public FaultHost {
@@ -299,6 +358,39 @@ class Sim final : public FaultHost {
   void TryDispatchDrives();          // NS
   bool TryDispatchReturns(int p);
 
+  // ---- control-plane indices (sharded dispatch) ----
+  // Recomputes the partition's idle-shuttle membership in ready_partitions_.
+  void RecountPartitionIdle(int p);
+  // Call after any busy / failed flip of `shuttle`.
+  void NoteShuttleAvailability(const Shuttle& shuttle) {
+    if (partitioner_ != nullptr) {
+      RecountPartitionIdle(shuttle.partition);
+    }
+  }
+  // Call after any shuttle-failed or drive-down flip touching partition `p`.
+  void RefreshPartitionDistress(int p);
+  // Scripted shuttle loss (config.shuttle_failures / fleet_loss_fraction).
+  void ApplyScriptedShuttleFailure(int id);
+
+  // ---- dynamic repartitioning ----
+  void ScheduleRepartitionTick();
+  void RepartitionTick();
+  // Re-derives every platter's partition from the (shifted) rectangles and
+  // migrates queued requests between shards. Deterministic: a pure function of
+  // the partitioner state, applied in platter-id order.
+  void MigratePlatterPartitions();
+  // True while the run still has customer or write-pipeline work outstanding
+  // (used to stop self-rescheduling subsystems so the event queue can drain).
+  bool WorkloadUnresolved() const;
+  // Write-drive eject rate, scaled by the surge factor inside the surge window.
+  double EffectiveWriteRate() const;
+
+  // ---- congestion-aware routing ----
+  // Lane to traverse on for a move to (x, shelf): the target shelf itself, or —
+  // with congestion_aware_routing — the cheapest lane within the detour radius
+  // (projected queueing wait + expected time of the extra crabs).
+  int PickTravelLane(const Shuttle& shuttle, double x, int shelf);
+
   // ---- physical jobs ----
   struct Leg {
     double duration = 0.0;
@@ -360,6 +452,15 @@ class Sim final : public FaultHost {
     const auto& p = platters_[platter];
     return p.state == PlatterInfo::State::kStored && !p.unavailable && p.dark == 0;
   }
+  // Called after any mutation that can make `platter` accessible again (return
+  // to a storage slot, dark bit released). Such transitions are the only way a
+  // shard whose SelectPlatter came back empty can start yielding work without
+  // its queue changing, and only the shard queueing this platter is affected,
+  // so exactly that one scan memo drops. Queue mutations clear their own
+  // shard's memo inside the router.
+  void NoteAccessibilityImproved(uint64_t platter) {
+    sched_.ClearScanMemo(SchedulerOf(platter));
+  }
   int PickDriveNear(const std::vector<int>& candidates, double x) const;
   // True when every shuttle of the partition has failed: the controller lets
   // neighbours serve its queue (steals bypass the threshold) and its returns are
@@ -408,9 +509,91 @@ class Sim final : public FaultHost {
   std::vector<Shuttle> shuttles_;
   std::vector<Drive> drives_;
   std::unique_ptr<Partitioner> partitioner_;
-  std::vector<RequestScheduler> schedulers_;  // one per partition, or one global
+  // Per-partition scheduler shards behind the router (one shard for SP / NS).
+  // Every queue mutation goes through it so its donor heap stays current.
+  ShardedScheduler sched_;
   std::vector<std::vector<int>> partition_shuttles_;
   std::vector<std::deque<ReturnJob>> returns_;
+  // Total jobs across all returns_ queues, so a dispatch sweep can rule out
+  // return work everywhere with one load instead of touching every deque.
+  uint64_t returns_pending_ = 0;
+
+  // Idle-partition index: partitions with at least one idle (not busy, not
+  // failed) shuttle. TryDispatchAll visits only these plus the orphaned set —
+  // provably the same actions as the replaced full 0..P-1 scan, because within
+  // one dispatch sweep `busy` only flips idle -> busy, and a partition with
+  // live-but-busy shuttles dispatches nothing. Maintained at every busy /
+  // failed transition via NoteShuttleAvailability / RefreshPartitionDistress.
+  // Stored as sorted flat vectors: they are iterated on every dispatch sweep
+  // (hot at hundreds of shuttles) but mutated only on busy / orphan flips, so
+  // contiguous traversal beats a node-based set by a wide margin.
+  std::vector<int> ready_partitions_;
+  std::vector<int> orphaned_partitions_;
+  static void FlatSetInsert(std::vector<int>& v, int x) {
+    const auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it == v.end() || *it != x) {
+      v.insert(it, x);
+    }
+  }
+  static void FlatSetErase(std::vector<int>& v, int x) {
+    const auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it != v.end() && *it == x) {
+      v.erase(it);
+    }
+  }
+  // Distress flags: partition_distressed_[p] == PartitionOrphaned(p) ||
+  // PartitionDrivesDown(p), refreshed at every shuttle-failed / drive-down
+  // flip. While the count is zero the steal path can stop at the first donor
+  // below the byte threshold instead of enumerating every queue.
+  std::vector<uint8_t> partition_distressed_;
+  int distressed_count_ = 0;
+  std::vector<int> dispatch_scratch_;  // snapshot of partitions to visit
+  std::vector<std::vector<int>> drive_partitions_;  // drive -> owning partitions
+  // Drive-availability index for the partitioned sweep: a drive counts as
+  // available exactly when PickDriveNear could return it (alive, input slot
+  // free), and partition_avail_drives_[p] tallies the partition's available
+  // drives. A partition at zero cannot dispatch a fetch no matter what its
+  // queues hold — TryDispatchPartition returns before selecting — so the
+  // sweep skips it outright instead of re-proving the blockage through
+  // HomeOf + a candidate scan on every event of a saturated fleet.
+  std::vector<uint8_t> drive_avail_;
+  std::vector<int> partition_avail_drives_;
+  void NoteDriveAvailability(int d) {
+    if (partition_avail_drives_.empty()) {
+      return;  // SP / NS run without the partitioned drive index
+    }
+    const Drive& drive = drives_[static_cast<size_t>(d)];
+    const uint8_t avail = (!drive.down && !drive.input_reserved) ? 1 : 0;
+    if (drive_avail_[static_cast<size_t>(d)] == avail) {
+      return;
+    }
+    drive_avail_[static_cast<size_t>(d)] = avail;
+    const int delta = avail != 0 ? 1 : -1;
+    for (int p : drive_partitions_[static_cast<size_t>(d)]) {
+      partition_avail_drives_[static_cast<size_t>(p)] += delta;
+    }
+  }
+
+  // Per-sweep steal-scan memo. A failed donor scan is a pure read whose result
+  // depends only on the cut and on global queue/platter state: if a scan at
+  // cut C found no stealable target, any scan at cut' >= C fails too (fewer
+  // donors qualify, the per-donor accessibility test is thief-independent,
+  // and the thief's own queue was already rejected by its SelectPlatter).
+  // `steal_noop_cut_` records the smallest failed cut so the O(ready-
+  // partitions) idle fleets don't repeat the identical scan. It lives across
+  // sweeps: any dispatch action resets it directly, and the sweep prologue
+  // drops it whenever the router's mutation epoch moved or a distress flag
+  // flipped (the remaining inputs a donor scan reads).
+  static constexpr uint64_t kNoFailedStealScan =
+      std::numeric_limits<uint64_t>::max();
+  uint64_t steal_noop_cut_ = kNoFailedStealScan;
+  // Router mutation epoch at which steal_noop_cut_ was last known valid; the
+  // sweep drops the memo when the epochs diverge (see TryDispatchAll).
+  uint64_t steal_memo_epoch_ = 0;
+  void InvalidateStealScanMemo() { steal_noop_cut_ = kNoFailedStealScan; }
+
+  // Dynamic repartitioning policy state: queued-bytes EWMA per partition.
+  std::vector<double> partition_ewma_;
   std::unordered_map<uint64_t, ParentState> parents_;
   std::deque<uint64_t> eject_queue_;  // freshly written platters at the eject bay
   uint64_t next_sub_id_ = 1ull << 62;
@@ -545,9 +728,8 @@ void Sim::SetUpControlPlane() {
   }
 
   if (config_.library.policy == Policy::kNoShuttles) {
-    schedulers_.resize(1);
+    sched_.Init(1, platters_.size());
     returns_.resize(1);
-    schedulers_[0].ReservePlatters(platters_.size());
     return;
   }
 
@@ -557,9 +739,27 @@ void Sim::SetUpControlPlane() {
     // allows up to two shuttles per read drive) shuttles double up per partition.
     const int num_partitions = std::min(lib.num_shuttles, lib.num_read_drives());
     partitioner_ = std::make_unique<Partitioner>(panel_, num_partitions);
-    schedulers_.resize(static_cast<size_t>(partitioner_->size()));
+    sched_.Init(partitioner_->size(), platters_.size());
     returns_.resize(static_cast<size_t>(partitioner_->size()));
     partition_shuttles_.resize(static_cast<size_t>(partitioner_->size()));
+    partition_distressed_.assign(static_cast<size_t>(partitioner_->size()), 0);
+    partition_ewma_.assign(static_cast<size_t>(partitioner_->size()), 0.0);
+    drive_partitions_.assign(drives_.size(), {});
+    for (const auto& p : partitioner_->partitions()) {
+      for (int d : p.drives) {
+        drive_partitions_[static_cast<size_t>(d)].push_back(p.index);
+      }
+    }
+    drive_avail_.assign(drives_.size(), 0);
+    partition_avail_drives_.assign(static_cast<size_t>(partitioner_->size()), 0);
+    for (size_t d = 0; d < drives_.size(); ++d) {
+      if (!drives_[d].down && !drives_[d].input_reserved) {
+        drive_avail_[d] = 1;
+        for (int p : drive_partitions_[d]) {
+          ++partition_avail_drives_[static_cast<size_t>(p)];
+        }
+      }
+    }
     for (auto& p : platters_) {
       p.partition = partitioner_->PartitionOfSlot(p.x, p.shelf);
     }
@@ -574,8 +774,12 @@ void Sim::SetUpControlPlane() {
       shuttle.battery = lib.shuttle_battery_capacity;
       shuttle.rng = rng_.Fork(0x5105 + static_cast<uint64_t>(s));
     }
+    for (int p = 0; p < partitioner_->size(); ++p) {
+      RecountPartitionIdle(p);
+      RefreshPartitionDistress(p);
+    }
   } else {  // SP
-    schedulers_.resize(1);
+    sched_.Init(1, platters_.size());
     returns_.resize(1);
     for (int s = 0; s < lib.num_shuttles; ++s) {
       Shuttle& shuttle = shuttles_[static_cast<size_t>(s)];
@@ -590,10 +794,40 @@ void Sim::SetUpControlPlane() {
       shuttle.rng = rng_.Fork(0x5105 + static_cast<uint64_t>(s));
     }
   }
-  // Pre-size the schedulers' flat platter index: platter ids are dense layout
-  // indices, so each scheduler's slot table maps them without rehashing.
-  for (auto& scheduler : schedulers_) {
-    scheduler.ReservePlatters(platters_.size());
+}
+
+void Sim::RecountPartitionIdle(int p) {
+  int idle = 0;
+  for (int s : partition_shuttles_[static_cast<size_t>(p)]) {
+    const Shuttle& shuttle = shuttles_[static_cast<size_t>(s)];
+    if (!shuttle.busy && !shuttle.failed) {
+      ++idle;
+    }
+  }
+  if (idle > 0) {
+    FlatSetInsert(ready_partitions_, p);
+  } else {
+    FlatSetErase(ready_partitions_, p);
+  }
+}
+
+void Sim::RefreshPartitionDistress(int p) {
+  if (partitioner_ == nullptr) {
+    return;
+  }
+  const bool orphaned = PartitionOrphaned(p);
+  if (orphaned) {
+    FlatSetInsert(orphaned_partitions_, p);
+  } else {
+    FlatSetErase(orphaned_partitions_, p);
+  }
+  const bool distressed = orphaned || PartitionDrivesDown(p);
+  if (distressed != (partition_distressed_[static_cast<size_t>(p)] != 0)) {
+    partition_distressed_[static_cast<size_t>(p)] = distressed ? 1 : 0;
+    distressed_count_ += distressed ? 1 : -1;
+    // Distress widens the steal-donor set (distressed partitions are
+    // stealable below the threshold), so a cached dry scan no longer holds.
+    InvalidateStealScanMemo();
   }
 }
 
@@ -603,9 +837,7 @@ void Sim::SetUpTelemetry() {
   }
   sim_.SetTelemetry(tel_);
   rails_.SetTelemetry(tel_);
-  for (size_t s = 0; s < schedulers_.size(); ++s) {
-    schedulers_[s].SetTelemetry(tel_, static_cast<int>(s));
-  }
+  sched_.SetTelemetry(tel_);
 
   MetricsRegistry& metrics = tel_->metrics;
   c_steals_ = &metrics.GetCounter("library_work_steals_total");
@@ -720,12 +952,12 @@ void Sim::PublishSummaryMetrics() {
 void Sim::OnArrival(const ReadRequest& request) {
   tracer_->AsyncBegin(kTraceScheduler, request.id, sim_.Now(), "request");
   if (Servable(request.platter)) {
-    schedulers_[static_cast<size_t>(SchedulerOf(request.platter))].Submit(request);
+    sched_.Submit(SchedulerOf(request.platter), request);
   } else if (!FanOutRecovery(request)) {
     // No recovery candidate is readable right now (only possible under dynamic
     // faults). Park the request in its queue and probe with backoff: components
     // may heal before the controller must give the read up.
-    schedulers_[static_cast<size_t>(SchedulerOf(request.platter))].Submit(request);
+    sched_.Submit(SchedulerOf(request.platter), request);
     EnsureRetry(request.platter);
   }
   TryDispatchAll();
@@ -772,7 +1004,7 @@ bool Sim::FanOutRecovery(const ReadRequest& request) {
     // parent entry above keeps the original arrival for the latency stats.
     sub.arrival = sim_.Now();
     tracer_->AsyncBegin(kTraceScheduler, sub.id, sim_.Now(), "recovery_read");
-    schedulers_[static_cast<size_t>(SchedulerOf(sub.platter))].Submit(sub);
+    sched_.Submit(SchedulerOf(sub.platter), sub);
     ++result_.recovery_reads;
     if (c_recovery_reads_ != nullptr) {
       c_recovery_reads_->Increment();
@@ -791,9 +1023,85 @@ void Sim::TryDispatchAll() {
       TryDispatchGlobalShuttles();
       break;
     case Policy::kPartitioned:
-      for (int p = 0; p < partitioner_->size(); ++p) {
-        TryDispatchReturns(p);
-        TryDispatchPartition(p);
+      // Visit only partitions that can act: those with an idle shuttle, plus
+      // orphaned ones (their returns may be served by any idle shuttle). For
+      // every skipped partition the full scan this replaces was a no-op — it
+      // had live-but-busy shuttles and no way to free one mid-sweep (`busy`
+      // only flips idle -> busy inside a sweep; all idle-making transitions
+      // arrive as scheduled events). Snapshot first: dispatching mutates the
+      // ready set, and the old scan used the sweep-start membership. The
+      // scratch buffer is swapped out for the duration so a re-entrant sweep
+      // cannot clobber an in-progress iteration.
+      {
+        const bool prunable = !explicit_writes() && !ScrubAllowed();
+        // Global no-op precheck: with no queued returns anywhere and every
+        // nonzero shard scan-memo-dead, no partition can act — every own
+        // select and every steal scan is known fruitless, and the verify /
+        // scrub fallbacks are off. Three scalar loads retire the entire
+        // sweep, which is what holds the per-event cost flat through the
+        // congestion-heavy event mix of a large fleet (most events change
+        // neither queue content nor platter accessibility).
+        if (prunable && returns_pending_ == 0 &&
+            sched_.live_nonzero_shards() == 0) {
+          break;
+        }
+        std::vector<int> snapshot;
+        snapshot.swap(dispatch_scratch_);
+        snapshot.clear();
+        std::set_union(ready_partitions_.begin(), ready_partitions_.end(),
+                       orphaned_partitions_.begin(), orphaned_partitions_.end(),
+                       std::back_inserter(snapshot));
+        // The steal-cut memo survives sweeps whose inputs did not move: a
+        // failed donor scan stays failed until some queue or scan memo
+        // changes (the router's mutation epoch), a distress flag flips
+        // (invalidated at the flip), or a dispatch runs (invalidated at the
+        // action). Without this the first partition of every sweep repaid a
+        // full donor enumeration just to rediscover the same dry heap.
+        if (sched_.mutation_epoch() != steal_memo_epoch_) {
+          steal_memo_epoch_ = sched_.mutation_epoch();
+          InvalidateStealScanMemo();
+        }
+        // Inline no-op precheck, the scaling linchpin: a partition with an
+        // empty shard, no queued returns, and a steal cut the memo already
+        // proved fruitless can take no action whatsoever (idle or not), so
+        // the sweep touches three flat arrays and moves on. Only partitions
+        // with actual work — or verify / scrub fallback configured — pay for
+        // the full dispatch attempt.
+        const uint64_t empty_cut =
+            static_cast<uint64_t>(config_.library.steal_threshold_bytes);
+        for (int p : snapshot) {
+          // A partition with no available drive and no queued returns cannot
+          // act at all: TryDispatchPartition returns at the failed drive pick
+          // before reaching a select, a steal, or the verify / scrub
+          // fallbacks, and the returns path has nothing to serve. This is the
+          // saturated-fleet common case (every input slot of the shared read
+          // racks reserved), so it comes first.
+          if (partition_avail_drives_[static_cast<size_t>(p)] == 0 &&
+              returns_[static_cast<size_t>(p)].empty()) {
+            continue;
+          }
+          if (prunable && returns_[static_cast<size_t>(p)].empty()) {
+            const uint64_t qb = sched_.queued_bytes(p);
+            if ((qb == 0 || sched_.ScanKnownEmpty(p)) &&
+                (!config_.library.work_stealing ||
+                 qb + empty_cut >= steal_noop_cut_)) {
+              continue;
+            }
+          }
+          // Orphaned partitions have no working shuttles of their own; their
+          // queued returns are served by any idle shuttle, a path
+          // TryDispatchPartition cannot reach (it exits when the partition has
+          // no idle shuttle). Everyone else gets the identical returns-first
+          // check inside TryDispatchPartition, so the extra call here would
+          // repeat it verbatim.
+          if (!orphaned_partitions_.empty() &&
+              std::binary_search(orphaned_partitions_.begin(),
+                                 orphaned_partitions_.end(), p)) {
+            TryDispatchReturns(p);
+          }
+          TryDispatchPartition(p);
+        }
+        dispatch_scratch_.swap(snapshot);
       }
       break;
   }
@@ -833,8 +1141,24 @@ void Sim::TryDispatchPartition(int p) {
     TryDispatchPartition(p);  // another shuttle may still take a fetch
     return;
   }
+  const uint64_t cut =
+      sched_.queued_bytes(p) +
+      static_cast<uint64_t>(config_.library.steal_threshold_bytes);
+  if (sched_.queued_bytes(p) == 0 &&
+      (!config_.library.work_stealing || cut >= steal_noop_cut_) &&
+      !explicit_writes() && !ScrubAllowed()) {
+    // Provable no-op: the shard is empty (SelectPlatter on an empty queue
+    // yields nothing), the memo says a steal scan at this cut fails, and no
+    // verify / scrub fallback is configured. Skip the drive scan and the
+    // scheduler call — at large fleets this is the common case for every cold
+    // partition on every sweep, and it is what keeps the per-sweep cost
+    // proportional to actionable partitions rather than fleet size.
+    return;
+  }
+  if (partition_avail_drives_[static_cast<size_t>(p)] == 0) {
+    return;  // every drive blocked: the pick below could only fail
+  }
   const Partition& partition = partitioner_->partitions()[static_cast<size_t>(p)];
-  RequestScheduler& own = schedulers_[static_cast<size_t>(p)];
 
   const int drive = PickDriveNear(partition.drives, partitioner_->HomeOf(p).x);
   if (drive < 0) {
@@ -842,36 +1166,43 @@ void Sim::TryDispatchPartition(int p) {
   }
 
   auto accessible = [this](uint64_t platter) { return Accessible(platter); };
-  std::optional<uint64_t> target = own.SelectPlatter(accessible);
+  std::optional<uint64_t> target = sched_.ScanKnownEmpty(p)
+                                       ? std::nullopt
+                                       : sched_.SelectPlatter(p, accessible);
+  if (!target) {
+    sched_.NoteScanFailed(p);
+  }
   bool stolen = false;
 
-  if (!target && config_.library.work_stealing) {
+  if (!target && config_.library.work_stealing && cut < steal_noop_cut_) {
     // Work stealing (Section 4.1): when this partition is idle and others are
     // overloaded beyond the threshold, fetch from an overloaded partition and
-    // serve on our own drive. Donors are tried most-loaded first, skipping those
-    // whose queued work is all on inaccessible (mounted / in-flight) platters.
-    const uint64_t own_bytes = own.total_queued_bytes();
-    std::vector<std::pair<uint64_t, int>> donors;
-    for (int q = 0; q < partitioner_->size(); ++q) {
-      if (q == p) {
-        continue;
-      }
-      const uint64_t bytes = schedulers_[static_cast<size_t>(q)].total_queued_bytes();
-      // Partitions that cannot help themselves — all shuttles failed, or every
-      // read drive down — are stolen from unconditionally.
-      if (bytes > own_bytes + static_cast<uint64_t>(
-                                  config_.library.steal_threshold_bytes) ||
-          (bytes > 0 && (PartitionOrphaned(q) || PartitionDrivesDown(q)))) {
-        donors.emplace_back(bytes, q);
-      }
-    }
-    std::sort(donors.rbegin(), donors.rend());
-    for (const auto& [bytes, donor] : donors) {
-      target = schedulers_[static_cast<size_t>(donor)].SelectPlatter(accessible);
-      if (target) {
-        stolen = true;
-        break;
-      }
+    // serve on our own drive. Donors come off the sharded scheduler's lazy
+    // max-heap in the exact most-loaded-first order of the scan-and-sort this
+    // replaces; without distressed partitions the enumeration stops at the
+    // first donor under the threshold instead of visiting every queue.
+    sched_.ForEachDonor(
+        p, cut, distressed_count_ > 0, [&](uint64_t bytes, int q) {
+          // Partitions that cannot help themselves — all shuttles failed, or
+          // every read drive down — are stolen from unconditionally; anyone
+          // else must exceed the threshold. Donors whose queued work is all on
+          // inaccessible (mounted / in-flight) platters are skipped.
+          if (bytes <= cut &&
+              partition_distressed_[static_cast<size_t>(q)] == 0) {
+            return true;
+          }
+          target = sched_.ScanKnownEmpty(q)
+                       ? std::nullopt
+                       : sched_.SelectPlatter(q, accessible);
+          if (target) {
+            stolen = true;
+            return false;
+          }
+          sched_.NoteScanFailed(q);
+          return true;
+        });
+    if (!target) {
+      steal_noop_cut_ = std::min(steal_noop_cut_, cut);
     }
   }
   if (!target) {
@@ -894,16 +1225,22 @@ void Sim::TryDispatchPartition(int p) {
 
   platters_[*target].state = PlatterInfo::State::kTargeted;
   drives_[static_cast<size_t>(drive)].input_reserved = true;
+  NoteDriveAvailability(drive);
   shuttle.busy = true;
+  NoteShuttleAvailability(shuttle);
+  InvalidateStealScanMemo();
   StartFetch(shuttle, *target, drive);
 }
 
 void Sim::TryDispatchGlobalShuttles() {
-  RequestScheduler& scheduler = schedulers_[0];
   for (;;) {
     const auto target =
-        scheduler.SelectPlatter([this](uint64_t platter) { return Accessible(platter); });
+        sched_.ScanKnownEmpty(0)
+            ? std::nullopt
+            : sched_.SelectPlatter(
+                  0, [this](uint64_t platter) { return Accessible(platter); });
     if (!target) {
+      sched_.NoteScanFailed(0);
       if (explicit_writes()) {
         for (auto& s : shuttles_) {
           if (!s.busy && !s.failed && !TryDispatchVerifyWork(s, 0)) {
@@ -947,13 +1284,14 @@ void Sim::TryDispatchGlobalShuttles() {
     }
     platters_[*target].state = PlatterInfo::State::kTargeted;
     drives_[static_cast<size_t>(drive)].input_reserved = true;
+    NoteDriveAvailability(drive);
     best_shuttle->busy = true;
+    NoteShuttleAvailability(*best_shuttle);
     StartFetch(*best_shuttle, *target, drive);
   }
 }
 
 void Sim::TryDispatchDrives() {
-  RequestScheduler& scheduler = schedulers_[0];
   if (explicit_writes()) {
     for (auto& drive : drives_) {
       if (!eject_queue_.empty() && !drive.down && !drive.verify_present &&
@@ -975,7 +1313,7 @@ void Sim::TryDispatchDrives() {
       continue;
     }
     const auto target =
-        scheduler.SelectPlatter([this](uint64_t platter) { return Accessible(platter); });
+        sched_.SelectPlatter(0, [this](uint64_t platter) { return Accessible(platter); });
     if (!target) {
       break;
     }
@@ -983,6 +1321,7 @@ void Sim::TryDispatchDrives() {
     const uint64_t platter = *target;
     platters_[platter].state = PlatterInfo::State::kAtDrive;
     drive.input_reserved = true;
+    NoteDriveAvailability(drive.id);
     DeliverToDrive(drive.id, platter);
   }
   if (ScrubAllowed()) {
@@ -1041,35 +1380,51 @@ bool Sim::TryDispatchReturns(int p) {
   }
   const ReturnJob job = queue[job_index];
   queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(job_index));
+  --returns_pending_;
   shuttle->busy = true;
+  NoteShuttleAvailability(*shuttle);
+  InvalidateStealScanMemo();
   StartReturn(*shuttle, job);
   return true;
 }
 
 Sim::Leg Sim::Travel(Shuttle& shuttle, double x, int shelf) {
   Leg leg;
-  leg.crabs = std::abs(shelf - shuttle.shelf);
-  double crab_total = 0.0;
-  for (int c = 0; c < leg.crabs; ++c) {
-    crab_total += motion_.CrabTime(shuttle.rng);
+  // The traversal lane may differ from the destination shelf when the
+  // congestion-aware router finds a cheaper detour: crab to `lane`, run the
+  // horizontal leg there, crab the rest of the way. With routing off (or a
+  // vertical-only move) lane == shelf, the post-crab loop draws nothing, and
+  // the RNG consumption is identical to the pre-router model.
+  const int lane = PickTravelLane(shuttle, x, shelf);
+  const int pre_crabs = std::abs(lane - shuttle.shelf);
+  const int post_crabs = std::abs(shelf - lane);
+  leg.crabs = pre_crabs + post_crabs;
+  double pre_total = 0.0;
+  for (int c = 0; c < pre_crabs; ++c) {
+    pre_total += motion_.CrabTime(shuttle.rng);
   }
   leg.distance = std::fabs(x - shuttle.x);
   const double horizontal =
       motion_.HorizontalTravelTime(leg.distance, shuttle.rng);
-  leg.expected = crab_total + motion_.ExpectedHorizontalTravelTime(leg.distance);
+  double post_total = 0.0;
+  for (int c = 0; c < post_crabs; ++c) {
+    post_total += motion_.CrabTime(shuttle.rng);
+  }
+  leg.expected =
+      pre_total + post_total + motion_.ExpectedHorizontalTravelTime(leg.distance);
 
   if (leg.distance > 0.0) {
     const int from = panel_.SegmentOf(shuttle.x);
     const int to = panel_.SegmentOf(x);
     const int segments = std::abs(to - from) + 1;
-    const double start = sim_.Now() + crab_total;
-    const auto traversal = rails_.Traverse(shelf, from, to, start,
+    const double start = sim_.Now() + pre_total;
+    const auto traversal = rails_.Traverse(lane, from, to, start,
                                            horizontal / segments);
     leg.congestion = traversal.congestion_wait;
     leg.stops = traversal.stops;
-    leg.duration = crab_total + (traversal.arrive_time - start);
+    leg.duration = pre_total + (traversal.arrive_time - start) + post_total;
   } else {
-    leg.duration = crab_total;
+    leg.duration = pre_total + post_total;
   }
 
   shuttle.x = x;
@@ -1084,6 +1439,62 @@ Sim::Leg Sim::Travel(Shuttle& shuttle, double x, int shelf) {
                  {"stops", static_cast<double>(leg.stops)},
                  {"crabs", static_cast<double>(leg.crabs)}});
   return leg;
+}
+
+int Sim::PickTravelLane(const Shuttle& shuttle, double x, int shelf) {
+  if (!config_.library.congestion_aware_routing || x == shuttle.x) {
+    return shelf;
+  }
+  const int from = panel_.SegmentOf(shuttle.x);
+  const int to = panel_.SegmentOf(x);
+  const int segments = std::abs(to - from) + 1;
+  const double segment_time =
+      motion_.ExpectedHorizontalTravelTime(std::fabs(x - shuttle.x)) / segments;
+  const double crab_time = motion_.ExpectedCrabTime();
+  const int base_crabs = std::abs(shelf - shuttle.shelf);
+  // Fast path: a completely free target lane costs 0 (no extra crabs, no
+  // projected wait, no pressure), and 0 wins every strict-< comparison from
+  // the first candidate slot — identical to running the full loop.
+  {
+    const double start = sim_.Now() + base_crabs * crab_time;
+    const auto probe = rails_.Probe(shelf, from, to, start, segment_time);
+    if (probe.occupied == 0 && probe.wait == 0.0) {
+      return shelf;
+    }
+  }
+  // Candidate order (target shelf first, then nearer detours, minus before
+  // plus) with a strict < comparison makes ties resolve toward the target
+  // shelf, then toward the smaller detour, then toward the lower lane — a
+  // total order independent of evaluation noise.
+  int best_lane = shelf;
+  double best_cost = 1e300;
+  for (int d = 0; d <= config_.library.congestion_detour_shelves; ++d) {
+    for (int sign = 0; sign < (d == 0 ? 1 : 2); ++sign) {
+      const int lane = sign == 0 ? shelf - d : shelf + d;
+      if (lane < 0 || lane >= config_.library.shelves) {
+        continue;
+      }
+      const int crabs = std::abs(lane - shuttle.shelf) + std::abs(shelf - lane);
+      // Crabs to reach the lane happen before the traversal starts, so the
+      // reservation table is probed at the projected entry time.
+      const double start =
+          sim_.Now() + std::abs(lane - shuttle.shelf) * crab_time;
+      // Cost = extra crab time + the wait the reservation table already
+      // guarantees + a pressure term for segments that will be busy near our
+      // entry (they foreshadow id-priority backoff the projection can't see).
+      const auto probe = rails_.Probe(lane, from, to, start, segment_time);
+      const double cost = (crabs - base_crabs) * crab_time + probe.wait +
+                          0.25 * segment_time * probe.occupied;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_lane = lane;
+      }
+    }
+  }
+  if (best_lane != shelf) {
+    ++result_.congestion_detours;
+  }
+  return best_lane;
 }
 
 void Sim::RecordLeg(const Leg& leg) {
@@ -1181,6 +1592,7 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
           sim_.Schedule(leg_store.duration + place_store,
                         [this, &shuttle, job, return_span] {
         platters_[job.platter].state = PlatterInfo::State::kStored;
+        NoteAccessibilityImproved(job.platter);
         if (!job.scrub) {
           // Scrubbed platters were not just written: no verify turnaround to
           // record and no pipeline span to close.
@@ -1211,6 +1623,7 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
       const int p = partitioned() ? platters_[d.output_platter].partition : 0;
       returns_[static_cast<size_t>(p)].push_back(
           ReturnJob{.platter = d.output_platter, .drive = job.drive});
+      ++returns_pending_;
       TryStartSession(job.drive);
     }
 
@@ -1226,6 +1639,7 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
     shuttle.job_event =
         sim_.Schedule(leg2.duration + place, [this, &shuttle, job, return_span] {
           platters_[job.platter].state = PlatterInfo::State::kStored;
+          NoteAccessibilityImproved(job.platter);
           tracer_->EndSpan(return_span, sim_.Now());
           OnShuttleJobDone(shuttle);
         });
@@ -1257,11 +1671,13 @@ void Sim::OnShuttleJobDone(Shuttle& shuttle) {
       shuttle.job_event = Simulator::kInvalidEvent;
       shuttle.battery = capacity;
       shuttle.busy = false;
+      NoteShuttleAvailability(shuttle);
       TryDispatchAll();
     });
     return;
   }
   shuttle.busy = false;
+  NoteShuttleAvailability(shuttle);
   TryDispatchAll();
 }
 
@@ -1287,6 +1703,7 @@ void Sim::TryStartSession(int drive_id) {
   const uint64_t platter = drive.input_platter;
   drive.input_occupied = false;
   drive.input_reserved = false;  // the input station frees for the next fetch
+  NoteDriveAvailability(drive_id);
   drive.mounted = true;
   drive.mounted_platter = platter;
   drive.served_in_session = 0;
@@ -1313,14 +1730,12 @@ void Sim::ServeNext(int drive_id, uint64_t platter) {
     drive.resume_pending = true;
     return;
   }
-  RequestScheduler& scheduler = schedulers_[static_cast<size_t>(SchedulerOf(platter))];
-
   const bool grouping = config_.library.group_platter_requests;
   if (!grouping && drive.served_in_session > 0) {
     EndSession(drive_id, platter);
     return;
   }
-  auto taken = scheduler.TakeRequests(platter, /*all=*/false);
+  auto taken = sched_.TakeRequests(SchedulerOf(platter), platter, /*all=*/false);
   if (taken.empty()) {
     EndSession(drive_id, platter);
     return;
@@ -1393,6 +1808,7 @@ void Sim::EndSession(int drive_id, uint64_t platter) {
       if (d.down && platters_[platter].dark > 0) {
         --platters_[platter].dark;
       }
+      NoteAccessibilityImproved(platter);
       FinishUnmount(drive_id);
       return;
     }
@@ -1408,6 +1824,7 @@ void Sim::EndSession(int drive_id, uint64_t platter) {
       const int p = partitioned() ? platters_[platter].partition : 0;
       returns_[static_cast<size_t>(p)].push_back(
           ReturnJob{.platter = platter, .drive = drive_id});
+      ++returns_pending_;
     }
     FinishUnmount(drive_id);
   });
@@ -1492,6 +1909,7 @@ void Sim::OnVerifyComplete(int drive_id) {
   // staged copy can now be released.
   if (config_.library.policy == Policy::kNoShuttles) {
     platters_[drive.verify_platter].state = PlatterInfo::State::kStored;
+    NoteAccessibilityImproved(drive.verify_platter);
     const double turnaround =
         sim_.Now() - platters_[drive.verify_platter].created_at;
     result_.verify_turnaround.Add(turnaround);
@@ -1505,6 +1923,7 @@ void Sim::OnVerifyComplete(int drive_id) {
     const int p = partitioned() ? platters_[drive.verify_platter].partition : 0;
     returns_[static_cast<size_t>(p)].push_back(ReturnJob{
         .platter = drive.verify_platter, .drive = drive_id, .verify_slot = true});
+    ++returns_pending_;
   }
   MaybeStopInjecting();
   TryDispatchAll();
@@ -1555,10 +1974,20 @@ void Sim::ProduceWrittenPlatter() {
   }
   TryDispatchAll();
 
-  const double interval = 3600.0 / config_.write_platters_per_hour;
+  const double interval = 3600.0 / EffectiveWriteRate();
   if (sim_.Now() + interval <= config_.write_until) {
     sim_.Schedule(interval, [this] { ProduceWrittenPlatter(); });
   }
+}
+
+double Sim::EffectiveWriteRate() const {
+  double rate = config_.write_platters_per_hour;
+  if (config_.write_surge_factor != 1.0 &&
+      sim_.Now() >= config_.write_surge_start_s &&
+      sim_.Now() < config_.write_surge_start_s + config_.write_surge_duration_s) {
+    rate *= config_.write_surge_factor;
+  }
+  return rate;
 }
 
 bool Sim::TryDispatchVerifyWork(Shuttle& shuttle, int partition) {
@@ -1593,6 +2022,8 @@ bool Sim::TryDispatchVerifyWork(Shuttle& shuttle, int partition) {
   eject_queue_.pop_front();
   drives_[static_cast<size_t>(target_drive)].verify_incoming = true;
   shuttle.busy = true;
+  NoteShuttleAvailability(shuttle);
+  InvalidateStealScanMemo();
   StartVerifyDelivery(shuttle, platter, target_drive);
   return true;
 }
@@ -1722,6 +2153,8 @@ bool Sim::TryDispatchScrubWork(Shuttle& shuttle, int partition) {
   platters_[*target].state = PlatterInfo::State::kTargeted;
   drives_[static_cast<size_t>(target_drive)].verify_incoming = true;
   shuttle.busy = true;
+  NoteShuttleAvailability(shuttle);
+  InvalidateStealScanMemo();
   StartScrubFetch(shuttle, *target, target_drive);
   return true;
 }
@@ -1876,6 +2309,7 @@ void Sim::FinishScrub(int drive_id) {
   drive.verify_present = false;
   if (config_.library.policy == Policy::kNoShuttles) {
     platters_[platter].state = PlatterInfo::State::kStored;
+    NoteAccessibilityImproved(platter);
   } else {
     // The platter waits in the verify slot for a shuttle to store it, exactly
     // like a freshly verified written platter.
@@ -1884,6 +2318,7 @@ void Sim::FinishScrub(int drive_id) {
     returns_[static_cast<size_t>(p)].push_back(
         ReturnJob{.platter = platter, .drive = drive_id, .verify_slot = true,
                   .scrub = true});
+    ++returns_pending_;
   }
   TryDispatchAll();
 }
@@ -1958,7 +2393,7 @@ void Sim::TryRebuildReads(uint64_t platter) {
     sub.bytes = bytes;  // a rebuild streams each peer's full payload
     sub.arrival = sim_.Now();
     tracer_->AsyncBegin(kTraceScheduler, sub.id, sim_.Now(), "recovery_read");
-    schedulers_[static_cast<size_t>(SchedulerOf(sub.platter))].Submit(sub);
+    sched_.Submit(SchedulerOf(sub.platter), sub);
     ++result_.scrub.rebuild_reads;
     if (c_rebuild_reads_ != nullptr) {
       c_rebuild_reads_->Increment();
@@ -2005,6 +2440,7 @@ void Sim::CompleteRebuild(uint64_t platter) {
   if (platters_[platter].dark > 0) {
     --platters_[platter].dark;
   }
+  NoteAccessibilityImproved(platter);
   result_.scrub.ledger.Add(RepairTier::kPlatterSet, sectors);
   if (c_repair_sectors_[kNumRepairTiers - 1] != nullptr) {
     c_repair_sectors_[kNumRepairTiers - 1]->Increment(
@@ -2026,6 +2462,7 @@ void Sim::FailRebuild(uint64_t platter) {
   if (platters_[platter].dark > 0) {
     --platters_[platter].dark;
   }
+  NoteAccessibilityImproved(platter);
   result_.scrub.ledger.unrecoverable += sectors;
   result_.scrub.ledger.bytes_lost +=
       sectors * static_cast<uint64_t>(config_.media.payload_bytes_per_sector());
@@ -2127,10 +2564,13 @@ void Sim::AbortShuttleJob(Shuttle& shuttle) {
     case Shuttle::Job::kFetchGo:
       // The platter was never picked: it is still in its slot.
       platters_[shuttle.job_platter].state = PlatterInfo::State::kStored;
+      NoteAccessibilityImproved(shuttle.job_platter);
       drives_[static_cast<size_t>(shuttle.job_drive)].input_reserved = false;
+      NoteDriveAvailability(shuttle.job_drive);
       break;
     case Shuttle::Job::kFetchCarry:
       drives_[static_cast<size_t>(shuttle.job_drive)].input_reserved = false;
+      NoteDriveAvailability(shuttle.job_drive);
       StrandPlatter(shuttle.job_platter, StrandKind::kStore);
       break;
     case Shuttle::Job::kReturnGo: {
@@ -2138,6 +2578,7 @@ void Sim::AbortShuttleJob(Shuttle& shuttle) {
       const ReturnJob& job_back = shuttle.job_return;
       const int p = partitioned() ? platters_[job_back.platter].partition : 0;
       returns_[static_cast<size_t>(p)].push_front(job_back);
+      ++returns_pending_;
       if (drives_[static_cast<size_t>(job_back.drive)].down) {
         // Re-enters a sealed drive's queue (the shuttle had picked the job
         // before the drive died): mark the platter captive so the repair-time
@@ -2166,6 +2607,7 @@ void Sim::AbortShuttleJob(Shuttle& shuttle) {
       // The scrub target was never picked: it stays in its slot and becomes
       // eligible for the next scrub dispatch.
       platters_[shuttle.job_platter].state = PlatterInfo::State::kStored;
+      NoteAccessibilityImproved(shuttle.job_platter);
       drives_[static_cast<size_t>(shuttle.job_drive)].verify_incoming = false;
       break;
     case Shuttle::Job::kScrubCarry:
@@ -2187,6 +2629,7 @@ void Sim::StrandPlatter(uint64_t platter, StrandKind kind) {
   sim_.Schedule(config_.faults.stranded_recovery_s, [this, platter, kind] {
     PlatterInfo& p = platters_[platter];
     --p.dark;
+    NoteAccessibilityImproved(platter);
     ++result_.faults.stranded_recoveries;
     if (c_stranded_ != nullptr) {
       c_stranded_->Increment();
@@ -2226,6 +2669,8 @@ void Sim::OnShuttleDown(int s) {
     AbortShuttleJob(shuttle);
     shuttle.busy = false;
   }
+  NoteShuttleAvailability(shuttle);
+  RefreshPartitionDistress(shuttle.partition);
   if (config_.faults.shuttle.repair == nullptr && !shuttles_.empty()) {
     // Fail-stop fleet loss: once no shuttle can ever return, nothing makes
     // progress, so keeping the other renewal processes alive would only keep
@@ -2248,6 +2693,8 @@ void Sim::OnShuttleRepaired(int s) {
   shuttle.failed = false;
   shuttle.busy = false;
   shuttle.battery = config_.library.shuttle_battery_capacity;  // serviced too
+  NoteShuttleAvailability(shuttle);
+  RefreshPartitionDistress(shuttle.partition);
   TryDispatchAll();
 }
 
@@ -2256,14 +2703,19 @@ void Sim::OnDriveDown(int d) {
   tracer_->AsyncBegin(kTraceFaults, 0xD0000000ull + static_cast<uint64_t>(d),
                       sim_.Now(), "drive_outage");
   drive.down = true;
+  NoteDriveAvailability(d);
+  if (partitioner_ != nullptr) {
+    for (int p : drive_partitions_[static_cast<size_t>(d)]) {
+      RefreshPartitionDistress(p);
+    }
+  }
   // Abort the in-flight customer read, refund its unspent seconds, and put the
   // request back at the head of its platter group (arrival order preserved).
   if (drive.read_event != Simulator::kInvalidEvent) {
     sim_.Cancel(drive.read_event);
     drive.read_event = Simulator::kInvalidEvent;
     drive.read_s -= std::max(0.0, drive.read_started + drive.read_cost - sim_.Now());
-    schedulers_[static_cast<size_t>(SchedulerOf(drive.inflight.platter))]
-        .Requeue(drive.inflight);
+    sched_.Requeue(SchedulerOf(drive.inflight.platter), drive.inflight);
     drive.resume_pending = true;
   }
   PauseVerifyClock(d);
@@ -2291,11 +2743,18 @@ void Sim::OnDriveRepaired(int d) {
     return;
   }
   drive.down = false;
+  NoteDriveAvailability(d);
   tracer_->AsyncEnd(kTraceFaults, 0xD0000000ull + static_cast<uint64_t>(d),
                     sim_.Now(), "drive_outage");
+  if (partitioner_ != nullptr) {
+    for (int p : drive_partitions_[static_cast<size_t>(d)]) {
+      RefreshPartitionDistress(p);
+    }
+  }
   ForEachPlatterInDrive(drive, [this](uint64_t platter) {
     if (platters_[platter].dark > 0) {
       --platters_[platter].dark;
+      NoteAccessibilityImproved(platter);
     }
   });
   if (drive.mounted && drive.resume_pending) {
@@ -2339,6 +2798,7 @@ void Sim::OnRackDown(int r) {
     }
     AbortShuttleJob(shuttle);  // state -> kStored, input reservation freed
     shuttle.busy = false;
+    NoteShuttleAvailability(shuttle);
     ++platters_[platter].dark;
     darkened.push_back(platter);
     EnsureRetry(platter);
@@ -2353,6 +2813,7 @@ void Sim::OnRackRepaired(int r) {
   for (uint64_t platter : darkened) {
     if (platters_[platter].dark > 0) {
       --platters_[platter].dark;
+      NoteAccessibilityImproved(platter);
     }
   }
   darkened.clear();
@@ -2364,7 +2825,7 @@ void Sim::EnsureRetry(uint64_t platter) {
     return;
   }
   if (Servable(platter) ||
-      !schedulers_[static_cast<size_t>(SchedulerOf(platter))].HasRequests(platter)) {
+      !sched_.HasRequests(SchedulerOf(platter), platter)) {
     return;
   }
   retry_pending_.insert(platter);
@@ -2384,7 +2845,7 @@ void Sim::OnRetryProbe(uint64_t platter, int attempt) {
   if (c_dark_retries_ != nullptr) {
     c_dark_retries_->Increment();
   }
-  if (!schedulers_[static_cast<size_t>(SchedulerOf(platter))].HasRequests(platter)) {
+  if (!sched_.HasRequests(SchedulerOf(platter), platter)) {
     retry_pending_.erase(platter);  // served or converted through another path
     return;
   }
@@ -2405,8 +2866,7 @@ void Sim::ConvertToRecovery(uint64_t platter) {
   // The backoff budget ran out: the platter's queued reads amplify into
   // platter-set recovery, exactly as a statically unavailable platter's do at
   // arrival. A read with no readable candidates either is given up on.
-  auto taken = schedulers_[static_cast<size_t>(SchedulerOf(platter))].TakeRequests(
-      platter, /*all=*/true);
+  auto taken = sched_.TakeRequests(SchedulerOf(platter), platter, /*all=*/true);
   tracer_->Instant(kTraceFaults, faults_track_, sim_.Now(), "convert_to_recovery",
                    {{"platter", static_cast<double>(platter)},
                     {"requests", static_cast<double>(taken.size())}});
@@ -2422,22 +2882,104 @@ void Sim::ConvertToRecovery(uint64_t platter) {
   TryDispatchAll();
 }
 
-void Sim::MaybeStopInjecting() {
-  if (injector_ == nullptr) {
-    return;
-  }
+bool Sim::WorkloadUnresolved() const {
   if (result_.requests_completed + result_.requests_failed <
       result_.requests_total) {
-    return;
+    return true;
   }
   if (explicit_writes()) {
-    const double interval = 3600.0 / config_.write_platters_per_hour;
+    const double interval = 3600.0 / EffectiveWriteRate();
     if (result_.platters_verified < result_.platters_written ||
         sim_.Now() + interval <= config_.write_until) {
-      return;  // the write pipeline is still producing or verifying
+      return true;  // the write pipeline is still producing or verifying
     }
   }
+  return false;
+}
+
+void Sim::MaybeStopInjecting() {
+  if (injector_ == nullptr || WorkloadUnresolved()) {
+    return;
+  }
   injector_->StopInjecting();
+}
+
+void Sim::ApplyScriptedShuttleFailure(int id) {
+  shuttles_[static_cast<size_t>(id)].failed = true;
+  NoteShuttleAvailability(shuttles_[static_cast<size_t>(id)]);
+  RefreshPartitionDistress(shuttles_[static_cast<size_t>(id)].partition);
+  TryDispatchAll();  // remaining shuttles pick up the slack
+}
+
+void Sim::ScheduleRepartitionTick() {
+  sim_.Schedule(config_.library.repartition_interval_s,
+                [this] { RepartitionTick(); });
+}
+
+void Sim::RepartitionTick() {
+  const int n = partitioner_->size();
+  const double alpha = config_.library.repartition_ewma_alpha;
+  double total = 0.0;
+  for (int p = 0; p < n; ++p) {
+    partition_ewma_[static_cast<size_t>(p)] =
+        (1.0 - alpha) * partition_ewma_[static_cast<size_t>(p)] +
+        alpha * static_cast<double>(sched_.queued_bytes(p));
+    total += partition_ewma_[static_cast<size_t>(p)];
+  }
+  const double mean = total / static_cast<double>(n);
+  if (mean > 0.0) {
+    // Hottest partition (first wins ties — index order, deterministic).
+    int hot = -1;
+    double hot_ewma = 0.0;
+    for (int p = 0; p < n; ++p) {
+      if (partition_ewma_[static_cast<size_t>(p)] > hot_ewma) {
+        hot_ewma = partition_ewma_[static_cast<size_t>(p)];
+        hot = p;
+      }
+    }
+    if (hot >= 0 && hot_ewma > config_.library.repartition_hi * mean) {
+      // Coldest qualifying same-row neighbour (left wins ties via <).
+      int cold = -1;
+      double cold_ewma = 1e300;
+      for (int cand : {partitioner_->LeftNeighborOf(hot),
+                       partitioner_->RightNeighborOf(hot)}) {
+        if (cand < 0) {
+          continue;
+        }
+        const double e = partition_ewma_[static_cast<size_t>(cand)];
+        if (e < config_.library.repartition_lo * mean && e < cold_ewma) {
+          cold_ewma = e;
+          cold = cand;
+        }
+      }
+      if (cold >= 0 && partitioner_->ShiftBoundary(hot, cold)) {
+        ++result_.repartitions;
+        result_.repartition_history.push_back({sim_.Now(), hot, cold});
+        tracer_->Instant(kTraceScheduler, sched_track_, sim_.Now(),
+                         "repartition",
+                         {{"hot", static_cast<double>(hot)},
+                          {"cold", static_cast<double>(cold)}});
+        MigratePlatterPartitions();
+        TryDispatchAll();
+      }
+    }
+  }
+  if (WorkloadUnresolved()) {
+    ScheduleRepartitionTick();
+  }
+}
+
+void Sim::MigratePlatterPartitions() {
+  for (uint64_t i = 0; i < platters_.size(); ++i) {
+    PlatterInfo& info = platters_[i];
+    const int now_p = partitioner_->PartitionOfSlot(info.x, info.shelf);
+    if (now_p == info.partition) {
+      continue;
+    }
+    const int from = info.partition;
+    info.partition = now_p;
+    sched_.MigrateQueue(i, from, now_p);
+  }
 }
 
 LibrarySimResult Sim::Run() {
@@ -2466,11 +3008,49 @@ LibrarySimResult Sim::Run() {
   }
   for (const auto& [when, id] : config_.shuttle_failures) {
     if (id >= 0 && id < static_cast<int>(shuttles_.size())) {
-      sim_.ScheduleAt(when, [this, id = id] {
-        shuttles_[static_cast<size_t>(id)].failed = true;
-        TryDispatchAll();  // remaining shuttles pick up the slack
-      });
+      sim_.ScheduleAt(when, [this, id = id] { ApplyScriptedShuttleFailure(id); });
     }
+  }
+  if (config_.fleet_loss_fraction != 0.0) {
+    if (config_.fleet_loss_fraction < 0.0 || config_.fleet_loss_fraction >= 1.0) {
+      throw std::invalid_argument("Sim: fleet_loss_fraction must be in [0, 1)");
+    }
+    // Highest ids first, so survivors keep their partition assignments.
+    const int lost = static_cast<int>(config_.fleet_loss_fraction *
+                                      static_cast<double>(shuttles_.size()));
+    for (int i = 0; i < lost; ++i) {
+      const int id = static_cast<int>(shuttles_.size()) - 1 - i;
+      sim_.ScheduleAt(0.0, [this, id] { ApplyScriptedShuttleFailure(id); });
+    }
+  }
+  if (config_.blackout_partition >= 0) {
+    if (!partitioned() || config_.blackout_partition >= partitioner_->size()) {
+      throw std::invalid_argument(
+          "Sim: blackout_partition needs the partitioned policy and a valid "
+          "partition index");
+    }
+    if (config_.blackout_duration_s <= 0.0) {
+      throw std::invalid_argument("Sim: blackout_duration_s must be > 0");
+    }
+    const std::vector<int> blackout_drives =
+        partitioner_->partitions()[static_cast<size_t>(config_.blackout_partition)]
+            .drives;
+    sim_.ScheduleAt(config_.blackout_start_s, [this, blackout_drives] {
+      for (int d : blackout_drives) {
+        if (!drives_[static_cast<size_t>(d)].down) {
+          OnDriveDown(d);
+        }
+      }
+    });
+    sim_.ScheduleAt(config_.blackout_start_s + config_.blackout_duration_s,
+                    [this, blackout_drives] {
+                      for (int d : blackout_drives) {
+                        OnDriveRepaired(d);  // no-op if it was already down
+                      }
+                    });
+  }
+  if (partitioned() && config_.library.repartition_interval_s > 0.0) {
+    ScheduleRepartitionTick();
   }
   if (injector_ != nullptr &&
       (result_.requests_total > 0 || explicit_writes())) {
@@ -2478,7 +3058,7 @@ LibrarySimResult Sim::Run() {
     // keep the event queue alive forever.
     injector_->Start();
   }
-  sim_.Run();
+  result_.events_executed = sim_.Run();
 
   // Flush drive ledgers to the makespan.
   const double end = std::max(result_.makespan, sim_.Now());
@@ -2548,6 +3128,7 @@ LibrarySimResult Sim::Run() {
 
 LibrarySimResult SimulateLibrary(const LibrarySimConfig& config,
                                  const ReadTrace& trace) {
+  ValidateLibrarySimConfig(config);
   Sim sim(config, trace);
   return sim.Run();
 }

@@ -66,6 +66,26 @@ struct LibrarySimConfig {
   // blast-zone unavailability is modeled separately via unavailable_fraction.
   std::vector<std::pair<double, int>> shuttle_failures;
 
+  // Scenario knobs for stress experiments (all default-off => byte-identical
+  // event order to a build without them).
+  //
+  // Fleet loss: this fraction of the shuttle fleet (highest ids first, so the
+  // survivors keep their partition assignments) fails at t = 0, exercising the
+  // orphaned-partition steal path at scale.
+  double fleet_loss_fraction = 0.0;
+  // Partition blackout: every read drive of the partition goes down at
+  // blackout_start_s and is repaired blackout_duration_s later. Requires the
+  // partitioned policy; -1 disables.
+  int blackout_partition = -1;
+  double blackout_start_s = 0.0;
+  double blackout_duration_s = 0.0;
+  // Write-rack surge: within [start, start + duration) the write drive ejects
+  // platters at write_platters_per_hour * write_surge_factor, colliding the
+  // verify pipeline with the read burst. Factor 1 disables.
+  double write_surge_start_s = 0.0;
+  double write_surge_duration_s = 0.0;
+  double write_surge_factor = 1.0;
+
   // Dynamic fault injection (src/faults): time-varying shuttle breakdowns
   // (aborted mid-transit), read-drive failures (sessions resume on repair), and
   // rack/blast-zone outages (resident platters go dark and reads amplify into
@@ -114,6 +134,21 @@ struct LibrarySimResult {
 
   uint64_t work_steals = 0;
   uint64_t shuttle_recharges = 0;
+
+  // Control-plane scale accounting. `events_executed` is the simulator's event
+  // count for the run (the numerator of bench_traffic's events/sec).
+  // `congestion_detours` counts traversals the congestion-aware router sent
+  // down a lane other than the target shelf's. Repartition steps record the
+  // dynamic split/merge history in execution order.
+  uint64_t events_executed = 0;
+  uint64_t congestion_detours = 0;
+  uint64_t repartitions = 0;
+  struct RepartitionEvent {
+    double time = 0.0;
+    int hot = 0;
+    int cold = 0;
+  };
+  std::vector<RepartitionEvent> repartition_history;
 
   // Dynamic fault injection and degraded-mode bookkeeping. `amplified_requests`
   // counts logical reads served through cross-platter recovery fan-out (static

@@ -151,6 +151,68 @@ int Partitioner::PartitionOfSlot(double x, int shelf) const {
   return best;
 }
 
+namespace {
+// Rectangles narrower than this cannot shed another quarter-width slice: a
+// partition must keep at least a shuttle-body's worth of storage columns.
+constexpr double kMinPartitionWidthM = 0.6;
+}  // namespace
+
+int Partitioner::LeftNeighborOf(int partition) const {
+  const Partition& p = partitions_[static_cast<size_t>(partition)];
+  for (const auto& q : partitions_) {
+    if (q.index != p.index && q.side == p.side && q.shelf_min == p.shelf_min &&
+        q.shelf_max == p.shelf_max && q.x_max == p.x_min) {
+      return q.index;
+    }
+  }
+  return -1;
+}
+
+int Partitioner::RightNeighborOf(int partition) const {
+  const Partition& p = partitions_[static_cast<size_t>(partition)];
+  for (const auto& q : partitions_) {
+    if (q.index != p.index && q.side == p.side && q.shelf_min == p.shelf_min &&
+        q.shelf_max == p.shelf_max && q.x_min == p.x_max) {
+      return q.index;
+    }
+  }
+  return -1;
+}
+
+bool Partitioner::ShiftBoundary(int hot, int cold) {
+  if (hot < 0 || cold < 0 || hot == cold || hot >= size() || cold >= size()) {
+    return false;
+  }
+  Partition& h = partitions_[static_cast<size_t>(hot)];
+  Partition& c = partitions_[static_cast<size_t>(cold)];
+  if (h.side != c.side || h.shelf_min != c.shelf_min ||
+      h.shelf_max != c.shelf_max) {
+    return false;
+  }
+  const double width = h.x_max - h.x_min;
+  const double step = 0.25 * width;
+  if (width - step < kMinPartitionWidthM) {
+    return false;
+  }
+  // Boundaries of same-row neighbours stay exactly equal (the shifted edge is
+  // assigned to both rectangles), so the == adjacency tests above remain exact
+  // across any number of shifts.
+  double boundary = 0.0;
+  if (c.x_max == h.x_min) {  // cold on the left: its rectangle grows rightward
+    boundary = h.x_min + step;
+    h.x_min = boundary;
+    c.x_max = boundary;
+  } else if (c.x_min == h.x_max) {  // cold on the right
+    boundary = h.x_max - step;
+    h.x_max = boundary;
+    c.x_min = boundary;
+  } else {
+    return false;
+  }
+  history_.push_back(RebalanceStep{hot, cold, boundary});
+  return true;
+}
+
 DrivePosition Partitioner::HomeOf(int partition) const {
   const auto& p = partitions_.at(static_cast<size_t>(partition));
   DrivePosition home;

@@ -29,6 +29,16 @@ struct Partition {
   }
 };
 
+// One dynamic-repartitioning step: a slice of the hot partition's rectangle was
+// split off and merged into the cold same-row neighbour, moving the shared
+// boundary to `boundary_x`. The history is a pure function of the step sequence
+// (no hidden state), which is what the 50-seed determinism tests pin.
+struct RebalanceStep {
+  int hot = 0;
+  int cold = 0;
+  double boundary_x = 0.0;
+};
+
 class Partitioner {
  public:
   // Builds n partitions over the panel. Throws if n exceeds twice the read drive
@@ -46,8 +56,27 @@ class Partitioner {
   // its storage rectangle.
   DrivePosition HomeOf(int partition) const;
 
+  // Same-row neighbours of `partition` (same side and shelf band, rectangles
+  // sharing the x-boundary). -1 when the partition sits at the row edge.
+  int LeftNeighborOf(int partition) const;
+  int RightNeighborOf(int partition) const;
+
+  // Splits a quarter of the hot partition's width off and merges it into the
+  // cold same-row neighbour (the shared boundary moves toward the hot side).
+  // Returns false — and changes nothing — when the two are not same-row
+  // neighbours or the hot rectangle is already at the minimum width. On
+  // success the step is appended to rebalance_history(). Drive assignments are
+  // untouched: only the storage rectangles (and thus the platter -> partition
+  // map) move.
+  bool ShiftBoundary(int hot, int cold);
+
+  const std::vector<RebalanceStep>& rebalance_history() const {
+    return history_;
+  }
+
  private:
   std::vector<Partition> partitions_;
+  std::vector<RebalanceStep> history_;
 };
 
 }  // namespace silica

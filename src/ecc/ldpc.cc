@@ -451,7 +451,16 @@ LdpcCode::DecodeResult LdpcCode::Decode(std::span<const float> llr,
   // scalar tier exactly. Checks are still processed sequentially — only the
   // intra-check edge loop is vectorized — which preserves the layered message
   // schedule (later checks see this check's posterior updates).
+  //
+  // Profitability gate: the kernel's fixed costs (gather latency, horizontal
+  // min reduction, scalar scatter of each 8-lane block) only amortize once a
+  // check spans several full vector blocks. Column-weight-3 codes at rate 3/4
+  // have check degree ~12 — one vector block plus a tail — where the kernel
+  // measured ~15% slower than the inline loops, so low-degree checks dispatch
+  // per-op to the inline scalar path. Both paths are bit-identical, so the
+  // threshold only affects throughput, never output bytes.
   const auto check_node_kernel = ActiveKernels().ldpc_check_node;
+  constexpr uint32_t kCheckNodeKernelMinDegree = 24;  // >= 3 vector blocks
 
   for (int iter = 1; iter <= max_iterations; ++iter) {
     // Check-node update (min-sum): for each check, compute extrinsic messages from
@@ -460,7 +469,8 @@ LdpcCode::DecodeResult LdpcCode::Decode(std::span<const float> llr,
       const uint32_t begin = check_offsets_[c];
       const uint32_t end = check_offsets_[c + 1];
       const uint32_t deg = end - begin;
-      if (check_node_kernel != nullptr && deg <= 64) {
+      if (check_node_kernel != nullptr && deg >= kCheckNodeKernelMinDegree &&
+          deg <= 64) {
         // Kernel preconditions hold: construction gives each variable distinct
         // checks, so a check's edge slice never repeats a variable, and check
         // degrees are far below 64 for all supported code shapes.

@@ -72,7 +72,9 @@ struct Gf256Kernels {
   // Returns the updated hard decisions: bit j = (posterior[vars[j]] < 0).
   // Preconditions: deg <= 64 and vars[0..deg) are distinct (both guaranteed by
   // the CSR construction; the decoder falls back inline otherwise). Null for
-  // tiers without a vectorized min-sum.
+  // tiers without a vectorized min-sum. The decoder additionally gates calls on
+  // a minimum degree: below a few full vector blocks the kernel's fixed costs
+  // exceed the inline loop, so low-degree checks stay scalar per-op.
   uint64_t (*ldpc_check_node)(float* posterior, float* msgs,
                               const uint32_t* vars, uint32_t deg,
                               float normalization);

@@ -60,6 +60,9 @@ class MotionModel {
   double ExpectedHorizontalTravelTime(double distance_m) const;
 
   double CrabTime(Rng& rng) const;       // one rail transition
+  // Deterministic expected crab time (the distribution's center), used by the
+  // congestion-aware router to cost candidate detour lanes without drawing RNG.
+  double ExpectedCrabTime() const { return params_.crab_median_s; }
   double PickTime(Rng& rng) const;
   double PlaceTime(Rng& rng) const;
   double MountTime() const { return params_.mount_s; }

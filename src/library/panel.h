@@ -54,6 +54,25 @@ struct LibraryConfig {
   bool group_platter_requests = true;    // serve all queued requests per mount
   bool fast_switching = true;            // dual-slot verify/customer switching
 
+  // Congestion-aware rail routing: instead of always traversing on the target
+  // shelf's lane, the shuttle costs the lanes within `congestion_detour_shelves`
+  // of the target (projected queueing wait from the reservation table plus the
+  // expected time of the extra crabs) and takes the cheapest. Off by default:
+  // the twin is then byte-identical to the pure id-priority backoff model.
+  bool congestion_aware_routing = false;
+  int congestion_detour_shelves = 2;
+
+  // Dynamic repartitioning under hot spots (0 disables). Every interval the
+  // controller updates a queued-bytes EWMA per partition; when a partition's
+  // EWMA exceeds `repartition_hi` x the fleet mean and a same-row neighbour
+  // sits below `repartition_lo` x the mean, a slice of the hot rectangle is
+  // split off and merged into the neighbour, and the affected platter queues
+  // migrate shards deterministically.
+  double repartition_interval_s = 0.0;
+  double repartition_ewma_alpha = 0.2;
+  double repartition_hi = 2.0;
+  double repartition_lo = 0.75;
+
   int num_read_drives() const { return read_racks * drives_per_read_rack; }
   int num_racks() const { return 1 + read_racks + storage_racks; }
   int storage_slots() const { return storage_racks * shelves * slots_per_shelf; }

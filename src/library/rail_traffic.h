@@ -37,12 +37,35 @@ class RailTraffic {
   // the shuttle exits it.
   Traversal Traverse(int lane, int from, int to, double now, double segment_time);
 
+  // Congestion query for route planning: a pure read over the reservation
+  // table — nothing is reserved, so probing candidate lanes before committing
+  // to one leaves the simulation state untouched.
+  //
+  // `wait` replays Traverse's sequential walk and totals the time the shuttle
+  // would spend waiting on busy segments; `occupied` counts segments of
+  // [from, to] still reserved at `now` — the per-segment occupancy that feeds
+  // the detour cost model. Both come from one walk (the router needs both for
+  // every candidate lane), and a lane whose reservations have all lapsed is
+  // answered from the per-lane watermark without touching its segments.
+  struct LaneProbe {
+    double wait = 0.0;
+    int occupied = 0;
+  };
+  LaneProbe Probe(int lane, int from, int to, double now,
+                  double segment_time) const;
+
   // Forgets reservations older than `horizon` (keeps the table small in long runs).
   void Expire(double now);
 
  private:
   // busy_until_[lane][segment]: the time the segment becomes free.
   std::vector<std::vector<double>> busy_until_;
+  // Per-lane upper bound on every busy_until_ entry (reservations only grow
+  // within a traversal, so the arrival time of the last one is the lane max).
+  // A lane whose watermark is <= now is provably idle end to end: Traverse and
+  // Probe skip the per-segment wait logic entirely, which is what keeps the
+  // congestion router cheap on the mostly-idle lanes of a large panel.
+  std::vector<double> lane_max_;
   Counter* traversals_counter_ = nullptr;
   Counter* congestion_stops_counter_ = nullptr;
   Counter* congestion_wait_counter_ = nullptr;

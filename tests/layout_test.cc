@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "core/layout.h"
 #include "core/partitioning.h"
 
@@ -210,6 +211,60 @@ TEST(Partitioner, RejectsTooManyShuttles) {
   EXPECT_THROW(Partitioner(panel, 2 * config.num_read_drives() + 1),
                std::invalid_argument);
   EXPECT_THROW(Partitioner(panel, 0), std::invalid_argument);
+}
+
+// Dynamic repartitioning must be a pure function of the step sequence: two
+// partitioners fed the same seed-derived (hot, cold) sequence end with
+// identical rebalance histories and identical rectangles, across 50 seeds.
+// This is what lets a replayed simulation reproduce its partition map exactly.
+TEST(Partitioner, ShiftBoundaryDeterministicAcross50Seeds) {
+  LibraryConfig config;
+  Panel panel(config);
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    // 20 partitions on the default panel gives two-wide rows, so every
+    // partition has a same-row neighbour to trade slices with.
+    Partitioner a(panel, 20);
+    Partitioner b(panel, 20);
+    int applied = 0;
+    for (int step = 0; step < 200; ++step) {
+      const int hot = static_cast<int>(rng_a.UniformInt(0, 19));
+      // Alternate pulling from the left and right neighbour so boundaries
+      // wander both ways (and half the attempts are legal no-ops).
+      const int cold = rng_a.UniformInt(0, 1) == 0 ? a.LeftNeighborOf(hot)
+                                             : a.RightNeighborOf(hot);
+      const int hot_b = static_cast<int>(rng_b.UniformInt(0, 19));
+      const int cold_b = rng_b.UniformInt(0, 1) == 0 ? b.LeftNeighborOf(hot_b)
+                                               : b.RightNeighborOf(hot_b);
+      ASSERT_EQ(hot, hot_b);
+      ASSERT_EQ(cold, cold_b);
+      if (cold < 0) {
+        continue;
+      }
+      const bool moved_a = a.ShiftBoundary(hot, cold);
+      const bool moved_b = b.ShiftBoundary(hot, cold);
+      ASSERT_EQ(moved_a, moved_b);
+      applied += moved_a ? 1 : 0;
+    }
+    EXPECT_GT(applied, 0) << "seed " << seed << " exercised no splits";
+    ASSERT_EQ(a.rebalance_history().size(), b.rebalance_history().size());
+    for (size_t i = 0; i < a.rebalance_history().size(); ++i) {
+      EXPECT_EQ(a.rebalance_history()[i].hot, b.rebalance_history()[i].hot);
+      EXPECT_EQ(a.rebalance_history()[i].cold, b.rebalance_history()[i].cold);
+      EXPECT_EQ(a.rebalance_history()[i].boundary_x,
+                b.rebalance_history()[i].boundary_x);
+    }
+    for (int p = 0; p < a.size(); ++p) {
+      const auto& pa = a.partitions()[static_cast<size_t>(p)];
+      const auto& pb = b.partitions()[static_cast<size_t>(p)];
+      EXPECT_EQ(pa.x_min, pb.x_min);
+      EXPECT_EQ(pa.x_max, pb.x_max);
+      EXPECT_EQ(pa.shelf_min, pb.shelf_min);
+      EXPECT_EQ(pa.shelf_max, pb.shelf_max);
+      EXPECT_EQ(pa.drives, pb.drives);
+    }
+  }
 }
 
 TEST(Partitioner, PartitionsAreRectangularAndDisjointPerShelf) {

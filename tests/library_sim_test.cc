@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/units.h"
 #include "core/library_sim.h"
 #include "workload/trace_gen.h"
@@ -204,6 +207,81 @@ TEST(LibrarySim, TraceBeyondPlattersThrows) {
   ReadTrace trace = UniformTrace(1, 1.0, 1, 1);
   trace[0].platter = config.num_info_platters + 5;
   EXPECT_THROW(SimulateLibrary(config, trace), std::invalid_argument);
+}
+
+// Config validation happens before any simulation state is built, and the
+// message names the offending knob and its value (PR 6 validation style).
+TEST(LibrarySim, ConfigValidationRejectsBadKnobs) {
+  const ReadTrace trace = UniformTrace(1, 1.0, 400, 1);
+  const auto expect_rejected = [&trace](LibrarySimConfig config,
+                                        const std::string& needle) {
+    try {
+      SimulateLibrary(config, trace);
+      FAIL() << "expected std::invalid_argument mentioning \"" << needle << "\"";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  auto config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.library.num_shuttles = 0;
+  expect_rejected(config, "num_shuttles");
+  config.library.num_shuttles = -4;
+  expect_rejected(config, "-4");
+
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.library.shelves = 0;
+  expect_rejected(config, "shelves");
+
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.library.drives_per_read_rack = 0;
+  expect_rejected(config, "drives_per_read_rack");
+
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.library.steal_threshold_bytes = -1.0;
+  expect_rejected(config, "steal_threshold_bytes");
+
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.library.congestion_detour_shelves = -1;
+  expect_rejected(config, "congestion_detour_shelves");
+
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.library.repartition_interval_s = -5.0;
+  expect_rejected(config, "repartition_interval_s");
+
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.library.repartition_interval_s = 60.0;
+  config.library.repartition_ewma_alpha = 0.0;
+  expect_rejected(config, "repartition_ewma_alpha");
+
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.library.repartition_interval_s = 60.0;
+  config.library.repartition_hi = 0.5;  // band inverted: hi <= lo
+  expect_rejected(config, "repartition_lo");
+
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.write_surge_factor = 0.0;
+  expect_rejected(config, "write_surge_factor");
+
+  // A default (all knobs off) config sails through and still simulates.
+  config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  EXPECT_EQ(SimulateLibrary(config, trace).requests_completed, 1u);
+}
+
+TEST(LibrarySim, ScenarioKnobsConserveRequests) {
+  auto config = SmallConfig(LibraryConfig::Policy::kPartitioned);
+  config.fleet_loss_fraction = 0.25;
+  config.blackout_partition = 0;
+  config.blackout_start_s = 20.0;
+  config.blackout_duration_s = 120.0;
+  const auto trace = UniformTrace(200, 2.0, config.num_info_platters, 4 * kMiB);
+  const auto result = SimulateLibrary(config, trace);
+  // Losing shuttles and blacking out a partition must not lose requests:
+  // everything completes or is explicitly failed, nothing is dropped.
+  EXPECT_EQ(result.requests_completed + result.requests_failed,
+            result.requests_total);
+  EXPECT_EQ(result.requests_total, 200u);
 }
 
 TEST(LibrarySim, WorkStealingHelpsUnderSkew) {

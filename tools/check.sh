@@ -70,6 +70,25 @@ print("ok: tiers " + ", ".join(sorted(tiers)) +
           simd["best_tier"], simd["simd_speedup"]))
 '
 
+echo "== smoke: traffic-manager scaling sweep (reduced fleets/reps, JSON) =="
+./build/bench/bench_traffic --json --fleets=8,64 --reps=1 --requests=60 \
+    | python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+fleets = report["fleets"]
+assert len(fleets) == 2, fleets
+for fleet in fleets:
+    assert fleet["conserves"], f"traffic fleet lost requests: {fleet}"
+    assert fleet["completed"] + fleet["failed"] == fleet["requests"], fleet
+    assert fleet["events_per_second"] > 0, fleet
+# The full 256-vs-8 within-2x claim lives in BENCH_traffic.json; at smoke
+# size we only require the sharded control plane not to collapse with scale.
+ratio = report["events_per_second_ratio_largest_vs_8"]
+assert ratio > 0.3, f"events/sec collapsed at the larger fleet: {ratio}"
+print("ok: %d fleets conserve; events/s ratio %d-vs-8 = %.2fx" % (
+    len(fleets), fleets[-1]["shuttles"], ratio))
+'
+
 echo "== smoke: fig9 engine byte-identity (--simd=scalar vs auto) =="
 # The library twin behind the fig9 sweep must produce byte-identical reports
 # whatever kernel tier is active; any diff means a vector kernel changed bytes.
@@ -91,7 +110,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build --preset tsan -j "$jobs" --target silica_tests
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/silica_tests \
-    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:Gf256Kernels.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendTest.VirtualClockReplayIsDeterministic'
+    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:Gf256Kernels.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:ShardedScheduler.*:FrontendTest.VirtualClockReplayIsDeterministic'
   echo "== OK =="
   exit 0
 fi
@@ -101,6 +120,6 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" --target silica_tests
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/silica_tests \
-  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:MetricsRegistry.*:Tracer.*:Telemetry.*:Gf256Kernels.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
+  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:ShardedScheduler.*:Partitioner.*:MetricsRegistry.*:Tracer.*:Telemetry.*:Gf256Kernels.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
 
 echo "== OK =="

@@ -32,6 +32,16 @@ inputs are fixed-seed, so any checksum drift is a wrong-answer bug, not noise).
 Then the usual directional table: full-stack and per-tier throughput plus
 simd_speedup must not drop beyond the tolerance (wall-clock rates are
 machine-sensitive; use a generous tolerance across machines).
+
+And `bench_traffic --json` reports (detected by "bench": "traffic", tracked in
+BENCH_traffic.json): conservation is a hard gate — every fleet row must have
+completed + failed == requests (re-derived from the counters, and the bench's
+own "conserves" flag must agree) in both reports, no tolerance. Then the
+scaling signal: the events/sec ratio of the largest fleet vs the 8-shuttle
+fleet and per-fleet events/sec must not drop beyond the tolerance. The
+deterministic counters (steals, congestion stops, detours, repartitions) are
+printed as drift notes: at the same seed and config any change is a behavior
+change, but across intentional scheduler evolutions they move legitimately.
 """
 import argparse
 import json
@@ -274,6 +284,78 @@ def compare_decode_stack(base, cand, tolerance):
     return 0
 
 
+def compare_traffic(base, cand, tolerance):
+    """Diff two bench_traffic reports. Conservation is a hard gate: every
+    fleet row must satisfy completed + failed == requests — re-derived from
+    the raw counters so a hand-edited report can't pass — and the bench's own
+    "conserves" flag must agree. Scaling rows are directional and tolerant;
+    the deterministic control-plane counters are reported as drift notes."""
+    failures = []
+    for name, report in (("baseline", base), ("candidate", cand)):
+        for fleet in report.get("fleets", []):
+            shuttles = fleet.get("shuttles")
+            completed = fleet.get("completed", 0)
+            failed = fleet.get("failed", 0)
+            requests = fleet.get("requests", -1)
+            if completed + failed != requests:
+                failures.append(
+                    f"{name}: fleet {shuttles} lost requests "
+                    f"({completed} completed + {failed} failed != {requests})")
+            if not fleet.get("conserves", False):
+                failures.append(
+                    f"{name}: fleet {shuttles} reports conserves=false")
+    for failure in failures:
+        print(f"CONSERVATION VIOLATION — {failure}")
+    if failures:
+        return 1
+
+    base_fleets = {f["shuttles"]: f for f in base.get("fleets", [])}
+    cand_fleets = {f["shuttles"]: f for f in cand.get("fleets", [])}
+    table = [(("events_per_second_ratio_largest_vs_8",),
+              "events/s ratio largest vs 8", +1)]
+    regressions = []
+    rows = []
+    for path, label, direction in table:
+        b, c = lookup(base, path), lookup(cand, path)
+        if b is not None and c is not None:
+            rows.append((label, b, c, direction))
+    for shuttles in sorted(base_fleets):
+        if shuttles not in cand_fleets:
+            print(f"note: fleet {shuttles} missing in candidate")
+            continue
+        b_fleet, c_fleet = base_fleets[shuttles], cand_fleets[shuttles]
+        for key, label, direction in [
+            ("events_per_second", "events/s", +1),
+            ("p999_completion_s", "p99.9 completion s", -1),
+        ]:
+            b, c = b_fleet.get(key), c_fleet.get(key)
+            if b is not None and c is not None:
+                rows.append((f"{shuttles} shuttles: {label}", b, c, direction))
+        for key in ("work_steals", "congestion_stops", "congestion_detours",
+                    "repartitions"):
+            b, c = b_fleet.get(key), c_fleet.get(key)
+            if b is not None and c is not None and b != c:
+                print(f"note: fleet {shuttles} {key} drifted {b} -> {c} "
+                      "(behavior change if seed and config are unchanged)")
+
+    width = max((len(label) for label, *_ in rows), default=20)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+    for label, b, c, direction in rows:
+        delta = (c - b) / b if b else (0.0 if c == b else float("inf"))
+        mark = ""
+        if direction * delta < -tolerance:
+            mark = "  <-- regression"
+            regressions.append(label)
+        print(f"{label:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+7.1%}{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{tolerance:.1%}: {', '.join(regressions)}")
+        return 1
+    print("\nconservation holds; no regressions beyond tolerance")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -289,7 +371,8 @@ def main():
 
     for bench, comparator in (("events", compare_events),
                               ("frontend", compare_frontend),
-                              ("decode_stack", compare_decode_stack)):
+                              ("decode_stack", compare_decode_stack),
+                              ("traffic", compare_traffic)):
         if base.get("bench") == bench or cand.get("bench") == bench:
             if base.get("bench") != cand.get("bench"):
                 print(f"error: only one of the reports is a bench_{bench} report")

@@ -148,6 +148,14 @@ void PrintJsonReport(const silica::LibrarySimResult& r,
         static_cast<unsigned long long>(r.amplified_requests),
         static_cast<unsigned long long>(r.requests_failed));
   }
+  std::printf(
+      "  \"control_plane\": {\"events_executed\": %llu, "
+      "\"congestion_detours\": %llu, \"repartitions\": %llu, "
+      "\"work_steals\": %llu},\n",
+      static_cast<unsigned long long>(r.events_executed),
+      static_cast<unsigned long long>(r.congestion_detours),
+      static_cast<unsigned long long>(r.repartitions),
+      static_cast<unsigned long long>(r.work_steals));
   std::printf("  \"makespan_seconds\": %.6g,\n", r.makespan);
   std::printf("  \"meets_slo\": %s\n",
               ct.Percentile(0.999) <= slo_s ? "true" : "false");
@@ -254,6 +262,28 @@ int main(int argc, char** argv) {
         "  [--fault-drive-mtbf=S --fault-drive-mttr=S    read-drive outages]\n"
         "  [--fault-rack-mtbf=S  --fault-rack-mttr=S     rack (blast-zone) outages]\n"
         "  [--fault-until=S           inject no new failures after time S]\n"
+        "  [--fleet-loss=F            fail F of the shuttle fleet (highest ids)\n"
+        "                              at t=0; F in [0,1)]\n"
+        "  [--blackout-partition=P    take every read drive of partition P down\n"
+        "                              at --blackout-start for\n"
+        "                              --blackout-duration seconds]\n"
+        "  [--blackout-start=S --blackout-duration=S]\n"
+        "  [--write-rate=R            explicit write pipeline: eject R platters\n"
+        "                              per hour until --write-until (default\n"
+        "                              43200 s)]\n"
+        "  [--write-until=S]\n"
+        "  [--write-surge-factor=K    multiply the write rate by K inside\n"
+        "                              [--write-surge-start, +--write-surge-\n"
+        "                              duration); requires --write-rate]\n"
+        "  [--write-surge-start=S --write-surge-duration=S]\n"
+        "  [--congestion-routing      congestion-aware rail routing: shuttles\n"
+        "                              detour to a cheaper lane within\n"
+        "                              --detour-shelves of the target]\n"
+        "  [--detour-shelves=N        detour radius (default 2; requires\n"
+        "                              --congestion-routing)]\n"
+        "  [--repartition-interval=S  dynamic repartitioning: every S seconds a\n"
+        "                              hot partition sheds a slice of its\n"
+        "                              rectangle to a cold neighbour]\n"
         "  [--aging-mtbe=S            media aging: mean seconds between latent\n"
         "                              damage events per stored platter]\n"
         "  [--aging-max-sectors=N     sectors struck per damage event, 1..N\n"
@@ -393,6 +423,130 @@ int main(int argc, char** argv) {
   }
   if (flags.Has("fault-until")) {
     config.faults.inject_until_s = flags.GetDouble("fault-until", 1e30);
+  }
+
+  // Scenario stress knobs (all off by default; any combination composes with
+  // the fault injector and the scrub pipeline).
+  if (flags.Has("fleet-loss")) {
+    const double loss = flags.GetDouble("fleet-loss", 0.0);
+    if (loss < 0.0 || loss >= 1.0) {
+      std::fprintf(stderr,
+                   "error: --fleet-loss must be in [0, 1) (fraction of the "
+                   "shuttle fleet failed at t=0); got %g\n",
+                   loss);
+      return 1;
+    }
+    config.fleet_loss_fraction = loss;
+  }
+  if (flags.Has("blackout-partition")) {
+    config.blackout_partition =
+        static_cast<int>(flags.GetInt("blackout-partition", -1));
+    config.blackout_start_s = flags.GetDouble("blackout-start", 0.0);
+    config.blackout_duration_s = flags.GetDouble("blackout-duration", 0.0);
+    if (config.blackout_partition < 0) {
+      std::fprintf(stderr, "error: --blackout-partition must be >= 0; got %d\n",
+                   config.blackout_partition);
+      return 1;
+    }
+    if (config.library.policy != LibraryConfig::Policy::kPartitioned) {
+      std::fprintf(stderr,
+                   "error: --blackout-partition requires --policy=silica "
+                   "(partitions only exist under the partitioned policy)\n");
+      return 1;
+    }
+    if (config.blackout_start_s < 0.0 || config.blackout_duration_s <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --blackout-start must be >= 0 and "
+                   "--blackout-duration > 0; got start %g, duration %g\n",
+                   config.blackout_start_s, config.blackout_duration_s);
+      return 1;
+    }
+  } else {
+    for (const char* dependent : {"blackout-start", "blackout-duration"}) {
+      if (flags.Has(dependent)) {
+        std::fprintf(stderr, "error: --%s requires --blackout-partition\n",
+                     dependent);
+        return 1;
+      }
+    }
+  }
+  if (flags.Has("write-rate")) {
+    const double rate = flags.GetDouble("write-rate", 0.0);
+    if (rate <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --write-rate must be > 0 platters/hour; got %g\n",
+                   rate);
+      return 1;
+    }
+    config.write_platters_per_hour = rate;
+    if (flags.Has("write-until")) {
+      config.write_until = flags.GetDouble("write-until", config.write_until);
+    }
+  } else if (flags.Has("write-until")) {
+    std::fprintf(stderr, "error: --write-until requires --write-rate\n");
+    return 1;
+  }
+  if (flags.Has("write-surge-factor")) {
+    if (config.write_platters_per_hour <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --write-surge-factor requires --write-rate (the "
+                   "surge scales the explicit write pipeline)\n");
+      return 1;
+    }
+    const double factor = flags.GetDouble("write-surge-factor", 1.0);
+    config.write_surge_start_s = flags.GetDouble("write-surge-start", 0.0);
+    config.write_surge_duration_s = flags.GetDouble("write-surge-duration", 0.0);
+    if (factor < 1.0) {
+      std::fprintf(stderr, "error: --write-surge-factor must be >= 1; got %g\n",
+                   factor);
+      return 1;
+    }
+    if (config.write_surge_duration_s <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --write-surge-duration must be > 0 seconds; got %g\n",
+                   config.write_surge_duration_s);
+      return 1;
+    }
+    config.write_surge_factor = factor;
+  } else {
+    for (const char* dependent : {"write-surge-start", "write-surge-duration"}) {
+      if (flags.Has(dependent)) {
+        std::fprintf(stderr, "error: --%s requires --write-surge-factor\n",
+                     dependent);
+        return 1;
+      }
+    }
+  }
+  if (flags.Has("congestion-routing")) {
+    config.library.congestion_aware_routing = true;
+    if (flags.Has("detour-shelves")) {
+      const int radius = static_cast<int>(flags.GetInt("detour-shelves", 0));
+      if (radius < 1) {
+        std::fprintf(stderr, "error: --detour-shelves must be >= 1; got %d\n",
+                     radius);
+        return 1;
+      }
+      config.library.congestion_detour_shelves = radius;
+    }
+  } else if (flags.Has("detour-shelves")) {
+    std::fprintf(stderr,
+                 "error: --detour-shelves requires --congestion-routing\n");
+    return 1;
+  }
+  if (flags.Has("repartition-interval")) {
+    const double interval = flags.GetDouble("repartition-interval", 0.0);
+    if (interval <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --repartition-interval must be > 0 seconds; got %g\n",
+                   interval);
+      return 1;
+    }
+    if (config.library.policy != LibraryConfig::Policy::kPartitioned) {
+      std::fprintf(stderr,
+                   "error: --repartition-interval requires --policy=silica\n");
+      return 1;
+    }
+    config.library.repartition_interval_s = interval;
   }
 
   // Media aging + background scrub. Flag combinations are validated up front so
