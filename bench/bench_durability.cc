@@ -8,6 +8,11 @@
 //     -> 16+3 platter-set rebuild), and the repair ledger conserves:
 //     detected == sum(repaired by tier) + unrecoverable.
 //
+// A second sweep runs the set-level rare-event MTTDL estimator (DESIGN.md §17)
+// over the durability frontier: eager vs lazy repair at several bandwidth
+// budgets, plus a wider code at the same budget, plus a brute-force Monte
+// Carlo cross-check cell whose 95% CI must overlap the splitting estimate.
+//
 // Kept small (a few hundred platters, a short IOPS trace) so the full sweep
 // runs in seconds; `--json` emits one machine-readable object for trajectory
 // tracking (tools/check.sh smoke-runs it). `--sweep-threads=K` runs the grid
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "sim/durability_model.h"
 
 namespace silica {
 namespace {
@@ -74,6 +80,91 @@ std::string CellJson(const Cell& cell) {
       .Field("repair_read_seconds", s.repair_read_seconds)
       .Field("completion_p50_s", ct.Percentile(0.5))
       .Field("completion_p99_s", ct.Percentile(0.99))
+      .Str();
+}
+
+// ---------------------------------------------------------------------------
+// MTTDL frontier (set-level model, importance splitting).
+// ---------------------------------------------------------------------------
+
+// Accelerated fleet so every frontier cell resolves in well under a second:
+// per-platter failure rate and scrub lag far above physical glass, but the
+// *relative* ordering (eager vs lazy, budget starvation, code width) is the
+// story, and it is bandwidth-regime-invariant.
+DurabilityConfig FrontierBase() {
+  DurabilityConfig config;
+  config.num_sets = 64;
+  config.n = 19;  // the paper's 16+3 platter set
+  config.k = 16;
+  config.platter_bytes = 100.0e9;
+  config.fail_rate_per_platter_year = 0.15;
+  config.scrub_interval_s = 15.0 * 24.0 * 3600.0;
+  config.repair_bandwidth_bytes_per_s = 50.0e6;
+  config.horizon_s = 5.0 * 365.25 * 24.0 * 3600.0;
+  config.seed = 0xD0C5;
+  return config;
+}
+
+// The Monte Carlo cross-check runs on a one-failure-tolerant fleet where
+// losses are common enough for brute force to see them; the splitting and MC
+// CIs on this cell must overlap (tools/compare_runs.py gates on it).
+DurabilityConfig CrossCheckFleet() {
+  DurabilityConfig config;
+  config.num_sets = 16;
+  config.n = 5;
+  config.k = 4;
+  config.fail_rate_per_platter_year = 0.3;
+  config.scrub_interval_s = 10.0 * 24.0 * 3600.0;
+  config.repair_bandwidth_bytes_per_s = 20.0e6;
+  config.horizon_s = 1.0 * 365.25 * 24.0 * 3600.0;
+  config.seed = 77;
+  return config;
+}
+
+struct MttdlCell {
+  const char* label;
+  DurabilityConfig config;
+  int roots = 200;
+  int split_k = 4;
+  MttdlEstimate estimate;
+};
+
+std::vector<MttdlCell> MttdlGrid() {
+  std::vector<MttdlCell> grid;
+  auto add = [&grid](const char* label, DurabilityConfig config, int roots,
+                     int split_k) {
+    MttdlCell cell;
+    cell.label = label;
+    cell.config = config;
+    cell.roots = roots;
+    cell.split_k = split_k;
+    grid.push_back(cell);
+  };
+  auto eager = FrontierBase();
+  add("eager_16p3", eager, 200, 4);
+  auto lazy = FrontierBase();
+  lazy.lazy = true;
+  add("lazy_16p3_50MBps", lazy, 200, 4);
+  lazy.repair_bandwidth_bytes_per_s = 10.0e6;
+  add("lazy_16p3_10MBps", lazy, 200, 4);
+  lazy.repair_bandwidth_bytes_per_s = 2.0e6;
+  add("lazy_16p3_2MBps", lazy, 200, 4);
+  // Same starved budget, three more redundant platters: width buys back what
+  // the budget gave up (at k x platter_bytes repair amplification per rebuild).
+  auto wide = lazy;
+  wide.repair_bandwidth_bytes_per_s = 10.0e6;
+  wide.n = 22;
+  add("lazy_22p6_10MBps", wide, 200, 4);
+  add("xcheck_split", CrossCheckFleet(), 400, 6);
+  add("xcheck_mc", CrossCheckFleet(), 400, 1);
+  return grid;
+}
+
+std::string MttdlCellJson(const MttdlCell& cell) {
+  return JsonObject()
+      .Field("label", cell.label)
+      .FieldRaw("estimate", MttdlEstimateToJson(cell.config, cell.estimate,
+                                                cell.split_k, 0))
       .Str();
 }
 
@@ -144,19 +235,55 @@ int main(int argc, char** argv) {
                 Tail(cell.result).c_str(),
                 s.ledger.Conserves() ? "" : "  [LEDGER LEAK]");
   }
+  // MTTDL frontier: the estimator is cheap enough that the whole grid runs
+  // inline; RunSweep keeps the cells independent and the output order fixed.
+  auto mttdl_grid = MttdlGrid();
+  const auto mttdl_results = RunSweep<MttdlCell>(
+      mttdl_grid.size(), SweepThreadsArg(argc, argv), [&](size_t i) {
+        MttdlCell cell = mttdl_grid[i];
+        cell.estimate = EstimateMttdl(cell.config, cell.roots, cell.split_k);
+        return cell;
+      });
+
   if (json) {
+    std::vector<std::string> mttdl_cells;
+    for (const MttdlCell& cell : mttdl_results) {
+      mttdl_cells.push_back(MttdlCellJson(cell));
+    }
     std::printf("%s\n",
                 JsonObject()
                     .Field("bench", "durability")
                     .Field("platters", kPlatters)
                     .FieldRaw("cells", JsonArray(cells))
+                    .FieldRaw("mttdl", JsonArray(mttdl_cells))
                     .Str()
                     .c_str());
     return 0;
   }
+
+  Header("MTTDL frontier (set-level model, importance splitting)");
+  std::printf("%-18s %6s %5s %8s %10s %22s %12s %8s\n", "cell", "repair",
+              "code", "bw MB/s", "p_loss", "p_loss 95% CI", "mttdl yrs",
+              "losses");
+  for (const MttdlCell& cell : mttdl_results) {
+    const auto& e = cell.estimate;
+    char code[16];
+    std::snprintf(code, sizeof(code), "%d+%d", cell.config.k,
+                  cell.config.n - cell.config.k);
+    char ci[32];
+    std::snprintf(ci, sizeof(ci), "[%.4f, %.4f]", e.ci_low, e.ci_high);
+    std::printf("%-18s %6s %5s %8.1f %10.4f %22s %12.1f %8llu\n", cell.label,
+                cell.config.lazy ? "lazy" : "eager", code,
+                cell.config.repair_bandwidth_bytes_per_s / 1.0e6, e.p_loss, ci,
+                e.mttdl_years,
+                static_cast<unsigned long long>(e.loss_branches));
+  }
   std::printf(
       "\nWithout scrub, damage is only surfaced by customer reads (deep tiers\n"
       "wait unrepaired); with scrub, idle verify capacity finds and repairs it\n"
-      "early, and the ledger conserves: detected == repaired + unrecoverable.\n");
+      "early, and the ledger conserves: detected == repaired + unrecoverable.\n"
+      "The frontier: starving the lazy repair budget costs durability; widening\n"
+      "the code (16+3 -> 16+6) buys it back at k x platter_bytes repair\n"
+      "amplification. The xcheck pair pins splitting against brute force.\n");
   return 0;
 }

@@ -16,6 +16,9 @@
 
 namespace silica {
 
+class StateReader;
+class StateWriter;
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5117CA) { Seed(seed); }
@@ -54,6 +57,12 @@ class Rng {
   // Zipf-distributed rank in [0, n) with exponent s (s=0 is uniform).
   // Uses an inverted-CDF table cached per (n, s) by the caller via ZipfTable.
   uint64_t Zipf(uint64_t n, double s);
+
+  // Explicit state round-trip: LoadState(w) after SaveState(w) reproduces the
+  // exact draw sequence, including the cached Box-Muller variate, so forked
+  // streams survive checkpoint/restore bit-identically.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
   // Fisher-Yates shuffle.
   template <typename T>

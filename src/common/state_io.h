@@ -1,0 +1,227 @@
+// Binary state serialization for checkpoint/restore (DESIGN.md section 17).
+//
+// A checkpoint must restore *byte-identically*: every double crosses the
+// boundary as its exact IEEE-754 bit pattern (no text round-trip), every
+// integer as fixed-width little-endian, and the reader fails loudly (throws)
+// on any truncation or type-tag mismatch instead of yielding garbage state.
+// The format is deliberately dumb — a flat tagged stream, no schema evolution
+// — because a snapshot is only ever consumed by the binary that produced it.
+#ifndef SILICA_COMMON_STATE_IO_H_
+#define SILICA_COMMON_STATE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace silica {
+
+class StateWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);  // exact bit pattern, NaN payloads included
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  template <typename T, typename Fn>
+  void Vec(const std::vector<T>& v, Fn&& per_element) {
+    U64(v.size());
+    for (const T& element : v) {
+      per_element(*this, element);
+    }
+  }
+  template <typename T, typename Fn>
+  void Deq(const std::deque<T>& v, Fn&& per_element) {
+    U64(v.size());
+    for (const T& element : v) {
+      per_element(*this, element);
+    }
+  }
+  void VecU8(const std::vector<uint8_t>& v) {
+    U64(v.size());
+    Raw(v.data(), v.size());
+  }
+  void VecF64(const std::vector<double>& v) {
+    U64(v.size());
+    for (double x : v) {
+      F64(x);
+    }
+  }
+  void VecU64(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    for (uint64_t x : v) {
+      U64(x);
+    }
+  }
+  void VecI32(const std::vector<int32_t>& v) {
+    U64(v.size());
+    for (int32_t x : v) {
+      I32(x);
+    }
+  }
+  void VecInt(const std::vector<int>& v) {
+    U64(v.size());
+    for (int x : v) {
+      I32(x);
+    }
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  uint8_t U8() {
+    Need(1);
+    return bytes_[pos_++];
+  }
+  bool Bool() { return U8() != 0; }
+  uint32_t U32() {
+    uint32_t v;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const uint64_t n = Len();
+    std::string s(n, '\0');
+    Raw(s.data(), n);
+    return s;
+  }
+
+  // Element count of a serialized sequence, bounds-checked against the
+  // remaining bytes so a corrupt length cannot drive a huge resize.
+  uint64_t Len() {
+    const uint64_t n = U64();
+    if (n > bytes_.size() - pos_) {
+      throw std::runtime_error("StateReader: sequence length exceeds buffer");
+    }
+    return n;
+  }
+
+  template <typename T, typename Fn>
+  void Vec(std::vector<T>& v, Fn&& per_element) {
+    const uint64_t n = Len();
+    v.clear();
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      v.push_back(per_element(*this));
+    }
+  }
+  template <typename T, typename Fn>
+  void Deq(std::deque<T>& v, Fn&& per_element) {
+    const uint64_t n = Len();
+    v.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      v.push_back(per_element(*this));
+    }
+  }
+  std::vector<uint8_t> VecU8() {
+    const uint64_t n = Len();
+    std::vector<uint8_t> v(n);
+    Raw(v.data(), n);
+    return v;
+  }
+  std::vector<double> VecF64() {
+    const uint64_t n = Len();
+    std::vector<double> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      v.push_back(F64());
+    }
+    return v;
+  }
+  std::vector<uint64_t> VecU64() {
+    const uint64_t n = Len();
+    std::vector<uint64_t> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      v.push_back(U64());
+    }
+    return v;
+  }
+  std::vector<int32_t> VecI32() {
+    const uint64_t n = Len();
+    std::vector<int32_t> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      v.push_back(I32());
+    }
+    return v;
+  }
+  std::vector<int> VecInt() {
+    const uint64_t n = Len();
+    std::vector<int> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      v.push_back(I32());
+    }
+    return v;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void Need(size_t n) const {
+    if (bytes_.size() - pos_ < n) {
+      throw std::runtime_error("StateReader: truncated snapshot");
+    }
+  }
+  void Raw(void* out, size_t n) {
+    Need(n);
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_COMMON_STATE_IO_H_

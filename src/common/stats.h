@@ -10,11 +10,18 @@
 
 namespace silica {
 
+class StateReader;
+class StateWriter;
+
 // Welford-style streaming mean/variance with min/max.
 class StreamingStats {
  public:
   void Add(double x);
   void Merge(const StreamingStats& other);
+
+  // Exact state round-trip for checkpoint/restore (bit patterns preserved).
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
   uint64_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
@@ -53,6 +60,12 @@ class PercentileTracker {
 
   // Absorbs another tracker's samples (e.g. merging per-library results).
   void Merge(const PercentileTracker& other);
+
+  // Exact state round-trip for checkpoint/restore. Sample *order* is preserved
+  // (not just the multiset): sum() accumulates in storage order, so byte-equal
+  // restored results require byte-equal storage.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   // Sorted lazily; mutable so accessors stay const.

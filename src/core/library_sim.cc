@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/state_io.h"
 #include "common/units.h"
 #include "core/partitioning.h"
+#include "ecc/lazy_repair.h"
 #include "core/request_scheduler.h"
 #include "core/sharded_scheduler.h"
 #include "library/motion.h"
@@ -207,6 +209,20 @@ void ValidateLibrarySimConfig(const LibrarySimConfig& config) {
     reject("write_surge_duration_s must be >= 0 (got " +
            std::to_string(config.write_surge_duration_s) + ")");
   }
+  if (config.lazy_repair.enabled) {
+    if (!config.scrub.enabled) {
+      reject("lazy_repair.enabled requires scrub.enabled (detections come from "
+             "scrub passes)");
+    }
+    if (!(config.lazy_repair.bandwidth_bytes_per_s > 0.0)) {
+      reject("lazy_repair.bandwidth_bytes_per_s must be > 0 (got " +
+             std::to_string(config.lazy_repair.bandwidth_bytes_per_s) + ")");
+    }
+    if (!(config.lazy_repair.drain_interval_s > 0.0)) {
+      reject("lazy_repair.drain_interval_s must be > 0 (got " +
+             std::to_string(config.lazy_repair.drain_interval_s) + ")");
+    }
+  }
 }
 
 // The whole simulation state machine. One instance per SimulateLibrary call.
@@ -245,11 +261,76 @@ class Sim final : public FaultHost {
       }
     }
     SetUpTelemetry();
+    lazy_.Configure(config_.lazy_repair, 0.0);
   }
 
-  LibrarySimResult Run();
+  LibrarySimResult Run() { return Run(-1.0, nullptr); }
+  // Capture flavor: snapshots the full state into `checkpoint_out` once
+  // simulated time reaches `checkpoint_at` (ignored when null), then runs to
+  // completion as usual.
+  LibrarySimResult Run(double checkpoint_at, std::vector<uint8_t>* checkpoint_out);
+  // Capture mode must be on from construction so every event scheduled before
+  // the snapshot carries a serializable descriptor.
+  void EnableCapture() { track_ = true; }
+  // Restores a snapshot onto this freshly constructed twin; the next Run()
+  // skips the prologue and replays the remainder byte-identically.
+  void LoadCheckpointBytes(const std::vector<uint8_t>& bytes);
 
  private:
+  // ---- event descriptors (checkpoint/restore) ----
+  // Every continuation the twin schedules is expressible as one of these
+  // descriptors, so a snapshot can serialize the calendar queue and a restore
+  // can re-arm it. The payload fields a/b/c are kind-specific (see Fire);
+  // spans are runtime-only handles and never serialized, which is why capture
+  // requires tracing disabled.
+  enum EventKind : uint32_t {
+    kEvFetchPick, kEvFetchPlace,
+    kEvReturnPick, kEvReturnStore,
+    kEvRecharge,
+    kEvMountDone, kEvReadDone, kEvUnmountDone, kEvSwitchBack,
+    kEvVerifyDone, kEvProduceWrite,
+    kEvVerifyDeliveryPick, kEvVerifyDeliveryPlace,
+    kEvScrubPick, kEvScrubPlace,
+    kEvRebuildRetry, kEvRebuildWrite,
+    kEvStrandRecovery, kEvRetryProbe,
+    kEvRepartitionTick, kEvArrival,
+    kEvScriptedShuttleFail, kEvBlackoutStart, kEvBlackoutEnd,
+    kEvLazyDrain,
+  };
+  struct PendingEvent {
+    uint32_t kind = 0;
+    int32_t a = 0;   // shuttle / drive / small scalar
+    uint64_t b = 0;  // platter / trace index
+    uint64_t c = 0;  // drive or packed ReturnJob
+    Tracer::SpanHandle span = Tracer::kInvalidSpan;  // runtime-only
+  };
+  Simulator::EventId Arm(double delay, const PendingEvent& e) {
+    return ArmAt(sim_.Now() + delay, e);
+  }
+  Simulator::EventId ArmAt(double when, const PendingEvent& e) {
+    const Simulator::EventId id = sim_.ScheduleAt(when, [this, e] { Fire(e); });
+    if (track_) {
+      tracked_[id] = e;
+    }
+    return id;
+  }
+  void Fire(const PendingEvent& e);
+  static uint64_t PackReturnJob(const ReturnJob& job) {
+    return static_cast<uint64_t>(static_cast<uint32_t>(job.drive)) |
+           (static_cast<uint64_t>(job.verify_slot ? 1 : 0) << 32) |
+           (static_cast<uint64_t>(job.scrub ? 1 : 0) << 33);
+  }
+  static ReturnJob UnpackReturnJob(const PendingEvent& e) {
+    ReturnJob job;
+    job.platter = e.b;
+    job.drive = static_cast<int>(static_cast<uint32_t>(e.c));
+    job.verify_slot = ((e.c >> 32) & 1) != 0;
+    job.scrub = ((e.c >> 33) & 1) != 0;
+    return job;
+  }
+
+  // ---- checkpoint/restore ----
+  void SaveCheckpoint(StateWriter& w);
   // ---- setup ----
   void SetUpPlatters();
   void SetUpControlPlane();
@@ -408,6 +489,39 @@ class Sim final : public FaultHost {
   // Frees the shuttle, detouring via the charging dock when the battery is low
   // (the controller "monitors the battery level of shuttles", Section 4.1).
   void OnShuttleJobDone(Shuttle& shuttle);
+  // Multi-stage job continuations, fired via descriptors (see EventKind).
+  void FetchPick(Shuttle& shuttle, uint64_t platter, int drive,
+                 Tracer::SpanHandle span);
+  void FetchPlace(Shuttle& shuttle, uint64_t platter, int drive,
+                  Tracer::SpanHandle span);
+  void ReturnPick(Shuttle& shuttle, const ReturnJob& job, Tracer::SpanHandle span);
+  void ReturnStore(Shuttle& shuttle, const ReturnJob& job, Tracer::SpanHandle span);
+  void RechargeDone(Shuttle& shuttle);
+  void VerifyDeliveryPick(Shuttle& shuttle, uint64_t platter, int drive,
+                          Tracer::SpanHandle span);
+  void VerifyDeliveryPlace(Shuttle& shuttle, uint64_t platter, int drive,
+                           Tracer::SpanHandle span);
+  void ScrubPick(Shuttle& shuttle, uint64_t platter, int drive,
+                 Tracer::SpanHandle span);
+  void ScrubPlace(Shuttle& shuttle, uint64_t platter, int drive,
+                  Tracer::SpanHandle span);
+  void OnReadDone(int drive, uint64_t platter);
+  void OnUnmountDone(int drive, uint64_t platter);
+  void OnSwitchBack(int drive);
+  void StrandRecovered(uint64_t platter, StrandKind kind);
+  void OnBlackout(bool down);
+
+  // ---- lazy bandwidth-budgeted repair (DESIGN.md section 17) ----
+  // Failures (lost or rebuilding members) across `platter`'s erasure set; the
+  // admission urgency is the redundancy the set has left.
+  int SetFailures(uint64_t platter);
+  void AdmitLazyRepair(uint64_t platter, int tier, uint64_t sectors, int drive);
+  void ScheduleLazyDrain();
+  void LazyDrainTick();
+  void CommitLazyRepair(const LazyRepairEntry& entry);
+  // Queued entries for a lost (or wholesale-rebuilt) platter leave the queue;
+  // the caller decides whether they count repaired or unrecoverable.
+  void EvictLazyRepairs(uint64_t platter, bool platter_lost);
 
   // ---- drive state machine ----
   void DeliverToDrive(int drive, uint64_t platter);
@@ -650,6 +764,19 @@ class Sim final : public FaultHost {
   Histogram* h_travel_ = nullptr;
   Histogram* h_queue_wait_ = nullptr;
   Histogram* h_verify_turnaround_ = nullptr;
+
+  // Lazy bandwidth-budgeted repair. Configured from config_.lazy_repair; every
+  // path is dead (and the event order untouched) when disabled.
+  LazyRepairQueue lazy_;
+  bool lazy_drain_scheduled_ = false;
+
+  // Checkpoint/restore. In capture mode every armed event's descriptor is
+  // recorded in tracked_ (entries are not reaped when events fire — capture
+  // runs are short, and the map is reconciled against the live queue at
+  // snapshot time). restored_ makes Run() skip the prologue.
+  bool track_ = false;
+  std::unordered_map<Simulator::EventId, PendingEvent> tracked_;
+  bool restored_ = false;
 
   LibrarySimResult result_;
 };
@@ -1529,26 +1656,35 @@ void Sim::StartFetch(Shuttle& shuttle, uint64_t platter, int drive) {
   shuttle.job = Shuttle::Job::kFetchGo;
   shuttle.job_platter = platter;
   shuttle.job_drive = drive;
-  shuttle.job_event = sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter,
-                                                           drive, fetch_span] {
-    const Drive& d = drives_[static_cast<size_t>(drive)];
-    const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
-    RecordLeg(leg2);
-    const double place = motion_.PlaceTime(shuttle.rng);
-    result_.travel_energy_total += motion_.PickPlaceEnergy();
-    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
-                  "place");
+  shuttle.job_event =
+      Arm(leg1.duration + pick,
+          PendingEvent{kEvFetchPick, shuttle.id, platter,
+                       static_cast<uint64_t>(drive), fetch_span});
+}
 
-    shuttle.job = Shuttle::Job::kFetchCarry;
-    shuttle.job_event = sim_.Schedule(leg2.duration + place, [this, &shuttle,
-                                                              platter, drive,
-                                                              fetch_span] {
-      platters_[platter].state = PlatterInfo::State::kAtDrive;
-      tracer_->EndSpan(fetch_span, sim_.Now());
-      DeliverToDrive(drive, platter);
-      OnShuttleJobDone(shuttle);
-    });
-  });
+void Sim::FetchPick(Shuttle& shuttle, uint64_t platter, int drive,
+                    Tracer::SpanHandle fetch_span) {
+  const Drive& d = drives_[static_cast<size_t>(drive)];
+  const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
+  RecordLeg(leg2);
+  const double place = motion_.PlaceTime(shuttle.rng);
+  result_.travel_energy_total += motion_.PickPlaceEnergy();
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
+                "place");
+
+  shuttle.job = Shuttle::Job::kFetchCarry;
+  shuttle.job_event =
+      Arm(leg2.duration + place,
+          PendingEvent{kEvFetchPlace, shuttle.id, platter,
+                       static_cast<uint64_t>(drive), fetch_span});
+}
+
+void Sim::FetchPlace(Shuttle& shuttle, uint64_t platter, int drive,
+                     Tracer::SpanHandle fetch_span) {
+  platters_[platter].state = PlatterInfo::State::kAtDrive;
+  tracer_->EndSpan(fetch_span, sim_.Now());
+  DeliverToDrive(drive, platter);
+  OnShuttleJobDone(shuttle);
 }
 
 void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
@@ -1573,77 +1709,81 @@ void Sim::StartReturn(Shuttle& shuttle, const ReturnJob& job) {
   shuttle.job_platter = job.platter;
   shuttle.job_drive = job.drive;
   shuttle.job_return = job;
-  shuttle.job_event = sim_.Schedule(leg1.duration + pick, [this, &shuttle, job,
-                                                           return_span] {
-    Drive& d = drives_[static_cast<size_t>(job.drive)];
-    if (job.verify_slot) {
-      // Collected the verified platter: the verify slot frees for the next one.
-      d.verified_waiting = false;
-      TryDispatchAll();
-      const PlatterInfo& target = platters_[job.platter];
-      const Leg leg_store = Travel(shuttle, target.x, target.shelf);
-      RecordLeg(leg_store);
-      const double place_store = motion_.PlaceTime(shuttle.rng);
-      result_.travel_energy_total += motion_.PickPlaceEnergy();
-      tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg_store.duration,
-                    place_store, "place");
-      shuttle.job = Shuttle::Job::kReturnCarry;
-      shuttle.job_event =
-          sim_.Schedule(leg_store.duration + place_store,
-                        [this, &shuttle, job, return_span] {
-        platters_[job.platter].state = PlatterInfo::State::kStored;
-        NoteAccessibilityImproved(job.platter);
-        if (!job.scrub) {
-          // Scrubbed platters were not just written: no verify turnaround to
-          // record and no pipeline span to close.
-          const double turnaround =
-              sim_.Now() - platters_[job.platter].created_at;
-          result_.verify_turnaround.Add(turnaround);
-          if (h_verify_turnaround_ != nullptr) {
-            h_verify_turnaround_->Observe(turnaround);
-          }
-        }
-        tracer_->EndSpan(return_span, sim_.Now());
-        if (!job.scrub) {
-          tracer_->AsyncEnd(kTracePipeline, job.platter, sim_.Now(),
-                            "platter_verify");
-        }
-        OnShuttleJobDone(shuttle);
-      });
-      return;
-    }
-    // Pickup complete: the output station frees; if an unmounted platter was stuck
-    // inside the drive, move it out now and let the drive continue.
-    d.output_occupied = false;
-    if (d.output_pending) {
-      // Move the stuck platter into the freed output station and resume: the
-      // drive was already verifying; a waiting input platter can mount now.
-      d.output_pending = false;
-      d.output_occupied = true;
-      const int p = partitioned() ? platters_[d.output_platter].partition : 0;
-      returns_[static_cast<size_t>(p)].push_back(
-          ReturnJob{.platter = d.output_platter, .drive = job.drive});
-      ++returns_pending_;
-      TryStartSession(job.drive);
-    }
+  shuttle.job_event =
+      Arm(leg1.duration + pick,
+          PendingEvent{kEvReturnPick, shuttle.id, job.platter, PackReturnJob(job),
+                       return_span});
+}
 
-    const PlatterInfo& info = platters_[job.platter];
-    const Leg leg2 = Travel(shuttle, info.x, info.shelf);
-    RecordLeg(leg2);
-    const double place = motion_.PlaceTime(shuttle.rng);
+void Sim::ReturnPick(Shuttle& shuttle, const ReturnJob& job,
+                     Tracer::SpanHandle return_span) {
+  Drive& d = drives_[static_cast<size_t>(job.drive)];
+  if (job.verify_slot) {
+    // Collected the verified platter: the verify slot frees for the next one.
+    d.verified_waiting = false;
+    TryDispatchAll();
+    const PlatterInfo& target = platters_[job.platter];
+    const Leg leg_store = Travel(shuttle, target.x, target.shelf);
+    RecordLeg(leg_store);
+    const double place_store = motion_.PlaceTime(shuttle.rng);
     result_.travel_energy_total += motion_.PickPlaceEnergy();
-    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
-                  "place");
-
+    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg_store.duration,
+                  place_store, "place");
     shuttle.job = Shuttle::Job::kReturnCarry;
     shuttle.job_event =
-        sim_.Schedule(leg2.duration + place, [this, &shuttle, job, return_span] {
-          platters_[job.platter].state = PlatterInfo::State::kStored;
-          NoteAccessibilityImproved(job.platter);
-          tracer_->EndSpan(return_span, sim_.Now());
-          OnShuttleJobDone(shuttle);
-        });
-  });
+        Arm(leg_store.duration + place_store,
+            PendingEvent{kEvReturnStore, shuttle.id, job.platter,
+                         PackReturnJob(job), return_span});
+    return;
+  }
+  // Pickup complete: the output station frees; if an unmounted platter was stuck
+  // inside the drive, move it out now and let the drive continue.
+  d.output_occupied = false;
+  if (d.output_pending) {
+    // Move the stuck platter into the freed output station and resume: the
+    // drive was already verifying; a waiting input platter can mount now.
+    d.output_pending = false;
+    d.output_occupied = true;
+    const int p = partitioned() ? platters_[d.output_platter].partition : 0;
+    returns_[static_cast<size_t>(p)].push_back(
+        ReturnJob{.platter = d.output_platter, .drive = job.drive});
+    ++returns_pending_;
+    TryStartSession(job.drive);
+  }
+
+  const PlatterInfo& info = platters_[job.platter];
+  const Leg leg2 = Travel(shuttle, info.x, info.shelf);
+  RecordLeg(leg2);
+  const double place = motion_.PlaceTime(shuttle.rng);
+  result_.travel_energy_total += motion_.PickPlaceEnergy();
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
+                "place");
+
+  shuttle.job = Shuttle::Job::kReturnCarry;
+  shuttle.job_event =
+      Arm(leg2.duration + place,
+          PendingEvent{kEvReturnStore, shuttle.id, job.platter, PackReturnJob(job),
+                       return_span});
+}
+
+void Sim::ReturnStore(Shuttle& shuttle, const ReturnJob& job,
+                      Tracer::SpanHandle return_span) {
+  platters_[job.platter].state = PlatterInfo::State::kStored;
+  NoteAccessibilityImproved(job.platter);
+  if (job.verify_slot && !job.scrub) {
+    // Scrubbed platters were not just written: no verify turnaround to
+    // record and no pipeline span to close.
+    const double turnaround = sim_.Now() - platters_[job.platter].created_at;
+    result_.verify_turnaround.Add(turnaround);
+    if (h_verify_turnaround_ != nullptr) {
+      h_verify_turnaround_->Observe(turnaround);
+    }
+  }
+  tracer_->EndSpan(return_span, sim_.Now());
+  if (job.verify_slot && !job.scrub) {
+    tracer_->AsyncEnd(kTracePipeline, job.platter, sim_.Now(), "platter_verify");
+  }
+  OnShuttleJobDone(shuttle);
 }
 
 void Sim::OnShuttleJobDone(Shuttle& shuttle) {
@@ -1665,17 +1805,19 @@ void Sim::OnShuttleJobDone(Shuttle& shuttle) {
     tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now(),
                   config_.library.shuttle_recharge_s, "recharge");
     shuttle.job = Shuttle::Job::kRecharge;
-    shuttle.job_event = sim_.Schedule(config_.library.shuttle_recharge_s,
-                                      [this, &shuttle, capacity] {
-      shuttle.job = Shuttle::Job::kNone;
-      shuttle.job_event = Simulator::kInvalidEvent;
-      shuttle.battery = capacity;
-      shuttle.busy = false;
-      NoteShuttleAvailability(shuttle);
-      TryDispatchAll();
-    });
+    shuttle.job_event = Arm(config_.library.shuttle_recharge_s,
+                            PendingEvent{kEvRecharge, shuttle.id});
     return;
   }
+  shuttle.busy = false;
+  NoteShuttleAvailability(shuttle);
+  TryDispatchAll();
+}
+
+void Sim::RechargeDone(Shuttle& shuttle) {
+  shuttle.job = Shuttle::Job::kNone;
+  shuttle.job_event = Simulator::kInvalidEvent;
+  shuttle.battery = config_.library.shuttle_battery_capacity;
   shuttle.busy = false;
   NoteShuttleAvailability(shuttle);
   TryDispatchAll();
@@ -1717,8 +1859,8 @@ void Sim::TryStartSession(int drive_id) {
   tracer_->Span(kTraceDrive, drive.track, sim_.Now() + switch_cost,
                 motion_.MountTime(), "mount",
                 {{"platter", static_cast<double>(platter)}});
-  sim_.Schedule(switch_cost + motion_.MountTime(),
-                [this, drive_id, platter] { ServeNext(drive_id, platter); });
+  Arm(switch_cost + motion_.MountTime(),
+      PendingEvent{kEvMountDone, drive_id, platter});
   // A new fetch can head for the freed input station right away.
   TryDispatchAll();
 }
@@ -1758,11 +1900,16 @@ void Sim::ServeNext(int drive_id, uint64_t platter) {
   drive.inflight = request;
   drive.read_started = sim_.Now();
   drive.read_cost = seek + read;
-  drive.read_event = sim_.Schedule(seek + read, [this, drive_id, platter, request] {
-    drives_[static_cast<size_t>(drive_id)].read_event = Simulator::kInvalidEvent;
-    RecordCompletion(request);
-    ServeNext(drive_id, platter);
-  });
+  drive.read_event =
+      Arm(seek + read, PendingEvent{kEvReadDone, drive_id, platter});
+}
+
+void Sim::OnReadDone(int drive_id, uint64_t platter) {
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  const ReadRequest request = drive.inflight;
+  drive.read_event = Simulator::kInvalidEvent;
+  RecordCompletion(request);
+  ServeNext(drive_id, platter);
 }
 
 void Sim::EndSession(int drive_id, uint64_t platter) {
@@ -1798,36 +1945,38 @@ void Sim::EndSession(int drive_id, uint64_t platter) {
   tracer_->Span(kTraceDrive, drive.track, sim_.Now(), unmount, "unmount",
                 {{"platter", static_cast<double>(platter)},
                  {"served", static_cast<double>(drive.served_in_session)}});
-  sim_.Schedule(unmount, [this, drive_id, platter] {
-    Drive& d = drives_[static_cast<size_t>(drive_id)];
-    d.mounted = false;
-    if (config_.library.policy == Policy::kNoShuttles) {
-      // NS: the platter teleports home. If the drive died mid-unmount the
-      // platter still escapes, so release the captive mark taken at failure.
-      platters_[platter].state = PlatterInfo::State::kStored;
-      if (d.down && platters_[platter].dark > 0) {
-        --platters_[platter].dark;
-      }
-      NoteAccessibilityImproved(platter);
-      FinishUnmount(drive_id);
-      return;
+  Arm(unmount, PendingEvent{kEvUnmountDone, drive_id, platter});
+}
+
+void Sim::OnUnmountDone(int drive_id, uint64_t platter) {
+  Drive& d = drives_[static_cast<size_t>(drive_id)];
+  d.mounted = false;
+  if (config_.library.policy == Policy::kNoShuttles) {
+    // NS: the platter teleports home. If the drive died mid-unmount the
+    // platter still escapes, so release the captive mark taken at failure.
+    platters_[platter].state = PlatterInfo::State::kStored;
+    if (d.down && platters_[platter].dark > 0) {
+      --platters_[platter].dark;
     }
-    if (d.output_occupied) {
-      // The previous platter is still waiting for a shuttle; hold this one in the
-      // drive until the output station frees (the pickup path moves it out). The
-      // drive switches back to its verification platter in the meantime.
-      d.output_pending = true;
-      d.output_platter = platter;  // reuse the field as the pending payload
-    } else {
-      d.output_occupied = true;
-      d.output_platter = platter;
-      const int p = partitioned() ? platters_[platter].partition : 0;
-      returns_[static_cast<size_t>(p)].push_back(
-          ReturnJob{.platter = platter, .drive = drive_id});
-      ++returns_pending_;
-    }
+    NoteAccessibilityImproved(platter);
     FinishUnmount(drive_id);
-  });
+    return;
+  }
+  if (d.output_occupied) {
+    // The previous platter is still waiting for a shuttle; hold this one in the
+    // drive until the output station frees (the pickup path moves it out). The
+    // drive switches back to its verification platter in the meantime.
+    d.output_pending = true;
+    d.output_platter = platter;  // reuse the field as the pending payload
+  } else {
+    d.output_occupied = true;
+    d.output_platter = platter;
+    const int p = partitioned() ? platters_[platter].partition : 0;
+    returns_[static_cast<size_t>(p)].push_back(
+        ReturnJob{.platter = platter, .drive = drive_id});
+    ++returns_pending_;
+  }
+  FinishUnmount(drive_id);
 }
 
 void Sim::FinishUnmount(int drive_id) {
@@ -1840,13 +1989,15 @@ void Sim::FinishUnmount(int drive_id) {
     const double switch_cost = SwitchCost();
     drive.switch_s += switch_cost;
     tracer_->Span(kTraceDrive, drive.track, sim_.Now(), switch_cost, "switch");
-    sim_.Schedule(switch_cost, [this, drive_id] {
-      Drive& d = drives_[static_cast<size_t>(drive_id)];
-      if (!d.mounted) {
-        StartVerifyClock(drive_id);
-      }
-      TryDispatchAll();
-    });
+    Arm(switch_cost, PendingEvent{kEvSwitchBack, drive_id});
+  }
+  TryDispatchAll();
+}
+
+void Sim::OnSwitchBack(int drive_id) {
+  Drive& d = drives_[static_cast<size_t>(drive_id)];
+  if (!d.mounted) {
+    StartVerifyClock(drive_id);
   }
   TryDispatchAll();
 }
@@ -1862,8 +2013,8 @@ void Sim::StartVerifyClock(int drive_id) {
       kTraceDrive, drive.track, sim_.Now(), "verify",
       {{"platter", static_cast<double>(drive.verify_platter)}});
   if (drive.verify_remaining_s < Simulator::kForever / 2) {
-    drive.verify_event = sim_.Schedule(
-        drive.verify_remaining_s, [this, drive_id] { OnVerifyComplete(drive_id); });
+    drive.verify_event =
+        Arm(drive.verify_remaining_s, PendingEvent{kEvVerifyDone, drive_id});
   }
 }
 
@@ -1976,7 +2127,7 @@ void Sim::ProduceWrittenPlatter() {
 
   const double interval = 3600.0 / EffectiveWriteRate();
   if (sim_.Now() + interval <= config_.write_until) {
-    sim_.Schedule(interval, [this] { ProduceWrittenPlatter(); });
+    Arm(interval, PendingEvent{kEvProduceWrite});
   }
 }
 
@@ -2048,35 +2199,44 @@ void Sim::StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive_id) 
   shuttle.job = Shuttle::Job::kVerifyGo;
   shuttle.job_platter = platter;
   shuttle.job_drive = drive_id;
-  shuttle.job_event = sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter,
-                                                           drive_id, delivery_span] {
-    const Drive& d = drives_[static_cast<size_t>(drive_id)];
-    const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
-    RecordLeg(leg2);
-    const double place = motion_.PlaceTime(shuttle.rng);
-    result_.travel_energy_total += motion_.PickPlaceEnergy();
-    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
-                  "place");
+  shuttle.job_event =
+      Arm(leg1.duration + pick,
+          PendingEvent{kEvVerifyDeliveryPick, shuttle.id, platter,
+                       static_cast<uint64_t>(drive_id), delivery_span});
+}
 
-    shuttle.job = Shuttle::Job::kVerifyCarry;
-    shuttle.job_event = sim_.Schedule(leg2.duration + place, [this, &shuttle,
-                                                              platter, drive_id,
-                                                              delivery_span] {
-      tracer_->EndSpan(delivery_span, sim_.Now());
-      Drive& drive = drives_[static_cast<size_t>(drive_id)];
-      drive.verify_incoming = false;
-      drive.verify_present = true;
-      drive.verify_platter = platter;
-      drive.verify_remaining_s = VerifySeconds(drive);
-      platters_[platter].state = PlatterInfo::State::kAtDrive;
-      if (drive.down) {
-        ++platters_[platter].dark;  // captive until the drive is repaired
-      } else if (!drive.mounted) {
-        StartVerifyClock(drive_id);
-      }
-      OnShuttleJobDone(shuttle);
-    });
-  });
+void Sim::VerifyDeliveryPick(Shuttle& shuttle, uint64_t platter, int drive_id,
+                             Tracer::SpanHandle delivery_span) {
+  const Drive& d = drives_[static_cast<size_t>(drive_id)];
+  const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
+  RecordLeg(leg2);
+  const double place = motion_.PlaceTime(shuttle.rng);
+  result_.travel_energy_total += motion_.PickPlaceEnergy();
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
+                "place");
+
+  shuttle.job = Shuttle::Job::kVerifyCarry;
+  shuttle.job_event =
+      Arm(leg2.duration + place,
+          PendingEvent{kEvVerifyDeliveryPlace, shuttle.id, platter,
+                       static_cast<uint64_t>(drive_id), delivery_span});
+}
+
+void Sim::VerifyDeliveryPlace(Shuttle& shuttle, uint64_t platter, int drive_id,
+                              Tracer::SpanHandle delivery_span) {
+  tracer_->EndSpan(delivery_span, sim_.Now());
+  Drive& drive = drives_[static_cast<size_t>(drive_id)];
+  drive.verify_incoming = false;
+  drive.verify_present = true;
+  drive.verify_platter = platter;
+  drive.verify_remaining_s = VerifySeconds(drive);
+  platters_[platter].state = PlatterInfo::State::kAtDrive;
+  if (drive.down) {
+    ++platters_[platter].dark;  // captive until the drive is repaired
+  } else if (!drive.mounted) {
+    StartVerifyClock(drive_id);
+  }
+  OnShuttleJobDone(shuttle);
 }
 
 // ---- background scrub + repair escalation ----
@@ -2179,27 +2339,36 @@ void Sim::StartScrubFetch(Shuttle& shuttle, uint64_t platter, int drive_id) {
   shuttle.job = Shuttle::Job::kScrubGo;
   shuttle.job_platter = platter;
   shuttle.job_drive = drive_id;
-  shuttle.job_event = sim_.Schedule(leg1.duration + pick, [this, &shuttle, platter,
-                                                           drive_id, fetch_span] {
-    const Drive& d = drives_[static_cast<size_t>(drive_id)];
-    const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
-    RecordLeg(leg2);
-    const double place = motion_.PlaceTime(shuttle.rng);
-    result_.travel_energy_total += motion_.PickPlaceEnergy();
-    tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
-                  "place");
+  shuttle.job_event =
+      Arm(leg1.duration + pick,
+          PendingEvent{kEvScrubPick, shuttle.id, platter,
+                       static_cast<uint64_t>(drive_id), fetch_span});
+}
 
-    shuttle.job = Shuttle::Job::kScrubCarry;
-    shuttle.job_event = sim_.Schedule(leg2.duration + place, [this, &shuttle,
-                                                              platter, drive_id,
-                                                              fetch_span] {
-      tracer_->EndSpan(fetch_span, sim_.Now());
-      drives_[static_cast<size_t>(drive_id)].verify_incoming = false;
-      platters_[platter].state = PlatterInfo::State::kAtDrive;
-      BeginScrubPass(drive_id, platter);
-      OnShuttleJobDone(shuttle);
-    });
-  });
+void Sim::ScrubPick(Shuttle& shuttle, uint64_t platter, int drive_id,
+                    Tracer::SpanHandle fetch_span) {
+  const Drive& d = drives_[static_cast<size_t>(drive_id)];
+  const Leg leg2 = Travel(shuttle, d.pos.x, d.pos.shelf);
+  RecordLeg(leg2);
+  const double place = motion_.PlaceTime(shuttle.rng);
+  result_.travel_energy_total += motion_.PickPlaceEnergy();
+  tracer_->Span(kTraceShuttle, shuttle.track, sim_.Now() + leg2.duration, place,
+                "place");
+
+  shuttle.job = Shuttle::Job::kScrubCarry;
+  shuttle.job_event =
+      Arm(leg2.duration + place,
+          PendingEvent{kEvScrubPlace, shuttle.id, platter,
+                       static_cast<uint64_t>(drive_id), fetch_span});
+}
+
+void Sim::ScrubPlace(Shuttle& shuttle, uint64_t platter, int drive_id,
+                     Tracer::SpanHandle fetch_span) {
+  tracer_->EndSpan(fetch_span, sim_.Now());
+  drives_[static_cast<size_t>(drive_id)].verify_incoming = false;
+  platters_[platter].state = PlatterInfo::State::kAtDrive;
+  BeginScrubPass(drive_id, platter);
+  OnShuttleJobDone(shuttle);
 }
 
 void Sim::BeginScrubPass(int drive_id, uint64_t platter) {
@@ -2260,6 +2429,28 @@ void Sim::OnScrubPassComplete(int drive_id) {
   for (int t = 0; t < kNumRepairTiers; ++t) {
     drive.scrub_pending[t] = h.latent[t];
     h.latent[t] = 0;
+  }
+  if (lazy_.config().enabled) {
+    // Lazy mode: on-platter tiers queue for the budgeted repair pump instead of
+    // billing the detecting drive's verify clock inline. The verify clock is
+    // NOT charged here — the byte budget is the repair capacity, so the cost
+    // is billed exactly once, at drain time (no double spend against the idle
+    // capacity scrubbing already used for the detection read). Tier-3 still
+    // rebuilds eagerly: a whole-platter loss is the last line of defense.
+    for (int t = 0; t < kNumRepairTiers - 1; ++t) {
+      const uint64_t n = drive.scrub_pending[t];
+      drive.scrub_pending[t] = 0;
+      if (n > 0) {
+        AdmitLazyRepair(platter, t, n, drive_id);
+      }
+    }
+    const uint64_t tier3 = drive.scrub_pending[kNumRepairTiers - 1];
+    drive.scrub_pending[kNumRepairTiers - 1] = 0;
+    FinishScrub(drive_id);
+    if (tier3 > 0) {
+      StartRebuild(platter, tier3);
+    }
+    return;
   }
   double cost = 0.0;
   for (int t = 0; t < kNumRepairTiers - 1; ++t) {
@@ -2376,7 +2567,7 @@ void Sim::TryRebuildReads(uint64_t platter) {
                      std::ldexp(1.0, rebuild.attempt));
     ++rebuild.attempt;
     ++result_.scrub.rebuild_retries;
-    sim_.Schedule(delay, [this, platter] { TryRebuildReads(platter); });
+    Arm(delay, PendingEvent{kEvRebuildRetry, 0, platter});
     return;
   }
   const uint64_t parent_id = next_sub_id_++;
@@ -2420,12 +2611,11 @@ void Sim::OnRebuildReadsDone(uint64_t platter, bool failed) {
                      std::ldexp(1.0, rebuild.attempt));
     ++rebuild.attempt;
     ++result_.scrub.rebuild_retries;
-    sim_.Schedule(delay, [this, platter] { TryRebuildReads(platter); });
+    Arm(delay, PendingEvent{kEvRebuildRetry, 0, platter});
     return;
   }
   // All peers read: write and verify the replacement platter, then swap it in.
-  sim_.Schedule(config_.scrub.rebuild_write_s,
-                [this, platter] { CompleteRebuild(platter); });
+  Arm(config_.scrub.rebuild_write_s, PendingEvent{kEvRebuildWrite, 0, platter});
 }
 
 void Sim::CompleteRebuild(uint64_t platter) {
@@ -2447,6 +2637,10 @@ void Sim::CompleteRebuild(uint64_t platter) {
         static_cast<double>(sectors));
   }
   ++result_.scrub.rebuilds_completed;
+  // The rebuild rewrote the whole platter, so any repairs still queued for it
+  // are subsumed: they reach the ledger as platter-set repairs, not drained
+  // queue traffic.
+  EvictLazyRepairs(platter, /*platter_lost=*/false);
   tracer_->AsyncEnd(kTraceScrub, 0x2EB0000000ull + platter, sim_.Now(),
                     "rebuild");
   TryDispatchAll();
@@ -2469,6 +2663,10 @@ void Sim::FailRebuild(uint64_t platter) {
   if (c_repair_unrecoverable_ != nullptr) {
     c_repair_unrecoverable_->Increment(static_cast<double>(sectors));
   }
+  // Repairs still queued for a written-off platter can never run: they join
+  // the unrecoverable side of the ledger so detected == repaired + unrecoverable
+  // holds in lazy mode too.
+  EvictLazyRepairs(platter, /*platter_lost=*/true);
   tracer_->AsyncEnd(kTraceScrub, 0x2EB0000000ull + platter, sim_.Now(),
                     "rebuild");
   TryDispatchAll();
@@ -2626,35 +2824,38 @@ void Sim::StrandPlatter(uint64_t platter, StrandKind kind) {
   ++platters_[platter].dark;
   tracer_->Instant(kTraceFaults, faults_track_, sim_.Now(), "platter_stranded",
                    {{"platter", static_cast<double>(platter)}});
-  sim_.Schedule(config_.faults.stranded_recovery_s, [this, platter, kind] {
-    PlatterInfo& p = platters_[platter];
-    --p.dark;
-    NoteAccessibilityImproved(platter);
-    ++result_.faults.stranded_recoveries;
-    if (c_stranded_ != nullptr) {
-      c_stranded_->Increment();
-    }
-    switch (kind) {
-      case StrandKind::kStore:
-        p.state = PlatterInfo::State::kStored;
-        break;
-      case StrandKind::kStoreVerified: {
-        p.state = PlatterInfo::State::kStored;
-        const double turnaround = sim_.Now() - p.created_at;
-        result_.verify_turnaround.Add(turnaround);
-        if (h_verify_turnaround_ != nullptr) {
-          h_verify_turnaround_->Observe(turnaround);
-        }
-        tracer_->AsyncEnd(kTracePipeline, platter, sim_.Now(), "platter_verify");
-        break;
+  Arm(config_.faults.stranded_recovery_s,
+      PendingEvent{kEvStrandRecovery, static_cast<int32_t>(kind), platter});
+}
+
+void Sim::StrandRecovered(uint64_t platter, StrandKind kind) {
+  PlatterInfo& p = platters_[platter];
+  --p.dark;
+  NoteAccessibilityImproved(platter);
+  ++result_.faults.stranded_recoveries;
+  if (c_stranded_ != nullptr) {
+    c_stranded_->Increment();
+  }
+  switch (kind) {
+    case StrandKind::kStore:
+      p.state = PlatterInfo::State::kStored;
+      break;
+    case StrandKind::kStoreVerified: {
+      p.state = PlatterInfo::State::kStored;
+      const double turnaround = sim_.Now() - p.created_at;
+      result_.verify_turnaround.Add(turnaround);
+      if (h_verify_turnaround_ != nullptr) {
+        h_verify_turnaround_->Observe(turnaround);
       }
-      case StrandKind::kEject:
-        p.state = PlatterInfo::State::kAtEject;
-        eject_queue_.push_front(platter);
-        break;
+      tracer_->AsyncEnd(kTracePipeline, platter, sim_.Now(), "platter_verify");
+      break;
     }
-    TryDispatchAll();
-  });
+    case StrandKind::kEject:
+      p.state = PlatterInfo::State::kAtEject;
+      eject_queue_.push_front(platter);
+      break;
+  }
+  TryDispatchAll();
 }
 
 void Sim::OnShuttleDown(int s) {
@@ -2836,8 +3037,7 @@ void Sim::ScheduleRetryProbe(uint64_t platter, int attempt) {
   const double delay =
       std::min(config_.faults.retry_backoff_cap_s,
                config_.faults.retry_backoff_base_s * std::ldexp(1.0, attempt));
-  sim_.Schedule(delay,
-                [this, platter, attempt] { OnRetryProbe(platter, attempt); });
+  Arm(delay, PendingEvent{kEvRetryProbe, attempt, platter});
 }
 
 void Sim::OnRetryProbe(uint64_t platter, int attempt) {
@@ -2874,6 +3074,17 @@ void Sim::ConvertToRecovery(uint64_t platter) {
     ++result_.faults.converted_requests;
     if (c_converted_ != nullptr) {
       c_converted_->Increment();
+    }
+    // A recovery (or rebuild) sub-read that itself ran out of backoff must
+    // not amplify again: its candidates are the same set members the outer
+    // group is already reading, so re-fanning adds no information — and under
+    // a sustained fault storm the recursion amplifies without bound (the
+    // workload never resolves, so injection never stops: live-lock). The
+    // failed child poisons its fan-in group and the root resolves exactly
+    // once; rebuild groups re-probe through their own bounded backoff.
+    if (request.id >= (1ull << 62)) {
+      RecordFailure(request);
+      continue;
     }
     if (!FanOutRecovery(request)) {
       RecordFailure(request);
@@ -2912,8 +3123,8 @@ void Sim::ApplyScriptedShuttleFailure(int id) {
 }
 
 void Sim::ScheduleRepartitionTick() {
-  sim_.Schedule(config_.library.repartition_interval_s,
-                [this] { RepartitionTick(); });
+  Arm(config_.library.repartition_interval_s,
+      PendingEvent{kEvRepartitionTick});
 }
 
 void Sim::RepartitionTick() {
@@ -2982,83 +3193,93 @@ void Sim::MigratePlatterPartitions() {
   }
 }
 
-LibrarySimResult Sim::Run() {
-  // Register trace-level fan-in groups (sharded large files).
-  for (const auto& request : trace_) {
-    if (request.parent != 0) {
-      auto [it, inserted] = parents_.try_emplace(
-          request.parent, ParentState{request.arrival, 0, 0});
-      ++it->second.remaining;
-      it->second.arrival = std::min(it->second.arrival, request.arrival);
-    }
-  }
-  // requests_total counts logical requests: unsharded reads plus one per shard group.
-  result_.requests_total = parents_.size();
-  for (const auto& request : trace_) {
-    if (request.platter >= config_.num_info_platters) {
-      throw std::invalid_argument("Sim: trace references unknown platter");
-    }
-    sim_.ScheduleAt(request.arrival, [this, request] { OnArrival(request); });
-    if (request.parent == 0) {
-      ++result_.requests_total;
-    }
-  }
-  if (explicit_writes()) {
-    sim_.Schedule(0.0, [this] { ProduceWrittenPlatter(); });
-  }
-  for (const auto& [when, id] : config_.shuttle_failures) {
-    if (id >= 0 && id < static_cast<int>(shuttles_.size())) {
-      sim_.ScheduleAt(when, [this, id = id] { ApplyScriptedShuttleFailure(id); });
-    }
-  }
-  if (config_.fleet_loss_fraction != 0.0) {
-    if (config_.fleet_loss_fraction < 0.0 || config_.fleet_loss_fraction >= 1.0) {
-      throw std::invalid_argument("Sim: fleet_loss_fraction must be in [0, 1)");
-    }
-    // Highest ids first, so survivors keep their partition assignments.
-    const int lost = static_cast<int>(config_.fleet_loss_fraction *
-                                      static_cast<double>(shuttles_.size()));
-    for (int i = 0; i < lost; ++i) {
-      const int id = static_cast<int>(shuttles_.size()) - 1 - i;
-      sim_.ScheduleAt(0.0, [this, id] { ApplyScriptedShuttleFailure(id); });
-    }
-  }
-  if (config_.blackout_partition >= 0) {
-    if (!partitioned() || config_.blackout_partition >= partitioner_->size()) {
-      throw std::invalid_argument(
-          "Sim: blackout_partition needs the partitioned policy and a valid "
-          "partition index");
-    }
-    if (config_.blackout_duration_s <= 0.0) {
-      throw std::invalid_argument("Sim: blackout_duration_s must be > 0");
-    }
-    const std::vector<int> blackout_drives =
-        partitioner_->partitions()[static_cast<size_t>(config_.blackout_partition)]
-            .drives;
-    sim_.ScheduleAt(config_.blackout_start_s, [this, blackout_drives] {
-      for (int d : blackout_drives) {
-        if (!drives_[static_cast<size_t>(d)].down) {
-          OnDriveDown(d);
-        }
+LibrarySimResult Sim::Run(double checkpoint_at,
+                          std::vector<uint8_t>* checkpoint_out) {
+  if (!restored_) {
+    // Register trace-level fan-in groups (sharded large files).
+    for (const auto& request : trace_) {
+      if (request.parent != 0) {
+        auto [it, inserted] = parents_.try_emplace(
+            request.parent, ParentState{request.arrival, 0, 0});
+        ++it->second.remaining;
+        it->second.arrival = std::min(it->second.arrival, request.arrival);
       }
-    });
-    sim_.ScheduleAt(config_.blackout_start_s + config_.blackout_duration_s,
-                    [this, blackout_drives] {
-                      for (int d : blackout_drives) {
-                        OnDriveRepaired(d);  // no-op if it was already down
-                      }
-                    });
+    }
+    // requests_total counts logical requests: unsharded reads plus one per
+    // shard group.
+    result_.requests_total = parents_.size();
+    for (uint64_t i = 0; i < trace_.size(); ++i) {
+      const ReadRequest& request = trace_[i];
+      if (request.platter >= config_.num_info_platters) {
+        throw std::invalid_argument("Sim: trace references unknown platter");
+      }
+      ArmAt(request.arrival, PendingEvent{kEvArrival, 0, i});
+      if (request.parent == 0) {
+        ++result_.requests_total;
+      }
+    }
+    if (explicit_writes()) {
+      Arm(0.0, PendingEvent{kEvProduceWrite});
+    }
+    for (const auto& [when, id] : config_.shuttle_failures) {
+      if (id >= 0 && id < static_cast<int>(shuttles_.size())) {
+        ArmAt(when, PendingEvent{kEvScriptedShuttleFail, id});
+      }
+    }
+    if (config_.fleet_loss_fraction != 0.0) {
+      if (config_.fleet_loss_fraction < 0.0 ||
+          config_.fleet_loss_fraction >= 1.0) {
+        throw std::invalid_argument("Sim: fleet_loss_fraction must be in [0, 1)");
+      }
+      // Highest ids first, so survivors keep their partition assignments.
+      const int lost = static_cast<int>(config_.fleet_loss_fraction *
+                                        static_cast<double>(shuttles_.size()));
+      for (int i = 0; i < lost; ++i) {
+        const int id = static_cast<int>(shuttles_.size()) - 1 - i;
+        ArmAt(0.0, PendingEvent{kEvScriptedShuttleFail, id});
+      }
+    }
+    if (config_.blackout_partition >= 0) {
+      if (!partitioned() || config_.blackout_partition >= partitioner_->size()) {
+        throw std::invalid_argument(
+            "Sim: blackout_partition needs the partitioned policy and a valid "
+            "partition index");
+      }
+      if (config_.blackout_duration_s <= 0.0) {
+        throw std::invalid_argument("Sim: blackout_duration_s must be > 0");
+      }
+      // The fire bodies read the partition's (immutable) drive list directly,
+      // so the events carry no payload.
+      ArmAt(config_.blackout_start_s, PendingEvent{kEvBlackoutStart});
+      ArmAt(config_.blackout_start_s + config_.blackout_duration_s,
+            PendingEvent{kEvBlackoutEnd});
+    }
+    if (partitioned() && config_.library.repartition_interval_s > 0.0) {
+      ScheduleRepartitionTick();
+    }
+    if (lazy_.config().enabled) {
+      lazy_drain_scheduled_ = true;
+      Arm(lazy_.config().drain_interval_s, PendingEvent{kEvLazyDrain});
+    }
+    if (injector_ != nullptr &&
+        (result_.requests_total > 0 || explicit_writes())) {
+      // Nothing to injure on an empty workload — and the renewal processes
+      // would keep the event queue alive forever.
+      injector_->Start();
+    }
   }
-  if (partitioned() && config_.library.repartition_interval_s > 0.0) {
-    ScheduleRepartitionTick();
+  if (checkpoint_out != nullptr) {
+    // Run to the snapshot point, serialize, and keep going: the capture run's
+    // own results stay byte-identical to an uninterrupted run.
+    sim_.Run(checkpoint_at);
+    StateWriter w;
+    SaveCheckpoint(w);
+    *checkpoint_out = w.Take();
   }
-  if (injector_ != nullptr &&
-      (result_.requests_total > 0 || explicit_writes())) {
-    // Nothing to injure on an empty workload — and the renewal processes would
-    // keep the event queue alive forever.
-    injector_->Start();
-  }
-  result_.events_executed = sim_.Run();
+  sim_.Run();
+  // Cumulative, so a restored run reports the same total as the uninterrupted
+  // one (Simulator::Restore seeds the pre-snapshot count).
+  result_.events_executed = sim_.events_executed();
 
   // Flush drive ledgers to the makespan.
   const double end = std::max(result_.makespan, sim_.Now());
@@ -3120,16 +3341,971 @@ LibrarySimResult Sim::Run() {
     h.lost = true;
   }
   rebuilds_.clear();
+  if (lazy_.config().enabled) {
+    // Budget-gated totals first: the settlement below bypasses the budget (the
+    // run is over; the backlog was detected, repairable damage and must reach
+    // the ledger exactly once), so it must not count against the bandwidth
+    // invariant the fault-storm test pins.
+    result_.scrub.lazy_drained_bytes = lazy_.drained_bytes();
+    result_.scrub.lazy_drained = lazy_.drained();
+    result_.scrub.lazy_settled = static_cast<uint64_t>(lazy_.DrainAll(
+        sim_.Now(), [this](const LazyRepairEntry& e) { CommitLazyRepair(e); }));
+    result_.scrub.lazy_admitted = lazy_.admitted();
+  }
   PublishSummaryMetrics();
   return result_;
 }
 
+// ---- lazy bandwidth-budgeted repair ----
+
+int Sim::SetFailures(uint64_t platter) {
+  // Only platters laid out into sets at setup time belong to one; platters the
+  // write pipeline produced later are fresh singletons with full redundancy.
+  const uint64_t info = config_.num_info_platters;
+  const uint64_t redundancy = static_cast<uint64_t>(config_.platter_set_redundancy);
+  const uint64_t num_sets =
+      (info + static_cast<uint64_t>(config_.platter_set_info) - 1) /
+      static_cast<uint64_t>(config_.platter_set_info);
+  if (platter >= info + num_sets * redundancy) {
+    return 0;
+  }
+  const uint64_t set = platters_[platter].set;
+  int failures = 0;
+  const uint64_t set_first =
+      set * static_cast<uint64_t>(config_.platter_set_info);
+  const uint64_t set_last = std::min<uint64_t>(
+      set_first + static_cast<uint64_t>(config_.platter_set_info), info);
+  const auto count = [this, &failures](uint64_t p) {
+    const PlatterHealth& h = scrub_.health(p);
+    if (h.lost || h.rebuilding) {
+      ++failures;
+    }
+  };
+  for (uint64_t p = set_first; p < set_last; ++p) {
+    count(p);
+  }
+  for (uint64_t r = 0; r < redundancy; ++r) {
+    const uint64_t p = info + set * redundancy + r;
+    if (p < platters_.size()) {
+      count(p);
+    }
+  }
+  return failures;
+}
+
+void Sim::AdmitLazyRepair(uint64_t platter, int tier, uint64_t sectors,
+                          int drive) {
+  LazyRepairEntry entry;
+  entry.platter = platter;
+  entry.remaining_redundancy = config_.platter_set_redundancy -
+                               SetFailures(platter);
+  entry.tier = static_cast<RepairTier>(tier);
+  entry.sectors = sectors;
+  // Repair-read traffic: each damaged sector costs factor[t] sector-reads of
+  // raw media (gathering NC peers for the deeper tiers).
+  const double raw_per_sector =
+      static_cast<double>(config_.media.raw_bytes_per_track()) /
+      static_cast<double>(config_.media.sectors_per_track());
+  entry.bytes = static_cast<uint64_t>(static_cast<double>(sectors) *
+                                      config_.scrub.repair_read_factor[tier] *
+                                      raw_per_sector);
+  entry.drive = drive;
+  entry.admitted_at = sim_.Now();
+  lazy_.Admit(entry);
+  result_.scrub.lazy_peak_queue =
+      std::max(result_.scrub.lazy_peak_queue, static_cast<uint64_t>(lazy_.size()));
+  tracer_->Instant(kTraceScrub, scrub_track_, sim_.Now(), "lazy_admit",
+                   {{"platter", static_cast<double>(platter)},
+                    {"tier", static_cast<double>(tier)},
+                    {"redundancy", static_cast<double>(entry.remaining_redundancy)}});
+  if (!lazy_drain_scheduled_) {
+    // The pump stopped (workload resolved or queue went dry); restart it.
+    ScheduleLazyDrain();
+  }
+}
+
+void Sim::ScheduleLazyDrain() {
+  lazy_drain_scheduled_ = true;
+  Arm(lazy_.config().drain_interval_s, PendingEvent{kEvLazyDrain});
+}
+
+void Sim::LazyDrainTick() {
+  lazy_drain_scheduled_ = false;
+  lazy_.Drain(sim_.Now(),
+              [this](const LazyRepairEntry& e) { CommitLazyRepair(e); });
+  // Keep pumping while the run is live; once the workload resolves the backlog
+  // settles in the epilogue instead, so the drain pump cannot keep the event
+  // queue alive forever under a starved budget.
+  if (WorkloadUnresolved()) {
+    ScheduleLazyDrain();
+  }
+}
+
+void Sim::CommitLazyRepair(const LazyRepairEntry& entry) {
+  const int t = static_cast<int>(entry.tier);
+  result_.scrub.ledger.Add(entry.tier, entry.sectors);
+  if (c_repair_sectors_[t] != nullptr) {
+    c_repair_sectors_[t]->Increment(static_cast<double>(entry.sectors));
+  }
+  // Maintenance drive-seconds accounting only: the byte budget is the capacity
+  // constraint, so no drive verify clock is charged (the no-double-spend half
+  // of the scrub/repair capacity unification).
+  const Drive& drive =
+      drives_[static_cast<size_t>(entry.drive >= 0 ? entry.drive : 0)];
+  result_.scrub.repair_read_seconds +=
+      static_cast<double>(entry.sectors) *
+      config_.scrub.repair_read_factor[t] * SectorSeconds(drive);
+}
+
+void Sim::EvictLazyRepairs(uint64_t platter, bool platter_lost) {
+  if (!lazy_.config().enabled) {
+    return;
+  }
+  for (const LazyRepairEntry& e : lazy_.Evict(platter)) {
+    if (platter_lost) {
+      result_.scrub.ledger.unrecoverable += e.sectors;
+      result_.scrub.ledger.bytes_lost +=
+          e.sectors *
+          static_cast<uint64_t>(config_.media.payload_bytes_per_sector());
+      if (c_repair_unrecoverable_ != nullptr) {
+        c_repair_unrecoverable_->Increment(static_cast<double>(e.sectors));
+      }
+    } else {
+      // Subsumed by a completed tier-3 rebuild of the whole platter.
+      result_.scrub.ledger.Add(RepairTier::kPlatterSet, e.sectors);
+      if (c_repair_sectors_[kNumRepairTiers - 1] != nullptr) {
+        c_repair_sectors_[kNumRepairTiers - 1]->Increment(
+            static_cast<double>(e.sectors));
+      }
+    }
+  }
+}
+
+// ---- event dispatch + checkpoint/restore ----
+
+void Sim::Fire(const PendingEvent& e) {
+  switch (static_cast<EventKind>(e.kind)) {
+    case kEvFetchPick:
+      FetchPick(shuttles_[static_cast<size_t>(e.a)], e.b,
+                static_cast<int>(e.c), e.span);
+      break;
+    case kEvFetchPlace:
+      FetchPlace(shuttles_[static_cast<size_t>(e.a)], e.b,
+                 static_cast<int>(e.c), e.span);
+      break;
+    case kEvReturnPick:
+      ReturnPick(shuttles_[static_cast<size_t>(e.a)], UnpackReturnJob(e), e.span);
+      break;
+    case kEvReturnStore:
+      ReturnStore(shuttles_[static_cast<size_t>(e.a)], UnpackReturnJob(e), e.span);
+      break;
+    case kEvRecharge:
+      RechargeDone(shuttles_[static_cast<size_t>(e.a)]);
+      break;
+    case kEvMountDone:
+      ServeNext(e.a, e.b);
+      break;
+    case kEvReadDone:
+      OnReadDone(e.a, e.b);
+      break;
+    case kEvUnmountDone:
+      OnUnmountDone(e.a, e.b);
+      break;
+    case kEvSwitchBack:
+      OnSwitchBack(e.a);
+      break;
+    case kEvVerifyDone:
+      OnVerifyComplete(e.a);
+      break;
+    case kEvProduceWrite:
+      ProduceWrittenPlatter();
+      break;
+    case kEvVerifyDeliveryPick:
+      VerifyDeliveryPick(shuttles_[static_cast<size_t>(e.a)], e.b,
+                         static_cast<int>(e.c), e.span);
+      break;
+    case kEvVerifyDeliveryPlace:
+      VerifyDeliveryPlace(shuttles_[static_cast<size_t>(e.a)], e.b,
+                          static_cast<int>(e.c), e.span);
+      break;
+    case kEvScrubPick:
+      ScrubPick(shuttles_[static_cast<size_t>(e.a)], e.b,
+                static_cast<int>(e.c), e.span);
+      break;
+    case kEvScrubPlace:
+      ScrubPlace(shuttles_[static_cast<size_t>(e.a)], e.b,
+                 static_cast<int>(e.c), e.span);
+      break;
+    case kEvRebuildRetry:
+      TryRebuildReads(e.b);
+      break;
+    case kEvRebuildWrite:
+      CompleteRebuild(e.b);
+      break;
+    case kEvStrandRecovery:
+      StrandRecovered(e.b, static_cast<StrandKind>(e.a));
+      break;
+    case kEvRetryProbe:
+      OnRetryProbe(e.b, e.a);
+      break;
+    case kEvRepartitionTick:
+      RepartitionTick();
+      break;
+    case kEvArrival:
+      OnArrival(trace_[e.b]);
+      break;
+    case kEvScriptedShuttleFail:
+      ApplyScriptedShuttleFailure(e.a);
+      break;
+    case kEvBlackoutStart:
+      OnBlackout(true);
+      break;
+    case kEvBlackoutEnd:
+      OnBlackout(false);
+      break;
+    case kEvLazyDrain:
+      LazyDrainTick();
+      break;
+    default:
+      throw std::logic_error("Sim::Fire: unknown event kind");
+  }
+}
+
+void Sim::OnBlackout(bool down) {
+  // The partition's drive list never mutates after construction, so the events
+  // carry no payload and this stays valid across checkpoint/restore.
+  const auto& drives =
+      partitioner_->partitions()[static_cast<size_t>(config_.blackout_partition)]
+          .drives;
+  for (int d : drives) {
+    if (down) {
+      if (!drives_[static_cast<size_t>(d)].down) {
+        OnDriveDown(d);
+      }
+    } else {
+      OnDriveRepaired(d);  // no-op if the drive was not down
+    }
+  }
+}
+
+constexpr uint32_t kCheckpointMagic = 0x5117C4B2u;
+constexpr uint32_t kCheckpointVersion = 1u;
+
+void Sim::SaveCheckpoint(StateWriter& w) {
+  w.U32(kCheckpointMagic);
+  w.U32(kCheckpointVersion);
+  // Fingerprint: a checkpoint only makes sense against the identical config +
+  // trace; restore rejects mismatches loudly instead of diverging silently.
+  w.U64(config_.seed);
+  w.U64(config_.num_info_platters);
+  w.I32(config_.platter_set_info);
+  w.I32(config_.platter_set_redundancy);
+  w.I32(static_cast<int32_t>(config_.library.policy));
+  w.U64(shuttles_.size());
+  w.U64(drives_.size());
+  w.U64(trace_.size());
+
+  // Engine clock. Settle first so the cancelled count matches the live queue.
+  sim_.SettleCancelled();
+  w.F64(sim_.Now());
+  w.U64(sim_.events_executed());
+  w.U64(sim_.events_cancelled());
+  w.U64(sim_.events_scheduled());
+
+  // Calendar queue, as descriptors, sorted by original event id: re-arming in
+  // this order on a fresh engine hands out ascending ids again, so the (time,
+  // id) FIFO tie-break replays identically.
+  std::vector<std::pair<double, Simulator::EventId>> live;
+  sim_.CollectPending(live);
+  std::unordered_map<Simulator::EventId, FaultInjector::PendingFault> injected;
+  if (injector_ != nullptr) {
+    std::vector<FaultInjector::PendingFault> pf;
+    injector_->CollectPending(pf);
+    for (const auto& f : pf) {
+      injected[f.id] = f;
+    }
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  w.U64(live.size());
+  for (const auto& [at, id] : live) {
+    w.F64(at);
+    if (const auto it = tracked_.find(id); it != tracked_.end()) {
+      const PendingEvent& e = it->second;
+      if (e.span != Tracer::kInvalidSpan) {
+        throw std::logic_error(
+            "Sim checkpoint: live span handle in the event queue (capture "
+            "requires tracing disabled)");
+      }
+      w.U8(0);
+      w.U32(e.kind);
+      w.I32(e.a);
+      w.U64(e.b);
+      w.U64(e.c);
+    } else if (const auto jt = injected.find(id); jt != injected.end()) {
+      w.U8(1);
+      w.I32(jt->second.component);
+      w.Bool(jt->second.is_repair);
+    } else {
+      throw std::logic_error(
+          "Sim checkpoint: pending event without a descriptor");
+    }
+  }
+
+  // Members, in a fixed order mirrored exactly by LoadCheckpointBytes.
+  rng_.SaveState(w);
+  w.U64(platters_.size());
+  for (const PlatterInfo& p : platters_) {
+    w.I32(p.slot.rack);
+    w.I32(p.slot.shelf);
+    w.I32(p.slot.slot);
+    w.F64(p.x);
+    w.I32(p.shelf);
+    w.I32(p.partition);
+    w.U64(p.set);
+    w.Bool(p.unavailable);
+    w.I32(p.dark);
+    w.F64(p.created_at);
+    w.U8(static_cast<uint8_t>(p.state));
+  }
+  for (const Shuttle& s : shuttles_) {
+    w.I32(s.partition);
+    w.F64(s.x);
+    w.I32(s.shelf);
+    w.Bool(s.busy);
+    w.Bool(s.failed);
+    w.F64(s.battery);
+    s.rng.SaveState(w);
+    w.U8(static_cast<uint8_t>(s.job));
+    w.U64(s.job_platter);
+    w.I32(s.job_drive);
+    w.U64(s.job_return.platter);
+    w.I32(s.job_return.drive);
+    w.Bool(s.job_return.verify_slot);
+    w.Bool(s.job_return.scrub);
+    // job_event is rebound when the owning descriptor is re-armed.
+  }
+  for (const Drive& d : drives_) {
+    w.Bool(d.input_reserved);
+    w.Bool(d.input_occupied);
+    w.U64(d.input_platter);
+    w.Bool(d.mounted);
+    w.U64(d.mounted_platter);
+    w.Bool(d.output_occupied);
+    w.Bool(d.output_pending);
+    w.U64(d.output_platter);
+    w.Bool(d.verifying);
+    w.F64(d.verify_since);
+    w.Bool(d.verify_present);
+    w.Bool(d.verify_incoming);
+    w.Bool(d.verified_waiting);
+    w.U64(d.verify_platter);
+    w.F64(d.verify_remaining_s);
+    w.I32(d.served_in_session);
+    w.F64(d.read_s);
+    w.F64(d.verify_s);
+    w.F64(d.switch_s);
+    w.Bool(d.down);
+    w.Bool(d.resume_pending);
+    SaveRequest(w, d.inflight);
+    w.F64(d.read_started);
+    w.F64(d.read_cost);
+    w.Bool(d.scrubbing);
+    w.Bool(d.scrub_repairing);
+    for (int t = 0; t < kNumRepairTiers; ++t) {
+      w.U64(d.scrub_pending[t]);
+    }
+  }
+  w.Bool(partitioner_ != nullptr);
+  if (partitioner_ != nullptr) {
+    partitioner_->SaveState(w);
+  }
+  sched_.SaveState(w);
+  w.U64(returns_.size());
+  for (const auto& queue : returns_) {
+    w.Deq(queue, [](StateWriter& sw, const ReturnJob& job) {
+      sw.U64(job.platter);
+      sw.I32(job.drive);
+      sw.Bool(job.verify_slot);
+      sw.Bool(job.scrub);
+    });
+  }
+  w.U64(returns_pending_);
+  w.VecInt(ready_partitions_);
+  w.VecInt(orphaned_partitions_);
+  w.VecU8(partition_distressed_);
+  w.I32(distressed_count_);
+  w.VecU8(drive_avail_);
+  w.VecInt(partition_avail_drives_);
+  w.U64(steal_noop_cut_);
+  w.U64(steal_memo_epoch_);
+  w.VecF64(partition_ewma_);
+  {
+    // Unordered containers serialize key-sorted so the byte stream is a pure
+    // function of the simulation state, never of hash-table history.
+    std::vector<uint64_t> keys;
+    keys.reserve(parents_.size());
+    for (const auto& [key, state] : parents_) {
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    w.U64(keys.size());
+    for (uint64_t key : keys) {
+      const ParentState& state = parents_.at(key);
+      w.U64(key);
+      w.F64(state.arrival);
+      w.I32(state.remaining);
+      w.U64(state.up);
+      w.Bool(state.failed);
+    }
+  }
+  w.Deq(eject_queue_, [](StateWriter& sw, uint64_t p) { sw.U64(p); });
+  w.U64(next_sub_id_);
+  rails_.SaveState(w);
+  w.U64(rack_darkened_.size());
+  for (const auto& darkened : rack_darkened_) {
+    w.VecU64(darkened);
+  }
+  {
+    std::vector<uint64_t> pending(retry_pending_.begin(), retry_pending_.end());
+    std::sort(pending.begin(), pending.end());
+    w.VecU64(pending);
+  }
+  w.Bool(scrub_.initialized());
+  if (scrub_.initialized()) {
+    scrub_.SaveState(w);
+  }
+  w.U64(aging_rngs_.size());
+  for (const Rng& rng : aging_rngs_) {
+    rng.SaveState(w);
+  }
+  {
+    std::vector<uint64_t> keys;
+    keys.reserve(rebuilds_.size());
+    for (const auto& [platter, rebuild] : rebuilds_) {
+      keys.push_back(platter);
+    }
+    std::sort(keys.begin(), keys.end());
+    w.U64(keys.size());
+    for (uint64_t platter : keys) {
+      const Rebuild& rebuild = rebuilds_.at(platter);
+      w.U64(platter);
+      w.U64(rebuild.sectors);
+      w.I32(rebuild.attempt);
+    }
+  }
+  {
+    std::vector<uint64_t> keys;
+    keys.reserve(rebuild_parent_of_.size());
+    for (const auto& [parent, platter] : rebuild_parent_of_) {
+      keys.push_back(parent);
+    }
+    std::sort(keys.begin(), keys.end());
+    w.U64(keys.size());
+    for (uint64_t parent : keys) {
+      w.U64(parent);
+      w.U64(rebuild_parent_of_.at(parent));
+    }
+  }
+  w.Bool(injector_ != nullptr);
+  if (injector_ != nullptr) {
+    injector_->SaveState(w);
+  }
+  lazy_.SaveState(w);
+  w.Bool(lazy_drain_scheduled_);
+  SaveLibrarySimResult(w, result_);
+  // Metric registry counts are cumulative and flushed exactly once (in
+  // PublishSummaryMetrics), so the restored run's single end-flush pushes the
+  // full totals — matching an uninterrupted run byte-for-byte.
+  w.Bool(tel_ != nullptr);
+  if (tel_ != nullptr) {
+    tel_->metrics.SaveState(w);
+  }
+}
+
+void Sim::LoadCheckpointBytes(const std::vector<uint8_t>& bytes) {
+  StateReader r(bytes);
+  const auto reject = [](const std::string& what) {
+    throw std::runtime_error("Sim checkpoint: " + what);
+  };
+  if (r.U32() != kCheckpointMagic) {
+    reject("bad magic (not a library checkpoint)");
+  }
+  if (r.U32() != kCheckpointVersion) {
+    reject("version mismatch");
+  }
+  if (r.U64() != config_.seed) {
+    reject("config mismatch (seed)");
+  }
+  if (r.U64() != config_.num_info_platters) {
+    reject("config mismatch (num_info_platters)");
+  }
+  if (r.I32() != config_.platter_set_info) {
+    reject("config mismatch (platter_set_info)");
+  }
+  if (r.I32() != config_.platter_set_redundancy) {
+    reject("config mismatch (platter_set_redundancy)");
+  }
+  if (r.I32() != static_cast<int32_t>(config_.library.policy)) {
+    reject("config mismatch (policy)");
+  }
+  if (r.U64() != shuttles_.size()) {
+    reject("config mismatch (shuttle count)");
+  }
+  if (r.U64() != drives_.size()) {
+    reject("config mismatch (drive count)");
+  }
+  if (r.U64() != trace_.size()) {
+    reject("trace mismatch (request count)");
+  }
+
+  const double now = r.F64();
+  const uint64_t executed = r.U64();
+  const uint64_t cancelled = r.U64();
+  const uint64_t scheduled = r.U64();
+
+  struct SavedEvent {
+    double at = 0.0;
+    uint8_t source = 0;  // 0 = library descriptor, 1 = fault injector
+    PendingEvent e;
+    int32_t component = 0;
+    bool is_repair = false;
+  };
+  const uint64_t num_events = r.Len();
+  std::vector<SavedEvent> events;
+  events.reserve(num_events);
+  for (uint64_t i = 0; i < num_events; ++i) {
+    SavedEvent s;
+    s.at = r.F64();
+    s.source = r.U8();
+    if (s.source == 0) {
+      s.e.kind = r.U32();
+      s.e.a = r.I32();
+      s.e.b = r.U64();
+      s.e.c = r.U64();
+    } else if (s.source == 1) {
+      s.component = r.I32();
+      s.is_repair = r.Bool();
+    } else {
+      reject("unknown pending-event source");
+    }
+    events.push_back(s);
+  }
+
+  rng_.LoadState(r);
+  {
+    const uint64_t count = r.Len();
+    if (count < platters_.size()) {
+      reject("platter count shrank (incompatible snapshot)");
+    }
+    platters_.resize(count);  // the write pipeline appends platters
+    for (PlatterInfo& p : platters_) {
+      p.slot.rack = r.I32();
+      p.slot.shelf = r.I32();
+      p.slot.slot = r.I32();
+      p.x = r.F64();
+      p.shelf = r.I32();
+      p.partition = r.I32();
+      p.set = r.U64();
+      p.unavailable = r.Bool();
+      p.dark = r.I32();
+      p.created_at = r.F64();
+      p.state = static_cast<PlatterInfo::State>(r.U8());
+    }
+  }
+  for (Shuttle& s : shuttles_) {
+    s.partition = r.I32();
+    s.x = r.F64();
+    s.shelf = r.I32();
+    s.busy = r.Bool();
+    s.failed = r.Bool();
+    s.battery = r.F64();
+    s.rng.LoadState(r);
+    s.job = static_cast<Shuttle::Job>(r.U8());
+    s.job_platter = r.U64();
+    s.job_drive = r.I32();
+    s.job_return.platter = r.U64();
+    s.job_return.drive = r.I32();
+    s.job_return.verify_slot = r.Bool();
+    s.job_return.scrub = r.Bool();
+    s.job_event = Simulator::kInvalidEvent;  // rebound below
+  }
+  for (Drive& d : drives_) {
+    d.input_reserved = r.Bool();
+    d.input_occupied = r.Bool();
+    d.input_platter = r.U64();
+    d.mounted = r.Bool();
+    d.mounted_platter = r.U64();
+    d.output_occupied = r.Bool();
+    d.output_pending = r.Bool();
+    d.output_platter = r.U64();
+    d.verifying = r.Bool();
+    d.verify_since = r.F64();
+    d.verify_present = r.Bool();
+    d.verify_incoming = r.Bool();
+    d.verified_waiting = r.Bool();
+    d.verify_platter = r.U64();
+    d.verify_remaining_s = r.F64();
+    d.served_in_session = r.I32();
+    d.read_s = r.F64();
+    d.verify_s = r.F64();
+    d.switch_s = r.F64();
+    d.down = r.Bool();
+    d.resume_pending = r.Bool();
+    d.inflight = LoadRequest(r);
+    d.read_started = r.F64();
+    d.read_cost = r.F64();
+    d.scrubbing = r.Bool();
+    d.scrub_repairing = r.Bool();
+    for (int t = 0; t < kNumRepairTiers; ++t) {
+      d.scrub_pending[t] = r.U64();
+    }
+    d.verify_event = Simulator::kInvalidEvent;  // rebound below
+    d.read_event = Simulator::kInvalidEvent;
+  }
+  if (r.Bool() != (partitioner_ != nullptr)) {
+    reject("config mismatch (partitioner presence)");
+  }
+  if (partitioner_ != nullptr) {
+    partitioner_->LoadState(r);
+  }
+  sched_.LoadState(r);
+  {
+    const uint64_t count = r.Len();
+    if (count != returns_.size()) {
+      reject("config mismatch (return-queue count)");
+    }
+    for (auto& queue : returns_) {
+      r.Deq(queue, [](StateReader& sr) {
+        ReturnJob job;
+        job.platter = sr.U64();
+        job.drive = sr.I32();
+        job.verify_slot = sr.Bool();
+        job.scrub = sr.Bool();
+        return job;
+      });
+    }
+  }
+  returns_pending_ = r.U64();
+  ready_partitions_ = r.VecInt();
+  orphaned_partitions_ = r.VecInt();
+  partition_distressed_ = r.VecU8();
+  distressed_count_ = r.I32();
+  drive_avail_ = r.VecU8();
+  partition_avail_drives_ = r.VecInt();
+  steal_noop_cut_ = r.U64();
+  steal_memo_epoch_ = r.U64();
+  partition_ewma_ = r.VecF64();
+  {
+    const uint64_t count = r.Len();
+    parents_.clear();
+    parents_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t key = r.U64();
+      ParentState state;
+      state.arrival = r.F64();
+      state.remaining = r.I32();
+      state.up = r.U64();
+      state.failed = r.Bool();
+      parents_.emplace(key, state);
+    }
+  }
+  r.Deq(eject_queue_, [](StateReader& sr) { return sr.U64(); });
+  next_sub_id_ = r.U64();
+  rails_.LoadState(r);
+  {
+    const uint64_t count = r.Len();
+    if (count != rack_darkened_.size()) {
+      reject("config mismatch (rack count)");
+    }
+    for (auto& darkened : rack_darkened_) {
+      darkened = r.VecU64();
+    }
+  }
+  {
+    retry_pending_.clear();
+    for (uint64_t p : r.VecU64()) {
+      retry_pending_.insert(p);
+    }
+  }
+  if (r.Bool() != scrub_.initialized()) {
+    reject("config mismatch (scrub presence)");
+  }
+  if (scrub_.initialized()) {
+    scrub_.LoadState(r);
+  }
+  {
+    const uint64_t count = r.Len();
+    if (count != aging_rngs_.size()) {
+      reject("config mismatch (aging stream count)");
+    }
+    for (Rng& rng : aging_rngs_) {
+      rng.LoadState(r);
+    }
+  }
+  {
+    const uint64_t count = r.Len();
+    rebuilds_.clear();
+    rebuilds_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t platter = r.U64();
+      Rebuild rebuild;
+      rebuild.sectors = r.U64();
+      rebuild.attempt = r.I32();
+      rebuilds_.emplace(platter, rebuild);
+    }
+  }
+  {
+    const uint64_t count = r.Len();
+    rebuild_parent_of_.clear();
+    rebuild_parent_of_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t parent = r.U64();
+      rebuild_parent_of_[parent] = r.U64();
+    }
+  }
+  if (r.Bool() != (injector_ != nullptr)) {
+    reject("config mismatch (fault injector presence)");
+  }
+  if (injector_ != nullptr) {
+    injector_->LoadState(r);
+  }
+  lazy_.LoadState(r);
+  lazy_drain_scheduled_ = r.Bool();
+  result_ = LoadLibrarySimResult(r);
+  if (r.Bool() != (tel_ != nullptr)) {
+    reject("config mismatch (telemetry presence)");
+  }
+  if (tel_ != nullptr) {
+    tel_->metrics.LoadState(r);
+  }
+  if (!r.AtEnd()) {
+    reject("trailing bytes after snapshot");
+  }
+
+  // Clock first, then re-arm in original-id order: the fresh engine hands out
+  // ascending ids, so the (time, id) FIFO tie-break replays identically.
+  sim_.Restore(now, executed, cancelled, scheduled - num_events);
+  for (const SavedEvent& s : events) {
+    if (s.source == 1) {
+      if (s.is_repair) {
+        injector_->RearmRepairAt(s.component, s.at);
+      } else {
+        injector_->RearmFailureAt(s.component, s.at);
+      }
+      continue;
+    }
+    const Simulator::EventId id = ArmAt(s.at, s.e);
+    // Rebind owner handles so aborts/preemptions can still cancel the event.
+    switch (static_cast<EventKind>(s.e.kind)) {
+      case kEvFetchPick:
+      case kEvFetchPlace:
+      case kEvReturnPick:
+      case kEvReturnStore:
+      case kEvRecharge:
+      case kEvVerifyDeliveryPick:
+      case kEvVerifyDeliveryPlace:
+      case kEvScrubPick:
+      case kEvScrubPlace:
+        shuttles_[static_cast<size_t>(s.e.a)].job_event = id;
+        break;
+      case kEvReadDone:
+        drives_[static_cast<size_t>(s.e.a)].read_event = id;
+        break;
+      case kEvVerifyDone:
+        drives_[static_cast<size_t>(s.e.a)].verify_event = id;
+        break;
+      default:
+        break;
+    }
+  }
+  restored_ = true;
+}
+
 }  // namespace
+
+void SaveLibrarySimResult(StateWriter& w, const LibrarySimResult& result) {
+  result.completion_times.SaveState(w);
+  w.U64(result.requests_total);
+  w.U64(result.requests_completed);
+  w.U64(result.recovery_reads);
+  w.F64(result.makespan);
+  w.U64(result.travels);
+  result.travel_times.SaveState(w);
+  w.F64(result.congestion_wait_total);
+  w.F64(result.expected_travel_total);
+  w.U64(result.congestion_stops);
+  w.F64(result.travel_energy_total);
+  w.U64(result.platter_operations);
+  w.F64(result.drive_read_seconds);
+  w.F64(result.drive_verify_seconds);
+  w.F64(result.drive_switch_seconds);
+  w.F64(result.drive_idle_seconds);
+  w.U64(result.work_steals);
+  w.U64(result.shuttle_recharges);
+  w.U64(result.events_executed);
+  w.U64(result.congestion_detours);
+  w.U64(result.repartitions);
+  w.Vec(result.repartition_history,
+        [](StateWriter& sw, const LibrarySimResult::RepartitionEvent& e) {
+          sw.F64(e.time);
+          sw.I32(e.hot);
+          sw.I32(e.cold);
+        });
+  w.U64(result.faults.shuttle_failures);
+  w.U64(result.faults.shuttle_repairs);
+  w.U64(result.faults.drive_failures);
+  w.U64(result.faults.drive_repairs);
+  w.U64(result.faults.rack_failures);
+  w.U64(result.faults.rack_repairs);
+  w.U64(result.faults.aborted_shuttle_jobs);
+  w.U64(result.faults.stranded_recoveries);
+  w.U64(result.faults.dark_retries);
+  w.U64(result.faults.converted_requests);
+  w.U64(result.amplified_requests);
+  w.U64(result.requests_failed);
+  w.U64(result.platters_written);
+  w.U64(result.platters_verified);
+  result.verify_turnaround.SaveState(w);
+  w.U64(result.scrub.aging_events);
+  w.U64(result.scrub.latent_sectors);
+  w.U64(result.scrub.scrubs_completed);
+  w.U64(result.scrub.scrub_detections);
+  w.U64(result.scrub.read_detections);
+  w.U64(result.scrub.rebuilds_started);
+  w.U64(result.scrub.rebuilds_completed);
+  w.U64(result.scrub.rebuild_retries);
+  w.U64(result.scrub.rebuild_reads);
+  w.F64(result.scrub.scrub_read_seconds);
+  w.F64(result.scrub.repair_read_seconds);
+  w.U64(result.scrub.lazy_admitted);
+  w.U64(result.scrub.lazy_drained);
+  w.U64(result.scrub.lazy_settled);
+  w.U64(result.scrub.lazy_drained_bytes);
+  w.U64(result.scrub.lazy_peak_queue);
+  w.U64(result.scrub.ledger.detected);
+  for (int t = 0; t < kNumRepairTiers; ++t) {
+    w.U64(result.scrub.ledger.repaired[t]);
+  }
+  w.U64(result.scrub.ledger.unrecoverable);
+  w.U64(result.scrub.ledger.bytes_lost);
+}
+
+LibrarySimResult LoadLibrarySimResult(StateReader& r) {
+  LibrarySimResult result;
+  result.completion_times.LoadState(r);
+  result.requests_total = r.U64();
+  result.requests_completed = r.U64();
+  result.recovery_reads = r.U64();
+  result.makespan = r.F64();
+  result.travels = r.U64();
+  result.travel_times.LoadState(r);
+  result.congestion_wait_total = r.F64();
+  result.expected_travel_total = r.F64();
+  result.congestion_stops = r.U64();
+  result.travel_energy_total = r.F64();
+  result.platter_operations = r.U64();
+  result.drive_read_seconds = r.F64();
+  result.drive_verify_seconds = r.F64();
+  result.drive_switch_seconds = r.F64();
+  result.drive_idle_seconds = r.F64();
+  result.work_steals = r.U64();
+  result.shuttle_recharges = r.U64();
+  result.events_executed = r.U64();
+  result.congestion_detours = r.U64();
+  result.repartitions = r.U64();
+  r.Vec(result.repartition_history, [](StateReader& sr) {
+    LibrarySimResult::RepartitionEvent e;
+    e.time = sr.F64();
+    e.hot = sr.I32();
+    e.cold = sr.I32();
+    return e;
+  });
+  result.faults.shuttle_failures = r.U64();
+  result.faults.shuttle_repairs = r.U64();
+  result.faults.drive_failures = r.U64();
+  result.faults.drive_repairs = r.U64();
+  result.faults.rack_failures = r.U64();
+  result.faults.rack_repairs = r.U64();
+  result.faults.aborted_shuttle_jobs = r.U64();
+  result.faults.stranded_recoveries = r.U64();
+  result.faults.dark_retries = r.U64();
+  result.faults.converted_requests = r.U64();
+  result.amplified_requests = r.U64();
+  result.requests_failed = r.U64();
+  result.platters_written = r.U64();
+  result.platters_verified = r.U64();
+  result.verify_turnaround.LoadState(r);
+  result.scrub.aging_events = r.U64();
+  result.scrub.latent_sectors = r.U64();
+  result.scrub.scrubs_completed = r.U64();
+  result.scrub.scrub_detections = r.U64();
+  result.scrub.read_detections = r.U64();
+  result.scrub.rebuilds_started = r.U64();
+  result.scrub.rebuilds_completed = r.U64();
+  result.scrub.rebuild_retries = r.U64();
+  result.scrub.rebuild_reads = r.U64();
+  result.scrub.scrub_read_seconds = r.F64();
+  result.scrub.repair_read_seconds = r.F64();
+  result.scrub.lazy_admitted = r.U64();
+  result.scrub.lazy_drained = r.U64();
+  result.scrub.lazy_settled = r.U64();
+  result.scrub.lazy_drained_bytes = r.U64();
+  result.scrub.lazy_peak_queue = r.U64();
+  result.scrub.ledger.detected = r.U64();
+  for (int t = 0; t < kNumRepairTiers; ++t) {
+    result.scrub.ledger.repaired[t] = r.U64();
+  }
+  result.scrub.ledger.unrecoverable = r.U64();
+  result.scrub.ledger.bytes_lost = r.U64();
+  return result;
+}
 
 LibrarySimResult SimulateLibrary(const LibrarySimConfig& config,
                                  const ReadTrace& trace) {
   ValidateLibrarySimConfig(config);
   Sim sim(config, trace);
+  return sim.Run();
+}
+
+namespace {
+void RejectTracedCheckpoint(const LibrarySimConfig& config, const char* who) {
+  if (config.telemetry != nullptr &&
+      config.telemetry->tracer.enabled(kTraceAll)) {
+    throw std::invalid_argument(
+        std::string(who) +
+        ": tracing must be disabled (span handles are runtime-only and cannot "
+        "cross a checkpoint)");
+  }
+}
+}  // namespace
+
+LibrarySimResult SimulateLibraryWithCheckpoint(const LibrarySimConfig& config,
+                                               const ReadTrace& trace,
+                                               double checkpoint_at_s,
+                                               LibraryCheckpoint* checkpoint) {
+  ValidateLibrarySimConfig(config);
+  if (checkpoint == nullptr) {
+    throw std::invalid_argument(
+        "SimulateLibraryWithCheckpoint: checkpoint must not be null");
+  }
+  if (!(checkpoint_at_s >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "SimulateLibraryWithCheckpoint: checkpoint_at_s must be >= 0");
+  }
+  RejectTracedCheckpoint(config, "SimulateLibraryWithCheckpoint");
+  Sim sim(config, trace);
+  sim.EnableCapture();
+  return sim.Run(checkpoint_at_s, &checkpoint->bytes);
+}
+
+LibrarySimResult ResumeLibrary(const LibrarySimConfig& config,
+                               const ReadTrace& trace,
+                               const LibraryCheckpoint& checkpoint) {
+  ValidateLibrarySimConfig(config);
+  RejectTracedCheckpoint(config, "ResumeLibrary");
+  Sim sim(config, trace);
+  sim.LoadCheckpointBytes(checkpoint.bytes);
   return sim.Run();
 }
 

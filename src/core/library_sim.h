@@ -24,6 +24,7 @@
 #include "common/stats.h"
 #include "core/request.h"
 #include "core/scrub.h"
+#include "ecc/lazy_repair.h"
 #include "ecc/repair.h"
 #include "faults/fault_injector.h"
 #include "library/panel.h"
@@ -99,6 +100,14 @@ struct LibrarySimConfig {
   // abstract always-mounted verification backlog: their verify slots are fed by
   // the scrubber, and customer traffic preempts via the same 1 s fast switch.
   ScrubConfig scrub;
+
+  // Lazy bandwidth-budgeted repair (DESIGN.md section 17). When enabled (needs
+  // scrub), on-platter repair tiers detected by scrub passes are admitted to a
+  // global queue ordered by remaining set redundancy and drained under
+  // `bandwidth_bytes_per_s` instead of being repaired inline on the detecting
+  // drive's verify clock. Tier-3 rebuilds stay eager (the last line of
+  // defense). Default-off => byte-identical event order to the eager twin.
+  LazyRepairConfig lazy_repair;
 
   // Optional observability (not owned). When set, the twin publishes live metrics
   // (queue depths, drive time split, congestion, steals, completion histograms) and
@@ -189,6 +198,15 @@ struct LibrarySimResult {
     uint64_t rebuild_reads = 0;      // set-peer sub-reads issued by rebuilds
     double scrub_read_seconds = 0.0;   // drive time streaming scrub passes
     double repair_read_seconds = 0.0;  // extra drive time on inline repairs
+    // Lazy repair accounting (zero unless lazy_repair.enabled). Entries
+    // conserve: admitted == drained + settled always holds at end of run, and
+    // lazy_drained_bytes (budget-gated drains only; settlement excluded) never
+    // exceeds bandwidth * elapsed.
+    uint64_t lazy_admitted = 0;      // entries admitted to the repair queue
+    uint64_t lazy_drained = 0;       // entries drained under the byte budget
+    uint64_t lazy_settled = 0;       // backlog force-drained at end of run
+    uint64_t lazy_drained_bytes = 0; // budget-gated repair-read traffic
+    uint64_t lazy_peak_queue = 0;    // high-water mark of queued entries
     RepairLedger ledger;
   } scrub;
 
@@ -222,6 +240,36 @@ struct LibrarySimResult {
 // given (config.seed, trace).
 LibrarySimResult SimulateLibrary(const LibrarySimConfig& config,
                                  const ReadTrace& trace);
+
+// Opaque snapshot of a running twin: engine clock, calendar queue (as event
+// descriptors), every RNG stream, fault-injector renewal state, platter and
+// drive health, repair queues, and partial results. Restoring it replays the
+// remainder of the run byte-identically to the uninterrupted one.
+struct LibraryCheckpoint {
+  std::vector<uint8_t> bytes;
+};
+
+// Runs like SimulateLibrary but snapshots the full simulation state into `out`
+// once simulated time reaches `checkpoint_at_s`, then continues to completion.
+// The returned result is identical to SimulateLibrary's. Requires tracing to
+// be disabled (spans cannot be serialized); live metrics are fine.
+LibrarySimResult SimulateLibraryWithCheckpoint(const LibrarySimConfig& config,
+                                               const ReadTrace& trace,
+                                               double checkpoint_at_s,
+                                               LibraryCheckpoint* out);
+
+// Resumes a snapshot taken by SimulateLibraryWithCheckpoint. `config` and
+// `trace` must be those the snapshot was taken under (a topology fingerprint
+// is validated; mismatch throws). The returned result is byte-identical to
+// the uninterrupted run's.
+LibrarySimResult ResumeLibrary(const LibrarySimConfig& config,
+                               const ReadTrace& trace,
+                               const LibraryCheckpoint& checkpoint);
+
+// Full-result serialization, used by the byte-identity tests to compare runs
+// without enumerating fields.
+void SaveLibrarySimResult(StateWriter& w, const LibrarySimResult& result);
+LibrarySimResult LoadLibrarySimResult(StateReader& r);
 
 }  // namespace silica
 

@@ -15,6 +15,9 @@
 
 namespace silica {
 
+class StateReader;
+class StateWriter;
+
 struct Partition {
   int index = 0;
   int side = 0;           // 0 = left read rack, 1 = right read rack
@@ -73,6 +76,12 @@ class Partitioner {
   const std::vector<RebalanceStep>& rebalance_history() const {
     return history_;
   }
+
+  // Checkpoint/restore: round-trips the rectangles (drive assignments included)
+  // and the rebalance history. Requires a Partitioner constructed for the same
+  // panel/partition count (throws on size mismatch).
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   std::vector<Partition> partitions_;

@@ -32,6 +32,8 @@ namespace silica {
 
 class Counter;
 class Gauge;
+class StateReader;
+class StateWriter;
 struct Telemetry;
 
 class RequestScheduler {
@@ -77,6 +79,14 @@ class RequestScheduler {
   // Iterates all platters with queued work (for load accounting / work stealing).
   void ForEachQueuedPlatter(
       const std::function<void(uint64_t platter, uint64_t bytes)>& fn) const;
+
+  // Checkpoint/restore: serializes the *physical* layout (slot table, pool,
+  // free list, lazy-deletion heap), not just the logical queue contents, so a
+  // restored scheduler reproduces the original's future slot assignments and
+  // heap-compaction timing exactly — the blunt way to guarantee byte-identical
+  // replay. Telemetry handles are untouched.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   struct PlatterQueue {

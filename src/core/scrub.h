@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/state_io.h"
 #include "ecc/repair.h"
 
 namespace silica {
@@ -141,6 +142,39 @@ class ScrubScheduler {
       }
     }
     return std::nullopt;
+  }
+
+  // Checkpoint/restore: round-trips per-platter health, suspect queue (order
+  // matters — suspects drain FIFO), and the round-robin cursor. The config is
+  // rebuilt from LibrarySimConfig, not serialized.
+  void SaveState(StateWriter& w) const {
+    w.U64(health_.size());
+    for (const PlatterHealth& h : health_) {
+      for (int t = 0; t < kNumRepairTiers; ++t) {
+        w.U64(h.latent[t]);
+      }
+      w.F64(h.last_scrub);
+      w.Bool(h.rebuilding);
+      w.Bool(h.lost);
+    }
+    w.VecU8(suspect_flag_);
+    w.Deq(suspects_, [](StateWriter& sw, uint64_t p) { sw.U64(p); });
+    w.U64(cursor_);
+  }
+  void LoadState(StateReader& r) {
+    const uint64_t count = r.Len();
+    health_.assign(count, PlatterHealth{});
+    for (PlatterHealth& h : health_) {
+      for (int t = 0; t < kNumRepairTiers; ++t) {
+        h.latent[t] = r.U64();
+      }
+      h.last_scrub = r.F64();
+      h.rebuilding = r.Bool();
+      h.lost = r.Bool();
+    }
+    suspect_flag_ = r.VecU8();
+    r.Deq(suspects_, [](StateReader& sr) { return sr.U64(); });
+    cursor_ = r.U64();
   }
 
  private:

@@ -1,5 +1,8 @@
 #include "core/sharded_scheduler.h"
 
+#include <stdexcept>
+
+#include "common/state_io.h"
 #include "telemetry/telemetry.h"
 
 namespace silica {
@@ -120,6 +123,45 @@ void ShardedScheduler::CompactHeapIfNeeded() {
     }
   }
   std::make_heap(heap_.begin(), heap_.end());
+}
+
+void ShardedScheduler::SaveState(StateWriter& w) const {
+  w.U64(shards_.size());
+  for (const RequestScheduler& shard : shards_) {
+    shard.SaveState(w);
+  }
+  w.Vec(heap_, [](StateWriter& sw, const Entry& entry) {
+    sw.U64(entry.first);
+    sw.I32(entry.second);
+  });
+  w.VecU64(seen_epoch_);
+  w.VecU8(scan_failed_);
+  w.U64(epoch_);
+  w.I32(nonzero_shards_);
+  w.I32(live_nonzero_);
+  w.U64(mutation_epoch_);
+}
+
+void ShardedScheduler::LoadState(StateReader& r) {
+  const uint64_t num_shards = r.Len();
+  if (num_shards != shards_.size()) {
+    throw std::runtime_error("ShardedScheduler::LoadState: shard count mismatch");
+  }
+  for (RequestScheduler& shard : shards_) {
+    shard.LoadState(r);
+  }
+  r.Vec(heap_, [](StateReader& sr) {
+    const uint64_t bytes = sr.U64();
+    const int shard = sr.I32();
+    return Entry{bytes, shard};
+  });
+  scratch_.clear();
+  seen_epoch_ = r.VecU64();
+  scan_failed_ = r.VecU8();
+  epoch_ = r.U64();
+  nonzero_shards_ = r.I32();
+  live_nonzero_ = r.I32();
+  mutation_epoch_ = r.U64();
 }
 
 }  // namespace silica

@@ -32,6 +32,8 @@
 
 namespace silica {
 
+class StateReader;
+class StateWriter;
 struct Telemetry;
 
 class ShardedScheduler {
@@ -167,6 +169,13 @@ class ShardedScheduler {
   const RequestScheduler& shard(int s) const {
     return shards_[static_cast<size_t>(s)];
   }
+
+  // Checkpoint/restore: serializes every shard's physical state plus the donor
+  // heap, scan memos, and epochs verbatim — donor enumeration order and memo
+  // validity are behavior, so they must replay exactly. Requires a router
+  // Init()ed with the same shard count before LoadState.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   // (queued bytes, shard): max-heap entries for most-loaded-first enumeration.

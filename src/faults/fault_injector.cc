@@ -1,5 +1,8 @@
 #include "faults/fault_injector.h"
 
+#include <stdexcept>
+
+#include "common/state_io.h"
 #include "telemetry/telemetry.h"
 
 namespace silica {
@@ -85,6 +88,7 @@ void FaultInjector::ScheduleFailure(Component& component) {
   }
   component.pending =
       sim_.Schedule(uptime, [this, &component] { OnFailure(component); });
+  component.pending_at = when;
 }
 
 void FaultInjector::OnFailure(Component& component) {
@@ -108,12 +112,15 @@ void FaultInjector::OnFailure(Component& component) {
   const FaultProcess& process = ProcessOf(component.cls);
   if (process.repair != nullptr) {
     const double mttr = process.repair->Sample(component.rng);
-    sim_.Schedule(mttr, [this, &component] { OnRepair(component); });
+    component.repair_event =
+        sim_.Schedule(mttr, [this, &component] { OnRepair(component); });
+    component.repair_at = sim_.Now() + mttr;
   }
   // No repair law: the component is lost for good (fail-stop).
 }
 
 void FaultInjector::OnRepair(Component& component) {
+  component.repair_event = Simulator::kInvalidEvent;
   component.down = false;
   ++stats_[component.cls].repairs;
   if (repair_counters_[component.cls] != nullptr) {
@@ -162,6 +169,66 @@ void FaultInjector::StopInjecting() {
       component.pending = Simulator::kInvalidEvent;
     }
   }
+}
+
+void FaultInjector::SaveState(StateWriter& w) const {
+  w.U64(components_.size());
+  for (const Component& component : components_) {
+    component.rng.SaveState(w);
+    w.Bool(component.down);
+  }
+  for (const ClassStats& stats : stats_) {
+    w.U64(stats.failures);
+    w.U64(stats.repairs);
+  }
+  w.Bool(stopped_);
+}
+
+void FaultInjector::LoadState(StateReader& r) {
+  const uint64_t count = r.U64();
+  if (count != components_.size()) {
+    throw std::runtime_error(
+        "FaultInjector::LoadState: component count mismatch");
+  }
+  for (Component& component : components_) {
+    component.rng.LoadState(r);
+    component.down = r.Bool();
+    component.pending = Simulator::kInvalidEvent;
+    component.repair_event = Simulator::kInvalidEvent;
+  }
+  for (ClassStats& stats : stats_) {
+    stats.failures = r.U64();
+    stats.repairs = r.U64();
+  }
+  stopped_ = r.Bool();
+}
+
+void FaultInjector::CollectPending(std::vector<PendingFault>& out) const {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const Component& component = components_[i];
+    if (component.pending != Simulator::kInvalidEvent) {
+      out.push_back(PendingFault{component.pending, static_cast<int>(i), false,
+                                 component.pending_at});
+    }
+    if (component.repair_event != Simulator::kInvalidEvent) {
+      out.push_back(PendingFault{component.repair_event, static_cast<int>(i),
+                                 true, component.repair_at});
+    }
+  }
+}
+
+void FaultInjector::RearmFailureAt(int component_index, double at) {
+  Component& component = components_[static_cast<size_t>(component_index)];
+  component.pending =
+      sim_.ScheduleAt(at, [this, &component] { OnFailure(component); });
+  component.pending_at = at;
+}
+
+void FaultInjector::RearmRepairAt(int component_index, double at) {
+  Component& component = components_[static_cast<size_t>(component_index)];
+  component.repair_event =
+      sim_.ScheduleAt(at, [this, &component] { OnRepair(component); });
+  component.repair_at = at;
 }
 
 void FaultInjector::SetTelemetry(Telemetry* telemetry) {

@@ -30,6 +30,8 @@
 namespace silica {
 
 class Counter;
+class StateReader;
+class StateWriter;
 struct Telemetry;
 
 // One component class's failure/repair law. `uptime` samples time-to-failure
@@ -125,6 +127,29 @@ class FaultInjector {
   // registry; nullptr detaches.
   void SetTelemetry(Telemetry* telemetry);
 
+  // --- Checkpoint/restore (DESIGN.md section 17) -----------------------------
+  //
+  // SaveState/LoadState round-trip the renewal-process state that is *not* in
+  // the event queue: per-component RNG streams, down flags, class stats, and
+  // the stopped flag. The queued failure/repair events are exposed separately
+  // via CollectPending so the host can merge them with its own pending events
+  // into one id-ordered re-arm list (preserving the global FIFO tie order),
+  // then re-schedule each through RearmFailureAt/RearmRepairAt.
+  struct PendingFault {
+    Simulator::EventId id = Simulator::kInvalidEvent;  // original event id
+    int component = 0;                                 // index into components_
+    bool is_repair = false;
+    double at = 0.0;  // absolute fire time
+  };
+  void SaveState(StateWriter& w) const;
+  // Requires an injector constructed with the identical config and component
+  // counts (throws on component-count mismatch). Does not schedule anything.
+  void LoadState(StateReader& r);
+  void CollectPending(std::vector<PendingFault>& out) const;
+  void RearmFailureAt(int component, double at);
+  void RearmRepairAt(int component, double at);
+  int num_components() const { return static_cast<int>(components_.size()); }
+
   const ClassStats& shuttle_stats() const { return stats_[0]; }
   const ClassStats& drive_stats() const { return stats_[1]; }
   const ClassStats& rack_stats() const { return stats_[2]; }
@@ -139,7 +164,10 @@ class FaultInjector {
     int id = 0;
     Rng rng{0};
     bool down = false;
-    Simulator::EventId pending = Simulator::kInvalidEvent;  // failure events only
+    Simulator::EventId pending = Simulator::kInvalidEvent;  // failure event
+    double pending_at = 0.0;  // absolute fire time of `pending` (checkpointing)
+    Simulator::EventId repair_event = Simulator::kInvalidEvent;
+    double repair_at = 0.0;
   };
 
   const FaultProcess& ProcessOf(Class cls) const;

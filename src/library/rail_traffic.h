@@ -15,6 +15,8 @@
 namespace silica {
 
 class Counter;
+class StateReader;
+class StateWriter;
 struct Telemetry;
 
 class RailTraffic {
@@ -56,6 +58,12 @@ class RailTraffic {
 
   // Forgets reservations older than `horizon` (keeps the table small in long runs).
   void Expire(double now);
+
+  // Checkpoint/restore: the reservation table and lane watermarks are live
+  // state (in-flight traversals shape future congestion waits), so they
+  // round-trip verbatim. Requires matching lane/segment geometry.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   // busy_until_[lane][segment]: the time the segment becomes free.

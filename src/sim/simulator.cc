@@ -80,6 +80,26 @@ void Simulator::SetTelemetry(Telemetry* telemetry) {
   cancelled_counter_ = &telemetry->metrics.GetCounter("sim_events_cancelled_total");
 }
 
+void Simulator::CollectPending(
+    std::vector<std::pair<SimTime, EventId>>& out) const {
+  queue_.ForEach([this, &out](const SimEvent& event) {
+    if (cancelled_.count(event.id) == 0) {
+      out.emplace_back(event.time, event.id);
+    }
+  });
+}
+
+void Simulator::Restore(SimTime now, uint64_t events_executed,
+                        uint64_t events_cancelled, uint64_t scheduled_base) {
+  if (!queue_.empty() || next_id_ != 1) {
+    throw std::logic_error("Simulator::Restore: engine already used");
+  }
+  now_ = now;
+  events_executed_ = events_executed;
+  events_cancelled_ = events_cancelled;
+  scheduled_base_ = scheduled_base;
+}
+
 void Simulator::FlushCounters() {
   if (scheduled_counter_ == nullptr) {
     return;
@@ -87,7 +107,7 @@ void Simulator::FlushCounters() {
   // Settle events_cancelled_ first: cancels of already-fired events must not be
   // reported as cancellations.
   PurgeStaleTombstones();
-  const uint64_t scheduled = next_id_ - 1;
+  const uint64_t scheduled = next_id_ - 1 + scheduled_base_;
   scheduled_counter_->Increment(static_cast<double>(scheduled - flushed_scheduled_));
   flushed_scheduled_ = scheduled;
   executed_counter_->Increment(
@@ -117,7 +137,12 @@ uint64_t Simulator::Run(SimTime until) {
     ++executed;
     ++events_executed_;
   }
-  if (now_ < until && until != kForever) {
+  // A bounded run advances the clock to `until` only when it was genuinely
+  // interrupted (events remain past the bound). When the workload drained
+  // first, the clock stays at the last event — so a checkpoint requested past
+  // the end of the run captures the natural final state instead of an
+  // artificially late one.
+  if (now_ < until && until != kForever && !Idle()) {
     now_ = until;
   }
   return executed;

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "sim/calendar_queue.h"
 #include "sim/inline_event.h"
@@ -62,6 +64,39 @@ class Simulator {
   // measurably perturbs the hottest function in the twin.
   void FlushCounters();
 
+  // --- Checkpoint/restore hooks (DESIGN.md section 17) -----------------------
+  //
+  // The engine itself cannot serialize its queue: callbacks are opaque
+  // closures. Instead the *owner* of the events keeps re-registerable
+  // descriptors on the side, snapshots via CollectPending (which ids are still
+  // live, and when they fire), and rebuilds a fresh engine by re-scheduling the
+  // descriptors in ascending original-id order — ScheduleAt then hands out new
+  // ids whose relative order matches the originals, so the (time, id) FIFO
+  // tie-break replays identically.
+
+  // Appends every genuinely pending event as (fire time, id): queued and not
+  // tombstoned. Order unspecified (callers sort). Cold path.
+  void CollectPending(std::vector<std::pair<SimTime, EventId>>& out) const;
+
+  // Restores the observable clock of a snapshotted engine onto this (fresh,
+  // empty) one: current time, cumulative executed/cancelled counts, and a base
+  // added to the scheduled-id count FlushCounters reports (the snapshot's
+  // scheduled total minus the pending events about to be re-armed, so the
+  // restored run's telemetry matches an uninterrupted one). Must be called
+  // before any event is scheduled.
+  void Restore(SimTime now, uint64_t events_executed, uint64_t events_cancelled,
+               uint64_t scheduled_base);
+
+  // Settles events_cancelled_ against the live queue (drops tombstones of
+  // events that fired before their cancel landed) so the value is exact for a
+  // snapshot. Cold path wrapper over the amortized purge.
+  void SettleCancelled() { PurgeStaleTombstones(); }
+
+  uint64_t events_cancelled() const { return events_cancelled_; }
+  // Ids handed out so far, offset by any Restore base: the "events scheduled"
+  // total a snapshot must carry.
+  uint64_t events_scheduled() const { return next_id_ - 1 + scheduled_base_; }
+
   static constexpr SimTime kForever = 1e30;
 
  private:
@@ -89,6 +124,11 @@ class Simulator {
   // see DESIGN.md section 9). The purge re-verifies against the calendar buckets
   // via CalendarQueue::ForEach, exactly as it did against the old heap's storage.
   std::unordered_set<EventId> cancelled_;
+
+  // Added to next_id_ - 1 when reporting scheduled totals: a restored engine
+  // hands out fresh ids starting at 1, but logically continues the original
+  // run's id sequence. Zero except after Restore().
+  uint64_t scheduled_base_ = 0;
 
   Counter* scheduled_counter_ = nullptr;
   Counter* executed_counter_ = nullptr;

@@ -39,6 +39,7 @@ class Counter {
   double value() const { return value_; }
 
  private:
+  friend class MetricsRegistry;  // LoadState restores the exact bit pattern
   double value_ = 0.0;
 };
 
@@ -70,6 +71,16 @@ class Histogram {
   double max() const { return stats_.max(); }
   double Percentile(double q) const { return percentiles_.Percentile(q); }
 
+  // Exact state round-trip for checkpoint/restore.
+  void SaveState(StateWriter& w) const {
+    stats_.SaveState(w);
+    percentiles_.SaveState(w);
+  }
+  void LoadState(StateReader& r) {
+    stats_.LoadState(r);
+    percentiles_.LoadState(r);
+  }
+
  private:
   StreamingStats stats_;
   PercentileTracker percentiles_;
@@ -93,6 +104,14 @@ class MetricsRegistry {
 
   // Absorbs `other`: counters add, gauges take other's value, histograms merge.
   void Merge(const MetricsRegistry& other);
+
+  // Exact state round-trip for checkpoint/restore. SaveState serializes entries
+  // in the deterministic (name, labels) export order; LoadState *overwrites*
+  // matching metrics (creating missing ones) so a restored run's registry ends
+  // byte-identical to an uninterrupted one. Handles returned by Get* before
+  // LoadState stay valid — entries are updated in place, never recreated.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
   size_t size() const { return metrics_.size(); }
 

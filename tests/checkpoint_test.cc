@@ -1,0 +1,383 @@
+// Twin checkpoint/restore tests (DESIGN.md section 17).
+//
+// The contract under test: a checkpoint taken mid-run and restored into a
+// fresh engine replays the remainder of the simulation *byte-identically* to
+// the uninterrupted run — same result struct, same metrics registry, same
+// everything. The tests sweep seeds and snapshot times against configs that
+// exercise every serialized subsystem (faults, scrub, aging, lazy repair, the
+// write pipeline), and additionally pin the knobs-off guarantee: enabling
+// capture must not perturb the run it snapshots.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/state_io.h"
+#include "common/units.h"
+#include "core/library_sim.h"
+#include "faults/fault_injector.h"
+#include "faults/media_aging.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+#include "workload/trace_gen.h"
+
+namespace silica {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Substrate: explicit RNG and fault-injector state round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(RngState, RoundTripResumesIdenticalStreamAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    // Burn a prefix so the saved state is mid-stream, not the seed state.
+    for (int i = 0; i < 17; ++i) {
+      rng.NextU64();
+    }
+    StateWriter w;
+    rng.SaveState(w);
+    const auto bytes = w.Take();
+
+    Rng restored(0);  // deliberately different seed; LoadState must override
+    StateReader r(bytes);
+    restored.LoadState(r);
+    EXPECT_TRUE(r.AtEnd()) << "seed " << seed;
+
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(rng.NextU64(), restored.NextU64())
+          << "seed " << seed << " diverged at draw " << i;
+    }
+    // Forked children agree too (fork state is derived from the stream state).
+    Rng fa = rng.Fork(99);
+    Rng fb = restored.Fork(99);
+    EXPECT_EQ(fa.NextU64(), fb.NextU64()) << "seed " << seed;
+  }
+}
+
+struct NullHost : FaultHost {
+  void OnShuttleDown(int) override {}
+  void OnShuttleRepaired(int) override {}
+  void OnDriveDown(int) override {}
+  void OnDriveRepaired(int) override {}
+  void OnRackDown(int) override {}
+  void OnRackRepaired(int) override {}
+};
+
+struct RecordedFault {
+  double time;
+  char kind;
+  int id;
+  bool operator==(const RecordedFault& o) const {
+    return time == o.time && kind == o.kind && id == o.id;
+  }
+};
+
+struct TapeHost : FaultHost {
+  explicit TapeHost(Simulator& s) : sim(s) {}
+  void OnShuttleDown(int s) override { tape.push_back({sim.Now(), 'S', s}); }
+  void OnShuttleRepaired(int s) override { tape.push_back({sim.Now(), 's', s}); }
+  void OnDriveDown(int d) override { tape.push_back({sim.Now(), 'D', d}); }
+  void OnDriveRepaired(int d) override { tape.push_back({sim.Now(), 'd', d}); }
+  void OnRackDown(int r) override { tape.push_back({sim.Now(), 'R', r}); }
+  void OnRackRepaired(int r) override { tape.push_back({sim.Now(), 'r', r}); }
+  Simulator& sim;
+  std::vector<RecordedFault> tape;
+};
+
+FaultConfig MixedFaults() {
+  FaultConfig config;
+  config.shuttle = FaultProcess::Exponential(300.0, 40.0);
+  config.drive = FaultProcess::Exponential(500.0, 60.0);
+  config.rack = FaultProcess::Exponential(900.0, 80.0);
+  config.inject_until_s = 6000.0;
+  return config;
+}
+
+// Run the injector to `pause_at`, checkpoint (renewal state + pending events),
+// restore into a fresh simulator, and require the fault tape after the pause
+// to match an uninterrupted run exactly, for 50 seeds.
+TEST(FaultInjectorState, RoundTripReplaysIdenticalScheduleAcrossSeeds) {
+  const auto config = MixedFaults();
+  const double pause_at = 1500.0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    // Reference: uninterrupted run.
+    Simulator ref_sim;
+    TapeHost ref_host(ref_sim);
+    FaultInjector ref(ref_sim, ref_host, config, Rng(seed), 4, 3, 2);
+    ref.Start();
+    ref_sim.Run();
+
+    // Capture run: pause, save renewal state + pending, abandon.
+    Simulator cap_sim;
+    TapeHost cap_host(cap_sim);
+    FaultInjector cap(cap_sim, cap_host, config, Rng(seed), 4, 3, 2);
+    cap.Start();
+    cap_sim.Run(pause_at);
+    StateWriter w;
+    cap.SaveState(w);
+    std::vector<FaultInjector::PendingFault> pending;
+    cap.CollectPending(pending);
+    const auto bytes = w.Take();
+
+    // Resume run: fresh engine + injector, load, re-arm in original id order
+    // (CollectPending already reports them in schedule order).
+    Simulator res_sim;
+    TapeHost res_host(res_sim);
+    FaultInjector res(res_sim, res_host, config, Rng(seed + 1), 4, 3, 2);
+    StateReader r(bytes);
+    res.LoadState(r);
+    ASSERT_TRUE(r.AtEnd()) << "seed " << seed;
+    res_sim.Restore(pause_at, 0, 0, 0);
+    for (const auto& p : pending) {
+      if (p.is_repair) {
+        res.RearmRepairAt(p.component, p.at);
+      } else {
+        res.RearmFailureAt(p.component, p.at);
+      }
+    }
+    res_sim.Run();
+
+    // Tail of the reference tape (events after the pause) == resumed tape.
+    std::vector<RecordedFault> ref_tail;
+    for (const auto& e : ref_host.tape) {
+      if (e.time > pause_at) {
+        ref_tail.push_back(e);
+      }
+    }
+    ASSERT_EQ(ref_tail.size(), res_host.tape.size()) << "seed " << seed;
+    for (size_t i = 0; i < ref_tail.size(); ++i) {
+      ASSERT_EQ(ref_tail[i], res_host.tape[i])
+          << "seed " << seed << " fault " << i << " diverged";
+    }
+    // Class stats continue from the capture point and land on the reference.
+    EXPECT_EQ(ref.shuttle_stats().failures, res.shuttle_stats().failures)
+        << "seed " << seed;
+    EXPECT_EQ(ref.drive_stats().repairs, res.drive_stats().repairs)
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultInjectorState, LoadStateRejectsComponentCountMismatch) {
+  Simulator sim;
+  NullHost host;
+  const auto config = MixedFaults();
+  FaultInjector a(sim, host, config, Rng(1), 4, 3, 2);
+  StateWriter w;
+  a.SaveState(w);
+  const auto bytes = w.Take();
+
+  Simulator sim2;
+  FaultInjector b(sim2, host, config, Rng(1), 5, 3, 2);
+  StateReader r(bytes);
+  EXPECT_THROW(b.LoadState(r), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Full-twin checkpoint/restore byte-identity.
+// ---------------------------------------------------------------------------
+
+LibrarySimConfig TwinConfig(uint64_t seed) {
+  LibrarySimConfig config;
+  config.library.policy = LibraryConfig::Policy::kPartitioned;
+  config.library.num_shuttles = 8;
+  config.library.storage_racks = 6;
+  config.num_info_platters = 400;  // 25 complete 16+3 sets
+  config.seed = seed;
+  return config;
+}
+
+ReadTrace UniformTrace(int count, double spacing_s, uint64_t platters,
+                       uint64_t bytes) {
+  ReadTrace trace;
+  for (int i = 0; i < count; ++i) {
+    ReadRequest r;
+    r.id = static_cast<uint64_t>(i + 1);
+    r.arrival = i * spacing_s;
+    r.file_id = r.id;
+    r.bytes = bytes;
+    r.platter = static_cast<uint64_t>(i) % platters;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+std::vector<uint8_t> ResultBytes(const LibrarySimResult& result) {
+  StateWriter w;
+  SaveLibrarySimResult(w, result);
+  return w.Take();
+}
+
+// The everything-on config: scrub + media aging + all three mechanical fault
+// classes + write pipeline + lazy repair. Every serialized subsystem is live.
+LibrarySimConfig StormConfig(uint64_t seed) {
+  auto config = TwinConfig(seed);
+  config.faults.shuttle = FaultProcess::Exponential(1500.0, 200.0);
+  config.faults.drive = FaultProcess::Exponential(2500.0, 300.0);
+  config.faults.rack = FaultProcess::Exponential(4000.0, 400.0);
+  config.faults.aging = MediaAgingConfig::Exponential(2.0 * 3600.0);
+  config.scrub.enabled = true;
+  config.scrub.platter_interval_s = 1800.0;
+  config.scrub.track_sample_fraction = 0.2;
+  config.write_platters_per_hour = 20.0;
+  config.write_until = 2.0 * 3600.0;
+  config.lazy_repair.enabled = true;
+  config.lazy_repair.bandwidth_bytes_per_s = 2.0 * kMiB;
+  config.lazy_repair.drain_interval_s = 30.0;
+  return config;
+}
+
+// Acceptance criterion: restore replays byte-identically for >= 3 snapshot
+// times across 50 seeds. The capture run's own result must also equal the
+// plain run's (arming capture cannot perturb the simulation).
+TEST(Checkpoint, RestoreIsByteIdenticalAcrossSeedsAndSnapshotTimes) {
+  const double snapshot_times[] = {500.0, 2000.0, 6000.0};
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto config = StormConfig(seed);
+    const auto trace =
+        UniformTrace(120, 5.0, config.num_info_platters, 4 * kMiB);
+    const auto baseline = ResultBytes(SimulateLibrary(config, trace));
+    for (const double at : snapshot_times) {
+      LibraryCheckpoint snapshot;
+      const auto captured =
+          SimulateLibraryWithCheckpoint(config, trace, at, &snapshot);
+      ASSERT_FALSE(snapshot.bytes.empty()) << "seed " << seed << " at " << at;
+      ASSERT_EQ(ResultBytes(captured), baseline)
+          << "seed " << seed << ": capture at " << at
+          << " s perturbed the run it snapshotted";
+      const auto resumed = ResumeLibrary(config, trace, snapshot);
+      ASSERT_EQ(ResultBytes(resumed), baseline)
+          << "seed " << seed << ": restore from " << at
+          << " s diverged from the uninterrupted run";
+    }
+  }
+}
+
+// With live metrics attached, the restored run's registry must export exactly
+// what the uninterrupted run's does (counters are cumulative across the
+// snapshot boundary, flushed once at end of run).
+TEST(Checkpoint, RestoredMetricsRegistryMatchesUninterruptedRun) {
+  const auto config_base = StormConfig(11);
+  const auto trace =
+      UniformTrace(120, 5.0, config_base.num_info_platters, 4 * kMiB);
+
+  Telemetry ref_tel;
+  auto ref_config = config_base;
+  ref_config.telemetry = &ref_tel;
+  const auto ref_result = SimulateLibrary(ref_config, trace);
+
+  Telemetry cap_tel;
+  auto cap_config = config_base;
+  cap_config.telemetry = &cap_tel;
+  LibraryCheckpoint snapshot;
+  SimulateLibraryWithCheckpoint(cap_config, trace, 2000.0, &snapshot);
+
+  Telemetry res_tel;
+  auto res_config = config_base;
+  res_config.telemetry = &res_tel;
+  const auto res_result = ResumeLibrary(res_config, trace, snapshot);
+
+  EXPECT_EQ(ResultBytes(res_result), ResultBytes(ref_result));
+  StateWriter ref_w;
+  ref_tel.metrics.SaveState(ref_w);
+  StateWriter res_w;
+  res_tel.metrics.SaveState(res_w);
+  EXPECT_EQ(ref_w.Take(), res_w.Take())
+      << "metrics registry diverged across the snapshot boundary";
+}
+
+// Knobs-off guarantee: on a config that predates every robustness feature,
+// running with capture armed still produces the byte-identical figure-9 style
+// result (no schedule perturbation from the descriptor bookkeeping).
+TEST(Checkpoint, KnobsOffCaptureMatchesPlainRun) {
+  for (uint64_t seed : {1ull, 9ull, 23ull}) {
+    const auto config = TwinConfig(seed);
+    const auto trace =
+        UniformTrace(200, 5.0, config.num_info_platters, 4 * kMiB);
+    const auto plain = ResultBytes(SimulateLibrary(config, trace));
+    LibraryCheckpoint snapshot;
+    const auto captured =
+        SimulateLibraryWithCheckpoint(config, trace, 300.0, &snapshot);
+    EXPECT_EQ(ResultBytes(captured), plain) << "seed " << seed;
+    const auto resumed = ResumeLibrary(config, trace, snapshot);
+    EXPECT_EQ(ResultBytes(resumed), plain) << "seed " << seed;
+  }
+}
+
+// A snapshot taken after the workload resolves is legal: it captures the
+// final state and restoring it replays an empty tail.
+TEST(Checkpoint, SnapshotAfterCompletionRestoresFinalState) {
+  const auto config = TwinConfig(5);
+  const auto trace = UniformTrace(40, 5.0, config.num_info_platters, 4 * kMiB);
+  const auto plain = ResultBytes(SimulateLibrary(config, trace));
+  LibraryCheckpoint snapshot;
+  const auto captured =
+      SimulateLibraryWithCheckpoint(config, trace, 1.0e9, &snapshot);
+  EXPECT_EQ(ResultBytes(captured), plain);
+  EXPECT_EQ(ResultBytes(ResumeLibrary(config, trace, snapshot)), plain);
+}
+
+TEST(Checkpoint, ResumeRejectsConfigMismatch) {
+  const auto config = TwinConfig(3);
+  const auto trace = UniformTrace(60, 5.0, config.num_info_platters, 4 * kMiB);
+  LibraryCheckpoint snapshot;
+  SimulateLibraryWithCheckpoint(config, trace, 500.0, &snapshot);
+
+  auto wrong_seed = config;
+  wrong_seed.seed = 4;
+  EXPECT_THROW(ResumeLibrary(wrong_seed, trace, snapshot), std::runtime_error);
+
+  auto wrong_fleet = config;
+  wrong_fleet.library.num_shuttles = 9;
+  EXPECT_THROW(ResumeLibrary(wrong_fleet, trace, snapshot), std::runtime_error);
+
+  auto wrong_code = config;
+  wrong_code.platter_set_redundancy = 4;
+  EXPECT_THROW(ResumeLibrary(wrong_code, trace, snapshot), std::runtime_error);
+
+  LibraryCheckpoint truncated = snapshot;
+  truncated.bytes.resize(truncated.bytes.size() / 2);
+  EXPECT_THROW(ResumeLibrary(config, trace, truncated), std::runtime_error);
+}
+
+TEST(Checkpoint, CaptureRejectsTracingAndBadArguments) {
+  const auto config_base = TwinConfig(2);
+  const auto trace = UniformTrace(20, 5.0, config_base.num_info_platters,
+                                  4 * kMiB);
+  LibraryCheckpoint snapshot;
+  EXPECT_THROW(
+      SimulateLibraryWithCheckpoint(config_base, trace, -1.0, &snapshot),
+      std::invalid_argument);
+  EXPECT_THROW(SimulateLibraryWithCheckpoint(config_base, trace, 10.0, nullptr),
+               std::invalid_argument);
+
+  Telemetry traced;
+  traced.tracer.Enable();
+  auto config = config_base;
+  config.telemetry = &traced;
+  EXPECT_THROW(SimulateLibraryWithCheckpoint(config, trace, 10.0, &snapshot),
+               std::invalid_argument);
+  EXPECT_THROW(ResumeLibrary(config, trace, snapshot), std::invalid_argument);
+}
+
+// Result serialization itself must round-trip (the byte-identity tests lean
+// on it as the comparator).
+TEST(Checkpoint, ResultSerializationRoundTrips) {
+  const auto config = StormConfig(17);
+  const auto trace = UniformTrace(80, 5.0, config.num_info_platters, 4 * kMiB);
+  const auto result = SimulateLibrary(config, trace);
+  StateWriter w;
+  SaveLibrarySimResult(w, result);
+  const auto bytes = w.Take();
+  StateReader r(bytes);
+  const auto reloaded = LoadLibrarySimResult(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(ResultBytes(reloaded), bytes);
+  EXPECT_EQ(reloaded.requests_completed, result.requests_completed);
+  EXPECT_EQ(reloaded.scrub.ledger.detected, result.scrub.ledger.detected);
+}
+
+}  // namespace
+}  // namespace silica

@@ -12,12 +12,15 @@
 #include <numeric>
 #include <vector>
 
+#include "common/state_io.h"
 #include "common/units.h"
 #include "core/library_sim.h"
 #include "core/platter_repair.h"
 #include "core/silica_service.h"
+#include "ecc/lazy_repair.h"
 #include "faults/fault_injector.h"
 #include "faults/media_aging.h"
+#include "sim/durability_model.h"
 #include "sim/simulator.h"
 #include "workload/trace_gen.h"
 
@@ -560,6 +563,344 @@ TEST(ScrubbedLibrary, EveryRepairTierFiresAndNoBytesAreLost) {
   EXPECT_EQ(s.ledger.unrecoverable, 0u)
       << "16+3 with readable peers must lose nothing";
   EXPECT_EQ(s.ledger.bytes_lost, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// LazyRepairQueue: urgency order, byte budget, eviction, state round-trip.
+// ---------------------------------------------------------------------------
+
+LazyRepairEntry Entry(uint64_t platter, int remaining, uint64_t bytes,
+                      double admitted_at) {
+  LazyRepairEntry e;
+  e.platter = platter;
+  e.remaining_redundancy = remaining;
+  e.tier = RepairTier::kLdpcRetry;
+  e.sectors = 1;
+  e.bytes = bytes;
+  e.admitted_at = admitted_at;
+  return e;
+}
+
+TEST(LazyRepairQueue, DrainsClosestToLossFirst) {
+  LazyRepairQueue q;
+  LazyRepairConfig config;
+  config.enabled = true;
+  config.bandwidth_bytes_per_s = 1.0e12;  // budget never binds
+  q.Configure(config, 0.0);
+  q.Admit(Entry(/*platter=*/1, /*remaining=*/3, /*bytes=*/100, /*at=*/0.0));
+  q.Admit(Entry(2, 1, 100, 5.0));  // most urgent despite latest admission...
+  q.Admit(Entry(3, 1, 100, 2.0));  // ...except this one was admitted earlier
+  q.Admit(Entry(4, 2, 100, 1.0));
+
+  std::vector<uint64_t> order;
+  q.Drain(10.0, [&](const LazyRepairEntry& e) { order.push_back(e.platter); });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<uint64_t>{3, 2, 4, 1}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.queued_bytes(), 0u);
+}
+
+TEST(LazyRepairQueue, DrainNeverExceedsAccruedBudget) {
+  LazyRepairQueue q;
+  LazyRepairConfig config;
+  config.enabled = true;
+  config.bandwidth_bytes_per_s = 100.0;  // 100 B/s
+  q.Configure(config, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    q.Admit(Entry(static_cast<uint64_t>(i), 2, /*bytes=*/250, 0.0));
+  }
+  // Tokens accrue linearly; entries pop whole or not at all.
+  double elapsed = 0.0;
+  uint64_t popped = 0;
+  for (const double now : {1.0, 2.5, 5.0, 7.5, 12.5, 30.0}) {
+    popped += q.Drain(now, [](const LazyRepairEntry&) {});
+    elapsed = now;
+    EXPECT_LE(static_cast<double>(q.drained_bytes()),
+              config.bandwidth_bytes_per_s * elapsed)
+        << "at t=" << now;
+  }
+  // 30 s x 100 B/s = 3000 B = exactly 12 entries' worth, but only 10 exist.
+  EXPECT_EQ(popped, 10u);
+  // A fresh entry larger than the leftover tokens must wait.
+  q.Admit(Entry(99, 0, /*bytes=*/100000, 30.0));
+  EXPECT_EQ(q.Drain(30.0, [](const LazyRepairEntry&) {}), 0u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(LazyRepairQueue, EvictRemovesEveryEntryForThePlatter) {
+  LazyRepairQueue q;
+  LazyRepairConfig config;
+  config.enabled = true;
+  q.Configure(config, 0.0);
+  q.Admit(Entry(7, 1, 100, 0.0));
+  q.Admit(Entry(8, 2, 150, 0.0));
+  q.Admit(Entry(7, 3, 200, 1.0));
+  const auto evicted = q.Evict(7);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.queued_bytes(), 150u);
+  // Evicted entries are the caller's ledger problem: not counted drained.
+  EXPECT_EQ(q.drained(), 0u);
+  EXPECT_EQ(q.admitted(), 3u);
+}
+
+TEST(LazyRepairQueue, StateRoundTripDrainsIdentically) {
+  LazyRepairConfig config;
+  config.enabled = true;
+  config.bandwidth_bytes_per_s = 200.0;
+
+  LazyRepairQueue a;
+  a.Configure(config, 0.0);
+  for (int i = 0; i < 6; ++i) {
+    a.Admit(Entry(static_cast<uint64_t>(i), i % 3, 300 + 10u * i, 0.5 * i));
+  }
+  a.Drain(2.0, [](const LazyRepairEntry&) {});  // leave mid-stream tokens
+
+  StateWriter w;
+  a.SaveState(w);
+  const auto bytes = w.Take();
+  LazyRepairQueue b;
+  b.Configure(config, 0.0);  // config is not serialized; caller re-applies
+  StateReader r(bytes);
+  b.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.queued_bytes(), b.queued_bytes());
+  EXPECT_EQ(a.drained_bytes(), b.drained_bytes());
+
+  std::vector<uint64_t> oa;
+  std::vector<uint64_t> ob;
+  a.Drain(30.0, [&](const LazyRepairEntry& e) { oa.push_back(e.platter); });
+  b.Drain(30.0, [&](const LazyRepairEntry& e) { ob.push_back(e.platter); });
+  EXPECT_EQ(oa, ob);
+  EXPECT_EQ(a.drained_bytes(), b.drained_bytes());
+}
+
+TEST(LazyRepairQueue, DrainAllSettlesRegardlessOfBudget) {
+  LazyRepairQueue q;
+  LazyRepairConfig config;
+  config.enabled = true;
+  config.bandwidth_bytes_per_s = 1.0;  // starved
+  q.Configure(config, 0.0);
+  q.Admit(Entry(1, 0, 1000000, 0.0));
+  q.Admit(Entry(2, 1, 1000000, 0.0));
+  EXPECT_EQ(q.Drain(1.0, [](const LazyRepairEntry&) {}), 0u);
+  EXPECT_EQ(q.DrainAll(1.0, [](const LazyRepairEntry&) {}), 2u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.queued_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy repair in the twin: budget adherence + ledger conservation in a storm.
+// ---------------------------------------------------------------------------
+
+LibrarySimConfig LazyStormConfig(uint64_t seed) {
+  auto config = TwinConfig(seed);
+  config.faults.shuttle = FaultProcess::Exponential(1500.0, 200.0);
+  config.faults.drive = FaultProcess::Exponential(2500.0, 300.0);
+  config.faults.rack = FaultProcess::Exponential(4000.0, 400.0);
+  config.faults.aging = MediaAgingConfig::Exponential(1.5 * 3600.0);
+  // Bound the storm: an open-ended window keeps re-darkening platters faster
+  // than the retry ladder climbs, so the tail of the run stretches into
+  // sim-years of churn. The invariants under test (budget adherence, ledger
+  // conservation) are fully exercised within the window.
+  config.faults.inject_until_s = 4000.0;
+  config.scrub.enabled = true;
+  config.scrub.platter_interval_s = 1800.0;
+  config.scrub.track_sample_fraction = 0.2;
+  config.lazy_repair.enabled = true;
+  config.lazy_repair.bandwidth_bytes_per_s = 512.0 * 1024.0;
+  config.lazy_repair.drain_interval_s = 30.0;
+  return config;
+}
+
+TEST(LazyRepairLibrary, StormHoldsBudgetAndConservesLedgerAcrossSeeds) {
+  uint64_t total_admitted = 0;
+  uint64_t total_drained = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto config = LazyStormConfig(seed);
+    const auto trace =
+        UniformTrace(120, 5.0, config.num_info_platters, 4 * kMiB);
+    const auto result = SimulateLibrary(config, trace);
+
+    ASSERT_EQ(result.requests_completed + result.requests_failed,
+              result.requests_total)
+        << "seed " << seed;
+    const auto& s = result.scrub;
+    ASSERT_TRUE(s.ledger.Conserves())
+        << "seed " << seed << ": detected " << s.ledger.detected
+        << " != repaired " << s.ledger.repaired_total() << " + unrecoverable "
+        << s.ledger.unrecoverable;
+    // Every admitted entry resolves exactly once: budget-gated drain,
+    // end-of-run settlement, or eviction (platter lost / rebuilt wholesale).
+    ASSERT_GE(s.lazy_admitted, s.lazy_drained + s.lazy_settled)
+        << "seed " << seed;
+    // Budget adherence: budget-gated repair traffic never outruns the token
+    // bucket. The final clock is recovered from the per-drive time ledger
+    // (every drive's read + verify + switch + idle sums to the run's end).
+    const double end =
+        (result.drive_read_seconds + result.drive_verify_seconds +
+         result.drive_switch_seconds + result.drive_idle_seconds) /
+        config.library.num_read_drives();
+    ASSERT_LE(static_cast<double>(s.lazy_drained_bytes),
+              config.lazy_repair.bandwidth_bytes_per_s * end + 1.0)
+        << "seed " << seed;
+    total_admitted += s.lazy_admitted;
+    total_drained += s.lazy_drained;
+  }
+  // The sweep must exercise the lazy path for the invariants to mean anything.
+  EXPECT_GT(total_admitted, 0u);
+  EXPECT_GT(total_drained, 0u);
+}
+
+// Capacity unification: lazy repairs bill the byte budget, not the drive
+// verify clock, so under the same storm the lazy run's verify clock carries
+// only scrub passes while the eager run's also absorbs the inline repair
+// phases. Saturating both paths pins the no-double-spend split.
+TEST(LazyRepairLibrary, LazyRepairsDoNotSpendTheVerifyClock) {
+  auto eager_config = LazyStormConfig(13);
+  eager_config.lazy_repair.enabled = false;
+  auto lazy_config = LazyStormConfig(13);
+  lazy_config.lazy_repair.bandwidth_bytes_per_s = 1.0e12;  // drain instantly
+  const auto trace =
+      UniformTrace(120, 5.0, eager_config.num_info_platters, 4 * kMiB);
+  const auto eager = SimulateLibrary(eager_config, trace);
+  const auto lazy = SimulateLibrary(lazy_config, trace);
+
+  ASSERT_TRUE(eager.scrub.ledger.Conserves());
+  ASSERT_TRUE(lazy.scrub.ledger.Conserves());
+  ASSERT_GT(lazy.scrub.lazy_admitted, 0u);
+  ASSERT_GT(eager.scrub.repair_read_seconds, 0.0);
+  ASSERT_GT(lazy.scrub.repair_read_seconds, 0.0);
+  // Eager: the inline repair phase elapses on the verify clock, so the clock
+  // dominates the pure pass cost by at least that phase's analytic cost.
+  EXPECT_GE(eager.drive_verify_seconds,
+            eager.scrub.scrub_read_seconds +
+                0.9 * eager.scrub.repair_read_seconds);
+  // Lazy: repair traffic is billed to the byte budget only; the verify clock
+  // stays in the neighborhood of the pass cost instead of absorbing repairs.
+  EXPECT_LT(lazy.drive_verify_seconds,
+            lazy.scrub.scrub_read_seconds +
+                0.5 * lazy.scrub.repair_read_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// DurabilityModel: rare-event MTTDL estimator.
+// ---------------------------------------------------------------------------
+
+// A deliberately fragile fleet: losses frequent enough that brute-force Monte
+// Carlo sees them, so splitting can be validated against it — but not so
+// frequent that p_loss saturates at 1 and the two estimators become
+// indistinguishable. At 0.3 failures/platter/year and a 10-day detection lag,
+// roughly a third of one-year trajectories lose a set.
+DurabilityConfig FragileFleet() {
+  DurabilityConfig config;
+  config.num_sets = 16;
+  config.n = 5;
+  config.k = 4;  // one failure tolerated
+  config.fail_rate_per_platter_year = 0.3;
+  config.scrub_interval_s = 10.0 * 24.0 * 3600.0;
+  config.repair_bandwidth_bytes_per_s = 20.0e6;
+  config.horizon_s = 1.0 * 365.25 * 24.0 * 3600.0;
+  config.seed = 77;
+  return config;
+}
+
+TEST(DurabilityModel, StateRoundTripContinuesIdentically) {
+  const auto config = FragileFleet();
+  DurabilityModel model(config);
+  auto s = model.MakeInitialState(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto outcome = model.Step(s);
+    if (outcome == DurabilityModel::StepOutcome::kLoss ||
+        outcome == DurabilityModel::StepOutcome::kHorizon) {
+      s = model.MakeInitialState(3 + static_cast<uint64_t>(i));
+    }
+  }
+  StateWriter w;
+  model.SaveState(w, s);
+  const auto bytes = w.Take();
+  StateReader r(bytes);
+  auto restored = model.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+
+  // Both copies must walk the identical trajectory to termination.
+  for (int i = 0; i < 100000; ++i) {
+    const auto oa = model.Step(s);
+    const auto ob = model.Step(restored);
+    ASSERT_EQ(oa, ob) << "step " << i;
+    ASSERT_DOUBLE_EQ(s.now, restored.now) << "step " << i;
+    ASSERT_EQ(s.failures, restored.failures) << "step " << i;
+    if (oa == DurabilityModel::StepOutcome::kLoss ||
+        oa == DurabilityModel::StepOutcome::kHorizon) {
+      break;
+    }
+  }
+  EXPECT_EQ(s.lost, restored.lost);
+  EXPECT_DOUBLE_EQ(s.loss_time, restored.loss_time);
+}
+
+TEST(DurabilityModel, EstimateIsDeterministicForSeed) {
+  const auto config = FragileFleet();
+  const auto a = EstimateMttdl(config, /*roots=*/50, /*split_k=*/4);
+  const auto b = EstimateMttdl(config, /*roots=*/50, /*split_k=*/4);
+  EXPECT_DOUBLE_EQ(a.p_loss, b.p_loss);
+  EXPECT_EQ(a.trajectories, b.trajectories);
+  EXPECT_EQ(a.events, b.events);
+}
+
+// Acceptance criterion: the splitting estimator agrees with brute-force Monte
+// Carlo within overlapping 95% CIs on a config where brute force works.
+TEST(DurabilityModel, SplittingAgreesWithBruteForceWithinCi) {
+  const auto config = FragileFleet();
+  const auto mc = EstimateMttdl(config, /*roots=*/400, /*split_k=*/1);
+  const auto split = EstimateMttdl(config, /*roots=*/400, /*split_k=*/6);
+  ASSERT_GT(mc.loss_branches, 0u)
+      << "brute force saw no losses: the validation config is too safe";
+  ASSERT_GT(split.loss_branches, 0u);
+  // 95% CIs overlap.
+  EXPECT_LE(split.ci_low, mc.ci_high)
+      << "split [" << split.ci_low << ", " << split.ci_high << "] vs mc ["
+      << mc.ci_low << ", " << mc.ci_high << "]";
+  EXPECT_LE(mc.ci_low, split.ci_high)
+      << "split [" << split.ci_low << ", " << split.ci_high << "] vs mc ["
+      << mc.ci_low << ", " << mc.ci_high << "]";
+  // Splitting spends its work where it matters: more loss observations.
+  EXPECT_GT(split.loss_branches, mc.loss_branches);
+}
+
+// The frontier's qualitative shape: starving the lazy repair budget must cost
+// durability, and adding redundancy must buy it back.
+TEST(DurabilityModel, StarvedLazyBudgetLowersDurability) {
+  auto healthy = FragileFleet();
+  healthy.lazy = true;
+  auto starved = healthy;
+  starved.repair_bandwidth_bytes_per_s = 10.0e3;  // ~forever per repair
+  const auto a = EstimateMttdl(healthy, /*roots=*/300, /*split_k=*/4);
+  const auto b = EstimateMttdl(starved, /*roots=*/300, /*split_k=*/4);
+  EXPECT_GT(b.p_loss, a.p_loss)
+      << "starving the repair budget must increase loss probability";
+}
+
+TEST(DurabilityModel, ExtraRedundancyBuysDurability) {
+  auto thin = FragileFleet();
+  thin.lazy = true;
+  auto deep = thin;
+  deep.n = 7;  // same k: two more redundant platters per set
+  const auto a = EstimateMttdl(thin, /*roots=*/300, /*split_k=*/4);
+  const auto b = EstimateMttdl(deep, /*roots=*/300, /*split_k=*/4);
+  EXPECT_LT(b.p_loss, a.p_loss)
+      << "n=7,k=4 must beat n=5,k=4 at the same budget";
+}
+
+TEST(DurabilityModel, JsonReportIsWellFormed) {
+  const auto config = FragileFleet();
+  const auto estimate = EstimateMttdl(config, /*roots=*/50, /*split_k=*/4);
+  const auto json = MttdlEstimateToJson(config, estimate, /*split_k=*/4, 0);
+  EXPECT_NE(json.find("\"p_loss\""), std::string::npos);
+  EXPECT_NE(json.find("\"mttdl_years\""), std::string::npos);
+  EXPECT_NE(json.find("\"p_loss_ci95\""), std::string::npos);
+  EXPECT_NE(json.find("\"split_k\""), std::string::npos);
 }
 
 }  // namespace

@@ -14,13 +14,50 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs"
 ctest --preset default -j "$jobs"
 
-echo "== smoke: durability sweep (aging x scrub, JSON) =="
+echo "== smoke: durability sweep (aging x scrub + MTTDL frontier, JSON) =="
 ./build/bench/bench_durability --json | python3 -c '
 import json, sys
-cells = json.load(sys.stdin)["cells"]
+report = json.load(sys.stdin)
+cells = report["cells"]
 for cell in cells:
     assert cell["conserves"], f"repair ledger leak: {cell}"
-print(f"ok: {len(cells)} cells, ledger conserves in each")
+mttdl = {c["label"]: c["estimate"] for c in report["mttdl"]}
+split, mc = mttdl["xcheck_split"], mttdl["xcheck_mc"]
+lo_s, hi_s = split["p_loss_ci95"]
+lo_m, hi_m = mc["p_loss_ci95"]
+assert lo_s <= hi_m and lo_m <= hi_s, \
+    f"splitting and Monte Carlo CIs diverged: {split} vs {mc}"
+assert split["loss_branches"] > mc["loss_branches"], \
+    "splitting found no more loss branches than brute force"
+print(f"ok: {len(cells)} cells conserve; splitting CI "
+      f"[{lo_s:.3f}, {hi_s:.3f}] overlaps MC [{lo_m:.3f}, {hi_m:.3f}]")
+'
+
+echo "== smoke: checkpoint round-trip (twin snapshot/restore byte-identity) =="
+# silica_sim re-runs the same config uninterrupted, snapshots at the given
+# sim-time, restores, and exits nonzero if the two final reports differ.
+./build/tools/silica_sim --profile=iops --platters=300 --seed=7 \
+    --checkpoint-at=900 --json > /tmp/silica_checkpoint.json
+echo "ok: checkpoint at 900 s restored byte-identically"
+
+echo "== smoke: rare-event MTTDL estimator (splitting vs brute force) =="
+./build/tools/silica_sim --mttdl=split --sets=16 --set-n=5 --set-k=4 \
+    --fail-rate=0.3 --scrub-interval=864000 --horizon-years=1 --roots=100 \
+    --split-k=6 > /tmp/silica_mttdl_split.json
+./build/tools/silica_sim --mttdl=mc --sets=16 --set-n=5 --set-k=4 \
+    --fail-rate=0.3 --scrub-interval=864000 --horizon-years=1 --roots=100 \
+    > /tmp/silica_mttdl_mc.json
+python3 -c '
+import json
+split = json.load(open("/tmp/silica_mttdl_split.json"))
+mc = json.load(open("/tmp/silica_mttdl_mc.json"))
+assert split["mode"] == "splitting" and mc["mode"] == "monte_carlo"
+lo_s, hi_s = split["p_loss_ci95"]
+lo_m, hi_m = mc["p_loss_ci95"]
+assert lo_s <= hi_m and lo_m <= hi_s, \
+    f"--mttdl split vs mc CIs diverged: {split} vs {mc}"
+p = split["p_loss"]
+print(f"ok: split p_loss {p:.3f} vs MC CI [{lo_m:.3f}, {hi_m:.3f}]")
 '
 
 echo "== smoke: event-loop microbench (reduced ops, JSON) =="
@@ -110,7 +147,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build --preset tsan -j "$jobs" --target silica_tests
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/silica_tests \
-    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:Gf256Kernels.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:ShardedScheduler.*:FrontendTest.VirtualClockReplayIsDeterministic'
+    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:Gf256Kernels.*:FaultInjector.*:FaultInjectorState.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:ShardedScheduler.*:LazyRepair*:DurabilityModel.*:FrontendTest.VirtualClockReplayIsDeterministic'
   echo "== OK =="
   exit 0
 fi
@@ -120,6 +157,6 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" --target silica_tests
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/silica_tests \
-  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:ShardedScheduler.*:Partitioner.*:MetricsRegistry.*:Tracer.*:Telemetry.*:Gf256Kernels.*:FaultInjector.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
+  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:ShardedScheduler.*:Partitioner.*:MetricsRegistry.*:Tracer.*:Telemetry.*:Gf256Kernels.*:FaultInjector.*:FaultInjectorState.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:RngState.*:Checkpoint.*:LazyRepair*:DurabilityModel.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
 
 echo "== OK =="

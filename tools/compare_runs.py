@@ -42,6 +42,17 @@ fleet and per-fleet events/sec must not drop beyond the tolerance. The
 deterministic counters (steals, congestion stops, detours, repartitions) are
 printed as drift notes: at the same seed and config any change is a behavior
 change, but across intentional scheduler evolutions they move legitimately.
+
+And `bench_durability --json` reports (detected by "bench": "durability",
+tracked in BENCH_durability.json): two hard gates — every twin sweep cell's
+repair ledger must conserve (detected == repaired + unrecoverable) in both
+reports, and within each report the MTTDL cross-check pair's 95% confidence
+intervals (importance splitting vs brute-force Monte Carlo on the same fleet)
+must overlap, or the estimator itself is broken. Then the directional table:
+per frontier cell, p_loss / unrecoverable sectors / bytes lost must not rise
+and mttdl_years must not drop beyond the tolerance. The model is
+deterministic at a fixed seed, so at unchanged config any delta at all is a
+behavior change — the tolerance only absorbs intentional re-tuning.
 """
 import argparse
 import json
@@ -356,6 +367,90 @@ def compare_traffic(base, cand, tolerance):
     return 0
 
 
+def compare_durability(base, cand, tolerance):
+    """Diff two bench_durability reports. Hard gates: every twin cell's
+    repair ledger conserves in both reports, and each report's xcheck pair
+    (splitting vs Monte Carlo on the same fleet) has overlapping 95% CIs.
+    Then a directional table over the MTTDL frontier cells and the twin
+    sweep's loss counters."""
+    failures = []
+    for name, report in (("baseline", base), ("candidate", cand)):
+        for cell in report.get("cells", []):
+            if not cell.get("conserves", False):
+                failures.append(
+                    f"{name}: ledger leak at aging_mtbe={cell.get('aging_mtbe_s')}"
+                    f" scrub={cell.get('scrub')} (detected != repaired +"
+                    " unrecoverable)")
+        mttdl = {c["label"]: c["estimate"] for c in report.get("mttdl", [])}
+        split, mc = mttdl.get("xcheck_split"), mttdl.get("xcheck_mc")
+        if split is None or mc is None:
+            failures.append(f"{name}: MTTDL cross-check pair missing")
+        else:
+            lo_s, hi_s = split["p_loss_ci95"]
+            lo_m, hi_m = mc["p_loss_ci95"]
+            if not (lo_s <= hi_m and lo_m <= hi_s):
+                failures.append(
+                    f"{name}: splitting CI [{lo_s:.4f}, {hi_s:.4f}] does not "
+                    f"overlap Monte Carlo CI [{lo_m:.4f}, {hi_m:.4f}]")
+    for failure in failures:
+        print(f"DURABILITY GATE VIOLATION — {failure}")
+    if failures:
+        return 1
+
+    rows = []
+    regressions = []
+    base_mttdl = {c["label"]: c["estimate"] for c in base.get("mttdl", [])}
+    cand_mttdl = {c["label"]: c["estimate"] for c in cand.get("mttdl", [])}
+    for label in base_mttdl:
+        if label not in cand_mttdl:
+            print(f"note: MTTDL cell {label} missing in candidate")
+            continue
+        for key, metric, direction in [
+            ("p_loss", "p_loss", -1),
+            ("mttdl_years", "mttdl years", +1),
+            ("loss_branches", "loss branches", 0),
+        ]:
+            b, c = base_mttdl[label].get(key), cand_mttdl[label].get(key)
+            if b is not None and c is not None:
+                rows.append((f"{label}: {metric}", b, c, direction))
+    base_cells = {(c.get("aging_mtbe_s"), c.get("scrub")): c
+                  for c in base.get("cells", [])}
+    cand_cells = {(c.get("aging_mtbe_s"), c.get("scrub")): c
+                  for c in cand.get("cells", [])}
+    for cell_key in base_cells:
+        if cell_key not in cand_cells:
+            continue
+        mtbe, scrub = cell_key
+        tag = f"mtbe={mtbe:g} scrub={'on' if scrub else 'off'}"
+        for key, metric, direction in [
+            ("unrecoverable", "unrecoverable", -1),
+            ("bytes_lost", "bytes lost", -1),
+            ("detected", "detected", 0),
+        ]:
+            b = base_cells[cell_key].get(key)
+            c = cand_cells[cell_key].get(key)
+            if b is not None and c is not None:
+                rows.append((f"{tag}: {metric}", b, c, direction))
+
+    width = max((len(label) for label, *_ in rows), default=20)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+    for label, b, c, direction in rows:
+        delta = (c - b) / b if b else (0.0 if c == b else float("inf"))
+        mark = ""
+        if direction != 0 and direction * delta < -tolerance:
+            mark = "  <-- regression"
+            regressions.append(label)
+        print(f"{label:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+7.1%}{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{tolerance:.1%}: {', '.join(regressions)}")
+        return 1
+    print("\nledger conserves, estimator CIs overlap; no regressions beyond "
+          "tolerance")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -372,7 +467,8 @@ def main():
     for bench, comparator in (("events", compare_events),
                               ("frontend", compare_frontend),
                               ("decode_stack", compare_decode_stack),
-                              ("traffic", compare_traffic)):
+                              ("traffic", compare_traffic),
+                              ("durability", compare_durability)):
         if base.get("bench") == bench or cand.get("bench") == bench:
             if base.get("bench") != cand.get("bench"):
                 print(f"error: only one of the reports is a bench_{bench} report")

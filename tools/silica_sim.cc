@@ -25,16 +25,87 @@
 #include <string>
 #include <vector>
 
+#include "common/state_io.h"
 #include "common/units.h"
 #include "ecc/simd/gf256_kernels.h"
 #include "core/library_sim.h"
 #include "core/sweep.h"
 #include "flags.h"
+#include "sim/durability_model.h"
 #include "telemetry/telemetry.h"
 #include "workload/trace_gen.h"
 #include "workload/trace_io.h"
 
 namespace {
+
+// Standalone rare-event MTTDL estimation on the set-level durability model
+// (no library twin): importance splitting by default, --mttdl=mc for the
+// brute-force Monte Carlo baseline. Always prints one JSON object.
+int RunMttdl(const silica::Flags& flags) {
+  using namespace silica;
+  const std::string mode = flags.Get("mttdl", "split");
+  if (mode != "split" && mode != "mc") {
+    std::fprintf(stderr, "error: --mttdl must be split or mc; got %s\n",
+                 mode.c_str());
+    return 1;
+  }
+  DurabilityConfig config;
+  config.num_sets = static_cast<int>(flags.GetInt("sets", config.num_sets));
+  config.n = static_cast<int>(flags.GetInt("set-n", config.n));
+  config.k = static_cast<int>(flags.GetInt("set-k", config.k));
+  if (config.k < 1 || config.n <= config.k) {
+    std::fprintf(stderr,
+                 "error: need 1 <= --set-k < --set-n (k data + n-k redundancy "
+                 "platters per set); got n=%d k=%d\n",
+                 config.n, config.k);
+    return 1;
+  }
+  if (config.num_sets < 1) {
+    std::fprintf(stderr, "error: --sets must be >= 1; got %d\n",
+                 config.num_sets);
+    return 1;
+  }
+  config.platter_bytes = flags.GetDouble("platter-bytes", config.platter_bytes);
+  config.fail_rate_per_platter_year =
+      flags.GetDouble("fail-rate", config.fail_rate_per_platter_year);
+  if (!(config.fail_rate_per_platter_year > 0.0)) {
+    std::fprintf(stderr, "error: --fail-rate must be > 0 per platter-year\n");
+    return 1;
+  }
+  config.scrub_interval_s =
+      flags.GetDouble("scrub-interval", config.scrub_interval_s);
+  config.repair_bandwidth_bytes_per_s =
+      flags.GetDouble("repair-bandwidth", config.repair_bandwidth_bytes_per_s);
+  if (!(config.scrub_interval_s > 0.0) ||
+      !(config.repair_bandwidth_bytes_per_s > 0.0)) {
+    std::fprintf(
+        stderr,
+        "error: --scrub-interval and --repair-bandwidth must be > 0\n");
+    return 1;
+  }
+  config.lazy = flags.Has("lazy");
+  const double horizon_years = flags.GetDouble("horizon-years", 10.0);
+  if (!(horizon_years > 0.0)) {
+    std::fprintf(stderr, "error: --horizon-years must be > 0\n");
+    return 1;
+  }
+  config.horizon_s = horizon_years * 365.25 * 24.0 * 3600.0;
+  config.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<long>(config.seed)));
+  const int roots = static_cast<int>(flags.GetInt("roots", 200));
+  const int split_k =
+      mode == "mc" ? 1 : static_cast<int>(flags.GetInt("split-k", 8));
+  if (roots < 2 || split_k < 1) {
+    std::fprintf(stderr,
+                 "error: --roots must be >= 2 (CI needs a variance) and "
+                 "--split-k >= 1; got roots=%d split-k=%d\n",
+                 roots, split_k);
+    return 1;
+  }
+  const MttdlEstimate estimate = EstimateMttdl(config, roots, split_k);
+  std::printf("%s\n", MttdlEstimateToJson(config, estimate, split_k, 2).c_str());
+  return 0;
+}
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -126,6 +197,18 @@ void PrintJsonReport(const silica::LibrarySimResult& r,
         static_cast<unsigned long long>(s.rebuild_retries),
         static_cast<unsigned long long>(s.rebuild_reads),
         s.ledger.Conserves() ? "true" : "false");
+    if (config.lazy_repair.enabled) {
+      std::printf(
+          "  \"lazy\": {\"bandwidth_bytes_per_s\": %.6g, \"admitted\": %llu, "
+          "\"drained\": %llu, \"drained_bytes\": %llu, \"settled\": %llu, "
+          "\"peak_queue\": %llu},\n",
+          config.lazy_repair.bandwidth_bytes_per_s,
+          static_cast<unsigned long long>(s.lazy_admitted),
+          static_cast<unsigned long long>(s.lazy_drained),
+          static_cast<unsigned long long>(s.lazy_drained_bytes),
+          static_cast<unsigned long long>(s.lazy_settled),
+          static_cast<unsigned long long>(s.lazy_peak_queue));
+    }
   }
   if (config.faults.enabled()) {
     std::printf(
@@ -240,6 +323,15 @@ void PrintTextReport(const silica::LibrarySimResult& r,
                   static_cast<unsigned long long>(s.rebuild_retries),
                   static_cast<unsigned long long>(s.rebuild_reads));
     }
+    if (config.lazy_repair.enabled) {
+      std::printf("lazy: %llu admitted -> %llu drained (%llu bytes under "
+                  "budget), %llu settled at end, peak queue %llu\n",
+                  static_cast<unsigned long long>(s.lazy_admitted),
+                  static_cast<unsigned long long>(s.lazy_drained),
+                  static_cast<unsigned long long>(s.lazy_drained_bytes),
+                  static_cast<unsigned long long>(s.lazy_settled),
+                  static_cast<unsigned long long>(s.lazy_peak_queue));
+    }
   }
   std::printf("verdict: %s the 15 h SLO\n",
               r.completion_times.Percentile(0.999) <= slo ? "meets" : "MISSES");
@@ -250,6 +342,9 @@ void PrintTextReport(const silica::LibrarySimResult& r,
 int main(int argc, char** argv) {
   using namespace silica;
   const Flags flags(argc, argv);
+  if (flags.Has("mttdl")) {
+    return RunMttdl(flags);
+  }
   if (flags.Has("help")) {
     std::printf(
         "usage: silica_sim --profile=iops|volume|typical --policy=silica|sp|ns\n"
@@ -294,6 +389,28 @@ int main(int argc, char** argv) {
         "                              (default 21600; requires --scrub)]\n"
         "  [--scrub-sample=F          fraction of tracks streamed per pass,\n"
         "                              in (0,1] (default 0.05; requires --scrub)]\n"
+        "  [--lazy-repair             queue scrub-detected damage (tiers 0-2) by\n"
+        "                              remaining-redundancy urgency and drain it\n"
+        "                              under a repair-bandwidth budget instead of\n"
+        "                              repairing inline (requires --scrub)]\n"
+        "  [--repair-bandwidth=B      lazy-repair byte budget per second\n"
+        "                              (default 64 MiB/s; requires --lazy-repair)]\n"
+        "  [--repair-drain-interval=S lazy drain pump period (default 60 s;\n"
+        "                              requires --lazy-repair)]\n"
+        "  [--set-info=K --set-redundancy=R   platter-set code geometry (default\n"
+        "                              16+3; wide codes trade repair traffic for\n"
+        "                              durability)]\n"
+        "  [--checkpoint-at=S         snapshot the twin at sim-time S, restore it\n"
+        "                              into a fresh twin, and verify the resumed\n"
+        "                              run's results are byte-identical (exit 1\n"
+        "                              on divergence)]\n"
+        "  [--mttdl=split|mc          rare-event MTTDL estimator on the set-level\n"
+        "                              durability model (no twin; prints JSON):\n"
+        "                              importance splitting, or brute-force MC]\n"
+        "  [--sets=N --set-n=19 --set-k=16    MTTDL code geometry]\n"
+        "  [--fail-rate=F --horizon-years=Y   per-platter-year AFR and horizon]\n"
+        "  [--repair-bandwidth=B --lazy       MTTDL repair service model]\n"
+        "  [--roots=R --split-k=K             estimator effort and split factor]\n"
         "  [--replications=N          run N independent replications: #0 keeps\n"
         "                              --seed, later ones fork it by index;\n"
         "                              reports print in replication order]\n"
@@ -611,6 +728,65 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (flags.Has("set-info") || flags.Has("set-redundancy")) {
+    const int set_info =
+        static_cast<int>(flags.GetInt("set-info", config.platter_set_info));
+    const int set_redundancy = static_cast<int>(
+        flags.GetInt("set-redundancy", config.platter_set_redundancy));
+    if (set_info < 1 || set_redundancy < 1) {
+      std::fprintf(stderr,
+                   "error: --set-info and --set-redundancy must be >= 1; got "
+                   "%d+%d\n",
+                   set_info, set_redundancy);
+      return 1;
+    }
+    config.platter_set_info = set_info;
+    config.platter_set_redundancy = set_redundancy;
+  }
+  if (flags.Has("lazy-repair")) {
+    if (!config.scrub.enabled) {
+      std::fprintf(stderr,
+                   "error: --lazy-repair requires --scrub (lazy repair drains "
+                   "scrub-detected damage)\n");
+      return 1;
+    }
+    config.lazy_repair.enabled = true;
+    if (flags.Has("repair-bandwidth")) {
+      const double bandwidth = flags.GetDouble("repair-bandwidth", 0.0);
+      if (!(bandwidth > 0.0)) {
+        std::fprintf(stderr,
+                     "error: --repair-bandwidth must be > 0 bytes/s; got %g\n",
+                     bandwidth);
+        return 1;
+      }
+      config.lazy_repair.bandwidth_bytes_per_s = bandwidth;
+    }
+    if (flags.Has("repair-drain-interval")) {
+      const double interval = flags.GetDouble("repair-drain-interval", 0.0);
+      if (!(interval > 0.0)) {
+        std::fprintf(stderr,
+                     "error: --repair-drain-interval must be > 0 seconds; got "
+                     "%g\n",
+                     interval);
+        return 1;
+      }
+      config.lazy_repair.drain_interval_s = interval;
+    }
+  } else {
+    for (const char* dependent : {"repair-bandwidth", "repair-drain-interval"}) {
+      if (flags.Has(dependent)) {
+        std::fprintf(stderr, "error: --%s requires --lazy-repair\n", dependent);
+        return 1;
+      }
+    }
+  }
+  const bool checkpoint = flags.Has("checkpoint-at");
+  const double checkpoint_at = flags.GetDouble("checkpoint-at", -1.0);
+  if (checkpoint && !(checkpoint_at >= 0.0)) {
+    std::fprintf(stderr, "error: --checkpoint-at must be >= 0 seconds; got %g\n",
+                 checkpoint_at);
+    return 1;
+  }
 
   // Attach telemetry only when a sink was requested: with no sinks, the twin runs
   // the compiled-in fast path (null telemetry pointer, disabled tracer). With
@@ -622,6 +798,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --trace-out requires --replications=1 (a trace file "
                  "describes a single run)\n");
+    return 1;
+  }
+  if (checkpoint && (!metrics_out.empty() || !trace_out.empty())) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-at is incompatible with --metrics-out / "
+                 "--trace-out (the round-trip compares two bare runs; span "
+                 "handles cannot cross a checkpoint)\n");
     return 1;
   }
   std::vector<std::unique_ptr<Telemetry>> telemetries;
@@ -640,6 +823,7 @@ int main(int argc, char** argv) {
     LibrarySimConfig config;
     std::string profile_name;
     uint64_t window_bytes = 0;
+    bool roundtrip_ok = true;
   };
   const double zipf_skew = profile.zipf_skew;
   const auto reps = RunSweep<Replication>(
@@ -664,7 +848,23 @@ int main(int argc, char** argv) {
         rep_config.telemetry =
             telemetries.empty() ? nullptr : telemetries[i].get();
         Replication rep;
-        rep.result = SimulateLibrary(rep_config, trace.requests);
+        if (checkpoint) {
+          // Capture run (snapshot mid-flight, then continue), then restore the
+          // snapshot into a fresh twin and replay. The two result structs must
+          // serialize byte-identically — the checkpoint contract.
+          LibraryCheckpoint snapshot;
+          rep.result = SimulateLibraryWithCheckpoint(
+              rep_config, trace.requests, checkpoint_at, &snapshot);
+          const LibrarySimResult resumed =
+              ResumeLibrary(rep_config, trace.requests, snapshot);
+          StateWriter capture_bytes;
+          StateWriter resume_bytes;
+          SaveLibrarySimResult(capture_bytes, rep.result);
+          SaveLibrarySimResult(resume_bytes, resumed);
+          rep.roundtrip_ok = capture_bytes.bytes() == resume_bytes.bytes();
+        } else {
+          rep.result = SimulateLibrary(rep_config, trace.requests);
+        }
         rep.config = rep_config;
         rep.profile_name = rep_profile.name;
         rep.window_bytes = trace.window_bytes;
@@ -719,6 +919,24 @@ int main(int argc, char** argv) {
   }
   if (json && replications > 1) {
     std::printf("]\n");
+  }
+  if (checkpoint) {
+    bool all_ok = true;
+    for (const Replication& rep : reps) {
+      if (!rep.roundtrip_ok) {
+        all_ok = false;
+        std::fprintf(stderr,
+                     "checkpoint round-trip DIVERGED (seed %llu, snapshot at "
+                     "%g s)\n",
+                     static_cast<unsigned long long>(rep.config.seed),
+                     checkpoint_at);
+      }
+    }
+    if (!all_ok) {
+      return 1;
+    }
+    std::fprintf(stderr, "checkpoint round-trip ok (snapshot at %g s)\n",
+                 checkpoint_at);
   }
   return 0;
 }
