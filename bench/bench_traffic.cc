@@ -204,6 +204,39 @@ int main(int argc, char** argv) {
   }
   const double ratio = eps_small > 0.0 ? eps_large / eps_small : 0.0;
 
+  // Tail-latency gate: request p999 at the largest fleet stays within 4x of
+  // the 32-shuttle fleet. The workload keeps per-drive load constant, so a
+  // healthy traffic manager holds the tail roughly flat as the fleet grows;
+  // the drive-starvation regressions this pins showed up as 6-8x blow-ups.
+  // Only enforced when the 32-shuttle reference fleet is actually in the
+  // sweep: reduced smoke configs (e.g. --fleets=8,64 --requests=60) have no
+  // meaningful reference tail, so the ratio is reported but not gated.
+  double p999_small = 0.0, p999_large = 0.0;
+  bool have_p999_ref = false;
+  for (const auto& fr : results) {
+    if (fr.shuttles == 32) {
+      p999_small = fr.p999_completion_s;
+      have_p999_ref = true;
+    }
+  }
+  if (!results.empty()) {
+    p999_large = results.back().p999_completion_s;
+    if (p999_small == 0.0) {
+      p999_small = results.front().p999_completion_s;
+    }
+  }
+  const double p999_ratio = p999_small > 0.0 ? p999_large / p999_small : 0.0;
+  constexpr double kP999RatioBound = 4.0;
+  if (have_p999_ref && results.back().shuttles > 32 &&
+      p999_ratio > kP999RatioBound) {
+    std::fprintf(stderr,
+                 "bench_traffic: p999 tail blow-up: %.1f s at %d shuttles vs "
+                 "%.1f s at the reference fleet (%.2fx > %.1fx bound)\n",
+                 p999_large, results.back().shuttles, p999_small, p999_ratio,
+                 kP999RatioBound);
+    return 1;
+  }
+
   if (json) {
     std::vector<std::string> items;
     for (const auto& fr : results) {
@@ -231,6 +264,7 @@ int main(int argc, char** argv) {
                     .Field("requests_per_shuttle", requests_per_shuttle)
                     .FieldRaw("fleets", JsonArray(items))
                     .Field("events_per_second_ratio_largest_vs_8", ratio)
+                    .Field("p999_ratio_largest_vs_32", p999_ratio)
                     .Str()
                     .c_str());
     return 0;
@@ -255,5 +289,9 @@ int main(int argc, char** argv) {
   std::printf("\nevents/sec at %d shuttles vs 8 shuttles: %.2fx "
               "(the sharded control plane targets >= 0.5x)\n",
               results.empty() ? 0 : results.back().shuttles, ratio);
+  std::printf("request p999 at %d shuttles vs 32 shuttles: %.2fx "
+              "(gate: <= %.1fx)\n",
+              results.empty() ? 0 : results.back().shuttles, p999_ratio,
+              kP999RatioBound);
   return 0;
 }

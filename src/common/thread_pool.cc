@@ -11,10 +11,24 @@ thread_local const ThreadPool* current_pool = nullptr;
 
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
+ThreadPool::ThreadPool(size_t num_threads) { Grow(num_threads); }
+
+ThreadPool& ThreadPool::Shared(size_t min_threads) {
+  // Leaked on purpose: worker threads must not race static destruction.
+  static ThreadPool* shared = new ThreadPool(0);
+  shared->Grow(min_threads);
+  return *shared;
+}
+
+void ThreadPool::Grow(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return;
+  }
+  while (workers_.size() < num_threads) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    spawned_.fetch_add(1);
+    num_workers_.store(workers_.size(), std::memory_order_release);
   }
 }
 

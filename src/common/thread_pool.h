@@ -10,8 +10,10 @@
 #ifndef SILICA_COMMON_THREAD_POOL_H_
 #define SILICA_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -30,6 +32,27 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // Process-wide pool shared by callers that repeatedly fan work out
+  // (federation epochs, sweep replications). Workers persist across batches —
+  // no teardown/respawn between uses — and the pool grows on demand to at
+  // least `min_threads` workers, never shrinking. The instance is leaked
+  // deliberately so its workers outlive static destruction order.
+  static ThreadPool& Shared(size_t min_threads);
+
+  // Adds workers until size() >= num_threads. No-op when already large enough
+  // or after Shutdown(). Existing workers keep running untouched.
+  void Grow(size_t num_threads);
+
+  // Reuse bookkeeping: callers bump the generation once per independent batch
+  // (a federation epoch, a sweep). The counter outliving many batches with
+  // spawned() unchanged is the observable proof that workers persisted.
+  uint64_t BeginGeneration() { return ++generation_; }
+  uint64_t generation() const { return generation_.load(); }
+
+  // Total workers ever spawned. Equal to size() for a pool that never tore
+  // a worker down (this implementation never does before Shutdown()).
+  uint64_t spawned() const { return spawned_.load(); }
+
   // Enqueues a job; the returned future resolves when it completes and rethrows
   // any exception the job raised. Throws std::runtime_error after Shutdown().
   std::future<void> Submit(std::function<void()> job);
@@ -42,8 +65,8 @@ class ThreadPool {
   // called automatically by the destructor.
   void Shutdown();
 
-  size_t size() const { return workers_.size(); }
-  size_t num_threads() const { return workers_.size(); }
+  size_t size() const { return num_workers_.load(std::memory_order_acquire); }
+  size_t num_threads() const { return size(); }
 
   // True when the calling thread is one of this pool's workers. Used by
   // ParallelFor to degrade to an inline loop instead of deadlocking on nested
@@ -60,6 +83,9 @@ class ThreadPool {
   std::condition_variable drained_cv_;
   size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::atomic<size_t> num_workers_{0};
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> spawned_{0};
 };
 
 // Runs fn(i) for every i in [0, n), fanning contiguous index chunks out across the

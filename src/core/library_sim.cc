@@ -269,6 +269,20 @@ class Sim final : public FaultHost {
   // simulated time reaches `checkpoint_at` (ignored when null), then runs to
   // completion as usual.
   LibrarySimResult Run(double checkpoint_at, std::vector<uint8_t>* checkpoint_out);
+
+  // ---- stepped interface (federation; see LibraryTwin) ----
+  // Run() is Prologue + sim_.Run(forever) + Finish; the stepped form slices
+  // the middle so a federation driver can inject messages between slices.
+  void Prologue();
+  uint64_t RunUntil(double until) { return sim_.Run(until); }
+  double NowTime() const { return sim_.Now(); }
+  double NextEventTime() { return sim_.PeekNextTime(); }
+  bool EngineIdle() const { return sim_.Idle(); }
+  bool WorkloadLive() const { return WorkloadUnresolved(); }
+  bool ExplicitWrites() const { return explicit_writes(); }
+  void InjectArrival(const ReadRequest& request, double when);
+  void InjectReplicatedPlatter(double when);
+  LibrarySimResult Finish();
   // Capture mode must be on from construction so every event scheduled before
   // the snapshot carries a serializable descriptor.
   void EnableCapture() { track_ = true; }
@@ -296,6 +310,9 @@ class Sim final : public FaultHost {
     kEvRepartitionTick, kEvArrival,
     kEvScriptedShuttleFail, kEvBlackoutStart, kEvBlackoutEnd,
     kEvLazyDrain,
+    // Federation-injected work. Not serializable (injection is rejected in
+    // capture mode), so these kinds never appear in a checkpoint.
+    kEvFederatedArrival, kEvFederatedWrite,
   };
   struct PendingEvent {
     uint32_t kind = 0;
@@ -534,6 +551,7 @@ class Sim final : public FaultHost {
   // Write pipeline (explicit mode): the write drive ejects platters that must be
   // fully read back before their staged data is released (Section 3.1).
   void ProduceWrittenPlatter();
+  void ProduceOnePlatter();
   bool TryDispatchVerifyWork(Shuttle& shuttle, int partition);
   void StartVerifyDelivery(Shuttle& shuttle, uint64_t platter, int drive);
   double VerifySeconds(const Drive& drive) const {
@@ -609,6 +627,7 @@ class Sim final : public FaultHost {
   void RecordCompletion(const ReadRequest& request);
   void RecordFailure(const ReadRequest& request);
   void ResolveRequest(const ReadRequest& request, bool failed);
+  void NotifyFederatedResolve(uint64_t root_id, bool failed);
 
   // ---- members ----
   LibrarySimConfig config_;
@@ -711,6 +730,11 @@ class Sim final : public FaultHost {
   std::unordered_map<uint64_t, ParentState> parents_;
   std::deque<uint64_t> eject_queue_;  // freshly written platters at the eject bay
   uint64_t next_sub_id_ = 1ull << 62;
+
+  // Federation-injected requests, referenced by index from kEvFederatedArrival
+  // descriptors (the trace itself is immutable and shared). Empty for
+  // standalone runs.
+  std::vector<ReadRequest> fed_requests_;
 
   // Dynamic fault injection. Null when config_.faults is disabled, in which case
   // none of the degraded-mode paths below can fire and the event order is
@@ -2081,6 +2105,17 @@ void Sim::OnVerifyComplete(int drive_id) {
 }
 
 void Sim::ProduceWrittenPlatter() {
+  ProduceOnePlatter();
+  const double interval = 3600.0 / EffectiveWriteRate();
+  if (sim_.Now() + interval <= config_.write_until) {
+    Arm(interval, PendingEvent{kEvProduceWrite});
+  }
+}
+
+// One platter through eject -> verify dispatch, shared by the local write
+// clock (ProduceWrittenPlatter) and federated replication (kEvFederatedWrite,
+// which must not perturb the local clock's re-arm chain).
+void Sim::ProduceOnePlatter() {
   const auto& lib = config_.library;
   const uint64_t slot_index = platters_.size();
   if (slot_index >= static_cast<uint64_t>(lib.storage_slots())) {
@@ -2124,11 +2159,6 @@ void Sim::ProduceWrittenPlatter() {
     }
   }
   TryDispatchAll();
-
-  const double interval = 3600.0 / EffectiveWriteRate();
-  if (sim_.Now() + interval <= config_.write_until) {
-    Arm(interval, PendingEvent{kEvProduceWrite});
-  }
 }
 
 double Sim::EffectiveWriteRate() const {
@@ -2667,6 +2697,14 @@ void Sim::FailRebuild(uint64_t platter) {
   // the unrecoverable side of the ledger so detected == repaired + unrecoverable
   // holds in lazy mode too.
   EvictLazyRepairs(platter, /*platter_lost=*/true);
+  // Local redundancy is exhausted; a federation driver can still source the
+  // sectors from a replica library (cross-library repair transfer).
+  if (config_.federation != nullptr) {
+    ++result_.federation.data_loss_escalations;
+    if (config_.federation->on_data_loss) {
+      config_.federation->on_data_loss(platter, sectors, sim_.Now());
+    }
+  }
   tracer_->AsyncEnd(kTraceScrub, 0x2EB0000000ull + platter, sim_.Now(),
                     "rebuild");
   TryDispatchAll();
@@ -2696,6 +2734,10 @@ void Sim::ResolveRequest(const ReadRequest& request, bool failed) {
   // exactly once, when its last child does.
   uint64_t parent = request.parent;
   double arrival = request.arrival;
+  // The logical request this resolution finishes: the request itself when it
+  // has no fan-in parent, otherwise the topmost group the walk closes. Needed
+  // to route federated completions (id >= kFederatedIdBase) back out.
+  uint64_t root_id = request.id;
   while (parent != 0) {
     auto it = parents_.find(parent);
     if (it == parents_.end()) {
@@ -2708,6 +2750,7 @@ void Sim::ResolveRequest(const ReadRequest& request, bool failed) {
     failed = it->second.failed;
     arrival = it->second.arrival;
     const uint64_t finished = parent;
+    root_id = finished;
     parent = it->second.up;
     parents_.erase(it);
     // A rebuild's synthetic fan-in parent resolves out-of-band: it is
@@ -2726,6 +2769,7 @@ void Sim::ResolveRequest(const ReadRequest& request, bool failed) {
     if (c_req_failed_ != nullptr) {
       c_req_failed_->Increment();
     }
+    NotifyFederatedResolve(root_id, /*failed=*/true);
     MaybeStopInjecting();
     return;
   }
@@ -2739,7 +2783,22 @@ void Sim::ResolveRequest(const ReadRequest& request, bool failed) {
       h_completion_->Observe(now - arrival);
     }
   }
+  NotifyFederatedResolve(root_id, /*failed=*/false);
   MaybeStopInjecting();
+}
+
+void Sim::NotifyFederatedResolve(uint64_t root_id, bool failed) {
+  if (root_id < kFederatedIdBase || root_id >= (1ull << 62)) {
+    return;  // local traffic
+  }
+  if (failed) {
+    ++result_.federation.injected_failed;
+  } else {
+    ++result_.federation.injected_resolved;
+  }
+  if (config_.federation != nullptr && config_.federation->on_resolve) {
+    config_.federation->on_resolve(root_id, sim_.Now(), failed);
+  }
 }
 
 // ---- dynamic faults ----
@@ -3139,17 +3198,21 @@ void Sim::RepartitionTick() {
   }
   const double mean = total / static_cast<double>(n);
   if (mean > 0.0) {
-    // Hottest partition (first wins ties — index order, deterministic).
+    // One shift per tick: the hottest partition above the hi band trades a
+    // quarter-width slice to its coldest qualifying same-row neighbour.
+    // (Shifting every hot partition per tick was tried and oscillates — the
+    // EWMA lags the rectangle moves, so clusters over-correct.)
     int hot = -1;
     double hot_ewma = 0.0;
     for (int p = 0; p < n; ++p) {
-      if (partition_ewma_[static_cast<size_t>(p)] > hot_ewma) {
-        hot_ewma = partition_ewma_[static_cast<size_t>(p)];
+      const double e = partition_ewma_[static_cast<size_t>(p)];
+      if (e > config_.library.repartition_hi * mean && e > hot_ewma) {
+        hot_ewma = e;
         hot = p;
       }
     }
-    if (hot >= 0 && hot_ewma > config_.library.repartition_hi * mean) {
-      // Coldest qualifying same-row neighbour (left wins ties via <).
+    if (hot >= 0) {
+      // Coldest qualifying neighbour (left wins ties via strict <).
       int cold = -1;
       double cold_ewma = 1e300;
       for (int cand : {partitioner_->LeftNeighborOf(hot),
@@ -3193,8 +3256,7 @@ void Sim::MigratePlatterPartitions() {
   }
 }
 
-LibrarySimResult Sim::Run(double checkpoint_at,
-                          std::vector<uint8_t>* checkpoint_out) {
+void Sim::Prologue() {
   if (!restored_) {
     // Register trace-level fan-in groups (sharded large files).
     for (const auto& request : trace_) {
@@ -3268,6 +3330,50 @@ LibrarySimResult Sim::Run(double checkpoint_at,
       injector_->Start();
     }
   }
+}
+
+void Sim::InjectArrival(const ReadRequest& request, double when) {
+  if (track_) {
+    throw std::logic_error(
+        "Sim::InjectArrival: federated injection cannot be checkpointed");
+  }
+  if (request.id < kFederatedIdBase || request.id >= (1ull << 62)) {
+    throw std::invalid_argument(
+        "Sim::InjectArrival: id must be in the federated range");
+  }
+  if (request.parent != 0) {
+    throw std::invalid_argument("Sim::InjectArrival: parent must be 0");
+  }
+  if (request.platter >= config_.num_info_platters) {
+    throw std::invalid_argument(
+        "Sim::InjectArrival: request references unknown platter");
+  }
+  const uint64_t index = fed_requests_.size();
+  fed_requests_.push_back(request);
+  ArmAt(when, PendingEvent{kEvFederatedArrival, 0, index});
+  // Injected reads are logical requests of this library: they ride the same
+  // completed + failed == total conservation as local traffic.
+  ++result_.requests_total;
+  ++result_.federation.injected_arrivals;
+}
+
+void Sim::InjectReplicatedPlatter(double when) {
+  if (track_) {
+    throw std::logic_error(
+        "Sim::InjectReplicatedPlatter: federated injection cannot be "
+        "checkpointed");
+  }
+  if (!explicit_writes()) {
+    throw std::logic_error(
+        "Sim::InjectReplicatedPlatter: needs the explicit write pipeline "
+        "(write_platters_per_hour > 0)");
+  }
+  ArmAt(when, PendingEvent{kEvFederatedWrite});
+}
+
+LibrarySimResult Sim::Run(double checkpoint_at,
+                          std::vector<uint8_t>* checkpoint_out) {
+  Prologue();
   if (checkpoint_out != nullptr) {
     // Run to the snapshot point, serialize, and keep going: the capture run's
     // own results stay byte-identical to an uninterrupted run.
@@ -3277,6 +3383,10 @@ LibrarySimResult Sim::Run(double checkpoint_at,
     *checkpoint_out = w.Take();
   }
   sim_.Run();
+  return Finish();
+}
+
+LibrarySimResult Sim::Finish() {
   // Cumulative, so a restored run reports the same total as the uninterrupted
   // one (Simulator::Restore seeds the pre-snapshot count).
   result_.events_executed = sim_.events_executed();
@@ -3565,6 +3675,13 @@ void Sim::Fire(const PendingEvent& e) {
       break;
     case kEvLazyDrain:
       LazyDrainTick();
+      break;
+    case kEvFederatedArrival:
+      OnArrival(fed_requests_[e.b]);
+      break;
+    case kEvFederatedWrite:
+      ProduceOnePlatter();
+      ++result_.federation.injected_writes;
       break;
     default:
       throw std::logic_error("Sim::Fire: unknown event kind");
@@ -4189,6 +4306,11 @@ void SaveLibrarySimResult(StateWriter& w, const LibrarySimResult& result) {
   }
   w.U64(result.scrub.ledger.unrecoverable);
   w.U64(result.scrub.ledger.bytes_lost);
+  w.U64(result.federation.injected_arrivals);
+  w.U64(result.federation.injected_resolved);
+  w.U64(result.federation.injected_failed);
+  w.U64(result.federation.injected_writes);
+  w.U64(result.federation.data_loss_escalations);
 }
 
 LibrarySimResult LoadLibrarySimResult(StateReader& r) {
@@ -4258,6 +4380,11 @@ LibrarySimResult LoadLibrarySimResult(StateReader& r) {
   }
   result.scrub.ledger.unrecoverable = r.U64();
   result.scrub.ledger.bytes_lost = r.U64();
+  result.federation.injected_arrivals = r.U64();
+  result.federation.injected_resolved = r.U64();
+  result.federation.injected_failed = r.U64();
+  result.federation.injected_writes = r.U64();
+  result.federation.data_loss_escalations = r.U64();
   return result;
 }
 
@@ -4308,5 +4435,37 @@ LibrarySimResult ResumeLibrary(const LibrarySimConfig& config,
   sim.LoadCheckpointBytes(checkpoint.bytes);
   return sim.Run();
 }
+
+// ---- LibraryTwin (stepped interface over the anonymous-namespace Sim) ----
+
+struct LibraryTwin::Impl {
+  // Order matters: the Sim keeps a reference to the trace.
+  ReadTrace trace;
+  Sim sim;
+  Impl(const LibrarySimConfig& config, ReadTrace t)
+      : trace(std::move(t)), sim(config, trace) {}
+};
+
+LibraryTwin::LibraryTwin(const LibrarySimConfig& config, ReadTrace trace) {
+  ValidateLibrarySimConfig(config);
+  impl_ = std::make_unique<Impl>(config, std::move(trace));
+}
+
+LibraryTwin::~LibraryTwin() = default;
+
+void LibraryTwin::Prologue() { impl_->sim.Prologue(); }
+uint64_t LibraryTwin::RunUntil(double until) { return impl_->sim.RunUntil(until); }
+double LibraryTwin::Now() const { return impl_->sim.NowTime(); }
+double LibraryTwin::NextEventTime() { return impl_->sim.NextEventTime(); }
+bool LibraryTwin::Idle() const { return impl_->sim.EngineIdle(); }
+bool LibraryTwin::WorkloadUnresolved() const { return impl_->sim.WorkloadLive(); }
+bool LibraryTwin::explicit_writes() const { return impl_->sim.ExplicitWrites(); }
+void LibraryTwin::InjectArrival(const ReadRequest& request, double when) {
+  impl_->sim.InjectArrival(request, when);
+}
+void LibraryTwin::InjectReplicatedPlatter(double when) {
+  impl_->sim.InjectReplicatedPlatter(when);
+}
+LibrarySimResult LibraryTwin::Finish() { return impl_->sim.Finish(); }
 
 }  // namespace silica

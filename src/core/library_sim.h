@@ -17,6 +17,7 @@
 #define SILICA_CORE_LIBRARY_SIM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -33,6 +34,27 @@
 namespace silica {
 
 struct Telemetry;
+
+// Requests injected into a twin by the federation layer (geo-routed read
+// forwards, cross-library repair reads) carry ids at or above this base, far
+// above any trace id and below the recovery sub-read base (1 << 62), so the
+// three id spaces never collide.
+inline constexpr uint64_t kFederatedIdBase = 1ull << 61;
+
+// Outbound callbacks a federation driver installs on a twin. Both fire
+// synchronously inside the twin's event loop (single-threaded per twin); the
+// driver records them into its per-library outbox and turns them into
+// latency-delayed messages at the next epoch barrier. A null hooks pointer
+// (the default) leaves the twin's behavior — and its RNG/event order —
+// bit-identical to a build without federation.
+struct FederationHooks {
+  // An injected request (id >= kFederatedIdBase) resolved at its root.
+  std::function<void(uint64_t fed_id, double time, bool failed)> on_resolve;
+  // A platter rebuild exhausted local redundancy: `sectors` are unrecoverable
+  // from this library alone and need a cross-library repair transfer.
+  std::function<void(uint64_t platter, uint64_t sectors, double time)>
+      on_data_loss;
+};
 
 struct LibrarySimConfig {
   LibraryConfig library;
@@ -108,6 +130,11 @@ struct LibrarySimConfig {
   // drive's verify clock. Tier-3 rebuilds stay eager (the last line of
   // defense). Default-off => byte-identical event order to the eager twin.
   LazyRepairConfig lazy_repair;
+
+  // Optional federation callbacks (not owned). Set only by FederationSim;
+  // nullptr (the default) keeps the standalone twin bit-identical to a build
+  // without federation.
+  const FederationHooks* federation = nullptr;
 
   // Optional observability (not owned). When set, the twin publishes live metrics
   // (queue depths, drive time split, congestion, steals, completion histograms) and
@@ -210,6 +237,19 @@ struct LibrarySimResult {
     RepairLedger ledger;
   } scrub;
 
+  // Federation bookkeeping (all zero for standalone runs). Injected arrivals
+  // are geo-forwarded reads and cross-library repair reads served by this
+  // library on behalf of another; injected_resolved + injected_failed ==
+  // injected_arrivals once the run drains (they ride the same completed +
+  // failed == total conservation as local requests).
+  struct FederationOutcome {
+    uint64_t injected_arrivals = 0;
+    uint64_t injected_resolved = 0;
+    uint64_t injected_failed = 0;
+    uint64_t injected_writes = 0;  // replicated platters ingested here
+    uint64_t data_loss_escalations = 0;  // on_data_loss hook firings
+  } federation;
+
   double CongestionOverheadFraction() const {
     return expected_travel_total > 0.0 ? congestion_wait_total / expected_travel_total
                                        : 0.0;
@@ -270,6 +310,61 @@ LibrarySimResult ResumeLibrary(const LibrarySimConfig& config,
 // without enumerating fields.
 void SaveLibrarySimResult(StateWriter& w, const LibrarySimResult& result);
 LibrarySimResult LoadLibrarySimResult(StateReader& r);
+
+// Stepped flavor of SimulateLibrary for conservative parallel federation
+// (DESIGN.md section 18): the twin is driven in bounded time slices so a
+// federation driver can exchange latency-delayed messages between slices.
+//
+//   LibraryTwin twin(config, std::move(trace));
+//   twin.Prologue();
+//   while (...) { twin.InjectArrival(...); twin.RunUntil(t); }
+//   LibrarySimResult r = twin.Finish();
+//
+// Prologue + RunUntil(forever) + Finish is byte-identical to SimulateLibrary,
+// and so is any RunUntil slicing (a calendar queue run in bounded slices pops
+// the same events in the same order). Each twin is single-threaded; the
+// federation driver may run distinct twins on distinct threads concurrently.
+class LibraryTwin {
+ public:
+  // Owns the trace (federation generates per-library traces and hands them
+  // over). Validates the config like SimulateLibrary.
+  LibraryTwin(const LibrarySimConfig& config, ReadTrace trace);
+  ~LibraryTwin();
+  LibraryTwin(const LibraryTwin&) = delete;
+  LibraryTwin& operator=(const LibraryTwin&) = delete;
+
+  // Arms the workload (trace arrivals, write pipeline, scripted faults).
+  // Must be called exactly once, before the first RunUntil.
+  void Prologue();
+  // Executes every event with time <= until; returns the number executed.
+  uint64_t RunUntil(double until);
+  double Now() const;
+  // Earliest queued event time (a conservative lower bound; Simulator's
+  // kForever when drained). No message can leave this twin before it.
+  double NextEventTime();
+  // True when the calendar queue is drained (no live events pending).
+  bool Idle() const;
+  // True while requests or the write pipeline are still outstanding.
+  bool WorkloadUnresolved() const;
+  bool explicit_writes() const;
+
+  // Schedules a federated read (id >= kFederatedIdBase, parent == 0) to
+  // arrive at `when` (must be >= Now(); between-epoch injections always are).
+  // Counts toward requests_total, so conservation and run-liveness hold.
+  void InjectArrival(const ReadRequest& request, double when);
+  // Schedules ingestion of one replicated platter at `when`. Requires the
+  // explicit write pipeline (write_platters_per_hour > 0); the platter rides
+  // the normal eject -> verify -> store path.
+  void InjectReplicatedPlatter(double when);
+
+  // Post-drain accounting; call once, after the last RunUntil. The returned
+  // result is what SimulateLibrary would have returned.
+  LibrarySimResult Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace silica
 

@@ -26,6 +26,10 @@ int PickRows(int count, int max_rows) {
   return best;
 }
 
+// Upper bound on the shift floor: on wide grids a partition keeps at least a
+// shuttle-body's worth of storage columns (half a rack).
+constexpr double kMaxShiftFloorM = 0.6;
+
 }  // namespace
 
 Partitioner::Partitioner(const Panel& panel, int num_partitions) {
@@ -75,11 +79,51 @@ Partitioner::Partitioner(const Panel& panel, int num_partitions) {
     }
   }
 
-  // Assign every read drive to the partition on its side with the closest shelf
-  // band, breaking ties toward the least-loaded partition so drives spread out.
+  // Drive assignment, two phases. Phase 1 guarantees spread: every partition,
+  // in index order, claims the closest unassigned drive on its side before any
+  // partition gets a second one. A pure per-drive greedy looked equivalent but
+  // was not — shelf bands with fewer drives than partitions came up empty, the
+  // borrow fallback below then handed every one of them the *same* donor
+  // drive, and at 128 shuttles ~15 partitions ended up funneled through one
+  // read drive (hour-long request starvation) while neighbouring drives idled.
+  std::vector<char> drive_taken(static_cast<size_t>(config.num_read_drives()), 0);
+  // A drive's side is its read rack (rack 0 serves the left storage half, rack
+  // 1 the right), NOT its x position: DrivePositionOf spreads a rack's drives
+  // over columns of five, so on dense fleets rack-0 drive columns sprawl past
+  // the panel midpoint and a positional test hands them to the wrong side.
+  auto side_of_drive = [&](int drive) {
+    return (sides == 2 && drive >= config.drives_per_read_rack) ? 1 : 0;
+  };
+  for (auto& p : partitions_) {
+    const double band_mid = 0.5 * (p.shelf_min + p.shelf_max);
+    int best = -1;
+    double best_distance = 1e18;
+    for (int drive = 0; drive < config.num_read_drives(); ++drive) {
+      if (drive_taken[static_cast<size_t>(drive)] != 0 ||
+          (sides == 2 && side_of_drive(drive) != p.side)) {
+        continue;
+      }
+      const double distance =
+          std::fabs(band_mid - panel.DrivePositionOf(drive).shelf);
+      if (distance < best_distance) {  // strict <: ties go to the lower id
+        best_distance = distance;
+        best = drive;
+      }
+    }
+    if (best >= 0) {
+      drive_taken[static_cast<size_t>(best)] = 1;
+      p.drives.push_back(best);
+    }
+  }
+
+  // Phase 2: leftover drives go to the same-side partition with the closest
+  // shelf band, breaking ties toward the least-loaded partition.
   for (int drive = 0; drive < config.num_read_drives(); ++drive) {
+    if (drive_taken[static_cast<size_t>(drive)] != 0) {
+      continue;
+    }
     const auto pos = panel.DrivePositionOf(drive);
-    const int drive_side = (sides == 2 && pos.x > mid) ? 1 : 0;
+    const int drive_side = side_of_drive(drive);
     Partition* best = nullptr;
     double best_score = 1e18;
     for (auto& p : partitions_) {
@@ -100,6 +144,17 @@ Partitioner::Partitioner(const Panel& panel, int num_partitions) {
     }
     best->drives.push_back(drive);
   }
+
+  // The shift floor scales with the constructed grid: a fixed half-rack floor
+  // would refuse every rebalance once columns start out narrower than it,
+  // which is exactly the dense-fleet regime (128+ shuttles -> ~0.3 m columns)
+  // where rebalancing matters most. 35% of the narrowest initial column still
+  // leaves room for about three quarter-width shifts from any starting width.
+  double narrowest = 1e18;
+  for (const auto& p : partitions_) {
+    narrowest = std::min(narrowest, p.x_max - p.x_min);
+  }
+  min_shift_width_m_ = std::min(kMaxShiftFloorM, 0.35 * narrowest);
 
   // The paper requires every partition to contain at least one read drive slot;
   // with dual-slot drives, a drive's two slots can satisfy two partitions, so
@@ -126,7 +181,11 @@ Partitioner::Partitioner(const Panel& panel, int num_partitions) {
       }
     }
     if (donor != nullptr) {
-      p.drives.push_back(donor->drives.back());  // shared drive (second slot)
+      // Shared drive (dual-slot). Rotate by borrower index so consecutive
+      // borrowers from the same donor spread over its drives instead of all
+      // piling onto the last one.
+      p.drives.push_back(
+          donor->drives[static_cast<size_t>(p.index) % donor->drives.size()]);
     }
   }
 }
@@ -153,11 +212,6 @@ int Partitioner::PartitionOfSlot(double x, int shelf) const {
   return best;
 }
 
-namespace {
-// Rectangles narrower than this cannot shed another quarter-width slice: a
-// partition must keep at least a shuttle-body's worth of storage columns.
-constexpr double kMinPartitionWidthM = 0.6;
-}  // namespace
 
 int Partitioner::LeftNeighborOf(int partition) const {
   const Partition& p = partitions_[static_cast<size_t>(partition)];
@@ -193,7 +247,7 @@ bool Partitioner::ShiftBoundary(int hot, int cold) {
   }
   const double width = h.x_max - h.x_min;
   const double step = 0.25 * width;
-  if (width - step < kMinPartitionWidthM) {
+  if (width - step < min_shift_width_m_) {
     return false;
   }
   // Boundaries of same-row neighbours stay exactly equal (the shifted edge is

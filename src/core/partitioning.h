@@ -86,6 +86,10 @@ class Partitioner {
  private:
   std::vector<Partition> partitions_;
   std::vector<RebalanceStep> history_;
+  // Minimum rectangle width ShiftBoundary may leave behind. Derived from the
+  // constructed grid (35% of the narrowest initial column, capped at half a
+  // rack) so dense fleets with sub-0.6 m columns can still rebalance.
+  double min_shift_width_m_ = 0.6;
 };
 
 }  // namespace silica

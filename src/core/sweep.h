@@ -49,9 +49,13 @@ std::vector<Result> RunSweep(size_t n, int threads, Fn&& fn) {
     }
     return results;
   }
-  const size_t workers =
-      std::min(n, static_cast<size_t>(threads));
-  ThreadPool pool(workers);
+  // Sweeps share the process-wide pool so back-to-back sweeps (and federation
+  // epochs) reuse warm workers instead of respawning a pool per call. The pool
+  // may be larger than `threads` from an earlier caller; determinism does not
+  // depend on the worker count (see file comment), only chunk fan-out does.
+  const size_t workers = std::min(n, static_cast<size_t>(threads));
+  ThreadPool& pool = ThreadPool::Shared(workers);
+  pool.BeginGeneration();
   ParallelFor(&pool, n, [&](size_t i) { results[i] = fn(i); });
   return results;
 }

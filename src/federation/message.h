@@ -1,0 +1,61 @@
+// Cross-library messages exchanged by the federation driver (DESIGN.md
+// section 18).
+//
+// Libraries never share memory: all interaction flows through these records,
+// each delayed by at least the minimum inter-DC latency. That lower bound is
+// the conservative-synchronization lookahead — a message sent during epoch k
+// cannot be deliverable before epoch k+1, so the driver may execute every
+// library's epoch fully in parallel and exchange queues only at the barrier.
+#ifndef SILICA_FEDERATION_MESSAGE_H_
+#define SILICA_FEDERATION_MESSAGE_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "core/request.h"
+
+namespace silica {
+
+enum class FedMessageKind : uint32_t {
+  kReadForward = 0,      // geo-routed read: dst serves `request`
+  kReadResponse = 1,     // completion notice back to the origin library
+  kReplicationWrite = 2, // one replicated platter for dst to ingest
+  kRepairTransfer = 3,   // dst sources `sectors` of a platter lost at src
+  kRepairResponse = 4,   // repaired sectors arriving back at the loser
+};
+
+struct FedMessage {
+  FedMessageKind kind = FedMessageKind::kReadForward;
+  int src = 0;
+  int dst = 0;
+  uint64_t seq = 0;  // per-source counter assigned at the barrier, in
+                     // library-id order: the deterministic tie-break
+  double send_time = 0.0;
+  double deliver_time = 0.0;  // >= send_time + min inter-DC latency
+
+  // kReadForward / kRepairTransfer: the read the destination must serve.
+  ReadRequest request;
+  // Correlation id (the injected request's federated id at dst).
+  uint64_t fed_id = 0;
+  // kReadResponse / kRepairResponse.
+  bool failed = false;
+  // Payload accounting (network bytes the message represents).
+  uint64_t bytes = 0;
+  // kRepairTransfer / kRepairResponse.
+  uint64_t platter = 0;
+  uint64_t sectors = 0;
+  // Original client arrival at the origin (end-to-end latency accounting).
+  double client_arrival = 0.0;
+};
+
+// Barrier delivery order. Deliver time first, then source library, then the
+// source's send sequence — a total order independent of how many threads
+// executed the epoch.
+inline bool FedMessageBefore(const FedMessage& a, const FedMessage& b) {
+  return std::make_tuple(a.deliver_time, a.src, a.seq) <
+         std::make_tuple(b.deliver_time, b.src, b.seq);
+}
+
+}  // namespace silica
+
+#endif  // SILICA_FEDERATION_MESSAGE_H_

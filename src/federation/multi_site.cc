@@ -1,0 +1,68 @@
+#include "federation/multi_site.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace silica {
+
+MultiSiteWorkload GenerateMultiSiteWorkload(const MultiSiteWorkloadConfig& config,
+                                            const Placement& placement,
+                                            uint64_t num_platters) {
+  if (config.geo_read_fraction < 0.0 || config.geo_read_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GenerateMultiSiteWorkload: geo_read_fraction must be in [0, 1]");
+  }
+  const int n = placement.num_libraries();
+  MultiSiteWorkload out;
+  out.local.resize(static_cast<size_t>(n));
+  out.library_seeds.resize(static_cast<size_t>(n));
+  const Rng base(config.seed);
+  for (int i = 0; i < n; ++i) {
+    // Library 0 keeps the base seeds (the SweepSeed convention): a one-library
+    // federation is byte-identical to the standalone twin on the same profile.
+    TraceProfile profile = config.profile;
+    profile.mean_rate_per_s *= placement.demand_multiplier(i);
+    if (i > 0) {
+      profile.seed =
+          Rng(profile.seed).Fork(0x77ACE000ull + static_cast<uint64_t>(i)).NextU64();
+      out.library_seeds[static_cast<size_t>(i)] =
+          base.Fork(0x51B00000ull + static_cast<uint64_t>(i)).NextU64();
+    } else {
+      out.library_seeds[0] = config.seed;
+    }
+    ReadTrace trace = GenerateTrace(profile, num_platters).requests;
+    if (config.geo_read_fraction == 0.0) {
+      out.local[static_cast<size_t>(i)] = std::move(trace);
+      continue;
+    }
+    // Geo-routable selection is static (a property of the workload, decided
+    // before simulation): only unsharded reads qualify — sharded fan-in
+    // groups pin their shards to the home library's platters.
+    Rng geo_rng = base.Fork(0x6E000000ull + static_cast<uint64_t>(i));
+    ReadTrace& local = out.local[static_cast<size_t>(i)];
+    local.reserve(trace.size());
+    for (const ReadRequest& request : trace) {
+      if (request.parent == 0 && geo_rng.Bernoulli(config.geo_read_fraction)) {
+        GeoRead geo;
+        geo.tenant = static_cast<int>(
+            request.file_id % static_cast<uint64_t>(placement.num_tenants()));
+        geo.origin = i;
+        geo.request = request;
+        out.geo.push_back(geo);
+      } else {
+        local.push_back(request);
+      }
+    }
+  }
+  std::sort(out.geo.begin(), out.geo.end(),
+            [](const GeoRead& a, const GeoRead& b) {
+              return std::make_tuple(a.request.arrival, a.origin, a.request.id) <
+                     std::make_tuple(b.request.arrival, b.origin, b.request.id);
+            });
+  return out;
+}
+
+}  // namespace silica

@@ -1,0 +1,49 @@
+// Multi-site workload generation for the federation (DESIGN.md section 18).
+//
+// Each library gets its own trace from the shared profile, scaled by the
+// site's demand multiplier and seeded from a per-library fork — the streams
+// are independent, so adding a library never perturbs the others. A
+// configurable fraction of unsharded reads is geo-routable: those are removed
+// from the local trace (the client contacts the federation router, not the
+// home library's scheduler) and routed dynamically to the least-loaded
+// replica at simulation time. With geo_read_fraction == 0 and one library,
+// the workload degenerates to exactly the standalone generator's trace.
+#ifndef SILICA_FEDERATION_MULTI_SITE_H_
+#define SILICA_FEDERATION_MULTI_SITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/request.h"
+#include "federation/placement.h"
+#include "workload/trace_gen.h"
+
+namespace silica {
+
+struct MultiSiteWorkloadConfig {
+  TraceProfile profile;          // per-site base; rate scaled by site demand
+  double geo_read_fraction = 0.0;  // of unsharded reads; sharded stay local
+  uint64_t seed = 1;
+};
+
+struct GeoRead {
+  int tenant = 0;
+  int origin = 0;        // library whose client issued the read
+  ReadRequest request;   // parent == 0; platter valid at any replica
+};
+
+struct MultiSiteWorkload {
+  std::vector<ReadTrace> local;  // per-library traces, geo reads removed
+  std::vector<GeoRead> geo;      // merged, sorted by (arrival, origin, id)
+  // Per-library seeds the twins must use (forked from the workload seed) so
+  // a standalone rerun of one library reproduces its federation behavior.
+  std::vector<uint64_t> library_seeds;
+};
+
+MultiSiteWorkload GenerateMultiSiteWorkload(const MultiSiteWorkloadConfig& config,
+                                            const Placement& placement,
+                                            uint64_t num_platters);
+
+}  // namespace silica
+
+#endif  // SILICA_FEDERATION_MULTI_SITE_H_

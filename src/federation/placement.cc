@@ -1,0 +1,117 @@
+#include "federation/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace silica {
+
+Placement::Placement(const PlacementConfig& config) {
+  if (config.num_libraries < 1) {
+    throw std::invalid_argument("Placement: num_libraries must be >= 1");
+  }
+  if (config.tenants < 1) {
+    throw std::invalid_argument("Placement: tenants must be >= 1");
+  }
+  if (config.replication < 1) {
+    throw std::invalid_argument("Placement: replication must be >= 1");
+  }
+  if (config.demand_skew_sigma < 0.0) {
+    throw std::invalid_argument("Placement: demand_skew_sigma must be >= 0");
+  }
+  num_libraries_ = config.num_libraries;
+  const int replication = std::min(config.replication, num_libraries_);
+
+  // Demand multipliers: log-normal (mu = -sigma^2/2) rescaled to an exact
+  // sample mean of 1, the heavy-tail model for the Fig 1(c) per-site spread.
+  // Normalizing the sample — not just the expectation — means sigma only
+  // redistributes load across sites; total federation demand is invariant.
+  // A dedicated fork per library keeps draws independent of count.
+  Rng base(config.seed);
+  demand_.reserve(static_cast<size_t>(num_libraries_));
+  for (int i = 0; i < num_libraries_; ++i) {
+    if (config.demand_skew_sigma == 0.0) {
+      demand_.push_back(1.0);
+    } else {
+      Rng r = base.Fork(0xDE3A0000ull + static_cast<uint64_t>(i));
+      const double sigma = config.demand_skew_sigma;
+      demand_.push_back(r.LogNormal(-0.5 * sigma * sigma, sigma));
+    }
+  }
+  if (config.demand_skew_sigma > 0.0) {
+    double sum = 0.0;
+    for (double d : demand_) {
+      sum += d;
+    }
+    for (double& d : demand_) {
+      d *= static_cast<double>(num_libraries_) / sum;
+    }
+  }
+
+  // Homes round-robin; replica sets drawn per tenant from a dedicated fork so
+  // the map is stable under tenant-count changes for lower-numbered tenants.
+  homes_.reserve(static_cast<size_t>(config.tenants));
+  replicas_.reserve(static_cast<size_t>(config.tenants));
+  for (int t = 0; t < config.tenants; ++t) {
+    const int home = t % num_libraries_;
+    homes_.push_back(home);
+    std::vector<int> set = {home};
+    Rng r = base.Fork(0x5E7C0000ull + static_cast<uint64_t>(t));
+    while (static_cast<int>(set.size()) < replication) {
+      const int cand =
+          static_cast<int>(r.UniformInt(0, num_libraries_ - 1));
+      if (std::find(set.begin(), set.end(), cand) == set.end()) {
+        set.push_back(cand);
+      }
+    }
+    std::sort(set.begin(), set.end());
+    replicas_.push_back(std::move(set));
+  }
+}
+
+void Placement::Evacuate(int library) {
+  if (library < 0 || library >= num_libraries_) {
+    throw std::invalid_argument("Placement::Evacuate: bad library index");
+  }
+  for (size_t t = 0; t < homes_.size(); ++t) {
+    if (homes_[t] != library) {
+      continue;
+    }
+    int new_home = -1;
+    for (int replica : replicas_[t]) {
+      if (replica != library) {
+        new_home = replica;
+        break;
+      }
+    }
+    if (new_home < 0) {
+      // Sole-replica tenant: fall to the next site round-robin (the data
+      // must be re-created there; the router only needs a live decision
+      // point).
+      new_home = (library + 1) % num_libraries_;
+    }
+    homes_[t] = new_home;
+  }
+}
+
+int Placement::RouteRead(int tenant, const std::vector<uint64_t>& outstanding,
+                         const std::vector<char>& down) const {
+  int best = -1;
+  uint64_t best_load = 0;
+  for (int replica : replicas_[static_cast<size_t>(tenant)]) {
+    if (down[static_cast<size_t>(replica)] != 0) {
+      continue;
+    }
+    const uint64_t load = outstanding[static_cast<size_t>(replica)];
+    // Replica sets are sorted, so strict < resolves ties to the smallest id.
+    if (best < 0 || load < best_load) {
+      best = replica;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+}  // namespace silica

@@ -1,0 +1,68 @@
+// Tenant placement and geo-routing for the multi-library federation
+// (DESIGN.md section 18).
+//
+// Every tenant has a home library and a replica set of `replication` distinct
+// libraries (home included). Per-library demand multipliers reproduce the
+// Figure 1(c) spread across sites: hourly load at the busiest DC is a large
+// multiple of the median, modeled as independent log-normal factors. All
+// draws fork from the placement seed, so the map is a pure function of the
+// config — identical for every thread count.
+#ifndef SILICA_FEDERATION_PLACEMENT_H_
+#define SILICA_FEDERATION_PLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace silica {
+
+struct PlacementConfig {
+  int num_libraries = 4;
+  int replication = 2;  // replicas per tenant, home included; clamped to N
+  int tenants = 64;
+  // Sigma of the log-normal per-library demand multiplier (mean-1 normalized).
+  // 0 = uniform demand.
+  double demand_skew_sigma = 0.0;
+  uint64_t seed = 1;
+};
+
+class Placement {
+ public:
+  explicit Placement(const PlacementConfig& config);
+
+  int num_libraries() const { return num_libraries_; }
+  int num_tenants() const { return static_cast<int>(homes_.size()); }
+  int home_of(int tenant) const { return homes_[static_cast<size_t>(tenant)]; }
+  // Sorted, distinct, includes the (original) home.
+  const std::vector<int>& replicas_of(int tenant) const {
+    return replicas_[static_cast<size_t>(tenant)];
+  }
+  // Mean-normalized demand factor of a library (average over libraries == 1
+  // up to sampling noise; exactly 1 when demand_skew_sigma == 0).
+  double demand_multiplier(int library) const {
+    return demand_[static_cast<size_t>(library)];
+  }
+
+  // Zone evacuation: tenants homed at `library` are re-homed to their first
+  // replica outside it (or the next library round-robin when the replica set
+  // is only {library}). Replica sets are unchanged — the data is still there;
+  // only new traffic stops originating decisions at the evacuated site.
+  void Evacuate(int library);
+
+  // Serving library for a tenant's geo-routed read: the least-loaded live
+  // replica, ties to the smallest library id. `outstanding` is the caller's
+  // load metric per library (forwards in flight); `down` marks libraries the
+  // router must avoid (blackout). Returns -1 when no replica is live.
+  int RouteRead(int tenant, const std::vector<uint64_t>& outstanding,
+                const std::vector<char>& down) const;
+
+ private:
+  int num_libraries_ = 0;
+  std::vector<int> homes_;
+  std::vector<std::vector<int>> replicas_;
+  std::vector<double> demand_;
+};
+
+}  // namespace silica
+
+#endif  // SILICA_FEDERATION_PLACEMENT_H_

@@ -48,6 +48,12 @@ class Simulator {
   // Returns the number of events executed.
   uint64_t Run(SimTime until = kForever);
 
+  // Earliest queued event time — tombstoned entries included, so this is a
+  // conservative lower bound on the next event actually executed — or
+  // kForever when the queue is drained. The federation driver uses it to size
+  // epochs: no library can emit a message before its next event fires.
+  SimTime PeekNextTime() { return queue_.empty() ? kForever : queue_.Top().time; }
+
   // True when no runnable events remain.
   bool Idle() const;
 

@@ -126,6 +126,30 @@ print("ok: %d fleets conserve; events/s ratio %d-vs-8 = %.2fx" % (
     len(fleets), fleets[-1]["shuttles"], ratio))
 '
 
+echo "== smoke: multi-library federation (reduced cells, JSON) =="
+./build/bench/bench_federation --json --libraries=1,2 --window-hours=1 \
+    --reps=1 | python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+cells = report["cells"]
+assert cells, "federation bench produced no cells"
+for cell in cells:
+    assert cell["conserves"], f"federation cell lost requests: {cell}"
+    assert cell["messages_dropped"] == 0, f"dropped cross-site messages: {cell}"
+    assert cell["messages_in_flight"] == 0, f"undelivered messages: {cell}"
+# Byte-identity across thread counts: every (libraries, threads) cell of the
+# same federation must hash identically — the epoch barrier makes thread
+# count invisible to the simulation.
+hashes = {}
+for cell in cells:
+    hashes.setdefault(cell["libraries"], set()).add(cell["hash"])
+for libraries, digests in hashes.items():
+    assert len(digests) == 1, \
+        f"{libraries}-library federation not byte-identical: {digests}"
+print("ok: %d cells conserve; thread count invisible for libraries %s" % (
+    len(cells), sorted(hashes)))
+'
+
 echo "== smoke: fig9 engine byte-identity (--simd=scalar vs auto) =="
 # The library twin behind the fig9 sweep must produce byte-identical reports
 # whatever kernel tier is active; any diff means a vector kernel changed bytes.
@@ -147,7 +171,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build --preset tsan -j "$jobs" --target silica_tests
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/silica_tests \
-    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:Gf256Kernels.*:FaultInjector.*:FaultInjectorState.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:ShardedScheduler.*:LazyRepair*:DurabilityModel.*:FrontendTest.VirtualClockReplayIsDeterministic'
+    --gtest_filter='ThreadPool*:ParallelFor.*:RunSweep.*:DataPlaneParallel.*:DataPipelineTest.*:LdpcCsr.*:LdpcBuildCache.*:Gf256Kernels.*:FaultInjector.*:FaultInjectorState.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:ShardedScheduler.*:LazyRepair*:DurabilityModel.*:Federation.*:FrontendTest.VirtualClockReplayIsDeterministic'
   echo "== OK =="
   exit 0
 fi
@@ -157,6 +181,6 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" --target silica_tests
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/silica_tests \
-  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:ShardedScheduler.*:Partitioner.*:MetricsRegistry.*:Tracer.*:Telemetry.*:Gf256Kernels.*:FaultInjector.*:FaultInjectorState.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:RngState.*:Checkpoint.*:LazyRepair*:DurabilityModel.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
+  --gtest_filter='Simulator.*:SimEquivalence.*:CalendarQueueDirect.*:SchedulerEquivalence.*:SchedulerTelemetry.*:ShardedScheduler.*:Partitioner.*:MetricsRegistry.*:Tracer.*:Telemetry.*:Gf256Kernels.*:FaultInjector.*:FaultInjectorState.*:FaultedLibrary.*:MediaAging.*:PlatterRepair.*:ScrubbedLibrary.*:RngState.*:Checkpoint.*:LazyRepair*:DurabilityModel.*:Federation.*:Placement.*:FrontendProtocolTest.*:FrontendTest.*:RequestStreamTest.*'
 
 echo "== OK =="

@@ -43,6 +43,17 @@ deterministic counters (steals, congestion stops, detours, repartitions) are
 printed as drift notes: at the same seed and config any change is a behavior
 change, but across intentional scheduler evolutions they move legitimately.
 
+And `bench_federation --json` reports (detected by "bench": "federation",
+tracked in BENCH_federation.json): three hard gates first — every cell must
+conserve (requests completed + failed == total, geo reads all resolved,
+no dropped or still-in-flight cross-site messages), within each report the
+cells of one federation size must hash identically across thread counts
+(the epoch barrier makes the thread count invisible), and between reports
+an unchanged federation size whose message/request counts are unchanged must
+keep the same hash — hash drift at identical counters is a determinism bug,
+not noise. Then the directional table: per-size events/sec and the parallel
+speedup at the gate size must not drop beyond the tolerance.
+
 And `bench_durability --json` reports (detected by "bench": "durability",
 tracked in BENCH_durability.json): two hard gates — every twin sweep cell's
 repair ledger must conserve (detected == repaired + unrecoverable) in both
@@ -323,7 +334,9 @@ def compare_traffic(base, cand, tolerance):
     base_fleets = {f["shuttles"]: f for f in base.get("fleets", [])}
     cand_fleets = {f["shuttles"]: f for f in cand.get("fleets", [])}
     table = [(("events_per_second_ratio_largest_vs_8",),
-              "events/s ratio largest vs 8", +1)]
+              "events/s ratio largest vs 8", +1),
+             (("p999_ratio_largest_vs_32",),
+              "p99.9 ratio largest vs 32", -1)]
     regressions = []
     rows = []
     for path, label, direction in table:
@@ -364,6 +377,104 @@ def compare_traffic(base, cand, tolerance):
               f"{tolerance:.1%}: {', '.join(regressions)}")
         return 1
     print("\nconservation holds; no regressions beyond tolerance")
+    return 0
+
+
+def compare_federation(base, cand, tolerance):
+    """Diff two bench_federation reports. Hard gates: every cell conserves
+    (requests, geo reads, and cross-site messages all balance), cells of the
+    same federation size hash identically across thread counts within each
+    report, and a federation size whose deterministic counters are unchanged
+    between the reports must keep its hash (same trace + same config => same
+    bytes). Then a directional table over per-size events/sec and the
+    parallel speedup at the gate size."""
+    failures = []
+    for name, report in (("baseline", base), ("candidate", cand)):
+        hashes = {}
+        for cell in report.get("cells", []):
+            libraries = cell.get("libraries")
+            tag = f"{name}: {libraries} libraries x {cell.get('threads')} threads"
+            completed = cell.get("requests_completed", 0)
+            failed = cell.get("requests_failed", 0)
+            if completed + failed != cell.get("requests_total", -1):
+                failures.append(f"{tag} lost requests")
+            if not cell.get("conserves", False):
+                failures.append(f"{tag} reports conserves=false")
+            if cell.get("messages_dropped", 0) != 0:
+                failures.append(f"{tag} dropped cross-site messages")
+            if cell.get("messages_in_flight", 0) != 0:
+                failures.append(f"{tag} finished with messages in flight")
+            if cell.get("geo_completed", 0) + cell.get("geo_failed", 0) != \
+                    cell.get("geo_routed", -1):
+                failures.append(f"{tag} lost geo-routed reads")
+            hashes.setdefault(libraries, set()).add(cell.get("hash"))
+        for libraries, digests in sorted(hashes.items()):
+            if len(digests) != 1:
+                failures.append(
+                    f"{name}: {libraries}-library federation not byte-identical"
+                    f" across thread counts: {sorted(digests)}")
+
+    def by_size(report):
+        picked = {}
+        for cell in report.get("cells", []):
+            picked.setdefault(cell.get("libraries"), cell)
+        return picked
+
+    base_sizes, cand_sizes = by_size(base), by_size(cand)
+    # Cross-report determinism: same size, same deterministic counters =>
+    # the simulation must have produced the same bytes.
+    for libraries in sorted(set(base_sizes) & set(cand_sizes)):
+        b_cell, c_cell = base_sizes[libraries], cand_sizes[libraries]
+        counters = ("events_executed", "messages_sent", "requests_total",
+                    "requests_completed", "geo_reads", "epochs")
+        if all(b_cell.get(k) == c_cell.get(k) for k in counters) and \
+                b_cell.get("hash") != c_cell.get("hash"):
+            failures.append(
+                f"{libraries}-library hash drifted {b_cell.get('hash')} -> "
+                f"{c_cell.get('hash')} with identical counters "
+                "(nondeterminism, not a workload change)")
+    for failure in failures:
+        print(f"FEDERATION GATE VIOLATION — {failure}")
+    if failures:
+        return 1
+
+    rows = []
+    regressions = []
+    for path, label, direction in [(("speedup_at_gate",),
+                                    "parallel speedup at gate size", +1)]:
+        b, c = lookup(base, path), lookup(cand, path)
+        if b is not None and c is not None:
+            rows.append((label, b, c, direction))
+    for libraries in sorted(base_sizes):
+        if libraries not in cand_sizes:
+            print(f"note: {libraries}-library cell missing in candidate")
+            continue
+        b_cell, c_cell = base_sizes[libraries], cand_sizes[libraries]
+        for key, label, direction in [
+            ("events_per_second", "events/s", +1),
+            ("messages_sent", "messages sent", 0),
+            ("geo_reads", "geo reads", 0),
+        ]:
+            b, c = b_cell.get(key), c_cell.get(key)
+            if b is not None and c is not None:
+                rows.append((f"{libraries} libraries: {label}", b, c, direction))
+
+    width = max((len(label) for label, *_ in rows), default=20)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+    for label, b, c, direction in rows:
+        delta = (c - b) / b if b else (0.0 if c == b else float("inf"))
+        mark = ""
+        if direction != 0 and direction * delta < -tolerance:
+            mark = "  <-- regression"
+            regressions.append(label)
+        print(f"{label:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+7.1%}{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{tolerance:.1%}: {', '.join(regressions)}")
+        return 1
+    print("\nconservation and byte-identity hold; no regressions beyond "
+          "tolerance")
     return 0
 
 
@@ -468,6 +579,7 @@ def main():
                               ("frontend", compare_frontend),
                               ("decode_stack", compare_decode_stack),
                               ("traffic", compare_traffic),
+                              ("federation", compare_federation),
                               ("durability", compare_durability)):
         if base.get("bench") == bench or cand.get("bench") == bench:
             if base.get("bench") != cand.get("bench"):

@@ -30,6 +30,7 @@
 #include "ecc/simd/gf256_kernels.h"
 #include "core/library_sim.h"
 #include "core/sweep.h"
+#include "federation/federation.h"
 #include "flags.h"
 #include "sim/durability_model.h"
 #include "telemetry/telemetry.h"
@@ -104,6 +105,265 @@ int RunMttdl(const silica::Flags& flags) {
   }
   const MttdlEstimate estimate = EstimateMttdl(config, roots, split_k);
   std::printf("%s\n", MttdlEstimateToJson(config, estimate, split_k, 2).c_str());
+  return 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+// Multi-library federation mode (--federation=N): N digital twins advance in
+// lookahead-sized epochs under conservative synchronization, exchanging
+// geo-routed reads, replication writes, and cross-library repair transfers at
+// the barrier. Deterministic for every --federation-threads value.
+int RunFederation(const silica::Flags& flags) {
+  using namespace silica;
+  FederationConfig config;
+  config.num_libraries = static_cast<int>(flags.GetInt("federation", 0));
+  if (config.num_libraries < 1) {
+    std::fprintf(stderr, "error: --federation must be >= 1 libraries; got %d\n",
+                 config.num_libraries);
+    return 1;
+  }
+  config.threads = static_cast<int>(flags.GetInt("federation-threads", 1));
+  if (config.threads < 1) {
+    std::fprintf(stderr, "error: --federation-threads must be >= 1; got %d\n",
+                 config.threads);
+    return 1;
+  }
+  config.replication = static_cast<int>(flags.GetInt("replication", 2));
+  config.tenants = static_cast<int>(flags.GetInt("tenants", 64));
+  if (config.replication < 1 || config.replication > config.num_libraries) {
+    std::fprintf(stderr,
+                 "error: --replication must be in [1, --federation]; got %d\n",
+                 config.replication);
+    return 1;
+  }
+  if (config.tenants < 1) {
+    std::fprintf(stderr, "error: --tenants must be >= 1; got %d\n",
+                 config.tenants);
+    return 1;
+  }
+  config.demand_skew_sigma = flags.GetDouble("demand-skew", 0.0);
+  if (config.demand_skew_sigma < 0.0) {
+    std::fprintf(stderr, "error: --demand-skew must be >= 0; got %g\n",
+                 config.demand_skew_sigma);
+    return 1;
+  }
+  config.geo_read_fraction = flags.GetDouble("geo-reads", 0.0);
+  if (config.geo_read_fraction < 0.0 || config.geo_read_fraction > 1.0) {
+    std::fprintf(stderr, "error: --geo-reads must be in [0, 1]; got %g\n",
+                 config.geo_read_fraction);
+    return 1;
+  }
+  config.base_latency_s = flags.GetDouble("base-latency", config.base_latency_s);
+  config.hop_latency_s = flags.GetDouble("hop-latency", config.hop_latency_s);
+  if (!(config.base_latency_s > 0.0) || config.hop_latency_s < 0.0) {
+    std::fprintf(stderr,
+                 "error: --base-latency must be > 0 and --hop-latency >= 0\n");
+    return 1;
+  }
+  if (flags.Has("fed-blackout-library")) {
+    config.blackout_library =
+        static_cast<int>(flags.GetInt("fed-blackout-library", -1));
+    config.blackout_start_s = flags.GetDouble("fed-blackout-start", 0.0);
+    config.blackout_duration_s = flags.GetDouble("fed-blackout-duration", 0.0);
+    if (config.blackout_library < 0 ||
+        config.blackout_library >= config.num_libraries) {
+      std::fprintf(stderr,
+                   "error: --fed-blackout-library must be in [0, --federation); "
+                   "got %d\n",
+                   config.blackout_library);
+      return 1;
+    }
+    if (config.blackout_start_s < 0.0 || config.blackout_duration_s <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --fed-blackout-start must be >= 0 and "
+                   "--fed-blackout-duration > 0\n");
+      return 1;
+    }
+  } else {
+    for (const char* dependent :
+         {"fed-blackout-start", "fed-blackout-duration"}) {
+      if (flags.Has(dependent)) {
+        std::fprintf(stderr, "error: --%s requires --fed-blackout-library\n",
+                     dependent);
+        return 1;
+      }
+    }
+  }
+  if (flags.Has("evacuate-library")) {
+    config.evacuate_library =
+        static_cast<int>(flags.GetInt("evacuate-library", -1));
+    config.evacuate_at_s = flags.GetDouble("evacuate-at", 0.0);
+    if (config.evacuate_library < 0 ||
+        config.evacuate_library >= config.num_libraries) {
+      std::fprintf(stderr,
+                   "error: --evacuate-library must be in [0, --federation); "
+                   "got %d\n",
+                   config.evacuate_library);
+      return 1;
+    }
+    if (config.evacuate_at_s < 0.0) {
+      std::fprintf(stderr, "error: --evacuate-at must be >= 0 seconds\n");
+      return 1;
+    }
+  } else if (flags.Has("evacuate-at")) {
+    std::fprintf(stderr, "error: --evacuate-at requires --evacuate-library\n");
+    return 1;
+  }
+  if (flags.Has("replicate-rate")) {
+    config.replication_writes_per_hour = flags.GetDouble("replicate-rate", 0.0);
+    if (!(config.replication_writes_per_hour > 0.0)) {
+      std::fprintf(stderr,
+                   "error: --replicate-rate must be > 0 platters/hour\n");
+      return 1;
+    }
+    config.replication_until_s =
+        flags.GetDouble("replicate-until", config.replication_until_s);
+  } else if (flags.Has("replicate-until")) {
+    std::fprintf(stderr, "error: --replicate-until requires --replicate-rate\n");
+    return 1;
+  }
+
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string name = flags.Get("profile", "iops");
+  config.profile = name == "iops"     ? TraceProfile::Iops(seed)
+                   : name == "volume" ? TraceProfile::Volume(seed)
+                                      : TraceProfile::Typical(seed);
+  config.profile.zipf_skew = flags.GetDouble("zipf", 0.0);
+  config.seed = seed;
+
+  const std::string policy = flags.Get("policy", "silica");
+  config.library.library.policy =
+      policy == "sp"   ? LibraryConfig::Policy::kShortestPaths
+      : policy == "ns" ? LibraryConfig::Policy::kNoShuttles
+                       : LibraryConfig::Policy::kPartitioned;
+  config.library.library.num_shuttles =
+      static_cast<int>(flags.GetInt("shuttles", 20));
+  config.library.library.drive_throughput_mbps = flags.GetDouble("mbps", 60.0);
+  config.library.num_info_platters =
+      static_cast<uint64_t>(flags.GetInt("platters", 3000));
+  config.library.measure_start = config.profile.warmup_s;
+  config.library.measure_end =
+      config.profile.warmup_s + config.profile.window_s;
+  if (flags.Has("write-rate")) {
+    config.library.write_platters_per_hour = flags.GetDouble("write-rate", 0.0);
+    if (!(config.library.write_platters_per_hour > 0.0)) {
+      std::fprintf(stderr, "error: --write-rate must be > 0 platters/hour\n");
+      return 1;
+    }
+  }
+
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  std::unique_ptr<Telemetry> telemetry;
+  if (!metrics_out.empty()) {
+    telemetry = std::make_unique<Telemetry>();
+    config.telemetry = telemetry.get();
+  }
+
+  FederationResult result;
+  try {
+    result = SimulateFederation(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (telemetry != nullptr) {
+    std::ofstream out(metrics_out);
+    out << (EndsWith(metrics_out, ".json") ? telemetry->metrics.ToJson()
+                                           : telemetry->metrics.ToPrometheusText());
+    if (!out) {
+      std::fprintf(stderr, "error: could not write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+
+  uint64_t requests_total = 0, requests_completed = 0, requests_failed = 0;
+  for (const LibrarySimResult& lib : result.libraries) {
+    requests_total += lib.requests_total;
+    requests_completed += lib.requests_completed;
+    requests_failed += lib.requests_failed;
+  }
+  if (flags.Has("json")) {
+    std::printf(
+        "{\"federation\": {\"libraries\": %d, \"threads\": %d, "
+        "\"replication\": %d, \"tenants\": %d, \"demand_skew\": %g, "
+        "\"geo_read_fraction\": %g, \"lookahead_s\": %g, \"seed\": %llu}, "
+        "\"epochs\": %llu, \"events_executed\": %llu, \"makespan_s\": %g, "
+        "\"wall_seconds\": %g, \"requests\": {\"total\": %llu, \"completed\": "
+        "%llu, \"failed\": %llu}, \"messages\": {\"sent\": %llu, \"delivered\": "
+        "%llu, \"dropped\": %llu, \"in_flight\": %llu, \"bytes\": %llu}, "
+        "\"geo\": {\"reads\": %llu, \"routed\": %llu, \"unroutable\": %llu, "
+        "\"completed\": %llu, \"failed\": %llu, \"p50_s\": %g, \"p999_s\": %g}, "
+        "\"repair\": {\"transfers\": %llu, \"bytes\": %llu}, "
+        "\"replication_writes\": %llu}\n",
+        config.num_libraries, config.threads, config.replication,
+        config.tenants, config.demand_skew_sigma, config.geo_read_fraction,
+        result.lookahead_s, static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(result.epochs),
+        static_cast<unsigned long long>(result.events_executed),
+        result.makespan, result.wall_seconds,
+        static_cast<unsigned long long>(requests_total),
+        static_cast<unsigned long long>(requests_completed),
+        static_cast<unsigned long long>(requests_failed),
+        static_cast<unsigned long long>(result.messages_sent),
+        static_cast<unsigned long long>(result.messages_delivered),
+        static_cast<unsigned long long>(result.messages_dropped),
+        static_cast<unsigned long long>(result.messages_in_flight),
+        static_cast<unsigned long long>(result.bytes_sent),
+        static_cast<unsigned long long>(result.geo_reads),
+        static_cast<unsigned long long>(result.geo_routed),
+        static_cast<unsigned long long>(result.geo_unroutable),
+        static_cast<unsigned long long>(result.geo_completed),
+        static_cast<unsigned long long>(result.geo_failed),
+        result.geo_completion_times.Percentile(0.5),
+        result.geo_completion_times.Percentile(0.999),
+        static_cast<unsigned long long>(result.repair_transfers),
+        static_cast<unsigned long long>(result.repair_bytes),
+        static_cast<unsigned long long>(result.replication_writes));
+    return 0;
+  }
+  std::printf("federation: %d libraries, %d threads, lookahead %g s\n",
+              config.num_libraries, config.threads, result.lookahead_s);
+  std::printf("epochs %llu  events %llu  makespan %s  wall %.3f s\n",
+              static_cast<unsigned long long>(result.epochs),
+              static_cast<unsigned long long>(result.events_executed),
+              FormatDuration(result.makespan).c_str(), result.wall_seconds);
+  std::printf("requests: %llu total, %llu completed, %llu failed\n",
+              static_cast<unsigned long long>(requests_total),
+              static_cast<unsigned long long>(requests_completed),
+              static_cast<unsigned long long>(requests_failed));
+  std::printf("messages: %llu sent = %llu delivered + %llu dropped + %llu "
+              "in flight (%s)\n",
+              static_cast<unsigned long long>(result.messages_sent),
+              static_cast<unsigned long long>(result.messages_delivered),
+              static_cast<unsigned long long>(result.messages_dropped),
+              static_cast<unsigned long long>(result.messages_in_flight),
+              FormatBytes(static_cast<double>(result.bytes_sent)).c_str());
+  std::printf("geo reads: %llu issued, %llu routed, %llu unroutable, %llu "
+              "completed, %llu failed; p50 %s, p99.9 %s\n",
+              static_cast<unsigned long long>(result.geo_reads),
+              static_cast<unsigned long long>(result.geo_routed),
+              static_cast<unsigned long long>(result.geo_unroutable),
+              static_cast<unsigned long long>(result.geo_completed),
+              static_cast<unsigned long long>(result.geo_failed),
+              FormatDuration(result.geo_completion_times.Percentile(0.5)).c_str(),
+              FormatDuration(result.geo_completion_times.Percentile(0.999))
+                  .c_str());
+  std::printf("repair: %llu cross-library transfers (%s); replication writes "
+              "%llu\n",
+              static_cast<unsigned long long>(result.repair_transfers),
+              FormatBytes(static_cast<double>(result.repair_bytes)).c_str(),
+              static_cast<unsigned long long>(result.replication_writes));
+  for (size_t i = 0; i < result.libraries.size(); ++i) {
+    const LibrarySimResult& lib = result.libraries[i];
+    std::printf("  library %zu: %llu requests (%llu injected), %llu events, "
+                "p99.9 %s\n",
+                i, static_cast<unsigned long long>(lib.requests_total),
+                static_cast<unsigned long long>(lib.federation.injected_arrivals),
+                static_cast<unsigned long long>(lib.events_executed),
+                FormatDuration(lib.completion_times.Percentile(0.999)).c_str());
+  }
   return 0;
 }
 
@@ -345,6 +605,9 @@ int main(int argc, char** argv) {
   if (flags.Has("mttdl")) {
     return RunMttdl(flags);
   }
+  if (flags.Has("federation")) {
+    return RunFederation(flags);
+  }
   if (flags.Has("help")) {
     std::printf(
         "usage: silica_sim --profile=iops|volume|typical --policy=silica|sp|ns\n"
@@ -404,6 +667,29 @@ int main(int argc, char** argv) {
         "                              into a fresh twin, and verify the resumed\n"
         "                              run's results are byte-identical (exit 1\n"
         "                              on divergence)]\n"
+        "  [--federation=N            simulate N libraries concurrently under\n"
+        "                              conservative epoch sync; composes with\n"
+        "                              --profile/--policy/--shuttles/--platters\n"
+        "                              (per-library twin template) and --json]\n"
+        "  [--federation-threads=K    libraries simulated in parallel per epoch;\n"
+        "                              results are byte-identical for every K]\n"
+        "  [--replication=R --tenants=T   replica-set width and tenant count]\n"
+        "  [--demand-skew=S           log-normal sigma of per-site demand\n"
+        "                              multipliers (Fig 1(c) spread)]\n"
+        "  [--geo-reads=F             fraction of reads routed through the\n"
+        "                              federation to the least-loaded replica]\n"
+        "  [--base-latency=S --hop-latency=S   inter-site latency model; the\n"
+        "                              minimum pair latency is the lookahead]\n"
+        "  [--fed-blackout-library=I  whole-library blackout: no messages in or\n"
+        "                              out, excluded from routing, during\n"
+        "                              [--fed-blackout-start, +duration)]\n"
+        "  [--fed-blackout-start=S --fed-blackout-duration=S]\n"
+        "  [--evacuate-library=I --evacuate-at=S   re-home geo reads of the\n"
+        "                              library's tenants from time S on]\n"
+        "  [--replicate-rate=R        cross-site replication writes per library\n"
+        "                              per hour, rebalanced to the least-\n"
+        "                              ingested site, until --replicate-until]\n"
+        "  [--replicate-until=S]\n"
         "  [--mttdl=split|mc          rare-event MTTDL estimator on the set-level\n"
         "                              durability model (no twin; prints JSON):\n"
         "                              importance splitting, or brute-force MC]\n"
